@@ -1,0 +1,172 @@
+//! Adaptive ABFT strategy (paper Algorithm 1).
+//!
+//! Given the frequency the slack-reclamation layer *wants* to run the GPU at, the adaptive
+//! strategy decides which checksum scheme (if any) must be enabled so that the desired
+//! fault coverage is met, lowering the frequency in 100 MHz steps when even the full
+//! checksum cannot provide enough coverage.
+//!
+//! The single-side scheme is preferred over the full scheme to minimize overhead, and ABFT
+//! is disabled entirely while the operating point is fault free — this is what lets the
+//! paper's Figure 9 run the first ~2/3 of the factorization with zero fault-tolerance
+//! overhead.
+
+use crate::checksum::ChecksumScheme;
+use crate::coverage::{fc_full, fc_single};
+use hetero_sim::freq::MHz;
+use hetero_sim::guardband::Guardband;
+use hetero_sim::sdc::SdcModel;
+use serde::{Deserialize, Serialize};
+
+/// Decision returned by [`abft_oc`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbftDecision {
+    /// The (possibly lowered) GPU frequency to use.
+    pub frequency: MHz,
+    /// Checksum scheme to enable for this iteration.
+    pub scheme: ChecksumScheme,
+    /// Estimated fault coverage of the chosen configuration (1.0 when fault free).
+    pub coverage: f64,
+}
+
+/// Inputs of the adaptive ABFT decision.
+#[derive(Debug, Clone, Copy)]
+pub struct AbftRequest {
+    /// Desired fault coverage (the paper uses "Full Coverage", i.e. > 0.999999).
+    pub desired_coverage: f64,
+    /// Frequency the slack-reclamation layer wants to run the GPU at.
+    pub desired_freq: MHz,
+    /// The GPU base (default) frequency.
+    pub base_freq: MHz,
+    /// Predicted execution time of the protected GPU work at the *base* frequency.
+    pub predicted_time_at_base_s: f64,
+    /// DVFS step used when lowering the frequency (100 MHz on the paper's platform).
+    pub freq_step: MHz,
+    /// Lowest frequency the search may fall back to.
+    pub min_freq: MHz,
+    /// Number of independently protected blocks (`(n/b)²`).
+    pub protected_blocks: usize,
+}
+
+/// Paper Algorithm 1: pick the cheapest ABFT scheme (or lower the frequency) so that the
+/// desired coverage is met at the chosen operating point.
+///
+/// Note: Algorithm 1 in the paper projects the task time as `T' · F_desired / F_base`,
+/// which would make the task *longer* at higher clocks; we use the physically meaningful
+/// `T' · F_base / F_desired` (shorter task at higher clock). The decision logic is
+/// otherwise identical.
+pub fn abft_oc(sdc: &SdcModel, gb: Guardband, req: &AbftRequest) -> AbftDecision {
+    let mut freq = req.desired_freq;
+    loop {
+        let projected_time = req.predicted_time_at_base_s * req.base_freq.0 / freq.0;
+        if !sdc.any_errors_possible(freq, gb) {
+            // Fault-free operating point: no ABFT needed.
+            return AbftDecision { frequency: freq, scheme: ChecksumScheme::None, coverage: 1.0 };
+        }
+        let single = fc_single(sdc, freq, gb, projected_time, req.protected_blocks);
+        if single >= req.desired_coverage {
+            return AbftDecision {
+                frequency: freq,
+                scheme: ChecksumScheme::SingleSide,
+                coverage: single,
+            };
+        }
+        let full = fc_full(sdc, freq, gb, projected_time, req.protected_blocks);
+        if full >= req.desired_coverage {
+            return AbftDecision { frequency: freq, scheme: ChecksumScheme::Full, coverage: full };
+        }
+        // Not enough coverage even with the full checksum: back the frequency off.
+        if freq.0 - req.freq_step.0 < req.min_freq.0 {
+            // Cannot go lower; settle for the strongest protection available.
+            return AbftDecision { frequency: freq, scheme: ChecksumScheme::Full, coverage: full };
+        }
+        freq = MHz(freq.0 - req.freq_step.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::{num_protected_blocks, FULL_COVERAGE_THRESHOLD};
+
+    fn request(desired_freq: f64, time_s: f64) -> AbftRequest {
+        AbftRequest {
+            desired_coverage: FULL_COVERAGE_THRESHOLD,
+            desired_freq: MHz(desired_freq),
+            base_freq: MHz(1300.0),
+            predicted_time_at_base_s: time_s,
+            freq_step: MHz(100.0),
+            min_freq: MHz(300.0),
+            protected_blocks: num_protected_blocks(30720, 512),
+        }
+    }
+
+    #[test]
+    fn fault_free_frequency_disables_abft() {
+        let sdc = SdcModel::paper_gpu();
+        let d = abft_oc(&sdc, Guardband::Optimized, &request(1700.0, 2.0));
+        assert_eq!(d.scheme, ChecksumScheme::None);
+        assert_eq!(d.frequency.0, 1700.0);
+        assert_eq!(d.coverage, 1.0);
+    }
+
+    #[test]
+    fn default_guardband_never_needs_abft() {
+        let sdc = SdcModel::paper_gpu();
+        let d = abft_oc(&sdc, Guardband::Default, &request(2200.0, 2.0));
+        assert_eq!(d.scheme, ChecksumScheme::None);
+    }
+
+    #[test]
+    fn moderate_overclock_selects_single_side() {
+        let sdc = SdcModel::paper_gpu();
+        // Short task at 1900 MHz: a handful of expected 0D errors at most.
+        let d = abft_oc(&sdc, Guardband::Optimized, &request(1900.0, 0.05));
+        assert_eq!(d.frequency.0, 1900.0);
+        assert_eq!(d.scheme, ChecksumScheme::SingleSide);
+        assert!(d.coverage >= FULL_COVERAGE_THRESHOLD);
+    }
+
+    #[test]
+    fn aggressive_overclock_escalates_to_full_or_backs_off() {
+        let sdc = SdcModel::paper_gpu();
+        // Medium task at 2200 MHz: 1D errors become likely enough that single-side
+        // coverage drops below the threshold.
+        let d = abft_oc(&sdc, Guardband::Optimized, &request(2200.0, 0.10));
+        assert!(d.frequency.0 <= 2200.0);
+        assert_ne!(d.scheme, ChecksumScheme::None);
+        // Whatever was chosen, it must have been the cheapest sufficient option: if the
+        // scheme is Full, single-side at that frequency must have been insufficient.
+        if d.scheme == ChecksumScheme::Full {
+            let t = 0.10 * 1300.0 / d.frequency.0;
+            let single = fc_single(
+                &sdc,
+                d.frequency,
+                Guardband::Optimized,
+                t,
+                num_protected_blocks(30720, 512),
+            );
+            assert!(single < FULL_COVERAGE_THRESHOLD);
+        }
+    }
+
+    #[test]
+    fn impossible_coverage_backs_off_frequency() {
+        let mut sdc = SdcModel::paper_gpu();
+        sdc.base_rate_per_s = 50.0; // extremely unreliable silicon
+        sdc.two_d_onset = MHz(1900.0);
+        sdc.two_d_base_rate_per_s = 1.0; // 2D errors no checksum can fix
+        let d = abft_oc(&sdc, Guardband::Optimized, &request(2200.0, 10.0));
+        // The search must have lowered the frequency towards the fault-free region.
+        assert!(d.frequency.0 <= 1900.0);
+    }
+
+    #[test]
+    fn prefers_cheaper_scheme_when_sufficient() {
+        let sdc = SdcModel::paper_gpu();
+        let d_short = abft_oc(&sdc, Guardband::Optimized, &request(1900.0, 0.05));
+        let d_long = abft_oc(&sdc, Guardband::Optimized, &request(2000.0, 0.1));
+        assert_eq!(d_short.scheme, ChecksumScheme::SingleSide);
+        // The longer, faster-clocked task needs at least as strong a scheme.
+        assert!(matches!(d_long.scheme, ChecksumScheme::SingleSide | ChecksumScheme::Full));
+    }
+}

@@ -1,0 +1,510 @@
+//! Checksum encodings and error detection/correction.
+//!
+//! The paper (Figure 6) distinguishes two checksum schemes:
+//!
+//! * **single-side checksum** — the matrix (block) is encoded along one dimension only.
+//!   Cheaper, but it can only detect and correct 0D (single-element) error patterns;
+//! * **full checksum** — both dimensions are encoded, which additionally covers 1D
+//!   (row/column) error patterns at higher overhead.
+//!
+//! Each encoding direction carries *two* checksum vectors, the classic Huang–Abraham
+//! construction: an unweighted sum `Σ_i a_ij` and a weighted sum `Σ_i w_i a_ij` with
+//! `w_i = i + 1`. The ratio of the two discrepancies locates the corrupted index, and the
+//! unweighted discrepancy is the correction value.
+
+use bsr_linalg::matrix::{Block, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Which checksum encoding is applied to a block (paper Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChecksumScheme {
+    /// No fault tolerance.
+    None,
+    /// Column (single-side) checksums only: detects/corrects 0D errors.
+    SingleSide,
+    /// Column + row checksums: detects/corrects 0D and 1D errors.
+    Full,
+}
+
+/// Tolerance used when comparing recomputed and stored checksums. Scaled by the magnitude
+/// of the checksum itself to stay robust across matrix scales.
+const REL_TOL: f64 = 1e-6;
+
+/// Column-direction checksums of a block: one pair of values per column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnChecksums {
+    /// Unweighted column sums.
+    pub sum: Vec<f64>,
+    /// Row-index-weighted column sums (weight of row `i` within the block is `i + 1`).
+    pub weighted: Vec<f64>,
+}
+
+/// Row-direction checksums of a block: one pair of values per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowChecksums {
+    /// Unweighted row sums.
+    pub sum: Vec<f64>,
+    /// Column-index-weighted row sums.
+    pub weighted: Vec<f64>,
+}
+
+/// Checksums of one matrix block under a given scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockChecksums {
+    /// The region of the matrix these checksums describe.
+    pub block: Block,
+    /// Scheme in force.
+    pub scheme: ChecksumScheme,
+    /// Column checksums (present unless the scheme is `None`).
+    pub columns: Option<ColumnChecksums>,
+    /// Row checksums (present only for `Full`).
+    pub rows: Option<RowChecksums>,
+}
+
+/// Outcome of verifying (and correcting) one block against its checksums.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyOutcome {
+    /// Number of single elements corrected.
+    pub corrected_0d: usize,
+    /// Number of full/partial rows or columns corrected.
+    pub corrected_1d: usize,
+    /// Number of discrepancies that could not be attributed/corrected.
+    pub uncorrectable: usize,
+}
+
+impl VerifyOutcome {
+    /// True when the block verified clean or every discrepancy was corrected.
+    pub fn is_clean_or_corrected(&self) -> bool {
+        self.uncorrectable == 0
+    }
+
+    /// Merge another outcome into this one.
+    pub fn merge(&mut self, other: &VerifyOutcome) {
+        self.corrected_0d += other.corrected_0d;
+        self.corrected_1d += other.corrected_1d;
+        self.uncorrectable += other.uncorrectable;
+    }
+}
+
+/// Encode the column checksums of `block` of `m`.
+pub fn encode_column_checksums(m: &Matrix, block: Block) -> ColumnChecksums {
+    let mut sum = vec![0.0; block.cols];
+    let mut weighted = vec![0.0; block.cols];
+    for j in 0..block.cols {
+        let mut s = 0.0;
+        let mut w = 0.0;
+        for i in 0..block.rows {
+            let v = m.get(block.row + i, block.col + j);
+            s += v;
+            w += (i + 1) as f64 * v;
+        }
+        sum[j] = s;
+        weighted[j] = w;
+    }
+    ColumnChecksums { sum, weighted }
+}
+
+/// Encode the row checksums of `block` of `m`.
+pub fn encode_row_checksums(m: &Matrix, block: Block) -> RowChecksums {
+    let mut sum = vec![0.0; block.rows];
+    let mut weighted = vec![0.0; block.rows];
+    for i in 0..block.rows {
+        let mut s = 0.0;
+        let mut w = 0.0;
+        for j in 0..block.cols {
+            let v = m.get(block.row + i, block.col + j);
+            s += v;
+            w += (j + 1) as f64 * v;
+        }
+        sum[i] = s;
+        weighted[i] = w;
+    }
+    RowChecksums { sum, weighted }
+}
+
+/// Encode a block under `scheme`.
+pub fn encode_block(m: &Matrix, block: Block, scheme: ChecksumScheme) -> BlockChecksums {
+    let columns = match scheme {
+        ChecksumScheme::None => None,
+        _ => Some(encode_column_checksums(m, block)),
+    };
+    let rows = match scheme {
+        ChecksumScheme::Full => Some(encode_row_checksums(m, block)),
+        _ => None,
+    };
+    BlockChecksums { block, scheme, columns, rows }
+}
+
+/// Update column checksums through a GEMM trailing update `C ← C − L·U` where the
+/// checksummed block is `C` (`block.rows × block.cols`), `l` is `block.rows × k` and `u`
+/// is `k × block.cols`.
+///
+/// The column checksum of `L·U` is `(eᵀL)·U` (and `(wᵀL)·U` for the weighted vector), so
+/// the checksums can be maintained with two vector-matrix products — this is the
+/// "checksum update" cost the paper accounts for in Table 2.
+pub fn update_column_checksums_gemm(cs: &mut ColumnChecksums, l: &Matrix, u: &Matrix) {
+    let k = l.cols();
+    debug_assert_eq!(u.rows(), k);
+    debug_assert_eq!(cs.sum.len(), u.cols());
+    // eᵀ L and wᵀ L
+    let mut el = vec![0.0; k];
+    let mut wl = vec![0.0; k];
+    for c in 0..k {
+        let mut s = 0.0;
+        let mut w = 0.0;
+        for r in 0..l.rows() {
+            let v = l.get(r, c);
+            s += v;
+            w += (r + 1) as f64 * v;
+        }
+        el[c] = s;
+        wl[c] = w;
+    }
+    for j in 0..u.cols() {
+        let mut s = 0.0;
+        let mut w = 0.0;
+        for c in 0..k {
+            let v = u.get(c, j);
+            s += el[c] * v;
+            w += wl[c] * v;
+        }
+        cs.sum[j] -= s;
+        cs.weighted[j] -= w;
+    }
+}
+
+/// Update row checksums through the same GEMM trailing update `C ← C − L·U`.
+/// The row checksum of `L·U` is `L·(U e)` (and `L·(U w)` weighted).
+pub fn update_row_checksums_gemm(cs: &mut RowChecksums, l: &Matrix, u: &Matrix) {
+    let k = l.cols();
+    debug_assert_eq!(u.rows(), k);
+    debug_assert_eq!(cs.sum.len(), l.rows());
+    let mut ue = vec![0.0; k];
+    let mut uw = vec![0.0; k];
+    for c in 0..k {
+        let mut s = 0.0;
+        let mut w = 0.0;
+        for j in 0..u.cols() {
+            let v = u.get(c, j);
+            s += v;
+            w += (j + 1) as f64 * v;
+        }
+        ue[c] = s;
+        uw[c] = w;
+    }
+    for i in 0..l.rows() {
+        let mut s = 0.0;
+        let mut w = 0.0;
+        for c in 0..k {
+            let v = l.get(i, c);
+            s += v * ue[c];
+            w += v * uw[c];
+        }
+        cs.sum[i] -= s;
+        cs.weighted[i] -= w;
+    }
+}
+
+/// Update the checksums of a block through a GEMM trailing update `C ← C − L·U`.
+pub fn update_block_checksums_gemm(cs: &mut BlockChecksums, l: &Matrix, u: &Matrix) {
+    if let Some(cols) = cs.columns.as_mut() {
+        update_column_checksums_gemm(cols, l, u);
+    }
+    if let Some(rows) = cs.rows.as_mut() {
+        update_row_checksums_gemm(rows, l, u);
+    }
+}
+
+fn mismatch(expected: f64, actual: f64, scale: f64) -> bool {
+    (expected - actual).abs() > REL_TOL * scale.max(1.0)
+}
+
+/// Verify the block of `m` against `cs` and correct what the scheme allows.
+///
+/// * 0D errors: located from the weighted/unweighted discrepancy ratio of the affected
+///   column (single-side or full) and corrected by the unweighted discrepancy.
+/// * 1D errors (full scheme only): a corrupted row (many columns disagree, one row
+///   checksum disagrees) is rebuilt column-by-column from the column discrepancies;
+///   corrupted columns are handled symmetrically from row discrepancies.
+///
+/// Returns what was corrected; discrepancies that cannot be attributed (e.g. 2D patterns,
+/// or 1D patterns under the single-side scheme) are reported as `uncorrectable` and the
+/// matrix is left as is for those.
+pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome {
+    let mut out = VerifyOutcome::default();
+    let block = cs.block;
+    let Some(stored_cols) = cs.columns.as_ref() else {
+        return out; // no fault tolerance
+    };
+
+    let actual_cols = encode_column_checksums(m, block);
+    let scale = stored_cols
+        .sum
+        .iter()
+        .fold(0.0_f64, |a, &v| a.max(v.abs()));
+
+    // Columns whose checksum disagrees.
+    let bad_cols: Vec<usize> = (0..block.cols)
+        .filter(|&j| {
+            mismatch(stored_cols.sum[j], actual_cols.sum[j], scale)
+                || mismatch(stored_cols.weighted[j], actual_cols.weighted[j], scale)
+        })
+        .collect();
+    if bad_cols.is_empty() {
+        return out;
+    }
+
+    match cs.scheme {
+        ChecksumScheme::None => out,
+        ChecksumScheme::SingleSide => {
+            // Each bad column is assumed to hold a single corrupted element (0D). If the
+            // located row index is not integral, the column has a more complex pattern and
+            // is uncorrectable with a single-side checksum.
+            for &j in &bad_cols {
+                let d_sum = stored_cols.sum[j] - actual_cols.sum[j];
+                let d_weighted = stored_cols.weighted[j] - actual_cols.weighted[j];
+                if try_correct_single_element(m, block, j, d_sum, d_weighted) {
+                    out.corrected_0d += 1;
+                } else {
+                    out.uncorrectable += 1;
+                }
+            }
+            out
+        }
+        ChecksumScheme::Full => {
+            let stored_rows = cs.rows.as_ref().expect("full scheme carries row checksums");
+            let actual_rows = encode_row_checksums(m, block);
+            let bad_rows: Vec<usize> = (0..block.rows)
+                .filter(|&i| {
+                    mismatch(stored_rows.sum[i], actual_rows.sum[i], scale)
+                        || mismatch(stored_rows.weighted[i], actual_rows.weighted[i], scale)
+                })
+                .collect();
+
+            if bad_cols.len() == 1 && bad_rows.len() == 1 {
+                // A single element at the intersection.
+                let j = bad_cols[0];
+                let i = bad_rows[0];
+                let d = stored_cols.sum[j] - actual_cols.sum[j];
+                let v = m.get(block.row + i, block.col + j);
+                m.set(block.row + i, block.col + j, v + d);
+                out.corrected_0d += 1;
+            } else if bad_rows.len() == 1 {
+                // One corrupted row spanning several columns: rebuild each affected
+                // element from its column discrepancy.
+                let i = bad_rows[0];
+                for &j in &bad_cols {
+                    let d = stored_cols.sum[j] - actual_cols.sum[j];
+                    let v = m.get(block.row + i, block.col + j);
+                    m.set(block.row + i, block.col + j, v + d);
+                }
+                out.corrected_1d += 1;
+            } else if bad_cols.len() == 1 {
+                // One corrupted column spanning several rows.
+                let j = bad_cols[0];
+                for &i in &bad_rows {
+                    let d = stored_rows.sum[i] - actual_rows.sum[i];
+                    let v = m.get(block.row + i, block.col + j);
+                    m.set(block.row + i, block.col + j, v + d);
+                }
+                out.corrected_1d += 1;
+            } else {
+                // 2D pattern (or multiple independent strikes): beyond full-checksum ABFT.
+                out.uncorrectable += bad_cols.len().max(bad_rows.len());
+            }
+            out
+        }
+    }
+}
+
+/// Attempt a 0D correction in column `j` of the block from the checksum discrepancies.
+fn try_correct_single_element(
+    m: &mut Matrix,
+    block: Block,
+    j: usize,
+    d_sum: f64,
+    d_weighted: f64,
+) -> bool {
+    if d_sum.abs() < f64::EPSILON {
+        // Weighted checksum disagrees but the plain sum does not: cannot locate.
+        return false;
+    }
+    let row_loc = d_weighted / d_sum; // == (i + 1) for a single corrupted element
+    let i = row_loc.round() as i64 - 1;
+    if i < 0 || i as usize >= block.rows || (row_loc - row_loc.round()).abs() > 1e-3 {
+        return false;
+    }
+    let i = i as usize;
+    let v = m.get(block.row + i, block.col + j);
+    m.set(block.row + i, block.col + j, v + d_sum);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsr_linalg::generate::random_matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize) -> (Matrix, Block) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let m = random_matrix(&mut rng, n, n);
+        (m, Block::full(n, n))
+    }
+
+    #[test]
+    fn clean_block_verifies_clean() {
+        let (mut m, block) = setup(8);
+        let cs = encode_block(&m, block, ChecksumScheme::Full);
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out, VerifyOutcome::default());
+        assert!(out.is_clean_or_corrected());
+    }
+
+    #[test]
+    fn none_scheme_detects_nothing() {
+        let (mut m, block) = setup(4);
+        let cs = encode_block(&m, block, ChecksumScheme::None);
+        m.set(1, 1, 999.0);
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out, VerifyOutcome::default());
+        assert_eq!(m.get(1, 1), 999.0, "no correction without checksums");
+    }
+
+    #[test]
+    fn single_side_corrects_0d_error() {
+        let (mut m, block) = setup(8);
+        let original = m.clone();
+        let cs = encode_block(&m, block, ChecksumScheme::SingleSide);
+        m.set(3, 5, m.get(3, 5) + 42.0);
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.corrected_0d, 1);
+        assert_eq!(out.uncorrectable, 0);
+        assert!(m.approx_eq(&original, 1e-9));
+    }
+
+    #[test]
+    fn single_side_cannot_correct_1d_error() {
+        let (mut m, block) = setup(8);
+        let cs = encode_block(&m, block, ChecksumScheme::SingleSide);
+        // Corrupt an entire row: every column has a discrepancy whose located row is the
+        // same, so correction actually still works per-column... use a row pattern with
+        // two corrupted elements in the SAME column to defeat the single-side scheme.
+        m.set(2, 4, m.get(2, 4) + 10.0);
+        m.set(6, 4, m.get(6, 4) + 3.0);
+        let out = verify_and_correct(&mut m, &cs);
+        assert!(out.uncorrectable > 0 || out.corrected_0d == 0);
+    }
+
+    #[test]
+    fn full_corrects_row_wipe() {
+        let (mut m, block) = setup(10);
+        let original = m.clone();
+        let cs = encode_block(&m, block, ChecksumScheme::Full);
+        for j in 0..10 {
+            m.set(4, j, m.get(4, j) + (j as f64 + 1.0));
+        }
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.corrected_1d, 1);
+        assert_eq!(out.uncorrectable, 0);
+        assert!(m.approx_eq(&original, 1e-9));
+    }
+
+    #[test]
+    fn full_corrects_column_wipe() {
+        let (mut m, block) = setup(10);
+        let original = m.clone();
+        let cs = encode_block(&m, block, ChecksumScheme::Full);
+        for i in 2..9 {
+            m.set(i, 7, m.get(i, 7) - 3.5 * i as f64);
+        }
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.corrected_1d, 1);
+        assert_eq!(out.uncorrectable, 0);
+        assert!(m.approx_eq(&original, 1e-9));
+    }
+
+    #[test]
+    fn full_flags_2d_pattern_as_uncorrectable() {
+        let (mut m, block) = setup(10);
+        let cs = encode_block(&m, block, ChecksumScheme::Full);
+        // Corrupt a 2x2 sub-pattern: two bad rows and two bad columns.
+        m.set(1, 2, m.get(1, 2) + 5.0);
+        m.set(1, 6, m.get(1, 6) + 7.0);
+        m.set(8, 2, m.get(8, 2) + 9.0);
+        m.set(8, 6, m.get(8, 6) + 11.0);
+        let out = verify_and_correct(&mut m, &cs);
+        assert!(out.uncorrectable > 0);
+    }
+
+    #[test]
+    fn checksum_update_through_gemm_matches_reencoding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let m0 = random_matrix(&mut rng, 12, 12);
+        let l = random_matrix(&mut rng, 12, 4);
+        let u = random_matrix(&mut rng, 4, 12);
+        let block = Block::full(12, 12);
+        let mut cs = encode_block(&m0, block, ChecksumScheme::Full);
+
+        // Apply C <- C - L*U numerically.
+        let mut m = m0.clone();
+        bsr_linalg::blas3::gemm_into_block(
+            -1.0,
+            &l,
+            bsr_linalg::Trans::No,
+            &u,
+            bsr_linalg::Trans::No,
+            1.0,
+            &mut m,
+            block,
+        );
+        // Update the checksums analytically.
+        update_block_checksums_gemm(&mut cs, &l, &u);
+        // They must match a fresh encoding of the updated matrix.
+        let fresh = encode_block(&m, block, ChecksumScheme::Full);
+        for j in 0..12 {
+            assert!((cs.columns.as_ref().unwrap().sum[j] - fresh.columns.as_ref().unwrap().sum[j]).abs() < 1e-9);
+            assert!(
+                (cs.columns.as_ref().unwrap().weighted[j]
+                    - fresh.columns.as_ref().unwrap().weighted[j])
+                    .abs()
+                    < 1e-9
+            );
+        }
+        for i in 0..12 {
+            assert!((cs.rows.as_ref().unwrap().sum[i] - fresh.rows.as_ref().unwrap().sum[i]).abs() < 1e-9);
+        }
+        // And the updated matrix verifies clean against the updated checksums.
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out, VerifyOutcome::default());
+    }
+
+    #[test]
+    fn checksum_update_then_injection_is_detected_and_corrected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let m0 = random_matrix(&mut rng, 16, 16);
+        let l = random_matrix(&mut rng, 16, 4);
+        let u = random_matrix(&mut rng, 4, 16);
+        let block = Block::full(16, 16);
+        let mut cs = encode_block(&m0, block, ChecksumScheme::Full);
+        let mut m = m0.clone();
+        bsr_linalg::blas3::gemm_into_block(
+            -1.0,
+            &l,
+            bsr_linalg::Trans::No,
+            &u,
+            bsr_linalg::Trans::No,
+            1.0,
+            &mut m,
+            block,
+        );
+        update_block_checksums_gemm(&mut cs, &l, &u);
+        let reference = m.clone();
+        // Inject a fault as if the GEMM produced a wrong value.
+        m.set(9, 3, m.get(9, 3) * 2.0 + 1.0);
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.corrected_0d, 1);
+        assert!(m.approx_eq(&reference, 1e-8));
+    }
+}

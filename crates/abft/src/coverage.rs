@@ -1,0 +1,155 @@
+//! Fault-coverage estimation (paper Section 3.1.2, Table 1).
+//!
+//! Both checksum schemes protect each matrix block independently and cannot tolerate more
+//! than one strike per block per detection interval (one factorization iteration). With
+//! errors arriving as a Poisson process and landing uniformly over the `S = (n/b)²`
+//! blocks, the probability that *all* errors of an interval are detected and corrected is
+//!
+//! ```text
+//! FC_single(f,T) = [ Σ_k P(λ_0D·T, k) · Π_{i<k} (S-i)/S ] · e^{-λ_1D·T} · e^{-λ_2D·T}
+//! FC_full(f,T)   = [ Σ_k Σ_j P(λ_0D·T, k)·P(λ_1D·T, j) · Π_{i<k+j} (S-i)/S ] · e^{-λ_2D·T}
+//! ```
+//!
+//! The paper calls `FC > 99.9999%` *Full Coverage*.
+
+use hetero_sim::freq::MHz;
+use hetero_sim::guardband::Guardband;
+use hetero_sim::sdc::{poisson_pmf, ErrorPattern, SdcModel};
+
+/// The paper's "Full Coverage" threshold.
+pub const FULL_COVERAGE_THRESHOLD: f64 = 0.999999;
+
+/// Number of independently protected blocks for an `n × n` matrix with block size `b`.
+pub fn num_protected_blocks(n: usize, b: usize) -> usize {
+    let per_dim = n.div_ceil(b);
+    per_dim * per_dim
+}
+
+/// Probability that `k` uniformly placed strikes land in `k` distinct blocks out of `s`.
+fn distinct_block_probability(k: u32, s: usize) -> f64 {
+    let s = s as f64;
+    (0..k).fold(1.0, |acc, i| acc * ((s - f64::from(i)) / s).max(0.0))
+}
+
+/// Fault coverage of the single-side checksum scheme for a task of duration `seconds` at
+/// frequency `f` under guardband `gb`, with `s` protected blocks.
+pub fn fc_single(sdc: &SdcModel, f: MHz, gb: Guardband, seconds: f64, s: usize) -> f64 {
+    let l0 = sdc.expected_errors(f, gb, ErrorPattern::ZeroD, seconds);
+    let l1 = sdc.expected_errors(f, gb, ErrorPattern::OneD, seconds);
+    let l2 = sdc.expected_errors(f, gb, ErrorPattern::TwoD, seconds);
+    let mut sum = 0.0;
+    for k in 0..=(s as u32).min(200) {
+        let p = poisson_pmf(l0, k);
+        if p < 1e-18 && k > 2 {
+            break;
+        }
+        sum += p * distinct_block_probability(k, s);
+    }
+    sum * (-l1).exp() * (-l2).exp()
+}
+
+/// Fault coverage of the full checksum scheme.
+pub fn fc_full(sdc: &SdcModel, f: MHz, gb: Guardband, seconds: f64, s: usize) -> f64 {
+    let l0 = sdc.expected_errors(f, gb, ErrorPattern::ZeroD, seconds);
+    let l1 = sdc.expected_errors(f, gb, ErrorPattern::OneD, seconds);
+    let l2 = sdc.expected_errors(f, gb, ErrorPattern::TwoD, seconds);
+    let mut sum = 0.0;
+    let cap = (s as u32).min(200);
+    for k in 0..=cap {
+        let pk = poisson_pmf(l0, k);
+        if pk < 1e-18 && k > 2 {
+            break;
+        }
+        for j in 0..=cap.saturating_sub(k) {
+            let pj = poisson_pmf(l1, j);
+            if pj < 1e-18 && j > 2 {
+                break;
+            }
+            sum += pk * pj * distinct_block_probability(k + j, s);
+        }
+    }
+    sum * (-l2).exp()
+}
+
+/// Convenience: is the estimated coverage "Full Coverage" in the paper's sense?
+pub fn is_full_coverage(fc: f64) -> bool {
+    fc > FULL_COVERAGE_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> SdcModel {
+        SdcModel::paper_gpu()
+    }
+
+    #[test]
+    fn fault_free_frequency_gives_perfect_coverage() {
+        let s = num_protected_blocks(30720, 512);
+        let fc_s = fc_single(&gpu(), MHz(1700.0), Guardband::Optimized, 2.0, s);
+        let fc_f = fc_full(&gpu(), MHz(1700.0), Guardband::Optimized, 2.0, s);
+        assert_eq!(fc_s, 1.0);
+        assert_eq!(fc_f, 1.0);
+    }
+
+    #[test]
+    fn coverage_decreases_with_frequency() {
+        let s = num_protected_blocks(30720, 512);
+        let m = gpu();
+        let t = 1.0;
+        let f19 = fc_single(&m, MHz(1900.0), Guardband::Optimized, t, s);
+        let f21 = fc_single(&m, MHz(2100.0), Guardband::Optimized, t, s);
+        let f22 = fc_single(&m, MHz(2200.0), Guardband::Optimized, t, s);
+        assert!(f19 > f21 && f21 > f22, "{f19} {f21} {f22}");
+        assert!(f19 <= 1.0 && f22 > 0.0);
+    }
+
+    #[test]
+    fn full_checksum_covers_at_least_as_much_as_single() {
+        let s = num_protected_blocks(30720, 512);
+        let m = gpu();
+        for f in [1900.0, 2000.0, 2100.0, 2200.0] {
+            for t in [0.1, 1.0, 5.0] {
+                let fs = fc_single(&m, MHz(f), Guardband::Optimized, t, s);
+                let ff = fc_full(&m, MHz(f), Guardband::Optimized, t, s);
+                assert!(ff >= fs - 1e-12, "full must dominate single at f={f} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_shape_later_iterations_have_higher_coverage() {
+        // Later iterations have shorter TMU times, so coverage improves (paper Table 1:
+        // 96.45% -> 98.46% -> 99.65% at 2200 MHz going from iteration 5 to 15).
+        let s = num_protected_blocks(30720, 512);
+        let m = gpu();
+        let t5 = 2.5; // seconds, early iteration TMU
+        let t10 = 1.6;
+        let t15 = 0.9;
+        let c5 = fc_single(&m, MHz(2200.0), Guardband::Optimized, t5, s);
+        let c10 = fc_single(&m, MHz(2200.0), Guardband::Optimized, t10, s);
+        let c15 = fc_single(&m, MHz(2200.0), Guardband::Optimized, t15, s);
+        assert!(c5 < c10 && c10 < c15);
+    }
+
+    #[test]
+    fn full_coverage_threshold() {
+        assert!(is_full_coverage(0.9999999));
+        assert!(!is_full_coverage(0.9999));
+    }
+
+    #[test]
+    fn distinct_block_probability_behaviour() {
+        assert_eq!(distinct_block_probability(0, 100), 1.0);
+        assert_eq!(distinct_block_probability(1, 100), 1.0);
+        assert!((distinct_block_probability(2, 100) - 0.99).abs() < 1e-12);
+        assert_eq!(distinct_block_probability(101, 100), 0.0);
+    }
+
+    #[test]
+    fn block_count() {
+        assert_eq!(num_protected_blocks(30720, 512), 3600);
+        assert_eq!(num_protected_blocks(100, 30), 16);
+    }
+}

@@ -1,0 +1,160 @@
+//! Fault injection.
+//!
+//! Numeric-mode experiments reproduce the reliability results of the paper (Figure 9) by
+//! injecting silent data corruptions into the matrix with the patterns of
+//! [`hetero_sim::sdc::ErrorPattern`]: single elements (0D), rows/columns (1D), and
+//! scattered multi-row/column patterns (2D). The injected magnitude is scaled relative to
+//! the corrupted value so that the corruption is numerically significant (a flipped
+//! exponent bit rather than a last-place wiggle).
+
+use bsr_linalg::matrix::{Block, Matrix};
+use hetero_sim::sdc::ErrorPattern;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Description of one injected fault (for logging / assertions in tests).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Error propagation pattern.
+    pub pattern: ErrorPattern,
+    /// Global row of the first corrupted element.
+    pub row: usize,
+    /// Global column of the first corrupted element.
+    pub col: usize,
+    /// Number of elements corrupted.
+    pub elements: usize,
+}
+
+fn corrupt<R: Rng + ?Sized>(m: &mut Matrix, i: usize, j: usize, rng: &mut R) {
+    let v = m.get(i, j);
+    // Significant corruption: scale change plus offset, mimicking a high-order bit flip.
+    let factor: f64 = rng.gen_range(2.0..16.0);
+    let offset: f64 = rng.gen_range(0.5..2.0);
+    m.set(i, j, v * factor + offset);
+}
+
+/// Inject one fault of `pattern` into `block` of `m`. Returns its description.
+pub fn inject_fault<R: Rng + ?Sized>(
+    m: &mut Matrix,
+    block: Block,
+    pattern: ErrorPattern,
+    rng: &mut R,
+) -> InjectedFault {
+    assert!(!block.is_empty(), "cannot inject into an empty block");
+    let i = block.row + rng.gen_range(0..block.rows);
+    let j = block.col + rng.gen_range(0..block.cols);
+    match pattern {
+        ErrorPattern::ZeroD => {
+            corrupt(m, i, j, rng);
+            InjectedFault { pattern, row: i, col: j, elements: 1 }
+        }
+        ErrorPattern::OneD => {
+            // Corrupt (part of) a row or a column, chosen at random.
+            let along_row = rng.gen_bool(0.5);
+            let mut count = 0;
+            if along_row {
+                let len = rng.gen_range(2..=block.cols);
+                for jj in 0..len {
+                    corrupt(m, i, block.col + jj, rng);
+                    count += 1;
+                }
+            } else {
+                let len = rng.gen_range(2..=block.rows);
+                for ii in 0..len {
+                    corrupt(m, block.row + ii, j, rng);
+                    count += 1;
+                }
+            }
+            InjectedFault { pattern, row: i, col: j, elements: count }
+        }
+        ErrorPattern::TwoD => {
+            // Corrupt a small scattered set spanning at least two rows and two columns.
+            let mut count = 0;
+            let rows = [
+                block.row + rng.gen_range(0..block.rows),
+                block.row + rng.gen_range(0..block.rows),
+            ];
+            let cols = [
+                block.col + rng.gen_range(0..block.cols),
+                block.col + rng.gen_range(0..block.cols),
+            ];
+            for &ri in &rows {
+                for &cj in &cols {
+                    corrupt(m, ri, cj, rng);
+                    count += 1;
+                }
+            }
+            InjectedFault { pattern, row: rows[0], col: cols[0], elements: count }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsr_linalg::generate::random_matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn count_diffs(a: &Matrix, b: &Matrix) -> usize {
+        let mut n = 0;
+        for j in 0..a.cols() {
+            for i in 0..a.rows() {
+                if (a.get(i, j) - b.get(i, j)).abs() > 1e-12 {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn zero_d_corrupts_exactly_one_element() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m0 = random_matrix(&mut rng, 8, 8);
+        let mut m = m0.clone();
+        let f = inject_fault(&mut m, Block::full(8, 8), ErrorPattern::ZeroD, &mut rng);
+        assert_eq!(f.elements, 1);
+        assert_eq!(count_diffs(&m0, &m), 1);
+    }
+
+    #[test]
+    fn one_d_corrupts_a_line() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m0 = random_matrix(&mut rng, 8, 8);
+        let mut m = m0.clone();
+        let f = inject_fault(&mut m, Block::full(8, 8), ErrorPattern::OneD, &mut rng);
+        assert!(f.elements >= 2);
+        assert_eq!(count_diffs(&m0, &m), f.elements);
+    }
+
+    #[test]
+    fn two_d_spans_multiple_rows_and_columns() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m0 = random_matrix(&mut rng, 8, 8);
+        let mut m = m0.clone();
+        let f = inject_fault(&mut m, Block::full(8, 8), ErrorPattern::TwoD, &mut rng);
+        assert!(f.elements >= 1);
+        assert!(count_diffs(&m0, &m) >= 1);
+    }
+
+    #[test]
+    fn injection_respects_block_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m0 = random_matrix(&mut rng, 10, 10);
+        let mut m = m0.clone();
+        let block = Block::new(4, 4, 3, 3);
+        for _ in 0..20 {
+            inject_fault(&mut m, block, ErrorPattern::ZeroD, &mut rng);
+        }
+        // Nothing outside the block changed.
+        for j in 0..10 {
+            for i in 0..10 {
+                let inside = (4..7).contains(&i) && (4..7).contains(&j);
+                if !inside {
+                    assert_eq!(m.get(i, j), m0.get(i, j));
+                }
+            }
+        }
+    }
+}

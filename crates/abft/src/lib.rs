@@ -1,0 +1,31 @@
+//! # bsr-abft
+//!
+//! Algorithm-Based Fault Tolerance for the PPoPP'23 BSR/ABFT-OC reproduction.
+//!
+//! Overclocking the GPU under an optimized voltage guardband makes silent data
+//! corruptions (SDCs) possible; the paper couples the overclocking with ABFT so the
+//! corrupted results are detected and corrected on the fly. This crate provides:
+//!
+//! * [`checksum`] — single-side and full checksum encodings (Huang–Abraham style, with an
+//!   unweighted and a weighted vector per direction), checksum *updates* through GEMM
+//!   trailing updates, and verification/correction of 0D and 1D error patterns
+//!   (paper Figure 6);
+//! * [`inject`] — fault injection with 0D/1D/2D patterns for the reliability experiments
+//!   (paper Figure 9);
+//! * [`coverage`] — Poisson fault-coverage estimation `FC_single` / `FC_full`
+//!   (paper Table 1);
+//! * [`adaptive`] — the adaptive ABFT-OC strategy (paper Algorithm 1) choosing the
+//!   cheapest sufficient protection, or backing off the clock when none suffices;
+//! * [`overhead`] — flop-count models of the checksum work, used by the analytic driver.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod checksum;
+pub mod coverage;
+pub mod inject;
+pub mod overhead;
+
+pub use adaptive::{abft_oc, AbftDecision, AbftRequest};
+pub use checksum::{ChecksumScheme, VerifyOutcome};
+pub use coverage::{fc_full, fc_single, FULL_COVERAGE_THRESHOLD};

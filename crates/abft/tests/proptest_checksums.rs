@@ -1,0 +1,97 @@
+//! Property-based tests of the checksum invariants.
+
+use bsr_abft::checksum::{
+    encode_block, update_block_checksums_gemm, verify_and_correct, ChecksumScheme,
+};
+use bsr_abft::coverage::{fc_full, fc_single, num_protected_blocks};
+use bsr_abft::inject::inject_fault;
+use bsr_linalg::blas3::{gemm_into_block, Trans};
+use bsr_linalg::generate::random_matrix;
+use bsr_linalg::matrix::Block;
+use hetero_sim::freq::MHz;
+use hetero_sim::guardband::Guardband;
+use hetero_sim::sdc::{ErrorPattern, SdcModel};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_0d_error_is_always_corrected(
+        n in 4usize..24,
+        seed in any::<u64>(),
+        scheme_full in any::<bool>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = random_matrix(&mut rng, n, n);
+        let original = m.clone();
+        let scheme = if scheme_full { ChecksumScheme::Full } else { ChecksumScheme::SingleSide };
+        let cs = encode_block(&m, Block::full(n, n), scheme);
+        inject_fault(&mut m, Block::full(n, n), ErrorPattern::ZeroD, &mut rng);
+        let out = verify_and_correct(&mut m, &cs);
+        prop_assert_eq!(out.corrected_0d, 1);
+        prop_assert_eq!(out.uncorrectable, 0);
+        prop_assert!(m.approx_eq(&original, 1e-6 * (1.0 + original.max_abs())));
+    }
+
+    #[test]
+    fn full_checksum_corrects_1d_errors(n in 6usize..24, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = random_matrix(&mut rng, n, n);
+        let original = m.clone();
+        let cs = encode_block(&m, Block::full(n, n), ChecksumScheme::Full);
+        inject_fault(&mut m, Block::full(n, n), ErrorPattern::OneD, &mut rng);
+        let out = verify_and_correct(&mut m, &cs);
+        prop_assert_eq!(out.uncorrectable, 0);
+        prop_assert!(out.corrected_0d + out.corrected_1d >= 1);
+        prop_assert!(m.approx_eq(&original, 1e-6 * (1.0 + original.max_abs())));
+    }
+
+    #[test]
+    fn checksums_commute_with_gemm_update(
+        n in 4usize..20,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = random_matrix(&mut rng, n, n);
+        let l = random_matrix(&mut rng, n, k);
+        let u = random_matrix(&mut rng, k, n);
+        let block = Block::full(n, n);
+        let mut cs = encode_block(&m, block, ChecksumScheme::Full);
+        gemm_into_block(-1.0, &l, Trans::No, &u, Trans::No, 1.0, &mut m, block);
+        update_block_checksums_gemm(&mut cs, &l, &u);
+        // Updated checksums must verify the numerically updated matrix as clean.
+        let out = verify_and_correct(&mut m, &cs);
+        prop_assert_eq!(out.corrected_0d + out.corrected_1d + out.uncorrectable, 0);
+    }
+
+    #[test]
+    fn coverage_is_a_probability_and_full_dominates_single(
+        freq in 1850.0f64..2300.0,
+        seconds in 0.001f64..5.0,
+        n_over_b in 10usize..80,
+    ) {
+        let sdc = SdcModel::paper_gpu();
+        let s = n_over_b * n_over_b;
+        let single = fc_single(&sdc, MHz(freq), Guardband::Optimized, seconds, s);
+        let full = fc_full(&sdc, MHz(freq), Guardband::Optimized, seconds, s);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&single));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&full));
+        prop_assert!(full >= single - 1e-9);
+    }
+
+    #[test]
+    fn coverage_decreases_with_longer_exposure(
+        freq in 1950.0f64..2250.0,
+        t in 0.01f64..1.0,
+    ) {
+        let sdc = SdcModel::paper_gpu();
+        let s = num_protected_blocks(30720, 512);
+        let short = fc_full(&sdc, MHz(freq), Guardband::Optimized, t, s);
+        let long = fc_full(&sdc, MHz(freq), Guardband::Optimized, 4.0 * t, s);
+        prop_assert!(long <= short + 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation: sensitivity of the energy saving to the panel/block size.
+//!
+//! The paper tunes the block size for performance (512 on its platform); this ablation
+//! shows how the BSR saving and the achieved throughput move when the block size changes.
+
+use bsr_bench::{header, pct};
+use bsr_core::analytic::run;
+use bsr_core::config::RunConfig;
+use bsr_core::report::compare;
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::{Decomposition, Workload};
+
+fn main() {
+    header("Ablation: block-size sensitivity, LU n = 30720, BSR r = 0");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "block", "iterations", "orig Gflop/s", "BSR Gflop/s", "E-saving"
+    );
+    for block in [128usize, 256, 512, 1024, 2048] {
+        let mut base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+            .with_fault_injection(false);
+        base.workload = Workload::new_f64(Decomposition::Lu, 30720, block);
+        let original = run(base.clone());
+        let bsr = run(base.with_strategy(Strategy::Bsr(BsrConfig::max_energy_saving())));
+        let c = compare(&bsr, &original);
+        println!(
+            "{:>8} {:>12} {:>14.1} {:>14.1} {:>12}",
+            block,
+            bsr.workload.iterations(),
+            original.gflops,
+            bsr.gflops,
+            pct(c.energy_saving)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation: sensitivity of BSR to the GPU DVFS transition latency.
+//!
+//! The latency term `L_GPU` in Algorithm 2 is what pushes late (short) iterations to
+//! higher overclocked frequencies; this ablation quantifies how the end-to-end energy
+//! saving and speedup react when the platform's transition cost changes.
+
+use bsr_bench::{header, pct};
+use bsr_core::analytic::run;
+use bsr_core::config::RunConfig;
+use bsr_core::report::compare;
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+
+fn main() {
+    header("Ablation: BSR (r = 0.25) sensitivity to GPU DVFS latency, LU n = 30720");
+    println!("{:>14} {:>14} {:>12} {:>14}", "latency [ms]", "energy saving", "speedup", "ABFT iters");
+    for latency_ms in [1.0, 5.0, 15.0, 25.0, 50.0, 100.0] {
+        let mut base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+            .with_fault_injection(false);
+        base.platform.gpu.dvfs_latency_s = latency_ms / 1e3;
+        let original = run(base.clone());
+        let bsr = run(base.with_strategy(Strategy::Bsr(BsrConfig::with_ratio(0.25))));
+        let c = compare(&bsr, &original);
+        let abft_iters = bsr
+            .iterations
+            .iter()
+            .filter(|t| t.abft != bsr_abft::checksum::ChecksumScheme::None)
+            .count();
+        println!(
+            "{:>14.0} {:>14} {:>12.3} {:>14}",
+            latency_ms,
+            pct(c.energy_saving),
+            c.speedup,
+            abft_iters
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 5 (+ Table 3): offline guardband profiling of the simulated platform.
+//!
+//! (a) GPU energy efficiency and power-reduction factor vs clock, default vs optimized
+//!     guardband; (b) GPU SDC error rates; (c) CPU energy efficiency; (d)/(e) maximum
+//!     sustained temperatures.
+
+use bsr_bench::header;
+use hetero_sim::guardband::Guardband;
+use hetero_sim::platform::Platform;
+use hetero_sim::profiling::profile_device;
+use hetero_sim::throughput::{KernelClass, Precision};
+
+fn main() {
+    let platform = Platform::paper_default();
+    header("Table 3: hardware/system configuration (simulated)");
+    for dev in [&platform.cpu, &platform.gpu] {
+        println!(
+            "{:<28} base {:>7}  default range {:>7}-{:>7}  overclock {:>7}-{:>7}  DVFS latency {:.0} ms",
+            dev.name,
+            dev.base_freq,
+            dev.default_range.min,
+            dev.default_range.max,
+            dev.overclock_range.min,
+            dev.overclock_range.max,
+            dev.dvfs_latency_s * 1e3,
+        );
+    }
+
+    header("Figure 5a/5b/5d: GPU profiling (TMU workload, fp64)");
+    let gpu = profile_device(&platform.gpu, KernelClass::TrailingUpdate, Precision::Double);
+    println!(
+        "{:>7} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "MHz", "eff(def)", "eff(opt)", "alpha", "sdc0D [/s]", "sdc1D [/s]", "temp [C]"
+    );
+    let opt = gpu.points_for(Guardband::Optimized);
+    let def = gpu.points_for(Guardband::Default);
+    for p in &opt {
+        let d = def.iter().find(|q| q.freq.0 == p.freq.0);
+        println!(
+            "{:>7.0} {:>12.3} {:>12.3} {:>10.3} {:>12.4} {:>12.4} {:>10.1}",
+            p.freq.0,
+            d.map(|q| q.gflops_per_watt).unwrap_or(f64::NAN),
+            p.gflops_per_watt,
+            p.power_reduction_factor,
+            p.sdc_rate_0d,
+            p.sdc_rate_1d,
+            p.max_temp_c,
+        );
+    }
+    println!("fault-free max frequency (optimized guardband): {}", gpu.fault_free_max);
+
+    header("Figure 5c/5e: CPU profiling (PD workload, fp64)");
+    let cpu = profile_device(&platform.cpu, KernelClass::PanelFactor, Precision::Double);
+    println!("{:>7} {:>12} {:>12} {:>10} {:>10}", "MHz", "eff(def)", "eff(opt)", "alpha", "temp [C]");
+    let optc = cpu.points_for(Guardband::Optimized);
+    let defc = cpu.points_for(Guardband::Default);
+    for p in optc.iter().filter(|p| p.freq.0 as u64 % 500 == 0) {
+        let d = defc.iter().find(|q| q.freq.0 == p.freq.0);
+        println!(
+            "{:>7.0} {:>12.3} {:>12.3} {:>10.3} {:>10.1}",
+            p.freq.0,
+            d.map(|q| q.gflops_per_watt).unwrap_or(f64::NAN),
+            p.gflops_per_watt,
+            p.power_reduction_factor,
+            p.max_temp_c,
+        );
+    }
+}

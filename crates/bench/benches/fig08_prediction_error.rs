@@ -1,0 +1,31 @@
+//! Figure 8: relative online slack prediction error of the LU decomposition using the
+//! first-iteration (GreenLA) approach vs the paper's enhanced online-calibrated approach.
+
+use bsr_bench::header;
+use bsr_core::analytic::run;
+use bsr_core::config::{PredictorKind, RunConfig};
+use bsr_sched::strategy::Strategy;
+use bsr_sched::workload::Decomposition;
+
+fn main() {
+    header("Figure 8: slack prediction error of LU (n = 30720, b = 512)");
+    let base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+        .with_fault_injection(false);
+    let first = run(base.clone().with_predictor(PredictorKind::FirstIteration));
+    let enhanced = run(base.with_predictor(PredictorKind::Enhanced));
+
+    println!("{:>5} {:>26} {:>26}", "iter", "Profile First Iteration", "Online Calibration");
+    for (f, e) in first.iterations.iter().zip(enhanced.iterations.iter()) {
+        if f.k < 2 || f.k % 2 != 0 {
+            continue;
+        }
+        let fe = f.slack_prediction_error().unwrap_or(0.0);
+        let ee = e.slack_prediction_error().unwrap_or(0.0);
+        println!("{:>5} {:>25.1}% {:>25.1}%", f.k, fe * 100.0, ee * 100.0);
+    }
+    println!(
+        "\naverage error: first-iteration {:.1}%  enhanced {:.1}%   (paper: ~11.4% vs ~4%)",
+        first.mean_slack_prediction_error() * 100.0,
+        enhanced.mean_slack_prediction_error() * 100.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 9: fault-tolerance overhead and probability of a correct result for
+//! double-precision LU with BSR (r = 0.25) under: no fault tolerance, always-on
+//! single-side ABFT, always-on full ABFT, and the adaptive ABFT of Algorithm 1.
+//! Also prints the adaptive per-iteration ABFT schedule (which scheme ran when).
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_bench::header;
+use bsr_core::analytic::run;
+use bsr_core::config::RunConfig;
+use bsr_core::reliability::{estimate_reliability, figure9_configurations, monte_carlo_reliability};
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+
+fn main() {
+    header("Figure 9: ABFT overhead and correctness, LU fp64, BSR r = 0.25 (n = 30720)");
+    let base = RunConfig::paper_default(
+        Decomposition::Lu,
+        Strategy::Bsr(BsrConfig::with_ratio(0.25)),
+    );
+
+    println!("{:<14} {:>12} {:>12} {:>18}", "config", "overhead", "P(correct)", "Monte-Carlo (64x)");
+    for (label, cfg) in figure9_configurations(base.clone()) {
+        let analytic = estimate_reliability(cfg.clone(), &label);
+        let mc = monte_carlo_reliability(cfg, &label, 64);
+        println!(
+            "{:<14} {:>11.1}% {:>11.2}% {:>17.1}%",
+            label,
+            analytic.overhead_fraction * 100.0,
+            analytic.correctness_probability * 100.0,
+            mc.correctness_probability * 100.0
+        );
+    }
+
+    println!("\nAdaptive ABFT schedule over the factorization:");
+    let report = run(base.with_fault_injection(false));
+    let mut current = None;
+    for t in &report.iterations {
+        if current != Some(t.abft) {
+            println!(
+                "  iterations {:>2}+ : {:?} (GPU at {})",
+                t.k, t.abft, t.gpu_freq
+            );
+            current = Some(t.abft);
+        }
+    }
+    let abft_iters = report
+        .iterations
+        .iter()
+        .filter(|t| t.abft != ChecksumScheme::None)
+        .count();
+    println!("  iterations with ABFT enabled: {abft_iters}/{}", report.iterations.len());
+}

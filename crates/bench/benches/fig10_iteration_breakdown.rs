@@ -1,0 +1,62 @@
+//! Figure 10: time and energy breakdown of the 2nd and 50th iteration of the LU
+//! decomposition (n = 30720), for Original, R2H, SR and BSR with reclamation ratios
+//! 0 .. 0.25. Energy saving is relative to the Original design.
+
+use bsr_bench::header;
+use bsr_core::analytic::run;
+use bsr_core::config::RunConfig;
+use bsr_core::report::RunReport;
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+
+fn report_for(strategy: Strategy) -> RunReport {
+    run(RunConfig::paper_default(Decomposition::Lu, strategy).with_fault_injection(false))
+}
+
+fn main() {
+    let mut rows: Vec<(String, RunReport)> = vec![
+        ("Org".to_string(), report_for(Strategy::Original)),
+        ("R2H".to_string(), report_for(Strategy::RaceToHalt)),
+        ("SR".to_string(), report_for(Strategy::SlackReclamation)),
+    ];
+    for r in [0.0, 0.05, 0.10, 0.15, 0.20, 0.25] {
+        rows.push((format!("BSR r={r:.2}"), report_for(Strategy::Bsr(BsrConfig::with_ratio(r)))));
+    }
+    let original = rows[0].1.clone();
+
+    for k in [2usize, 50] {
+        header(&format!("Figure 10: iteration {k} of LU (n = 30720) — time breakdown [ms]"));
+        println!(
+            "{:<10} {:>8} {:>8} {:>10} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9}",
+            "version", "PD", "xfer", "TMU+PU", "ABFT", "DVFS", "CPU slack", "GPU slack", "CPU MHz", "GPU MHz"
+        );
+        for (name, rep) in &rows {
+            let t = &rep.iterations[k];
+            println!(
+                "{:<10} {:>8.1} {:>8.1} {:>10.1} {:>8.1} {:>8.1} {:>10.1} {:>10.1} {:>9.0} {:>9.0}",
+                name,
+                t.timing.pd_s * 1e3,
+                t.timing.transfer_s * 1e3,
+                (t.timing.tmu_s + t.timing.pu_s) * 1e3,
+                t.timing.abft_s * 1e3,
+                t.timing.dvfs_s * 1e3,
+                t.timing.cpu_slack_s * 1e3,
+                t.timing.gpu_slack_s * 1e3,
+                t.cpu_freq.0,
+                t.gpu_freq.0,
+            );
+        }
+        println!("\nEnergy saving vs Original for iteration {k} [J] (positive = saving):");
+        println!("{:<10} {:>12} {:>12}", "version", "CPU", "GPU");
+        let orig_trace = &original.iterations[k];
+        for (name, rep) in &rows {
+            let t = &rep.iterations[k];
+            println!(
+                "{:<10} {:>12.1} {:>12.1}",
+                name,
+                orig_trace.cpu_energy_j - t.cpu_energy_j,
+                orig_trace.gpu_energy_j - t.gpu_energy_j,
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 11: Pareto-efficient performance/energy trade-off enabled by the reclamation
+//! ratio, for Cholesky, LU and QR (n = 30720, fp64).
+
+use bsr_bench::{header, run_all_strategies};
+use bsr_core::config::RunConfig;
+use bsr_core::pareto::{paper_ratio_grid, pareto_front, sweep_reclamation_ratio};
+use bsr_sched::strategy::Strategy;
+use bsr_sched::workload::Decomposition;
+
+fn main() {
+    for dec in Decomposition::ALL {
+        header(&format!("Figure 11: {} performance-energy trade-off (n = 30720)", dec.label()));
+        let baselines = run_all_strategies(dec);
+        let original = &baselines.iter().find(|(n, _)| *n == "Original").unwrap().1;
+        println!("{:<14} {:>12} {:>14}", "point", "Gflop/s", "energy [J]");
+        for (name, rep) in &baselines {
+            println!("{:<14} {:>12.1} {:>14.0}", name, rep.gflops, rep.total_energy_j());
+        }
+        let base = RunConfig::paper_default(dec, Strategy::Original).with_fault_injection(false);
+        let sweep = sweep_reclamation_ratio(&base, &paper_ratio_grid());
+        let points: Vec<_> = sweep.iter().map(|(p, _)| p.clone()).collect();
+        for p in &points {
+            println!("{:<14} {:>12.1} {:>14.0}", format!("BSR r={:.2}", p.reclamation_ratio), p.gflops, p.energy_j);
+        }
+        let front = pareto_front(&points);
+        println!("Pareto-efficient BSR points: {:?}", front.iter().map(|&i| points[i].reclamation_ratio).collect::<Vec<_>>());
+
+        let best_energy = points.iter().map(|p| p.energy_j).fold(f64::INFINITY, f64::min);
+        let max_saving = 1.0 - best_energy / original.total_energy_j();
+        let best_perf_no_extra_energy = points
+            .iter()
+            .filter(|p| p.energy_j <= original.total_energy_j())
+            .map(|p| p.gflops)
+            .fold(0.0f64, f64::max);
+        println!(
+            "Max energy saving vs Original: {:.1}%   Max perf. improvement without extra energy: {:.2}x",
+            max_saving * 100.0,
+            best_perf_no_extra_energy / original.gflops
+        );
+    }
+}

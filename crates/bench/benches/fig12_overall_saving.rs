@@ -1,0 +1,33 @@
+//! Figure 12: overall energy saving and Energy x Delay^2 (ED2P) reduction of R2H, SR and
+//! BSR (r = 0) compared with the Original design, for Cholesky, LU and QR (n = 30720).
+
+use bsr_bench::{header, pct, run_all_strategies};
+use bsr_core::report::{compare, format_comparison_table};
+use bsr_sched::workload::Decomposition;
+
+fn main() {
+    header("Figure 12: overall energy saving and ED2P reduction (n = 30720, fp64, r = 0)");
+    for dec in Decomposition::ALL {
+        println!("\n--- {} ---", dec.label());
+        let reports = run_all_strategies(dec);
+        let original = reports[0].1.clone();
+        let rows: Vec<_> = reports
+            .iter()
+            .map(|(name, rep)| (name.to_string(), rep, compare(rep, &original)))
+            .collect();
+        print!("{}", format_comparison_table(&rows));
+    }
+
+    println!("\nSummary (energy saving / ED2P reduction vs Original):");
+    println!("{:<10} {:>16} {:>16} {:>16}", "decomp", "R2H", "SR", "BSR");
+    for dec in Decomposition::ALL {
+        let reports = run_all_strategies(dec);
+        let original = reports[0].1.clone();
+        let cell = |name: &str| {
+            let rep = &reports.iter().find(|(n, _)| *n == name).unwrap().1;
+            let c = compare(rep, &original);
+            format!("{} / {}", pct(c.energy_saving), pct(c.ed2p_reduction))
+        };
+        println!("{:<10} {:>16} {:>16} {:>16}", dec.label(), cell("R2H"), cell("SR"), cell("BSR"));
+    }
+}

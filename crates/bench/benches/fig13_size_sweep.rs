@@ -1,0 +1,47 @@
+//! Figure 13: overall energy saving of the LU decomposition compared with the Original
+//! design for input sizes from 5120 to 30720.
+
+use bsr_bench::{evaluated_strategies, header, pct};
+use bsr_core::analytic::run;
+use bsr_core::config::RunConfig;
+use bsr_core::report::compare;
+use bsr_sched::workload::{Decomposition, Workload};
+
+fn main() {
+    header("Figure 13: LU energy saving vs input size (block = 512, fp64)");
+    println!("{:>8} {:>10} {:>10} {:>10}", "n", "R2H", "SR", "BSR");
+    for n in [5120usize, 10240, 15360, 20480, 25600, 30720] {
+        let mut savings = Vec::new();
+        let mut original_energy = 0.0;
+        for (name, strategy) in evaluated_strategies() {
+            let mut cfg = RunConfig::paper_default(Decomposition::Lu, strategy)
+                .with_fault_injection(false);
+            cfg.workload = Workload::new_f64(Decomposition::Lu, n, 512);
+            let rep = run(cfg);
+            if name == "Original" {
+                original_energy = rep.total_energy_j();
+            } else {
+                savings.push((name, rep.total_energy_j()));
+            }
+        }
+        let fmt = |e: f64| pct(1.0 - e / original_energy);
+        println!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            n,
+            fmt(savings[0].1),
+            fmt(savings[1].1),
+            fmt(savings[2].1)
+        );
+    }
+    // A tiny size where saving is expected to be hard (paper Section 4.3.5).
+    let mut cfg = RunConfig::paper_default(Decomposition::Lu, evaluated_strategies()[3].1)
+        .with_fault_injection(false);
+    cfg.workload = Workload::new_f64(Decomposition::Lu, 2048, 512);
+    let small_bsr = run(cfg.clone());
+    cfg.strategy = evaluated_strategies()[0].1;
+    let small_orig = run(cfg);
+    println!(
+        "\nn = 2048 (below the paper's sweep): BSR energy saving {} (small matrices are hard)",
+        pct(compare(&small_bsr, &small_orig).energy_saving)
+    );
+}

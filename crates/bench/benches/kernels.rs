@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the numeric substrate: GEMM, blocked Cholesky, LU and QR.
+//!
+//! These are not paper figures; they document the raw kernel throughput of the pure-Rust
+//! substrate that backs the numeric-mode experiments.
+
+use bsr_linalg::blas3::{gemm_into_block, Trans};
+use bsr_linalg::cholesky::cholesky_blocked;
+use bsr_linalg::generate::{random_matrix, random_spd_matrix};
+use bsr_linalg::lu::lu_blocked;
+use bsr_linalg::matrix::{Block, Matrix};
+use bsr_linalg::qr::qr_blocked;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg-kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let n = 256;
+    let b = 64;
+    let a = random_matrix(&mut rng, n, n);
+    let bm = random_matrix(&mut rng, n, n);
+    let spd = random_spd_matrix(&mut rng, n);
+
+    group.bench_function("gemm_256", |bench| {
+        bench.iter(|| {
+            let mut cmat = Matrix::zeros(n, n);
+            gemm_into_block(1.0, &a, Trans::No, &bm, Trans::No, 0.0, &mut cmat, Block::full(n, n));
+            cmat
+        })
+    });
+    group.bench_function("cholesky_blocked_256", |bench| {
+        bench.iter(|| {
+            let mut m = spd.clone();
+            cholesky_blocked(&mut m, b).unwrap();
+            m
+        })
+    });
+    group.bench_function("lu_blocked_256", |bench| {
+        bench.iter(|| lu_blocked(&a, b).unwrap())
+    });
+    group.bench_function("qr_blocked_256", |bench| {
+        bench.iter(|| qr_blocked(&a, b))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table 1: theoretical ABFT fault coverage of the TMU operation at iterations 5, 10 and
+//! 15 of the LU decomposition, for GPU clocks 1800-2200 MHz.
+
+use bsr_abft::coverage::{fc_full, fc_single, num_protected_blocks, FULL_COVERAGE_THRESHOLD};
+use bsr_bench::header;
+use bsr_sched::workload::{Decomposition, Op, Workload};
+use hetero_sim::freq::MHz;
+use hetero_sim::guardband::Guardband;
+use hetero_sim::platform::Platform;
+use hetero_sim::throughput::{KernelClass, Precision};
+
+fn coverage_label(fc: f64) -> String {
+    if fc > FULL_COVERAGE_THRESHOLD {
+        "Full Coverage".to_string()
+    } else {
+        format!("{:.2}%", fc * 100.0)
+    }
+}
+
+fn main() {
+    header("Table 1: ABFT fault coverage of LU TMU (n = 30720, b = 512)");
+    let platform = Platform::paper_default();
+    let w = Workload::new_f64(Decomposition::Lu, 30720, 512);
+    let s = num_protected_blocks(w.n, w.block);
+    let freqs = [1800.0, 1900.0, 2000.0, 2100.0, 2200.0];
+    println!(
+        "{:>5} {:>8} | {}",
+        "iter",
+        "ABFT",
+        freqs.map(|f| format!("{:>14}", format!("{f:.0} MHz"))).join(" ")
+    );
+    for k in [5usize, 10, 15] {
+        let tmu_flops = w.flops(Op::TrailingUpdate, k);
+        for (scheme, name) in [(false, "Single"), (true, "Full")] {
+            let cells: Vec<String> = freqs
+                .iter()
+                .map(|&f| {
+                    let t = platform.gpu.throughput.exec_time_s(
+                        tmu_flops,
+                        KernelClass::TrailingUpdate,
+                        Precision::Double,
+                        MHz(f),
+                    );
+                    let fc = if scheme {
+                        fc_full(&platform.gpu.sdc, MHz(f), Guardband::Optimized, t, s)
+                    } else {
+                        fc_single(&platform.gpu.sdc, MHz(f), Guardband::Optimized, t, s)
+                    };
+                    let label = if f <= platform.gpu.sdc.fault_free_max.0 {
+                        "Fault-free".to_string()
+                    } else {
+                        coverage_label(fc)
+                    };
+                    format!("{label:>14}")
+                })
+                .collect();
+            println!("{k:>5} {name:>8} | {}", cells.join(" "));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Table 2: ratios of the time complexity of PD, PU, TMU, data transfer and checksum work
+//! between iteration k and k+1, for Cholesky, LU and QR.
+
+use bsr_bench::header;
+use bsr_sched::ratios::{model_ratio, table2};
+
+fn main() {
+    let (n, b) = (30720usize, 512usize);
+    for k in [5usize, 30] {
+        header(&format!("Table 2: complexity ratios between iterations {k} and {} (n={n}, b={b})", k + 1));
+        println!(
+            "{:<12} {:<6} {:>14} {:>14} {:>16} {:>16}",
+            "decomp", "op", "computation", "data transfer", "checksum verif", "model cross-check"
+        );
+        for row in table2(n, b, k) {
+            let model = model_ratio(row.decomposition, row.op, n, b, k);
+            println!(
+                "{:<12} {:<6} {:>14.4} {:>14} {:>16.4} {:>16.4}",
+                row.decomposition.label(),
+                row.op.label(),
+                row.computation,
+                row.data_transfer.map(|v| format!("{v:.4}")).unwrap_or_else(|| "N/A".into()),
+                row.checksum_verification,
+                model,
+            );
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Analytic-mode driver: paper-scale runs on the simulated platform.
+//!
+//! The analytic driver walks the blocked factorization iteration by iteration without
+//! touching matrix data: task durations come from flop counts and the device throughput
+//! models, energy from the device power models, and SDC events from the Poisson error
+//! model. This is how the paper-scale experiments (n = 30720) are reproduced — the actual
+//! numerics at that size are neither feasible nor necessary, because every decision the
+//! paper evaluates (slack prediction, DVFS settings, overclocking, ABFT strength) depends
+//! only on task *timing*, *power* and *error rates*.
+//!
+//! The numeric-mode driver ([`crate::numeric`]) reuses the exact same per-iteration
+//! stepping and layers real kernels, checksums and fault injection on top.
+
+use crate::config::{AbftMode, PredictorKind, RunConfig};
+use crate::report::RunReport;
+use crate::trace::{IterationTiming, IterationTrace, SdcEvent};
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_abft::coverage::num_protected_blocks;
+use bsr_abft::overhead;
+use bsr_sched::predict::{EnhancedPredictor, FirstIterationPredictor, SlackPredictor};
+use bsr_sched::strategy::{plan_iteration_with_override, IterationPlan, Strategy, TaskPredictions};
+use bsr_sched::workload::Op;
+use hetero_sim::device::DeviceKind;
+use hetero_sim::guardband::Guardband;
+use hetero_sim::platform::Platform;
+use hetero_sim::power::Activity;
+use hetero_sim::sdc::ErrorPattern;
+use hetero_sim::throughput::{KernelClass, Precision};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Analytic-mode hybrid factorization driver.
+pub struct AnalyticDriver {
+    cfg: RunConfig,
+    platform: Platform,
+    predictor: Box<dyn SlackPredictor>,
+    rng: ChaCha8Rng,
+    traces: Vec<IterationTrace>,
+}
+
+impl AnalyticDriver {
+    /// Create a driver for the given configuration.
+    pub fn new(cfg: RunConfig) -> Self {
+        let platform = cfg.platform.build();
+        let predictor: Box<dyn SlackPredictor> = match cfg.predictor {
+            PredictorKind::FirstIteration => Box::new(FirstIterationPredictor::new(cfg.workload)),
+            PredictorKind::Enhanced => Box::new(EnhancedPredictor::new(cfg.workload)),
+        };
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        Self { cfg, platform, predictor, rng, traces: Vec::new() }
+    }
+
+    /// The floating point precision of the workload.
+    fn precision(&self) -> Precision {
+        if self.cfg.workload.element_bytes == 4 {
+            Precision::Single
+        } else {
+            Precision::Double
+        }
+    }
+
+    /// Efficiency loss of GPU kernels on small trailing matrices: real BLAS-3 kernels
+    /// underutilize the device once the active matrix shrinks to a few panels. This drift
+    /// is what degrades the first-iteration predictor of GreenLA (paper Figure 8).
+    fn gpu_size_efficiency(&self, k: usize) -> f64 {
+        let r = self.cfg.workload.remaining_size(k) as f64;
+        let b = self.cfg.workload.block as f64;
+        if r <= 0.0 {
+            1.0
+        } else {
+            (r / (r + 0.5 * b)).max(0.05)
+        }
+    }
+
+    /// Plan the upcoming iteration from the predictor state (base-frequency predictions).
+    fn plan(&self, k: usize) -> IterationPlan {
+        let preds = TaskPredictions::from_predictor(self.predictor.as_ref(), k);
+        let protected =
+            num_protected_blocks(self.cfg.workload.n, self.cfg.workload.block);
+        let override_scheme = match self.cfg.abft_mode {
+            AbftMode::Adaptive => None,
+            AbftMode::Forced(scheme) => Some(scheme),
+        };
+        match preds {
+            Some(p) if k > 0 => plan_iteration_with_override(
+                self.cfg.strategy,
+                p,
+                &self.platform.cpu,
+                &self.platform.gpu,
+                protected,
+                override_scheme,
+            ),
+            _ => {
+                // Profiling iteration (or missing data): run at base clocks. BSR already
+                // applies the optimized guardband (Algorithm 2 applies it up front).
+                let gb = if self.cfg.strategy.uses_optimized_guardband() {
+                    Guardband::Optimized
+                } else {
+                    Guardband::Default
+                };
+                IterationPlan {
+                    cpu_freq: self.platform.cpu.base_freq,
+                    gpu_freq: self.platform.gpu.base_freq,
+                    adjust_cpu: true,
+                    adjust_gpu: true,
+                    cpu_guardband: gb,
+                    gpu_guardband: gb,
+                    abft: override_scheme.unwrap_or(ChecksumScheme::None),
+                    halt_during_slack: matches!(self.cfg.strategy, Strategy::RaceToHalt),
+                    predicted_slack_s: 0.0,
+                    coverage: 1.0,
+                }
+            }
+        }
+    }
+
+    /// Execute one iteration: apply the plan, synthesize task times, account energy,
+    /// sample SDC events, update the predictor, and return the trace.
+    pub fn step(&mut self, k: usize) -> IterationTrace {
+        let plan = self.plan(k);
+        let w = self.cfg.workload;
+        let precision = self.precision();
+
+        // Apply guardbands and frequencies (charging DVFS latency when a change happens).
+        self.platform.cpu.set_guardband(plan.cpu_guardband);
+        self.platform.gpu.set_guardband(plan.gpu_guardband);
+        let mut dvfs_s = 0.0;
+        if plan.adjust_cpu {
+            dvfs_s += self.platform.cpu.set_frequency(plan.cpu_freq);
+        }
+        if plan.adjust_gpu {
+            dvfs_s += self.platform.gpu.set_frequency(plan.gpu_freq);
+        }
+
+        // Task durations at the operating points now in force.
+        let gpu_eff = self.gpu_size_efficiency(k);
+        let pd_s = self
+            .platform
+            .cpu
+            .exec_time_s(w.cpu_flops(k), KernelClass::PanelFactor, precision);
+        let pu_s = self
+            .platform
+            .gpu
+            .exec_time_s(w.flops(Op::PanelUpdate, k), KernelClass::PanelUpdate, precision)
+            / gpu_eff;
+        let tmu_s = self
+            .platform
+            .gpu
+            .exec_time_s(w.flops(Op::TrailingUpdate, k), KernelClass::TrailingUpdate, precision)
+            / gpu_eff;
+        let transfer_s = self
+            .platform
+            .pcie
+            .round_trip_time_s(w.transfer_bytes_one_way(k));
+
+        // ABFT overhead, charged to the GPU stream (encode the panel, update the trailing
+        // checksums through the GEMM, verify afterwards).
+        let abft_s = if plan.abft == ChecksumScheme::None {
+            0.0
+        } else {
+            let r = w.remaining_size(k);
+            let b = w.block;
+            let flops = overhead::encode_flops(r, b, plan.abft)
+                + overhead::update_gemm_flops(r, b, r, plan.abft)
+                + overhead::verify_flops(r, r, plan.abft);
+            self.platform
+                .gpu
+                .exec_time_s(flops, KernelClass::Checksum, precision)
+        };
+
+        // Concurrent streams and the resulting slack.
+        let cpu_stream = pd_s + transfer_s;
+        let gpu_stream = pu_s + tmu_s + abft_s;
+        let (cpu_slack_s, gpu_slack_s) = if gpu_stream >= cpu_stream {
+            (gpu_stream - cpu_stream, 0.0)
+        } else {
+            (0.0, cpu_stream - gpu_stream)
+        };
+
+        // Energy accounting.
+        let slack_activity = if plan.halt_during_slack { Activity::Halted } else { Activity::Idle };
+        let cpu_busy_j = self.platform.cpu.power_w(Activity::Busy) * pd_s;
+        let cpu_transfer_j = self.platform.cpu.power_w(Activity::Idle) * transfer_s
+            + self.platform.pcie.transfer_energy_j(transfer_s);
+        let cpu_slack_j = self.platform.cpu.power_w(slack_activity) * cpu_slack_s;
+        let cpu_dvfs_j = self.platform.cpu.power_w(Activity::Idle) * dvfs_s;
+        let cpu_energy_j = cpu_busy_j + cpu_transfer_j + cpu_slack_j + cpu_dvfs_j;
+
+        let gpu_busy_j = self.platform.gpu.power_w(Activity::Busy) * (pu_s + tmu_s + abft_s);
+        let gpu_slack_j = self.platform.gpu.power_w(slack_activity) * gpu_slack_s;
+        let gpu_dvfs_j = self.platform.gpu.power_w(Activity::Idle) * dvfs_s;
+        let gpu_energy_j = gpu_busy_j + gpu_slack_j + gpu_dvfs_j;
+
+        // SDC sampling over the GPU busy window at the current operating point.
+        let mut sdc_events = Vec::new();
+        if self.cfg.inject_faults {
+            let busy = pu_s + tmu_s + abft_s;
+            for pattern in ErrorPattern::ALL {
+                let count = self.platform.gpu.sdc.sample_errors(
+                    &mut self.rng,
+                    self.platform.gpu.current_freq(),
+                    self.platform.gpu.guardband(),
+                    pattern,
+                    busy,
+                );
+                for _ in 0..count {
+                    let corrected = match (pattern, plan.abft) {
+                        (ErrorPattern::ZeroD, ChecksumScheme::SingleSide | ChecksumScheme::Full) => true,
+                        (ErrorPattern::OneD, ChecksumScheme::Full) => true,
+                        _ => false,
+                    };
+                    sdc_events.push(SdcEvent { pattern, corrected });
+                }
+            }
+        }
+
+        // Feed the predictor with measurements normalized back to base frequency.
+        let cpu_norm = self.platform.cpu.current_freq().0 / self.platform.cpu.base_freq.0;
+        let gpu_norm = self.platform.gpu.current_freq().0 / self.platform.gpu.base_freq.0;
+        self.predictor.record(k, Op::PanelDecomposition, pd_s * cpu_norm);
+        self.predictor.record(k, Op::PanelUpdate, pu_s * gpu_norm);
+        self.predictor.record(k, Op::TrailingUpdate, tmu_s * gpu_norm);
+        self.predictor.record(k, Op::Transfer, transfer_s);
+
+        let timing = IterationTiming {
+            pd_s,
+            pu_s,
+            tmu_s,
+            transfer_s,
+            abft_s,
+            dvfs_s,
+            cpu_slack_s,
+            gpu_slack_s,
+        };
+        let actual_slack = gpu_stream - cpu_stream;
+        let trace = IterationTrace {
+            k,
+            cpu_freq: self.platform.cpu.current_freq(),
+            gpu_freq: self.platform.gpu.current_freq(),
+            abft: plan.abft,
+            timing,
+            cpu_energy_j,
+            gpu_energy_j,
+            predicted_slack_s: plan.predicted_slack_s,
+            actual_slack_s: actual_slack,
+            sdc_events,
+        };
+        self.traces.push(trace.clone());
+        trace
+    }
+
+    /// Run the whole factorization and produce the report.
+    pub fn run(mut self) -> RunReport {
+        let iterations = self.cfg.workload.iterations();
+        for k in 0..iterations {
+            self.step(k);
+        }
+        self.into_report()
+    }
+
+    /// Finish: aggregate the recorded traces into a [`RunReport`].
+    pub fn into_report(self) -> RunReport {
+        let total_time_s: f64 = self.traces.iter().map(|t| t.timing.span_s()).sum();
+        let cpu_energy_j: f64 = self.traces.iter().map(|t| t.cpu_energy_j).sum();
+        let gpu_energy_j: f64 = self.traces.iter().map(|t| t.gpu_energy_j).sum();
+        let gpu_busy: f64 = self
+            .traces
+            .iter()
+            .map(|t| t.timing.pu_s + t.timing.tmu_s + t.timing.abft_s)
+            .sum();
+        let abft: f64 = self.traces.iter().map(|t| t.timing.abft_s).sum();
+        let sdc_events: usize = self.traces.iter().map(|t| t.sdc_events.len()).sum();
+        let sdc_corrected: usize = self
+            .traces
+            .iter()
+            .map(|t| t.sdc_events.iter().filter(|e| e.corrected).count())
+            .sum();
+        let total_flops = self.cfg.workload.decomposition.total_flops(self.cfg.workload.n);
+        RunReport {
+            workload: self.cfg.workload,
+            strategy: self.cfg.strategy,
+            total_time_s,
+            cpu_energy_j,
+            gpu_energy_j,
+            gflops: total_flops / total_time_s / 1.0e9,
+            abft_overhead_fraction: if gpu_busy > 0.0 { abft / gpu_busy } else { 0.0 },
+            sdc_events,
+            sdc_corrected,
+            correct: sdc_events == sdc_corrected,
+            iterations: self.traces,
+        }
+    }
+
+    /// Access the traces recorded so far (useful when stepping manually).
+    pub fn traces(&self) -> &[IterationTrace] {
+        &self.traces
+    }
+
+    /// Access the platform (e.g. to inspect current operating points in tests).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Which device currently holds the critical path according to the last trace.
+    pub fn critical_device(&self) -> Option<DeviceKind> {
+        self.traces.last().map(|t| {
+            if t.timing.cpu_slack_s > 0.0 {
+                DeviceKind::Gpu
+            } else {
+                DeviceKind::Cpu
+            }
+        })
+    }
+}
+
+/// Convenience: run a configuration end to end.
+pub fn run(cfg: RunConfig) -> RunReport {
+    AnalyticDriver::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::compare;
+    use bsr_sched::strategy::BsrConfig;
+    use bsr_sched::workload::Decomposition;
+
+    fn cfg(strategy: Strategy) -> RunConfig {
+        RunConfig::paper_default(Decomposition::Lu, strategy)
+    }
+
+    #[test]
+    fn original_run_produces_sane_totals() {
+        let report = run(cfg(Strategy::Original));
+        assert_eq!(report.iterations.len(), 60);
+        assert!(report.total_time_s > 10.0 && report.total_time_s < 500.0);
+        assert!(report.gflops > 100.0 && report.gflops < 1000.0);
+        assert!(report.gpu_energy_j > report.cpu_energy_j);
+        assert!(report.correct, "no SDCs at default clocks");
+        assert_eq!(report.abft_overhead_fraction, 0.0);
+    }
+
+    #[test]
+    fn slack_starts_on_cpu_and_flips_to_gpu() {
+        let report = run(cfg(Strategy::Original));
+        let slack = report.slack_series();
+        assert!(slack[2] > 0.0, "early iterations: CPU idles (slack > 0)");
+        // Near the end of the factorization the slack flips to the GPU side (the final
+        // iteration itself is empty — only the last panel remains — so look at the tail
+        // excluding it).
+        let tail_min = slack[slack.len() - 12..slack.len() - 1]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(tail_min < 0.0, "late iterations must have GPU-side slack, got {slack:?}");
+        // The crossover happens in the back half of the factorization.
+        let crossover = slack.iter().position(|&s| s < 0.0).unwrap();
+        assert!(crossover > 30, "crossover too early: {crossover}");
+    }
+
+    #[test]
+    fn strategy_energy_ordering_matches_the_paper() {
+        let original = run(cfg(Strategy::Original));
+        let r2h = run(cfg(Strategy::RaceToHalt));
+        let sr = run(cfg(Strategy::SlackReclamation));
+        let bsr = run(cfg(Strategy::Bsr(BsrConfig::max_energy_saving())));
+
+        let e_orig = original.total_energy_j();
+        let e_r2h = r2h.total_energy_j();
+        let e_sr = sr.total_energy_j();
+        let e_bsr = bsr.total_energy_j();
+        assert!(e_r2h < e_orig, "R2H must save energy over Original");
+        assert!(e_sr < e_r2h, "SR must save more than R2H");
+        assert!(e_bsr < e_sr, "BSR must save more than SR");
+
+        // Magnitudes in the ballpark of the paper (BSR ~28%, SR ~15-20%, R2H ~10-15%).
+        let c_bsr = compare(&bsr, &original);
+        assert!(c_bsr.energy_saving > 0.15 && c_bsr.energy_saving < 0.45,
+            "BSR saving {:.3} out of expected band", c_bsr.energy_saving);
+
+        // None of the energy-saving strategies may degrade performance materially.
+        assert!(r2h.total_time_s < original.total_time_s * 1.02);
+        assert!(sr.total_time_s < original.total_time_s * 1.02);
+        assert!(bsr.total_time_s < original.total_time_s * 1.02);
+    }
+
+    #[test]
+    fn bsr_with_higher_ratio_is_faster() {
+        let slow = run(cfg(Strategy::Bsr(BsrConfig::with_ratio(0.0))));
+        let fast = run(cfg(Strategy::Bsr(BsrConfig::with_ratio(0.25))));
+        assert!(fast.total_time_s < slow.total_time_s);
+        assert!(fast.correct, "ABFT must keep the overclocked run correct");
+        // Overclocking into the SDC region requires ABFT in at least some iterations.
+        if fast.sdc_events > 0 {
+            assert_eq!(fast.sdc_events, fast.sdc_corrected);
+        }
+    }
+
+    #[test]
+    fn enhanced_predictor_beats_first_iteration_predictor() {
+        let enhanced = run(cfg(Strategy::Original).with_predictor(PredictorKind::Enhanced));
+        let first = run(cfg(Strategy::Original).with_predictor(PredictorKind::FirstIteration));
+        let e_err = enhanced.mean_slack_prediction_error();
+        let f_err = first.mean_slack_prediction_error();
+        assert!(
+            e_err < f_err,
+            "enhanced predictor error {e_err:.4} must be below first-iteration {f_err:.4}"
+        );
+    }
+
+    #[test]
+    fn small_problems_still_run() {
+        let report = run(RunConfig::small(
+            Decomposition::Cholesky,
+            1024,
+            128,
+            Strategy::Bsr(BsrConfig::with_ratio(0.1)),
+        ));
+        assert_eq!(report.iterations.len(), 8);
+        assert!(report.total_time_s > 0.0);
+    }
+
+    #[test]
+    fn stepping_manually_matches_run() {
+        let mut driver = AnalyticDriver::new(cfg(Strategy::Original));
+        for k in 0..60 {
+            driver.step(k);
+        }
+        assert_eq!(driver.traces().len(), 60);
+        assert!(driver.critical_device().is_some());
+        let report = driver.into_report();
+        let reference = run(cfg(Strategy::Original));
+        assert!((report.total_time_s - reference.total_time_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! Run configuration for the energy-aware factorization framework.
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_sched::strategy::Strategy;
+use bsr_sched::workload::{Decomposition, Workload};
+use hetero_sim::platform::PlatformConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which slack predictor drives the per-iteration planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// GreenLA \[7\]: profile the first iteration, scale by complexity ratios.
+    FirstIteration,
+    /// The paper's enhanced weighted-neighbour predictor (default).
+    Enhanced,
+}
+
+/// How the ABFT scheme of each iteration is chosen (paper Figure 9 compares these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbftMode {
+    /// The adaptive strategy of Algorithm 1 (the paper's contribution): enable the
+    /// cheapest sufficient scheme only when the operating point can produce SDCs.
+    Adaptive,
+    /// Force one scheme for the entire run regardless of the operating point
+    /// (the "No FT" / "Single-side ABFT" / "Full ABFT" baselines of Figure 9).
+    Forced(ChecksumScheme),
+}
+
+/// Complete configuration of one simulated factorization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Problem: decomposition, size, block size, precision.
+    pub workload: Workload,
+    /// Energy-saving strategy to apply.
+    pub strategy: Strategy,
+    /// Platform calibration (defaults to the paper's Table 3 system).
+    pub platform: PlatformConfig,
+    /// Slack predictor.
+    pub predictor: PredictorKind,
+    /// Seed for SDC sampling and fault injection.
+    pub seed: u64,
+    /// Whether SDC events are sampled at all (disable for purely deterministic timing
+    /// studies).
+    pub inject_faults: bool,
+    /// How the per-iteration ABFT scheme is chosen.
+    pub abft_mode: AbftMode,
+}
+
+impl RunConfig {
+    /// Configuration matching the paper's headline experiments: fp64, n = 30720,
+    /// block size 512, enhanced predictor, paper platform.
+    pub fn paper_default(decomposition: Decomposition, strategy: Strategy) -> Self {
+        Self {
+            workload: Workload::new_f64(decomposition, 30720, 512),
+            strategy,
+            platform: PlatformConfig::paper_default(),
+            predictor: PredictorKind::Enhanced,
+            seed: 0x5eed,
+            inject_faults: true,
+            abft_mode: AbftMode::Adaptive,
+        }
+    }
+
+    /// Small configuration suitable for numeric-mode runs and tests.
+    pub fn small(decomposition: Decomposition, n: usize, block: usize, strategy: Strategy) -> Self {
+        Self {
+            workload: Workload::new_f64(decomposition, n, block),
+            strategy,
+            platform: PlatformConfig::paper_default(),
+            predictor: PredictorKind::Enhanced,
+            seed: 0x5eed,
+            inject_faults: true,
+            abft_mode: AbftMode::Adaptive,
+        }
+    }
+
+    /// Builder-style: force or un-force the ABFT scheme.
+    pub fn with_abft_mode(mut self, mode: AbftMode) -> Self {
+        self.abft_mode = mode;
+        self
+    }
+
+    /// Builder-style: replace the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style: replace the predictor.
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Builder-style: replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: enable/disable SDC sampling.
+    pub fn with_fault_injection(mut self, inject: bool) -> Self {
+        self.inject_faults = inject;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_headline_configuration() {
+        let cfg = RunConfig::paper_default(Decomposition::Lu, Strategy::Original);
+        assert_eq!(cfg.workload.n, 30720);
+        assert_eq!(cfg.workload.block, 512);
+        assert_eq!(cfg.workload.iterations(), 60);
+        assert_eq!(cfg.predictor, PredictorKind::Enhanced);
+        assert!(cfg.inject_faults);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = RunConfig::small(Decomposition::Cholesky, 512, 64, Strategy::Original)
+            .with_strategy(Strategy::RaceToHalt)
+            .with_seed(7)
+            .with_predictor(PredictorKind::FirstIteration)
+            .with_fault_injection(false);
+        assert_eq!(cfg.strategy, Strategy::RaceToHalt);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.predictor, PredictorKind::FirstIteration);
+        assert!(!cfg.inject_faults);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = RunConfig::paper_default(Decomposition::Qr, Strategy::SlackReclamation);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workload.n, 30720);
+        assert_eq!(back.strategy, Strategy::SlackReclamation);
+    }
+}

@@ -1,0 +1,61 @@
+//! # bsr-core
+//!
+//! Energy-aware one-sided matrix decompositions on a (simulated) CPU-GPU heterogeneous
+//! system — the top-level framework of the PPoPP'23 *BSR / ABFT-OC* reproduction.
+//!
+//! The crate ties the substrates together:
+//!
+//! * `hetero-sim` provides the simulated platform (devices, DVFS, guardbands, power,
+//!   SDC model);
+//! * `bsr-linalg` provides the blocked Cholesky/LU/QR kernels;
+//! * `bsr-abft` provides checksums, fault coverage and the adaptive ABFT-OC strategy;
+//! * `bsr-sched` provides slack prediction and the Original/R2H/SR/BSR planners.
+//!
+//! Two execution modes are offered:
+//!
+//! * [`analytic::run`] — paper-scale runs (n = 30720) where task times, energy and SDC
+//!   events come from the calibrated models; used for every timing/energy figure;
+//! * [`numeric::run_numeric`] — real factorizations at moderate sizes with physical fault
+//!   injection and checksum correction; used for the reliability demonstrations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bsr_core::prelude::*;
+//!
+//! // Simulate double-precision LU (n = 16384, block 512) under BSR with r = 0.
+//! let cfg = RunConfig::small(Decomposition::Lu, 16384, 512, Strategy::Bsr(BsrConfig::default()));
+//! let bsr = run(cfg.clone());
+//! let original = run(cfg.with_strategy(Strategy::Original));
+//! let cmp = compare(&bsr, &original);
+//! assert!(cmp.energy_saving > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod config;
+pub mod numeric;
+pub mod pareto;
+pub mod reliability;
+pub mod report;
+pub mod trace;
+
+pub use analytic::AnalyticDriver;
+pub use config::{AbftMode, PredictorKind, RunConfig};
+pub use numeric::{run_numeric, run_numeric_on, NumericRunReport};
+pub use report::{compare, Comparison, RunReport};
+
+/// Convenient re-exports for applications using the framework.
+pub mod prelude {
+    pub use crate::analytic::run;
+    pub use crate::config::{AbftMode, PredictorKind, RunConfig};
+    pub use crate::numeric::{run_numeric, NumericRunReport};
+    pub use crate::pareto::{pareto_front, sweep_reclamation_ratio};
+    pub use crate::reliability::{estimate_reliability, monte_carlo_reliability};
+    pub use crate::report::{compare, format_comparison_table, Comparison, RunReport};
+    pub use bsr_abft::checksum::ChecksumScheme;
+    pub use bsr_sched::strategy::{BsrConfig, Strategy};
+    pub use bsr_sched::workload::{Decomposition, Workload};
+    pub use hetero_sim::platform::{Platform, PlatformConfig};
+}

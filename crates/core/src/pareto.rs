@@ -1,0 +1,119 @@
+//! Performance–energy trade-off sweeps (paper Figure 11).
+//!
+//! BSR's reclamation ratio `r` controls how much of the slack is spent speeding up the
+//! critical path (performance) versus slowing the non-critical path (energy). Sweeping
+//! `r` produces the Pareto set of Figure 11; this module runs the sweep and extracts the
+//! non-dominated points.
+
+use crate::analytic::run;
+use crate::config::RunConfig;
+use crate::report::RunReport;
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// One point of the trade-off sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Reclamation ratio used.
+    pub reclamation_ratio: f64,
+    /// Achieved performance (Gflop/s).
+    pub gflops: f64,
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// End-to-end time (s).
+    pub time_s: f64,
+}
+
+/// Sweep BSR over the given reclamation ratios (the rest of `base` is reused verbatim).
+pub fn sweep_reclamation_ratio(base: &RunConfig, ratios: &[f64]) -> Vec<(TradeoffPoint, RunReport)> {
+    ratios
+        .iter()
+        .map(|&r| {
+            let cfg = base.clone().with_strategy(Strategy::Bsr(BsrConfig::with_ratio(r)));
+            let report = run(cfg);
+            (
+                TradeoffPoint {
+                    reclamation_ratio: r,
+                    gflops: report.gflops,
+                    energy_j: report.total_energy_j(),
+                    time_s: report.total_time_s,
+                },
+                report,
+            )
+        })
+        .collect()
+}
+
+/// The default ratio grid used by the paper's Figure 11 (0 to 0.3 in steps of 0.05).
+pub fn paper_ratio_grid() -> Vec<f64> {
+    (0..=6).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Indices of the Pareto-efficient points: no other point has both higher performance and
+/// lower energy.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<usize> {
+    let mut front = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let dominated = points.iter().enumerate().any(|(j, q)| {
+            j != i
+                && q.gflops >= p.gflops
+                && q.energy_j <= p.energy_j
+                && (q.gflops > p.gflops || q.energy_j < p.energy_j)
+        });
+        if !dominated {
+            front.push(i);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsr_sched::workload::Decomposition;
+
+    #[test]
+    fn higher_ratio_trades_energy_for_performance() {
+        let base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+            .with_fault_injection(false);
+        let sweep = sweep_reclamation_ratio(&base, &[0.0, 0.25]);
+        let (lo, _) = &sweep[0];
+        let (hi, _) = &sweep[1];
+        assert!(hi.gflops > lo.gflops, "larger r must improve performance");
+        assert!(hi.energy_j >= lo.energy_j * 0.98, "larger r must not save more energy");
+        assert!(hi.time_s < lo.time_s);
+    }
+
+    #[test]
+    fn pareto_front_excludes_dominated_points() {
+        let points = vec![
+            TradeoffPoint { reclamation_ratio: 0.0, gflops: 300.0, energy_j: 5000.0, time_s: 60.0 },
+            TradeoffPoint { reclamation_ratio: 0.1, gflops: 320.0, energy_j: 5200.0, time_s: 56.0 },
+            // Dominated: slower AND more energy than the first point.
+            TradeoffPoint { reclamation_ratio: 0.2, gflops: 290.0, energy_j: 5300.0, time_s: 62.0 },
+        ];
+        let front = pareto_front(&points);
+        assert!(front.contains(&0));
+        assert!(front.contains(&1));
+        assert!(!front.contains(&2));
+    }
+
+    #[test]
+    fn paper_grid_covers_zero_to_point_three() {
+        let grid = paper_ratio_grid();
+        assert_eq!(grid.len(), 7);
+        assert_eq!(grid[0], 0.0);
+        assert!((grid[6] - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_points_form_a_mostly_pareto_set() {
+        let base = RunConfig::paper_default(Decomposition::Cholesky, Strategy::Original)
+            .with_fault_injection(false);
+        let sweep = sweep_reclamation_ratio(&base, &[0.0, 0.1, 0.2]);
+        let points: Vec<TradeoffPoint> = sweep.iter().map(|(p, _)| p.clone()).collect();
+        let front = pareto_front(&points);
+        // At least two of the three sweep points must be Pareto-efficient.
+        assert!(front.len() >= 2, "front: {front:?}, points: {points:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Reliability estimation (paper Figure 9).
+//!
+//! Figure 9 reports, for double-precision LU with BSR at `r = 0.25`, the probability that
+//! the decomposition finishes with a correct result and the fault-tolerance overhead, for
+//! four configurations: no fault tolerance, always-on single-side ABFT, always-on full
+//! ABFT, and the adaptive ABFT of Algorithm 1. The paper estimates the probability by
+//! repeating the run 100 000 times; this module provides both
+//!
+//! * an **analytic estimate** — the product over iterations of the fault coverage at each
+//!   iteration's operating point (exact under the Poisson model, instant to compute), and
+//! * a **Monte-Carlo estimate** — repeated analytic-mode runs with sampled SDC events,
+//!   mirroring the paper's methodology.
+
+use crate::analytic::AnalyticDriver;
+use crate::config::{AbftMode, RunConfig};
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_abft::coverage::{fc_full, fc_single, num_protected_blocks};
+use hetero_sim::sdc::ErrorPattern;
+use serde::{Deserialize, Serialize};
+
+/// Reliability + overhead summary of one ABFT configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Label of the configuration ("No FT", "Single-ABFT", "Full-ABFT", "Adaptive ABFT").
+    pub label: String,
+    /// Probability that the whole factorization completes with a correct result.
+    pub correctness_probability: f64,
+    /// Fault-tolerance overhead: extra GPU time relative to the unprotected run.
+    pub overhead_fraction: f64,
+}
+
+/// Analytic correctness estimate for a configuration: run the timing simulation once
+/// (without random sampling) and multiply the per-iteration coverage of the scheme that
+/// was active at each iteration's operating point.
+pub fn estimate_reliability(cfg: RunConfig, label: &str) -> ReliabilityReport {
+    let workload = cfg.workload;
+    let blocks = num_protected_blocks(workload.n, workload.block);
+    let driver_cfg = cfg.clone().with_fault_injection(false);
+    let platform = driver_cfg.platform.build();
+    let sdc = platform.gpu.sdc.clone();
+
+    let mut driver = AnalyticDriver::new(driver_cfg);
+    let mut p_correct = 1.0;
+    let mut abft_time = 0.0;
+    let mut gpu_busy = 0.0;
+    for k in 0..workload.iterations() {
+        let trace = driver.step(k);
+        let busy = trace.timing.pu_s + trace.timing.tmu_s + trace.timing.abft_s;
+        gpu_busy += busy;
+        abft_time += trace.timing.abft_s;
+        let gb = {
+            // The guardband in force is implied by the strategy; read it off the platform.
+            driver.platform().gpu.guardband()
+        };
+        let p_iter = match trace.abft {
+            ChecksumScheme::None => {
+                // Correct only if no error of any kind strikes.
+                let mut lambda_t = 0.0;
+                for pattern in ErrorPattern::ALL {
+                    lambda_t += sdc.expected_errors(trace.gpu_freq, gb, pattern, busy);
+                }
+                (-lambda_t).exp()
+            }
+            ChecksumScheme::SingleSide => fc_single(&sdc, trace.gpu_freq, gb, busy, blocks),
+            ChecksumScheme::Full => fc_full(&sdc, trace.gpu_freq, gb, busy, blocks),
+        };
+        p_correct *= p_iter;
+    }
+    let base_gpu_busy = gpu_busy - abft_time;
+    ReliabilityReport {
+        label: label.to_string(),
+        correctness_probability: p_correct,
+        overhead_fraction: if base_gpu_busy > 0.0 { abft_time / base_gpu_busy } else { 0.0 },
+    }
+}
+
+/// Monte-Carlo correctness estimate: run the sampled timing simulation `trials` times with
+/// different seeds and count the runs where every sampled SDC event was corrected.
+pub fn monte_carlo_reliability(cfg: RunConfig, label: &str, trials: usize) -> ReliabilityReport {
+    assert!(trials > 0);
+    let mut correct = 0usize;
+    let mut abft_fraction = 0.0;
+    for trial in 0..trials {
+        let trial_cfg = cfg.clone().with_seed(cfg.seed.wrapping_add(trial as u64 * 7919));
+        let report = AnalyticDriver::new(trial_cfg).run();
+        if report.correct {
+            correct += 1;
+        }
+        abft_fraction += report.abft_overhead_fraction;
+    }
+    ReliabilityReport {
+        label: label.to_string(),
+        correctness_probability: correct as f64 / trials as f64,
+        overhead_fraction: abft_fraction / trials as f64,
+    }
+}
+
+/// The four configurations of Figure 9, in the paper's order.
+pub fn figure9_configurations(base: RunConfig) -> Vec<(String, RunConfig)> {
+    vec![
+        ("No FT".to_string(), base.clone().with_abft_mode(AbftMode::Forced(ChecksumScheme::None))),
+        (
+            "Single-ABFT".to_string(),
+            base.clone().with_abft_mode(AbftMode::Forced(ChecksumScheme::SingleSide)),
+        ),
+        (
+            "Full-ABFT".to_string(),
+            base.clone().with_abft_mode(AbftMode::Forced(ChecksumScheme::Full)),
+        ),
+        ("Adaptive ABFT".to_string(), base.with_abft_mode(AbftMode::Adaptive)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsr_sched::strategy::{BsrConfig, Strategy};
+    use bsr_sched::workload::Decomposition;
+
+    fn base() -> RunConfig {
+        RunConfig::paper_default(Decomposition::Lu, Strategy::Bsr(BsrConfig::with_ratio(0.25)))
+    }
+
+    #[test]
+    fn figure9_ordering_no_ft_worst_full_and_adaptive_best() {
+        let configs = figure9_configurations(base());
+        let reports: Vec<ReliabilityReport> = configs
+            .into_iter()
+            .map(|(label, cfg)| estimate_reliability(cfg, &label))
+            .collect();
+        let by_label = |l: &str| reports.iter().find(|r| r.label == l).unwrap();
+        let no_ft = by_label("No FT");
+        let single = by_label("Single-ABFT");
+        let full = by_label("Full-ABFT");
+        let adaptive = by_label("Adaptive ABFT");
+
+        // Correctness: No FT < Single < Full ≈ Adaptive ≈ 1 (paper: 23% / 76% / 100% / 100%).
+        assert!(no_ft.correctness_probability < single.correctness_probability);
+        assert!(single.correctness_probability <= full.correctness_probability + 1e-12);
+        assert!(full.correctness_probability > 0.999);
+        assert!(adaptive.correctness_probability > 0.999);
+        assert!(no_ft.correctness_probability < 0.9, "No FT must be clearly unreliable");
+
+        // Overhead: none < adaptive < single < full (paper: 0% / 4% / 8% / 12%).
+        assert_eq!(no_ft.overhead_fraction, 0.0);
+        assert!(adaptive.overhead_fraction > 0.0);
+        assert!(adaptive.overhead_fraction < single.overhead_fraction);
+        assert!(single.overhead_fraction < full.overhead_fraction);
+        assert!(full.overhead_fraction < 0.25, "full-ABFT overhead should stay moderate");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic_estimate_qualitatively() {
+        let no_ft = base().with_abft_mode(AbftMode::Forced(ChecksumScheme::None));
+        let adaptive = base();
+        let mc_no_ft = monte_carlo_reliability(no_ft, "No FT", 40);
+        let mc_adaptive = monte_carlo_reliability(adaptive, "Adaptive", 40);
+        assert!(mc_adaptive.correctness_probability >= mc_no_ft.correctness_probability);
+        assert!(mc_adaptive.correctness_probability > 0.9);
+    }
+
+    #[test]
+    fn original_strategy_is_always_reliable() {
+        let cfg = RunConfig::paper_default(Decomposition::Lu, Strategy::Original);
+        let rep = estimate_reliability(cfg, "Original");
+        assert_eq!(rep.correctness_probability, 1.0);
+        assert_eq!(rep.overhead_fraction, 0.0);
+    }
+}

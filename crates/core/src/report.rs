@@ -1,0 +1,171 @@
+//! Run reports and cross-strategy comparisons.
+//!
+//! A [`RunReport`] summarizes one simulated factorization; [`compare`] computes the
+//! energy-saving, performance and `Energy × Delay²` (ED2P) metrics the paper reports in
+//! Figures 11-13.
+
+use crate::trace::IterationTrace;
+use bsr_sched::strategy::Strategy;
+use bsr_sched::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one simulated factorization run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Problem configuration.
+    pub workload: Workload,
+    /// Strategy that produced this run.
+    pub strategy: Strategy,
+    /// End-to-end execution time (s).
+    pub total_time_s: f64,
+    /// CPU package energy (J).
+    pub cpu_energy_j: f64,
+    /// GPU device energy (J).
+    pub gpu_energy_j: f64,
+    /// Achieved throughput (Gflop/s) over the whole factorization.
+    pub gflops: f64,
+    /// Fraction of GPU time spent on ABFT work.
+    pub abft_overhead_fraction: f64,
+    /// Number of SDC events sampled over the run.
+    pub sdc_events: usize,
+    /// Number of those events corrected by ABFT.
+    pub sdc_corrected: usize,
+    /// Whether the run finished with no uncorrected SDC (i.e. the result is trustworthy).
+    pub correct: bool,
+    /// Per-iteration traces.
+    pub iterations: Vec<IterationTrace>,
+}
+
+impl RunReport {
+    /// Total energy (CPU + GPU) in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.cpu_energy_j + self.gpu_energy_j
+    }
+
+    /// `Energy × Delay²` metric (J·s²), the paper's ED2P.
+    pub fn ed2p(&self) -> f64 {
+        self.total_energy_j() * self.total_time_s * self.total_time_s
+    }
+
+    /// Average relative slack-prediction error across iterations where it is defined.
+    pub fn mean_slack_prediction_error(&self) -> f64 {
+        let errors: Vec<f64> = self
+            .iterations
+            .iter()
+            .filter_map(|t| t.slack_prediction_error())
+            .collect();
+        if errors.is_empty() {
+            0.0
+        } else {
+            errors.iter().sum::<f64>() / errors.len() as f64
+        }
+    }
+
+    /// Signed per-iteration slack series (the paper's Figure 2).
+    pub fn slack_series(&self) -> Vec<f64> {
+        self.iterations.iter().map(|t| t.timing.signed_slack_s()).collect()
+    }
+}
+
+/// Relative comparison of a run against a baseline run (usually `Original`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Comparison {
+    /// `1 − E/E_baseline`: fraction of energy saved.
+    pub energy_saving: f64,
+    /// `T_baseline / T`: speedup over the baseline.
+    pub speedup: f64,
+    /// `1 − ED2P/ED2P_baseline`: ED2P reduction.
+    pub ed2p_reduction: f64,
+}
+
+/// Compare `run` against `baseline`.
+pub fn compare(run: &RunReport, baseline: &RunReport) -> Comparison {
+    Comparison {
+        energy_saving: 1.0 - run.total_energy_j() / baseline.total_energy_j(),
+        speedup: baseline.total_time_s / run.total_time_s,
+        ed2p_reduction: 1.0 - run.ed2p() / baseline.ed2p(),
+    }
+}
+
+/// Render a small fixed-width table of strategy comparisons (used by the bench harnesses
+/// to print figure data in a readable form).
+pub fn format_comparison_table(rows: &[(String, &RunReport, Comparison)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}\n",
+        "strategy", "time [s]", "energy [J]", "Gflop/s", "E-save", "speedup", "ED2P-red"
+    ));
+    for (name, report, cmp) in rows {
+        out.push_str(&format!(
+            "{:<14} {:>12.2} {:>12.0} {:>12.1} {:>9.1}% {:>10.3} {:>9.1}%\n",
+            name,
+            report.total_time_s,
+            report.total_energy_j(),
+            report.gflops,
+            cmp.energy_saving * 100.0,
+            cmp.speedup,
+            cmp.ed2p_reduction * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsr_sched::workload::Decomposition;
+
+    fn report(time: f64, cpu_j: f64, gpu_j: f64) -> RunReport {
+        RunReport {
+            workload: Workload::new_f64(Decomposition::Lu, 1024, 128),
+            strategy: Strategy::Original,
+            total_time_s: time,
+            cpu_energy_j: cpu_j,
+            gpu_energy_j: gpu_j,
+            gflops: Decomposition::Lu.total_flops(1024) / time / 1e9,
+            abft_overhead_fraction: 0.0,
+            sdc_events: 0,
+            sdc_corrected: 0,
+            correct: true,
+            iterations: vec![],
+        }
+    }
+
+    #[test]
+    fn totals_and_ed2p() {
+        let r = report(2.0, 100.0, 300.0);
+        assert_eq!(r.total_energy_j(), 400.0);
+        assert_eq!(r.ed2p(), 400.0 * 4.0);
+    }
+
+    #[test]
+    fn comparison_metrics() {
+        let baseline = report(2.0, 100.0, 300.0);
+        let better = report(1.8, 80.0, 240.0);
+        let c = compare(&better, &baseline);
+        assert!((c.energy_saving - 0.2).abs() < 1e-12);
+        assert!((c.speedup - 2.0 / 1.8).abs() < 1e-12);
+        assert!(c.ed2p_reduction > 0.3);
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let baseline = report(2.0, 100.0, 300.0);
+        let better = report(1.5, 90.0, 250.0);
+        let rows = vec![
+            ("Original".to_string(), &baseline, compare(&baseline, &baseline)),
+            ("BSR".to_string(), &better, compare(&better, &baseline)),
+        ];
+        let table = format_comparison_table(&rows);
+        assert!(table.contains("Original"));
+        assert!(table.contains("BSR"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_iteration_list_has_zero_prediction_error() {
+        let r = report(1.0, 1.0, 1.0);
+        assert_eq!(r.mean_slack_prediction_error(), 0.0);
+        assert!(r.slack_series().is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-iteration execution traces.
+//!
+//! Every simulated run records one [`IterationTrace`] per blocked iteration, carrying
+//! enough detail to regenerate the paper's per-iteration breakdowns (Figure 10), the
+//! slack profiles (Figure 2), the prediction-error curves (Figure 8) and the adaptive
+//! ABFT schedule (Figure 9).
+
+use bsr_abft::checksum::ChecksumScheme;
+use hetero_sim::freq::MHz;
+use hetero_sim::sdc::ErrorPattern;
+use serde::{Deserialize, Serialize};
+
+/// Timing breakdown of one iteration (seconds).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct IterationTiming {
+    /// CPU panel decomposition time.
+    pub pd_s: f64,
+    /// GPU panel update time.
+    pub pu_s: f64,
+    /// GPU trailing matrix update time.
+    pub tmu_s: f64,
+    /// Panel transfer round-trip time.
+    pub transfer_s: f64,
+    /// ABFT work (encode + update + verify) time, charged to the GPU.
+    pub abft_s: f64,
+    /// DVFS transition overhead applied this iteration (both devices).
+    pub dvfs_s: f64,
+    /// Idle (slack) time of the CPU in this iteration.
+    pub cpu_slack_s: f64,
+    /// Idle (slack) time of the GPU in this iteration.
+    pub gpu_slack_s: f64,
+}
+
+impl IterationTiming {
+    /// Wall-clock span of the iteration: the slower of the two concurrent streams.
+    pub fn span_s(&self) -> f64 {
+        let cpu_stream = self.pd_s + self.transfer_s + self.cpu_slack_s;
+        let gpu_stream = self.pu_s + self.tmu_s + self.abft_s + self.gpu_slack_s;
+        cpu_stream.max(gpu_stream) + self.dvfs_s
+    }
+
+    /// Signed slack: positive when the CPU idled, negative when the GPU idled
+    /// (the convention of the paper's Figure 2).
+    pub fn signed_slack_s(&self) -> f64 {
+        if self.cpu_slack_s >= self.gpu_slack_s {
+            self.cpu_slack_s
+        } else {
+            -self.gpu_slack_s
+        }
+    }
+}
+
+/// One SDC event observed (sampled) during an iteration and how ABFT handled it.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SdcEvent {
+    /// Error propagation pattern.
+    pub pattern: ErrorPattern,
+    /// Whether the active checksum scheme corrected it.
+    pub corrected: bool,
+}
+
+/// Full record of one blocked iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// Iteration index (0-based).
+    pub k: usize,
+    /// CPU clock used.
+    pub cpu_freq: MHz,
+    /// GPU clock used.
+    pub gpu_freq: MHz,
+    /// ABFT scheme in force.
+    pub abft: ChecksumScheme,
+    /// Timing breakdown.
+    pub timing: IterationTiming,
+    /// CPU energy of this iteration (J).
+    pub cpu_energy_j: f64,
+    /// GPU energy of this iteration (J).
+    pub gpu_energy_j: f64,
+    /// Slack predicted before the iteration ran (s, positive = CPU idles).
+    pub predicted_slack_s: f64,
+    /// Slack actually observed (s, same sign convention).
+    pub actual_slack_s: f64,
+    /// SDC events sampled during the iteration.
+    pub sdc_events: Vec<SdcEvent>,
+}
+
+impl IterationTrace {
+    /// Total energy of the iteration.
+    pub fn total_energy_j(&self) -> f64 {
+        self.cpu_energy_j + self.gpu_energy_j
+    }
+
+    /// Relative slack prediction error `|predicted − actual| / |actual|`.
+    ///
+    /// Around the slack-sign crossover the actual slack passes through zero, which would
+    /// make a pure relative error blow up even for a prediction that is off by a few
+    /// microseconds; the denominator is therefore floored at 5% of the iteration span
+    /// (returns `None` when the iteration is empty).
+    pub fn slack_prediction_error(&self) -> Option<f64> {
+        let denom = self.actual_slack_s.abs().max(0.05 * self.timing.span_s());
+        if denom < 1e-9 {
+            None
+        } else {
+            Some((self.predicted_slack_s - self.actual_slack_s).abs() / denom)
+        }
+    }
+
+    /// True when every sampled SDC event was corrected.
+    pub fn all_errors_corrected(&self) -> bool {
+        self.sdc_events.iter().all(|e| e.corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> IterationTiming {
+        IterationTiming {
+            pd_s: 0.5,
+            pu_s: 0.2,
+            tmu_s: 2.0,
+            transfer_s: 0.1,
+            abft_s: 0.05,
+            dvfs_s: 0.01,
+            cpu_slack_s: 1.65,
+            gpu_slack_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn span_is_the_slower_stream_plus_dvfs() {
+        let t = timing();
+        // CPU stream: 0.5 + 0.1 + 1.65 = 2.25; GPU stream: 2.25; + 0.01 DVFS
+        assert!((t.span_s() - 2.26).abs() < 1e-12);
+        assert!((t.signed_slack_s() - 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_slack_points_at_gpu() {
+        let t = IterationTiming { cpu_slack_s: 0.0, gpu_slack_s: 0.3, ..timing() };
+        assert!((t.signed_slack_s() + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_error_and_correction_helpers() {
+        let trace = IterationTrace {
+            k: 3,
+            cpu_freq: MHz(3500.0),
+            gpu_freq: MHz(1300.0),
+            abft: ChecksumScheme::SingleSide,
+            timing: timing(),
+            cpu_energy_j: 50.0,
+            gpu_energy_j: 300.0,
+            predicted_slack_s: 1.5,
+            actual_slack_s: 1.65,
+            sdc_events: vec![
+                SdcEvent { pattern: ErrorPattern::ZeroD, corrected: true },
+                SdcEvent { pattern: ErrorPattern::OneD, corrected: false },
+            ],
+        };
+        assert!((trace.total_energy_j() - 350.0).abs() < 1e-12);
+        let err = trace.slack_prediction_error().unwrap();
+        assert!((err - 0.15 / 1.65).abs() < 1e-12);
+        assert!(!trace.all_errors_corrected());
+    }
+
+    #[test]
+    fn zero_actual_slack_has_no_defined_error() {
+        let trace = IterationTrace {
+            k: 0,
+            cpu_freq: MHz(3500.0),
+            gpu_freq: MHz(1300.0),
+            abft: ChecksumScheme::None,
+            timing: IterationTiming::default(),
+            cpu_energy_j: 0.0,
+            gpu_energy_j: 0.0,
+            predicted_slack_s: 0.1,
+            actual_slack_s: 0.0,
+            sdc_events: vec![],
+        };
+        assert!(trace.slack_prediction_error().is_none());
+        assert!(trace.all_errors_corrected());
+    }
+}

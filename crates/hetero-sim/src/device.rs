@@ -1,0 +1,310 @@
+//! Simulated processor devices.
+//!
+//! A [`Device`] bundles the frequency ranges, DVFS latency, throughput model, power model,
+//! SDC model and thermal model of one processor, and carries the mutable operating state
+//! (current frequency, current guardband). The energy-saving strategies manipulate devices
+//! exclusively through [`Device::set_frequency`] / [`Device::set_guardband`], which also
+//! account for the DVFS transition latency that Algorithm 2 subtracts from the reclaimable
+//! slack.
+
+use crate::freq::{FrequencyRange, MHz};
+use crate::guardband::Guardband;
+use crate::power::{Activity, PowerModel};
+use crate::sdc::SdcModel;
+use crate::thermal::ThermalModel;
+use crate::throughput::{KernelClass, Precision, ThroughputModel};
+use serde::{Deserialize, Serialize};
+
+/// Whether a device is the host CPU or the accelerator GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Host CPU (runs the panel decomposition in the hybrid algorithm).
+    Cpu,
+    /// GPU accelerator (runs panel update and trailing matrix update).
+    Gpu,
+}
+
+impl DeviceKind {
+    /// Short label used in reports ("CPU" / "GPU").
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Cpu => "CPU",
+            DeviceKind::Gpu => "GPU",
+        }
+    }
+}
+
+/// Static description + dynamic operating state of one processor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    /// Human-readable name (e.g. "Intel Core i7-9700K").
+    pub name: String,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Frequency range reachable with the default guardband.
+    pub default_range: FrequencyRange,
+    /// Frequency range reachable with the optimized guardband (superset of default).
+    pub overclock_range: FrequencyRange,
+    /// The factory default / base clock.
+    pub base_freq: MHz,
+    /// Latency of one DVFS transition in seconds (`L^{CPU/GPU}` in Algorithm 2).
+    pub dvfs_latency_s: f64,
+    /// Throughput model.
+    pub throughput: ThroughputModel,
+    /// Power model.
+    pub power: PowerModel,
+    /// SDC model.
+    pub sdc: SdcModel,
+    /// Thermal model.
+    pub thermal: ThermalModel,
+    /// Currently selected clock frequency.
+    current_freq: MHz,
+    /// Currently applied guardband.
+    guardband: Guardband,
+}
+
+impl Device {
+    /// Create a device in its default state (base frequency, default guardband).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        kind: DeviceKind,
+        default_range: FrequencyRange,
+        overclock_range: FrequencyRange,
+        base_freq: MHz,
+        dvfs_latency_s: f64,
+        throughput: ThroughputModel,
+        power: PowerModel,
+        sdc: SdcModel,
+        thermal: ThermalModel,
+    ) -> Self {
+        assert!(
+            default_range.contains(base_freq),
+            "base frequency must be inside the default range"
+        );
+        Self {
+            name: name.into(),
+            kind,
+            default_range,
+            overclock_range,
+            base_freq,
+            dvfs_latency_s,
+            throughput,
+            power,
+            sdc,
+            thermal,
+            current_freq: base_freq,
+            guardband: Guardband::Default,
+        }
+    }
+
+    /// Currently selected frequency.
+    pub fn current_freq(&self) -> MHz {
+        self.current_freq
+    }
+
+    /// Currently applied guardband.
+    pub fn guardband(&self) -> Guardband {
+        self.guardband
+    }
+
+    /// The frequency range selectable under the current guardband. The optimized
+    /// guardband unlocks the overclocking range; the default guardband is restricted to
+    /// the factory range.
+    pub fn available_range(&self) -> FrequencyRange {
+        match self.guardband {
+            Guardband::Default => self.default_range,
+            Guardband::Optimized => self.overclock_range,
+        }
+    }
+
+    /// Apply a guardband. If the current frequency falls outside the newly available
+    /// range it is clamped back in.
+    pub fn set_guardband(&mut self, gb: Guardband) {
+        self.guardband = gb;
+        let range = self.available_range();
+        self.current_freq = range.quantize(self.current_freq);
+    }
+
+    /// Request a frequency change. The request is quantized to the DVFS step and clamped
+    /// to the currently available range. Returns the transition latency in seconds
+    /// (zero when the frequency does not actually change).
+    pub fn set_frequency(&mut self, requested: MHz) -> f64 {
+        let target = self.available_range().quantize(requested);
+        if (target.0 - self.current_freq.0).abs() < 1e-9 {
+            return 0.0;
+        }
+        self.current_freq = target;
+        self.dvfs_latency_s
+    }
+
+    /// Reset to the base frequency (used by the `Original` baseline and at the start of
+    /// every run).
+    pub fn reset(&mut self) {
+        self.current_freq = self.base_freq;
+        self.guardband = Guardband::Default;
+    }
+
+    /// Execution time (seconds) of a task of `flops` operations at the *current* clock.
+    pub fn exec_time_s(&self, flops: f64, class: KernelClass, precision: Precision) -> f64 {
+        self.throughput
+            .exec_time_s(flops, class, precision, self.current_freq)
+    }
+
+    /// Execution time of a task at an arbitrary frequency (used for projections before a
+    /// frequency change is committed).
+    pub fn exec_time_at_s(
+        &self,
+        flops: f64,
+        class: KernelClass,
+        precision: Precision,
+        f: MHz,
+    ) -> f64 {
+        self.throughput.exec_time_s(flops, class, precision, f)
+    }
+
+    /// Power draw (W) at the current operating point for a given activity.
+    pub fn power_w(&self, activity: Activity) -> f64 {
+        self.power.power_w(self.current_freq, self.guardband, activity)
+    }
+
+    /// Power draw at an arbitrary frequency under the current guardband.
+    pub fn power_at_w(&self, f: MHz, activity: Activity) -> f64 {
+        self.power.power_w(f, self.guardband, activity)
+    }
+
+    /// Energy efficiency (Gflop/s per watt) for a kernel class at frequency `f` under
+    /// guardband `gb`; this is the quantity plotted in the paper's Figure 5(a)/(c).
+    pub fn energy_efficiency_gflops_per_w(
+        &self,
+        class: KernelClass,
+        precision: Precision,
+        f: MHz,
+        gb: Guardband,
+    ) -> f64 {
+        let gflops = self.throughput.gflops(class, precision, f);
+        let watts = self.power.power_w(f, gb, Activity::Busy);
+        gflops / watts
+    }
+
+    /// Maximum sustained temperature at `f` under guardband `gb` (Figure 5 d/e).
+    pub fn sustained_temp_c(&self, f: MHz, gb: Guardband) -> f64 {
+        self.thermal.sustained_temp_c(&self.power, f, gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guardband::GuardbandConfig;
+
+    pub(crate) fn test_gpu() -> Device {
+        let default_range = FrequencyRange::new(MHz(300.0), MHz(1300.0), MHz(100.0));
+        let overclock_range = FrequencyRange::new(MHz(300.0), MHz(2200.0), MHz(100.0));
+        let throughput = ThroughputModel {
+            peak_gflops_fp64: 420.0,
+            peak_gflops_fp32: 13450.0,
+            base_freq: MHz(1300.0),
+            scalable_fraction: 0.85,
+            eff_panel_factor: 0.10,
+            eff_panel_update: 0.55,
+            eff_trailing_update: 0.80,
+            eff_checksum: 0.40,
+        };
+        let power = PowerModel {
+            total_power_at_base_w: 250.0,
+            dynamic_fraction: 0.7,
+            base_freq: MHz(1300.0),
+            idle_dynamic_fraction: 0.1,
+            guardband_config: GuardbandConfig::paper_gpu(),
+            max_freq: MHz(2200.0),
+        };
+        let thermal = ThermalModel {
+            coolant_temp_c: 55.0,
+            thermal_resistance_c_per_w: 0.08,
+            max_junction_c: 95.0,
+        };
+        Device::new(
+            "Test GPU",
+            DeviceKind::Gpu,
+            default_range,
+            overclock_range,
+            MHz(1300.0),
+            0.02,
+            throughput,
+            power,
+            SdcModel::paper_gpu(),
+            thermal,
+        )
+    }
+
+    #[test]
+    fn starts_at_base_frequency_default_guardband() {
+        let d = test_gpu();
+        assert_eq!(d.current_freq().0, 1300.0);
+        assert_eq!(d.guardband(), Guardband::Default);
+    }
+
+    #[test]
+    fn default_guardband_cannot_overclock() {
+        let mut d = test_gpu();
+        let latency = d.set_frequency(MHz(2200.0));
+        assert_eq!(d.current_freq().0, 1300.0, "clamped to default range max");
+        assert_eq!(latency, 0.0, "no change, no latency");
+    }
+
+    #[test]
+    fn optimized_guardband_unlocks_overclocking() {
+        let mut d = test_gpu();
+        d.set_guardband(Guardband::Optimized);
+        let latency = d.set_frequency(MHz(2200.0));
+        assert_eq!(d.current_freq().0, 2200.0);
+        assert!(latency > 0.0);
+    }
+
+    #[test]
+    fn reverting_guardband_clamps_frequency_back() {
+        let mut d = test_gpu();
+        d.set_guardband(Guardband::Optimized);
+        d.set_frequency(MHz(2200.0));
+        d.set_guardband(Guardband::Default);
+        assert!(d.current_freq().0 <= 1300.0);
+    }
+
+    #[test]
+    fn dvfs_latency_charged_only_on_change() {
+        let mut d = test_gpu();
+        assert_eq!(d.set_frequency(MHz(1300.0)), 0.0);
+        assert!(d.set_frequency(MHz(1000.0)) > 0.0);
+        assert_eq!(d.set_frequency(MHz(1000.0)), 0.0);
+    }
+
+    #[test]
+    fn energy_efficiency_peaks_with_optimized_guardband() {
+        let d = test_gpu();
+        let f = MHz(1800.0);
+        let def = d.energy_efficiency_gflops_per_w(
+            KernelClass::TrailingUpdate,
+            Precision::Double,
+            f,
+            Guardband::Default,
+        );
+        let opt = d.energy_efficiency_gflops_per_w(
+            KernelClass::TrailingUpdate,
+            Precision::Double,
+            f,
+            Guardband::Optimized,
+        );
+        assert!(opt > def);
+    }
+
+    #[test]
+    fn reset_restores_defaults() {
+        let mut d = test_gpu();
+        d.set_guardband(Guardband::Optimized);
+        d.set_frequency(MHz(2000.0));
+        d.reset();
+        assert_eq!(d.current_freq().0, 1300.0);
+        assert_eq!(d.guardband(), Guardband::Default);
+    }
+}

@@ -1,0 +1,218 @@
+//! Energy accounting.
+//!
+//! The paper measures CPU-package and GPU-device energy with RAPL/NVML counters. The
+//! simulator instead records every interval a device spends in some operating point and
+//! integrates power over time. Records keep enough metadata (device, activity, task
+//! label) to regenerate the per-iteration breakdowns of Figure 10.
+
+use crate::device::DeviceKind;
+use crate::freq::MHz;
+use crate::guardband::Guardband;
+use crate::power::Activity;
+use serde::{Deserialize, Serialize};
+
+/// One recorded interval of device activity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyRecord {
+    /// Which device the interval belongs to.
+    pub device: DeviceKind,
+    /// Label of the task being executed (e.g. "PD", "TMU", "slack", "abft-verify").
+    pub label: String,
+    /// Iteration of the factorization this interval belongs to (`usize::MAX` for
+    /// intervals outside the iteration loop).
+    pub iteration: usize,
+    /// Frequency during the interval.
+    pub freq: MHz,
+    /// Guardband during the interval.
+    pub guardband: Guardband,
+    /// Activity level.
+    pub activity: Activity,
+    /// Interval duration in seconds.
+    pub seconds: f64,
+    /// Energy consumed in joules.
+    pub joules: f64,
+}
+
+/// Accumulates [`EnergyRecord`]s over a simulated run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    records: Vec<EnergyRecord>,
+}
+
+impl EnergyMeter {
+    /// Create an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an interval. `joules` should already account for the device's power model;
+    /// the meter is a pure accumulator so it can also absorb transfer energy and other
+    /// non-device contributions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        device: DeviceKind,
+        label: impl Into<String>,
+        iteration: usize,
+        freq: MHz,
+        guardband: Guardband,
+        activity: Activity,
+        seconds: f64,
+        joules: f64,
+    ) {
+        debug_assert!(seconds >= 0.0, "negative interval duration");
+        debug_assert!(joules >= 0.0, "negative energy");
+        self.records.push(EnergyRecord {
+            device,
+            label: label.into(),
+            iteration,
+            freq,
+            guardband,
+            activity,
+            seconds,
+            joules,
+        });
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[EnergyRecord] {
+        &self.records
+    }
+
+    /// Total energy in joules across both devices.
+    pub fn total_joules(&self) -> f64 {
+        self.records.iter().map(|r| r.joules).sum()
+    }
+
+    /// Total energy attributed to one device.
+    pub fn device_joules(&self, device: DeviceKind) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.device == device)
+            .map(|r| r.joules)
+            .sum()
+    }
+
+    /// Total energy for records of a given iteration.
+    pub fn iteration_joules(&self, iteration: usize) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.iteration == iteration)
+            .map(|r| r.joules)
+            .sum()
+    }
+
+    /// Total energy for records of a given iteration on a given device.
+    pub fn iteration_device_joules(&self, iteration: usize, device: DeviceKind) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.iteration == iteration && r.device == device)
+            .map(|r| r.joules)
+            .sum()
+    }
+
+    /// Sum energy of all records whose label matches `label`.
+    pub fn label_joules(&self, label: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.label == label)
+            .map(|r| r.joules)
+            .sum()
+    }
+
+    /// Total busy (non-idle, non-halted) seconds for a device. Useful for utilization
+    /// sanity checks in tests.
+    pub fn busy_seconds(&self, device: DeviceKind) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.device == device && r.activity == Activity::Busy)
+            .map(|r| r.seconds)
+            .sum()
+    }
+
+    /// Merge another meter's records into this one.
+    pub fn merge(&mut self, other: EnergyMeter) {
+        self.records.extend(other.records);
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter_with_records() -> EnergyMeter {
+        let mut m = EnergyMeter::new();
+        m.record(
+            DeviceKind::Cpu,
+            "PD",
+            0,
+            MHz(3500.0),
+            Guardband::Default,
+            Activity::Busy,
+            1.0,
+            95.0,
+        );
+        m.record(
+            DeviceKind::Gpu,
+            "TMU",
+            0,
+            MHz(1300.0),
+            Guardband::Default,
+            Activity::Busy,
+            1.5,
+            375.0,
+        );
+        m.record(
+            DeviceKind::Cpu,
+            "slack",
+            1,
+            MHz(800.0),
+            Guardband::Default,
+            Activity::Idle,
+            0.5,
+            15.0,
+        );
+        m
+    }
+
+    #[test]
+    fn totals_and_breakdowns_are_consistent() {
+        let m = meter_with_records();
+        assert!((m.total_joules() - 485.0).abs() < 1e-12);
+        assert!((m.device_joules(DeviceKind::Cpu) - 110.0).abs() < 1e-12);
+        assert!((m.device_joules(DeviceKind::Gpu) - 375.0).abs() < 1e-12);
+        assert!((m.iteration_joules(0) - 470.0).abs() < 1e-12);
+        assert!((m.iteration_device_joules(0, DeviceKind::Cpu) - 95.0).abs() < 1e-12);
+        assert!((m.label_joules("slack") - 15.0).abs() < 1e-12);
+        assert!((m.busy_seconds(DeviceKind::Cpu) - 1.0).abs() < 1e-12);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates_records() {
+        let mut a = meter_with_records();
+        let b = meter_with_records();
+        let total = a.total_joules() + b.total_joules();
+        a.merge(b);
+        assert!((a.total_joules() - total).abs() < 1e-9);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.total_joules(), 0.0);
+        assert!(m.is_empty());
+    }
+}

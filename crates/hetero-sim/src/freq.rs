@@ -1,0 +1,176 @@
+//! Clock frequency primitives.
+//!
+//! Frequencies are expressed in MHz throughout the crate, matching the granularity used
+//! by the paper (both the CPU and GPU on the paper's test system step their clocks in
+//! 100 MHz increments, see Table 3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A clock frequency in megahertz.
+///
+/// A thin newtype so that frequencies cannot be accidentally mixed up with other `f64`
+/// quantities (durations, joules, ...). Arithmetic helpers are provided for the handful
+/// of operations the schedulers need (scaling, rounding to the DVFS step).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct MHz(pub f64);
+
+impl MHz {
+    /// Frequency expressed in Hz.
+    pub fn as_hz(self) -> f64 {
+        self.0 * 1.0e6
+    }
+
+    /// Frequency expressed in GHz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1.0e3
+    }
+
+    /// Ratio of `self` to `other` (dimensionless).
+    pub fn ratio_to(self, other: MHz) -> f64 {
+        self.0 / other.0
+    }
+
+    /// Round this frequency *up* to the next multiple of `step`, as done by the paper's
+    /// BSR algorithm (Algorithm 2, lines 12-13 use `Roundup(·, 100MHz)`).
+    pub fn round_up_to_step(self, step: MHz) -> MHz {
+        if step.0 <= 0.0 {
+            return self;
+        }
+        let n = (self.0 / step.0).ceil();
+        MHz(n * step.0)
+    }
+
+    /// Round this frequency *down* to the previous multiple of `step`.
+    pub fn round_down_to_step(self, step: MHz) -> MHz {
+        if step.0 <= 0.0 {
+            return self;
+        }
+        let n = (self.0 / step.0).floor();
+        MHz(n * step.0)
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: MHz, hi: MHz) -> MHz {
+        MHz(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Scale the frequency by a dimensionless factor.
+    pub fn scale(self, factor: f64) -> MHz {
+        MHz(self.0 * factor)
+    }
+}
+
+impl fmt::Display for MHz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}MHz", self.0)
+    }
+}
+
+/// An inclusive range of frequencies a device can sustain, stepped by `step`.
+///
+/// The paper distinguishes the *default* range (what the device ships with) from the
+/// *overclocking* range that becomes reachable once the guardband is optimized
+/// (Table 3: CPU 3.5 GHz default, 3.6-4.5 GHz overclocked; GPU 1.3 GHz default,
+/// 1.4-2.2 GHz overclocked).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyRange {
+    /// Lowest selectable frequency.
+    pub min: MHz,
+    /// Highest selectable frequency.
+    pub max: MHz,
+    /// DVFS step granularity.
+    pub step: MHz,
+}
+
+impl FrequencyRange {
+    /// Create a new range. Panics if `min > max` or `step <= 0`.
+    pub fn new(min: MHz, max: MHz, step: MHz) -> Self {
+        assert!(min.0 <= max.0, "FrequencyRange: min must not exceed max");
+        assert!(step.0 > 0.0, "FrequencyRange: step must be positive");
+        Self { min, max, step }
+    }
+
+    /// Clamp a requested frequency into this range and snap it to the step grid
+    /// (rounding up, as the BSR algorithm does, then clamping again).
+    pub fn quantize(&self, f: MHz) -> MHz {
+        f.round_up_to_step(self.step).clamp(self.min, self.max)
+    }
+
+    /// Whether `f` lies inside the range (inclusive).
+    pub fn contains(&self, f: MHz) -> bool {
+        f.0 >= self.min.0 - 1e-9 && f.0 <= self.max.0 + 1e-9
+    }
+
+    /// Iterate the selectable frequencies from `min` to `max` inclusive.
+    pub fn steps(&self) -> Vec<MHz> {
+        let mut out = Vec::new();
+        let mut f = self.min.0;
+        while f <= self.max.0 + 1e-9 {
+            out.push(MHz(f));
+            f += self.step.0;
+        }
+        out
+    }
+
+    /// Number of selectable frequencies.
+    pub fn len(&self) -> usize {
+        self.steps().len()
+    }
+
+    /// True when the range collapses to a single frequency.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_up_snaps_to_grid() {
+        assert_eq!(MHz(1710.0).round_up_to_step(MHz(100.0)).0, 1800.0);
+        assert_eq!(MHz(1800.0).round_up_to_step(MHz(100.0)).0, 1800.0);
+        assert_eq!(MHz(1801.0).round_up_to_step(MHz(100.0)).0, 1900.0);
+    }
+
+    #[test]
+    fn round_down_snaps_to_grid() {
+        assert_eq!(MHz(1790.0).round_down_to_step(MHz(100.0)).0, 1700.0);
+        assert_eq!(MHz(1800.0).round_down_to_step(MHz(100.0)).0, 1800.0);
+    }
+
+    #[test]
+    fn quantize_clamps_and_snaps() {
+        let r = FrequencyRange::new(MHz(300.0), MHz(2200.0), MHz(100.0));
+        assert_eq!(r.quantize(MHz(123.0)).0, 300.0);
+        assert_eq!(r.quantize(MHz(5000.0)).0, 2200.0);
+        assert_eq!(r.quantize(MHz(1550.0)).0, 1600.0);
+    }
+
+    #[test]
+    fn steps_enumerates_inclusive() {
+        let r = FrequencyRange::new(MHz(1300.0), MHz(1600.0), MHz(100.0));
+        let s = r.steps();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].0, 1300.0);
+        assert_eq!(s[3].0, 1600.0);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn ratio_and_conversions() {
+        let f = MHz(2000.0);
+        assert!((f.as_ghz() - 2.0).abs() < 1e-12);
+        assert!((f.as_hz() - 2.0e9).abs() < 1.0);
+        assert!((f.ratio_to(MHz(1000.0)) - 2.0).abs() < 1e-12);
+        assert_eq!(format!("{f}"), "2000MHz");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        let _ = FrequencyRange::new(MHz(2000.0), MHz(1000.0), MHz(100.0));
+    }
+}

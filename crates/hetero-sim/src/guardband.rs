@@ -1,0 +1,140 @@
+//! Voltage-guardband configuration.
+//!
+//! Section 3.1.1 of the paper: manufacturers ship processors with a conservative voltage
+//! guardband. Optimizing the guardband (undervolting the CPU via `intel-undervolt`,
+//! applying a graphics clock offset through NVML on the GPU) either reduces power at the
+//! same frequency, or unlocks higher sustained frequencies (overclocking), or both — at
+//! the cost of silent data corruptions (SDCs) at the top of the extended range.
+//!
+//! In this reproduction the guardband is a configuration object that
+//! (a) selects which frequency range is reachable and
+//! (b) supplies the *power reduction factor* α(f) used by the paper's energy analysis
+//!     (`α_CPU/GPU` in Section 3.2.3 and the dashed line of Figure 5a).
+
+use crate::freq::MHz;
+use serde::{Deserialize, Serialize};
+
+/// Which guardband is applied to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Guardband {
+    /// The factory default guardband (no undervolt / no clock offset).
+    Default,
+    /// The optimized guardband found by the paper's offline profiling pass
+    /// (CPU: -150 mV core offset; GPU: +200 graphics clock offset, Table 3).
+    Optimized,
+}
+
+impl Guardband {
+    /// Human readable label, matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Guardband::Default => "Default Guardband",
+            Guardband::Optimized => "Optimized Guardband",
+        }
+    }
+}
+
+/// Per-device guardband description and its effect on power.
+///
+/// The power-reduction factor is modelled as a mild, frequency-dependent scaling:
+/// at low frequencies the undervolt removes a larger relative share of the dynamic power
+/// (the voltage margin dominates), and the benefit shrinks towards the top of the
+/// overclocking range where the device needs most of its nominal voltage to stay stable.
+/// This reproduces the monotonically-decreasing "Power Reduction Factor" curve plotted on
+/// the right axis of the paper's Figure 5a.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuardbandConfig {
+    /// CPU core voltage offset in millivolts when optimized (negative = undervolt).
+    pub cpu_vcore_offset_mv: f64,
+    /// GPU graphics clock offset (MHz) when optimized.
+    pub gpu_clock_offset_mhz: f64,
+    /// Power reduction factor at the *base* frequency when the optimized guardband is
+    /// applied (α at f = f_base). Typical measured values in the paper are ~0.75-0.85.
+    pub alpha_at_base: f64,
+    /// Power reduction factor at the *maximum overclocked* frequency. Approaches 1.0:
+    /// little power is saved at the extreme of the range.
+    pub alpha_at_max: f64,
+}
+
+impl GuardbandConfig {
+    /// Paper Table 3 CPU configuration (i7-9700K, -150 mV undervolt).
+    pub fn paper_cpu() -> Self {
+        Self {
+            cpu_vcore_offset_mv: -150.0,
+            gpu_clock_offset_mhz: 0.0,
+            alpha_at_base: 0.80,
+            alpha_at_max: 0.90,
+        }
+    }
+
+    /// Paper Table 3 GPU configuration (RTX 2080 Ti, +200 clock offset).
+    pub fn paper_gpu() -> Self {
+        Self {
+            cpu_vcore_offset_mv: 0.0,
+            gpu_clock_offset_mhz: 200.0,
+            alpha_at_base: 0.78,
+            alpha_at_max: 0.88,
+        }
+    }
+
+    /// Power reduction factor α(f) for a device whose default/base frequency is
+    /// `f_base` and whose maximum overclocked frequency is `f_max`.
+    ///
+    /// * With the [`Guardband::Default`] guardband, α ≡ 1 (no reduction).
+    /// * With the [`Guardband::Optimized`] guardband, α interpolates linearly in
+    ///   frequency between `alpha_at_base` (at or below `f_base`) and `alpha_at_max`
+    ///   (at or above `f_max`). For frequencies below the base the last measured value
+    ///   is held constant, mirroring the paper's "constant values of the last measured
+    ///   value" treatment for out-of-range frequencies.
+    pub fn alpha(&self, guardband: Guardband, f: MHz, f_base: MHz, f_max: MHz) -> f64 {
+        match guardband {
+            Guardband::Default => 1.0,
+            Guardband::Optimized => {
+                if f.0 <= f_base.0 {
+                    self.alpha_at_base
+                } else if f.0 >= f_max.0 {
+                    self.alpha_at_max
+                } else {
+                    let t = (f.0 - f_base.0) / (f_max.0 - f_base.0);
+                    self.alpha_at_base + t * (self.alpha_at_max - self.alpha_at_base)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_guardband_has_unit_alpha() {
+        let cfg = GuardbandConfig::paper_gpu();
+        let a = cfg.alpha(Guardband::Default, MHz(1800.0), MHz(1300.0), MHz(2200.0));
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn optimized_alpha_interpolates_monotonically() {
+        let cfg = GuardbandConfig::paper_gpu();
+        let base = MHz(1300.0);
+        let max = MHz(2200.0);
+        let mut prev = 0.0;
+        for f in [1000.0, 1300.0, 1500.0, 1800.0, 2200.0, 2500.0] {
+            let a = cfg.alpha(Guardband::Optimized, MHz(f), base, max);
+            assert!(a >= prev, "alpha must be non-decreasing in frequency");
+            assert!(a <= 1.0 && a > 0.0);
+            prev = a;
+        }
+        assert!(
+            (cfg.alpha(Guardband::Optimized, base, base, max) - cfg.alpha_at_base).abs() < 1e-12
+        );
+        assert!((cfg.alpha(Guardband::Optimized, max, base, max) - cfg.alpha_at_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Guardband::Default.label(), "Default Guardband");
+        assert_eq!(Guardband::Optimized.label(), "Optimized Guardband");
+    }
+}

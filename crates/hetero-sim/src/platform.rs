@@ -1,0 +1,267 @@
+//! The full two-device platform and its default calibration.
+//!
+//! [`PlatformConfig::paper_default`] encodes the paper's Table 3 test system:
+//!
+//! | | Intel Core i7-9700K | NVIDIA RTX 2080 Ti |
+//! |---|---|---|
+//! | Base clock | 3.5 GHz (steps of 0.1) | 1.3 GHz (steps of 0.1) |
+//! | Overclocking | 3.6 - 4.5 GHz | 1.4 - 2.2 GHz |
+//! | Default guardband | Vcore offset 0 mV | clock offset 0 |
+//! | Optimized guardband | Vcore offset -150 mV | clock offset +200 |
+//!
+//! Throughput and power numbers are calibrated so that the *shapes* of the paper's
+//! Figures 2, 5 and 10 are reproduced: the GPU dominates trailing-matrix-update
+//! throughput, the CPU panel factorization is latency bound, slack sits on the CPU side
+//! for most of the factorization and flips to the GPU side near the end, and the GPU
+//! draws roughly 2.5x the CPU package power.
+
+use crate::device::{Device, DeviceKind};
+use crate::freq::{FrequencyRange, MHz};
+use crate::guardband::GuardbandConfig;
+use crate::power::PowerModel;
+use crate::sdc::SdcModel;
+use crate::thermal::ThermalModel;
+use crate::throughput::ThroughputModel;
+use crate::transfer::PcieModel;
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a platform; [`Platform`] is built from this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// CPU device description.
+    pub cpu: Device,
+    /// GPU device description.
+    pub gpu: Device,
+    /// Host-device interconnect.
+    pub pcie: PcieModel,
+}
+
+/// A ready-to-use simulated platform (CPU + GPU + interconnect).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// The host CPU.
+    pub cpu: Device,
+    /// The GPU accelerator.
+    pub gpu: Device,
+    /// The PCIe interconnect between them.
+    pub pcie: PcieModel,
+}
+
+impl PlatformConfig {
+    /// The default calibration mirroring the paper's Table 3 system.
+    pub fn paper_default() -> Self {
+        Self {
+            cpu: paper_cpu(),
+            gpu: paper_gpu(),
+            pcie: PcieModel::paper_default(),
+        }
+    }
+
+    /// Build a [`Platform`] (resets both devices to their default operating points).
+    pub fn build(&self) -> Platform {
+        let mut cpu = self.cpu.clone();
+        let mut gpu = self.gpu.clone();
+        cpu.reset();
+        gpu.reset();
+        Platform {
+            cpu,
+            gpu,
+            pcie: self.pcie.clone(),
+        }
+    }
+}
+
+impl Platform {
+    /// Shorthand for `PlatformConfig::paper_default().build()`.
+    pub fn paper_default() -> Self {
+        PlatformConfig::paper_default().build()
+    }
+
+    /// Borrow a device by kind.
+    pub fn device(&self, kind: DeviceKind) -> &Device {
+        match kind {
+            DeviceKind::Cpu => &self.cpu,
+            DeviceKind::Gpu => &self.gpu,
+        }
+    }
+
+    /// Mutably borrow a device by kind.
+    pub fn device_mut(&mut self, kind: DeviceKind) -> &mut Device {
+        match kind {
+            DeviceKind::Cpu => &mut self.cpu,
+            DeviceKind::Gpu => &mut self.gpu,
+        }
+    }
+
+    /// Reset both devices to base frequency / default guardband.
+    pub fn reset(&mut self) {
+        self.cpu.reset();
+        self.gpu.reset();
+    }
+}
+
+/// Paper Table 3 CPU: Intel Core i7-9700K (8 cores, no SMT), 32 GB RAM.
+fn paper_cpu() -> Device {
+    // 8 cores x 3.5 GHz x 16 DP flops/cycle (2x 256-bit FMA) = 448 Gflop/s peak.
+    let throughput = ThroughputModel {
+        peak_gflops_fp64: 448.0,
+        peak_gflops_fp32: 896.0,
+        base_freq: MHz(3500.0),
+        scalable_fraction: 1.0,
+        // The panel factorization is dominated by level-2 BLAS and pivot search; MKL
+        // sustains only a small fraction of peak on tall skinny panels.
+        eff_panel_factor: 0.060,
+        eff_panel_update: 0.45,
+        eff_trailing_update: 0.80,
+        eff_checksum: 0.25,
+    };
+    let power = PowerModel {
+        total_power_at_base_w: 80.0,
+        dynamic_fraction: 0.65,
+        base_freq: MHz(3500.0),
+        idle_dynamic_fraction: 0.50,
+        guardband_config: GuardbandConfig::paper_cpu(),
+        max_freq: MHz(4500.0),
+    };
+    let thermal = ThermalModel {
+        coolant_temp_c: 45.0,
+        thermal_resistance_c_per_w: 0.22,
+        max_junction_c: 100.0,
+    };
+    Device::new(
+        "Intel Core i7-9700K",
+        DeviceKind::Cpu,
+        // The CPU can already overclock with the default guardband (paper Section 3.1.1),
+        // so the default range extends to 4.5 GHz; the optimized guardband only improves
+        // energy efficiency.
+        FrequencyRange::new(MHz(800.0), MHz(4500.0), MHz(100.0)),
+        FrequencyRange::new(MHz(800.0), MHz(4500.0), MHz(100.0)),
+        MHz(3500.0),
+        0.002,
+        throughput,
+        power,
+        // "SDCs only occur to the GPU on our test system" (Section 3.1.2).
+        SdcModel::fault_free(),
+        thermal,
+    )
+}
+
+/// Paper Table 3 GPU: NVIDIA RTX 2080 Ti, 12 GB (11 GB) device memory.
+fn paper_gpu() -> Device {
+    // FP32 peak ~13.4 Tflop/s; FP64 is 1/32 of that (~420 Gflop/s) at base clock.
+    let throughput = ThroughputModel {
+        peak_gflops_fp64: 420.0,
+        peak_gflops_fp32: 13450.0,
+        base_freq: MHz(1300.0),
+        scalable_fraction: 1.0,
+        eff_panel_factor: 0.10,
+        eff_panel_update: 0.55,
+        eff_trailing_update: 0.80,
+        // Checksum kernels are memory-bound streaming passes over the trailing matrix,
+        // far from the GEMM roofline — this is what makes full-checksum ABFT cost the
+        // paper's ~12% when it is left on for the whole factorization.
+        eff_checksum: 0.10,
+    };
+    let power = PowerModel {
+        total_power_at_base_w: 170.0,
+        dynamic_fraction: 0.60,
+        base_freq: MHz(1300.0),
+        idle_dynamic_fraction: 0.35,
+        guardband_config: GuardbandConfig::paper_gpu(),
+        max_freq: MHz(2200.0),
+    };
+    let thermal = ThermalModel {
+        coolant_temp_c: 55.0,
+        thermal_resistance_c_per_w: 0.065,
+        max_junction_c: 93.0,
+    };
+    Device::new(
+        "NVIDIA GeForce RTX 2080 Ti",
+        DeviceKind::Gpu,
+        FrequencyRange::new(MHz(300.0), MHz(1300.0), MHz(100.0)),
+        FrequencyRange::new(MHz(300.0), MHz(2200.0), MHz(100.0)),
+        MHz(1300.0),
+        0.025,
+        throughput,
+        power,
+        SdcModel::paper_gpu(),
+        thermal,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guardband::Guardband;
+    use crate::power::Activity;
+    use crate::throughput::{KernelClass, Precision};
+
+    #[test]
+    fn paper_platform_matches_table3_ranges() {
+        let p = Platform::paper_default();
+        assert_eq!(p.cpu.base_freq.0, 3500.0);
+        assert_eq!(p.gpu.base_freq.0, 1300.0);
+        assert_eq!(p.gpu.default_range.max.0, 1300.0);
+        assert_eq!(p.gpu.overclock_range.max.0, 2200.0);
+        assert_eq!(p.cpu.overclock_range.max.0, 4500.0);
+        assert_eq!(p.gpu.overclock_range.step.0, 100.0);
+    }
+
+    #[test]
+    fn gpu_dominates_trailing_update_throughput() {
+        let p = Platform::paper_default();
+        let gpu_tmu = p.gpu.throughput.gflops(
+            KernelClass::TrailingUpdate,
+            Precision::Double,
+            p.gpu.base_freq,
+        );
+        let cpu_pd = p.cpu.throughput.gflops(
+            KernelClass::PanelFactor,
+            Precision::Double,
+            p.cpu.base_freq,
+        );
+        assert!(gpu_tmu > 10.0 * cpu_pd, "GPU TMU must dwarf CPU PD throughput");
+    }
+
+    #[test]
+    fn gpu_draws_more_power_than_cpu() {
+        let p = Platform::paper_default();
+        let gpu = p.gpu.power_w(Activity::Busy);
+        let cpu = p.cpu.power_w(Activity::Busy);
+        assert!(gpu > 2.0 * cpu);
+    }
+
+    #[test]
+    fn gpu_has_sdc_region_cpu_does_not() {
+        let p = Platform::paper_default();
+        assert!(p
+            .gpu
+            .sdc
+            .any_errors_possible(MHz(2200.0), Guardband::Optimized));
+        assert!(!p
+            .cpu
+            .sdc
+            .any_errors_possible(MHz(4500.0), Guardband::Optimized));
+    }
+
+    #[test]
+    fn device_lookup_by_kind() {
+        let mut p = Platform::paper_default();
+        assert_eq!(p.device(DeviceKind::Cpu).kind, DeviceKind::Cpu);
+        assert_eq!(p.device(DeviceKind::Gpu).kind, DeviceKind::Gpu);
+        p.device_mut(DeviceKind::Gpu).set_guardband(Guardband::Optimized);
+        p.device_mut(DeviceKind::Gpu).set_frequency(MHz(2000.0));
+        assert_eq!(p.gpu.current_freq().0, 2000.0);
+        p.reset();
+        assert_eq!(p.gpu.current_freq().0, 1300.0);
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = PlatformConfig::paper_default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PlatformConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cpu.base_freq.0, cfg.cpu.base_freq.0);
+        assert_eq!(back.gpu.overclock_range.max.0, cfg.gpu.overclock_range.max.0);
+    }
+}

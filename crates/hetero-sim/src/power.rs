@@ -1,0 +1,180 @@
+//! Processor power model.
+//!
+//! The paper's energy analysis (Section 3.2.3) splits processor power into a static part
+//! and a dynamic part, with the dynamic part following `P_dynamic ∝ f^2.4` (citing the
+//! EARtH model [17]). The optimized guardband multiplies the total power by a reduction
+//! factor α(f) (see [`crate::guardband`]). Idle processors retain their static power and
+//! a small fraction of dynamic power (clock gating is imperfect); a processor halted at
+//! its lowest power state (R2H) drops to static power only.
+
+use crate::freq::MHz;
+use crate::guardband::{Guardband, GuardbandConfig};
+use serde::{Deserialize, Serialize};
+
+/// Exponent of the dynamic-power/frequency relation used throughout the paper.
+pub const DYNAMIC_POWER_EXPONENT: f64 = 2.4;
+
+/// Exponent of the dynamic-power/frequency relation in the overclocking region under the
+/// *optimized* guardband. The tuned guardband shifts the voltage/frequency curve down but
+/// voltage still has to rise with frequency, so power grows faster than linearly — just
+/// less steeply than the stock `f^2.4` curve. This is what creates the paper's
+/// performance/energy trade-off when the reclamation ratio increases (Figures 10 and 11)
+/// while still letting the overclocked GPU consume *less* energy than the default
+/// operating point (Figure 10c).
+pub const OVERCLOCK_EXPONENT_OPTIMIZED: f64 = 2.0;
+
+/// Activity level of a device during an interval, which determines how much of the
+/// dynamic power is actually drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Executing a compute kernel at full utilization.
+    Busy,
+    /// Clock-gated idle: waiting for the other processor, still at the selected
+    /// frequency (this is what happens during un-reclaimed slack).
+    Idle,
+    /// Halted at the minimum power state (the "halt" part of Race-to-Halt).
+    Halted,
+}
+
+/// Static + dynamic power model for one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Total power (W) drawn when busy at the base frequency with the default guardband.
+    pub total_power_at_base_w: f64,
+    /// Fraction of the total power that is dynamic (the paper's `d^{CPU/GPU}`).
+    pub dynamic_fraction: f64,
+    /// Base (default) frequency the above numbers are calibrated at.
+    pub base_freq: MHz,
+    /// Fraction of dynamic power still drawn while clock-gated idle (not halted).
+    pub idle_dynamic_fraction: f64,
+    /// Guardband description used to derive α(f).
+    pub guardband_config: GuardbandConfig,
+    /// Maximum overclocked frequency, needed to evaluate α(f).
+    pub max_freq: MHz,
+}
+
+impl PowerModel {
+    /// Static power in watts (independent of frequency in this model).
+    pub fn static_power_w(&self) -> f64 {
+        self.total_power_at_base_w * (1.0 - self.dynamic_fraction)
+    }
+
+    /// Dynamic power in watts when *busy* at frequency `f` with guardband `gb`.
+    ///
+    /// Below the base clock, DVFS lowers voltage together with frequency, giving the
+    /// paper's `P_dynamic ∝ f^2.4` law. Above the base clock the behaviour depends on the
+    /// guardband: with the default guardband turbo keeps raising the voltage along the
+    /// stock curve (still `f^2.4`), while with the *optimized* guardband the
+    /// voltage/frequency curve is shifted down, so power grows as `α(f) · f^2.0` —
+    /// see [`OVERCLOCK_EXPONENT_OPTIMIZED`].
+    pub fn dynamic_power_w(&self, f: MHz, gb: Guardband) -> f64 {
+        let alpha = self
+            .guardband_config
+            .alpha(gb, f, self.base_freq, self.max_freq);
+        let ratio = f.ratio_to(self.base_freq);
+        let below = ratio.min(1.0).powf(DYNAMIC_POWER_EXPONENT);
+        let above = if ratio > 1.0 {
+            match gb {
+                Guardband::Default => ratio.powf(DYNAMIC_POWER_EXPONENT),
+                Guardband::Optimized => ratio.powf(OVERCLOCK_EXPONENT_OPTIMIZED),
+            }
+        } else {
+            1.0
+        };
+        // Exactly one of the two factors differs from 1 for any f, so this composes the
+        // sub-base and above-base regimes without double counting.
+        let scale = if ratio <= 1.0 { below } else { above };
+        alpha * self.total_power_at_base_w * self.dynamic_fraction * scale
+    }
+
+    /// Total power in watts for the given frequency, guardband and activity.
+    pub fn power_w(&self, f: MHz, gb: Guardband, activity: Activity) -> f64 {
+        match activity {
+            Activity::Busy => self.static_power_w() + self.dynamic_power_w(f, gb),
+            Activity::Idle => {
+                self.static_power_w() + self.idle_dynamic_fraction * self.dynamic_power_w(f, gb)
+            }
+            Activity::Halted => self.static_power_w(),
+        }
+    }
+
+    /// Energy in joules consumed over `seconds` at the given operating point.
+    pub fn energy_j(&self, f: MHz, gb: Guardband, activity: Activity, seconds: f64) -> f64 {
+        self.power_w(f, gb, activity) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel {
+            total_power_at_base_w: 250.0,
+            dynamic_fraction: 0.7,
+            base_freq: MHz(1300.0),
+            idle_dynamic_fraction: 0.1,
+            guardband_config: GuardbandConfig::paper_gpu(),
+            max_freq: MHz(2200.0),
+        }
+    }
+
+    #[test]
+    fn static_plus_dynamic_equals_total_at_base() {
+        let m = model();
+        let p = m.power_w(MHz(1300.0), Guardband::Default, Activity::Busy);
+        assert!((p - 250.0).abs() < 1e-9);
+        assert!((m.static_power_w() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_power_follows_f_pow_2_4_below_base() {
+        let m = model();
+        let p1 = m.dynamic_power_w(MHz(650.0), Guardband::Default);
+        let p2 = m.dynamic_power_w(MHz(1300.0), Guardband::Default);
+        assert!((p2 / p1 - 2.0f64.powf(2.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overclocking_power_regimes_differ_by_guardband() {
+        let m = model();
+        let base = m.dynamic_power_w(MHz(1300.0), Guardband::Default);
+        // Default guardband above base: voltage rises with frequency, f^2.4 law.
+        let def = m.dynamic_power_w(MHz(2600.0), Guardband::Default);
+        assert!((def / base - 2.0f64.powf(2.4)).abs() < 1e-9);
+        // Optimized guardband above base: lowered voltage curve, f^2.0 law (times alpha).
+        let opt = m.dynamic_power_w(MHz(2600.0), Guardband::Optimized);
+        assert!(opt < def);
+        let alpha_max = m.guardband_config.alpha_at_max;
+        // max_freq of the model is 2200, so alpha saturates at alpha_at_max by 2600.
+        assert!((opt / (base * 4.0 * alpha_max) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimized_guardband_reduces_power() {
+        let m = model();
+        for f in [1300.0, 1700.0, 2200.0] {
+            let def = m.power_w(MHz(f), Guardband::Default, Activity::Busy);
+            let opt = m.power_w(MHz(f), Guardband::Optimized, Activity::Busy);
+            assert!(opt < def, "optimized guardband must not increase power");
+        }
+    }
+
+    #[test]
+    fn activity_ordering_halted_le_idle_le_busy() {
+        let m = model();
+        let f = MHz(1800.0);
+        let halted = m.power_w(f, Guardband::Default, Activity::Halted);
+        let idle = m.power_w(f, Guardband::Default, Activity::Idle);
+        let busy = m.power_w(f, Guardband::Default, Activity::Busy);
+        assert!(halted <= idle && idle <= busy);
+        assert!((halted - m.static_power_w()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = model();
+        let e = m.energy_j(MHz(1300.0), Guardband::Default, Activity::Busy, 2.0);
+        assert!((e - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline hardware profiling.
+//!
+//! The paper's framework (Figure 4) includes an offline "Hardware Profiling" stage that,
+//! once per installation, sweeps the device frequency ranges under both guardbands and
+//! records energy efficiency, SDC error rates and sustained temperatures. Those curves
+//! are exactly what the paper reports in Figure 5 and what ABFT-OC consumes at runtime.
+//!
+//! [`profile_device`] reproduces that sweep against the simulated device models.
+
+use crate::device::Device;
+use crate::freq::MHz;
+use crate::guardband::Guardband;
+use crate::sdc::ErrorPattern;
+use crate::throughput::{KernelClass, Precision};
+use serde::{Deserialize, Serialize};
+
+/// One row of the offline profiling sweep (one frequency, one guardband).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfilePoint {
+    /// Clock frequency of this sample.
+    pub freq: MHz,
+    /// Guardband applied while sampling.
+    pub guardband: Guardband,
+    /// Energy efficiency in Gflop/s per watt for the profiled kernel class.
+    pub gflops_per_watt: f64,
+    /// Busy power in watts.
+    pub power_w: f64,
+    /// Power reduction factor α(f) relative to the default guardband at this frequency.
+    pub power_reduction_factor: f64,
+    /// 0D SDC error rate (errors/s).
+    pub sdc_rate_0d: f64,
+    /// 1D SDC error rate (errors/s).
+    pub sdc_rate_1d: f64,
+    /// 2D SDC error rate (errors/s).
+    pub sdc_rate_2d: f64,
+    /// Maximum sustained core temperature in °C.
+    pub max_temp_c: f64,
+}
+
+/// Result of profiling a device under both guardbands across its overclocking range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Device name.
+    pub device: String,
+    /// Kernel class the efficiency was measured with (TMU for GPU, PD for CPU in the
+    /// paper, because the guardband is tuned for the matrix decomposition workload).
+    pub kernel: KernelClass,
+    /// Sweep samples.
+    pub points: Vec<ProfilePoint>,
+    /// Highest frequency with zero SDC rate under the optimized guardband.
+    pub fault_free_max: MHz,
+    /// Frequency with the best energy efficiency under the optimized guardband.
+    pub best_efficiency_freq: MHz,
+}
+
+/// Sweep `device` across its overclocking range for the given kernel class and precision,
+/// under both guardbands.
+pub fn profile_device(device: &Device, kernel: KernelClass, precision: Precision) -> DeviceProfile {
+    let mut points = Vec::new();
+    let mut fault_free_max = device.overclock_range.min;
+    let mut best_eff = f64::MIN;
+    let mut best_eff_freq = device.base_freq;
+
+    for gb in [Guardband::Default, Guardband::Optimized] {
+        let range = match gb {
+            Guardband::Default => device.default_range,
+            Guardband::Optimized => device.overclock_range,
+        };
+        for f in range.steps() {
+            let power_w = device.power.power_w(f, gb, crate::power::Activity::Busy);
+            let default_power = device
+                .power
+                .power_w(f, Guardband::Default, crate::power::Activity::Busy);
+            let eff = device.energy_efficiency_gflops_per_w(kernel, precision, f, gb);
+            let point = ProfilePoint {
+                freq: f,
+                guardband: gb,
+                gflops_per_watt: eff,
+                power_w,
+                power_reduction_factor: power_w / default_power,
+                sdc_rate_0d: device.sdc.rate(f, gb, ErrorPattern::ZeroD),
+                sdc_rate_1d: device.sdc.rate(f, gb, ErrorPattern::OneD),
+                sdc_rate_2d: device.sdc.rate(f, gb, ErrorPattern::TwoD),
+                max_temp_c: device.sustained_temp_c(f, gb),
+            };
+            if gb == Guardband::Optimized {
+                if point.sdc_rate_0d == 0.0 && point.sdc_rate_1d == 0.0 && point.sdc_rate_2d == 0.0
+                {
+                    if f.0 > fault_free_max.0 {
+                        fault_free_max = f;
+                    }
+                }
+                if eff > best_eff {
+                    best_eff = eff;
+                    best_eff_freq = f;
+                }
+            }
+            points.push(point);
+        }
+    }
+
+    DeviceProfile {
+        device: device.name.clone(),
+        kernel,
+        points,
+        fault_free_max,
+        best_efficiency_freq: best_eff_freq,
+    }
+}
+
+impl DeviceProfile {
+    /// Points restricted to one guardband, ordered by frequency.
+    pub fn points_for(&self, gb: Guardband) -> Vec<&ProfilePoint> {
+        let mut v: Vec<&ProfilePoint> = self.points.iter().filter(|p| p.guardband == gb).collect();
+        v.sort_by(|a, b| a.freq.0.partial_cmp(&b.freq.0).unwrap());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn gpu_profile_reproduces_figure5_shape() {
+        let p = Platform::paper_default();
+        let profile = profile_device(&p.gpu, KernelClass::TrailingUpdate, Precision::Double);
+
+        // The optimized guardband extends the sweep beyond the default range.
+        let opt = profile.points_for(Guardband::Optimized);
+        let def = profile.points_for(Guardband::Default);
+        assert!(opt.last().unwrap().freq.0 > def.last().unwrap().freq.0);
+
+        // Optimized guardband gives better efficiency at every shared frequency.
+        for d in &def {
+            let o = opt.iter().find(|p| p.freq.0 == d.freq.0).unwrap();
+            assert!(o.gflops_per_watt >= d.gflops_per_watt);
+            assert!(o.power_reduction_factor <= 1.0);
+        }
+
+        // SDCs appear only above the fault-free threshold, under the optimized guardband.
+        assert!(profile.fault_free_max.0 >= 1700.0);
+        assert!(opt.iter().any(|p| p.sdc_rate_0d > 0.0));
+        assert!(def.iter().all(|p| p.sdc_rate_0d == 0.0));
+
+        // The headline operational claim of Section 3.1.1: with the optimized guardband the
+        // device reaches overclocked frequencies at an energy efficiency no worse than the
+        // stock operating point (base clock, default guardband).
+        let stock = p.gpu.energy_efficiency_gflops_per_w(
+            KernelClass::TrailingUpdate,
+            Precision::Double,
+            p.gpu.base_freq,
+            Guardband::Default,
+        );
+        let overclocked_points: Vec<&ProfilePoint> = opt
+            .iter()
+            .copied()
+            .filter(|pt| pt.freq.0 > p.gpu.base_freq.0)
+            .collect();
+        assert!(!overclocked_points.is_empty());
+        assert!(
+            overclocked_points.iter().any(|pt| pt.gflops_per_watt >= stock),
+            "some overclocked optimized-guardband point must beat the stock efficiency"
+        );
+    }
+
+    #[test]
+    fn cpu_profile_has_no_sdcs() {
+        let p = Platform::paper_default();
+        let profile = profile_device(&p.cpu, KernelClass::PanelFactor, Precision::Double);
+        assert!(profile.points.iter().all(|pt| pt.sdc_rate_0d == 0.0));
+    }
+
+    #[test]
+    fn temperature_increases_with_frequency_in_profile() {
+        let p = Platform::paper_default();
+        let profile = profile_device(&p.gpu, KernelClass::TrailingUpdate, Precision::Double);
+        let opt = profile.points_for(Guardband::Optimized);
+        for w in opt.windows(2) {
+            assert!(w[1].max_temp_c >= w[0].max_temp_c - 1e-9);
+        }
+    }
+}

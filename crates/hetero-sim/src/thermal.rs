@@ -1,0 +1,97 @@
+//! Thermal model.
+//!
+//! Figure 5(d)/(e) of the paper reports the maximum sustained core temperature of the GPU
+//! and CPU at each frequency, under the default and optimized guardbands, with the
+//! external cooling fixed so that the ambient operating point stays at 45 °C (CPU) /
+//! 55 °C (GPU). Temperature matters because it bounds which overclocked frequencies are
+//! *sustainable*; the optimized guardband lowers power and therefore temperature, which is
+//! what makes the extended range usable at all.
+//!
+//! The model maps dissipated power to a steady-state temperature through a simple thermal
+//! resistance above a fixed coolant temperature.
+
+use crate::freq::MHz;
+use crate::guardband::Guardband;
+use crate::power::{Activity, PowerModel};
+use serde::{Deserialize, Serialize};
+
+/// Steady-state temperature model for one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Coolant / stabilized ambient temperature in °C (45 °C CPU, 55 °C GPU in the paper).
+    pub coolant_temp_c: f64,
+    /// Thermal resistance in °C per watt between the die and the coolant.
+    pub thermal_resistance_c_per_w: f64,
+    /// Junction temperature (°C) above which the operating point is not sustainable.
+    pub max_junction_c: f64,
+}
+
+impl ThermalModel {
+    /// Maximum sustained temperature when running busy at frequency `f` under guardband
+    /// `gb`, given the device power model.
+    pub fn sustained_temp_c(&self, power: &PowerModel, f: MHz, gb: Guardband) -> f64 {
+        let watts = power.power_w(f, gb, Activity::Busy);
+        self.coolant_temp_c + watts * self.thermal_resistance_c_per_w
+    }
+
+    /// Whether the operating point stays below the junction limit.
+    pub fn is_sustainable(&self, power: &PowerModel, f: MHz, gb: Guardband) -> bool {
+        self.sustained_temp_c(power, f, gb) <= self.max_junction_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guardband::GuardbandConfig;
+
+    fn power() -> PowerModel {
+        PowerModel {
+            total_power_at_base_w: 250.0,
+            dynamic_fraction: 0.7,
+            base_freq: MHz(1300.0),
+            idle_dynamic_fraction: 0.1,
+            guardband_config: GuardbandConfig::paper_gpu(),
+            max_freq: MHz(2200.0),
+        }
+    }
+
+    fn thermal() -> ThermalModel {
+        ThermalModel {
+            coolant_temp_c: 55.0,
+            thermal_resistance_c_per_w: 0.08,
+            max_junction_c: 90.0,
+        }
+    }
+
+    #[test]
+    fn temperature_increases_with_frequency() {
+        let p = power();
+        let t = thermal();
+        let t1 = t.sustained_temp_c(&p, MHz(1300.0), Guardband::Default);
+        let t2 = t.sustained_temp_c(&p, MHz(2000.0), Guardband::Default);
+        assert!(t2 > t1);
+        assert!(t1 > 55.0);
+    }
+
+    #[test]
+    fn optimized_guardband_runs_cooler() {
+        let p = power();
+        let t = thermal();
+        for f in [1300.0, 1800.0, 2200.0] {
+            let def = t.sustained_temp_c(&p, MHz(f), Guardband::Default);
+            let opt = t.sustained_temp_c(&p, MHz(f), Guardband::Optimized);
+            assert!(opt < def);
+        }
+    }
+
+    #[test]
+    fn sustainability_check_uses_junction_limit() {
+        let p = power();
+        let mut t = thermal();
+        t.max_junction_c = 60.0;
+        assert!(!t.is_sustainable(&p, MHz(2200.0), Guardband::Default));
+        t.max_junction_c = 200.0;
+        assert!(t.is_sustainable(&p, MHz(2200.0), Guardband::Default));
+    }
+}

@@ -1,0 +1,152 @@
+//! Compute throughput model.
+//!
+//! Task execution times in the simulator are derived from flop counts and a
+//! frequency-dependent sustained throughput. Real kernels do not scale perfectly with
+//! core clock (memory-bound phases, fixed-latency portions), so the model blends a
+//! frequency-proportional part with a frequency-independent part:
+//!
+//! ```text
+//! gflops(f) = peak_gflops * efficiency * ( scalable * f/f_base + (1 - scalable) )
+//! ```
+//!
+//! `scalable` close to 1.0 models compute-bound BLAS-3 kernels (TMU), lower values model
+//! panel factorizations with more memory/latency-bound work (PD).
+
+use crate::freq::MHz;
+use serde::{Deserialize, Serialize};
+
+/// Classes of kernels with different sustained efficiencies, matching the three task
+/// types of a blocked one-sided factorization plus checksum maintenance work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Panel decomposition (PD): mostly level-2 BLAS, latency bound.
+    PanelFactor,
+    /// Panel update (PU): triangular solve against the panel, level-3 but smaller.
+    PanelUpdate,
+    /// Trailing matrix update (TMU): large GEMM/SYRK, the most efficient kernel.
+    TrailingUpdate,
+    /// ABFT checksum encoding / update / verification kernels.
+    Checksum,
+}
+
+/// Sustained-throughput model for one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputModel {
+    /// Peak double-precision Gflop/s at the base frequency.
+    pub peak_gflops_fp64: f64,
+    /// Peak single-precision Gflop/s at the base frequency.
+    pub peak_gflops_fp32: f64,
+    /// Base frequency the peaks are quoted at.
+    pub base_freq: MHz,
+    /// Fraction of throughput that scales with clock frequency (0..=1).
+    pub scalable_fraction: f64,
+    /// Sustained efficiency (fraction of peak) for panel factorization kernels.
+    pub eff_panel_factor: f64,
+    /// Sustained efficiency for panel update kernels.
+    pub eff_panel_update: f64,
+    /// Sustained efficiency for trailing matrix update kernels.
+    pub eff_trailing_update: f64,
+    /// Sustained efficiency for checksum kernels.
+    pub eff_checksum: f64,
+}
+
+/// Floating point precision of the factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 binary64.
+    Double,
+    /// IEEE-754 binary32.
+    Single,
+}
+
+impl ThroughputModel {
+    fn efficiency(&self, class: KernelClass) -> f64 {
+        match class {
+            KernelClass::PanelFactor => self.eff_panel_factor,
+            KernelClass::PanelUpdate => self.eff_panel_update,
+            KernelClass::TrailingUpdate => self.eff_trailing_update,
+            KernelClass::Checksum => self.eff_checksum,
+        }
+    }
+
+    fn peak(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Double => self.peak_gflops_fp64,
+            Precision::Single => self.peak_gflops_fp32,
+        }
+    }
+
+    /// Sustained Gflop/s for a kernel class at clock `f`.
+    pub fn gflops(&self, class: KernelClass, precision: Precision, f: MHz) -> f64 {
+        let freq_scale =
+            self.scalable_fraction * f.ratio_to(self.base_freq) + (1.0 - self.scalable_fraction);
+        self.peak(precision) * self.efficiency(class) * freq_scale
+    }
+
+    /// Execution time (seconds) of a task of `flops` floating point operations.
+    pub fn exec_time_s(&self, flops: f64, class: KernelClass, precision: Precision, f: MHz) -> f64 {
+        if flops <= 0.0 {
+            return 0.0;
+        }
+        flops / (self.gflops(class, precision, f) * 1.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThroughputModel {
+        ThroughputModel {
+            peak_gflops_fp64: 420.0,
+            peak_gflops_fp32: 13450.0,
+            base_freq: MHz(1300.0),
+            scalable_fraction: 0.85,
+            eff_panel_factor: 0.15,
+            eff_panel_update: 0.55,
+            eff_trailing_update: 0.80,
+            eff_checksum: 0.40,
+        }
+    }
+
+    #[test]
+    fn tmu_is_most_efficient_class() {
+        let m = model();
+        let f = MHz(1300.0);
+        let tmu = m.gflops(KernelClass::TrailingUpdate, Precision::Double, f);
+        for c in [
+            KernelClass::PanelFactor,
+            KernelClass::PanelUpdate,
+            KernelClass::Checksum,
+        ] {
+            assert!(tmu > m.gflops(c, Precision::Double, f));
+        }
+    }
+
+    #[test]
+    fn higher_frequency_is_faster_but_sublinear() {
+        let m = model();
+        let t1 = m.exec_time_s(1e12, KernelClass::TrailingUpdate, Precision::Double, MHz(1300.0));
+        let t2 = m.exec_time_s(1e12, KernelClass::TrailingUpdate, Precision::Double, MHz(2600.0));
+        assert!(t2 < t1);
+        // Doubling the clock less than halves the time because of the non-scalable part.
+        assert!(t2 > t1 / 2.0);
+    }
+
+    #[test]
+    fn single_precision_is_faster_on_gpu_like_model() {
+        let m = model();
+        let d = m.exec_time_s(1e12, KernelClass::TrailingUpdate, Precision::Double, MHz(1300.0));
+        let s = m.exec_time_s(1e12, KernelClass::TrailingUpdate, Precision::Single, MHz(1300.0));
+        assert!(s < d);
+    }
+
+    #[test]
+    fn zero_flops_takes_zero_time() {
+        let m = model();
+        assert_eq!(
+            m.exec_time_s(0.0, KernelClass::PanelFactor, Precision::Double, MHz(1300.0)),
+            0.0
+        );
+    }
+}

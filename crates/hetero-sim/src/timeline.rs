@@ -1,0 +1,182 @@
+//! Per-device simulated timelines.
+//!
+//! The hybrid factorization interleaves concurrent CPU and GPU work with synchronization
+//! points (Figure 1b of the paper). The [`Timeline`] tracks a simulated clock per device,
+//! records every task placed on either device, and computes the slack (idle time) that the
+//! energy-saving strategies reclaim.
+
+use crate::device::DeviceKind;
+use crate::freq::MHz;
+use serde::{Deserialize, Serialize};
+
+/// A task placed on a device timeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Device the task ran on.
+    pub device: DeviceKind,
+    /// Task label ("PD", "PU", "TMU", "DtoH", "abft-verify", ...).
+    pub label: String,
+    /// Iteration of the factorization.
+    pub iteration: usize,
+    /// Simulated start time (seconds from run start).
+    pub start: f64,
+    /// Task duration in seconds.
+    pub duration: f64,
+    /// Clock frequency while the task ran.
+    pub freq: MHz,
+}
+
+impl TaskRecord {
+    /// Simulated completion time.
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// Two-device simulated timeline with explicit synchronization.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    cpu_time: f64,
+    gpu_time: f64,
+    tasks: Vec<TaskRecord>,
+    /// Cumulative idle (slack) seconds recorded per device by `sync`.
+    cpu_slack: f64,
+    gpu_slack: f64,
+}
+
+impl Timeline {
+    /// New timeline with both device clocks at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time of a device.
+    pub fn device_time(&self, device: DeviceKind) -> f64 {
+        match device {
+            DeviceKind::Cpu => self.cpu_time,
+            DeviceKind::Gpu => self.gpu_time,
+        }
+    }
+
+    /// Overall makespan so far (max over devices).
+    pub fn makespan(&self) -> f64 {
+        self.cpu_time.max(self.gpu_time)
+    }
+
+    /// Cumulative slack observed on a device across all `sync` calls.
+    pub fn total_slack(&self, device: DeviceKind) -> f64 {
+        match device {
+            DeviceKind::Cpu => self.cpu_slack,
+            DeviceKind::Gpu => self.gpu_slack,
+        }
+    }
+
+    /// Append a task of `duration` seconds to `device`'s timeline and return its record.
+    pub fn push_task(
+        &mut self,
+        device: DeviceKind,
+        label: impl Into<String>,
+        iteration: usize,
+        duration: f64,
+        freq: MHz,
+    ) -> TaskRecord {
+        debug_assert!(duration >= 0.0, "negative task duration");
+        let start = self.device_time(device);
+        let record = TaskRecord {
+            device,
+            label: label.into(),
+            iteration,
+            start,
+            duration,
+            freq,
+        };
+        match device {
+            DeviceKind::Cpu => self.cpu_time += duration,
+            DeviceKind::Gpu => self.gpu_time += duration,
+        }
+        self.tasks.push(record.clone());
+        record
+    }
+
+    /// Synchronize both devices (a barrier). Returns `(cpu_idle, gpu_idle)`: how long each
+    /// device waited for the other. Exactly one of the two is non-zero (or both are zero),
+    /// and the non-zero one is the *slack* of this phase.
+    pub fn sync(&mut self) -> (f64, f64) {
+        let t = self.makespan();
+        let cpu_idle = t - self.cpu_time;
+        let gpu_idle = t - self.gpu_time;
+        self.cpu_time = t;
+        self.gpu_time = t;
+        self.cpu_slack += cpu_idle;
+        self.gpu_slack += gpu_idle;
+        (cpu_idle, gpu_idle)
+    }
+
+    /// All recorded tasks.
+    pub fn tasks(&self) -> &[TaskRecord] {
+        &self.tasks
+    }
+
+    /// Tasks belonging to a given iteration.
+    pub fn iteration_tasks(&self, iteration: usize) -> Vec<&TaskRecord> {
+        self.tasks.iter().filter(|t| t.iteration == iteration).collect()
+    }
+
+    /// Total busy time of a device (sum of task durations).
+    pub fn busy_time(&self, device: DeviceKind) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.device == device)
+            .map(|t| t.duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_advance_only_their_device() {
+        let mut tl = Timeline::new();
+        tl.push_task(DeviceKind::Cpu, "PD", 0, 1.0, MHz(3500.0));
+        tl.push_task(DeviceKind::Gpu, "TMU", 0, 2.5, MHz(1300.0));
+        assert_eq!(tl.device_time(DeviceKind::Cpu), 1.0);
+        assert_eq!(tl.device_time(DeviceKind::Gpu), 2.5);
+        assert_eq!(tl.makespan(), 2.5);
+    }
+
+    #[test]
+    fn sync_reports_slack_on_the_faster_device() {
+        let mut tl = Timeline::new();
+        tl.push_task(DeviceKind::Cpu, "PD", 0, 1.0, MHz(3500.0));
+        tl.push_task(DeviceKind::Gpu, "TMU", 0, 2.5, MHz(1300.0));
+        let (cpu_idle, gpu_idle) = tl.sync();
+        assert!((cpu_idle - 1.5).abs() < 1e-12);
+        assert_eq!(gpu_idle, 0.0);
+        assert_eq!(tl.device_time(DeviceKind::Cpu), tl.device_time(DeviceKind::Gpu));
+        assert!((tl.total_slack(DeviceKind::Cpu) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_records_have_correct_start_end() {
+        let mut tl = Timeline::new();
+        let a = tl.push_task(DeviceKind::Gpu, "PU", 0, 0.5, MHz(1300.0));
+        let b = tl.push_task(DeviceKind::Gpu, "TMU", 0, 1.5, MHz(1300.0));
+        assert_eq!(a.start, 0.0);
+        assert_eq!(a.end(), 0.5);
+        assert_eq!(b.start, 0.5);
+        assert_eq!(b.end(), 2.0);
+        assert_eq!(tl.iteration_tasks(0).len(), 2);
+        assert!((tl.busy_time(DeviceKind::Gpu) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_sync_is_idempotent() {
+        let mut tl = Timeline::new();
+        tl.push_task(DeviceKind::Cpu, "PD", 0, 1.0, MHz(3500.0));
+        tl.sync();
+        let (c, g) = tl.sync();
+        assert_eq!((c, g), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Host ↔ device data transfer model.
+//!
+//! The hybrid factorization moves the panel between GPU and CPU every iteration
+//! (device-to-host before PD, host-to-device after), shown as `DtoH`/`HtoD` in the
+//! paper's Figures 3, 7 and 10. Transfers ride on PCIe and their time is part of the
+//! critical-path accounting in Algorithm 2 (`T'_{DataTransfer}`).
+
+use serde::{Deserialize, Serialize};
+
+/// PCIe-like interconnect model: fixed per-transfer latency plus bandwidth-limited
+/// transfer time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PcieModel {
+    /// Sustained bandwidth in GB/s (the paper's platform is PCIe 3.0 x16, ~12 GB/s
+    /// sustained for pinned memory).
+    pub bandwidth_gb_per_s: f64,
+    /// Per-transfer launch latency in seconds.
+    pub latency_s: f64,
+    /// Power drawn on the host side while a transfer is in flight (W). Transfers are
+    /// DMA driven; this is small and attributed to the CPU package in the paper's
+    /// measurements.
+    pub transfer_power_w: f64,
+}
+
+impl PcieModel {
+    /// The paper platform's interconnect.
+    pub fn paper_default() -> Self {
+        Self {
+            bandwidth_gb_per_s: 12.0,
+            latency_s: 20.0e-6,
+            transfer_power_w: 8.0,
+        }
+    }
+
+    /// Transfer time in seconds for `bytes` bytes (one direction).
+    pub fn transfer_time_s(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency_s + bytes / (self.bandwidth_gb_per_s * 1.0e9)
+    }
+
+    /// Round-trip time for a panel that is sent to the host and back.
+    pub fn round_trip_time_s(&self, bytes_each_way: f64) -> f64 {
+        2.0 * self.transfer_time_s(bytes_each_way)
+    }
+
+    /// Energy attributed to a transfer of the given duration.
+    pub fn transfer_energy_j(&self, seconds: f64) -> f64 {
+        self.transfer_power_w * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let p = PcieModel::paper_default();
+        assert_eq!(p.transfer_time_s(0.0), 0.0);
+    }
+
+    #[test]
+    fn time_scales_with_size() {
+        let p = PcieModel::paper_default();
+        let t1 = p.transfer_time_s(1.0e6);
+        let t2 = p.transfer_time_s(2.0e6);
+        assert!(t2 > t1);
+        // Large transfers approach bandwidth-limited behaviour.
+        let t_big = p.transfer_time_s(1.2e10);
+        assert!((t_big - (1.0 + p.latency_s)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn round_trip_is_twice_one_way() {
+        let p = PcieModel::paper_default();
+        assert!((p.round_trip_time_s(1e6) - 2.0 * p.transfer_time_s(1e6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let p = PcieModel::paper_default();
+        assert!((p.transfer_energy_j(0.5) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Level-1 BLAS style helpers on slices.
+//!
+//! These are the scalar building blocks of the panel factorizations; the heavy lifting is
+//! done by the level-3 kernels in [`crate::blas3`].
+
+/// Dot product of two equally long slices.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn nrm2(x: &[f64]) -> f64 {
+    // Scaled accumulation to avoid overflow/underflow for extreme values.
+    let maxabs = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if maxabs == 0.0 {
+        return 0.0;
+    }
+    let sum: f64 = x.iter().map(|&v| (v / maxabs) * (v / maxabs)).sum();
+    maxabs * sum.sqrt()
+}
+
+/// Index of the element with the largest absolute value.
+#[inline]
+pub fn iamax(x: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_val = f64::MIN;
+    for (i, &v) in x.iter().enumerate() {
+        if v.abs() > best_val {
+            best_val = v.abs();
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sum of the elements of a slice.
+#[inline]
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scal() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn nrm2_is_euclidean_and_robust() {
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+        // No overflow for large values.
+        let big = nrm2(&[1e200, 1e200]);
+        assert!((big - 1e200 * 2.0_f64.sqrt()).abs() / big < 1e-12);
+    }
+
+    #[test]
+    fn iamax_finds_largest_magnitude() {
+        assert_eq!(iamax(&[1.0, -7.0, 3.0]), 1);
+        assert_eq!(iamax(&[0.0]), 0);
+    }
+
+    #[test]
+    fn asum_sums_magnitudes() {
+        assert_eq!(asum(&[1.0, -2.0, 3.0]), 6.0);
+    }
+}

@@ -1,0 +1,608 @@
+//! Level-3 BLAS kernels (GEMM, TRSM, SYRK) operating in place on blocks of a [`Matrix`].
+//!
+//! The kernels are written column-oriented to match the column-major storage, and are
+//! parallelized with rayon over the columns of the *output* block: in column-major storage
+//! every column is a disjoint slice of the backing vector, so the parallel split is
+//! expressed entirely through `par_chunks_exact_mut` with no `unsafe`.
+//!
+//! Small problems fall back to the sequential path — the threshold keeps the dispatch
+//! overhead away from the tiny per-panel updates of the blocked factorizations.
+
+use crate::matrix::{Block, Matrix};
+use rayon::prelude::*;
+
+/// Transposition selector for GEMM operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Which side a triangular operand appears on in TRSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `op(A) * X = B`.
+    Left,
+    /// Solve `X * op(A) = B`.
+    Right,
+}
+
+/// Triangular structure selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpLo {
+    /// Lower triangular.
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// Whether the triangular matrix has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal elements are taken from the matrix.
+    NonUnit,
+    /// Diagonal elements are assumed to be one.
+    Unit,
+}
+
+/// Work size (in output elements × inner dimension) above which the parallel path is used.
+const PAR_THRESHOLD: usize = 64 * 64 * 16;
+
+#[inline]
+fn op_dims(a: &Matrix, trans: Trans) -> (usize, usize) {
+    match trans {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    }
+}
+
+#[inline]
+fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
+    match trans {
+        Trans::No => a.get(i, j),
+        Trans::Yes => a.get(j, i),
+    }
+}
+
+/// General matrix-matrix multiply into a block of `c`:
+/// `C[cb] = alpha * op(A) * op(B) + beta * C[cb]`.
+///
+/// `op(A)` must be `cb.rows × k` and `op(B)` must be `k × cb.cols`.
+pub fn gemm_into_block(
+    alpha: f64,
+    a: &Matrix,
+    transa: Trans,
+    b: &Matrix,
+    transb: Trans,
+    beta: f64,
+    c: &mut Matrix,
+    cb: Block,
+) {
+    let (am, ak) = op_dims(a, transa);
+    let (bk, bn) = op_dims(b, transb);
+    assert_eq!(ak, bk, "gemm: inner dimensions differ ({ak} vs {bk})");
+    assert_eq!(am, cb.rows, "gemm: output rows mismatch");
+    assert_eq!(bn, cb.cols, "gemm: output cols mismatch");
+    assert!(
+        cb.row + cb.rows <= c.rows() && cb.col + cb.cols <= c.cols(),
+        "gemm: output block out of bounds"
+    );
+    if cb.is_empty() {
+        return;
+    }
+    let k = ak;
+    let c_rows = c.rows();
+    let row0 = cb.row;
+
+    let col_kernel = |jj: usize, c_col: &mut [f64]| {
+        // c_col is the [row0, row0+rows) slice of output column cb.col + jj.
+        if beta != 1.0 {
+            for v in c_col.iter_mut() {
+                *v *= beta;
+            }
+        }
+        match (transa, transb) {
+            (Trans::No, _) => {
+                // Column-major friendly: accumulate alpha * A[:, l] * op(B)[l, jj].
+                for l in 0..k {
+                    let bval = op_get(b, transb, l, jj);
+                    if bval == 0.0 {
+                        continue;
+                    }
+                    let scale = alpha * bval;
+                    let a_col = a.col(l);
+                    for (i, cv) in c_col.iter_mut().enumerate() {
+                        *cv += scale * a_col[i];
+                    }
+                }
+            }
+            (Trans::Yes, _) => {
+                // op(A)[i, l] = A[l, i]: dot products against columns of A.
+                for (i, cv) in c_col.iter_mut().enumerate() {
+                    let a_col = a.col(i);
+                    let mut acc = 0.0;
+                    for l in 0..k {
+                        acc += a_col[l] * op_get(b, transb, l, jj);
+                    }
+                    *cv += alpha * acc;
+                }
+            }
+        }
+    };
+
+    let work = cb.rows * cb.cols * k;
+    if work >= PAR_THRESHOLD {
+        c.data_mut()
+            .par_chunks_exact_mut(c_rows)
+            .enumerate()
+            .skip(cb.col)
+            .take(cb.cols)
+            .for_each(|(j, col)| {
+                let jj = j - cb.col;
+                col_kernel(jj, &mut col[row0..row0 + cb.rows]);
+            });
+    } else {
+        for (j, col_slice) in c.cols_range_mut(cb) {
+            let jj = j - cb.col;
+            col_kernel(jj, col_slice);
+        }
+    }
+}
+
+/// Convenience wrapper multiplying whole matrices into a fresh output:
+/// returns `op(A) * op(B)`.
+pub fn gemm(a: &Matrix, transa: Trans, b: &Matrix, transb: Trans) -> Matrix {
+    let (m, _) = op_dims(a, transa);
+    let (_, n) = op_dims(b, transb);
+    let mut c = Matrix::zeros(m, n);
+    gemm_into_block(1.0, a, transa, b, transb, 0.0, &mut c, Block::full(m, n));
+    c
+}
+
+/// Triangular solve with multiple right-hand sides, in place on a block of `b`:
+///
+/// * `Side::Left`:  `op(A) * X = alpha * B[bb]`, X overwrites `B[bb]`.
+/// * `Side::Right`: `X * op(A) = alpha * B[bb]`, X overwrites `B[bb]`.
+///
+/// `A` must be a square triangular matrix of the appropriate order.
+#[allow(clippy::too_many_arguments)]
+pub fn trsm_into_block(
+    side: Side,
+    uplo: UpLo,
+    transa: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &Matrix,
+    b: &mut Matrix,
+    bb: Block,
+) {
+    assert!(a.is_square(), "trsm: A must be square");
+    let n = a.rows();
+    match side {
+        Side::Left => assert_eq!(n, bb.rows, "trsm(Left): order of A must equal block rows"),
+        Side::Right => assert_eq!(n, bb.cols, "trsm(Right): order of A must equal block cols"),
+    }
+    assert!(
+        bb.row + bb.rows <= b.rows() && bb.col + bb.cols <= b.cols(),
+        "trsm: block out of bounds"
+    );
+    if bb.is_empty() {
+        return;
+    }
+
+    // Effective access to op(A): a lower-triangular A accessed transposed behaves as
+    // upper-triangular and vice versa.
+    let eff_uplo = match (uplo, transa) {
+        (UpLo::Lower, Trans::No) | (UpLo::Upper, Trans::Yes) => UpLo::Lower,
+        _ => UpLo::Upper,
+    };
+    let a_at = |i: usize, j: usize| op_get(a, transa, i, j);
+
+    match side {
+        Side::Left => {
+            // Each right-hand-side column is independent: parallelize over columns.
+            let b_rows = b.rows();
+            let row0 = bb.row;
+            let solve_col = |col: &mut [f64]| {
+                if alpha != 1.0 {
+                    for v in col.iter_mut() {
+                        *v *= alpha;
+                    }
+                }
+                match eff_uplo {
+                    UpLo::Lower => {
+                        for i in 0..n {
+                            let mut sum = col[i];
+                            for l in 0..i {
+                                sum -= a_at(i, l) * col[l];
+                            }
+                            col[i] = match diag {
+                                Diag::Unit => sum,
+                                Diag::NonUnit => sum / a_at(i, i),
+                            };
+                        }
+                    }
+                    UpLo::Upper => {
+                        for i in (0..n).rev() {
+                            let mut sum = col[i];
+                            for l in i + 1..n {
+                                sum -= a_at(i, l) * col[l];
+                            }
+                            col[i] = match diag {
+                                Diag::Unit => sum,
+                                Diag::NonUnit => sum / a_at(i, i),
+                            };
+                        }
+                    }
+                }
+            };
+            let work = bb.rows * bb.cols * n;
+            if work >= PAR_THRESHOLD {
+                b.data_mut()
+                    .par_chunks_exact_mut(b_rows)
+                    .skip(bb.col)
+                    .take(bb.cols)
+                    .for_each(|col| solve_col(&mut col[row0..row0 + bb.rows]));
+            } else {
+                for (_, col) in b.cols_range_mut(bb) {
+                    solve_col(col);
+                }
+            }
+        }
+        Side::Right => {
+            // X * op(A) = alpha * B. Column j of the equation couples output columns
+            // 0..=j (lower effective triangle) or j..n (upper), so columns are produced
+            // sequentially; rows within a column are independent.
+            if alpha != 1.0 {
+                for (_, col) in b.cols_range_mut(bb) {
+                    for v in col {
+                        *v *= alpha;
+                    }
+                }
+            }
+            match eff_uplo {
+                UpLo::Lower => {
+                    // op(A) lower: B[:,j] = Σ_{l ≥ j} X[:,l]·op(A)[l,j] — solve j descending.
+                    for j in (0..n).rev() {
+                        for l in j + 1..n {
+                            let scale = a_at(l, j);
+                            if scale == 0.0 {
+                                continue;
+                            }
+                            subtract_scaled_column(b, bb, j, l, scale);
+                        }
+                        if diag == Diag::NonUnit {
+                            let d = a_at(j, j);
+                            for v in column_mut(b, bb, j) {
+                                *v /= d;
+                            }
+                        }
+                    }
+                }
+                UpLo::Upper => {
+                    // op(A) upper: B[:,j] = Σ_{l ≤ j} X[:,l]·op(A)[l,j] — solve j ascending.
+                    for j in 0..n {
+                        for l in 0..j {
+                            let scale = a_at(l, j);
+                            if scale == 0.0 {
+                                continue;
+                            }
+                            subtract_scaled_column(b, bb, j, l, scale);
+                        }
+                        if diag == Diag::NonUnit {
+                            let d = a_at(j, j);
+                            for v in column_mut(b, bb, j) {
+                                *v /= d;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `B[bb][:, j] -= scale * B[bb][:, l]` for two local column indices of the block.
+fn subtract_scaled_column(b: &mut Matrix, bb: Block, j: usize, l: usize, scale: f64) {
+    let rows = bb.rows;
+    let row0 = bb.row;
+    let (cj, cl) = (bb.col + j, bb.col + l);
+    // Columns are disjoint slices of the backing storage; split_at_mut gives us both.
+    let b_rows = b.rows();
+    let data = b.data_mut();
+    let (lo_idx, hi_idx) = if cl < cj { (cl, cj) } else { (cj, cl) };
+    let (head, tail) = data.split_at_mut(hi_idx * b_rows);
+    let lo_col = &mut head[lo_idx * b_rows..lo_idx * b_rows + b_rows];
+    let hi_col = &mut tail[..b_rows];
+    let (dst, src): (&mut [f64], &[f64]) = if cl < cj { (hi_col, lo_col) } else { (lo_col, hi_col) };
+    for i in 0..rows {
+        dst[row0 + i] -= scale * src[row0 + i];
+    }
+}
+
+/// Mutable slice of local column `j` of block `bb`.
+fn column_mut(b: &mut Matrix, bb: Block, j: usize) -> &mut [f64] {
+    let rows = b.rows();
+    let col = bb.col + j;
+    &mut b.data_mut()[col * rows + bb.row..col * rows + bb.row + bb.rows]
+}
+
+/// Symmetric rank-k update of the lower triangle of a block of `c`:
+/// `C[cb] = alpha * A * A^T + beta * C[cb]` (only the lower triangle is referenced/updated).
+///
+/// `A` must have `cb.rows` rows; `cb` must be square.
+pub fn syrk_lower_into_block(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix, cb: Block) {
+    assert_eq!(cb.rows, cb.cols, "syrk: output block must be square");
+    assert_eq!(a.rows(), cb.rows, "syrk: A rows must match block order");
+    if cb.is_empty() {
+        return;
+    }
+    let k = a.cols();
+    let c_rows = c.rows();
+    let row0 = cb.row;
+
+    let col_kernel = |jj: usize, c_col: &mut [f64]| {
+        // Only rows i >= jj of this column belong to the lower triangle.
+        for (i, cv) in c_col.iter_mut().enumerate().skip(jj) {
+            if beta != 1.0 {
+                *cv *= beta;
+            }
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.get(i, l) * a.get(jj, l);
+            }
+            *cv += alpha * acc;
+        }
+    };
+
+    let work = cb.rows * cb.cols * k / 2;
+    if work >= PAR_THRESHOLD {
+        c.data_mut()
+            .par_chunks_exact_mut(c_rows)
+            .enumerate()
+            .skip(cb.col)
+            .take(cb.cols)
+            .for_each(|(j, col)| {
+                let jj = j - cb.col;
+                col_kernel(jj, &mut col[row0..row0 + cb.rows]);
+            });
+    } else {
+        for (j, col) in c.cols_range_mut(cb) {
+            let jj = j - cb.col;
+            col_kernel(jj, col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for l in 0..a.cols() {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_matches_naive_all_transpose_combinations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = random_matrix(&mut rng, 7, 5);
+        let b = random_matrix(&mut rng, 5, 6);
+        let c = gemm(&a, Trans::No, &b, Trans::No);
+        assert!(c.approx_eq(&naive_gemm(&a, &b), 1e-12));
+
+        let at = a.transposed();
+        let c2 = gemm(&at, Trans::Yes, &b, Trans::No);
+        assert!(c2.approx_eq(&naive_gemm(&a, &b), 1e-12));
+
+        let bt = b.transposed();
+        let c3 = gemm(&a, Trans::No, &bt, Trans::Yes);
+        assert!(c3.approx_eq(&naive_gemm(&a, &b), 1e-12));
+
+        let c4 = gemm(&at, Trans::Yes, &bt, Trans::Yes);
+        assert!(c4.approx_eq(&naive_gemm(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn gemm_into_block_respects_alpha_beta_and_offsets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = random_matrix(&mut rng, 3, 4);
+        let b = random_matrix(&mut rng, 4, 2);
+        let mut c = Matrix::from_fn(5, 5, |i, j| (i + j) as f64);
+        let orig = c.clone();
+        let cb = Block::new(1, 2, 3, 2);
+        gemm_into_block(2.0, &a, Trans::No, &b, Trans::No, 0.5, &mut c, cb);
+        let expected_block = {
+            let mut e = Matrix::zeros(3, 2);
+            let prod = naive_gemm(&a, &b);
+            for i in 0..3 {
+                for j in 0..2 {
+                    e.set(i, j, 2.0 * prod.get(i, j) + 0.5 * orig.get(1 + i, 2 + j));
+                }
+            }
+            e
+        };
+        assert!(c.copy_block(cb).approx_eq(&expected_block, 1e-12));
+        // Outside the block nothing changed.
+        assert_eq!(c.get(0, 0), orig.get(0, 0));
+        assert_eq!(c.get(4, 4), orig.get(4, 4));
+        assert_eq!(c.get(4, 1), orig.get(4, 1));
+    }
+
+    #[test]
+    fn gemm_large_parallel_path_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 80, 70);
+        let b = random_matrix(&mut rng, 70, 90);
+        let c = gemm(&a, Trans::No, &b, Trans::No);
+        assert!(c.approx_eq(&naive_gemm(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn trsm_left_lower_solves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Build a well-conditioned lower-triangular matrix.
+        let mut l = random_matrix(&mut rng, 6, 6).lower_triangular();
+        for i in 0..6 {
+            l.set(i, i, 3.0 + i as f64);
+        }
+        let x_true = random_matrix(&mut rng, 6, 4);
+        let b = gemm(&l, Trans::No, &x_true, Trans::No);
+        let mut x = b.clone();
+        trsm_into_block(
+            Side::Left,
+            UpLo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            &l,
+            &mut x,
+            Block::full(6, 4),
+        );
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn trsm_left_lower_unit_and_transposed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut l = random_matrix(&mut rng, 5, 5).lower_triangular();
+        for i in 0..5 {
+            l.set(i, i, 1.0); // stored diagonal equal to the implicit unit diagonal
+        }
+        let x_true = random_matrix(&mut rng, 5, 3);
+        // op(A) = L^T: upper triangular solve.
+        let b = gemm(&l.transposed(), Trans::No, &x_true, Trans::No);
+        let mut x = b.clone();
+        trsm_into_block(
+            Side::Left,
+            UpLo::Lower,
+            Trans::Yes,
+            Diag::Unit,
+            1.0,
+            &l,
+            &mut x,
+            Block::full(5, 3),
+        );
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn trsm_right_lower_transposed_solves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut l = random_matrix(&mut rng, 4, 4).lower_triangular();
+        for i in 0..4 {
+            l.set(i, i, 2.0 + i as f64);
+        }
+        let x_true = random_matrix(&mut rng, 6, 4);
+        // B = X * L^T
+        let b = gemm(&x_true, Trans::No, &l, Trans::Yes);
+        let mut x = b.clone();
+        trsm_into_block(
+            Side::Right,
+            UpLo::Lower,
+            Trans::Yes,
+            Diag::NonUnit,
+            1.0,
+            &l,
+            &mut x,
+            Block::full(6, 4),
+        );
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn trsm_right_upper_solves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut u = random_matrix(&mut rng, 4, 4).upper_triangular();
+        for i in 0..4 {
+            u.set(i, i, 2.0 + i as f64);
+        }
+        let x_true = random_matrix(&mut rng, 5, 4);
+        let b = gemm(&x_true, Trans::No, &u, Trans::No);
+        let mut x = b.clone();
+        trsm_into_block(
+            Side::Right,
+            UpLo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            &u,
+            &mut x,
+            Block::full(5, 4),
+        );
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn trsm_applies_alpha() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[4.0], &[10.0]]);
+        let mut x = b.clone();
+        trsm_into_block(
+            Side::Left,
+            UpLo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            2.0,
+            &l,
+            &mut x,
+            Block::full(2, 1),
+        );
+        // Solves L x = 2*b -> x = [4, 4]
+        assert!((x.get(0, 0) - 4.0).abs() < 1e-12);
+        assert!((x.get(1, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn syrk_lower_matches_gemm() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let a = random_matrix(&mut rng, 6, 4);
+        let mut c = Matrix::zeros(6, 6);
+        syrk_lower_into_block(1.0, &a, 0.0, &mut c, Block::full(6, 6));
+        let full = gemm(&a, Trans::No, &a, Trans::Yes);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i >= j {
+                    assert!((c.get(i, j) - full.get(i, j)).abs() < 1e-12);
+                } else {
+                    assert_eq!(c.get(i, j), 0.0, "upper triangle must stay untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_into_offset_block_with_beta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = random_matrix(&mut rng, 3, 2);
+        let mut c = Matrix::from_fn(5, 5, |i, j| (i * j) as f64);
+        let orig = c.clone();
+        let cb = Block::new(2, 2, 3, 3);
+        syrk_lower_into_block(-1.0, &a, 1.0, &mut c, cb);
+        let full = gemm(&a, Trans::No, &a, Trans::Yes);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i >= j {
+                    orig.get(2 + i, 2 + j) - full.get(i, j)
+                } else {
+                    orig.get(2 + i, 2 + j)
+                };
+                assert!((c.get(2 + i, 2 + j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+}

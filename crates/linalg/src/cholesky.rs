@@ -1,0 +1,176 @@
+//! Blocked right-looking Cholesky factorization (`A = L Lᵀ`, lower variant).
+//!
+//! The iteration structure matches the hybrid algorithm of the paper's Figure 1: a small
+//! `b × b` panel factorization (PD, run on the CPU in the hybrid setting), a panel update
+//! (TRSM) and a trailing-matrix update (SYRK) that run on the GPU. The per-step entry
+//! points are public so the heterogeneous driver in `bsr-core` can interleave them with
+//! checksum maintenance, fault injection and simulated timing.
+
+use crate::blas3::{syrk_lower_into_block, trsm_into_block, Diag, Side, Trans, UpLo};
+use crate::matrix::{Block, Matrix};
+
+/// Error returned when a matrix is not positive definite (or not square).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CholeskyError {
+    /// The input matrix is not square.
+    NotSquare,
+    /// A non-positive pivot was encountered at the given global index.
+    NotPositiveDefinite(usize),
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+            CholeskyError::NotPositiveDefinite(i) => {
+                write!(f, "matrix is not positive definite (pivot {i})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Unblocked Cholesky factorization (lower) of the `nb × nb` diagonal block starting at
+/// `(j0, j0)`. This is the panel decomposition (PD) kernel.
+pub fn potf2(a: &mut Matrix, j0: usize, nb: usize) -> Result<(), CholeskyError> {
+    for j in j0..j0 + nb {
+        // d = A[j][j] - sum_{k<j, k>=j0... } actually over all previous columns of L
+        let mut d = a.get(j, j);
+        for k in j0..j {
+            let v = a.get(j, k);
+            d -= v * v;
+        }
+        if d <= 0.0 {
+            return Err(CholeskyError::NotPositiveDefinite(j));
+        }
+        let d = d.sqrt();
+        a.set(j, j, d);
+        for i in j + 1..j0 + nb {
+            let mut s = a.get(i, j);
+            for k in j0..j {
+                s -= a.get(i, k) * a.get(j, k);
+            }
+            a.set(i, j, s / d);
+        }
+    }
+    Ok(())
+}
+
+/// Panel update (PU) of iteration `k`: `A21 ← A21 · L11⁻ᵀ` where `A21` is the block of
+/// rows below the diagonal block.
+pub fn panel_update(a: &mut Matrix, j0: usize, nb: usize) {
+    let n = a.rows();
+    if j0 + nb >= n {
+        return;
+    }
+    let l11 = a.copy_block(Block::new(j0, j0, nb, nb)).lower_triangular();
+    trsm_into_block(
+        Side::Right,
+        UpLo::Lower,
+        Trans::Yes,
+        Diag::NonUnit,
+        1.0,
+        &l11,
+        a,
+        Block::new(j0 + nb, j0, n - j0 - nb, nb),
+    );
+}
+
+/// Trailing matrix update (TMU) of iteration `k`: `A22 ← A22 − A21 · A21ᵀ` (lower only).
+pub fn trailing_update(a: &mut Matrix, j0: usize, nb: usize) {
+    let n = a.rows();
+    if j0 + nb >= n {
+        return;
+    }
+    let a21 = a.copy_block(Block::new(j0 + nb, j0, n - j0 - nb, nb));
+    syrk_lower_into_block(
+        -1.0,
+        &a21,
+        1.0,
+        a,
+        Block::new(j0 + nb, j0 + nb, n - j0 - nb, n - j0 - nb),
+    );
+}
+
+/// Full blocked Cholesky factorization with block size `block`. On success the lower
+/// triangle of `a` contains `L`; the strictly upper triangle is left untouched.
+pub fn cholesky_blocked(a: &mut Matrix, block: usize) -> Result<(), CholeskyError> {
+    if !a.is_square() {
+        return Err(CholeskyError::NotSquare);
+    }
+    let n = a.rows();
+    assert!(block > 0, "block size must be positive");
+    let mut j0 = 0;
+    while j0 < n {
+        let nb = block.min(n - j0);
+        potf2(a, j0, nb)?;
+        panel_update(a, j0, nb);
+        trailing_update(a, j0, nb);
+        j0 += nb;
+    }
+    Ok(())
+}
+
+/// Number of blocked iterations a Cholesky of order `n` with block size `b` performs.
+pub fn num_iterations(n: usize, b: usize) -> usize {
+    n.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm;
+    use crate::generate::random_spd_matrix;
+    use crate::verify::cholesky_residual;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn factorizes_small_known_matrix() {
+        // A = L L^T with L = [[2,0],[3,1]]
+        let mut a = Matrix::from_rows(&[&[4.0, 6.0], &[6.0, 10.0]]);
+        cholesky_blocked(&mut a, 1).unwrap();
+        assert!((a.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((a.get(1, 0) - 3.0).abs() < 1e-12);
+        assert!((a.get(1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_and_reconstructs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for n in [5, 16, 33, 64] {
+            let a0 = random_spd_matrix(&mut rng, n);
+            let mut a_blocked = a0.clone();
+            cholesky_blocked(&mut a_blocked, 8).unwrap();
+            let mut a_unblocked = a0.clone();
+            cholesky_blocked(&mut a_unblocked, n).unwrap();
+            let lb = a_blocked.lower_triangular();
+            let lu = a_unblocked.lower_triangular();
+            assert!(lb.approx_eq(&lu, 1e-8), "blocked and unblocked L differ for n={n}");
+            assert!(cholesky_residual(&a0, &lb) < 1e-10);
+            let rec = gemm(&lb, Trans::No, &lb, Trans::Yes);
+            assert!(rec.approx_eq(&a0, 1e-8));
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let mut a = Matrix::zeros(3, 4);
+        assert_eq!(cholesky_blocked(&mut a, 2), Err(CholeskyError::NotSquare));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let err = cholesky_blocked(&mut a, 2).unwrap_err();
+        assert!(matches!(err, CholeskyError::NotPositiveDefinite(_)));
+    }
+
+    #[test]
+    fn iteration_count() {
+        assert_eq!(num_iterations(100, 32), 4);
+        assert_eq!(num_iterations(96, 32), 3);
+        assert_eq!(num_iterations(1, 32), 1);
+    }
+}

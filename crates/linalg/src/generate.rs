@@ -1,0 +1,76 @@
+//! Test-matrix generators.
+//!
+//! The paper evaluates the decompositions on dense random inputs (up to 30720 × 30720).
+//! These helpers generate reproducible random general and symmetric-positive-definite
+//! matrices for the numeric-mode experiments and the test suites.
+
+use crate::blas3::{gemm, Trans};
+use crate::matrix::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Dense matrix with entries uniform in `[-1, 1)`.
+pub fn random_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let dist = Uniform::new(-1.0, 1.0);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// Random symmetric positive definite matrix of order `n`.
+///
+/// Built as `B Bᵀ + n·I`, which is symmetric and strictly diagonally dominant enough to be
+/// safely positive definite for Cholesky.
+pub fn random_spd_matrix<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    let b = random_matrix(rng, n, n);
+    let mut a = gemm(&b, Trans::No, &b, Trans::Yes);
+    for i in 0..n {
+        a.add_assign(i, i, n as f64);
+    }
+    a
+}
+
+/// Random diagonally dominant matrix of order `n` (well conditioned for LU with partial
+/// pivoting and for checksum round-trips).
+pub fn random_diag_dominant_matrix<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    let mut a = random_matrix(rng, n, n);
+    for i in 0..n {
+        let v = a.get(i, i);
+        a.set(i, i, v + n as f64);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_matrix_is_reproducible() {
+        let a = random_matrix(&mut ChaCha8Rng::seed_from_u64(7), 4, 3);
+        let b = random_matrix(&mut ChaCha8Rng::seed_from_u64(7), 4, 3);
+        assert!(a.approx_eq(&b, 0.0));
+        assert!(a.max_abs() <= 1.0);
+    }
+
+    #[test]
+    fn spd_matrix_is_symmetric_with_positive_diagonal() {
+        let a = random_spd_matrix(&mut ChaCha8Rng::seed_from_u64(1), 8);
+        for i in 0..8 {
+            assert!(a.get(i, i) > 0.0);
+            for j in 0..8 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diag_dominant_has_large_diagonal() {
+        let n = 6;
+        let a = random_diag_dominant_matrix(&mut ChaCha8Rng::seed_from_u64(2), n);
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+            assert!(a.get(i, i).abs() > off - 1.0);
+        }
+    }
+}

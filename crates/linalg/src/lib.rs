@@ -1,0 +1,35 @@
+//! # bsr-linalg
+//!
+//! Pure-Rust dense linear algebra substrate for the PPoPP'23 BSR/ABFT-OC reproduction.
+//!
+//! The paper's factorizations are the MAGMA hybrid blocked one-sided decompositions
+//! (Cholesky, LU with partial pivoting, Householder QR). This crate reimplements that
+//! algorithmic structure from scratch:
+//!
+//! * [`matrix`] — column-major dense matrices and block addressing,
+//! * [`blas1`] / [`blas3`] — the kernels the factorizations are built from (GEMM, TRSM,
+//!   SYRK), rayon-parallel over output columns,
+//! * [`cholesky`], [`lu`], [`qr`] — blocked right-looking factorizations whose
+//!   per-iteration steps (panel decomposition, panel update, trailing matrix update) are
+//!   individually exposed so the heterogeneous driver in `bsr-core` can schedule them on
+//!   the simulated CPU/GPU, inject faults and maintain ABFT checksums between steps,
+//! * [`generate`] — reproducible random inputs,
+//! * [`verify`] — residual checks used both in tests and in the reliability experiments.
+//!
+//! The crate favours clarity and testability over raw kernel speed: the numeric-mode
+//! experiments run at modest sizes (n ≤ a few thousand), while paper-scale runs
+//! (n = 30720) use the analytic performance model in `bsr-core`.
+
+#![warn(missing_docs)]
+
+pub mod blas1;
+pub mod blas3;
+pub mod cholesky;
+pub mod generate;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod verify;
+
+pub use blas3::{Diag, Side, Trans, UpLo};
+pub use matrix::{Block, Matrix};

@@ -1,0 +1,273 @@
+//! Blocked LU factorization with partial pivoting (`P A = L U`).
+//!
+//! Structure per iteration (paper Figure 1a):
+//! 1. **PD** — [`panel_factor`]: unblocked LU of the tall panel with partial pivoting
+//!    (run on the CPU in the hybrid algorithm);
+//! 2. row interchanges are applied to the rest of the matrix;
+//! 3. **PU** — [`panel_update`]: `U₁₂ ← L₁₁⁻¹ A₁₂` (TRSM, on the GPU);
+//! 4. **TMU** — [`trailing_update`]: `A₂₂ ← A₂₂ − L₂₁ U₁₂` (GEMM, on the GPU).
+
+use crate::blas1::iamax;
+use crate::blas3::{gemm_into_block, trsm_into_block, Diag, Side, Trans, UpLo};
+use crate::matrix::{Block, Matrix};
+
+/// Error returned by the LU factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LuError {
+    /// The input matrix is not square.
+    NotSquare,
+    /// An exactly singular pivot was encountered at the given column.
+    Singular(usize),
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::NotSquare => write!(f, "matrix is not square"),
+            LuError::Singular(j) => write!(f, "matrix is singular at column {j}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// Unblocked LU with partial pivoting of the panel `A[j0.., j0..j0+nb]`.
+///
+/// Row swaps are applied to the *entire* matrix immediately (left and right of the panel),
+/// and the global pivot rows are appended to `pivots` (one entry per panel column: the row
+/// that was swapped into the diagonal position).
+pub fn panel_factor(
+    a: &mut Matrix,
+    j0: usize,
+    nb: usize,
+    pivots: &mut Vec<usize>,
+) -> Result<(), LuError> {
+    let n = a.rows();
+    for j in j0..j0 + nb {
+        // Pivot search in column j, rows j..n.
+        let col = a.col(j);
+        let rel = iamax(&col[j..n]);
+        let piv = j + rel;
+        if a.get(piv, j) == 0.0 {
+            return Err(LuError::Singular(j));
+        }
+        pivots.push(piv);
+        if piv != j {
+            a.swap_rows(j, piv, 0, a.cols());
+        }
+        // Scale the multipliers.
+        let d = a.get(j, j);
+        for i in j + 1..n {
+            let v = a.get(i, j) / d;
+            a.set(i, j, v);
+        }
+        // Rank-1 update of the remaining panel columns.
+        for c in j + 1..j0 + nb {
+            let ujc = a.get(j, c);
+            if ujc == 0.0 {
+                continue;
+            }
+            for i in j + 1..n {
+                let lij = a.get(i, j);
+                if lij != 0.0 {
+                    a.add_assign(i, c, -lij * ujc);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panel update (PU) of iteration `k`: `U₁₂ ← L₁₁⁻¹ A₁₂` over columns right of the panel.
+pub fn panel_update(a: &mut Matrix, j0: usize, nb: usize) {
+    let n = a.cols();
+    if j0 + nb >= n {
+        return;
+    }
+    let l11 = a
+        .copy_block(Block::new(j0, j0, nb, nb))
+        .unit_lower_triangular();
+    trsm_into_block(
+        Side::Left,
+        UpLo::Lower,
+        Trans::No,
+        Diag::Unit,
+        1.0,
+        &l11,
+        a,
+        Block::new(j0, j0 + nb, nb, n - j0 - nb),
+    );
+}
+
+/// Trailing matrix update (TMU) of iteration `k`: `A₂₂ ← A₂₂ − L₂₁ U₁₂`.
+///
+/// `col_limit` restricts the update to trailing columns `< col_limit` (global index); the
+/// hybrid driver uses this to split the update into the look-ahead part (next panel
+/// columns, TMU′) and the remainder (TMU). Pass `a.cols()` for the full update.
+pub fn trailing_update_cols(a: &mut Matrix, j0: usize, nb: usize, col_start: usize, col_end: usize) {
+    let n = a.rows();
+    if j0 + nb >= n || col_start >= col_end {
+        return;
+    }
+    let l21 = a.copy_block(Block::new(j0 + nb, j0, n - j0 - nb, nb));
+    let u12 = a.copy_block(Block::new(j0, col_start, nb, col_end - col_start));
+    gemm_into_block(
+        -1.0,
+        &l21,
+        Trans::No,
+        &u12,
+        Trans::No,
+        1.0,
+        a,
+        Block::new(j0 + nb, col_start, n - j0 - nb, col_end - col_start),
+    );
+}
+
+/// Full trailing matrix update of iteration `k`.
+pub fn trailing_update(a: &mut Matrix, j0: usize, nb: usize) {
+    let cols = a.cols();
+    trailing_update_cols(a, j0, nb, j0 + nb, cols);
+}
+
+/// Result of a full LU factorization: the factors are stored in place in `lu` (unit lower
+/// triangle = L without its diagonal, upper triangle = U) and `pivots[j]` records the row
+/// swapped into position `j`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Combined L/U storage.
+    pub lu: Matrix,
+    /// Pivot rows, one per column.
+    pub pivots: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Extract the unit-lower-triangular factor `L`.
+    pub fn l(&self) -> Matrix {
+        self.lu.unit_lower_triangular()
+    }
+
+    /// Extract the upper-triangular factor `U`.
+    pub fn u(&self) -> Matrix {
+        self.lu.upper_triangular()
+    }
+
+    /// Apply the recorded row interchanges to a copy of `m` (computes `P · m`).
+    pub fn apply_permutation(&self, m: &Matrix) -> Matrix {
+        let mut out = m.clone();
+        for (j, &piv) in self.pivots.iter().enumerate() {
+            if piv != j {
+                out.swap_rows(j, piv, 0, out.cols());
+            }
+        }
+        out
+    }
+}
+
+/// Blocked LU factorization with partial pivoting and block size `block`.
+pub fn lu_blocked(a: &Matrix, block: usize) -> Result<LuFactors, LuError> {
+    if !a.is_square() {
+        return Err(LuError::NotSquare);
+    }
+    assert!(block > 0, "block size must be positive");
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut pivots = Vec::with_capacity(n);
+    let mut j0 = 0;
+    while j0 < n {
+        let nb = block.min(n - j0);
+        panel_factor(&mut lu, j0, nb, &mut pivots)?;
+        panel_update(&mut lu, j0, nb);
+        trailing_update(&mut lu, j0, nb);
+        j0 += nb;
+    }
+    Ok(LuFactors { lu, pivots })
+}
+
+/// Number of blocked iterations for order `n`, block size `b`.
+pub fn num_iterations(n: usize, b: usize) -> usize {
+    n.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm;
+    use crate::generate::{random_diag_dominant_matrix, random_matrix};
+    use crate::verify::lu_residual;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn factorizes_known_matrix_with_pivoting() {
+        // First pivot must swap rows 0 and 1.
+        let a = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 8.0]]);
+        let f = lu_blocked(&a, 2).unwrap();
+        assert_eq!(f.pivots, vec![1, 1]);
+        let pa = f.apply_permutation(&a);
+        let rec = gemm(&f.l(), Trans::No, &f.u(), Trans::No);
+        assert!(rec.approx_eq(&pa, 1e-12));
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_on_random_matrices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for n in [6, 17, 32, 64] {
+            let a = random_matrix(&mut rng, n, n);
+            let blocked = lu_blocked(&a, 8).unwrap();
+            let unblocked = lu_blocked(&a, n).unwrap();
+            assert_eq!(blocked.pivots, unblocked.pivots, "pivot sequences differ n={n}");
+            assert!(blocked.lu.approx_eq(&unblocked.lu, 1e-9));
+            assert!(lu_residual(&a, &blocked) < 1e-10, "residual too large for n={n}");
+        }
+    }
+
+    #[test]
+    fn diag_dominant_needs_no_pivoting() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let a = random_diag_dominant_matrix(&mut rng, 24);
+        let f = lu_blocked(&a, 8).unwrap();
+        assert!(f.pivots.iter().enumerate().all(|(j, &p)| p == j));
+        assert!(lu_residual(&a, &f) < 1e-10);
+    }
+
+    #[test]
+    fn lookahead_split_matches_full_update() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let n = 32;
+        let b = 8;
+        let a = random_matrix(&mut rng, n, n);
+        // Full update path.
+        let mut full = a.clone();
+        let mut piv_full = Vec::new();
+        panel_factor(&mut full, 0, b, &mut piv_full).unwrap();
+        panel_update(&mut full, 0, b);
+        trailing_update(&mut full, 0, b);
+        // Split path: look-ahead columns first, then the rest.
+        let mut split = a.clone();
+        let mut piv_split = Vec::new();
+        panel_factor(&mut split, 0, b, &mut piv_split).unwrap();
+        panel_update(&mut split, 0, b);
+        trailing_update_cols(&mut split, 0, b, b, 2 * b);
+        trailing_update_cols(&mut split, 0, b, 2 * b, n);
+        assert_eq!(piv_full, piv_split);
+        assert!(full.approx_eq(&split, 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::zeros(3, 3);
+        assert!(matches!(lu_blocked(&a, 2), Err(LuError::Singular(0))));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(lu_blocked(&a, 2), Err(LuError::NotSquare)));
+    }
+
+    #[test]
+    fn iteration_count() {
+        assert_eq!(num_iterations(30720, 512), 60);
+        assert_eq!(num_iterations(100, 30), 4);
+    }
+}

@@ -1,0 +1,391 @@
+//! Column-major dense matrix storage.
+//!
+//! The factorizations in this crate mirror the blocked, panel-oriented structure of the
+//! MAGMA hybrid algorithms the paper builds on: a matrix is logically divided into
+//! `b × b` blocks forming panels and a trailing matrix (paper Figure 1a). [`Matrix`] is a
+//! plain column-major container; [`Block`] identifies a rectangular sub-region that the
+//! BLAS-3 kernels operate on in place.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rectangular region of a matrix: rows `[row, row+rows)` × columns `[col, col+cols)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// First row of the region.
+    pub row: usize,
+    /// First column of the region.
+    pub col: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Block {
+    /// Construct a block.
+    pub fn new(row: usize, col: usize, rows: usize, cols: usize) -> Self {
+        Self { row, col, rows, cols }
+    }
+
+    /// The block covering an entire `rows × cols` matrix.
+    pub fn full(rows: usize, cols: usize) -> Self {
+        Self { row: 0, col: 0, rows, cols }
+    }
+
+    /// True when the block contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Column-major dense matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Build from a row-major nested slice (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Self::from_fn(r, c, |i, j| rows[i][j])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True for a square matrix.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Read element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i]
+    }
+
+    /// Write element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i] = v;
+    }
+
+    /// Add `v` to element `(i, j)`.
+    #[inline]
+    pub fn add_assign(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.rows + i] += v;
+    }
+
+    /// Borrow column `j` as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `j` as a slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// The raw column-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw column-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Iterator of `(column_index, &mut [f64])` over the row range `rows` of each column
+    /// in `cols`. Columns are disjoint slices of the underlying storage, so this is the
+    /// safe building block the rayon-parallel kernels partition work over.
+    pub fn cols_range_mut(
+        &mut self,
+        block: Block,
+    ) -> impl Iterator<Item = (usize, &mut [f64])> + '_ {
+        let nrows = self.rows;
+        let row0 = block.row;
+        let row1 = block.row + block.rows;
+        debug_assert!(row1 <= nrows && block.col + block.cols <= self.cols);
+        self.data
+            .chunks_exact_mut(nrows.max(1))
+            .enumerate()
+            .skip(block.col)
+            .take(block.cols)
+            .map(move |(j, col)| (j, &mut col[row0..row1]))
+    }
+
+    /// Copy a block out into a new dense matrix.
+    pub fn copy_block(&self, block: Block) -> Matrix {
+        assert!(block.row + block.rows <= self.rows && block.col + block.cols <= self.cols,
+            "copy_block: block out of bounds");
+        let mut out = Matrix::zeros(block.rows, block.cols);
+        for j in 0..block.cols {
+            for i in 0..block.rows {
+                out.set(i, j, self.get(block.row + i, block.col + j));
+            }
+        }
+        out
+    }
+
+    /// Write a dense matrix into a block of `self`.
+    pub fn set_block(&mut self, block: Block, src: &Matrix) {
+        assert_eq!(block.rows, src.rows(), "set_block: row mismatch");
+        assert_eq!(block.cols, src.cols(), "set_block: col mismatch");
+        assert!(block.row + block.rows <= self.rows && block.col + block.cols <= self.cols,
+            "set_block: block out of bounds");
+        for j in 0..block.cols {
+            for i in 0..block.rows {
+                self.set(block.row + i, block.col + j, src.get(i, j));
+            }
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Swap rows `r1` and `r2` across columns `[col_start, col_end)`.
+    pub fn swap_rows(&mut self, r1: usize, r2: usize, col_start: usize, col_end: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in col_start..col_end {
+            let a = self.get(r1, j);
+            let b = self.get(r2, j);
+            self.set(r1, j, b);
+            self.set(r2, j, a);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Elementwise difference `self - other` (panics on shape mismatch).
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        let mut out = self.clone();
+        for (o, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o -= b;
+        }
+        out
+    }
+
+    /// True when all elements differ by less than `tol` from `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Lower-triangular copy (strictly upper part zeroed, diagonal kept).
+    pub fn lower_triangular(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if i >= j { self.get(i, j) } else { 0.0 })
+    }
+
+    /// Upper-triangular copy (strictly lower part zeroed, diagonal kept).
+    pub fn upper_triangular(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if i <= j { self.get(i, j) } else { 0.0 })
+    }
+
+    /// Unit-lower-triangular copy (ones on the diagonal, upper part zeroed).
+    pub fn unit_lower_triangular(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                self.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows.min(8) {
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.4e} ", self.get(i, j))?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 2);
+        assert_eq!(z.frobenius_norm(), 0.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert!(i.is_square());
+    }
+
+    #[test]
+    fn get_set_column_major_layout() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        // column-major: element (1,2) is the last element of the data vector
+        assert_eq!(m.data()[5], 7.0);
+        assert_eq!(m.col(2), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn block_copy_roundtrip() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 10 + j) as f64);
+        let b = Block::new(1, 2, 2, 2);
+        let sub = m.copy_block(b);
+        assert_eq!(sub.get(0, 0), 12.0);
+        assert_eq!(sub.get(1, 1), 23.0);
+        let mut m2 = Matrix::zeros(4, 4);
+        m2.set_block(b, &sub);
+        assert_eq!(m2.get(1, 2), 12.0);
+        assert_eq!(m2.get(2, 3), 23.0);
+        assert_eq!(m2.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn transpose_and_triangles() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let t = m.transposed();
+        assert_eq!(t.get(0, 1), 3.0);
+        let l = m.lower_triangular();
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(l.get(1, 0), 3.0);
+        let u = m.upper_triangular();
+        assert_eq!(u.get(1, 0), 0.0);
+        let ul = m.unit_lower_triangular();
+        assert_eq!(ul.get(0, 0), 1.0);
+        assert_eq!(ul.get(1, 1), 1.0);
+        assert_eq!(ul.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn swap_rows_partial_columns() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        m.swap_rows(0, 1, 1, 3);
+        assert_eq!(m.get(0, 0), 1.0); // column 0 untouched
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn norms_and_diff() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 4.0);
+        let b = Matrix::identity(2);
+        let d = a.sub(&b);
+        assert_eq!(d.get(0, 0), 2.0);
+        assert!(a.approx_eq(&a, 0.0));
+        assert!(!a.approx_eq(&b, 0.5));
+    }
+
+    #[test]
+    fn cols_range_mut_yields_disjoint_column_slices() {
+        let mut m = Matrix::from_fn(4, 4, |i, j| (i + 10 * j) as f64);
+        let block = Block::new(1, 1, 2, 3);
+        let collected: Vec<(usize, Vec<f64>)> = m
+            .cols_range_mut(block)
+            .map(|(j, s)| (j, s.to_vec()))
+            .collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[0].0, 1);
+        assert_eq!(collected[0].1, vec![11.0, 12.0]);
+        assert_eq!(collected[2].1, vec![31.0, 32.0]);
+        // Mutation through the iterator is visible afterwards.
+        for (_, s) in m.cols_range_mut(block) {
+            for x in s {
+                *x = 0.0;
+            }
+        }
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(0, 1), 10.0, "row outside block untouched");
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_block_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.copy_block(Block::new(1, 1, 2, 2));
+    }
+}

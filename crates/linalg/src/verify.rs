@@ -1,0 +1,92 @@
+//! Residual-based verification of factorizations.
+//!
+//! Used by the test suites and by the ABFT correctness experiments (paper Figure 9) to
+//! decide whether a factorization produced under fault injection is numerically correct.
+
+use crate::blas3::{gemm, Trans};
+use crate::lu::LuFactors;
+use crate::matrix::Matrix;
+use crate::qr::QrFactors;
+
+/// Relative Cholesky residual `‖A − L Lᵀ‖_F / ‖A‖_F`.
+pub fn cholesky_residual(a: &Matrix, l: &Matrix) -> f64 {
+    let rec = gemm(l, Trans::No, l, Trans::Yes);
+    relative_residual(a, &rec)
+}
+
+/// Relative LU residual `‖P A − L U‖_F / ‖A‖_F`.
+pub fn lu_residual(a: &Matrix, f: &LuFactors) -> f64 {
+    let pa = f.apply_permutation(a);
+    let rec = gemm(&f.l(), Trans::No, &f.u(), Trans::No);
+    relative_residual(&pa, &rec)
+}
+
+/// Relative QR residual `‖A − Q R‖_F / ‖A‖_F`.
+pub fn qr_residual(a: &Matrix, f: &QrFactors) -> f64 {
+    let mut qr = f.r();
+    f.apply_q(&mut qr);
+    relative_residual(a, &qr)
+}
+
+/// `‖expected − actual‖_F / ‖expected‖_F` (returns the absolute norm if `expected` is 0).
+pub fn relative_residual(expected: &Matrix, actual: &Matrix) -> f64 {
+    let denom = expected.frobenius_norm();
+    let diff = expected.sub(actual).frobenius_norm();
+    if denom == 0.0 {
+        diff
+    } else {
+        diff / denom
+    }
+}
+
+/// A factorization is accepted as correct when its relative residual is below this bound.
+/// The bound is generous relative to machine epsilon because injected-and-corrected runs
+/// accumulate one extra rounding from the checksum correction.
+pub const CORRECTNESS_THRESHOLD: f64 = 1e-8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::cholesky_blocked;
+    use crate::generate::{random_matrix, random_spd_matrix};
+    use crate::lu::lu_blocked;
+    use crate::qr::qr_blocked;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn residuals_are_small_for_correct_factorizations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let n = 32;
+        let spd = random_spd_matrix(&mut rng, n);
+        let mut chol = spd.clone();
+        cholesky_blocked(&mut chol, 8).unwrap();
+        assert!(cholesky_residual(&spd, &chol.lower_triangular()) < CORRECTNESS_THRESHOLD);
+
+        let a = random_matrix(&mut rng, n, n);
+        let lu = lu_blocked(&a, 8).unwrap();
+        assert!(lu_residual(&a, &lu) < CORRECTNESS_THRESHOLD);
+
+        let qr = qr_blocked(&a, 8);
+        assert!(qr_residual(&a, &qr) < CORRECTNESS_THRESHOLD);
+    }
+
+    #[test]
+    fn residual_detects_corruption() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 16;
+        let a = random_matrix(&mut rng, n, n);
+        let mut lu = lu_blocked(&a, 4).unwrap();
+        // Corrupt one element of U significantly.
+        let v = lu.lu.get(2, 10);
+        lu.lu.set(2, 10, v + 10.0);
+        assert!(lu_residual(&a, &lu) > CORRECTNESS_THRESHOLD);
+    }
+
+    #[test]
+    fn relative_residual_handles_zero_expected() {
+        let z = Matrix::zeros(2, 2);
+        let a = Matrix::identity(2);
+        assert!((relative_residual(&z, &a) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

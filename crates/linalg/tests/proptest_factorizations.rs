@@ -1,0 +1,73 @@
+//! Property-based tests of the factorization invariants.
+
+use bsr_linalg::blas3::{gemm, Trans};
+use bsr_linalg::cholesky::cholesky_blocked;
+use bsr_linalg::generate::{random_matrix, random_spd_matrix};
+use bsr_linalg::lu::lu_blocked;
+use bsr_linalg::matrix::Matrix;
+use bsr_linalg::qr::qr_blocked;
+use bsr_linalg::verify::{cholesky_residual, lu_residual, qr_residual};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn dims() -> impl Strategy<Value = (usize, usize, u64)> {
+    (4usize..40, 1usize..12, any::<u64>()).prop_map(|(n, b, seed)| (n, b.min(n), seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_reconstructs_pa((n, b, seed) in dims()) {
+        let a = random_matrix(&mut ChaCha8Rng::seed_from_u64(seed), n, n);
+        let f = lu_blocked(&a, b).unwrap();
+        prop_assert!(lu_residual(&a, &f) < 1e-9);
+        // Pivots are valid row indices at or below the diagonal position.
+        for (j, &p) in f.pivots.iter().enumerate() {
+            prop_assert!(p >= j && p < n);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd((n, b, seed) in dims()) {
+        let a = random_spd_matrix(&mut ChaCha8Rng::seed_from_u64(seed), n);
+        let mut c = a.clone();
+        cholesky_blocked(&mut c, b).unwrap();
+        let l = c.lower_triangular();
+        prop_assert!(cholesky_residual(&a, &l) < 1e-9);
+        // Diagonal of L is strictly positive.
+        for i in 0..n {
+            prop_assert!(l.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthogonal((n, b, seed) in dims()) {
+        let a = random_matrix(&mut ChaCha8Rng::seed_from_u64(seed), n, n);
+        let f = qr_blocked(&a, b);
+        prop_assert!(qr_residual(&a, &f) < 1e-9);
+        let q = f.q();
+        let qtq = gemm(&q, Trans::Yes, &q, Trans::No);
+        prop_assert!(qtq.approx_eq(&Matrix::identity(n), 1e-9));
+    }
+
+    #[test]
+    fn gemm_is_linear_in_alpha((n, seed) in (3usize..24, any::<u64>())) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        let c1 = gemm(&a, Trans::No, &b, Trans::No);
+        // (2A)B == 2(AB)
+        let a2 = Matrix::from_fn(n, n, |i, j| 2.0 * a.get(i, j));
+        let c2 = gemm(&a2, Trans::No, &b, Trans::No);
+        let doubled = Matrix::from_fn(n, n, |i, j| 2.0 * c1.get(i, j));
+        prop_assert!(c2.approx_eq(&doubled, 1e-10));
+    }
+
+    #[test]
+    fn transpose_is_involutive((r, c, seed) in (1usize..20, 1usize..20, any::<u64>())) {
+        let a = random_matrix(&mut ChaCha8Rng::seed_from_u64(seed), r, c);
+        prop_assert!(a.transposed().transposed().approx_eq(&a, 0.0));
+    }
+}

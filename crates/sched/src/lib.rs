@@ -1,0 +1,24 @@
+//! # bsr-sched
+//!
+//! Slack prediction and energy-saving scheduling for hybrid one-sided matrix
+//! decompositions (PPoPP'23 BSR/ABFT-OC reproduction).
+//!
+//! * [`workload`] — analytic per-iteration flop and transfer models of blocked Cholesky,
+//!   LU and QR, and the complexity ratios the predictors scale with;
+//! * [`ratios`] — the closed-form iteration-to-iteration ratios of the paper's Table 2;
+//! * [`predict`] — the GreenLA first-iteration predictor and the paper's enhanced
+//!   weighted-neighbour predictor (Figure 8);
+//! * [`strategy`] — the per-iteration planners for Original, Race-to-Halt, single
+//!   directional Slack Reclamation and Bi-directional Slack Reclamation (Algorithm 2),
+//!   including the ABFT-OC coupling (Algorithm 1).
+
+#![warn(missing_docs)]
+
+pub mod predict;
+pub mod ratios;
+pub mod strategy;
+pub mod workload;
+
+pub use predict::{EnhancedPredictor, FirstIterationPredictor, SlackPredictor};
+pub use strategy::{BsrConfig, IterationPlan, Strategy, TaskPredictions};
+pub use workload::{Decomposition, Op, Workload};

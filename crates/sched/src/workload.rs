@@ -1,0 +1,298 @@
+//! Analytic per-iteration workload models for the blocked one-sided factorizations.
+//!
+//! The hybrid algorithm (paper Figure 1b) runs, in iteration `k`, the panel decomposition
+//! of the *next* panel on the CPU concurrently with the remaining panel update and
+//! trailing matrix update on the GPU. The slack of an iteration is the difference between
+//! the two concurrent durations (plus the panel transfer). These models give the flop
+//! counts and transfer volumes each of those tasks performs, which both the analytic
+//! driver (to synthesize task times) and the slack predictors (Table 2 complexity ratios)
+//! rely on.
+//!
+//! All counts use the standard leading-order LAPACK operation counts; `m = n − k·b` is the
+//! order of the active trailing matrix at iteration `k` (0-based).
+
+use serde::{Deserialize, Serialize};
+
+/// The three one-sided decompositions the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decomposition {
+    /// Cholesky factorization of an SPD matrix (`A = L Lᵀ`).
+    Cholesky,
+    /// LU factorization with partial pivoting (`P A = L U`).
+    Lu,
+    /// Householder QR factorization (`A = Q R`).
+    Qr,
+}
+
+impl Decomposition {
+    /// All three decompositions, in the order the paper lists them.
+    pub const ALL: [Decomposition; 3] = [Decomposition::Cholesky, Decomposition::Lu, Decomposition::Qr];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Decomposition::Cholesky => "Cholesky",
+            Decomposition::Lu => "LU",
+            Decomposition::Qr => "QR",
+        }
+    }
+
+    /// Total flop count of the full factorization of an `n × n` matrix (leading order).
+    pub fn total_flops(self, n: usize) -> f64 {
+        let n = n as f64;
+        match self {
+            Decomposition::Cholesky => n * n * n / 3.0,
+            Decomposition::Lu => 2.0 * n * n * n / 3.0,
+            Decomposition::Qr => 4.0 * n * n * n / 3.0,
+        }
+    }
+}
+
+/// Tasks of one hybrid factorization iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Panel decomposition (CPU).
+    PanelDecomposition,
+    /// Panel update (GPU).
+    PanelUpdate,
+    /// Trailing matrix update (GPU).
+    TrailingUpdate,
+    /// Panel transfer between device and host (both directions combined).
+    Transfer,
+}
+
+impl Op {
+    /// All task kinds.
+    pub const ALL: [Op; 4] = [
+        Op::PanelDecomposition,
+        Op::PanelUpdate,
+        Op::TrailingUpdate,
+        Op::Transfer,
+    ];
+
+    /// Short label used in traces ("PD", "PU", "TMU", "XFER").
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::PanelDecomposition => "PD",
+            Op::PanelUpdate => "PU",
+            Op::TrailingUpdate => "TMU",
+            Op::Transfer => "XFER",
+        }
+    }
+}
+
+/// Workload model of a factorization run: problem size, block size and decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Matrix order.
+    pub n: usize,
+    /// Block (panel) size.
+    pub block: usize,
+    /// Which factorization.
+    pub decomposition: Decomposition,
+    /// Bytes per matrix element (8 for fp64, 4 for fp32).
+    pub element_bytes: usize,
+}
+
+impl Workload {
+    /// Create a double-precision workload.
+    pub fn new_f64(decomposition: Decomposition, n: usize, block: usize) -> Self {
+        assert!(block > 0 && block <= n, "block size must be in 1..=n");
+        Self { n, block, decomposition, element_bytes: 8 }
+    }
+
+    /// Create a single-precision workload.
+    pub fn new_f32(decomposition: Decomposition, n: usize, block: usize) -> Self {
+        assert!(block > 0 && block <= n, "block size must be in 1..=n");
+        Self { n, block, decomposition, element_bytes: 4 }
+    }
+
+    /// Number of blocked iterations.
+    pub fn iterations(&self) -> usize {
+        self.n.div_ceil(self.block)
+    }
+
+    /// Order of the trailing matrix *including* the panel of iteration `k`.
+    pub fn active_size(&self, k: usize) -> usize {
+        self.n.saturating_sub(k * self.block)
+    }
+
+    /// Order of the trailing matrix *after* the panel of iteration `k` is removed; this is
+    /// the size the GPU updates and the height of the next panel the CPU factorizes.
+    pub fn remaining_size(&self, k: usize) -> usize {
+        self.active_size(k).saturating_sub(self.block)
+    }
+
+    /// Flop count of a task of iteration `k` (leading-order model).
+    ///
+    /// `PanelDecomposition` refers to the panel the CPU factorizes *concurrently* with the
+    /// GPU work of iteration `k`, i.e. the panel of iteration `k + 1` under look-ahead.
+    pub fn flops(&self, op: Op, k: usize) -> f64 {
+        let b = self.block as f64;
+        let m = self.active_size(k) as f64; // includes the current panel
+        let r = self.remaining_size(k) as f64; // trailing matrix after this panel
+        match (self.decomposition, op) {
+            // ---- Cholesky -------------------------------------------------------------
+            // PD: POTF2 on the next b×b diagonal block plus the TRSV-ish column scaling.
+            (Decomposition::Cholesky, Op::PanelDecomposition) => b * b * b / 3.0,
+            // PU: TRSM of the r×b block column against L11ᵀ.
+            (Decomposition::Cholesky, Op::PanelUpdate) => r * b * b,
+            // TMU: SYRK of the r×r trailing matrix.
+            (Decomposition::Cholesky, Op::TrailingUpdate) => r * r * b,
+            // ---- LU -------------------------------------------------------------------
+            // PD: GETF2 on the (r)×b next panel.
+            (Decomposition::Lu, Op::PanelDecomposition) => {
+                let rows = r.max(0.0);
+                (rows * b * b - b * b * b / 3.0).max(0.0)
+            }
+            // PU: TRSM of the b×r row block against L11.
+            (Decomposition::Lu, Op::PanelUpdate) => r * b * b,
+            // TMU: GEMM r×r×b.
+            (Decomposition::Lu, Op::TrailingUpdate) => 2.0 * r * r * b,
+            // ---- QR -------------------------------------------------------------------
+            // PD: GEQR2 on the m×b panel (2·m·b² leading order).
+            (Decomposition::Qr, Op::PanelDecomposition) => {
+                let rows = r.max(0.0);
+                (2.0 * rows * b * b - 2.0 * b * b * b / 3.0).max(0.0)
+            }
+            // PU: forming the T factor of the panel (small, kept separate from TMU).
+            (Decomposition::Qr, Op::PanelUpdate) => m * b * b,
+            // TMU: LARFB applied to the r trailing columns: ~4·m·b·r.
+            (Decomposition::Qr, Op::TrailingUpdate) => 4.0 * m * b * r,
+            // ---- Transfers ------------------------------------------------------------
+            (_, Op::Transfer) => 0.0,
+        }
+    }
+
+    /// Bytes moved by the panel transfer of iteration `k` (one direction: the next panel,
+    /// `r × b` elements). The hybrid algorithm moves the panel DtoH before the CPU panel
+    /// factorization and HtoD afterwards; [`Self::transfer_bytes_round_trip`] accounts for
+    /// both.
+    pub fn transfer_bytes_one_way(&self, k: usize) -> f64 {
+        let r = self.remaining_size(k) as f64;
+        let b = self.block as f64;
+        r * b * self.element_bytes as f64
+    }
+
+    /// Bytes of the DtoH + HtoD panel round trip of iteration `k`.
+    pub fn transfer_bytes_round_trip(&self, k: usize) -> f64 {
+        2.0 * self.transfer_bytes_one_way(k)
+    }
+
+    /// Ratio of the theoretical complexity of `op` between iterations `from` and `to`
+    /// (`workload(to) / workload(from)`), the `r^{OP}_{j,k}` factors of the paper's
+    /// enhanced slack prediction (Section 3.2.1, Table 2).
+    pub fn complexity_ratio(&self, op: Op, from: usize, to: usize) -> f64 {
+        let (num, den) = match op {
+            Op::Transfer => (
+                self.transfer_bytes_round_trip(to),
+                self.transfer_bytes_round_trip(from),
+            ),
+            _ => (self.flops(op, to), self.flops(op, from)),
+        };
+        if den == 0.0 {
+            if num == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            num / den
+        }
+    }
+
+    /// Total flops of all GPU work in iteration `k` (PU + TMU).
+    pub fn gpu_flops(&self, k: usize) -> f64 {
+        self.flops(Op::PanelUpdate, k) + self.flops(Op::TrailingUpdate, k)
+    }
+
+    /// Total flops of the CPU work in iteration `k` (the next panel decomposition).
+    pub fn cpu_flops(&self, k: usize) -> f64 {
+        self.flops(Op::PanelDecomposition, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_counts_match_paper_configuration() {
+        let w = Workload::new_f64(Decomposition::Lu, 30720, 512);
+        assert_eq!(w.iterations(), 60);
+        assert_eq!(w.active_size(0), 30720);
+        assert_eq!(w.active_size(59), 512 + 30720 - 60 * 512);
+        assert_eq!(w.remaining_size(59), 0);
+    }
+
+    #[test]
+    fn per_iteration_flops_sum_close_to_total() {
+        for dec in Decomposition::ALL {
+            let n = 4096;
+            let b = 128;
+            let w = Workload::new_f64(dec, n, b);
+            let total: f64 = (0..w.iterations())
+                .map(|k| w.cpu_flops(k) + w.gpu_flops(k))
+                .sum();
+            let expected = dec.total_flops(n);
+            let rel = (total - expected).abs() / expected;
+            assert!(
+                rel < 0.15,
+                "{dec:?}: per-iteration sum {total:.3e} deviates {rel:.3} from total {expected:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_shrinks_with_iterations() {
+        let w = Workload::new_f64(Decomposition::Lu, 30720, 512);
+        let early = w.flops(Op::TrailingUpdate, 1);
+        let late = w.flops(Op::TrailingUpdate, 50);
+        assert!(early > 10.0 * late);
+        assert!(w.flops(Op::TrailingUpdate, 59) == 0.0);
+        assert!(w.transfer_bytes_round_trip(1) > w.transfer_bytes_round_trip(50));
+    }
+
+    #[test]
+    fn complexity_ratio_matches_direct_computation() {
+        let w = Workload::new_f64(Decomposition::Qr, 8192, 256);
+        for op in [Op::PanelDecomposition, Op::PanelUpdate, Op::TrailingUpdate] {
+            let r = w.complexity_ratio(op, 3, 7);
+            let expected = w.flops(op, 7) / w.flops(op, 3);
+            assert!((r - expected).abs() < 1e-12);
+            assert!(r < 1.0, "later iterations must be cheaper");
+        }
+        // Identity ratio.
+        assert_eq!(w.complexity_ratio(Op::TrailingUpdate, 5, 5), 1.0);
+    }
+
+    #[test]
+    fn ratio_handles_empty_final_iterations() {
+        let w = Workload::new_f64(Decomposition::Lu, 1024, 512);
+        // Iteration 1 is the last (remaining size 0): ratio must not be NaN.
+        let r = w.complexity_ratio(Op::TrailingUpdate, 0, 1);
+        assert_eq!(r, 0.0);
+        let r2 = w.complexity_ratio(Op::TrailingUpdate, 1, 1);
+        assert!(r2 == 1.0 || r2 == 0.0);
+    }
+
+    #[test]
+    fn lu_total_flops_formula() {
+        assert!((Decomposition::Lu.total_flops(1000) - 2.0 / 3.0 * 1.0e9).abs() < 1e3);
+        assert!(Decomposition::Qr.total_flops(1000) > Decomposition::Lu.total_flops(1000));
+        assert!(Decomposition::Lu.total_flops(1000) > Decomposition::Cholesky.total_flops(1000));
+    }
+
+    #[test]
+    fn single_precision_transfers_half_the_bytes() {
+        let w64 = Workload::new_f64(Decomposition::Lu, 4096, 128);
+        let w32 = Workload::new_f32(Decomposition::Lu, 4096, 128);
+        assert!((w64.transfer_bytes_one_way(2) / w32.transfer_bytes_one_way(2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_is_rejected() {
+        let _ = Workload::new_f64(Decomposition::Lu, 100, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Compare the four evaluated energy strategies (Original, R2H, SR, BSR) on all three
+//! one-sided decompositions at paper scale — the data behind the paper's Figure 12.
+//!
+//! Run with: `cargo run --release --example energy_comparison`
+
+use bsr_repro::prelude::*;
+
+fn main() {
+    let strategies = [
+        ("Original", Strategy::Original),
+        ("R2H", Strategy::RaceToHalt),
+        ("SR", Strategy::SlackReclamation),
+        ("BSR", Strategy::Bsr(BsrConfig::max_energy_saving())),
+    ];
+    for dec in Decomposition::ALL {
+        println!("=== {} (n = 30720, fp64, block 512) ===", dec.label());
+        let reports: Vec<(String, RunReport)> = strategies
+            .iter()
+            .map(|(name, s)| {
+                let cfg = RunConfig::paper_default(dec, *s).with_fault_injection(false);
+                (name.to_string(), run(cfg))
+            })
+            .collect();
+        let original = reports[0].1.clone();
+        let rows: Vec<_> = reports
+            .iter()
+            .map(|(name, rep)| (name.clone(), rep, compare(rep, &original)))
+            .collect();
+        print!("{}", format_comparison_table(&rows));
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Sweep BSR's reclamation ratio to expose the Pareto-efficient performance/energy
+//! trade-off (the paper's Figure 11), and report the Pareto front.
+//!
+//! Run with: `cargo run --release --example pareto_tradeoff`
+
+use bsr_repro::framework::pareto::{paper_ratio_grid, pareto_front, sweep_reclamation_ratio};
+use bsr_repro::prelude::*;
+
+fn main() {
+    let base = RunConfig::paper_default(Decomposition::Cholesky, Strategy::Original)
+        .with_fault_injection(false);
+    let original = run(base.clone());
+    println!("Cholesky n = 30720 — Original: {:.1} Gflop/s, {:.0} J", original.gflops, original.total_energy_j());
+
+    let sweep = sweep_reclamation_ratio(&base, &paper_ratio_grid());
+    let points: Vec<_> = sweep.iter().map(|(p, _)| p.clone()).collect();
+    println!("{:>6} {:>12} {:>12} {:>10}", "r", "Gflop/s", "energy [J]", "vs Orig");
+    for p in &points {
+        println!(
+            "{:>6.2} {:>12.1} {:>12.0} {:>9.1}%",
+            p.reclamation_ratio,
+            p.gflops,
+            p.energy_j,
+            (1.0 - p.energy_j / original.total_energy_j()) * 100.0
+        );
+    }
+    let front = pareto_front(&points);
+    println!(
+        "Pareto-efficient reclamation ratios: {:?}",
+        front.iter().map(|&i| points[i].reclamation_ratio).collect::<Vec<_>>()
+    );
+    let best = points
+        .iter()
+        .filter(|p| p.energy_j <= original.total_energy_j())
+        .map(|p| p.gflops / original.gflops)
+        .fold(1.0f64, f64::max);
+    println!("Best speedup at no extra energy vs Original: {best:.2}x");
+}

@@ -1,0 +1,22 @@
+//! # bsr-repro
+//!
+//! Umbrella crate of the PPoPP'23 reproduction *"Improving Energy Saving of One-Sided
+//! Matrix Decompositions on CPU-GPU Heterogeneous Systems"*. It re-exports the workspace
+//! crates so the examples and integration tests have a single import surface:
+//!
+//! * [`platform`] (`hetero-sim`) — the simulated CPU-GPU platform;
+//! * [`linalg`] (`bsr-linalg`) — blocked Cholesky/LU/QR and their kernels;
+//! * [`abft`] (`bsr-abft`) — checksums, fault coverage, adaptive ABFT-OC;
+//! * [`sched`] (`bsr-sched`) — slack prediction and energy strategies;
+//! * [`framework`] (`bsr-core`) — analytic and numeric drivers, reports, Pareto sweeps.
+
+pub use bsr_abft as abft;
+pub use bsr_core as framework;
+pub use bsr_linalg as linalg;
+pub use bsr_sched as sched;
+pub use hetero_sim as platform;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use bsr_core::prelude::*;
+}

@@ -1,0 +1,73 @@
+//! Cross-crate integration: numeric-mode factorizations with fault injection stay correct
+//! under ABFT protection, for all three decompositions.
+
+use bsr_repro::framework::config::AbftMode;
+use bsr_repro::prelude::*;
+
+fn noisy_cfg(dec: Decomposition, mode: AbftMode, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::small(dec, 192, 32, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
+        .with_abft_mode(mode)
+        .with_seed(seed);
+    // Lower the fault-free threshold below the base clock and raise the rates so the
+    // micro-second iterations of this small problem still observe SDC events.
+    cfg.platform.gpu.sdc.fault_free_max = bsr_repro::platform::freq::MHz(1000.0);
+    cfg.platform.gpu.sdc.one_d_onset = bsr_repro::platform::freq::MHz(1100.0);
+    cfg.platform.gpu.sdc.base_rate_per_s = 2.0e4;
+    cfg.platform.gpu.sdc.one_d_base_rate_per_s = 2.0e3;
+    cfg
+}
+
+#[test]
+fn full_abft_repairs_all_three_decompositions() {
+    for (dec, seed) in [
+        (Decomposition::Cholesky, 303u64),
+        (Decomposition::Lu, 303),
+        (Decomposition::Qr, 303),
+    ] {
+        let out = run_numeric(noisy_cfg(dec, AbftMode::Forced(ChecksumScheme::Full), seed))
+            .expect("factorization must not abort");
+        assert!(out.faults_injected > 0, "{dec:?}: expected injected faults");
+        assert!(
+            out.numerically_correct,
+            "{dec:?}: residual {:.3e} with {} faults injected",
+            out.residual, out.faults_injected
+        );
+        assert_eq!(out.verification.uncorrectable, 0, "{dec:?}");
+    }
+}
+
+#[test]
+fn unprotected_runs_are_corrupted() {
+    let mut corrupted = 0;
+    for seed in [202u64, 303, 505] {
+        let out = run_numeric(noisy_cfg(Decomposition::Lu, AbftMode::Forced(ChecksumScheme::None), seed))
+            .expect("factorization must not abort");
+        if out.faults_injected > 0 && !out.numerically_correct {
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted >= 2, "unprotected runs should usually produce wrong results");
+}
+
+#[test]
+fn fault_free_adaptive_runs_match_reference_factorization() {
+    for dec in Decomposition::ALL {
+        let cfg = RunConfig::small(dec, 160, 32, Strategy::Bsr(BsrConfig::default()))
+            .with_fault_injection(false);
+        let out = run_numeric(cfg).expect("factorization failed");
+        assert!(out.numerically_correct, "{dec:?} residual {:.3e}", out.residual);
+        assert_eq!(out.faults_injected, 0);
+    }
+}
+
+#[test]
+fn numeric_and_analytic_reports_agree_on_timing() {
+    // The numeric driver reuses the analytic engine, so energy/time must be identical for
+    // the same configuration.
+    let cfg = RunConfig::small(Decomposition::Lu, 256, 64, Strategy::SlackReclamation)
+        .with_fault_injection(false);
+    let analytic = run(cfg.clone());
+    let numeric = run_numeric(cfg).unwrap();
+    assert!((analytic.total_time_s - numeric.report.total_time_s).abs() < 1e-12);
+    assert!((analytic.total_energy_j() - numeric.report.total_energy_j()).abs() < 1e-9);
+}

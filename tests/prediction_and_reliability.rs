@@ -1,0 +1,86 @@
+//! Cross-crate integration: slack prediction quality (Figure 8) and the reliability /
+//! overhead trade-off of the ABFT configurations (Figure 9).
+
+use bsr_repro::framework::config::{AbftMode, PredictorKind};
+use bsr_repro::framework::reliability::{estimate_reliability, figure9_configurations};
+use bsr_repro::prelude::*;
+
+#[test]
+fn enhanced_prediction_beats_first_iteration_profiling() {
+    let base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+        .with_fault_injection(false);
+    let first = run(base.clone().with_predictor(PredictorKind::FirstIteration));
+    let enhanced = run(base.with_predictor(PredictorKind::Enhanced));
+    let first_err = first.mean_slack_prediction_error();
+    let enhanced_err = enhanced.mean_slack_prediction_error();
+    assert!(enhanced_err < first_err, "{enhanced_err:.4} !< {first_err:.4}");
+    assert!(enhanced_err < 0.10, "enhanced predictor should stay under 10% error");
+    // The first-iteration approach degrades late in the factorization (paper Figure 8).
+    let late_first: f64 = first
+        .iterations
+        .iter()
+        .skip(40)
+        .filter_map(|t| t.slack_prediction_error())
+        .fold(0.0, f64::max);
+    assert!(late_first > 0.05, "late first-iteration error should be significant");
+}
+
+#[test]
+fn figure9_reliability_and_overhead_ordering() {
+    let base = RunConfig::paper_default(
+        Decomposition::Lu,
+        Strategy::Bsr(BsrConfig::with_ratio(0.25)),
+    );
+    let reports: Vec<_> = figure9_configurations(base)
+        .into_iter()
+        .map(|(label, cfg)| estimate_reliability(cfg, &label))
+        .collect();
+    let get = |l: &str| reports.iter().find(|r| r.label == l).unwrap();
+    let (no_ft, single, full, adaptive) =
+        (get("No FT"), get("Single-ABFT"), get("Full-ABFT"), get("Adaptive ABFT"));
+
+    assert!(no_ft.correctness_probability < single.correctness_probability);
+    assert!(single.correctness_probability < 0.999);
+    assert!(full.correctness_probability > 0.999);
+    assert!(adaptive.correctness_probability > 0.999);
+
+    assert_eq!(no_ft.overhead_fraction, 0.0);
+    assert!(adaptive.overhead_fraction < single.overhead_fraction);
+    assert!(single.overhead_fraction < full.overhead_fraction);
+}
+
+#[test]
+fn adaptive_abft_activates_only_in_the_overclocked_tail() {
+    let report = run(
+        RunConfig::paper_default(Decomposition::Lu, Strategy::Bsr(BsrConfig::with_ratio(0.25)))
+            .with_fault_injection(false),
+    );
+    let first_abft = report
+        .iterations
+        .iter()
+        .position(|t| t.abft != ChecksumScheme::None);
+    let n_iter = report.iterations.len();
+    match first_abft {
+        Some(k) => assert!(
+            k > n_iter / 2,
+            "ABFT should only be needed in the later part of the run, first at {k}"
+        ),
+        None => panic!("expected some iterations to require ABFT under r = 0.25"),
+    }
+    // Whenever ABFT is off, the GPU must be at a fault-free operating point.
+    for t in &report.iterations {
+        if t.abft == ChecksumScheme::None {
+            assert!(t.gpu_freq.0 <= 1800.0 + 1e-9, "iteration {} at {}", t.k, t.gpu_freq);
+        }
+    }
+}
+
+#[test]
+fn forced_full_abft_pays_overhead_even_when_fault_free() {
+    let base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+        .with_fault_injection(false);
+    let plain = run(base.clone());
+    let forced = run(base.with_abft_mode(AbftMode::Forced(ChecksumScheme::Full)));
+    assert!(forced.abft_overhead_fraction > 0.02);
+    assert!(forced.total_time_s > plain.total_time_s);
+}

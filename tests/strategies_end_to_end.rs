@@ -1,0 +1,85 @@
+//! Cross-crate integration: the headline energy-saving claims of the paper hold
+//! end-to-end on the simulated platform for every decomposition.
+
+use bsr_repro::prelude::*;
+
+fn paper_run(dec: Decomposition, strategy: Strategy) -> RunReport {
+    run(RunConfig::paper_default(dec, strategy).with_fault_injection(false))
+}
+
+#[test]
+fn bsr_saves_the_most_energy_for_every_decomposition() {
+    for dec in Decomposition::ALL {
+        let original = paper_run(dec, Strategy::Original);
+        let r2h = paper_run(dec, Strategy::RaceToHalt);
+        let sr = paper_run(dec, Strategy::SlackReclamation);
+        let bsr = paper_run(dec, Strategy::Bsr(BsrConfig::max_energy_saving()));
+
+        assert!(r2h.total_energy_j() < original.total_energy_j(), "{dec:?}: R2H vs Original");
+        assert!(sr.total_energy_j() < original.total_energy_j(), "{dec:?}: SR vs Original");
+        assert!(
+            bsr.total_energy_j() < sr.total_energy_j().min(r2h.total_energy_j()),
+            "{dec:?}: BSR must beat both baselines"
+        );
+
+        let saving = compare(&bsr, &original).energy_saving;
+        assert!(
+            (0.12..0.40).contains(&saving),
+            "{dec:?}: BSR saving {saving:.3} outside the plausible band"
+        );
+
+        // No performance degradation (paper: "with no performance degradation").
+        for rep in [&r2h, &sr, &bsr] {
+            assert!(rep.total_time_s <= original.total_time_s * 1.02, "{dec:?}");
+        }
+    }
+}
+
+#[test]
+fn ed2p_reduction_matches_paper_band() {
+    for dec in Decomposition::ALL {
+        let original = paper_run(dec, Strategy::Original);
+        let bsr = paper_run(dec, Strategy::Bsr(BsrConfig::max_energy_saving()));
+        let red = compare(&bsr, &original).ed2p_reduction;
+        // Paper reports 29.3% - 31.6% ED2P reduction vs the original design.
+        assert!((0.20..0.45).contains(&red), "{dec:?}: ED2P reduction {red:.3}");
+    }
+}
+
+#[test]
+fn pareto_tradeoff_provides_speedup_without_extra_energy() {
+    use bsr_repro::framework::pareto::{paper_ratio_grid, sweep_reclamation_ratio};
+    let base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+        .with_fault_injection(false);
+    let original = run(base.clone());
+    let sweep = sweep_reclamation_ratio(&base, &paper_ratio_grid());
+    // Performance grows monotonically-ish with r; some r > 0 beats Original's throughput
+    // at no more energy than Original (the paper's 1.38x-1.51x claim, scaled to our model).
+    let best_speedup_free = sweep
+        .iter()
+        .filter(|(p, _)| p.energy_j <= original.total_energy_j())
+        .map(|(p, _)| p.gflops / original.gflops)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_speedup_free > 1.05,
+        "expected a free speedup above 5%, got {best_speedup_free:.3}"
+    );
+    let first = &sweep.first().unwrap().0;
+    let last = &sweep.last().unwrap().0;
+    assert!(last.gflops > first.gflops, "higher r must increase performance");
+    assert!(last.energy_j > first.energy_j, "higher r must cost energy vs r = 0");
+}
+
+#[test]
+fn energy_saving_holds_across_input_sizes() {
+    // Paper Figure 13: stable savings for n >= 5120.
+    for n in [5120usize, 15360, 30720] {
+        let mut base = RunConfig::paper_default(Decomposition::Lu, Strategy::Original)
+            .with_fault_injection(false);
+        base.workload = Workload::new_f64(Decomposition::Lu, n, 512);
+        let original = run(base.clone());
+        let bsr = run(base.with_strategy(Strategy::Bsr(BsrConfig::max_energy_saving())));
+        let saving = compare(&bsr, &original).energy_saving;
+        assert!(saving > 0.10, "n={n}: saving {saving:.3} too small");
+    }
+}
