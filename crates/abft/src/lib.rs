@@ -18,7 +18,7 @@
 //!   cheapest sufficient protection, or backing off the clock when none suffices;
 //! * [`overhead`] — flop-count models of the checksum work, used by the analytic driver.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptive;
 pub mod checksum;

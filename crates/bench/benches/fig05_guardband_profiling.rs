@@ -54,7 +54,7 @@ fn main() {
     println!("{:>7} {:>12} {:>12} {:>10} {:>10}", "MHz", "eff(def)", "eff(opt)", "alpha", "temp [C]");
     let optc = cpu.points_for(Guardband::Optimized);
     let defc = cpu.points_for(Guardband::Default);
-    for p in optc.iter().filter(|p| p.freq.0 as u64 % 500 == 0) {
+    for p in optc.iter().filter(|p| (p.freq.0 as u64).is_multiple_of(500)) {
         let d = defc.iter().find(|q| q.freq.0 == p.freq.0);
         println!(
             "{:>7.0} {:>12.3} {:>12.3} {:>10.3} {:>10.1}",

@@ -20,6 +20,8 @@
 //! | `abl_block_size` | ablation — sensitivity to the panel/block size |
 //! | `kernels` | criterion microbenchmarks of the numeric kernels |
 
+#![deny(missing_docs)]
+
 use bsr_core::config::RunConfig;
 use bsr_core::report::RunReport;
 use bsr_sched::strategy::{BsrConfig, Strategy};

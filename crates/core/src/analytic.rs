@@ -204,11 +204,11 @@ impl AnalyticDriver {
                     busy,
                 );
                 for _ in 0..count {
-                    let corrected = match (pattern, plan.abft) {
-                        (ErrorPattern::ZeroD, ChecksumScheme::SingleSide | ChecksumScheme::Full) => true,
-                        (ErrorPattern::OneD, ChecksumScheme::Full) => true,
-                        _ => false,
-                    };
+                    let corrected = matches!(
+                        (pattern, plan.abft),
+                        (ErrorPattern::ZeroD, ChecksumScheme::SingleSide | ChecksumScheme::Full)
+                            | (ErrorPattern::OneD, ChecksumScheme::Full)
+                    );
                     sdc_events.push(SdcEvent { pattern, corrected });
                 }
             }
@@ -314,6 +314,24 @@ impl AnalyticDriver {
 }
 
 /// Convenience: run a configuration end to end.
+///
+/// # Examples
+///
+/// Simulate a small LU decomposition under BSR and inspect the report:
+///
+/// ```
+/// use bsr_core::analytic::run;
+/// use bsr_core::config::RunConfig;
+/// use bsr_sched::strategy::{BsrConfig, Strategy};
+/// use bsr_sched::workload::Decomposition;
+///
+/// let cfg = RunConfig::small(Decomposition::Lu, 4096, 512, Strategy::Bsr(BsrConfig::default()))
+///     .with_fault_injection(false);
+/// let report = run(cfg);
+/// assert_eq!(report.iterations.len(), 8);
+/// assert!(report.total_time_s > 0.0);
+/// assert!(report.total_energy_j() > 0.0);
+/// ```
 pub fn run(cfg: RunConfig) -> RunReport {
     AnalyticDriver::new(cfg).run()
 }

@@ -31,7 +31,7 @@
 //! assert!(cmp.energy_saving > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analytic;
 pub mod config;

@@ -25,6 +25,26 @@ pub struct TradeoffPoint {
 }
 
 /// Sweep BSR over the given reclamation ratios (the rest of `base` is reused verbatim).
+///
+/// # Examples
+///
+/// Sweep the performance/energy trade-off of a small LU run and extract the
+/// Pareto-efficient ratios (the paper's Figure 11 at reduced scale):
+///
+/// ```
+/// use bsr_core::config::RunConfig;
+/// use bsr_core::pareto::{pareto_front, sweep_reclamation_ratio};
+/// use bsr_sched::strategy::Strategy;
+/// use bsr_sched::workload::Decomposition;
+///
+/// let base = RunConfig::small(Decomposition::Lu, 4096, 512, Strategy::Original)
+///     .with_fault_injection(false);
+/// let sweep = sweep_reclamation_ratio(&base, &[0.0, 0.15, 0.3]);
+/// assert_eq!(sweep.len(), 3);
+/// let points: Vec<_> = sweep.iter().map(|(p, _)| p.clone()).collect();
+/// let front = pareto_front(&points);
+/// assert!(!front.is_empty());
+/// ```
 pub fn sweep_reclamation_ratio(base: &RunConfig, ratios: &[f64]) -> Vec<(TradeoffPoint, RunReport)> {
     ratios
         .iter()

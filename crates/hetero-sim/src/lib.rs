@@ -30,7 +30,7 @@
 //! *shapes* reported in the paper (who wins, where crossovers happen), not the absolute
 //! numbers of the authors' silicon.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod device;
 pub mod energy;

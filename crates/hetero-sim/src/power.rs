@@ -2,7 +2,7 @@
 //!
 //! The paper's energy analysis (Section 3.2.3) splits processor power into a static part
 //! and a dynamic part, with the dynamic part following `P_dynamic ∝ f^2.4` (citing the
-//! EARtH model [17]). The optimized guardband multiplies the total power by a reduction
+//! EARtH model \[17\]). The optimized guardband multiplies the total power by a reduction
 //! factor α(f) (see [`crate::guardband`]). Idle processors retain their static power and
 //! a small fraction of dynamic power (clock gating is imperfect); a processor halted at
 //! its lowest power state (R2H) drops to static power only.

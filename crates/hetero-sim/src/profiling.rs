@@ -84,11 +84,12 @@ pub fn profile_device(device: &Device, kernel: KernelClass, precision: Precision
                 max_temp_c: device.sustained_temp_c(f, gb),
             };
             if gb == Guardband::Optimized {
-                if point.sdc_rate_0d == 0.0 && point.sdc_rate_1d == 0.0 && point.sdc_rate_2d == 0.0
+                if point.sdc_rate_0d == 0.0
+                    && point.sdc_rate_1d == 0.0
+                    && point.sdc_rate_2d == 0.0
+                    && f.0 > fault_free_max.0
                 {
-                    if f.0 > fault_free_max.0 {
-                        fault_free_max = f;
-                    }
+                    fault_free_max = f;
                 }
                 if eff > best_eff {
                     best_eff = eff;

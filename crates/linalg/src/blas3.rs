@@ -70,6 +70,7 @@ fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
 /// `C[cb] = alpha * op(A) * op(B) + beta * C[cb]`.
 ///
 /// `op(A)` must be `cb.rows × k` and `op(B)` must be `k × cb.cols`.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, kept for familiarity
 pub fn gemm_into_block(
     alpha: f64,
     a: &Matrix,
@@ -123,8 +124,8 @@ pub fn gemm_into_block(
                 for (i, cv) in c_col.iter_mut().enumerate() {
                     let a_col = a.col(i);
                     let mut acc = 0.0;
-                    for l in 0..k {
-                        acc += a_col[l] * op_get(b, transb, l, jj);
+                    for (l, &av) in a_col[..k].iter().enumerate() {
+                        acc += av * op_get(b, transb, l, jj);
                     }
                     *cv += alpha * acc;
                 }
@@ -215,8 +216,8 @@ pub fn trsm_into_block(
                     UpLo::Lower => {
                         for i in 0..n {
                             let mut sum = col[i];
-                            for l in 0..i {
-                                sum -= a_at(i, l) * col[l];
+                            for (l, &cl) in col[..i].iter().enumerate() {
+                                sum -= a_at(i, l) * cl;
                             }
                             col[i] = match diag {
                                 Diag::Unit => sum,
@@ -227,8 +228,8 @@ pub fn trsm_into_block(
                     UpLo::Upper => {
                         for i in (0..n).rev() {
                             let mut sum = col[i];
-                            for l in i + 1..n {
-                                sum -= a_at(i, l) * col[l];
+                            for (l, &cl) in col[..n].iter().enumerate().skip(i + 1) {
+                                sum -= a_at(i, l) * cl;
                             }
                             col[i] = match diag {
                                 Diag::Unit => sum,

@@ -20,7 +20,7 @@
 //! experiments run at modest sizes (n ≤ a few thousand), while paper-scale runs
 //! (n = 30720) use the analytic performance model in `bsr-core`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod blas1;
 pub mod blas3;

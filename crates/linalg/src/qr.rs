@@ -159,8 +159,8 @@ pub fn form_t(a: &Matrix, j0: usize, nb: usize, taus: &[f64]) -> Matrix {
         // T[0..i, i] = T[0..i, 0..i] * w
         for r in 0..i {
             let mut acc = 0.0;
-            for k in r..i {
-                acc += t.get(r, k) * w[k];
+            for (k, &wk) in w.iter().enumerate().take(i).skip(r) {
+                acc += t.get(r, k) * wk;
             }
             t.set(r, i, acc);
         }

@@ -12,7 +12,7 @@
 //!   directional Slack Reclamation and Bi-directional Slack Reclamation (Algorithm 2),
 //!   including the ABFT-OC coupling (Algorithm 1).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod predict;
 pub mod ratios;

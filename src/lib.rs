@@ -10,6 +10,8 @@
 //! * [`sched`] (`bsr-sched`) — slack prediction and energy strategies;
 //! * [`framework`] (`bsr-core`) — analytic and numeric drivers, reports, Pareto sweeps.
 
+#![deny(missing_docs)]
+
 pub use bsr_abft as abft;
 pub use bsr_core as framework;
 pub use bsr_linalg as linalg;

@@ -1,0 +1,72 @@
+//! Umbrella-crate surface tests: the `bsr_repro::prelude` re-exports stay usable, and a
+//! tiny Cholesky flows end to end through ABFT verification.
+
+use bsr_repro::prelude::*;
+
+/// Every name the prelude promises must resolve and be usable without reaching into the
+/// member crates. This test exists so a future re-export removal is a compile error in
+/// CI, not a surprise for downstream users.
+#[test]
+fn prelude_reexports_resolve_and_compose() {
+    // Types from all five member crates, reached only through the prelude.
+    let workload: Workload = Workload::new_f64(Decomposition::Cholesky, 1024, 128);
+    assert_eq!(workload.iterations(), 8);
+
+    let platform: Platform = PlatformConfig::paper_default().build();
+    assert!(platform.gpu.kind != platform.cpu.kind);
+
+    let strategy: Strategy = Strategy::Bsr(BsrConfig::default());
+    let scheme: ChecksumScheme = ChecksumScheme::Full;
+    let cfg: RunConfig = RunConfig::small(Decomposition::Lu, 2048, 256, strategy)
+        .with_abft_mode(AbftMode::Forced(scheme))
+        .with_fault_injection(false);
+
+    // The three drivers the prelude exposes: analytic run, comparison, Pareto sweep.
+    let report: RunReport = run(cfg.clone());
+    let baseline: RunReport = run(cfg.clone().with_strategy(Strategy::Original));
+    let cmp: Comparison = compare(&report, &baseline);
+    assert!(cmp.energy_saving.is_finite());
+    let table = format_comparison_table(&[("BSR".to_string(), &report, cmp)]);
+    assert!(table.contains("BSR"));
+
+    let sweep = sweep_reclamation_ratio(&cfg, &[0.0, 0.2]);
+    let points: Vec<_> = sweep.iter().map(|(p, _)| p.clone()).collect();
+    assert!(!pareto_front(&points).is_empty());
+
+    // Reliability estimation is part of the prelude as well.
+    let rel = estimate_reliability(cfg, "prelude-smoke");
+    assert!((0.0..=1.0).contains(&rel.correctness_probability));
+}
+
+/// The module-alias re-exports (`platform`, `linalg`, `abft`, `sched`, `framework`)
+/// expose the full member crates for anything the prelude doesn't cover.
+#[test]
+fn module_aliases_reach_member_crates() {
+    let mhz = bsr_repro::platform::freq::MHz(1500.0);
+    assert_eq!(mhz.0, 1500.0);
+    let m = bsr_repro::linalg::matrix::Matrix::identity(4);
+    assert_eq!(m.get(3, 3), 1.0);
+    let fc = bsr_repro::abft::coverage::FULL_COVERAGE_THRESHOLD;
+    assert!(fc > 0.999);
+    let row_count = bsr_repro::sched::ratios::table2(30720, 512, 10).len();
+    assert!(row_count > 0);
+    let grid = bsr_repro::framework::pareto::paper_ratio_grid();
+    assert_eq!(grid.len(), 7);
+}
+
+/// End-to-end smoke test: a small real Cholesky factorization runs through the numeric
+/// driver with adaptive ABFT, verifies its checksums, and reconstructs the input.
+#[test]
+fn tiny_cholesky_end_to_end_through_abft() {
+    let cfg = RunConfig::small(
+        Decomposition::Cholesky,
+        96,
+        32,
+        Strategy::Bsr(BsrConfig::default()),
+    );
+    let out = run_numeric(cfg).expect("cholesky must factorize");
+    assert!(out.numerically_correct, "residual {} too large", out.residual);
+    assert!(out.residual < 1e-12);
+    // Nothing corrupted the run, so checksum verification must be clean.
+    assert_eq!(out.verification.uncorrectable, 0);
+}

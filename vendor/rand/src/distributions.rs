@@ -1,0 +1,144 @@
+//! The distribution subset: [`Distribution`], [`Standard`], [`Uniform`] and the
+//! [`uniform::SampleRange`] machinery behind `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution that values of type `T` can be sampled from.
+pub trait Distribution<T> {
+    /// Sample one value using `rng` as the source of randomness.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over `[0, 1)` for floats, uniform over
+/// the whole domain for integers and `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// A uniform distribution over a half-open range, constructed once and sampled many
+/// times (`Uniform::new(lo, hi)` then `dist.sample(rng)`).
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    /// Uniform distribution over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform { lo, hi }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(&self.lo, &self.hi, rng)
+    }
+}
+
+/// Range-sampling machinery behind `Rng::gen_range` and [`Uniform`].
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a `lo..hi` interval.
+    pub trait SampleUniform: Sized {
+        /// Sample uniformly from `[lo, hi)`.
+        fn sample_uniform<R: RngCore + ?Sized>(lo: &Self, hi: &Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(lo: &Self, hi: &Self, rng: &mut R) -> Self {
+                    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    lo + (u as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    impl_float_uniform!(f32, f64);
+
+    macro_rules! impl_int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(lo: &Self, hi: &Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "gen_range called with empty range");
+                    let span = (*hi as u64).wrapping_sub(*lo as u64);
+                    // Modulo bias is negligible for the small spans this workspace uses.
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(&self.start, &self.end, rng)
+        }
+    }
+
+    macro_rules! impl_int_inclusive_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range called with empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain range: every bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_inclusive_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}

@@ -1,0 +1,39 @@
+//! Offline vendored stand-in for [rayon](https://docs.rs/rayon): the `par_*` slice
+//! entry points this workspace calls, executed **sequentially** on the calling thread.
+//!
+//! The kernels in `bsr-linalg` are written against rayon's slice API
+//! (`par_chunks_exact_mut(..).enumerate().skip(..).take(..).for_each(..)`), which is a
+//! strict subset of the `std` iterator API once the parallel iterator is replaced by the
+//! corresponding sequential one. This shim does exactly that replacement, so swapping
+//! the real rayon back in is a manifest-only change that upgrades the same code from
+//! sequential to work-stealing parallel execution.
+
+#![deny(missing_docs)]
+
+/// The rayon prelude: import to get the `par_*` methods on slices.
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Parallel (here: sequential) slice operations.
+pub mod slice {
+    /// Mutable slice splitting, mirroring `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Split into mutable chunks of exactly `chunk_size` elements, dropping the
+        /// remainder — the sequential equivalent of rayon's method of the same name.
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+
+        /// Split into mutable chunks of at most `chunk_size` elements.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(chunk_size)
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}

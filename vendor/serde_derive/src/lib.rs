@@ -1,0 +1,425 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The derives parse the item declaration directly from the token stream (the build
+//! environment has no `syn`/`quote`) and emit implementations of the simplified
+//! `serde::Serialize` / `serde::Deserialize` traits of the vendored `serde` crate.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//!
+//! * structs with named fields → externally a string-keyed map in declaration order;
+//! * tuple structs with one field (newtypes) → transparently the inner value;
+//! * tuple structs with several fields → a sequence;
+//! * unit-only enum variants → the variant name as a string;
+//! * tuple enum variants with one payload → `{"Variant": payload}` (externally tagged,
+//!   matching real serde's default representation);
+//! * struct enum variants → `{"Variant": {fields...}}`.
+//!
+//! Field/variant attributes (`#[serde(...)]`) and generic parameters are *not*
+//! supported; deriving on such an item is a compile error rather than silent
+//! misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    /// Struct with named fields (field identifiers in declaration order).
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Enum; each variant is (name, shape).
+    Enum { name: String, variants: Vec<(String, VariantShape)> },
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with `arity` payload fields.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => render(&item, mode).parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` etc: skip the optional parenthesized restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Struct { name, fields: named_fields(g.stream())? })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct { name, arity: count_top_level_fields(g.stream()) })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Ok(Item::TupleStruct { name, arity: 0 })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum { name, variants: enum_variants(g.stream())? })
+        }
+        (k, t) => Err(format!("unsupported item shape: {k} followed by {t:?}")),
+    }
+}
+
+/// Extract field names from the body of a braced struct: for each comma-separated
+/// field, the identifier immediately before the first top-level `:`.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    let mut last_ident: Option<String> = None;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // skip attribute body
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else {
+                    last_ident = Some(s);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && expecting_name => {
+                fields.push(last_ident.take().ok_or("field without a name")?);
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                expecting_name = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Count comma-separated fields in a tuple-struct/tuple-variant body. Commas inside
+/// nested groups don't appear at this level, but commas inside generic argument lists
+/// (`Foo<A, B>`) do, so track `<`/`>` depth.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut fields = 0;
+    let mut pending = false; // tokens seen since the last top-level comma
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                // Count the field this comma terminates; a trailing comma with nothing
+                // after it must not add a phantom field.
+                if pending {
+                    fields += 1;
+                    pending = false;
+                }
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn enum_variants(body: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // skip attribute body
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let shape = match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_top_level_fields(g.stream());
+                        tokens.next();
+                        VariantShape::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = named_fields(g.stream())?;
+                        tokens.next();
+                        VariantShape::Struct(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip an optional discriminant (`= expr`) up to the next comma.
+                while let Some(peek) = tokens.peek() {
+                    if matches!(peek, TokenTree::Punct(p) if p.as_char() == ',') {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                variants.push((name, shape));
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn render(item: &Item, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => render_serialize(item),
+        Mode::Deserialize => render_deserialize(item),
+    }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (name, format!("::serde::Value::Map(vec![{}])", entries.join(", ")))
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (name, format!("::serde::Value::Seq(vec![{}])", entries.join(", ")))
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(inner) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(inner))])"
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{}]))])",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            (name, format!("Ok({name} {{ {} }})", inits.join(", ")))
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, format!("Ok({name}(::serde::Deserialize::from_value(v)?))"))
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Seq(items) if items.len() == {arity} => Ok({name}({})),\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"expected sequence of length {arity} for {name}, found {{}}\", other.kind()))),\n\
+                     }}",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, s)| match s {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(payload)?))"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match payload {{\n\
+                                 ::serde::Value::Seq(items) if items.len() == {arity} => Ok({name}::{v}({})),\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"expected sequence payload for variant {v}, found {{}}\", other.kind()))),\n\
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(payload.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!("\"{v}\" => Ok({name}::{v} {{ {} }})", inits.join(", ")))
+                    }
+                })
+                .collect();
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {},\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},",
+                    unit_arms.join(",\n")
+                )
+            };
+            let tagged_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {},\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},",
+                    tagged_arms.join(",\n")
+                )
+            };
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         {unit_match}\n\
+                         {tagged_match}\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"unexpected {{}} for enum {name}\", other.kind()))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
