@@ -1,0 +1,254 @@
+//! `kernel_perf` — measured GFLOP/s baseline of the level-3 kernels.
+//!
+//! Sweeps GEMM / TRSM / SYRK over a range of orders, single- and multi-threaded, and
+//! also times the **seed's naive GEMM** (the pre-packing, per-column axpy kernel kept
+//! verbatim below) so the speedup of the packed core is recorded, not assumed. Results
+//! go to stdout via the criterion harness and to `BENCH_kernels.json` at the workspace
+//! root as machine-readable JSON, so the kernel-performance trajectory of the repo is
+//! tracked from this PR onward.
+//!
+//! Environment:
+//! * `KERNEL_PERF_SMOKE=1` — tiny sizes + short measurement, for CI smoke runs; writes
+//!   to `target/BENCH_kernels.smoke.json` instead so the recorded trajectory is not
+//!   clobbered by throwaway numbers.
+//! * `KERNEL_PERF_OUT=<path>` — override the output path.
+//! * `RAYON_NUM_THREADS` is driven by the harness itself to compare the single- and
+//!   multi-threaded paths in one process.
+//!
+//! Flop conventions (madd = 2 flops): GEMM `2n³`, TRSM (n right-hand sides) `n³`,
+//! SYRK (lower, k = n) `n³`.
+
+use bsr_linalg::blas3::{
+    gemm_into_block, simd_backend, syrk_lower_into_block, trsm_into_block, Diag, Side, Trans, UpLo,
+};
+use bsr_linalg::generate::random_matrix;
+use bsr_linalg::matrix::{Block, Matrix};
+use criterion::Criterion;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// The seed repository's GEMM inner kernel (pre-packing), kept verbatim as the measured
+/// baseline: per-output-column axpy accumulation through `Matrix::get`/`Matrix::col`,
+/// no packing, no cache blocking, no register tiling. Computes `C = A · B`.
+fn naive_gemm_seed(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let k = a.cols();
+    for j in 0..b.cols() {
+        let c_col = c.col_mut(j);
+        for v in c_col.iter_mut() {
+            *v = 0.0;
+        }
+        for l in 0..k {
+            let bval = b.get(l, j);
+            if bval == 0.0 {
+                continue;
+            }
+            let a_col = a.col(l);
+            let c_col = c.col_mut(j);
+            for (i, cv) in c_col.iter_mut().enumerate() {
+                *cv += bval * a_col[i];
+            }
+        }
+    }
+}
+
+/// One measured configuration and its throughput.
+struct Result {
+    kernel: &'static str,
+    n: usize,
+    threads: usize,
+    median_s: f64,
+    gflops: f64,
+}
+
+fn flops(kernel: &str, n: usize) -> f64 {
+    let n = n as f64;
+    match kernel {
+        "gemm_packed" | "gemm_naive_seed" => 2.0 * n * n * n,
+        "trsm_right_lower_t" | "syrk_lower" => n * n * n,
+        other => unreachable!("unknown kernel {other}"),
+    }
+}
+
+fn bench_size(c: &mut Criterion, n: usize, threads: usize, smoke: bool) {
+    let mut group = c.benchmark_group(&format!("kernel_perf/n{n}/t{threads}"));
+    if smoke {
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(150));
+    } else {
+        group
+            .sample_size(11)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(2500));
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2023);
+    let a = random_matrix(&mut rng, n, n);
+    let b = random_matrix(&mut rng, n, n);
+    let mut cmat = Matrix::zeros(n, n);
+
+    group.bench_function(&format!("gemm_packed/{n}/t{threads}"), |bench| {
+        bench.iter(|| {
+            gemm_into_block(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut cmat, Block::full(n, n));
+        })
+    });
+
+    // The naive baseline is single-threaded by construction; measure it once per size.
+    if threads == 1 {
+        group.bench_function(&format!("gemm_naive_seed/{n}/t1"), |bench| {
+            bench.iter(|| naive_gemm_seed(&a, &b, &mut cmat))
+        });
+    }
+
+    // TRSM in the shape the blocked Cholesky panel update uses: X · Lᵀ = B.
+    let mut l = random_matrix(&mut rng, n, n).lower_triangular();
+    for i in 0..n {
+        l.set(i, i, 2.0 + (n + i) as f64);
+    }
+    let rhs = random_matrix(&mut rng, n, n);
+    let mut x = rhs.clone();
+    group.bench_function(&format!("trsm_right_lower_t/{n}/t{threads}"), |bench| {
+        bench.iter(|| {
+            x.clone_from(&rhs); // ~n² reset, amortized against the n³ solve
+            trsm_into_block(
+                Side::Right,
+                UpLo::Lower,
+                Trans::Yes,
+                Diag::NonUnit,
+                1.0,
+                &l,
+                &mut x,
+                Block::full(n, n),
+            );
+        })
+    });
+
+    group.bench_function(&format!("syrk_lower/{n}/t{threads}"), |bench| {
+        bench.iter(|| {
+            syrk_lower_into_block(1.0, &a, 0.0, &mut cmat, Block::full(n, n));
+        })
+    });
+
+    group.finish();
+}
+
+fn main() {
+    let smoke = std::env::var("KERNEL_PERF_SMOKE").is_ok();
+    let sizes: &[usize] = if smoke { &[48] } else { &[128, 256, 512] };
+    // Hardware parallelism, captured before the harness overrides RAYON_NUM_THREADS.
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let hw_threads = rayon::current_num_threads();
+
+    let mut criterion = Criterion::default().configure_from_args();
+    for &n in sizes {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        bench_size(&mut criterion, n, 1, smoke);
+        if hw_threads > 1 {
+            std::env::set_var("RAYON_NUM_THREADS", hw_threads.to_string());
+            bench_size(&mut criterion, n, hw_threads, smoke);
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    // Turn the criterion records into throughput numbers.
+    let mut results: Vec<Result> = Vec::new();
+    for record in criterion.records() {
+        let mut parts = record.name.split('/');
+        let kernel = match parts.next() {
+            Some("gemm_packed") => "gemm_packed",
+            Some("gemm_naive_seed") => "gemm_naive_seed",
+            Some("trsm_right_lower_t") => "trsm_right_lower_t",
+            Some("syrk_lower") => "syrk_lower",
+            _ => continue,
+        };
+        let n: usize = parts.next().unwrap().parse().unwrap();
+        let threads: usize = parts.next().unwrap().trim_start_matches('t').parse().unwrap();
+        results.push(Result {
+            kernel,
+            n,
+            threads,
+            median_s: record.median_s,
+            gflops: flops(kernel, n) / record.median_s / 1e9,
+        });
+    }
+
+    let max_n = *sizes.last().unwrap();
+    let find = |kernel: &str, n: usize, threads: usize| {
+        results
+            .iter()
+            .find(|r| r.kernel == kernel && r.n == n && r.threads == threads)
+    };
+    let packed_st = find("gemm_packed", max_n, 1);
+    let naive_st = find("gemm_naive_seed", max_n, 1);
+    let packed_mt = if hw_threads > 1 { find("gemm_packed", max_n, hw_threads) } else { None };
+    let packed_vs_naive = match (packed_st, naive_st) {
+        (Some(p), Some(s)) => p.gflops / s.gflops,
+        _ => f64::NAN,
+    };
+    let mt_vs_st = match (packed_st, packed_mt) {
+        (Some(st), Some(mt)) => mt.gflops / st.gflops,
+        _ => f64::NAN, // single-core host: no multithreaded run to compare
+    };
+
+    println!("\nkernel_perf summary (n = {max_n}):");
+    println!("  simd backend:            {}", simd_backend());
+    println!("  hardware threads:        {hw_threads}");
+    if let (Some(p), Some(s)) = (packed_st, naive_st) {
+        println!("  packed GEMM (1 thread):  {:.2} GFLOP/s", p.gflops);
+        println!("  seed naive GEMM:         {:.2} GFLOP/s", s.gflops);
+        println!("  packed / naive speedup:  {packed_vs_naive:.2}x");
+    }
+    if let Some(mt) = packed_mt {
+        println!("  packed GEMM ({} thr):    {:.2} GFLOP/s  ({mt_vs_st:.2}x vs 1 thread)", mt.threads, mt.gflops);
+    } else {
+        println!("  multithreaded run:       skipped (1 hardware thread)");
+    }
+
+    // Emit the machine-readable trajectory file.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let default_out = if smoke {
+        root.join("target/BENCH_kernels.smoke.json")
+    } else {
+        root.join("BENCH_kernels.json")
+    };
+    let out = std::env::var("KERNEL_PERF_OUT").unwrap_or_else(|_| default_out.to_string_lossy().into_owned());
+
+    // All interpolated strings are code-controlled identifiers (no quotes/backslashes),
+    // so no JSON string escaping is needed.
+    let mut rows: Vec<String> = Vec::new();
+    for r in &results {
+        rows.push(format!(
+            "    {{\"kernel\":\"{}\",\"n\":{},\"threads\":{},\"median_s\":{:.6e},\"gflops\":{:.3}}}",
+            r.kernel, r.n, r.threads, r.median_s, r.gflops
+        ));
+    }
+    let derived = format!(
+        "  \"derived\": {{\n    \"max_n\": {max_n},\n    \"gemm_packed_vs_seed_naive_speedup_st\": {},\n    \"gemm_packed_mt_vs_st_speedup\": {}\n  }}",
+        json_num(packed_vs_naive),
+        json_num(mt_vs_st)
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_perf\",\n  \"mode\": \"{}\",\n  \"threads_available\": {hw_threads},\n  \"simd_backend\": \"{}\",\n  \"results\": [\n{}\n  ],\n{derived}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        simd_backend(),
+        rows.join(",\n")
+    );
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("kernel_perf: failed to write {out}: {e}"),
+    }
+}
+
+/// JSON-safe float: NaN (no measurement) serializes as null.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}

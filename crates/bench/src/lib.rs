@@ -19,6 +19,7 @@
 //! | `abl_dvfs_latency` | ablation — sensitivity to the DVFS transition latency |
 //! | `abl_block_size` | ablation — sensitivity to the panel/block size |
 //! | `kernels` | criterion microbenchmarks of the numeric kernels |
+//! | `kernel_perf` | GFLOP/s sweep of the packed level-3 kernels → `BENCH_kernels.json` |
 
 #![deny(missing_docs)]
 

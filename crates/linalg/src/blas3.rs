@@ -1,15 +1,24 @@
 //! Level-3 BLAS kernels (GEMM, TRSM, SYRK) operating in place on blocks of a [`Matrix`].
 //!
-//! The kernels are written column-oriented to match the column-major storage, and are
-//! parallelized with rayon over the columns of the *output* block: in column-major storage
-//! every column is a disjoint slice of the backing vector, so the parallel split is
-//! expressed entirely through `par_chunks_exact_mut` with no `unsafe`.
+//! All three kernels ride the packed, cache-blocked GEMM core in `crate::kernel`:
+//! operand panels are packed into contiguous zero-padded buffers (no `Matrix::get` or
+//! transpose indirection in the hot loops), tiled `NC × KC × MC` to fit L1/L2, and
+//! executed by an `8 × 4` register micro-kernel (AVX2+FMA when available). TRSM is
+//! blocked along the triangular diagonal so everything outside the small diagonal
+//! solves is expressed as GEMM; SYRK shares the core with a lower-triangle mask.
 //!
-//! Small problems fall back to the sequential path — the threshold keeps the dispatch
-//! overhead away from the tiny per-panel updates of the blocked factorizations.
+//! Parallelism: the output block is split into column strips (every column is a
+//! disjoint slice of the column-major backing vector, so the split needs no `unsafe`)
+//! and the strips are fanned out over the vendored rayon thread pool. One shared
+//! heuristic, `parallel_degree`, decides when a problem is big enough to amortize
+//! the pool's per-region spawn cost; small per-panel updates of the blocked
+//! factorizations stay sequential.
 
+use crate::kernel::{self, NR};
 use crate::matrix::{Block, Matrix};
 use rayon::prelude::*;
+
+pub use crate::kernel::simd_backend;
 
 /// Transposition selector for GEMM operands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,8 +56,27 @@ pub enum Diag {
     Unit,
 }
 
-/// Work size (in output elements × inner dimension) above which the parallel path is used.
-const PAR_THRESHOLD: usize = 64 * 64 * 16;
+/// Order of the diagonal blocks in the blocked TRSM algorithms; everything outside the
+/// diagonal solve is routed through the packed GEMM core.
+const TRSM_NB: usize = 64;
+
+/// Shared work-size heuristic of the level-3 kernels: given the multiply-add count of
+/// an operation, return how many worker threads its output should be split across.
+///
+/// The vendored rayon pool spawns scoped threads per parallel region (tens of
+/// microseconds), so a region must carry on the order of a millisecond of math before
+/// splitting pays off. `128 · 128 · 64 ≈ 1 M` madds ≈ 2 MFLOP clears that bar with an
+/// order of magnitude to spare on any machine this runs on; below it the caller gets
+/// `1` and stays on the calling thread, which keeps dispatch overhead away from the
+/// tiny per-panel updates of the blocked factorizations.
+fn parallel_degree(madds: usize) -> usize {
+    const PAR_THRESHOLD: usize = 128 * 128 * 64;
+    if madds >= PAR_THRESHOLD {
+        rayon::current_num_threads()
+    } else {
+        1
+    }
+}
 
 #[inline]
 fn op_dims(a: &Matrix, trans: Trans) -> (usize, usize) {
@@ -66,10 +94,63 @@ fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
     }
 }
 
+/// Dense copy of the `rows × cols` sub-block of `op(A)` at op-coordinates `(r0, c0)`.
+fn copy_op_block(a: &Matrix, trans: Trans, r0: usize, rows: usize, c0: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| op_get(a, trans, r0 + i, c0 + j))
+}
+
+/// Apply BLAS `beta`/`alpha` scaling semantics to an output block: a factor of exactly
+/// `0` **overwrites** the block with zeros (stale or uninitialized contents — including
+/// NaN/Inf — must not propagate), `1` is a no-op, anything else scales in place.
+fn scale_block(c: &mut Matrix, cb: Block, factor: f64) {
+    if factor == 1.0 {
+        return;
+    }
+    for (_, col) in c.cols_range_mut(cb) {
+        if factor == 0.0 {
+            col.fill(0.0);
+        } else {
+            for v in col.iter_mut() {
+                *v *= factor;
+            }
+        }
+    }
+}
+
+/// [`scale_block`] restricted to the lower triangle of a square block (SYRK touches
+/// nothing above the diagonal).
+fn scale_block_lower(c: &mut Matrix, cb: Block, factor: f64) {
+    if factor == 1.0 {
+        return;
+    }
+    let col0 = cb.col;
+    for (j, col) in c.cols_range_mut(cb) {
+        let lower = &mut col[j - col0..];
+        if factor == 0.0 {
+            lower.fill(0.0);
+        } else {
+            for v in lower.iter_mut() {
+                *v *= factor;
+            }
+        }
+    }
+}
+
+/// Split the block `cb` of `c` into per-column mutable row slices (`out[jj][i]` is
+/// element `(cb.row + i, cb.col + jj)`) and hand them to `f`. Columns are disjoint
+/// slices of the column-major backing vector, so the strips the callers fan out over
+/// threads are independent borrows.
+fn with_block_cols<R>(c: &mut Matrix, cb: Block, f: impl FnOnce(&mut [&mut [f64]]) -> R) -> R {
+    let mut cols: Vec<&mut [f64]> = c.cols_range_mut(cb).map(|(_, s)| s).collect();
+    f(&mut cols)
+}
+
 /// General matrix-matrix multiply into a block of `c`:
 /// `C[cb] = alpha * op(A) * op(B) + beta * C[cb]`.
 ///
-/// `op(A)` must be `cb.rows × k` and `op(B)` must be `k × cb.cols`.
+/// `op(A)` must be `cb.rows × k` and `op(B)` must be `k × cb.cols`. Per BLAS semantics
+/// `beta == 0` overwrites the block (it is never read), so `c` may hold stale or
+/// non-finite data there.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature, kept for familiarity
 pub fn gemm_into_block(
     alpha: f64,
@@ -94,62 +175,19 @@ pub fn gemm_into_block(
         return;
     }
     let k = ak;
-    let c_rows = c.rows();
-    let row0 = cb.row;
-
-    let col_kernel = |jj: usize, c_col: &mut [f64]| {
-        // c_col is the [row0, row0+rows) slice of output column cb.col + jj.
-        if beta != 1.0 {
-            for v in c_col.iter_mut() {
-                *v *= beta;
-            }
-        }
-        match (transa, transb) {
-            (Trans::No, _) => {
-                // Column-major friendly: accumulate alpha * A[:, l] * op(B)[l, jj].
-                for l in 0..k {
-                    let bval = op_get(b, transb, l, jj);
-                    if bval == 0.0 {
-                        continue;
-                    }
-                    let scale = alpha * bval;
-                    let a_col = a.col(l);
-                    for (i, cv) in c_col.iter_mut().enumerate() {
-                        *cv += scale * a_col[i];
-                    }
-                }
-            }
-            (Trans::Yes, _) => {
-                // op(A)[i, l] = A[l, i]: dot products against columns of A.
-                for (i, cv) in c_col.iter_mut().enumerate() {
-                    let a_col = a.col(i);
-                    let mut acc = 0.0;
-                    for (l, &av) in a_col[..k].iter().enumerate() {
-                        acc += av * op_get(b, transb, l, jj);
-                    }
-                    *cv += alpha * acc;
-                }
-            }
-        }
-    };
-
-    let work = cb.rows * cb.cols * k;
-    if work >= PAR_THRESHOLD {
-        c.data_mut()
-            .par_chunks_exact_mut(c_rows)
-            .enumerate()
-            .skip(cb.col)
-            .take(cb.cols)
-            .for_each(|(j, col)| {
-                let jj = j - cb.col;
-                col_kernel(jj, &mut col[row0..row0 + cb.rows]);
-            });
-    } else {
-        for (j, col_slice) in c.cols_range_mut(cb) {
-            let jj = j - cb.col;
-            col_kernel(jj, col_slice);
-        }
+    scale_block(c, cb, beta);
+    if alpha == 0.0 || k == 0 {
+        return;
     }
+    let threads = parallel_degree(cb.rows * cb.cols * k);
+    let strip = cb.cols.div_ceil(threads).next_multiple_of(NR);
+    with_block_cols(c, cb, |cols| {
+        cols.par_chunks_mut(strip).enumerate().for_each(|(s, strip_cols)| {
+            kernel::gemm_strip(
+                alpha, a, transa, b, transb, cb.rows, k, s * strip, strip_cols, false,
+            );
+        });
+    });
 }
 
 /// Convenience wrapper multiplying whole matrices into a fresh output:
@@ -167,7 +205,10 @@ pub fn gemm(a: &Matrix, transa: Trans, b: &Matrix, transb: Trans) -> Matrix {
 /// * `Side::Left`:  `op(A) * X = alpha * B[bb]`, X overwrites `B[bb]`.
 /// * `Side::Right`: `X * op(A) = alpha * B[bb]`, X overwrites `B[bb]`.
 ///
-/// `A` must be a square triangular matrix of the appropriate order.
+/// `A` must be a square triangular matrix of the appropriate order. The solve is
+/// blocked along the diagonal in `TRSM_NB` = 64 steps: only the small diagonal systems
+/// are solved by substitution, the remaining rank-`TRSM_NB` updates go through the
+/// packed (and, for large problems, multithreaded) GEMM core.
 #[allow(clippy::too_many_arguments)]
 pub fn trsm_into_block(
     side: Side,
@@ -193,111 +234,220 @@ pub fn trsm_into_block(
         return;
     }
 
+    // alpha scales the right-hand side exactly once, up front; alpha == 0 zeroes it and
+    // the solution of op(A) X = 0 is X = 0, so the solve can stop there.
+    scale_block(b, bb, alpha);
+    if alpha == 0.0 {
+        return;
+    }
+
     // Effective access to op(A): a lower-triangular A accessed transposed behaves as
     // upper-triangular and vice versa.
     let eff_uplo = match (uplo, transa) {
         (UpLo::Lower, Trans::No) | (UpLo::Upper, Trans::Yes) => UpLo::Lower,
         _ => UpLo::Upper,
     };
-    let a_at = |i: usize, j: usize| op_get(a, transa, i, j);
 
-    match side {
-        Side::Left => {
-            // Each right-hand-side column is independent: parallelize over columns.
-            let b_rows = b.rows();
-            let row0 = bb.row;
-            let solve_col = |col: &mut [f64]| {
-                if alpha != 1.0 {
-                    for v in col.iter_mut() {
-                        *v *= alpha;
+    match (side, eff_uplo) {
+        (Side::Left, UpLo::Lower) => {
+            // Forward: solve rows [d0, d1), then eliminate them from the rows below.
+            let mut d0 = 0;
+            while d0 < n {
+                let nb = TRSM_NB.min(n - d0);
+                solve_left_diag(a, transa, eff_uplo, diag, d0, nb, b, bb);
+                let d1 = d0 + nb;
+                if d1 < n {
+                    let aop = copy_op_block(a, transa, d1, n - d1, d0, nb);
+                    let xsol = b.copy_block(Block::new(bb.row + d0, bb.col, nb, bb.cols));
+                    gemm_into_block(
+                        -1.0,
+                        &aop,
+                        Trans::No,
+                        &xsol,
+                        Trans::No,
+                        1.0,
+                        b,
+                        Block::new(bb.row + d1, bb.col, n - d1, bb.cols),
+                    );
+                }
+                d0 = d1;
+            }
+        }
+        (Side::Left, UpLo::Upper) => {
+            // Backward: solve rows [d0, d1), then eliminate them from the rows above.
+            let mut d1 = n;
+            while d1 > 0 {
+                let nb = TRSM_NB.min(d1);
+                let d0 = d1 - nb;
+                solve_left_diag(a, transa, eff_uplo, diag, d0, nb, b, bb);
+                if d0 > 0 {
+                    let aop = copy_op_block(a, transa, 0, d0, d0, nb);
+                    let xsol = b.copy_block(Block::new(bb.row + d0, bb.col, nb, bb.cols));
+                    gemm_into_block(
+                        -1.0,
+                        &aop,
+                        Trans::No,
+                        &xsol,
+                        Trans::No,
+                        1.0,
+                        b,
+                        Block::new(bb.row, bb.col, d0, bb.cols),
+                    );
+                }
+                d1 = d0;
+            }
+        }
+        (Side::Right, UpLo::Lower) => {
+            // op(A) lower couples column j to columns l > j: solve the highest block
+            // first, then eliminate it from all earlier columns in one GEMM.
+            let mut d1 = n;
+            while d1 > 0 {
+                let nb = TRSM_NB.min(d1);
+                let d0 = d1 - nb;
+                solve_right_diag(a, transa, eff_uplo, diag, d0, nb, b, bb);
+                if d0 > 0 {
+                    let xsol = b.copy_block(Block::new(bb.row, bb.col + d0, bb.rows, nb));
+                    let aop = copy_op_block(a, transa, d0, nb, 0, d0);
+                    gemm_into_block(
+                        -1.0,
+                        &xsol,
+                        Trans::No,
+                        &aop,
+                        Trans::No,
+                        1.0,
+                        b,
+                        Block::new(bb.row, bb.col, bb.rows, d0),
+                    );
+                }
+                d1 = d0;
+            }
+        }
+        (Side::Right, UpLo::Upper) => {
+            // op(A) upper couples column j to columns l < j: solve the lowest block
+            // first, then eliminate it from all later columns in one GEMM.
+            let mut d0 = 0;
+            while d0 < n {
+                let nb = TRSM_NB.min(n - d0);
+                solve_right_diag(a, transa, eff_uplo, diag, d0, nb, b, bb);
+                let d1 = d0 + nb;
+                if d1 < n {
+                    let xsol = b.copy_block(Block::new(bb.row, bb.col + d0, bb.rows, nb));
+                    let aop = copy_op_block(a, transa, d0, nb, d1, n - d1);
+                    gemm_into_block(
+                        -1.0,
+                        &xsol,
+                        Trans::No,
+                        &aop,
+                        Trans::No,
+                        1.0,
+                        b,
+                        Block::new(bb.row, bb.col + d1, bb.rows, n - d1),
+                    );
+                }
+                d0 = d1;
+            }
+        }
+    }
+}
+
+/// Substitution solve of the `nb × nb` diagonal system at `(d0, d0)` of `op(A)` against
+/// rows `[d0, d0 + nb)` of the right-hand-side block. Right-hand-side columns are
+/// independent, so wide blocks are fanned out over the thread pool.
+#[allow(clippy::too_many_arguments)]
+fn solve_left_diag(
+    a: &Matrix,
+    transa: Trans,
+    eff_uplo: UpLo,
+    diag: Diag,
+    d0: usize,
+    nb: usize,
+    b: &mut Matrix,
+    bb: Block,
+) {
+    let bsub = Block::new(bb.row + d0, bb.col, nb, bb.cols);
+    let solve_col = |col: &mut [f64]| match eff_uplo {
+        UpLo::Lower => {
+            for i in 0..nb {
+                let gi = d0 + i;
+                let mut sum = col[i];
+                for (l, &cl) in col[..i].iter().enumerate() {
+                    sum -= op_get(a, transa, gi, d0 + l) * cl;
+                }
+                col[i] = match diag {
+                    Diag::Unit => sum,
+                    Diag::NonUnit => sum / op_get(a, transa, gi, gi),
+                };
+            }
+        }
+        UpLo::Upper => {
+            for i in (0..nb).rev() {
+                let gi = d0 + i;
+                let mut sum = col[i];
+                for (l, &cl) in col[..nb].iter().enumerate().skip(i + 1) {
+                    sum -= op_get(a, transa, gi, d0 + l) * cl;
+                }
+                col[i] = match diag {
+                    Diag::Unit => sum,
+                    Diag::NonUnit => sum / op_get(a, transa, gi, gi),
+                };
+            }
+        }
+    };
+    let threads = parallel_degree(bb.cols * nb * nb);
+    let strip = bb.cols.div_ceil(threads);
+    with_block_cols(b, bsub, |cols| {
+        cols.par_chunks_mut(strip).for_each(|chunk| {
+            for col in chunk.iter_mut() {
+                solve_col(col);
+            }
+        });
+    });
+}
+
+/// Solve the `nb`-column diagonal sub-problem `X' · op(A)[d0..d1, d0..d1] = B'` in
+/// place on local columns `[d0, d0 + nb)` of the block. Columns inside the sub-problem
+/// are coupled, so they are produced sequentially (the bulk inter-block work happens in
+/// the caller's GEMM updates).
+#[allow(clippy::too_many_arguments)]
+fn solve_right_diag(
+    a: &Matrix,
+    transa: Trans,
+    eff_uplo: UpLo,
+    diag: Diag,
+    d0: usize,
+    nb: usize,
+    b: &mut Matrix,
+    bb: Block,
+) {
+    match eff_uplo {
+        UpLo::Lower => {
+            for j in (d0..d0 + nb).rev() {
+                for l in j + 1..d0 + nb {
+                    let scale = op_get(a, transa, l, j);
+                    if scale != 0.0 {
+                        subtract_scaled_column(b, bb, j, l, scale);
                     }
                 }
-                match eff_uplo {
-                    UpLo::Lower => {
-                        for i in 0..n {
-                            let mut sum = col[i];
-                            for (l, &cl) in col[..i].iter().enumerate() {
-                                sum -= a_at(i, l) * cl;
-                            }
-                            col[i] = match diag {
-                                Diag::Unit => sum,
-                                Diag::NonUnit => sum / a_at(i, i),
-                            };
-                        }
+                if diag == Diag::NonUnit {
+                    let d = op_get(a, transa, j, j);
+                    for v in column_mut(b, bb, j) {
+                        *v /= d;
                     }
-                    UpLo::Upper => {
-                        for i in (0..n).rev() {
-                            let mut sum = col[i];
-                            for (l, &cl) in col[..n].iter().enumerate().skip(i + 1) {
-                                sum -= a_at(i, l) * cl;
-                            }
-                            col[i] = match diag {
-                                Diag::Unit => sum,
-                                Diag::NonUnit => sum / a_at(i, i),
-                            };
-                        }
-                    }
-                }
-            };
-            let work = bb.rows * bb.cols * n;
-            if work >= PAR_THRESHOLD {
-                b.data_mut()
-                    .par_chunks_exact_mut(b_rows)
-                    .skip(bb.col)
-                    .take(bb.cols)
-                    .for_each(|col| solve_col(&mut col[row0..row0 + bb.rows]));
-            } else {
-                for (_, col) in b.cols_range_mut(bb) {
-                    solve_col(col);
                 }
             }
         }
-        Side::Right => {
-            // X * op(A) = alpha * B. Column j of the equation couples output columns
-            // 0..=j (lower effective triangle) or j..n (upper), so columns are produced
-            // sequentially; rows within a column are independent.
-            if alpha != 1.0 {
-                for (_, col) in b.cols_range_mut(bb) {
-                    for v in col {
-                        *v *= alpha;
+        UpLo::Upper => {
+            for j in d0..d0 + nb {
+                for l in d0..j {
+                    let scale = op_get(a, transa, l, j);
+                    if scale != 0.0 {
+                        subtract_scaled_column(b, bb, j, l, scale);
                     }
                 }
-            }
-            match eff_uplo {
-                UpLo::Lower => {
-                    // op(A) lower: B[:,j] = Σ_{l ≥ j} X[:,l]·op(A)[l,j] — solve j descending.
-                    for j in (0..n).rev() {
-                        for l in j + 1..n {
-                            let scale = a_at(l, j);
-                            if scale == 0.0 {
-                                continue;
-                            }
-                            subtract_scaled_column(b, bb, j, l, scale);
-                        }
-                        if diag == Diag::NonUnit {
-                            let d = a_at(j, j);
-                            for v in column_mut(b, bb, j) {
-                                *v /= d;
-                            }
-                        }
-                    }
-                }
-                UpLo::Upper => {
-                    // op(A) upper: B[:,j] = Σ_{l ≤ j} X[:,l]·op(A)[l,j] — solve j ascending.
-                    for j in 0..n {
-                        for l in 0..j {
-                            let scale = a_at(l, j);
-                            if scale == 0.0 {
-                                continue;
-                            }
-                            subtract_scaled_column(b, bb, j, l, scale);
-                        }
-                        if diag == Diag::NonUnit {
-                            let d = a_at(j, j);
-                            for v in column_mut(b, bb, j) {
-                                *v /= d;
-                            }
-                        }
+                if diag == Diag::NonUnit {
+                    let d = op_get(a, transa, j, j);
+                    for v in column_mut(b, bb, j) {
+                        *v /= d;
                     }
                 }
             }
@@ -333,48 +483,37 @@ fn column_mut(b: &mut Matrix, bb: Block, j: usize) -> &mut [f64] {
 /// Symmetric rank-k update of the lower triangle of a block of `c`:
 /// `C[cb] = alpha * A * A^T + beta * C[cb]` (only the lower triangle is referenced/updated).
 ///
-/// `A` must have `cb.rows` rows; `cb` must be square.
+/// `A` must have `cb.rows` rows; `cb` must be square. Shares the packed GEMM core with
+/// a lower-triangle mask: tiles entirely above the diagonal are skipped and
+/// diagonal-crossing tiles mask their write-back, so the strictly-upper triangle is
+/// never read or written. `beta == 0` overwrites the lower triangle (BLAS semantics).
 pub fn syrk_lower_into_block(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix, cb: Block) {
     assert_eq!(cb.rows, cb.cols, "syrk: output block must be square");
     assert_eq!(a.rows(), cb.rows, "syrk: A rows must match block order");
+    assert!(
+        cb.row + cb.rows <= c.rows() && cb.col + cb.cols <= c.cols(),
+        "syrk: output block out of bounds"
+    );
     if cb.is_empty() {
         return;
     }
     let k = a.cols();
-    let c_rows = c.rows();
-    let row0 = cb.row;
-
-    let col_kernel = |jj: usize, c_col: &mut [f64]| {
-        // Only rows i >= jj of this column belong to the lower triangle.
-        for (i, cv) in c_col.iter_mut().enumerate().skip(jj) {
-            if beta != 1.0 {
-                *cv *= beta;
-            }
-            let mut acc = 0.0;
-            for l in 0..k {
-                acc += a.get(i, l) * a.get(jj, l);
-            }
-            *cv += alpha * acc;
-        }
-    };
-
-    let work = cb.rows * cb.cols * k / 2;
-    if work >= PAR_THRESHOLD {
-        c.data_mut()
-            .par_chunks_exact_mut(c_rows)
-            .enumerate()
-            .skip(cb.col)
-            .take(cb.cols)
-            .for_each(|(j, col)| {
-                let jj = j - cb.col;
-                col_kernel(jj, &mut col[row0..row0 + cb.rows]);
-            });
-    } else {
-        for (j, col) in c.cols_range_mut(cb) {
-            let jj = j - cb.col;
-            col_kernel(jj, col);
-        }
+    scale_block_lower(c, cb, beta);
+    if alpha == 0.0 || k == 0 {
+        return;
     }
+    let threads = parallel_degree(cb.rows * cb.cols * k / 2);
+    // Strips carry triangular (uneven) work; oversplit so the pool's shared queue can
+    // balance them dynamically.
+    let strips = if threads > 1 { threads * 4 } else { 1 };
+    let strip = cb.cols.div_ceil(strips).next_multiple_of(NR);
+    with_block_cols(c, cb, |cols| {
+        cols.par_chunks_mut(strip).enumerate().for_each(|(s, strip_cols)| {
+            kernel::gemm_strip(
+                alpha, a, Trans::No, a, Trans::Yes, cb.rows, k, s * strip, strip_cols, true,
+            );
+        });
+    });
 }
 
 #[cfg(test)]
@@ -445,12 +584,80 @@ mod tests {
     }
 
     #[test]
+    fn gemm_beta_zero_overwrites_nan_and_inf() {
+        // BLAS beta == 0 semantics: C is written, never read — stale NaN/Inf must not
+        // leak into the product.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut c = Matrix::from_fn(2, 2, |i, j| {
+            if (i + j) % 2 == 0 { f64::NAN } else { f64::INFINITY }
+        });
+        gemm_into_block(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c, Block::full(2, 2));
+        let expected = naive_gemm(&a, &b);
+        assert!(c.approx_eq(&expected, 1e-12), "NaN/Inf leaked through beta == 0");
+    }
+
+    #[test]
     fn gemm_large_parallel_path_matches_naive() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let a = random_matrix(&mut rng, 80, 70);
         let b = random_matrix(&mut rng, 70, 90);
         let c = gemm(&a, Trans::No, &b, Trans::No);
         assert!(c.approx_eq(&naive_gemm(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_crossing_mc_and_kc_boundaries_matches_naive() {
+        // m > MC = 128 and k > KC = 256 exercise the packed blocking loops end to end,
+        // including partial tail tiles in every dimension.
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let a = random_matrix(&mut rng, 150, 300);
+        let b = random_matrix(&mut rng, 300, 37);
+        let c = gemm(&a, Trans::No, &b, Trans::No);
+        assert!(c.approx_eq(&naive_gemm(&a, &b), 1e-9));
+        let c2 = gemm(&a.transposed(), Trans::Yes, &b.transposed(), Trans::Yes);
+        assert!(c2.approx_eq(&naive_gemm(&a, &b), 1e-9));
+    }
+
+    /// Restores the previous `RAYON_NUM_THREADS` even if the test body panics, so a
+    /// failure cannot leak a thread-count override into concurrently running tests.
+    struct ThreadCountGuard(Option<String>);
+
+    impl ThreadCountGuard {
+        fn set(n: &str) -> Self {
+            let prev = std::env::var("RAYON_NUM_THREADS").ok();
+            std::env::set_var("RAYON_NUM_THREADS", n);
+            ThreadCountGuard(prev)
+        }
+    }
+
+    impl Drop for ThreadCountGuard {
+        fn drop(&mut self) {
+            match &self.0 {
+                Some(prev) => std::env::set_var("RAYON_NUM_THREADS", prev),
+                None => std::env::remove_var("RAYON_NUM_THREADS"),
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_multi_strip_parallel_split_matches_naive() {
+        // Force several column strips through the thread pool regardless of the host's
+        // core count; results must be bit-identical to the single-threaded run because
+        // per-element summation order does not depend on the strip partition.
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let a = random_matrix(&mut rng, 140, 130);
+        let b = random_matrix(&mut rng, 130, 150);
+        let c_par = {
+            let _guard = ThreadCountGuard::set("3");
+            gemm(&a, Trans::No, &b, Trans::No)
+        };
+        let c_seq = {
+            let _guard = ThreadCountGuard::set("1");
+            gemm(&a, Trans::No, &b, Trans::No)
+        };
+        assert!(c_par.approx_eq(&naive_gemm(&a, &b), 1e-9));
+        assert_eq!(c_par, c_seq, "thread count must not change the bits");
     }
 
     #[test]
@@ -549,6 +756,45 @@ mod tests {
     }
 
     #[test]
+    fn trsm_blocked_diagonal_path_solves_above_trsm_nb() {
+        // n > TRSM_NB exercises the blocked diagonal sweep + GEMM updates on all four
+        // (side, effective-uplo) variants.
+        let n = TRSM_NB + 29;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut l = random_matrix(&mut rng, n, n).lower_triangular();
+        for i in 0..n {
+            l.set(i, i, (n + i) as f64); // strongly dominant diagonal: well conditioned
+        }
+        let x_true = random_matrix(&mut rng, n, 13);
+
+        // Left, effective lower.
+        let bmat = gemm(&l, Trans::No, &x_true, Trans::No);
+        let mut x = bmat.clone();
+        trsm_into_block(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, &l, &mut x, Block::full(n, 13));
+        assert!(x.approx_eq(&x_true, 1e-8));
+
+        // Left, effective upper (transposed lower).
+        let bmat = gemm(&l, Trans::Yes, &x_true, Trans::No);
+        let mut x = bmat.clone();
+        trsm_into_block(Side::Left, UpLo::Lower, Trans::Yes, Diag::NonUnit, 1.0, &l, &mut x, Block::full(n, 13));
+        assert!(x.approx_eq(&x_true, 1e-8));
+
+        let y_true = random_matrix(&mut rng, 13, n);
+
+        // Right, effective lower.
+        let bmat = gemm(&y_true, Trans::No, &l, Trans::No);
+        let mut y = bmat.clone();
+        trsm_into_block(Side::Right, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, &l, &mut y, Block::full(13, n));
+        assert!(y.approx_eq(&y_true, 1e-8));
+
+        // Right, effective upper (transposed lower).
+        let bmat = gemm(&y_true, Trans::No, &l, Trans::Yes);
+        let mut y = bmat.clone();
+        trsm_into_block(Side::Right, UpLo::Lower, Trans::Yes, Diag::NonUnit, 1.0, &l, &mut y, Block::full(13, n));
+        assert!(y.approx_eq(&y_true, 1e-8));
+    }
+
+    #[test]
     fn trsm_applies_alpha() {
         let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 4.0]]);
         let b = Matrix::from_rows(&[&[4.0], &[10.0]]);
@@ -582,6 +828,45 @@ mod tests {
                 } else {
                     assert_eq!(c.get(i, j), 0.0, "upper triangle must stay untouched");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_large_leaves_upper_triangle_untouched() {
+        // Order > MR·NR tiles: diagonal-crossing tiles must mask their write-back.
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let n = 83;
+        let a = random_matrix(&mut rng, n, 31);
+        let mut c = Matrix::from_fn(n, n, |i, j| (i * 7 + j) as f64);
+        let orig = c.clone();
+        syrk_lower_into_block(1.0, &a, 1.0, &mut c, Block::full(n, n));
+        let full = gemm(&a, Trans::No, &a, Trans::Yes);
+        for i in 0..n {
+            for j in 0..n {
+                if i >= j {
+                    let expect = orig.get(i, j) + full.get(i, j);
+                    assert!((c.get(i, j) - expect).abs() < 1e-9);
+                } else {
+                    assert_eq!(c.get(i, j), orig.get(i, j), "upper triangle changed at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_beta_zero_overwrites_nan_in_lower_triangle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        let a = random_matrix(&mut rng, 5, 3);
+        let mut c = Matrix::from_fn(5, 5, |_, _| f64::NAN);
+        syrk_lower_into_block(1.0, &a, 0.0, &mut c, Block::full(5, 5));
+        let full = gemm(&a, Trans::No, &a, Trans::Yes);
+        for i in 0..5 {
+            for j in 0..=i {
+                assert!(
+                    (c.get(i, j) - full.get(i, j)).abs() < 1e-12,
+                    "stale NaN leaked through beta == 0 at ({i},{j})"
+                );
             }
         }
     }

@@ -8,7 +8,8 @@
 //!
 //! * [`matrix`] — column-major dense matrices and block addressing,
 //! * [`blas1`] / [`blas3`] — the kernels the factorizations are built from (GEMM, TRSM,
-//!   SYRK), rayon-parallel over output columns,
+//!   SYRK), backed by a packed, cache-blocked micro-kernel core (AVX2+FMA when the CPU
+//!   has it) and rayon-parallel over column strips of the output,
 //! * [`cholesky`], [`lu`], [`qr`] — blocked right-looking factorizations whose
 //!   per-iteration steps (panel decomposition, panel update, trailing matrix update) are
 //!   individually exposed so the heterogeneous driver in `bsr-core` can schedule them on
@@ -16,14 +17,15 @@
 //! * [`generate`] — reproducible random inputs,
 //! * [`verify`] — residual checks used both in tests and in the reliability experiments.
 //!
-//! The crate favours clarity and testability over raw kernel speed: the numeric-mode
-//! experiments run at modest sizes (n ≤ a few thousand), while paper-scale runs
-//! (n = 30720) use the analytic performance model in `bsr-core`.
+//! Paper-scale runs (n = 30720) still use the analytic performance model in `bsr-core`,
+//! but the numeric-mode experiments run on these real kernels — their throughput is
+//! tracked by the `kernel_perf` bench target in `bsr-bench`.
 
 #![deny(missing_docs)]
 
 pub mod blas1;
 pub mod blas3;
+mod kernel;
 pub mod cholesky;
 pub mod generate;
 pub mod lu;

@@ -1,10 +1,14 @@
 //! Offline vendored minimal stand-in for [criterion](https://docs.rs/criterion).
 //!
-//! Supports the harness surface the `kernels` bench target uses: `Criterion`,
-//! `benchmark_group` with `sample_size` / `warm_up_time` / `measurement_time`,
-//! `bench_function`, `finish`, and the `criterion_group!` / `criterion_main!` macros.
-//! Reports mean / min / max wall-clock per iteration to stdout; there is no statistical
-//! analysis, plotting, or baseline comparison.
+//! Supports the harness surface the bench targets use: `Criterion`, `benchmark_group`
+//! with `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`, `finish`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each measurement reports
+//! mean / **median** / min / max wall-clock per iteration to stdout, and every record is
+//! kept on the `Criterion` instance so harnesses can post-process them
+//! ([`Criterion::records`]) or emit them as machine-readable JSON
+//! ([`Criterion::export_json`], or automatically via the `CRITERION_JSON` environment
+//! variable at `final_summary` time). There is still no statistical analysis, plotting,
+//! or baseline comparison.
 
 #![deny(missing_docs)]
 
@@ -16,9 +20,39 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// One finished measurement: timing summary of a named benchmark in a group.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group the benchmark ran in.
+    pub group: String,
+    /// Benchmark name.
+    pub name: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Median seconds per iteration — the robust central estimate harnesses should use.
+    pub median_s: f64,
+    /// Fastest sample, seconds.
+    pub min_s: f64,
+    /// Slowest sample, seconds.
+    pub max_s: f64,
+    /// Number of collected samples.
+    pub samples: usize,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"mean_s\":{:e},\"median_s\":{:e},\"min_s\":{:e},\"max_s\":{:e},\"samples\":{}}}",
+            self.group, self.name, self.mean_s, self.median_s, self.min_s, self.max_s, self.samples
+        )
+    }
+}
+
 /// The benchmark driver.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
 
 impl Criterion {
     /// Apply command-line configuration. This vendored harness accepts and ignores the
@@ -31,20 +65,42 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\nbenchmark group: {name}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
+            group: name.to_string(),
             sample_size: 20,
             warm_up_time: Duration::from_millis(200),
             measurement_time: Duration::from_secs(1),
         }
     }
 
-    /// Run the final summary. No-op in the vendored harness.
-    pub fn final_summary(&mut self) {}
+    /// All measurements collected so far, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Write every collected record as a JSON array to `path`.
+    pub fn export_json(&self, path: &str) -> std::io::Result<()> {
+        let rows: Vec<String> = self.records.iter().map(|r| r.to_json()).collect();
+        std::fs::write(path, format!("[\n  {}\n]\n", rows.join(",\n  ")))
+    }
+
+    /// Run the final summary. If the `CRITERION_JSON` environment variable names a
+    /// path, the collected records are exported there as JSON.
+    pub fn final_summary(&mut self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Err(e) = self.export_json(&path) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            } else {
+                println!("criterion: wrote {} records to {path}", self.records.len());
+            }
+        }
+    }
 }
 
 /// A group of benchmarks sharing sampling configuration.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
+    group: String,
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
@@ -69,7 +125,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Measure one benchmark.
+    /// Measure one benchmark and record its summary.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut bencher = Bencher {
             samples: Vec::new(),
@@ -78,7 +134,20 @@ impl BenchmarkGroup<'_> {
             measurement_time: self.measurement_time,
         };
         f(&mut bencher);
-        bencher.report(name);
+        if let Some(record) = bencher.summarize(&self.group, name) {
+            println!(
+                "  {:<28} median {:>11.3?}  mean {:>11.3?}  min {:>11.3?}  max {:>11.3?}  ({} samples)",
+                record.name,
+                Duration::from_secs_f64(record.median_s),
+                Duration::from_secs_f64(record.mean_s),
+                Duration::from_secs_f64(record.min_s),
+                Duration::from_secs_f64(record.max_s),
+                record.samples
+            );
+            self.criterion.records.push(record);
+        } else {
+            println!("  {name:<28} (no samples)");
+        }
         self
     }
 
@@ -113,22 +182,23 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    fn summarize(&self, group: &str, name: &str) -> Option<BenchRecord> {
         if self.samples.is_empty() {
-            println!("  {name:<28} (no samples)");
-            return;
+            return None;
         }
-        let total: Duration = self.samples.iter().sum();
-        let mean = total / self.samples.len() as u32;
-        let min = self.samples.iter().min().unwrap();
-        let max = self.samples.iter().max().unwrap();
-        println!(
-            "  {name:<28} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
-            mean,
-            min,
-            max,
-            self.samples.len()
-        );
+        let mut secs: Vec<f64> = self.samples.iter().map(|d| d.as_secs_f64()).collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        let n = secs.len();
+        let median_s = if n % 2 == 1 { secs[n / 2] } else { (secs[n / 2 - 1] + secs[n / 2]) / 2.0 };
+        Some(BenchRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            mean_s: secs.iter().sum::<f64>() / n as f64,
+            median_s,
+            min_s: secs[0],
+            max_s: secs[n - 1],
+            samples: n,
+        })
     }
 }
 
@@ -152,4 +222,51 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_have_median_between_min_and_max() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("test");
+            g.sample_size(9)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(50));
+            g.bench_function("spin", |b| b.iter(|| black_box((0..1000).sum::<u64>())));
+            g.finish();
+        }
+        let records = c.records();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.group, "test");
+        assert_eq!(r.name, "spin");
+        assert!(r.samples >= 1);
+        assert!(r.min_s <= r.median_s && r.median_s <= r.max_s);
+        assert!(r.min_s > 0.0);
+    }
+
+    #[test]
+    fn export_json_is_machine_readable() {
+        let mut c = Criterion::default();
+        c.records.push(BenchRecord {
+            group: "g".into(),
+            name: "n".into(),
+            mean_s: 1.5e-3,
+            median_s: 1.25e-3,
+            min_s: 1e-3,
+            max_s: 2e-3,
+            samples: 4,
+        });
+        let path = std::env::temp_dir().join("criterion_test_export.json");
+        let path = path.to_str().unwrap();
+        c.export_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"median_s\":1.25e-3") || text.contains("\"median_s\":1.25e-"));
+        assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
+        std::fs::remove_file(path).ok();
+    }
 }

@@ -1,39 +1,240 @@
 //! Offline vendored stand-in for [rayon](https://docs.rs/rayon): the `par_*` slice
-//! entry points this workspace calls, executed **sequentially** on the calling thread.
+//! entry points this workspace calls, executed on a **real `std::thread`-based pool**.
 //!
-//! The kernels in `bsr-linalg` are written against rayon's slice API
-//! (`par_chunks_exact_mut(..).enumerate().skip(..).take(..).for_each(..)`), which is a
-//! strict subset of the `std` iterator API once the parallel iterator is replaced by the
-//! corresponding sequential one. This shim does exactly that replacement, so swapping
-//! the real rayon back in is a manifest-only change that upgrades the same code from
-//! sequential to work-stealing parallel execution.
+//! Unlike the first-generation shim (which ran everything sequentially), this version
+//! genuinely fans work out across OS threads:
+//!
+//! * `par_chunks_exact_mut` / `par_chunks_mut` split the slice into disjoint mutable
+//!   chunks up front (each chunk is an independent borrow of the backing storage, so no
+//!   `unsafe` is needed anywhere);
+//! * `for_each` distributes the chunks to `current_num_threads()` scoped worker threads
+//!   through a shared work queue, so uneven per-chunk costs (e.g. the triangular SYRK
+//!   strips) still balance;
+//! * the calling thread participates as one of the workers, and everything joins before
+//!   `for_each` returns — identical blocking semantics to real rayon.
+//!
+//! Differences from upstream rayon, deliberately accepted for an offline build:
+//!
+//! * threads are spawned per `for_each` call via [`std::thread::scope`] instead of being
+//!   parked in a global work-stealing pool, so each parallel region pays a spawn cost of
+//!   tens of microseconds — callers should only go parallel above a work threshold (see
+//!   `bsr-linalg::blas3`);
+//! * only the adaptor chain the workspace uses is provided
+//!   (`enumerate` / `skip` / `take` / `for_each`);
+//! * `RAYON_NUM_THREADS` is re-read on every call (upstream reads it once), which lets
+//!   benchmarks toggle between single- and multi-threaded execution in-process.
 
 #![deny(missing_docs)]
+
+use std::sync::{Mutex, OnceLock};
+
+/// Number of worker threads a parallel region will use.
+///
+/// `RAYON_NUM_THREADS` (≥ 1) overrides; otherwise the host's available parallelism.
+/// The environment variable is consulted on every call so tests and benchmarks can
+/// switch thread counts without restarting the process.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f` over every item, fanning out across `threads` scoped worker threads fed from
+/// a shared queue. `threads <= 1` (or a single item) runs inline on the caller.
+fn run_parallel<I: Send, F: Fn(I) + Sync>(items: Vec<I>, threads: usize, f: F) {
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    let queue = &queue;
+    let f = &f;
+    std::thread::scope(|s| {
+        for _ in 1..threads {
+            s.spawn(move || drain_queue(queue, f));
+        }
+        drain_queue(queue, f);
+    });
+}
+
+/// Worker loop: pop one item at a time until the queue is exhausted.
+fn drain_queue<I, F: Fn(I)>(queue: &Mutex<std::vec::IntoIter<I>>, f: &F) {
+    loop {
+        let item = queue.lock().unwrap().next();
+        match item {
+            Some(item) => f(item),
+            None => return,
+        }
+    }
+}
 
 /// The rayon prelude: import to get the `par_*` methods on slices.
 pub mod prelude {
     pub use crate::slice::ParallelSliceMut;
 }
 
-/// Parallel (here: sequential) slice operations.
+/// Parallel slice operations.
 pub mod slice {
-    /// Mutable slice splitting, mirroring `rayon::slice::ParallelSliceMut`.
-    pub trait ParallelSliceMut<T> {
-        /// Split into mutable chunks of exactly `chunk_size` elements, dropping the
-        /// remainder — the sequential equivalent of rayon's method of the same name.
-        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+    use super::{current_num_threads, run_parallel};
 
-        /// Split into mutable chunks of at most `chunk_size` elements.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Mutable slice splitting, mirroring `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into mutable chunks of exactly `chunk_size` elements (the remainder is
+        /// dropped) and expose them as a parallel iterator.
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+
+        /// Split into mutable chunks of at most `chunk_size` elements (the last chunk
+        /// may be shorter) and expose them as a parallel iterator.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
-            self.chunks_exact_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut { chunks: self.chunks_exact_mut(chunk_size).collect() }
         }
 
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
         }
+    }
+
+    /// Parallel iterator over disjoint mutable chunks of a slice.
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pair each chunk with its index, like [`Iterator::enumerate`].
+        pub fn enumerate(self) -> ParEnumerate<'a, T> {
+            ParEnumerate { start: 0, chunks: self.chunks }
+        }
+
+        /// Drop the first `n` chunks.
+        pub fn skip(mut self, n: usize) -> Self {
+            self.chunks.drain(..n.min(self.chunks.len()));
+            self
+        }
+
+        /// Keep at most the first `n` chunks.
+        pub fn take(mut self, n: usize) -> Self {
+            self.chunks.truncate(n);
+            self
+        }
+
+        /// Apply `f` to every chunk across the worker threads; blocks until all finish.
+        pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+            run_parallel(self.chunks, current_num_threads(), f);
+        }
+    }
+
+    /// Enumerated variant of [`ParChunksMut`]; `skip`/`take` preserve original indices,
+    /// matching the std/rayon `enumerate().skip(n)` semantics.
+    pub struct ParEnumerate<'a, T> {
+        start: usize,
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<T: Send> ParEnumerate<'_, T> {
+        /// Drop the first `n` (index, chunk) pairs, keeping the original indices.
+        pub fn skip(mut self, n: usize) -> Self {
+            let n = n.min(self.chunks.len());
+            self.chunks.drain(..n);
+            self.start += n;
+            self
+        }
+
+        /// Keep at most the first `n` (index, chunk) pairs.
+        pub fn take(mut self, n: usize) -> Self {
+            self.chunks.truncate(n);
+            self
+        }
+
+        /// Apply `f` to every (index, chunk) pair across the worker threads.
+        pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+            let start = self.start;
+            let indexed: Vec<(usize, &mut [T])> = self
+                .chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (start + i, c))
+                .collect();
+            run_parallel(indexed, current_num_threads(), f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::run_parallel;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_chunks_mut_processes_every_chunk() {
+        let mut v: Vec<u32> = vec![0; 103];
+        v.as_mut_slice().par_chunks_mut(10).for_each(|c| {
+            for x in c.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn exact_drops_remainder_and_enumerate_skip_take_keep_indices() {
+        let mut v: Vec<usize> = vec![0; 10];
+        v.as_mut_slice()
+            .par_chunks_exact_mut(3)
+            .enumerate()
+            .skip(1)
+            .take(1)
+            .for_each(|(i, c)| {
+                for x in c.iter_mut() {
+                    *x = i;
+                }
+            });
+        // Only chunk index 1 (elements 3..6) was visited, with its original index.
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn work_actually_crosses_threads() {
+        // Force 4 workers regardless of the host's core count; scoped threads are real
+        // OS threads, so with >= 2 chunks at least 2 distinct thread ids must appear
+        // (every worker pops at least its first item before the queue can drain).
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        run_parallel(items, 4, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(seen.lock().unwrap().len() >= 2, "expected work on multiple threads");
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(HashSet::new());
+        run_parallel(vec![1, 2, 3], 1, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert!(seen.contains(&caller));
     }
 }
