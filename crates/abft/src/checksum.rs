@@ -12,8 +12,22 @@
 //! `w_i = i + 1`. The ratio of the two discrepancies locates the corrupted index, and the
 //! unweighted discrepancy is the correction value.
 
+use bsr_linalg::blas1::{axpy, dot};
 use bsr_linalg::matrix::{Block, Matrix};
 use serde::{Deserialize, Serialize};
+
+/// Fused unweighted + index-weighted sum of a slice in one pass:
+/// returns `(Σ v_i, Σ (i+1)·v_i)`.
+#[inline]
+fn fused_weighted_sum(x: &[f64]) -> (f64, f64) {
+    let mut s = 0.0;
+    let mut w = 0.0;
+    for (i, &v) in x.iter().enumerate() {
+        s += v;
+        w += (i + 1) as f64 * v;
+    }
+    (s, w)
+}
 
 /// Which checksum encoding is applied to a block (paper Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -91,15 +105,9 @@ pub fn encode_column_checksums(m: &Matrix, block: Block) -> ColumnChecksums {
     let mut sum = vec![0.0; block.cols];
     let mut weighted = vec![0.0; block.cols];
     for j in 0..block.cols {
-        let mut s = 0.0;
-        let mut w = 0.0;
-        for i in 0..block.rows {
-            let v = m.get(block.row + i, block.col + j);
-            s += v;
-            w += (i + 1) as f64 * v;
-        }
-        sum[j] = s;
-        weighted[j] = w;
+        // One fused pass over the contiguous column slice of the block.
+        let col = m.col_range(block.col + j, block.row, block.row + block.rows);
+        (sum[j], weighted[j]) = fused_weighted_sum(col);
     }
     ColumnChecksums { sum, weighted }
 }
@@ -108,16 +116,12 @@ pub fn encode_column_checksums(m: &Matrix, block: Block) -> ColumnChecksums {
 pub fn encode_row_checksums(m: &Matrix, block: Block) -> RowChecksums {
     let mut sum = vec![0.0; block.rows];
     let mut weighted = vec![0.0; block.rows];
-    for i in 0..block.rows {
-        let mut s = 0.0;
-        let mut w = 0.0;
-        for j in 0..block.cols {
-            let v = m.get(block.row + i, block.col + j);
-            s += v;
-            w += (j + 1) as f64 * v;
-        }
-        sum[i] = s;
-        weighted[i] = w;
+    // Row sums accumulate column by column so every sweep is a unit-stride axpy over a
+    // contiguous column slice (rather than a strided row walk).
+    for j in 0..block.cols {
+        let col = m.col_range(block.col + j, block.row, block.row + block.rows);
+        axpy(1.0, col, &mut sum);
+        axpy((j + 1) as f64, col, &mut weighted);
     }
     RowChecksums { sum, weighted }
 }
@@ -146,30 +150,17 @@ pub fn update_column_checksums_gemm(cs: &mut ColumnChecksums, l: &Matrix, u: &Ma
     let k = l.cols();
     debug_assert_eq!(u.rows(), k);
     debug_assert_eq!(cs.sum.len(), u.cols());
-    // eᵀ L and wᵀ L
+    // eᵀ L and wᵀ L, one fused pass per column of L.
     let mut el = vec![0.0; k];
     let mut wl = vec![0.0; k];
     for c in 0..k {
-        let mut s = 0.0;
-        let mut w = 0.0;
-        for r in 0..l.rows() {
-            let v = l.get(r, c);
-            s += v;
-            w += (r + 1) as f64 * v;
-        }
-        el[c] = s;
-        wl[c] = w;
+        (el[c], wl[c]) = fused_weighted_sum(l.col(c));
     }
+    // (eᵀL)·U and (wᵀL)·U: one dot per column of U against the length-k vectors.
     for j in 0..u.cols() {
-        let mut s = 0.0;
-        let mut w = 0.0;
-        for c in 0..k {
-            let v = u.get(c, j);
-            s += el[c] * v;
-            w += wl[c] * v;
-        }
-        cs.sum[j] -= s;
-        cs.weighted[j] -= w;
+        let ucol = u.col(j);
+        cs.sum[j] -= dot(&el, ucol);
+        cs.weighted[j] -= dot(&wl, ucol);
     }
 }
 
@@ -179,29 +170,19 @@ pub fn update_row_checksums_gemm(cs: &mut RowChecksums, l: &Matrix, u: &Matrix) 
     let k = l.cols();
     debug_assert_eq!(u.rows(), k);
     debug_assert_eq!(cs.sum.len(), l.rows());
+    // U·e and U·w accumulated as unit-stride axpys over U's columns.
     let mut ue = vec![0.0; k];
     let mut uw = vec![0.0; k];
-    for c in 0..k {
-        let mut s = 0.0;
-        let mut w = 0.0;
-        for j in 0..u.cols() {
-            let v = u.get(c, j);
-            s += v;
-            w += (j + 1) as f64 * v;
-        }
-        ue[c] = s;
-        uw[c] = w;
+    for j in 0..u.cols() {
+        let ucol = u.col(j);
+        axpy(1.0, ucol, &mut ue);
+        axpy((j + 1) as f64, ucol, &mut uw);
     }
-    for i in 0..l.rows() {
-        let mut s = 0.0;
-        let mut w = 0.0;
-        for c in 0..k {
-            let v = l.get(i, c);
-            s += v * ue[c];
-            w += v * uw[c];
-        }
-        cs.sum[i] -= s;
-        cs.weighted[i] -= w;
+    // L·(Ue) and L·(Uw): one axpy per column of L into the row-checksum vectors.
+    for c in 0..k {
+        let lcol = l.col(c);
+        axpy(-ue[c], lcol, &mut cs.sum);
+        axpy(-uw[c], lcol, &mut cs.weighted);
     }
 }
 

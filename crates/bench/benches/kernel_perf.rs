@@ -230,7 +230,7 @@ fn main() {
         json_num(mt_vs_st)
     );
     let json = format!(
-        "{{\n  \"bench\": \"kernel_perf\",\n  \"mode\": \"{}\",\n  \"threads_available\": {hw_threads},\n  \"simd_backend\": \"{}\",\n  \"results\": [\n{}\n  ],\n{derived}\n}}\n",
+        "{{\n  \"bench\": \"kernel_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {hw_threads},\n  \"threads_available\": {hw_threads},\n  \"simd_backend\": \"{}\",\n  \"results\": [\n{}\n  ],\n{derived}\n}}\n",
         if smoke { "smoke" } else { "full" },
         simd_backend(),
         rows.join(",\n")

@@ -169,16 +169,12 @@ pub fn run_numeric_on(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport
     }
 
     // --- final numerical verification against the original input ----------------------
-    let residual = match &state {
+    // The factored matrix and pivot/tau metadata are moved into the factor structs, not
+    // cloned: nothing reads `a` after this point, so packaging costs O(1).
+    let residual = match state {
         FactorState::Cholesky => cholesky_residual(input, &a.lower_triangular()),
-        FactorState::Lu { pivots } => {
-            let factors = lu::LuFactors { lu: a.clone(), pivots: pivots.clone() };
-            lu_residual(input, &factors)
-        }
-        FactorState::Qr { taus } => {
-            let factors = qr::QrFactors { qr: a.clone(), taus: taus.clone() };
-            qr_residual(input, &factors)
-        }
+        FactorState::Lu { pivots } => lu_residual(input, &lu::LuFactors { lu: a, pivots }),
+        FactorState::Qr { taus } => qr_residual(input, &qr::QrFactors { qr: a, taus }),
     };
 
     let report = driver.into_report();

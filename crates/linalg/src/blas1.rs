@@ -40,10 +40,19 @@ pub fn nrm2(x: &[f64]) -> f64 {
 }
 
 /// Index of the element with the largest absolute value.
+///
+/// Edge semantics (BLAS `idamax` conventions):
+/// * an empty slice returns `0` — callers indexing with the result must check
+///   `x.is_empty()` themselves;
+/// * `NaN` elements are never selected (every comparison against the running maximum is
+///   false), so an all-NaN slice also returns `0`. Callers that must reject NaN pivots
+///   (e.g. the LU panel) still have to test the selected element themselves — `NaN`
+///   compares unequal to `0.0`, so a plain zero check does not catch it.
 #[inline]
 pub fn iamax(x: &[f64]) -> usize {
     let mut best = 0;
-    let mut best_val = f64::MIN;
+    // Any finite |v| (including 0.0) beats the initial -1.0; NaN beats nothing.
+    let mut best_val = -1.0;
     for (i, &v) in x.iter().enumerate() {
         if v.abs() > best_val {
             best_val = v.abs();
@@ -87,6 +96,23 @@ mod tests {
     fn iamax_finds_largest_magnitude() {
         assert_eq!(iamax(&[1.0, -7.0, 3.0]), 1);
         assert_eq!(iamax(&[0.0]), 0);
+    }
+
+    #[test]
+    fn iamax_empty_slice_returns_zero() {
+        assert_eq!(iamax(&[]), 0);
+    }
+
+    #[test]
+    fn iamax_skips_nans() {
+        // NaN never wins, in any position.
+        assert_eq!(iamax(&[f64::NAN, 2.0, -5.0]), 2);
+        assert_eq!(iamax(&[2.0, f64::NAN]), 0);
+        // All-NaN (and all-negative-zero) degenerate to index 0.
+        assert_eq!(iamax(&[f64::NAN, f64::NAN]), 0);
+        assert_eq!(iamax(&[-0.0, 0.0]), 0);
+        // Infinities are legitimate magnitudes.
+        assert_eq!(iamax(&[1.0, f64::NEG_INFINITY, 3.0]), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! points are public so the heterogeneous driver in `bsr-core` can interleave them with
 //! checksum maintenance, fault injection and simulated timing.
 
+use crate::blas1::{axpy, scal};
 use crate::blas3::{syrk_lower_into_block, trsm_into_block, Diag, Side, Trans, UpLo};
 use crate::matrix::{Block, Matrix};
 
@@ -34,25 +35,23 @@ impl std::error::Error for CholeskyError {}
 /// Unblocked Cholesky factorization (lower) of the `nb × nb` diagonal block starting at
 /// `(j0, j0)`. This is the panel decomposition (PD) kernel.
 pub fn potf2(a: &mut Matrix, j0: usize, nb: usize) -> Result<(), CholeskyError> {
-    for j in j0..j0 + nb {
-        // d = A[j][j] - sum_{k<j, k>=j0... } actually over all previous columns of L
-        let mut d = a.get(j, j);
+    let jend = j0 + nb;
+    for j in j0..jend {
+        // Fold every previous panel column k into column j in one axpy each:
+        // A[j.., j] -= L[j][k] * L[j.., k]. After the sweep, A[j][j] holds the
+        // updated pivot and A[j+1.., j] the updated subcolumn.
         for k in j0..j {
-            let v = a.get(j, k);
-            d -= v * v;
+            let (lk, lj) = a.col_pair_mut(k, j);
+            axpy(-lk[j], &lk[j..jend], &mut lj[j..jend]);
         }
+        let col_j = a.col_range_mut(j, j, jend);
+        let d = col_j[0];
         if d <= 0.0 {
             return Err(CholeskyError::NotPositiveDefinite(j));
         }
         let d = d.sqrt();
-        a.set(j, j, d);
-        for i in j + 1..j0 + nb {
-            let mut s = a.get(i, j);
-            for k in j0..j {
-                s -= a.get(i, k) * a.get(j, k);
-            }
-            a.set(i, j, s / d);
-        }
+        col_j[0] = d;
+        scal(1.0 / d, &mut col_j[1..]);
     }
     Ok(())
 }

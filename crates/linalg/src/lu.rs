@@ -7,7 +7,7 @@
 //! 3. **PU** — [`panel_update`]: `U₁₂ ← L₁₁⁻¹ A₁₂` (TRSM, on the GPU);
 //! 4. **TMU** — [`trailing_update`]: `A₂₂ ← A₂₂ − L₂₁ U₁₂` (GEMM, on the GPU).
 
-use crate::blas1::iamax;
+use crate::blas1::{axpy, iamax, scal};
 use crate::blas3::{gemm_into_block, trsm_into_block, Diag, Side, Trans, UpLo};
 use crate::matrix::{Block, Matrix};
 
@@ -31,47 +31,128 @@ impl std::fmt::Display for LuError {
 
 impl std::error::Error for LuError {}
 
-/// Unblocked LU with partial pivoting of the panel `A[j0.., j0..j0+nb]`.
+/// Panel width at and below which [`panel_factor`] switches from recursion to the
+/// slice-based column loop. Narrow enough that the base case's rank-1 sweeps stay in
+/// cache, wide enough that the recursion's GEMM calls see a useful `k`.
+const PANEL_BASE: usize = 16;
+
+/// LU with partial pivoting of the panel `A[j0.., j0..j0+nb]` (PD).
 ///
-/// Row swaps are applied to the *entire* matrix immediately (left and right of the panel),
-/// and the global pivot rows are appended to `pivots` (one entry per panel column: the row
-/// that was swapped into the diagonal position).
+/// On return the row swaps have been applied to the *entire* matrix (left and right of
+/// the panel), and the global pivot rows are appended to `pivots` (one entry per panel
+/// column: the row that was swapped into the diagonal position).
+///
+/// Internally the swaps touch only the panel columns while the panel is being factored
+/// and are batch-applied to the rest of the matrix once at the end
+/// ([`Matrix::apply_row_swaps`], LAPACK `dlaswp`) — `nb` swaps cost one cache-friendly
+/// pass over the outside columns instead of `nb` strided row sweeps.
+///
+/// Wide panels are factored recursively (LAPACK `dgetrf`'s recursive variant): the left
+/// half is factored, the top-right quarter solved by TRSM, the bottom-right quarter
+/// updated by one GEMM, then the right half is factored. This turns the bulk of the
+/// panel flops into packed level-3 kernel calls — a flat column loop performs `nb`
+/// memory-bound rank-1 sweeps over the full panel height instead. Below `PANEL_BASE`
+/// columns the slice-based loop of `panel_factor_base` takes over.
 pub fn panel_factor(
     a: &mut Matrix,
     j0: usize,
     nb: usize,
     pivots: &mut Vec<usize>,
 ) -> Result<(), LuError> {
+    let piv_start = pivots.len();
+    let result = panel_factor_cols(a, j0, nb, j0, j0 + nb, pivots);
+    // Batch-apply the panel's swaps (including any recorded before an error) to the
+    // columns outside the panel so the matrix state matches swaps-everywhere semantics.
+    let swaps = &pivots[piv_start..];
+    a.apply_row_swaps(j0, swaps, 0, j0);
+    let cols = a.cols();
+    a.apply_row_swaps(j0, swaps, j0 + nb, cols);
+    result
+}
+
+/// Recursive LU of the panel, applying row swaps to columns `[col_lo, col_hi)` only
+/// (the full panel range, fixed across recursion levels).
+fn panel_factor_cols(
+    a: &mut Matrix,
+    j0: usize,
+    nb: usize,
+    col_lo: usize,
+    col_hi: usize,
+    pivots: &mut Vec<usize>,
+) -> Result<(), LuError> {
+    if nb <= PANEL_BASE {
+        return panel_factor_base(a, j0, nb, col_lo, col_hi, pivots);
+    }
+    let n = a.rows();
+    let nl = nb / 2;
+    let nr = nb - nl;
+    // Factor the left half of the panel (swaps hit all panel columns immediately).
+    panel_factor_cols(a, j0, nl, col_lo, col_hi, pivots)?;
+    // U₁₂ (within the panel) ← L₁₁⁻¹ A₁₂.
+    let l11 = a.copy_block(Block::new(j0, j0, nl, nl)).unit_lower_triangular();
+    trsm_into_block(
+        Side::Left,
+        UpLo::Lower,
+        Trans::No,
+        Diag::Unit,
+        1.0,
+        &l11,
+        a,
+        Block::new(j0, j0 + nl, nl, nr),
+    );
+    // A₂₂ (within the panel) ← A₂₂ − L₂₁ U₁₂: one GEMM instead of `nl` rank-1 sweeps.
+    let l21 = a.copy_block(Block::new(j0 + nl, j0, n - j0 - nl, nl));
+    let u12 = a.copy_block(Block::new(j0, j0 + nl, nl, nr));
+    gemm_into_block(
+        -1.0,
+        &l21,
+        Trans::No,
+        &u12,
+        Trans::No,
+        1.0,
+        a,
+        Block::new(j0 + nl, j0 + nl, n - j0 - nl, nr),
+    );
+    // Factor the right half.
+    panel_factor_cols(a, j0 + nl, nr, col_lo, col_hi, pivots)
+}
+
+/// Base-case unblocked LU of a narrow panel: slice-based pivot search, O(1)-per-column
+/// row swaps over the panel columns only, one `scal` for the multipliers and one `axpy`
+/// per remaining panel column.
+fn panel_factor_base(
+    a: &mut Matrix,
+    j0: usize,
+    nb: usize,
+    col_lo: usize,
+    col_hi: usize,
+    pivots: &mut Vec<usize>,
+) -> Result<(), LuError> {
     let n = a.rows();
     for j in j0..j0 + nb {
-        // Pivot search in column j, rows j..n.
-        let col = a.col(j);
-        let rel = iamax(&col[j..n]);
-        let piv = j + rel;
-        if a.get(piv, j) == 0.0 {
+        // Pivot search in column j, rows j..n. iamax never selects NaN, so a NaN pivot
+        // means the whole remaining column is NaN — reject it like an exact zero
+        // instead of letting scal(1/NaN) poison the panel.
+        let piv = j + iamax(a.col_range(j, j, n));
+        let p = a.get(piv, j);
+        if p == 0.0 || p.is_nan() {
             return Err(LuError::Singular(j));
         }
         pivots.push(piv);
         if piv != j {
-            a.swap_rows(j, piv, 0, a.cols());
+            // One in-slice swap per panel column: O(1) per column, no index arithmetic.
+            a.swap_rows(j, piv, col_lo, col_hi);
         }
-        // Scale the multipliers.
+        // Scale the multipliers below the pivot in one slice pass.
         let d = a.get(j, j);
-        for i in j + 1..n {
-            let v = a.get(i, j) / d;
-            a.set(i, j, v);
-        }
-        // Rank-1 update of the remaining panel columns.
+        scal(1.0 / d, a.col_range_mut(j, j + 1, n));
+        // Vectorized rank-1 update of the remaining panel columns: each is one axpy
+        // against the freshly scaled pivot column.
         for c in j + 1..j0 + nb {
-            let ujc = a.get(j, c);
-            if ujc == 0.0 {
-                continue;
-            }
-            for i in j + 1..n {
-                let lij = a.get(i, j);
-                if lij != 0.0 {
-                    a.add_assign(i, c, -lij * ujc);
-                }
+            let (pivot_col, update_col) = a.col_pair_mut(j, c);
+            let ujc = update_col[j];
+            if ujc != 0.0 {
+                axpy(-ujc, &pivot_col[j + 1..n], &mut update_col[j + 1..n]);
             }
         }
     }
@@ -154,11 +235,8 @@ impl LuFactors {
     /// Apply the recorded row interchanges to a copy of `m` (computes `P · m`).
     pub fn apply_permutation(&self, m: &Matrix) -> Matrix {
         let mut out = m.clone();
-        for (j, &piv) in self.pivots.iter().enumerate() {
-            if piv != j {
-                out.swap_rows(j, piv, 0, out.cols());
-            }
-        }
+        let cols = out.cols();
+        out.apply_row_swaps(0, &self.pivots, 0, cols);
         out
     }
 }
@@ -256,6 +334,14 @@ mod tests {
     #[test]
     fn singular_matrix_is_detected() {
         let a = Matrix::zeros(3, 3);
+        assert!(matches!(lu_blocked(&a, 2), Err(LuError::Singular(0))));
+    }
+
+    #[test]
+    fn nan_pivot_column_is_rejected_not_propagated() {
+        // Column 0 entirely NaN: iamax returns index 0 and the pivot is NaN, which must
+        // surface as Singular instead of an Ok factorization full of NaN.
+        let a = Matrix::from_fn(3, 3, |i, j| if j == 0 { f64::NAN } else { (i + j) as f64 });
         assert!(matches!(lu_blocked(&a, 2), Err(LuError::Singular(0))));
     }
 

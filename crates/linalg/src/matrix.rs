@@ -136,6 +136,32 @@ impl Matrix {
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
+    /// Borrow rows `[row0, row1)` of column `j` as a slice.
+    #[inline]
+    pub fn col_range(&self, j: usize, row0: usize, row1: usize) -> &[f64] {
+        debug_assert!(j < self.cols && row0 <= row1 && row1 <= self.rows);
+        &self.data[j * self.rows + row0..j * self.rows + row1]
+    }
+
+    /// Mutably borrow rows `[row0, row1)` of column `j` as a slice.
+    #[inline]
+    pub fn col_range_mut(&mut self, j: usize, row0: usize, row1: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols && row0 <= row1 && row1 <= self.rows);
+        &mut self.data[j * self.rows + row0..j * self.rows + row1]
+    }
+
+    /// Borrow two distinct columns at once, the earlier one read-only and the later one
+    /// mutably: `(col jr, col jw)` with `jr < jw`. This is the aliasing split the panel
+    /// factorizations need for vectorized rank-1 / reflector updates (read the pivot or
+    /// reflector column while updating a column to its right).
+    #[inline]
+    pub fn col_pair_mut(&mut self, jr: usize, jw: usize) -> (&[f64], &mut [f64]) {
+        assert!(jr < jw && jw < self.cols, "col_pair_mut: need jr < jw < cols");
+        let nrows = self.rows;
+        let (left, right) = self.data.split_at_mut(jw * nrows);
+        (&left[jr * nrows..(jr + 1) * nrows], &mut right[..nrows])
+    }
+
     /// The raw column-major data.
     pub fn data(&self) -> &[f64] {
         &self.data
@@ -171,9 +197,8 @@ impl Matrix {
             "copy_block: block out of bounds");
         let mut out = Matrix::zeros(block.rows, block.cols);
         for j in 0..block.cols {
-            for i in 0..block.rows {
-                out.set(i, j, self.get(block.row + i, block.col + j));
-            }
+            let src = self.col_range(block.col + j, block.row, block.row + block.rows);
+            out.col_mut(j).copy_from_slice(src);
         }
         out
     }
@@ -185,9 +210,8 @@ impl Matrix {
         assert!(block.row + block.rows <= self.rows && block.col + block.cols <= self.cols,
             "set_block: block out of bounds");
         for j in 0..block.cols {
-            for i in 0..block.rows {
-                self.set(block.row + i, block.col + j, src.get(i, j));
-            }
+            self.col_range_mut(block.col + j, block.row, block.row + block.rows)
+                .copy_from_slice(src.col(j));
         }
     }
 
@@ -197,15 +221,38 @@ impl Matrix {
     }
 
     /// Swap rows `r1` and `r2` across columns `[col_start, col_end)`.
+    ///
+    /// O(1) work per column: one in-slice swap on each column's backing storage, no
+    /// element addressing arithmetic in the loop body.
     pub fn swap_rows(&mut self, r1: usize, r2: usize, col_start: usize, col_end: usize) {
         if r1 == r2 {
             return;
         }
-        for j in col_start..col_end {
-            let a = self.get(r1, j);
-            let b = self.get(r2, j);
-            self.set(r1, j, b);
-            self.set(r2, j, a);
+        debug_assert!(r1 < self.rows && r2 < self.rows && col_end <= self.cols);
+        let nrows = self.rows;
+        for col in self.data[col_start * nrows..col_end * nrows].chunks_exact_mut(nrows) {
+            col.swap(r1, r2);
+        }
+    }
+
+    /// Apply a batch of row interchanges (LAPACK `dlaswp`): for each `k`, swap row
+    /// `row0 + k` with row `swaps[k]`, across columns `[col_start, col_end)`.
+    ///
+    /// All swaps are applied to one column while its backing slice is cache-resident
+    /// before moving to the next, so a batch of `k` swaps costs one pass over the
+    /// columns instead of `k` strided row sweeps.
+    pub fn apply_row_swaps(&mut self, row0: usize, swaps: &[usize], col_start: usize, col_end: usize) {
+        debug_assert!(row0 + swaps.len() <= self.rows && col_end <= self.cols);
+        if swaps.iter().enumerate().all(|(k, &piv)| piv == row0 + k) {
+            return;
+        }
+        let nrows = self.rows;
+        for col in self.data[col_start * nrows..col_end * nrows].chunks_exact_mut(nrows) {
+            for (k, &piv) in swaps.iter().enumerate() {
+                if piv != row0 + k {
+                    col.swap(row0 + k, piv);
+                }
+            }
         }
     }
 

@@ -8,9 +8,15 @@
 //! 3. **TMU** — [`apply_block_reflector`]: `A₂ ← (I − V Tᵀ Vᵀ) A₂` applied to the trailing
 //!    columns (LAPACK `larfb`, the GPU side).
 
-use crate::blas1::nrm2;
+use crate::blas1::{axpy, dot, nrm2, scal};
 use crate::blas3::{gemm, gemm_into_block, Trans};
 use crate::matrix::{Block, Matrix};
+
+/// Panel width used when applying `Q`/`Qᵀ` from stored reflectors. Independent of the
+/// block size the factorization used: reflectors compose column by column, so any
+/// grouping yields the same operator, and 32 keeps the `T` factors small while the bulk
+/// of the work rides the level-3 GEMM path.
+const APPLY_BLOCK: usize = 32;
 
 /// Householder QR factors stored compactly: reflectors below the diagonal of `qr`, `R` on
 /// and above the diagonal, and one `tau` per column.
@@ -28,27 +34,41 @@ impl QrFactors {
         self.qr.upper_triangular()
     }
 
-    /// Apply `Qᵀ` to `c` in place (c ← Qᵀ c), using the stored reflectors in order.
+    /// Apply `Qᵀ` to `c` in place (c ← Qᵀ c).
+    ///
+    /// The stored reflectors are regrouped into `APPLY_BLOCK`-wide (32) panels and each
+    /// panel is applied as one compact-WY block reflector (`C ← (I − V Tᵀ Vᵀ) C`), so
+    /// the whole application rides the level-3 GEMM kernels instead of per-reflector
+    /// rank-1 sweeps.
     pub fn apply_q_transpose(&self, c: &mut Matrix) {
         let m = self.qr.rows();
         assert_eq!(c.rows(), m, "apply_q_transpose: row mismatch");
-        for (j, &tau) in self.taus.iter().enumerate() {
-            if tau == 0.0 {
-                continue;
-            }
-            apply_householder_left(&self.qr, j, tau, c, j);
+        // Qᵀ = Pₖᵀ … P₁ᵀ with Pᵢᵀ = I − Vᵢ Tᵢᵀ Vᵢᵀ, applied panel-forward.
+        let k = self.taus.len();
+        let mut j0 = 0;
+        while j0 < k {
+            let nb = APPLY_BLOCK.min(k - j0);
+            let t = form_t(&self.qr, j0, nb, &self.taus);
+            let v = extract_reflectors(&self.qr, j0, nb);
+            apply_wy_left(&v, &t, Trans::Yes, c, Block::new(j0, 0, m - j0, c.cols()));
+            j0 += nb;
         }
     }
 
-    /// Apply `Q` to `c` in place (c ← Q c): reflectors applied in reverse order.
+    /// Apply `Q` to `c` in place (c ← Q c): block reflectors applied in reverse order
+    /// (`C ← (I − V T Vᵀ) C` per panel), again through the level-3 GEMM kernels.
     pub fn apply_q(&self, c: &mut Matrix) {
         let m = self.qr.rows();
         assert_eq!(c.rows(), m, "apply_q: row mismatch");
-        for (j, &tau) in self.taus.iter().enumerate().rev() {
-            if tau == 0.0 {
-                continue;
-            }
-            apply_householder_left(&self.qr, j, tau, c, j);
+        // Q = P₁ … Pₖ with Pᵢ = I − Vᵢ Tᵢ Vᵢᵀ, applied panel-backward.
+        let k = self.taus.len();
+        let nblocks = k.div_ceil(APPLY_BLOCK);
+        for blk in (0..nblocks).rev() {
+            let j0 = blk * APPLY_BLOCK;
+            let nb = APPLY_BLOCK.min(k - j0);
+            let t = form_t(&self.qr, j0, nb, &self.taus);
+            let v = extract_reflectors(&self.qr, j0, nb);
+            apply_wy_left(&v, &t, Trans::No, c, Block::new(j0, 0, m - j0, c.cols()));
         }
     }
 
@@ -60,73 +80,46 @@ impl QrFactors {
     }
 }
 
-/// Apply the Householder reflector stored in column `j` of `v_store` (implicit unit at row
-/// `j`, vector below) to all columns of `c`, starting at column `col_start` of `c`.
-/// `H = I − tau v vᵀ` and reflectors are symmetric, so this applies both `H` and `Hᵀ`.
-fn apply_householder_left(v_store: &Matrix, j: usize, tau: f64, c: &mut Matrix, _row0: usize) {
-    let m = v_store.rows();
-    let ncols = c.cols();
-    for col in 0..ncols {
-        // w = vᵀ c[:, col] with v = [0...0, 1, v_{j+1..m}]
-        let mut w = c.get(j, col);
-        for i in j + 1..m {
-            w += v_store.get(i, j) * c.get(i, col);
-        }
-        let w = tau * w;
-        c.add_assign(j, col, -w);
-        for i in j + 1..m {
-            c.add_assign(i, col, -w * v_store.get(i, j));
-        }
-    }
-}
-
-/// Compute a Householder reflector for the vector `x` (length ≥ 1): returns `(beta, tau)`
-/// and overwrites `x[1..]` with the reflector tail (x[0] is left for the caller to set to
-/// `beta`). Matches LAPACK `dlarfg` conventions.
-fn householder(x: &mut [f64]) -> (f64, f64) {
+/// Compute a Householder reflector for the vector `x` (length ≥ 1) **in place**: on
+/// return `x[0] = beta` and `x[1..]` holds the reflector tail. Returns `tau`. Matches
+/// LAPACK `dlarfg` conventions. Operating directly on the column slice avoids the
+/// gather/scatter copies of an element-at-a-time formulation.
+fn householder(x: &mut [f64]) -> f64 {
     let alpha = x[0];
     let xnorm = nrm2(&x[1..]);
     if xnorm == 0.0 {
-        return (alpha, 0.0);
+        return 0.0;
     }
     let beta = -alpha.signum() * (alpha * alpha + xnorm * xnorm).sqrt();
     let tau = (beta - alpha) / beta;
-    let scale = 1.0 / (alpha - beta);
-    for v in x[1..].iter_mut() {
-        *v *= scale;
-    }
-    (beta, tau)
+    scal(1.0 / (alpha - beta), &mut x[1..]);
+    x[0] = beta;
+    tau
 }
 
 /// Unblocked Householder QR (PD) of the panel `A[j0.., j0..j0+nb]`. Appends one `tau` per
 /// panel column to `taus`.
+///
+/// All inner loops are slice operations: the reflector is generated in place on the
+/// column, and its application to each remaining panel column is one `dot` + one `axpy`
+/// against the reflector tail.
 pub fn panel_factor(a: &mut Matrix, j0: usize, nb: usize, taus: &mut Vec<f64>) {
     let m = a.rows();
     for jj in 0..nb {
         let j = j0 + jj;
-        // Build the reflector from column j, rows j..m.
-        let mut x: Vec<f64> = (j..m).map(|i| a.get(i, j)).collect();
-        let (beta, tau) = householder(&mut x);
-        a.set(j, j, beta);
-        for (off, &v) in x.iter().enumerate().skip(1) {
-            a.set(j + off, j, v);
-        }
+        // Reflector from column j, rows j..m, generated in place.
+        let tau = householder(a.col_range_mut(j, j, m));
         taus.push(tau);
         if tau == 0.0 {
             continue;
         }
-        // Apply H to the remaining panel columns j+1 .. j0+nb.
+        // Apply H = I − tau v vᵀ to the remaining panel columns j+1 .. j0+nb.
         for c in j + 1..j0 + nb {
-            let mut w = a.get(j, c);
-            for i in j + 1..m {
-                w += a.get(i, j) * a.get(i, c);
-            }
-            let w = tau * w;
-            a.add_assign(j, c, -w);
-            for i in j + 1..m {
-                let vij = a.get(i, j);
-                a.add_assign(i, c, -w * vij);
-            }
+            let (vcol, ccol) = a.col_pair_mut(j, c);
+            let v_tail = &vcol[j + 1..m];
+            let w = tau * (ccol[j] + dot(v_tail, &ccol[j + 1..m]));
+            ccol[j] -= w;
+            axpy(-w, v_tail, &mut ccol[j + 1..m]);
         }
     }
 }
@@ -143,29 +136,55 @@ pub fn form_t(a: &Matrix, j0: usize, nb: usize, taus: &[f64]) -> Matrix {
         if i == 0 || tau == 0.0 {
             continue;
         }
-        // w = -tau * V[:, 0..i]^T v_i  (length i), where v_i has implicit 1 at row j0+i.
+        // w = -tau * V[:, 0..i]ᵀ v_i (length i), where v_i has implicit 1 at row j0+i:
+        // each entry is the explicit V[j0+i, k] plus a slice dot over the shared tail.
+        let v_i = a.col_range(j0 + i, j0 + i + 1, m);
         let mut w = vec![0.0; i];
         for (k, wk) in w.iter_mut().enumerate() {
-            // V[:, k] has implicit 1 at row j0+k, entries below.
-            let mut acc = 0.0;
-            // rows of v_i: j0+i (implicit 1) .. m
-            // V[j0+i, k] explicit (since j0+i > j0+k)
-            acc += a.get(j0 + i, j0 + k) * 1.0;
-            for r in j0 + i + 1..m {
-                acc += a.get(r, j0 + k) * a.get(r, j0 + i);
-            }
-            *wk = -tau * acc;
+            let v_k = a.col_range(j0 + k, j0 + i, m);
+            *wk = -tau * (v_k[0] + dot(&v_k[1..], v_i));
         }
-        // T[0..i, i] = T[0..i, 0..i] * w
-        for r in 0..i {
-            let mut acc = 0.0;
-            for (k, &wk) in w.iter().enumerate().take(i).skip(r) {
-                acc += t.get(r, k) * wk;
+        // T[0..i, i] = T[0..i, 0..i] · w, accumulated column-wise: T's column k
+        // contributes w[k] · T[0..=k, k] (T is upper triangular).
+        for (k, &wk) in w.iter().enumerate() {
+            if wk != 0.0 {
+                let (tcol_k, tcol_i) = t.col_pair_mut(k, i);
+                axpy(wk, &tcol_k[..=k], &mut tcol_i[..=k]);
             }
-            t.set(r, i, acc);
         }
     }
     t
+}
+
+/// Copy the `nb` reflectors of the panel at `(j0, j0)` out of compact storage into an
+/// explicit `(m − j0) × nb` unit lower-trapezoidal `V`.
+fn extract_reflectors(a: &Matrix, j0: usize, nb: usize) -> Matrix {
+    let m = a.rows();
+    let mut v = Matrix::zeros(m - j0, nb);
+    for k in 0..nb {
+        let vcol = v.col_mut(k);
+        vcol[k] = 1.0;
+        vcol[k + 1..].copy_from_slice(a.col_range(j0 + k, j0 + k + 1, m));
+    }
+    v
+}
+
+/// Apply the compact-WY block reflector `(I − V op(T) Vᵀ)` to the block `cb` of `c`
+/// (LAPACK `larfb`, `side = Left`): `op(T) = Tᵀ` applies `Qᵀ` of the panel, `op(T) = T`
+/// applies `Q`. `v` is the explicit trapezoid from [`extract_reflectors`] and must have
+/// `cb.rows` rows.
+fn apply_wy_left(v: &Matrix, t: &Matrix, trans_t: Trans, c: &mut Matrix, cb: Block) {
+    if cb.is_empty() {
+        return;
+    }
+    debug_assert_eq!(v.rows(), cb.rows);
+    let csub = c.copy_block(cb);
+    // W = Vᵀ C  (nb × ncols)
+    let w = gemm(v, Trans::Yes, &csub, Trans::No);
+    // W ← op(T) W
+    let w = gemm(t, trans_t, &w, Trans::No);
+    // C ← C − V W
+    gemm_into_block(-1.0, v, Trans::No, &w, Trans::No, 1.0, c, cb);
 }
 
 /// Apply the block reflector of the panel at `(j0, j0)` (reflectors in `a`, factor `t`) to
@@ -184,23 +203,9 @@ pub fn apply_block_reflector(
     if col_start >= col_end {
         return;
     }
-    let ncols = col_end - col_start;
-    // V: (m - j0) × nb, unit lower trapezoidal, copied out with explicit unit diagonal.
-    let mut v = Matrix::zeros(m - j0, nb);
-    for k in 0..nb {
-        v.set(k, k, 1.0);
-        for r in j0 + k + 1..m {
-            v.set(r - j0, k, a.get(r, j0 + k));
-        }
-    }
-    let c_block = Block::new(j0, col_start, m - j0, ncols);
-    let c = a.copy_block(c_block);
-    // W = Vᵀ C  (nb × ncols)
-    let w = gemm(&v, Trans::Yes, &c, Trans::No);
-    // W ← Tᵀ W
-    let w = gemm(t, Trans::Yes, &w, Trans::No);
-    // C ← C − V W
-    gemm_into_block(-1.0, &v, Trans::No, &w, Trans::No, 1.0, a, c_block);
+    let v = extract_reflectors(a, j0, nb);
+    let c_block = Block::new(j0, col_start, m - j0, col_end - col_start);
+    apply_wy_left(&v, t, Trans::Yes, a, c_block);
 }
 
 /// Blocked Householder QR with block size `block`.
@@ -240,7 +245,8 @@ mod tests {
     #[test]
     fn householder_annihilates_tail() {
         let mut x = vec![3.0, 4.0];
-        let (beta, tau) = householder(&mut x);
+        let tau = householder(&mut x);
+        let beta = x[0];
         assert!((beta.abs() - 5.0).abs() < 1e-12);
         assert!(tau > 0.0 && tau <= 2.0);
         // H x should equal [beta, 0]: check via explicit application.
@@ -256,9 +262,9 @@ mod tests {
     #[test]
     fn householder_zero_tail_is_identity() {
         let mut x = vec![2.0, 0.0, 0.0];
-        let (beta, tau) = householder(&mut x);
+        let tau = householder(&mut x);
         assert_eq!(tau, 0.0);
-        assert_eq!(beta, 2.0);
+        assert_eq!(x[0], 2.0, "x[0] keeps alpha when the tail is already zero");
     }
 
     #[test]
