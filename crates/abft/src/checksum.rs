@@ -100,43 +100,69 @@ impl VerifyOutcome {
     }
 }
 
-/// Encode the column checksums of `block` of `m`.
-pub fn encode_column_checksums(m: &Matrix, block: Block) -> ColumnChecksums {
-    let mut sum = vec![0.0; block.cols];
-    let mut weighted = vec![0.0; block.cols];
-    for j in 0..block.cols {
-        // One fused pass over the contiguous column slice of the block.
-        let col = m.col_range(block.col + j, block.row, block.row + block.rows);
+/// Immutable per-column views of `block` of `m` (the slice form the `_slices` entry
+/// points consume; also what the fused tiled-factorization hook hands over directly).
+fn col_views(m: &Matrix, block: Block) -> Vec<&[f64]> {
+    (0..block.cols)
+        .map(|j| m.col_range(block.col + j, block.row, block.row + block.rows))
+        .collect()
+}
+
+/// Column checksums of a tile given as per-column slices (`cols[j][i]` is tile element
+/// `(i, j)`; all slices must share one length).
+pub fn encode_column_checksums_slices(cols: &[&[f64]]) -> ColumnChecksums {
+    let mut sum = vec![0.0; cols.len()];
+    let mut weighted = vec![0.0; cols.len()];
+    for (j, col) in cols.iter().enumerate() {
+        // One fused pass over the contiguous column slice of the tile.
         (sum[j], weighted[j]) = fused_weighted_sum(col);
     }
     ColumnChecksums { sum, weighted }
 }
 
-/// Encode the row checksums of `block` of `m`.
-pub fn encode_row_checksums(m: &Matrix, block: Block) -> RowChecksums {
-    let mut sum = vec![0.0; block.rows];
-    let mut weighted = vec![0.0; block.rows];
+/// Row checksums of a tile given as per-column slices.
+pub fn encode_row_checksums_slices(cols: &[&[f64]]) -> RowChecksums {
+    let rows = cols.first().map_or(0, |c| c.len());
+    let mut sum = vec![0.0; rows];
+    let mut weighted = vec![0.0; rows];
     // Row sums accumulate column by column so every sweep is a unit-stride axpy over a
     // contiguous column slice (rather than a strided row walk).
-    for j in 0..block.cols {
-        let col = m.col_range(block.col + j, block.row, block.row + block.rows);
+    for (j, col) in cols.iter().enumerate() {
         axpy(1.0, col, &mut sum);
         axpy((j + 1) as f64, col, &mut weighted);
     }
     RowChecksums { sum, weighted }
 }
 
-/// Encode a block under `scheme`.
-pub fn encode_block(m: &Matrix, block: Block, scheme: ChecksumScheme) -> BlockChecksums {
+/// Encode a tile given as per-column slices under `scheme`; `block` records the tile's
+/// coordinates in the enclosing matrix (its `rows`/`cols` must match the slice shape).
+pub fn encode_block_slices(cols: &[&[f64]], block: Block, scheme: ChecksumScheme) -> BlockChecksums {
+    debug_assert_eq!(block.cols, cols.len());
+    debug_assert!(cols.iter().all(|c| c.len() == block.rows));
     let columns = match scheme {
         ChecksumScheme::None => None,
-        _ => Some(encode_column_checksums(m, block)),
+        _ => Some(encode_column_checksums_slices(cols)),
     };
     let rows = match scheme {
-        ChecksumScheme::Full => Some(encode_row_checksums(m, block)),
+        ChecksumScheme::Full => Some(encode_row_checksums_slices(cols)),
         _ => None,
     };
     BlockChecksums { block, scheme, columns, rows }
+}
+
+/// Encode the column checksums of `block` of `m`.
+pub fn encode_column_checksums(m: &Matrix, block: Block) -> ColumnChecksums {
+    encode_column_checksums_slices(&col_views(m, block))
+}
+
+/// Encode the row checksums of `block` of `m`.
+pub fn encode_row_checksums(m: &Matrix, block: Block) -> RowChecksums {
+    encode_row_checksums_slices(&col_views(m, block))
+}
+
+/// Encode a block under `scheme`.
+pub fn encode_block(m: &Matrix, block: Block, scheme: ChecksumScheme) -> BlockChecksums {
+    encode_block_slices(&col_views(m, block), block, scheme)
 }
 
 /// Update column checksums through a GEMM trailing update `C ← C − L·U` where the
@@ -212,13 +238,27 @@ fn mismatch(expected: f64, actual: f64, scale: f64) -> bool {
 /// or 1D patterns under the single-side scheme) are reported as `uncorrectable` and the
 /// matrix is left as is for those.
 pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome {
+    let mut cols: Vec<&mut [f64]> = m.cols_range_mut(cs.block).map(|(_, s)| s).collect();
+    verify_and_correct_slices(&mut cols, cs)
+}
+
+/// [`verify_and_correct`] over a tile given as per-column mutable slices (`cols[j][i]`
+/// is tile element `(i, j)`). This is the form the fused tiled-factorization hook
+/// calls from inside a trailing-update task, where the task owns exactly its own
+/// column slices and nothing else of the matrix.
+pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -> VerifyOutcome {
     let mut out = VerifyOutcome::default();
     let block = cs.block;
+    debug_assert_eq!(block.cols, cols.len());
+    debug_assert!(cols.iter().all(|c| c.len() == block.rows));
     let Some(stored_cols) = cs.columns.as_ref() else {
         return out; // no fault tolerance
     };
 
-    let actual_cols = encode_column_checksums(m, block);
+    let actual_cols = {
+        let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
+        encode_column_checksums_slices(&views)
+    };
     let scale = stored_cols
         .sum
         .iter()
@@ -244,7 +284,7 @@ pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome 
             for &j in &bad_cols {
                 let d_sum = stored_cols.sum[j] - actual_cols.sum[j];
                 let d_weighted = stored_cols.weighted[j] - actual_cols.weighted[j];
-                if try_correct_single_element(m, block, j, d_sum, d_weighted) {
+                if try_correct_single_element(cols[j], d_sum, d_weighted) {
                     out.corrected_0d += 1;
                 } else {
                     out.uncorrectable += 1;
@@ -254,7 +294,10 @@ pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome 
         }
         ChecksumScheme::Full => {
             let stored_rows = cs.rows.as_ref().expect("full scheme carries row checksums");
-            let actual_rows = encode_row_checksums(m, block);
+            let actual_rows = {
+                let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
+                encode_row_checksums_slices(&views)
+            };
             let bad_rows: Vec<usize> = (0..block.rows)
                 .filter(|&i| {
                     mismatch(stored_rows.sum[i], actual_rows.sum[i], scale)
@@ -267,8 +310,7 @@ pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome 
                 let j = bad_cols[0];
                 let i = bad_rows[0];
                 let d = stored_cols.sum[j] - actual_cols.sum[j];
-                let v = m.get(block.row + i, block.col + j);
-                m.set(block.row + i, block.col + j, v + d);
+                cols[j][i] += d;
                 out.corrected_0d += 1;
             } else if bad_rows.len() == 1 {
                 // One corrupted row spanning several columns: rebuild each affected
@@ -276,8 +318,7 @@ pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome 
                 let i = bad_rows[0];
                 for &j in &bad_cols {
                     let d = stored_cols.sum[j] - actual_cols.sum[j];
-                    let v = m.get(block.row + i, block.col + j);
-                    m.set(block.row + i, block.col + j, v + d);
+                    cols[j][i] += d;
                 }
                 out.corrected_1d += 1;
             } else if bad_cols.len() == 1 {
@@ -285,8 +326,7 @@ pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome 
                 let j = bad_cols[0];
                 for &i in &bad_rows {
                     let d = stored_rows.sum[i] - actual_rows.sum[i];
-                    let v = m.get(block.row + i, block.col + j);
-                    m.set(block.row + i, block.col + j, v + d);
+                    cols[j][i] += d;
                 }
                 out.corrected_1d += 1;
             } else {
@@ -298,26 +338,18 @@ pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome 
     }
 }
 
-/// Attempt a 0D correction in column `j` of the block from the checksum discrepancies.
-fn try_correct_single_element(
-    m: &mut Matrix,
-    block: Block,
-    j: usize,
-    d_sum: f64,
-    d_weighted: f64,
-) -> bool {
+/// Attempt a 0D correction in one tile column from the checksum discrepancies.
+fn try_correct_single_element(col: &mut [f64], d_sum: f64, d_weighted: f64) -> bool {
     if d_sum.abs() < f64::EPSILON {
         // Weighted checksum disagrees but the plain sum does not: cannot locate.
         return false;
     }
     let row_loc = d_weighted / d_sum; // == (i + 1) for a single corrupted element
     let i = row_loc.round() as i64 - 1;
-    if i < 0 || i as usize >= block.rows || (row_loc - row_loc.round()).abs() > 1e-3 {
+    if i < 0 || i as usize >= col.len() || (row_loc - row_loc.round()).abs() > 1e-3 {
         return false;
     }
-    let i = i as usize;
-    let v = m.get(block.row + i, block.col + j);
-    m.set(block.row + i, block.col + j, v + d_sum);
+    col[i as usize] += d_sum;
     true
 }
 

@@ -1,0 +1,163 @@
+//! Checksum maintenance fused into the tiled factorization task graphs.
+//!
+//! The numeric-mode protection pattern of `facto_perf`'s ABFT runs (re-encode + verify
+//! every trailing tile after each iteration's updates) ran as a **serial epilogue**
+//! between parallel regions. [`FusedTileChecksums`] moves that same workload *into*
+//! the trailing-update tasks themselves: it implements
+//! [`bsr_linalg::task::TrailingHook`], so every per-tile-column task of
+//! `lu_tiled_with` / `cholesky_tiled_with` / `qr_tiled_with` encodes and verifies its
+//! own `tile_rows`-tall tiles right after producing them, on whichever pool thread ran
+//! the task — checksum work rides the parallel schedule instead of serializing it.
+//!
+//! Scope: like the serial epilogue it replaces, this hook encodes fresh checksums from
+//! the just-updated tile and immediately verifies against them — it exercises and
+//! *costs* the full encode/verify/correct pipeline on the real schedule, and corrects
+//! any corruption that strikes a tile **between** its encoding and a later
+//! verification, but a fault occurring inside the numeric update itself is signed
+//! into the fresh checksums rather than detected. Protection *through* an update uses
+//! the carried-checksum identities in [`crate::checksum`]
+//! ([`crate::checksum::update_block_checksums_gemm`]), which the reliability drivers
+//! in `bsr-core` apply across iterations; fusing those carried checksums into the
+//! task graph is future work.
+//!
+//! Determinism: each (iteration, tile column) pair is visited by exactly one task, and
+//! the hook touches only that task's own slices, so fused runs are bit-identical to
+//! unfused runs (absent corrections) at every thread count. The shared tally is a
+//! `Mutex`-guarded merge of per-task [`VerifyOutcome`]s — commutative counters, so the
+//! merge order does not matter.
+
+use crate::checksum::{
+    encode_block_slices, verify_and_correct_slices, BlockChecksums, ChecksumScheme, VerifyOutcome,
+};
+use bsr_linalg::matrix::Block;
+use bsr_linalg::task::TrailingHook;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A [`TrailingHook`] that re-encodes and verifies (correcting where the scheme
+/// allows) every `tile_rows`-tall tile of each updated tile column group, inside the
+/// task that produced it.
+pub struct FusedTileChecksums {
+    scheme: ChecksumScheme,
+    tile_rows: usize,
+    tally: Mutex<VerifyOutcome>,
+    /// Checksum nanoseconds summed across tasks (CPU time, not wall time: concurrent
+    /// tasks overlap).
+    checksum_nanos: AtomicU64,
+}
+
+impl FusedTileChecksums {
+    /// Protect with `scheme`, tiling each column group into `tile_rows`-tall tiles
+    /// (normally the factorization's block size).
+    pub fn new(scheme: ChecksumScheme, tile_rows: usize) -> Self {
+        assert!(tile_rows > 0, "tile height must be positive");
+        Self {
+            scheme,
+            tile_rows,
+            tally: Mutex::new(VerifyOutcome::default()),
+            checksum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Merged verification outcome across all tasks so far.
+    pub fn outcome(&self) -> VerifyOutcome {
+        self.tally.lock().unwrap().clone()
+    }
+
+    /// Checksum seconds summed across all tasks (CPU-summed: on one thread this equals
+    /// wall time; with concurrent tasks it exceeds the wall-clock share).
+    pub fn checksum_seconds(&self) -> f64 {
+        self.checksum_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+impl TrailingHook for FusedTileChecksums {
+    fn after_tile_update(&self, _iter: usize, col0: usize, row0: usize, cols: &mut [&mut [f64]]) {
+        if cols.is_empty() || cols[0].is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let height = cols[0].len();
+        let width = cols.len();
+        let mut out = VerifyOutcome::default();
+        let mut r = 0;
+        while r < height {
+            let rows = self.tile_rows.min(height - r);
+            let cs: BlockChecksums = {
+                let views: Vec<&[f64]> = cols.iter().map(|c| &c[r..r + rows]).collect();
+                encode_block_slices(&views, Block::new(row0 + r, col0, rows, width), self.scheme)
+            };
+            let mut tile: Vec<&mut [f64]> = cols.iter_mut().map(|c| &mut c[r..r + rows]).collect();
+            out.merge(&verify_and_correct_slices(&mut tile, &cs));
+            r += rows;
+        }
+        self.tally.lock().unwrap().merge(&out);
+        self.checksum_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsr_linalg::generate::{random_matrix, random_spd_matrix};
+    use bsr_linalg::{cholesky, lu, qr};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fused_runs_match_unfused_and_verify_clean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let n = 48;
+        let b = 8;
+
+        let a = random_matrix(&mut rng, n, n);
+        let hook = FusedTileChecksums::new(ChecksumScheme::Full, b);
+        let fused = lu::lu_tiled_with(&a, b, &hook).unwrap();
+        let plain = lu::lu_tiled(&a, b).unwrap();
+        assert_eq!(fused.lu, plain.lu, "fused LU changed the factors");
+        assert_eq!(fused.pivots, plain.pivots);
+        let out = hook.outcome();
+        assert!(out.is_clean_or_corrected());
+        assert_eq!(out.corrected_0d + out.corrected_1d, 0, "nothing to correct");
+        assert!(hook.checksum_seconds() > 0.0);
+
+        let spd = random_spd_matrix(&mut rng, n);
+        let hook = FusedTileChecksums::new(ChecksumScheme::Full, b);
+        let mut fused = spd.clone();
+        cholesky::cholesky_tiled_with(&mut fused, b, &hook).unwrap();
+        let mut plain = spd.clone();
+        cholesky::cholesky_tiled(&mut plain, b).unwrap();
+        assert_eq!(fused, plain, "fused Cholesky changed the factors");
+        assert!(hook.outcome().is_clean_or_corrected());
+
+        let a = random_matrix(&mut rng, n, n);
+        let hook = FusedTileChecksums::new(ChecksumScheme::Full, b);
+        let fused = qr::qr_tiled_with(&a, b, &hook);
+        let plain = qr::qr_tiled(&a, b);
+        assert_eq!(fused.qr, plain.qr, "fused QR changed the factors");
+        assert_eq!(fused.taus, plain.taus);
+        assert!(hook.outcome().is_clean_or_corrected());
+    }
+
+    #[test]
+    fn hook_corrects_an_injected_fault_in_place() {
+        // Drive the hook directly: encode a clean tile, corrupt one element of the
+        // mutable slices, and check verify-and-correct restores it through the same
+        // slice path the fused tasks use.
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        let m = random_matrix(&mut rng, 12, 6);
+        let mut corrupted = m.clone();
+        let block = Block::new(0, 0, 12, 6);
+        let cs = {
+            let views: Vec<&[f64]> = (0..6).map(|j| m.col_range(j, 0, 12)).collect();
+            encode_block_slices(&views, block, ChecksumScheme::Full)
+        };
+        corrupted.set(7, 3, corrupted.get(7, 3) + 5.0);
+        let mut cols: Vec<&mut [f64]> = corrupted.columns_mut();
+        let out = verify_and_correct_slices(&mut cols, &cs);
+        assert_eq!(out.corrected_0d, 1);
+        assert!(corrupted.approx_eq(&m, 1e-9));
+    }
+}

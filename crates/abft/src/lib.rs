@@ -9,7 +9,13 @@
 //! * [`checksum`] — single-side and full checksum encodings (Huang–Abraham style, with an
 //!   unweighted and a weighted vector per direction), checksum *updates* through GEMM
 //!   trailing updates, and verification/correction of 0D and 1D error patterns
-//!   (paper Figure 6);
+//!   (paper Figure 6); every entry point also exists in a `_slices` form operating on
+//!   per-column slices, so checksums can ride regions of a matrix a parallel task owns;
+//! * [`fused`] — [`FusedTileChecksums`], a `bsr-linalg` `TrailingHook` that fuses the
+//!   per-tile checksum encode/verify workload into the tiled factorizations'
+//!   trailing-update tasks, so checksum maintenance runs on the parallel schedule
+//!   instead of as a serial epilogue (see the module docs for what this does and does
+//!   not protect against);
 //! * [`inject`] — fault injection with 0D/1D/2D patterns for the reliability experiments
 //!   (paper Figure 9);
 //! * [`coverage`] — Poisson fault-coverage estimation `FC_single` / `FC_full`
@@ -23,9 +29,11 @@
 pub mod adaptive;
 pub mod checksum;
 pub mod coverage;
+pub mod fused;
 pub mod inject;
 pub mod overhead;
 
 pub use adaptive::{abft_oc, AbftDecision, AbftRequest};
 pub use checksum::{ChecksumScheme, VerifyOutcome};
+pub use fused::FusedTileChecksums;
 pub use coverage::{fc_full, fc_single, FULL_COVERAGE_THRESHOLD};

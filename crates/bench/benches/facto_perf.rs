@@ -14,6 +14,22 @@
 //! pattern) and reports the checksum share of total time — the measured counterpart of
 //! the paper's Table 2 checksum-cost ratios.
 //!
+//! A fourth section sweeps `RAYON_NUM_THREADS ∈ {1, 2, 4, host}` over the two
+//! execution models of the full factorizations:
+//!
+//! * **forkjoin** — the synchronous drivers (panel → barrier → trailing update, the
+//!   PR 3 paths), whose BLAS-3 regions fan out on the persistent pool;
+//! * **tiled** — the task-parallel drivers (`lu_tiled` / `cholesky_tiled` /
+//!   `qr_tiled`): per-tile-column trailing-update tasks with one-step panel
+//!   lookahead, bit-identical results to forkjoin at every thread count.
+//!
+//! Each (facto, n, threads) cell is measured with the same paired interleaved A/B
+//! design, plus an ABFT-**fused** tiled run (`FusedTileChecksums` hook: every trailing
+//! task encodes + verifies its own tiles on the parallel schedule) reporting the
+//! CPU-summed checksum seconds. The sweep also measures the persistent pool's region
+//! dispatch cost (`pool_dispatch_us`), the number behind `parallel_degree`'s
+//! threshold in `bsr-linalg::blas3`.
+//!
 //! Measurement is a *paired interleaved* A/B design: in every timing round the two
 //! variants run back-to-back, so slow host drift (frequency scaling, noisy neighbors)
 //! cancels out of the slice-vs-naive comparison instead of biasing whichever variant a
@@ -30,6 +46,7 @@
 //! LU `2n³/3`, QR `4n³/3`.
 
 use bsr_abft::checksum::{encode_block, verify_and_correct, ChecksumScheme};
+use bsr_abft::FusedTileChecksums;
 use bsr_linalg::blas3::{
     gemm, gemm_into_block, simd_backend, syrk_lower_into_block, trsm_into_block, Diag, Side,
     Trans, UpLo,
@@ -434,6 +451,106 @@ fn run_with_abft(facto: &str, input: &Matrix, block: usize) -> (f64, f64) {
     (start.elapsed().as_secs_f64(), checksum_s)
 }
 
+// =======================================================================================
+// Lookahead thread sweep (forkjoin vs tiled) and ABFT-fused runs.
+// =======================================================================================
+
+use rayon::ThreadCountGuard;
+
+/// One execution-model run: `forkjoin` is the synchronous PR 3 driver, `tiled` the
+/// task-parallel lookahead driver. Both include the input copy, so the comparison is
+/// end-to-end.
+fn run_lookahead(facto: &str, variant: &str, input: &Matrix, work: &mut Matrix, block: usize) {
+    match (facto, variant) {
+        ("cholesky", "tiled") => {
+            work.clone_from(input);
+            cholesky::cholesky_tiled(work, block).unwrap();
+        }
+        ("lu", "tiled") => {
+            std::hint::black_box(lu::lu_tiled(input, block).unwrap());
+        }
+        ("qr", "tiled") => {
+            std::hint::black_box(qr::qr_tiled(input, block));
+        }
+        (_, "forkjoin") => run_variant(facto, "slice", input, work, block),
+        other => unreachable!("unknown configuration {other:?}"),
+    }
+}
+
+/// One (facto, n, threads, variant) sweep measurement.
+struct SweepRow {
+    facto: &'static str,
+    n: usize,
+    threads: usize,
+    variant: &'static str,
+    median_s: f64,
+    min_s: f64,
+    samples: usize,
+    gflops: f64,
+}
+
+/// One ABFT-fused tiled run: wall time plus CPU-summed checksum seconds (equal to the
+/// wall-clock checksum share on one thread; an upper bound on it when tasks overlap).
+struct FusedRow {
+    facto: &'static str,
+    n: usize,
+    threads: usize,
+    total_s: f64,
+    checksum_cpu_s: f64,
+    checksum_fraction: f64,
+    gflops: f64,
+}
+
+/// Tiled factorization with `FusedTileChecksums` riding every trailing task.
+fn run_fused(facto: &str, input: &Matrix, block: usize) -> (f64, f64) {
+    let hook = FusedTileChecksums::new(ChecksumScheme::Full, block);
+    let start = Instant::now();
+    match facto {
+        "cholesky" => {
+            let mut a = input.clone();
+            cholesky::cholesky_tiled_with(&mut a, block, &hook).unwrap();
+        }
+        "lu" => {
+            std::hint::black_box(lu::lu_tiled_with(input, block, &hook).unwrap());
+        }
+        "qr" => {
+            std::hint::black_box(qr::qr_tiled_with(input, block, &hook));
+        }
+        other => unreachable!("unknown facto {other}"),
+    }
+    let total = start.elapsed().as_secs_f64();
+    assert!(hook.outcome().is_clean_or_corrected());
+    (total, hook.checksum_seconds())
+}
+
+/// Median time (µs) of entering + leaving a 4-task parallel region on the persistent
+/// pool — the dispatch cost `parallel_degree` amortizes.
+fn measure_pool_dispatch_us() -> f64 {
+    let _guard = ThreadCountGuard::set(4);
+    // Warm the pool (worker spawn happens once, on the first region).
+    rayon::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {});
+        }
+    });
+    let mut samples: Vec<f64> = (0..200)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..16 {
+                rayon::scope(|s| {
+                    for _ in 0..4 {
+                        s.spawn(|| {
+                            std::hint::black_box(0u64);
+                        });
+                    }
+                });
+            }
+            t.elapsed().as_secs_f64() / 16.0 * 1e6
+        })
+        .collect();
+    median(&mut samples)
+}
+
 fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -532,10 +649,91 @@ fn main() {
         }
     }
 
+    // ---- lookahead thread sweep (forkjoin vs tiled) -----------------------------------
+    let mut sweep_threads: Vec<usize> = vec![1, 2, 4];
+    if !sweep_threads.contains(&host_cores) {
+        sweep_threads.push(host_cores);
+    }
+    let pool_dispatch_us = measure_pool_dispatch_us();
+    let mut sweep_rows: Vec<SweepRow> = Vec::new();
+    for &n in sizes {
+        for facto in FACTOS {
+            let input = make_input(facto, n);
+            let mut work = Matrix::zeros(n, n);
+            for &threads in &sweep_threads {
+                let _guard = ThreadCountGuard::set(threads);
+                // Warm-up pair + round calibration, as in the slice/naive section.
+                let wu = Instant::now();
+                run_lookahead(facto, "forkjoin", &input, &mut work, block);
+                run_lookahead(facto, "tiled", &input, &mut work, block);
+                let pair_s = wu.elapsed().as_secs_f64();
+                let rounds = if smoke {
+                    3
+                } else {
+                    // ~2.4 s per sweep cell with at least 15 rounds, odd for a clean
+                    // median — enough that the tiled-vs-forkjoin ratios settle well
+                    // inside the host's noise band even at the largest sizes.
+                    ((2.4 / pair_s) as usize).clamp(15, 41) | 1
+                };
+                let mut fj_samples = Vec::with_capacity(rounds);
+                let mut tiled_samples = Vec::with_capacity(rounds);
+                for _ in 0..rounds {
+                    let t = Instant::now();
+                    run_lookahead(facto, "forkjoin", &input, &mut work, block);
+                    fj_samples.push(t.elapsed().as_secs_f64());
+                    let t = Instant::now();
+                    run_lookahead(facto, "tiled", &input, &mut work, block);
+                    tiled_samples.push(t.elapsed().as_secs_f64());
+                }
+                for (variant, samples) in
+                    [("forkjoin", &mut fj_samples), ("tiled", &mut tiled_samples)]
+                {
+                    let med = median(samples);
+                    let min_s = samples.iter().copied().fold(f64::INFINITY, f64::min);
+                    sweep_rows.push(SweepRow {
+                        facto,
+                        n,
+                        threads,
+                        variant,
+                        median_s: med,
+                        min_s,
+                        samples: rounds,
+                        gflops: flops(facto, n) / med / 1e9,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- ABFT-fused tiled runs (checksums riding the task schedule) -------------------
+    let mut fused_rows: Vec<FusedRow> = Vec::new();
+    for &n in sizes {
+        for facto in FACTOS {
+            let input = make_input(facto, n);
+            for &threads in &sweep_threads {
+                let _guard = ThreadCountGuard::set(threads);
+                let mut samples: Vec<(f64, f64)> =
+                    (0..reps).map(|_| run_fused(facto, &input, block)).collect();
+                samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let (total_s, checksum_cpu_s) = samples[samples.len() / 2];
+                fused_rows.push(FusedRow {
+                    facto,
+                    n,
+                    threads,
+                    total_s,
+                    checksum_cpu_s,
+                    checksum_fraction: checksum_cpu_s / total_s,
+                    gflops: flops(facto, n) / total_s / 1e9,
+                });
+            }
+        }
+    }
+
     // ---- summary ----------------------------------------------------------------------
     println!("\nfacto_perf summary (block = {block}):");
     println!("  simd backend:  {}", simd_backend());
     println!("  host cores:    {host_cores}");
+    println!("  pool dispatch: {pool_dispatch_us:.2} us per 4-task region");
     for &n in sizes {
         for facto in FACTOS {
             let find = |variant: &str| {
@@ -553,6 +751,29 @@ fn main() {
                         .unwrap_or_default(),
                 );
             }
+        }
+    }
+
+    println!("  lookahead sweep (tiled vs forkjoin GFLOP/s ratio):");
+    for &n in sizes {
+        for facto in FACTOS {
+            let mut parts = Vec::new();
+            for &t in &sweep_threads {
+                let find = |variant: &str| {
+                    sweep_rows.iter().find(|r| {
+                        r.facto == facto && r.n == n && r.threads == t && r.variant == variant
+                    })
+                };
+                if let (Some(fj), Some(td)) = (find("forkjoin"), find("tiled")) {
+                    parts.push(format!("t{t} {:.2}x", td.gflops / fj.gflops));
+                }
+            }
+            let fused = fused_rows
+                .iter()
+                .find(|r| r.facto == facto && r.n == n && r.threads == 1)
+                .map(|r| format!(" | fused abft {:.1}%", 100.0 * r.checksum_fraction))
+                .unwrap_or_default();
+            println!("  {facto:>8} n={n:<5} {}{fused}", parts.join(" | "));
         }
     }
 
@@ -585,6 +806,24 @@ fn main() {
             )
         })
         .collect();
+    let sweep_json_rows: Vec<String> = sweep_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"facto\":\"{}\",\"n\":{},\"threads\":{},\"variant\":\"{}\",\"median_s\":{:.6e},\"min_s\":{:.6e},\"samples\":{},\"gflops\":{:.3}}}",
+                r.facto, r.n, r.threads, r.variant, r.median_s, r.min_s, r.samples, r.gflops
+            )
+        })
+        .collect();
+    let fused_json_rows: Vec<String> = fused_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"facto\":\"{}\",\"n\":{},\"threads\":{},\"scheme\":\"full\",\"total_s\":{:.6e},\"checksum_cpu_s\":{:.6e},\"checksum_fraction\":{:.4},\"gflops\":{:.3}}}",
+                r.facto, r.n, r.threads, r.total_s, r.checksum_cpu_s, r.checksum_fraction, r.gflops
+            )
+        })
+        .collect();
     let max_n = *sizes.last().unwrap();
     let mut speedups: Vec<String> = Vec::new();
     for facto in FACTOS {
@@ -603,12 +842,38 @@ fn main() {
             ));
         }
     }
+    for facto in FACTOS {
+        for &n in sizes {
+            for &t in &sweep_threads {
+                let find = |variant: &str| {
+                    sweep_rows.iter().find(|r| {
+                        r.facto == facto && r.n == n && r.threads == t && r.variant == variant
+                    })
+                };
+                let ratio = match (find("tiled"), find("forkjoin")) {
+                    (Some(td), Some(fj)) => td.gflops / fj.gflops,
+                    _ => f64::NAN,
+                };
+                speedups.push(format!(
+                    "    \"{facto}_n{n}_t{t}_tiled_vs_forkjoin\": {}",
+                    json_num(ratio)
+                ));
+            }
+        }
+    }
+    let sweep_list = sweep_threads
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"facto_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"threads_available\": {host_cores},\n  \"simd_backend\": \"{}\",\n  \"block\": {block},\n  \"max_n\": {max_n},\n  \"results\": [\n{}\n  ],\n  \"abft\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"facto_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"threads_available\": {host_cores},\n  \"thread_sweep\": [{sweep_list}],\n  \"simd_backend\": \"{}\",\n  \"block\": {block},\n  \"max_n\": {max_n},\n  \"pool_dispatch_us\": {pool_dispatch_us:.2},\n  \"par_threshold_madds\": 262144,\n  \"results\": [\n{}\n  ],\n  \"abft\": [\n{}\n  ],\n  \"lookahead\": [\n{}\n  ],\n  \"abft_fused\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         simd_backend(),
         result_rows.join(",\n"),
         abft_json_rows.join(",\n"),
+        sweep_json_rows.join(",\n"),
+        fused_json_rows.join(",\n"),
         speedups.join(",\n")
     );
     if let Some(parent) = std::path::Path::new(&out).parent() {

@@ -9,14 +9,19 @@
 //!
 //! Parallelism: the output block is split into column strips (every column is a
 //! disjoint slice of the column-major backing vector, so the split needs no `unsafe`)
-//! and the strips are fanned out over the vendored rayon thread pool. One shared
-//! heuristic, `parallel_degree`, decides when a problem is big enough to amortize
-//! the pool's per-region spawn cost; small per-panel updates of the blocked
-//! factorizations stay sequential.
+//! and the strips are fanned out over the vendored rayon pool — persistent parked
+//! workers, so a region costs microseconds to enter. One shared heuristic,
+//! `parallel_degree`, decides when a problem is big enough to amortize that dispatch
+//! cost; tiny per-panel updates of the blocked factorizations stay sequential. The
+//! tiled task drivers additionally enter through [`gemm_acc_cols`], which accumulates
+//! into caller-owned column slices so each tile task's disjointness is a borrow-checker
+//! fact.
 
 use crate::kernel::{self, NR};
 use crate::matrix::{Block, Matrix};
 use rayon::prelude::*;
+
+pub(crate) use crate::kernel::PackedA;
 
 pub use crate::kernel::simd_backend;
 
@@ -63,15 +68,22 @@ const TRSM_NB: usize = 64;
 /// Shared work-size heuristic of the level-3 kernels: given the multiply-add count of
 /// an operation, return how many worker threads its output should be split across.
 ///
-/// The vendored rayon pool spawns scoped threads per parallel region (tens of
-/// microseconds), so a region must carry on the order of a millisecond of math before
-/// splitting pays off. `128 · 128 · 64 ≈ 1 M` madds ≈ 2 MFLOP clears that bar with an
-/// order of magnitude to spare on any machine this runs on; below it the caller gets
-/// `1` and stays on the calling thread, which keeps dispatch overhead away from the
-/// tiny per-panel updates of the blocked factorizations.
+/// The vendored rayon pool keeps its workers parked between regions, so entering a
+/// parallel region costs single-digit microseconds (measured ≈ 2–4 µs for a 4-job
+/// region on the persistent pool — recorded as `pool_dispatch_us` in
+/// `BENCH_facto.json` — versus the tens of microseconds the old spawn-per-region shim
+/// paid). A region therefore pays off once it carries a few tens of microseconds of
+/// math: `64 · 64 · 64 ≈ 262 k` madds ≈ 0.5 MFLOP is ~50 µs at 10 GFLOP/s,
+/// an order of magnitude above the dispatch cost, and one quarter of the old
+/// spawn-per-region threshold — small per-tile-column GEMM tasks of the tiled
+/// factorizations now split when the host has idle workers. Below it the caller gets
+/// `1` and stays on the calling thread.
+/// Nested regions stay sequential: inside a pool task (a tile task of the tiled
+/// factorizations) the task graph above already saturates the workers, so an inner
+/// split would only add dispatch traffic and queue churn.
 fn parallel_degree(madds: usize) -> usize {
-    const PAR_THRESHOLD: usize = 128 * 128 * 64;
-    if madds >= PAR_THRESHOLD {
+    const PAR_THRESHOLD: usize = 64 * 64 * 64;
+    if madds >= PAR_THRESHOLD && !rayon::in_pool_task() {
         rayon::current_num_threads()
     } else {
         1
@@ -184,10 +196,217 @@ pub fn gemm_into_block(
     with_block_cols(c, cb, |cols| {
         cols.par_chunks_mut(strip).enumerate().for_each(|(s, strip_cols)| {
             kernel::gemm_strip(
-                alpha, a, transa, b, transb, cb.rows, k, s * strip, strip_cols, false,
+                alpha, a, transa, 0, b, transb, 0, cb.rows, k, s * strip, strip_cols, false,
             );
         });
     });
+}
+
+/// Accumulate `alpha · op(A)[a_row0.., :] · op(B)[:, b_col0..]` into an explicit set
+/// of output column slices: `cols[jj][i] += alpha · (op(A) op(B))[a_row0 + i, b_col0 + jj]`.
+///
+/// The effective `op(A)` block is `cols[jj].len() × k` starting at op-row `a_row0`;
+/// the effective `op(B)` columns are `cols.len()` wide starting at op-column `b_col0`
+/// — the origins let a tile task multiply against a sub-block of a shared operand
+/// without materializing a copy (the packed core reads the sub-block directly). With
+/// `mask_lower`, only elements with `i >= jj` (block-local) are computed and written:
+/// the per-tile SYRK path of the tiled Cholesky, where the strictly-upper part of the
+/// slices is never read or written.
+///
+/// This is the level-3 entry point of the task-parallel factorization drivers: each
+/// tile task owns the backing slices of its own columns, so disjointness between
+/// concurrent tasks is proved by the borrow checker, not asserted at runtime. The
+/// accumulation is bit-identical to the same columns updated through
+/// [`gemm_into_block`] with `beta = 1` — per-element summation order depends only on
+/// the `k` dimension, not on how the output columns are partitioned.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature with sub-block origins
+pub fn gemm_acc_cols(
+    alpha: f64,
+    a: &Matrix,
+    transa: Trans,
+    a_row0: usize,
+    b: &Matrix,
+    transb: Trans,
+    b_col0: usize,
+    cols: &mut [&mut [f64]],
+    mask_lower: bool,
+) {
+    if cols.is_empty() {
+        return;
+    }
+    let (am, ak) = op_dims(a, transa);
+    let (bk, bn) = op_dims(b, transb);
+    let m = cols[0].len();
+    assert_eq!(ak, bk, "gemm_acc_cols: inner dimensions differ ({ak} vs {bk})");
+    assert!(
+        a_row0 + m <= am,
+        "gemm_acc_cols: op(A) row range out of bounds"
+    );
+    assert!(
+        b_col0 + cols.len() <= bn,
+        "gemm_acc_cols: op(B) column range out of bounds"
+    );
+    assert!(
+        cols.iter().all(|c| c.len() == m),
+        "gemm_acc_cols: output rows mismatch"
+    );
+    if m == 0 {
+        return;
+    }
+    kernel::gemm_strip(
+        alpha, a, transa, a_row0, b, transb, b_col0, m, ak, 0, cols, mask_lower,
+    );
+}
+
+/// (Re)pack the `m × k` block of `op(A)` at op-origin `(oi0, ok0)` into a
+/// driver-owned [`PackedA`] scratch, for sharing across the tile tasks of one
+/// iteration (the buffer is reused between iterations).
+#[allow(clippy::too_many_arguments)] // BLAS-style plumbing
+pub(crate) fn repack_a_op(
+    pa: &mut PackedA,
+    a: &Matrix,
+    transa: Trans,
+    oi0: usize,
+    ok0: usize,
+    m: usize,
+    k: usize,
+) {
+    let (am, ak) = op_dims(a, transa);
+    assert!(oi0 + m <= am && ok0 + k <= ak, "repack_a_op: block out of bounds");
+    pa.repack(a, transa, oi0, ok0, m, k);
+}
+
+/// [`gemm_acc_cols`] against a pre-packed `op(A)`: `cols[jj][i] += alpha ·
+/// (op(A)·op(B))[a_row0 + i, b_col0 + jj]` where `op(A)` was packed once with
+/// [`pack_a_op`]. `a_row0` must be `MR`-aligned (the drivers fall back to
+/// [`gemm_acc_cols`] otherwise); results are bit-identical to the unpacked path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_acc_cols_prepacked(
+    alpha: f64,
+    pa: &PackedA,
+    a_row0: usize,
+    b: &Matrix,
+    transb: Trans,
+    b_col0: usize,
+    cols: &mut [&mut [f64]],
+    mask_lower: bool,
+) {
+    if cols.is_empty() {
+        return;
+    }
+    let (bk, bn) = op_dims(b, transb);
+    let m = cols[0].len();
+    assert!(
+        b_col0 + cols.len() <= bn,
+        "gemm_acc_cols_prepacked: op(B) column range out of bounds"
+    );
+    assert!(
+        cols.iter().all(|c| c.len() == m),
+        "gemm_acc_cols_prepacked: output rows mismatch"
+    );
+    if m == 0 {
+        return;
+    }
+    kernel::gemm_strip_prepacked(
+        alpha, pa, a_row0, b, transb, b_col0, m, bk, 0, cols, mask_lower,
+    );
+}
+
+/// In-place unit-lower-triangular left solve on tile column slices:
+/// `X ← L⁻¹ X` where `X` is rows `[row0, row0 + n)` of every column in `cols` and `l`
+/// is the `n × n` unit-lower-triangular operand.
+///
+/// Replicates [`trsm_into_block`]`(Left, Lower, No, Unit)` operation for operation —
+/// the same `TRSM_NB` diagonal substitutions and the same rank-`TRSM_NB` GEMM
+/// eliminations — so the result is bit-identical while the tile task solves directly
+/// in its own columns instead of round-tripping through an extracted copy.
+pub(crate) fn trsm_unit_lower_cols(l: &Matrix, row0: usize, cols: &mut [&mut [f64]]) {
+    assert!(l.is_square(), "trsm_unit_lower_cols: L must be square");
+    let n = l.rows();
+    if cols.is_empty() || n == 0 {
+        return;
+    }
+    let mut d0 = 0;
+    while d0 < n {
+        let ndb = TRSM_NB.min(n - d0);
+        let d1 = d0 + ndb;
+        // Substitution on rows [row0 + d0, row0 + d1), per column (unit diagonal).
+        for col in cols.iter_mut() {
+            for i in 0..ndb {
+                let gi = d0 + i;
+                let mut sum = col[row0 + gi];
+                for l_idx in 0..i {
+                    sum -= l.get(gi, d0 + l_idx) * col[row0 + d0 + l_idx];
+                }
+                col[row0 + gi] = sum;
+            }
+        }
+        if d1 < n {
+            // Eliminate the solved rows from the rows below through the packed GEMM,
+            // exactly as the blocked TRSM does (same operand copies, same summation).
+            let aop = l.copy_block(Block::new(d1, d0, n - d1, ndb));
+            let xsol = crate::task::extract_cols(cols, row0 + d0, row0 + d1);
+            let mut sub: Vec<&mut [f64]> = cols
+                .iter_mut()
+                .map(|c| &mut c[row0 + d1..row0 + n])
+                .collect();
+            gemm_acc_cols(-1.0, &aop, Trans::No, 0, &xsol, Trans::No, 0, &mut sub, false);
+        }
+        d0 = d1;
+    }
+}
+
+/// In-place right solve `X ← X · L⁻ᵀ` on tile column slices, where `X` is rows
+/// `[row0, len)` of every column in `cols` and `l` is the `cols.len() × cols.len()`
+/// lower-triangular (non-unit) operand.
+///
+/// Replicates [`trsm_into_block`]`(Right, Lower, Yes, NonUnit)` — effective-upper
+/// forward sweep: per `TRSM_NB` diagonal block a column-coupled substitution, then one
+/// packed GEMM eliminating the solved columns from the later ones — so the result is
+/// bit-identical while the tiled Cholesky panel solves directly in its own columns.
+pub(crate) fn trsm_right_lower_trans_cols(l: &Matrix, row0: usize, cols: &mut [&mut [f64]]) {
+    assert!(l.is_square(), "trsm_right_lower_trans_cols: L must be square");
+    let n = l.rows();
+    assert_eq!(n, cols.len(), "trsm_right_lower_trans_cols: order mismatch");
+    if n == 0 {
+        return;
+    }
+    let nrows = cols[0].len();
+    if row0 >= nrows {
+        return;
+    }
+    let mut d0 = 0;
+    while d0 < n {
+        let ndb = TRSM_NB.min(n - d0);
+        let d1 = d0 + ndb;
+        // Column-coupled substitution within the diagonal block (op(A) = Lᵀ is upper:
+        // column j depends on columns l < j).
+        for j in d0..d1 {
+            for lc in d0..j {
+                let scale = l.get(j, lc);
+                if scale != 0.0 {
+                    let (src, dst) = crate::task::col_pair(cols, lc, j);
+                    for (d, &s) in dst[row0..].iter_mut().zip(src[row0..].iter()) {
+                        *d -= scale * s;
+                    }
+                }
+            }
+            let d = l.get(j, j);
+            for v in cols[j][row0..].iter_mut() {
+                *v /= d;
+            }
+        }
+        if d1 < n {
+            // Eliminate the solved columns from the later ones through the packed
+            // GEMM, with the same operand copies as the blocked TRSM.
+            let xsol = crate::task::extract_cols(&cols[d0..d1], row0, nrows);
+            let aop = Matrix::from_fn(ndb, n - d1, |i, j| l.get(d1 + j, d0 + i));
+            let mut sub: Vec<&mut [f64]> =
+                cols[d1..n].iter_mut().map(|c| &mut c[row0..]).collect();
+            gemm_acc_cols(-1.0, &xsol, Trans::No, 0, &aop, Trans::No, 0, &mut sub, false);
+        }
+        d0 = d1;
+    }
 }
 
 /// Convenience wrapper multiplying whole matrices into a fresh output:
@@ -510,7 +729,7 @@ pub fn syrk_lower_into_block(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix, 
     with_block_cols(c, cb, |cols| {
         cols.par_chunks_mut(strip).enumerate().for_each(|(s, strip_cols)| {
             kernel::gemm_strip(
-                alpha, a, Trans::No, a, Trans::Yes, cb.rows, k, s * strip, strip_cols, true,
+                alpha, a, Trans::No, 0, a, Trans::Yes, 0, cb.rows, k, s * strip, strip_cols, true,
             );
         });
     });

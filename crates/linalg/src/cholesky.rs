@@ -7,8 +7,13 @@
 //! checksum maintenance, fault injection and simulated timing.
 
 use crate::blas1::{axpy, scal};
-use crate::blas3::{syrk_lower_into_block, trsm_into_block, Diag, Side, Trans, UpLo};
+use crate::blas3::{
+    gemm_acc_cols, gemm_acc_cols_prepacked, repack_a_op, syrk_lower_into_block, trsm_into_block,
+    trsm_right_lower_trans_cols, Diag, PackedA, Side, Trans, UpLo,
+};
 use crate::matrix::{Block, Matrix};
+use crate::task::{split_tiles, TileCols, TrailingHook};
+use std::sync::Mutex;
 
 /// Error returned when a matrix is not positive definite (or not square).
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +121,147 @@ pub fn num_iterations(n: usize, b: usize) -> usize {
     n.div_ceil(b)
 }
 
+// =======================================================================================
+// Tiled task-parallel driver with one-step panel lookahead.
+// =======================================================================================
+
+/// Factor the diagonal panel held in `tile`: `potf2` of the diagonal block at
+/// `(row0, row0)` followed by the TRSM of the rows below it, both running directly in
+/// the tile's column slices (no extract/write-back round trip) — a lookahead task
+/// touches nothing but its own column group. Operation-for-operation identical to
+/// [`potf2`] + [`panel_update`], so the bits match.
+fn factor_panel_tile(tile: &mut TileCols<'_>, row0: usize) -> Result<(), CholeskyError> {
+    use crate::task::{col_pair, extract_cols};
+    let n = tile.rows();
+    let nb = tile.width();
+    let cols = &mut tile.cols[..];
+    // potf2 on the diagonal block: per column, fold the previous panel columns in
+    // with one axpy each, then sqrt the pivot and scale the subcolumn.
+    let jend = row0 + nb;
+    for j in 0..nb {
+        for k in 0..j {
+            let (lk, lj) = col_pair(cols, k, j);
+            axpy(-lk[row0 + j], &lk[row0 + j..jend], &mut lj[row0 + j..jend]);
+        }
+        let col_j = &mut cols[j][row0 + j..jend];
+        let d = col_j[0];
+        if d <= 0.0 {
+            return Err(CholeskyError::NotPositiveDefinite(row0 + j));
+        }
+        let d = d.sqrt();
+        col_j[0] = d;
+        scal(1.0 / d, &mut col_j[1..]);
+    }
+    // Panel update (TRSM): A21 ← A21 · L11⁻ᵀ on the rows below the diagonal block.
+    if jend < n {
+        let l11 = extract_cols(&tile.cols[..], row0, jend).lower_triangular();
+        trsm_right_lower_trans_cols(&l11, jend, &mut tile.cols);
+    }
+    Ok(())
+}
+
+/// One Cholesky trailing tile task of iteration `k`: the tile's slice of the SYRK
+/// trailing update, `A[cb0.., cb0..cb0+w] ← A − A21[cb0..,] · A21[cb0..cb0+w,]ᵀ`
+/// (lower triangle only on the diagonal tile), then the trailing hook.
+#[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
+fn chol_update_tile(
+    tile: &mut TileCols<'_>,
+    iter: usize,
+    j0: usize,
+    nb: usize,
+    a21: &Matrix,
+    a21p: &PackedA,
+    hook: &dyn TrailingHook,
+) {
+    let cb0 = tile.col0;
+    // Both operands are sub-blocks of the shared A21 copy, addressed by op-space
+    // origins instead of per-task copies: rows `off..` of A21 on the left, rows
+    // `off..off+w` (as columns of A21ᵀ) on the right. When the row origin lands on a
+    // packing-panel boundary (always true for `MR`-multiple block sizes) the shared
+    // pre-packed A21 panels are consumed directly; otherwise the task packs its own
+    // sub-block — both produce bit-identical results.
+    let off = cb0 - (j0 + nb);
+    let mut sub = tile.rows_from(cb0);
+    if off.is_multiple_of(crate::kernel::MR) {
+        gemm_acc_cols_prepacked(-1.0, a21p, off, a21, Trans::Yes, off, &mut sub, true);
+    } else {
+        gemm_acc_cols(-1.0, a21, Trans::No, off, a21, Trans::Yes, off, &mut sub, true);
+    }
+    hook.after_tile_update(iter, cb0, cb0, &mut sub);
+}
+
+/// Tiled task-parallel Cholesky with one-step panel lookahead.
+///
+/// Produces a **bit-identical** factor to [`cholesky_blocked`] with the same block
+/// size, at any thread count: the SYRK trailing update is decomposed into
+/// per-tile-column GEMM tasks (per-element summation order does not depend on the
+/// partition), and panel `k + 1` (`potf2` + TRSM) factorizes — inside the task that
+/// updates its tile first — concurrently with the rest of trailing update `k`.
+pub fn cholesky_tiled(a: &mut Matrix, block: usize) -> Result<(), CholeskyError> {
+    cholesky_tiled_with(a, block, &())
+}
+
+/// [`cholesky_tiled`] with a [`TrailingHook`] fused into every trailing tile task.
+/// The hook sees rows `[cb0, n)` of each tile column group — the staircase the
+/// factorization actually writes (the strictly-upper tiles are never touched).
+pub fn cholesky_tiled_with(
+    a: &mut Matrix,
+    block: usize,
+    hook: &dyn TrailingHook,
+) -> Result<(), CholeskyError> {
+    if !a.is_square() {
+        return Err(CholeskyError::NotSquare);
+    }
+    assert!(block > 0, "block size must be positive");
+    let n = a.rows();
+    if n == 0 {
+        return Ok(());
+    }
+    // Panel 0 synchronously; every panel k + 1 by iteration k's lookahead task.
+    {
+        let (_, mut tiles) = split_tiles(a, 0, 0, block);
+        factor_panel_tile(&mut tiles[0], 0)?;
+    }
+    let mut a21p = PackedA::default();
+    for k in 0..num_iterations(n, block) {
+        let j0 = k * block;
+        let nb = block.min(n - j0);
+        if j0 + nb >= n {
+            break;
+        }
+        let a21 = a.copy_block(Block::new(j0 + nb, j0, n - j0 - nb, nb));
+        repack_a_op(&mut a21p, &a21, Trans::No, 0, 0, n - j0 - nb, nb);
+        let (_, tiles) = split_tiles(a, 0, j0 + nb, block);
+        let panel_result: Mutex<Option<Result<(), CholeskyError>>> = Mutex::new(None);
+        rayon::scope(|s| {
+            let mut tiles = tiles.into_iter();
+            let look = tiles.next().expect("trailing tiles exist");
+            {
+                let (a21, a21p, panel_result) = (&a21, &a21p, &panel_result);
+                s.spawn(move || {
+                    let mut tile = look;
+                    chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
+                    let row0 = tile.col0;
+                    *panel_result.lock().unwrap() = Some(factor_panel_tile(&mut tile, row0));
+                });
+            }
+            for tile in tiles {
+                let (a21, a21p) = (&a21, &a21p);
+                s.spawn(move || {
+                    let mut tile = tile;
+                    chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
+                });
+            }
+        });
+        match panel_result.into_inner().unwrap() {
+            Some(Ok(())) => {}
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("lookahead task always records a panel result"),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +317,29 @@ mod tests {
         assert_eq!(num_iterations(100, 32), 4);
         assert_eq!(num_iterations(96, 32), 3);
         assert_eq!(num_iterations(1, 32), 1);
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_to_blocked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for (n, b) in [(1, 1), (5, 2), (16, 8), (33, 8), (64, 16), (40, 64)] {
+            let a0 = random_spd_matrix(&mut rng, n);
+            let mut sync = a0.clone();
+            cholesky_blocked(&mut sync, b).unwrap();
+            let mut tiled = a0.clone();
+            cholesky_tiled(&mut tiled, b).unwrap();
+            assert_eq!(sync, tiled, "factors differ n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn tiled_rejects_indefinite_and_non_square() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            cholesky_tiled(&mut a, 1),
+            Err(CholeskyError::NotPositiveDefinite(_))
+        ));
+        let mut a = Matrix::zeros(3, 4);
+        assert_eq!(cholesky_tiled(&mut a, 2), Err(CholeskyError::NotSquare));
     }
 }

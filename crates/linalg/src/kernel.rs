@@ -320,20 +320,27 @@ unsafe fn micro_kernel_avx512_x2(
     }
 }
 
-/// Accumulate `alpha * op(A) * op(B)[:, j0..j0+cols.len()]` into one column strip of the
-/// output block.
+/// Accumulate `alpha * op(A)[a_row0.., :] * op(B)[:, b_col0 + j0 ..]` into one column
+/// strip of the output block.
 ///
-/// `op(A)` is `m × k`; `cols[jj]` is the mutable row range of output column `j0 + jj`
-/// (block-local coordinates, so `cols[jj][i]` is output element `(i, j0 + jj)`). With
-/// `mask_lower`, only elements with `i >= j` (block-local, i.e. the lower triangle of a
-/// square diagonal block) are computed and written — this is the SYRK path.
+/// The effective `op(A)` is the `m × k` block starting at op-row `a_row0`; the
+/// effective `op(B)` columns start at op-column `b_col0 + j0`. The origins let callers
+/// (the per-tile factorization tasks) multiply sub-blocks of shared operands without
+/// materializing copies — packing reads the sub-block directly. `cols[jj]` is the
+/// mutable row range of output column `j0 + jj` (block-local coordinates, so
+/// `cols[jj][i]` is output element `(i, j0 + jj)`). With `mask_lower`, only elements
+/// with `i >= j` (block-local, i.e. the lower triangle of a square diagonal block) are
+/// computed and written — this is the SYRK path; the mask is anchored at block-local
+/// `(0, 0)` regardless of the operand origins.
 #[allow(clippy::too_many_arguments)] // internal BLAS plumbing; mirrors the packing calls
 pub(crate) fn gemm_strip(
     alpha: f64,
     a: &Matrix,
     ta: Trans,
+    a_row0: usize,
     b: &Matrix,
     tb: Trans,
+    b_col0: usize,
     m: usize,
     k: usize,
     j0: usize,
@@ -347,20 +354,79 @@ pub(crate) fn gemm_strip(
     let kc_max = KC.min(k);
     let mc_max = MC.min(m.next_multiple_of(MR));
     let nc_max = NC.min(w.next_multiple_of(NR));
-    let mut apack = AlignedBuf::new(mc_max * kc_max);
-    let mut bpack = AlignedBuf::new(kc_max * nc_max);
-    let (apack, bpack) = (apack.slice_mut(), bpack.slice_mut());
+    let a_len = mc_max * kc_max;
+    let b_len = kc_max * nc_max;
+    // Packing buffers are reused across calls through a thread-local pair: the tiled
+    // factorizations issue many small per-tile GEMMs per iteration, and a fresh
+    // zero-filled allocation per call showed up next to the math at that granularity.
+    // `try_borrow_mut` guards against re-entrancy (a future kernel calling back into
+    // gemm_strip on the same thread) by falling back to fresh buffers.
+    PACK_BUFS.with(|bufs| match bufs.try_borrow_mut() {
+        Ok(mut bufs) => {
+            let (apack, bpack) = bufs.slices(a_len, b_len);
+            gemm_strip_packed(
+                alpha, a, ta, a_row0, b, tb, b_col0, m, k, j0, cols, mask_lower, apack, bpack,
+            );
+        }
+        Err(_) => {
+            let mut fresh = PackBufs::default();
+            let (apack, bpack) = fresh.slices(a_len, b_len);
+            gemm_strip_packed(
+                alpha, a, ta, a_row0, b, tb, b_col0, m, k, j0, cols, mask_lower, apack, bpack,
+            );
+        }
+    });
+}
+
+thread_local! {
+    /// Per-thread packing scratch, grown on demand and kept for the thread's lifetime.
+    static PACK_BUFS: std::cell::RefCell<PackBufs> = std::cell::RefCell::new(PackBufs::default());
+}
+
+/// The pair of packing buffers (`op(A)` panels, `op(B)` panels) a GEMM call works from.
+#[derive(Default)]
+struct PackBufs {
+    a: AlignedBuf,
+    b: AlignedBuf,
+}
+
+impl PackBufs {
+    /// Mutable views of the two buffers, each grown to at least the requested length.
+    fn slices(&mut self, a_len: usize, b_len: usize) -> (&mut [f64], &mut [f64]) {
+        (self.a.slice_mut(a_len), self.b.slice_mut(b_len))
+    }
+}
+
+/// The blocking loops of [`gemm_strip`], working from caller-provided packing scratch.
+#[allow(clippy::too_many_arguments)]
+fn gemm_strip_packed(
+    alpha: f64,
+    a: &Matrix,
+    ta: Trans,
+    a_row0: usize,
+    b: &Matrix,
+    tb: Trans,
+    b_col0: usize,
+    m: usize,
+    k: usize,
+    j0: usize,
+    cols: &mut [&mut [f64]],
+    mask_lower: bool,
+    apack: &mut [f64],
+    bpack: &mut [f64],
+) {
+    let w = cols.len();
     for jc in (0..w).step_by(NC) {
         let nc = NC.min(w - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            pack_b(b, tb, pc, j0 + jc, kc, nc, bpack);
+            pack_b(b, tb, pc, b_col0 + j0 + jc, kc, nc, bpack);
             // Lower-triangle outputs only need rows at or below the strip's first
             // column; start at the enclosing MR boundary so packing stays aligned.
             let ic0 = if mask_lower { (j0 + jc) / MR * MR } else { 0 };
             for ic in (ic0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
-                pack_a(a, ta, ic, pc, mc, kc, apack);
+                pack_a(a, ta, a_row0 + ic, pc, mc, kc, apack);
                 macro_kernel(alpha, kc, mc, nc, ic, jc, j0, cols, apack, bpack, mask_lower);
             }
         }
@@ -461,24 +527,135 @@ fn write_back(
     }
 }
 
+/// `op(A)` panels packed once and shared read-only across the tile tasks of one
+/// factorization iteration.
+///
+/// Every tile task of a tiled-factorization iteration multiplies against the same
+/// `op(A)` (the panel's `L21` / `A21` / `V`): packing it inside each task's GEMM
+/// would repack the same rows once per tile (up to `n / block` times the fork-join
+/// path's traffic). Packing once up front restores pack-cost parity; tasks consume
+/// sub-ranges of the packed panels through [`gemm_strip_prepacked`] with an
+/// `MR`-aligned row origin. The packed values are identical to what per-call packing
+/// would produce, so results stay bit-identical.
+#[derive(Default)]
+pub(crate) struct PackedA {
+    /// Padded row count (multiple of `MR`); `mp / MR` panels per chunk.
+    mp: usize,
+    /// `(kc, buffer offset)` per `KC` chunk of the inner dimension, in order.
+    chunks: Vec<(usize, usize)>,
+    /// Total packed length across all chunks.
+    len: usize,
+    buf: AlignedBuf,
+}
+
+impl PackedA {
+    /// (Re)pack the `m × k` block of `op(A)` with top-left op-coordinate `(oi0, ok0)`,
+    /// reusing the existing buffer when it is large enough — a driver-owned `PackedA`
+    /// repacked every iteration pays the allocation and its zero-fill only once.
+    pub fn repack(&mut self, a: &Matrix, ta: Trans, oi0: usize, ok0: usize, m: usize, k: usize) {
+        self.mp = m.next_multiple_of(MR);
+        self.chunks.clear();
+        let mut total = 0;
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            self.chunks.push((kc, total));
+            total += self.mp * kc;
+            pc += kc;
+        }
+        self.len = total;
+        let buf = self.buf.slice_mut(total);
+        for (index, &(kc, choff)) in self.chunks.iter().enumerate() {
+            pack_a(a, ta, oi0, ok0 + index * KC, m, kc, &mut buf[choff..choff + self.mp * kc]);
+        }
+    }
+
+    /// The packed panels, all chunks back to back.
+    fn packed(&self) -> &[f64] {
+        self.buf.slice(self.len)
+    }
+}
+
+/// [`gemm_strip`] against a pre-packed `op(A)` ([`PackedA`]): identical blocking and
+/// write-back, but the A-panel packing step is replaced by slicing the shared buffer.
+/// `a_row0` (the op-row origin of the effective `op(A)` block) must be a multiple of
+/// `MR` so panel boundaries line up; `k` must equal the packed inner dimension.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_strip_prepacked(
+    alpha: f64,
+    pa: &PackedA,
+    a_row0: usize,
+    b: &Matrix,
+    tb: Trans,
+    b_col0: usize,
+    m: usize,
+    k: usize,
+    j0: usize,
+    cols: &mut [&mut [f64]],
+    mask_lower: bool,
+) {
+    let w = cols.len();
+    if w == 0 || m == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    debug_assert!(a_row0.is_multiple_of(MR), "prepacked origin must be MR-aligned");
+    debug_assert!(a_row0 + m <= pa.mp, "prepacked row range out of bounds");
+    debug_assert_eq!(pa.chunks.iter().map(|c| c.0).sum::<usize>(), k);
+    let kc_max = KC.min(k);
+    let nc_max = NC.min(w.next_multiple_of(NR));
+    let b_len = kc_max * nc_max;
+    let packed = pa.packed();
+    let mut with_bpack = |bpack: &mut [f64]| {
+        for jc in (0..w).step_by(NC) {
+            let nc = NC.min(w - jc);
+            for (index, &(kc, choff)) in pa.chunks.iter().enumerate() {
+                pack_b(b, tb, index * KC, b_col0 + j0 + jc, kc, nc, bpack);
+                let ic0 = if mask_lower { (j0 + jc) / MR * MR } else { 0 };
+                for ic in (ic0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    let p0 = (a_row0 + ic) / MR;
+                    let panels = &packed[choff + p0 * kc * MR..][..mc.div_ceil(MR) * kc * MR];
+                    macro_kernel(alpha, kc, mc, nc, ic, jc, j0, cols, panels, bpack, mask_lower);
+                }
+            }
+        }
+    };
+    PACK_BUFS.with(|bufs| match bufs.try_borrow_mut() {
+        Ok(mut bufs) => with_bpack(bufs.b.slice_mut(b_len)),
+        Err(_) => {
+            let mut fresh = AlignedBuf::default();
+            with_bpack(fresh.slice_mut(b_len));
+        }
+    });
+}
+
 /// A 64-byte-aligned `f64` scratch buffer: packed panels start on cache-line boundaries
-/// so the micro-kernel's 512-bit loads never straddle lines.
+/// so the micro-kernel's 512-bit loads never straddle lines. Grows on demand and never
+/// shrinks, so a thread-local instance amortizes its allocation across GEMM calls.
+#[derive(Default)]
 struct AlignedBuf {
     raw: Vec<f64>,
     off: usize,
-    len: usize,
 }
 
 impl AlignedBuf {
-    fn new(len: usize) -> Self {
-        let raw = vec![0.0; len + 7];
-        // align_offset is in units of f64 elements; 64-byte alignment needs at most 7.
-        let off = raw.as_ptr().align_offset(64);
-        Self { raw, off, len }
+    /// A mutable view of the first `len` aligned elements, reallocating only when the
+    /// current capacity is too small. Contents are unspecified; the packing routines
+    /// overwrite every element they later read.
+    fn slice_mut(&mut self, len: usize) -> &mut [f64] {
+        if self.raw.len() < len + 7 {
+            self.raw = vec![0.0; len + 7];
+            // align_offset is in units of f64 elements; 64-byte alignment needs at
+            // most 7. Recomputed on every reallocation (the buffer may move).
+            self.off = self.raw.as_ptr().align_offset(64);
+        }
+        &mut self.raw[self.off..self.off + len]
     }
 
-    fn slice_mut(&mut self) -> &mut [f64] {
-        &mut self.raw[self.off..self.off + self.len]
+    /// Shared view of the first `len` aligned elements; `len` must not exceed a
+    /// previously granted [`AlignedBuf::slice_mut`] length.
+    fn slice(&self, len: usize) -> &[f64] {
+        &self.raw[self.off..self.off + len]
     }
 }
 

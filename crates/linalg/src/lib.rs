@@ -13,7 +13,12 @@
 //! * [`cholesky`], [`lu`], [`qr`] — blocked right-looking factorizations whose
 //!   per-iteration steps (panel decomposition, panel update, trailing matrix update) are
 //!   individually exposed so the heterogeneous driver in `bsr-core` can schedule them on
-//!   the simulated CPU/GPU, inject faults and maintain ABFT checksums between steps,
+//!   the simulated CPU/GPU, inject faults and maintain ABFT checksums between steps —
+//!   plus tiled task-parallel drivers (`lu_tiled` / `cholesky_tiled` / `qr_tiled`) that
+//!   run the same math as per-tile-column tasks with one-step panel lookahead on the
+//!   persistent rayon pool, bit-identically to the synchronous paths,
+//! * [`task`] — the tile-column task machinery beneath the tiled drivers and the
+//!   [`task::TrailingHook`] fusion point ABFT checksum maintenance rides on,
 //! * [`generate`] — reproducible random inputs,
 //! * [`verify`] — residual checks used both in tests and in the reliability experiments.
 //!
@@ -31,7 +36,9 @@ pub mod generate;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod task;
 pub mod verify;
 
 pub use blas3::{Diag, Side, Trans, UpLo};
 pub use matrix::{Block, Matrix};
+pub use task::TrailingHook;

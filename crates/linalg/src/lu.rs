@@ -8,8 +8,13 @@
 //! 4. **TMU** — [`trailing_update`]: `A₂₂ ← A₂₂ − L₂₁ U₁₂` (GEMM, on the GPU).
 
 use crate::blas1::{axpy, iamax, scal};
-use crate::blas3::{gemm_into_block, trsm_into_block, Diag, Side, Trans, UpLo};
+use crate::blas3::{
+    gemm_acc_cols, gemm_acc_cols_prepacked, gemm_into_block, repack_a_op, trsm_into_block,
+    trsm_unit_lower_cols, Diag, PackedA, Side, Trans, UpLo,
+};
 use crate::matrix::{Block, Matrix};
+use crate::task::{split_tiles, TileCols, TrailingHook};
+use std::sync::Mutex;
 
 /// Error returned by the LU factorization.
 #[derive(Debug, Clone, PartialEq)]
@@ -266,6 +271,210 @@ pub fn num_iterations(n: usize, b: usize) -> usize {
     n.div_ceil(b)
 }
 
+// =======================================================================================
+// Tiled task-parallel driver with one-step panel lookahead.
+// =======================================================================================
+
+/// Factor the diagonal panel held in `tile` (rows `[row0, n)`), swapping only within
+/// the tile's own columns — the slice-native twin of [`panel_factor`]'s recursion,
+/// running directly in the tile's column slices so a lookahead task touches nothing
+/// but its own group and pays no extract/write-back round trip. Returns the global
+/// pivot rows.
+///
+/// Swaps on columns *outside* the panel are deferred: the columns right of the panel
+/// receive them at the start of their next trailing-update task, the columns left of
+/// it in the next iteration's left-swap task — permutations compose, so late
+/// application is bit-identical to the eager `dlaswp` of [`panel_factor`].
+fn factor_panel_tile(tile: &mut TileCols<'_>, row0: usize) -> Result<Vec<usize>, LuError> {
+    let nb = tile.width();
+    let mut local = Vec::with_capacity(nb);
+    panel_factor_slices(&mut tile.cols, row0, 0, nb, tile.col0, &mut local)?;
+    Ok(local)
+}
+
+/// Recursive slice-native LU panel: factor columns `[jcol, jcol + nb)` of the panel
+/// whose first diagonal element sits at absolute row `diag_row0` (so column `jcol + j`
+/// has its diagonal at row `diag_row0 + jcol + j`). Row swaps are applied to *all*
+/// panel columns immediately, exactly like [`panel_factor_cols`]; pivots are absolute
+/// row indices. Operation-for-operation identical to the Matrix-based recursion
+/// (same half splits, same `L11`/`L21`/`U12` copies, same packed TRSM/GEMM), so the
+/// bits match.
+fn panel_factor_slices(
+    cols: &mut [&mut [f64]],
+    diag_row0: usize,
+    jcol: usize,
+    nb: usize,
+    col0: usize,
+    pivots: &mut Vec<usize>,
+) -> Result<(), LuError> {
+    use crate::task::{col_pair, extract_cols};
+    let n = cols[0].len();
+    if nb <= PANEL_BASE {
+        // Base case: slice-based pivot search, whole-panel row swaps, one scal for the
+        // multipliers and one axpy per remaining active column.
+        for jj in jcol..jcol + nb {
+            let arow = diag_row0 + jj;
+            let piv = arow + iamax(&cols[jj][arow..n]);
+            let p = cols[jj][piv];
+            if p == 0.0 || p.is_nan() {
+                return Err(LuError::Singular(col0 + jj));
+            }
+            pivots.push(piv);
+            if piv != arow {
+                for col in cols.iter_mut() {
+                    col.swap(arow, piv);
+                }
+            }
+            let d = cols[jj][arow];
+            scal(1.0 / d, &mut cols[jj][arow + 1..n]);
+            for c in jj + 1..jcol + nb {
+                let (pivot_col, update_col) = col_pair(cols, jj, c);
+                let ujc = update_col[arow];
+                if ujc != 0.0 {
+                    axpy(-ujc, &pivot_col[arow + 1..n], &mut update_col[arow + 1..n]);
+                }
+            }
+        }
+        return Ok(());
+    }
+    let nl = nb / 2;
+    let nr = nb - nl;
+    // Factor the left half (swaps hit all panel columns immediately).
+    panel_factor_slices(cols, diag_row0, jcol, nl, col0, pivots)?;
+    let arow = diag_row0 + jcol;
+    // U₁₂ (within the panel) ← L₁₁⁻¹ A₁₂, solved in place in the right half.
+    let l11 = extract_cols(&cols[jcol..jcol + nl], arow, arow + nl).unit_lower_triangular();
+    trsm_unit_lower_cols(&l11, arow, &mut cols[jcol + nl..jcol + nb]);
+    // A₂₂ (within the panel) ← A₂₂ − L₂₁ U₁₂: one GEMM instead of `nl` rank-1 sweeps.
+    let l21 = extract_cols(&cols[jcol..jcol + nl], arow + nl, n);
+    let u12 = extract_cols(&cols[jcol + nl..jcol + nb], arow, arow + nl);
+    let mut sub: Vec<&mut [f64]> = cols[jcol + nl..jcol + nb]
+        .iter_mut()
+        .map(|c| &mut c[arow + nl..n])
+        .collect();
+    gemm_acc_cols(-1.0, &l21, Trans::No, 0, &u12, Trans::No, 0, &mut sub, false);
+    // Factor the right half.
+    panel_factor_slices(cols, diag_row0, jcol + nl, nr, col0, pivots)
+}
+
+/// One LU trailing tile task of iteration `k`: deferred row swaps of panel `k`, TRSM
+/// of the `U` tile against `L11`, GEMM of the trailing rows against `L21`, then the
+/// trailing hook over the updated rows.
+#[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
+fn lu_update_tile(
+    tile: &mut TileCols<'_>,
+    iter: usize,
+    j0: usize,
+    nb: usize,
+    swaps: &[usize],
+    l11: &Matrix,
+    l21p: &PackedA,
+    hook: &dyn TrailingHook,
+) {
+    tile.apply_row_swaps(j0, swaps);
+    // U tile ← L11⁻¹ · A tile (the per-tile slice of the panel update, PU), solved
+    // in place in the tile's own columns.
+    trsm_unit_lower_cols(l11, j0, &mut tile.cols);
+    // Trailing rows ← trailing − L21 · U (the per-tile slice of the TMU); the solved
+    // U tile is copied out once as the GEMM operand (mirroring the synchronous
+    // driver's u12 copy) and L21 comes pre-packed, shared by all tile tasks.
+    let u = tile.extract(j0, j0 + nb);
+    let col0 = tile.col0;
+    let mut sub = tile.rows_from(j0 + nb);
+    gemm_acc_cols_prepacked(-1.0, l21p, 0, &u, Trans::No, 0, &mut sub, false);
+    hook.after_tile_update(iter, col0, j0 + nb, &mut sub);
+}
+
+/// Tiled task-parallel LU with partial pivoting and one-step panel lookahead.
+///
+/// Produces **bit-identical** factors and pivots to [`lu_blocked`] with the same block
+/// size, at any thread count: the trailing update is decomposed into per-tile-column
+/// GEMM/TRSM tasks whose per-element summation order does not depend on the partition,
+/// row swaps outside the current panel are deferred to each column's next task, and
+/// panel `k + 1` factorizes (inside the task that updates its tile first) concurrently
+/// with the rest of trailing update `k`.
+pub fn lu_tiled(a: &Matrix, block: usize) -> Result<LuFactors, LuError> {
+    lu_tiled_with(a, block, &())
+}
+
+/// [`lu_tiled`] with a [`TrailingHook`] fused into every trailing tile task (the ABFT
+/// checksum-maintenance fusion point — see `bsr-abft`'s `FusedTileChecksums`).
+pub fn lu_tiled_with(
+    a: &Matrix,
+    block: usize,
+    hook: &dyn TrailingHook,
+) -> Result<LuFactors, LuError> {
+    if !a.is_square() {
+        return Err(LuError::NotSquare);
+    }
+    assert!(block > 0, "block size must be positive");
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut pivots = Vec::with_capacity(n);
+    if n == 0 {
+        return Ok(LuFactors { lu, pivots });
+    }
+    // Panel 0 is factored synchronously; every panel k + 1 is factored by iteration
+    // k's lookahead task.
+    {
+        let (_, mut tiles) = split_tiles(&mut lu, 0, 0, block);
+        pivots.extend(factor_panel_tile(&mut tiles[0], 0)?);
+    }
+    let mut l21p = PackedA::default();
+    for k in 0..num_iterations(n, block) {
+        let j0 = k * block;
+        let nb = block.min(n - j0);
+        let swaps: Vec<usize> = pivots[j0..j0 + nb].to_vec();
+        if j0 + nb >= n {
+            // Last panel: only its deferred swaps on the left columns remain.
+            lu.apply_row_swaps(j0, &swaps, 0, j0);
+            break;
+        }
+        // Operands shared (read-only) by all of this iteration's tasks; L21 is packed
+        // once here instead of once per tile task inside the GEMMs.
+        let l11 = lu.copy_block(Block::new(j0, j0, nb, nb)).unit_lower_triangular();
+        repack_a_op(&mut l21p, &lu, Trans::No, j0 + nb, j0, n - j0 - nb, nb);
+        let (left, tiles) = split_tiles(&mut lu, j0, j0 + nb, block);
+        let panel_result: Mutex<Option<Result<Vec<usize>, LuError>>> = Mutex::new(None);
+        rayon::scope(|s| {
+            let mut tiles = tiles.into_iter();
+            // Lookahead: the tile feeding panel k + 1 is updated first and the panel
+            // factorizes in the same task, overlapping the remaining tile updates.
+            let look = tiles.next().expect("trailing tiles exist");
+            {
+                let (l11, l21p, swaps, panel_result) = (&l11, &l21p, &swaps[..], &panel_result);
+                s.spawn(move || {
+                    let mut tile = look;
+                    lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
+                    *panel_result.lock().unwrap() = Some(factor_panel_tile(&mut tile, j0 + nb));
+                });
+            }
+            for tile in tiles {
+                let (l11, l21p, swaps) = (&l11, &l21p, &swaps[..]);
+                s.spawn(move || {
+                    let mut tile = tile;
+                    lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
+                });
+            }
+            // Panel k's deferred swaps on the already-final columns left of the panel
+            // ride the same schedule instead of serializing the iteration.
+            if !left.is_empty() {
+                let swaps = &swaps[..];
+                s.spawn(move || {
+                    let mut left = left;
+                    crate::task::apply_row_swaps_cols(&mut left, j0, swaps);
+                });
+            }
+        });
+        match panel_result.into_inner().unwrap() {
+            Some(Ok(pv)) => pivots.extend(pv),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("lookahead task always records a panel result"),
+        }
+    }
+    Ok(LuFactors { lu, pivots })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +564,25 @@ mod tests {
     fn iteration_count() {
         assert_eq!(num_iterations(30720, 512), 60);
         assert_eq!(num_iterations(100, 30), 4);
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_to_blocked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        for (n, b) in [(1, 1), (5, 2), (16, 8), (33, 8), (64, 16), (40, 64)] {
+            let a = random_matrix(&mut rng, n, n);
+            let sync = lu_blocked(&a, b).unwrap();
+            let tiled = lu_tiled(&a, b).unwrap();
+            assert_eq!(sync.pivots, tiled.pivots, "pivots differ n={n} b={b}");
+            assert_eq!(sync.lu, tiled.lu, "factors differ n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn tiled_detects_singularity() {
+        let a = Matrix::zeros(6, 6);
+        assert!(matches!(lu_tiled(&a, 2), Err(LuError::Singular(0))));
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(lu_tiled(&a, 2), Err(LuError::NotSquare)));
     }
 }

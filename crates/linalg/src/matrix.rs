@@ -58,6 +58,14 @@ impl Matrix {
         Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Wrap an existing column-major buffer (`data[j * rows + i]` is element `(i, j)`).
+    /// Lets hot paths assemble a matrix in one write pass instead of zero-filling
+    /// first; panics when the buffer length does not match the shape.
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_column_major: length mismatch");
+        Self { rows, cols, data }
+    }
+
     /// Identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
@@ -189,6 +197,17 @@ impl Matrix {
             .skip(block.col)
             .take(block.cols)
             .map(move |(j, col)| (j, &mut col[row0..row1]))
+    }
+
+    /// All columns as independent mutable slices (column-major storage makes every
+    /// column a disjoint borrow). The task-parallel factorization drivers partition
+    /// these into per-tile column groups, so task disjointness is enforced by the
+    /// borrow checker instead of runtime assertions.
+    pub fn columns_mut(&mut self) -> Vec<&mut [f64]> {
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        self.data.chunks_exact_mut(self.rows).collect()
     }
 
     /// Copy a block out into a new dense matrix.

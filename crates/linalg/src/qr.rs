@@ -9,8 +9,10 @@
 //!    columns (LAPACK `larfb`, the GPU side).
 
 use crate::blas1::{axpy, dot, nrm2, scal};
-use crate::blas3::{gemm, gemm_into_block, Trans};
+use crate::blas3::{gemm, gemm_acc_cols_prepacked, gemm_into_block, repack_a_op, PackedA, Trans};
 use crate::matrix::{Block, Matrix};
+use crate::task::{split_tiles, TileCols, TrailingHook};
+use std::sync::Mutex;
 
 /// Panel width used when applying `Q`/`Qᵀ` from stored reflectors. Independent of the
 /// block size the factorization used: reflectors compose column by column, so any
@@ -234,6 +236,140 @@ pub fn num_iterations(n: usize, b: usize) -> usize {
     n.div_ceil(b)
 }
 
+// =======================================================================================
+// Tiled task-parallel driver with one-step panel lookahead.
+// =======================================================================================
+
+/// Factor the `pw`-column diagonal QR panel held in the first columns of `tile` (rows
+/// `[row0, m)`) on an extracted copy; returns the panel's `tau`s and compact-WY `T`
+/// factor. `pw` may be narrower than the tile when the panel is clipped by
+/// `min(m, n)` on wide matrices.
+fn factor_panel_tile(tile: &mut TileCols<'_>, row0: usize, pw: usize) -> (Vec<f64>, Matrix) {
+    let m = tile.rows();
+    let mut panel = crate::task::extract_cols(&tile.cols[..pw], row0, m);
+    let mut taus = Vec::with_capacity(pw);
+    panel_factor(&mut panel, 0, pw, &mut taus);
+    let t = form_t(&panel, 0, pw, &taus);
+    for j in 0..pw {
+        tile.cols[j][row0..].copy_from_slice(panel.col(j));
+    }
+    (taus, t)
+}
+
+/// One QR trailing tile task of iteration `k`: the tile's slice of the compact-WY
+/// block-reflector application `C ← (I − V Tᵀ Vᵀ) C` over rows `[j0, m)`, then the
+/// trailing hook over rows `[trail_row0, m)` (below the panel). `V` arrives pre-packed
+/// in both orientations (`vt_p` for `Vᵀ C`, `v_p` for `C − V W`), shared by every tile
+/// task of the iteration.
+#[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
+fn qr_update_tile(
+    tile: &mut TileCols<'_>,
+    iter: usize,
+    j0: usize,
+    nb: usize,
+    vt_p: &PackedA,
+    v_p: &PackedA,
+    t: &Matrix,
+    trail_row0: usize,
+    hook: &dyn TrailingHook,
+) {
+    let m = tile.rows();
+    let width = tile.width();
+    let c = tile.extract(j0, m);
+    // W = Vᵀ C, accumulated into a zeroed buffer (bit-identical to the `gemm` the
+    // synchronous path runs: beta = 0 zero-fills, then the strip accumulates).
+    let mut wdata = vec![0.0; nb * width];
+    {
+        let mut wcols: Vec<&mut [f64]> = wdata.chunks_exact_mut(nb).collect();
+        gemm_acc_cols_prepacked(1.0, vt_p, 0, &c, Trans::No, 0, &mut wcols, false);
+    }
+    let w = Matrix::from_column_major(nb, width, wdata);
+    // W ← Tᵀ W (applying Qᵀ of the panel), then C ← C − V W.
+    let w = gemm(t, Trans::Yes, &w, Trans::No);
+    let mut sub = tile.rows_from(j0);
+    gemm_acc_cols_prepacked(-1.0, v_p, 0, &w, Trans::No, 0, &mut sub, false);
+    let col0 = tile.col0;
+    let mut hook_rows = tile.rows_from(trail_row0);
+    hook.after_tile_update(iter, col0, trail_row0, &mut hook_rows);
+}
+
+/// Tiled task-parallel Householder QR with one-step panel lookahead.
+///
+/// Produces **bit-identical** factors (`qr` storage and `tau`s) to [`qr_blocked`] with
+/// the same block size, at any thread count: the block-reflector trailing update is
+/// decomposed into per-tile-column tasks (columns of `C` are independent through the
+/// compact-WY GEMMs), and panel `k + 1` factorizes — inside the task that updates its
+/// tile first — concurrently with the rest of trailing update `k`.
+pub fn qr_tiled(a: &Matrix, block: usize) -> QrFactors {
+    qr_tiled_with(a, block, &())
+}
+
+/// [`qr_tiled`] with a [`TrailingHook`] fused into every trailing tile task.
+pub fn qr_tiled_with(a: &Matrix, block: usize, hook: &dyn TrailingHook) -> QrFactors {
+    assert!(block > 0, "block size must be positive");
+    let m = a.rows();
+    let n = a.cols();
+    let kmax = n.min(m);
+    let mut qr = a.clone();
+    let mut taus = Vec::with_capacity(kmax);
+    if kmax == 0 {
+        return QrFactors { qr, taus };
+    }
+    // Panel 0 synchronously; every panel k + 1 by iteration k's lookahead task.
+    let mut tmat = {
+        let (_, mut tiles) = split_tiles(&mut qr, 0, 0, block);
+        let pw = block.min(kmax);
+        let (t0, tm) = factor_panel_tile(&mut tiles[0], 0, pw);
+        taus.extend(t0);
+        tm
+    };
+    let mut vt_p = PackedA::default();
+    let mut v_p = PackedA::default();
+    for k in 0..kmax.div_ceil(block) {
+        let j0 = k * block;
+        let nb = block.min(kmax - j0);
+        if j0 + nb >= n {
+            break;
+        }
+        let v = extract_reflectors(&qr, j0, nb);
+        repack_a_op(&mut vt_p, &v, Trans::Yes, 0, 0, nb, m - j0);
+        repack_a_op(&mut v_p, &v, Trans::No, 0, 0, m - j0, nb);
+        let (_, tiles) = split_tiles(&mut qr, 0, j0 + nb, block);
+        let next_panel: Mutex<Option<(Vec<f64>, Matrix)>> = Mutex::new(None);
+        rayon::scope(|s| {
+            let mut tiles = tiles.into_iter();
+            let look = tiles.next().expect("trailing tiles exist");
+            {
+                let (vt_p, v_p, tmat, next_panel) = (&vt_p, &v_p, &tmat, &next_panel);
+                s.spawn(move || {
+                    let mut tile = look;
+                    qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0 + nb, hook);
+                    // Factor panel k + 1 when this tile contains one (on wide inputs
+                    // the trailing columns outlive the panels).
+                    if tile.col0 < kmax {
+                        let pw = tile.width().min(kmax - tile.col0);
+                        let row0 = tile.col0;
+                        *next_panel.lock().unwrap() =
+                            Some(factor_panel_tile(&mut tile, row0, pw));
+                    }
+                });
+            }
+            for tile in tiles {
+                let (vt_p, v_p, tmat) = (&vt_p, &v_p, &tmat);
+                s.spawn(move || {
+                    let mut tile = tile;
+                    qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0 + nb, hook);
+                });
+            }
+        });
+        if let Some((new_taus, new_t)) = next_panel.into_inner().unwrap() {
+            taus.extend(new_taus);
+            tmat = new_t;
+        }
+    }
+    QrFactors { qr, taus }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +461,18 @@ mod tests {
     #[test]
     fn iteration_count() {
         assert_eq!(num_iterations(30720, 512), 60);
+    }
+
+    #[test]
+    fn tiled_is_bit_identical_to_blocked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        // Square, tall, and wide shapes, with tail panels and oversized blocks.
+        for (m, n, b) in [(1, 1, 1), (16, 16, 8), (33, 33, 8), (40, 12, 5), (12, 30, 5), (24, 24, 64)] {
+            let a = random_matrix(&mut rng, m, n);
+            let sync = qr_blocked(&a, b);
+            let tiled = qr_tiled(&a, b);
+            assert_eq!(sync.taus, tiled.taus, "taus differ m={m} n={n} b={b}");
+            assert_eq!(sync.qr, tiled.qr, "factors differ m={m} n={n} b={b}");
+        }
     }
 }

@@ -1,0 +1,187 @@
+//! Tile-column task machinery for the task-parallel factorization drivers.
+//!
+//! The tiled drivers (`lu::lu_tiled`, `cholesky::cholesky_tiled`, `qr::qr_tiled`)
+//! decompose each iteration's trailing update into **per-tile-column tasks**: the
+//! trailing columns are partitioned into `block`-wide groups, every group becomes one
+//! task on the rayon pool, and the group feeding the next panel runs first so panel
+//! `k + 1` factorizes concurrently with the rest of trailing update `k` (one-step
+//! lookahead, the PLASMA/StarPU-style DAG view of the blocked algorithms).
+//!
+//! Disjointness is proved by the borrow checker rather than asserted at runtime: a
+//! column-major [`Matrix`] splits into per-column `&mut [f64]` slices
+//! ([`Matrix::columns_mut`]), the crate-internal `split_tiles` partitions those into
+//! `TileCols` groups, and each task takes ownership of exactly one group. Shared
+//! operands (the panel's `L11`/`L21`/`A21`/`V`/`T` blocks) are copied or packed out
+//! *before* the task graph runs, so tasks only read immutable locals besides their
+//! own columns.
+//!
+//! [`TrailingHook`] is the fusion point for ABFT: `bsr-abft` implements it to encode
+//! and verify checksums of each tile right inside the task that produced it, so
+//! checksum maintenance rides the parallel schedule instead of a serial epilogue.
+
+use crate::matrix::Matrix;
+
+/// Observer fused into every trailing-update tile task of the tiled drivers.
+///
+/// `after_tile_update` is called exactly once per (iteration, tile column) pair, from
+/// whichever pool thread ran the task, **after** the tile's numeric update and (for
+/// the lookahead tile) **before** the next panel is factored from it — a checksum
+/// hook runs over the exact data the panel factorization is about to consume.
+///
+/// `cols[jj]` is the mutable row range `[row0, rows)` of global column `col0 + jj`;
+/// implementations may correct elements in place but must confine themselves to the
+/// given slices (other regions of the matrix are concurrently owned by other tasks).
+pub trait TrailingHook: Sync {
+    /// Inspect (and possibly correct) one updated tile column group.
+    fn after_tile_update(&self, iter: usize, col0: usize, row0: usize, cols: &mut [&mut [f64]]);
+}
+
+/// The no-op hook: the plain tiled drivers run with `&()`.
+impl TrailingHook for () {
+    fn after_tile_update(&self, _: usize, _: usize, _: usize, _: &mut [&mut [f64]]) {}
+}
+
+/// One tile-column group: `cols[jj]` is the full backing slice (all rows) of global
+/// column `col0 + jj`. Owned by exactly one task at a time.
+pub(crate) struct TileCols<'a> {
+    /// Global index of the first column in the group.
+    pub col0: usize,
+    /// Full-height column slices, disjoint borrows of the matrix storage.
+    pub cols: Vec<&'a mut [f64]>,
+}
+
+impl TileCols<'_> {
+    /// Number of columns in the group.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows of the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.cols[0].len()
+    }
+
+    /// Dense copy of rows `[row0, row1)` of the group (the small per-task workspace
+    /// the Matrix-based panel kernels run on). Assembled in a single write pass — no
+    /// zero-fill — since these copies sit on the per-tile hot path.
+    pub fn extract(&self, row0: usize, row1: usize) -> Matrix {
+        extract_cols(&self.cols, row0, row1)
+    }
+
+    /// Apply a batch of deferred row interchanges (LAPACK `dlaswp`) to the group:
+    /// for each `i`, swap row `row0 + i` with row `swaps[i]`.
+    pub fn apply_row_swaps(&mut self, row0: usize, swaps: &[usize]) {
+        apply_row_swaps_cols(&mut self.cols, row0, swaps);
+    }
+
+    /// Reborrow the group's columns restricted to rows `[row0, rows)` — the shape the
+    /// GEMM accumulation ([`crate::blas3::gemm_acc_cols`]) and [`TrailingHook`] take.
+    pub fn rows_from(&mut self, row0: usize) -> Vec<&mut [f64]> {
+        self.cols.iter_mut().map(|c| &mut c[row0..]).collect()
+    }
+}
+
+/// Batch row interchanges (LAPACK `dlaswp`) over a set of column slices: for each
+/// `i`, swap row `row0 + i` with row `swaps[i]` in every column. Shared by the tile
+/// tasks and LU's deferred left-column swap task.
+pub(crate) fn apply_row_swaps_cols(cols: &mut [&mut [f64]], row0: usize, swaps: &[usize]) {
+    for col in cols.iter_mut() {
+        for (i, &piv) in swaps.iter().enumerate() {
+            if piv != row0 + i {
+                col.swap(row0 + i, piv);
+            }
+        }
+    }
+}
+
+/// Dense copy of rows `[row0, row1)` of a set of column slices, assembled in one
+/// write pass (no zero-fill).
+pub(crate) fn extract_cols(cols: &[&mut [f64]], row0: usize, row1: usize) -> Matrix {
+    let mut data = Vec::with_capacity((row1 - row0) * cols.len());
+    for col in cols.iter() {
+        data.extend_from_slice(&col[row0..row1]);
+    }
+    Matrix::from_column_major(row1 - row0, cols.len(), data)
+}
+
+/// Borrow two distinct columns of a column-slice set at once, the earlier read-only
+/// and the later mutably — the aliasing split the slice-native panel kernels need
+/// (mirrors [`Matrix::col_pair_mut`]).
+pub(crate) fn col_pair<'a>(
+    cols: &'a mut [&mut [f64]],
+    jr: usize,
+    jw: usize,
+) -> (&'a [f64], &'a mut [f64]) {
+    assert!(jr < jw && jw < cols.len(), "col_pair: need jr < jw < cols");
+    let (left, right) = cols.split_at_mut(jw);
+    (&*left[jr], &mut *right[0])
+}
+
+/// Partition the columns of `a` for one task-graph iteration: columns `[0, keep)` are
+/// returned as individual slices (LU's deferred-swap region left of the panel),
+/// columns `[keep, start)` are dropped (the current panel, owned by no task), and
+/// columns `[start, a.cols())` become `block`-wide [`TileCols`] groups starting at
+/// `start` (so when `start` sits on a block boundary, the first group is exactly the
+/// next panel's tile).
+pub(crate) fn split_tiles<'a>(
+    a: &'a mut Matrix,
+    keep: usize,
+    start: usize,
+    block: usize,
+) -> (Vec<&'a mut [f64]>, Vec<TileCols<'a>>) {
+    let n = a.cols();
+    debug_assert!(keep <= start && start <= n && block > 0);
+    let mut cols = a.columns_mut();
+    let mut rest = cols.split_off(start);
+    cols.truncate(keep);
+    let left = cols;
+    let mut tiles = Vec::with_capacity((n - start).div_ceil(block));
+    let mut col0 = start;
+    while !rest.is_empty() {
+        let w = block.min(n - col0).min(rest.len());
+        let tail = rest.split_off(w);
+        tiles.push(TileCols { col0, cols: rest });
+        rest = tail;
+        col0 += w;
+    }
+    (left, tiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_tiles_partitions_and_mutates_through() {
+        let mut m = Matrix::from_fn(4, 10, |i, j| (i + 10 * j) as f64);
+        {
+            let (left, mut tiles) = split_tiles(&mut m, 2, 4, 3);
+            assert_eq!(left.len(), 2);
+            let widths: Vec<usize> = tiles.iter().map(|t| t.width()).collect();
+            assert_eq!(widths, vec![3, 3]);
+            assert_eq!(tiles[0].col0, 4);
+            assert_eq!(tiles[1].col0, 7);
+            // Mutations land in the right place.
+            tiles[1].cols[0][2] = -1.0;
+        }
+        assert_eq!(m.get(2, 7), -1.0);
+    }
+
+    #[test]
+    fn extract_col_pair_and_swaps() {
+        let mut m = Matrix::from_fn(6, 4, |i, j| (i * 100 + j) as f64);
+        let (_, mut tiles) = split_tiles(&mut m, 0, 0, 4);
+        let tile = &mut tiles[0];
+        let sub = tile.extract(2, 5);
+        assert_eq!(sub.rows(), 3);
+        assert_eq!(sub.get(0, 1), 201.0);
+        let (r, w) = col_pair(&mut tile.cols, 1, 3);
+        assert_eq!(r[2], 201.0);
+        w[2] = -7.0;
+        assert_eq!(tile.cols[3][2], -7.0);
+        // dlaswp semantics: swap row 0 with row 5, row 1 stays.
+        tile.apply_row_swaps(0, &[5, 1]);
+        assert_eq!(tile.cols[1][0], 501.0);
+        assert_eq!(tile.cols[1][5], 1.0);
+    }
+}

@@ -1,38 +1,60 @@
 //! Offline vendored stand-in for [rayon](https://docs.rs/rayon): the `par_*` slice
-//! entry points this workspace calls, executed on a **real `std::thread`-based pool**.
+//! entry points and a `scope`/`spawn` task API, executed on a **persistent
+//! work-stealing pool** of `std::thread` workers.
 //!
-//! Unlike the first-generation shim (which ran everything sequentially), this version
-//! genuinely fans work out across OS threads:
+//! The second-generation shim spawned fresh `std::thread::scope` workers for every
+//! parallel region, which put a tens-of-microseconds floor under each region and made
+//! fine-grained task graphs (the tiled factorizations in `bsr-linalg`) impractical.
+//! This version keeps the workers alive:
 //!
-//! * `par_chunks_exact_mut` / `par_chunks_mut` split the slice into disjoint mutable
-//!   chunks up front (each chunk is an independent borrow of the backing storage, so no
-//!   `unsafe` is needed anywhere);
-//! * `for_each` distributes the chunks to `current_num_threads()` scoped worker threads
-//!   through a shared work queue, so uneven per-chunk costs (e.g. the triangular SYRK
-//!   strips) still balance;
-//! * the calling thread participates as one of the workers, and everything joins before
-//!   `for_each` returns — identical blocking semantics to real rayon.
+//! * worker threads are **spawned lazily** the first time a region asks for them and
+//!   then parked on a condvar when idle, so a quiescent process carries no spin load;
+//! * each worker owns a **deque**; tasks are pushed round-robin across the active
+//!   workers and an idle worker **steals in chunks** (half of a victim's queue at a
+//!   time) so bursts of small tasks migrate in O(log n) steal operations instead of
+//!   one lock round-trip per task;
+//! * [`scope`] provides structured task parallelism: closures borrowing the caller's
+//!   stack are spawned onto the pool and the scope blocks until all of them (and the
+//!   panics they raise) have been collected. The calling thread participates by
+//!   draining tasks while it waits, so a `scope` on a 1-worker pool still makes
+//!   progress;
+//! * the existing slice API (`par_chunks_mut` / `par_chunks_exact_mut` with
+//!   `enumerate` / `skip` / `take` / `for_each`) is layered on `scope`, so `bsr-linalg`'s
+//!   BLAS-3 column-strip fan-out is unchanged.
 //!
 //! Differences from upstream rayon, deliberately accepted for an offline build:
 //!
-//! * threads are spawned per `for_each` call via [`std::thread::scope`] instead of being
-//!   parked in a global work-stealing pool, so each parallel region pays a spawn cost of
-//!   tens of microseconds — callers should only go parallel above a work threshold (see
-//!   `bsr-linalg::blas3`);
-//! * only the adaptor chain the workspace uses is provided
-//!   (`enumerate` / `skip` / `take` / `for_each`);
-//! * `RAYON_NUM_THREADS` is re-read on every call (upstream reads it once), which lets
-//!   benchmarks toggle between single- and multi-threaded execution in-process.
+//! * `RAYON_NUM_THREADS` is re-read **per parallel region** (upstream reads it once):
+//!   a region observing `t` uses `t − 1` pool workers plus the caller. The pool grows
+//!   monotonically to the largest `t − 1` seen and never shrinks; workers beyond the
+//!   most recent region's count park. Benchmarks use this to sweep thread counts
+//!   in-process. The active-worker count is a single process-global: concurrent
+//!   regions observing *different* `t` values are not supported (the later region's
+//!   count wins for both) — callers that vary the env var from multiple threads must
+//!   serialize, which [`ThreadCountGuard`] does;
+//! * `t == 1` executes spawned closures inline at the spawn site (sequential
+//!   semantics, zero pool traffic) — the single-threaded baseline pays no dispatch;
+//! * only the adaptor chain the workspace uses is provided.
+//!
+//! This crate contains `unsafe` in exactly one place: the lifetime erasure that lets a
+//! scoped closure (borrowing `'scope` data) be queued on 'static worker threads. It is
+//! sound for the same reason `std::thread::scope` is: [`scope`] does not return until
+//! every spawned task has finished running (even when tasks or the scope body panic),
+//! so no queued closure can outlive the borrows it captures.
 
 #![deny(missing_docs)]
 
-use std::sync::{Mutex, OnceLock};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Number of worker threads a parallel region will use.
 ///
 /// `RAYON_NUM_THREADS` (≥ 1) overrides; otherwise the host's available parallelism.
-/// The environment variable is consulted on every call so tests and benchmarks can
-/// switch thread counts without restarting the process.
+/// The environment variable is consulted at every region entry so tests and benchmarks
+/// can switch thread counts without restarting the process.
 pub fn current_num_threads() -> usize {
     if let Some(n) = std::env::var("RAYON_NUM_THREADS")
         .ok()
@@ -50,8 +72,329 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// Run `f` over every item, fanning out across `threads` scoped worker threads fed from
-/// a shared queue. `threads <= 1` (or a single item) runs inline on the caller.
+/// Upper bound on pool growth, far above any thread count this workspace requests;
+/// keeps a runaway `RAYON_NUM_THREADS` from exhausting process resources.
+const MAX_WORKERS: usize = 256;
+
+/// Serializes every [`ThreadCountGuard`] holder: the thread budget is a process
+/// global, so two concurrent overrides would race each other (see the module docs).
+static THREAD_COUNT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Scoped override of `RAYON_NUM_THREADS` for tests and benchmarks.
+///
+/// Holds a process-wide lock for its lifetime — concurrent test threads sweeping
+/// different thread counts serialize instead of clobbering each other's overrides —
+/// and restores the previous value on drop, even if the guarded body panics.
+pub struct ThreadCountGuard {
+    prev: Option<String>,
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl ThreadCountGuard {
+    /// Override `RAYON_NUM_THREADS` to `n` until the guard drops.
+    pub fn set(n: usize) -> Self {
+        let lock = THREAD_COUNT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+        ThreadCountGuard { prev, _lock: lock }
+    }
+}
+
+impl Drop for ThreadCountGuard {
+    fn drop(&mut self) {
+        match &self.prev {
+            Some(prev) => std::env::set_var("RAYON_NUM_THREADS", prev),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+}
+
+/// How long a waiting scope owner sleeps between steal attempts when its region still
+/// has running tasks but nothing stealable. Belt-and-braces against any lost-wakeup
+/// path only — completions notify the region condvar directly, so this can be long
+/// without hurting latency; shorter values just steal CPU quanta from the workers on
+/// oversubscribed hosts.
+const WAIT_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// A queued unit of work. The closure is lifetime-erased; see the module docs and
+/// [`Scope::spawn`] for the soundness argument.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// Completion state shared between one [`scope`] and the jobs it spawned.
+struct Region {
+    /// Jobs spawned and not yet finished.
+    pending: AtomicUsize,
+    /// Lock + condvar the scope owner sleeps on; notified by job completions.
+    lock: Mutex<()>,
+    cv: Condvar,
+    /// First panic raised by any job, rethrown when the scope closes.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Region {
+    fn new() -> Arc<Self> {
+        Arc::new(Region {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    /// Record one finished job and wake the scope owner.
+    fn complete_one(&self) {
+        let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0);
+        // Take the lock before notifying so a waiter that just observed pending > 0
+        // cannot miss the wakeup.
+        let _guard = self.lock.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
+/// One pool worker's queue. Owners pop newest-first; thieves drain oldest-first.
+struct Worker {
+    deque: Mutex<VecDeque<Job>>,
+}
+
+/// The process-global worker pool.
+struct Pool {
+    /// Registered workers; grows lazily, never shrinks.
+    workers: Mutex<Vec<Arc<Worker>>>,
+    /// Workers with index `< active` may run jobs; the rest stay parked. Set to
+    /// `t − 1` at every region entry (see the module docs).
+    active: AtomicUsize,
+    /// Push generation: bumped after every enqueue so parked workers can wait for
+    /// "some push happened since I last scanned" without missed wakeups.
+    generation: Mutex<u64>,
+    wake: Condvar,
+    /// Round-robin cursor for task placement.
+    cursor: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        workers: Mutex::new(Vec::new()),
+        active: AtomicUsize::new(0),
+        generation: Mutex::new(0),
+        wake: Condvar::new(),
+        cursor: AtomicUsize::new(0),
+    })
+}
+
+impl Pool {
+    /// Make sure at least `n` workers exist and allow exactly `n` of them to run.
+    fn activate(&'static self, n: usize) {
+        let n = n.min(MAX_WORKERS);
+        self.active.store(n, Ordering::Release);
+        let mut workers = self.workers.lock().unwrap();
+        while workers.len() < n {
+            let index = workers.len();
+            let worker = Arc::new(Worker { deque: Mutex::new(VecDeque::new()) });
+            workers.push(Arc::clone(&worker));
+            std::thread::Builder::new()
+                .name(format!("bsr-rayon-{index}"))
+                .spawn(move || worker_loop(index, worker, self))
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    /// Enqueue a job round-robin across the active workers and wake the pool.
+    fn push(&self, job: Job) {
+        {
+            let workers = self.workers.lock().unwrap();
+            let n = self.active.load(Ordering::Acquire).min(workers.len()).max(1);
+            let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+            workers[slot].deque.lock().unwrap().push_back(job);
+        }
+        let mut generation = self.generation.lock().unwrap();
+        *generation += 1;
+        drop(generation);
+        self.wake.notify_all();
+    }
+
+    /// Snapshot of the current worker list (cheap: a handful of `Arc` clones).
+    fn snapshot(&self) -> Vec<Arc<Worker>> {
+        self.workers.lock().unwrap().clone()
+    }
+
+    /// Steal a single job from any worker's queue (oldest first). Used by scope owners
+    /// helping out while they wait.
+    fn steal_one(&self) -> Option<Job> {
+        for worker in self.snapshot() {
+            if let Some(job) = worker.deque.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// Steal roughly half of the first non-empty victim queue into `me`. Returns the first
+/// stolen job to run immediately (the rest land in `me`'s deque). The victim's jobs are
+/// drained into a local buffer before `me`'s lock is taken, so two workers stealing
+/// from each other cannot deadlock.
+fn steal_chunk(pool: &Pool, me: &Worker, my_index: usize) -> Option<Job> {
+    for (index, victim) in pool.snapshot().iter().enumerate() {
+        if index == my_index {
+            continue;
+        }
+        let mut stolen: Vec<Job> = Vec::new();
+        {
+            let mut deque = victim.deque.lock().unwrap();
+            let take = deque.len().div_ceil(2);
+            for _ in 0..take {
+                stolen.push(deque.pop_front().expect("len checked"));
+            }
+        }
+        if let Some(first) = stolen.pop() {
+            if !stolen.is_empty() {
+                me.deque.lock().unwrap().extend(stolen);
+            }
+            return Some(first);
+        }
+    }
+    None
+}
+
+thread_local! {
+    /// True while this thread is executing a job spawned onto the pool (whether it is
+    /// a pool worker or a scope owner helping out).
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True while the current thread is executing a task that was spawned onto the pool.
+///
+/// Work-size heuristics use this to keep *nested* parallel regions sequential: when a
+/// task graph already saturates the pool, splitting a region inside one of its tasks
+/// only adds dispatch traffic. (Inline execution under a single-thread budget does not
+/// count — those closures never went through the pool.)
+pub fn in_pool_task() -> bool {
+    IN_POOL_TASK.with(|flag| flag.get())
+}
+
+/// Run one job; panics are caught inside the job wrapper, so this never unwinds into
+/// the worker loop. The in-task marker nests (save/restore) because a scope owner
+/// executing a stolen job may itself be inside an outer job.
+#[inline]
+fn run_job(job: Job) {
+    IN_POOL_TASK.with(|flag| {
+        let prev = flag.replace(true);
+        (job.run)();
+        flag.set(prev);
+    });
+}
+
+fn worker_loop(index: usize, me: Arc<Worker>, pool: &'static Pool) {
+    loop {
+        // Note the push generation *before* scanning: any push that the scan below
+        // misses must have bumped the generation afterwards, so the wait cannot sleep
+        // through it.
+        let seen = *pool.generation.lock().unwrap();
+        if index < pool.active.load(Ordering::Acquire) {
+            if let Some(job) = {
+                let popped = me.deque.lock().unwrap().pop_back();
+                popped
+            } {
+                run_job(job);
+                continue;
+            }
+            if let Some(job) = steal_chunk(pool, &me, index) {
+                run_job(job);
+                continue;
+            }
+        }
+        let mut generation = pool.generation.lock().unwrap();
+        while *generation == seen {
+            generation = pool.wake.wait(generation).unwrap();
+        }
+    }
+}
+
+/// A structured-parallelism scope: closures spawned through it may borrow data living
+/// outside the [`scope`] call, and all of them have completed when `scope` returns.
+pub struct Scope<'scope> {
+    region: Arc<Region>,
+    /// Thread budget of this region (`current_num_threads()` at entry); `1` means
+    /// spawned closures run inline.
+    threads: usize,
+    /// Invariant over `'scope`, mirroring `std::thread::Scope`.
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` onto the pool (or run it inline when the region budget is a single
+    /// thread). `f` may borrow anything that outlives the enclosing [`scope`] call.
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        if self.threads <= 1 {
+            f();
+            return;
+        }
+        self.region.pending.fetch_add(1, Ordering::AcqRel);
+        let region = Arc::clone(&self.region);
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                region.panic.lock().unwrap().get_or_insert(payload);
+            }
+            region.complete_one();
+        });
+        // SAFETY: `scope` blocks (in `wait_all`) until `pending` drops to zero, i.e.
+        // until this closure has *finished running*, before any borrow captured in `f`
+        // can expire — including when the scope body or another job panics. Erasing
+        // the lifetime therefore never lets the closure observe a dangling reference.
+        let erased: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(wrapped) };
+        pool().push(Job { run: erased });
+    }
+
+    /// Help drain the pool until every job of this region has completed.
+    fn wait_all(&self) {
+        let pool = pool();
+        while self.region.pending.load(Ordering::Acquire) > 0 {
+            if let Some(job) = pool.steal_one() {
+                run_job(job);
+                continue;
+            }
+            let guard = self.region.lock.lock().unwrap();
+            if self.region.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let _ = self.region.cv.wait_timeout(guard, WAIT_TIMEOUT).unwrap();
+        }
+    }
+}
+
+/// Run `op` with a [`Scope`] handle for spawning borrowing tasks; returns `op`'s value
+/// once every spawned task has completed. Panics from the scope body or from any task
+/// are propagated (body panic wins), after all tasks have finished.
+pub fn scope<'scope, R>(op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    let threads = current_num_threads();
+    let scope = Scope {
+        region: Region::new(),
+        threads,
+        _marker: std::marker::PhantomData,
+    };
+    if threads > 1 {
+        pool().activate(threads - 1);
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    scope.wait_all();
+    let job_panic = scope.region.panic.lock().unwrap().take();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = job_panic {
+                panic::resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
+
+/// Run `f` over every item on up to `threads` threads (pool workers plus the caller).
+/// `threads <= 1` (or a single item) runs inline on the caller.
 fn run_parallel<I: Send, F: Fn(I) + Sync>(items: Vec<I>, threads: usize, f: F) {
     let threads = threads.min(items.len());
     if threads <= 1 {
@@ -60,26 +403,14 @@ fn run_parallel<I: Send, F: Fn(I) + Sync>(items: Vec<I>, threads: usize, f: F) {
         }
         return;
     }
-    let queue = Mutex::new(items.into_iter());
-    let queue = &queue;
     let f = &f;
-    std::thread::scope(|s| {
-        for _ in 1..threads {
-            s.spawn(move || drain_queue(queue, f));
+    // One task per item: the callers already chunk work to roughly one chunk per
+    // thread, and the deque + chunked stealing absorb finer splits cheaply.
+    scope(|s| {
+        for item in items {
+            s.spawn(move || f(item));
         }
-        drain_queue(queue, f);
     });
-}
-
-/// Worker loop: pop one item at a time until the queue is exhausted.
-fn drain_queue<I, F: Fn(I)>(queue: &Mutex<std::vec::IntoIter<I>>, f: &F) {
-    loop {
-        let item = queue.lock().unwrap().next();
-        match item {
-            Some(item) => f(item),
-            None => return,
-        }
-    }
 }
 
 /// The rayon prelude: import to get the `par_*` methods on slices.
@@ -135,7 +466,7 @@ pub mod slice {
             self
         }
 
-        /// Apply `f` to every chunk across the worker threads; blocks until all finish.
+        /// Apply `f` to every chunk across the pool; blocks until all finish.
         pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
             run_parallel(self.chunks, current_num_threads(), f);
         }
@@ -163,7 +494,7 @@ pub mod slice {
             self
         }
 
-        /// Apply `f` to every (index, chunk) pair across the worker threads.
+        /// Apply `f` to every (index, chunk) pair across the pool.
         pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
             let start = self.start;
             let indexed: Vec<(usize, &mut [T])> = self
@@ -180,9 +511,12 @@ pub mod slice {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::run_parallel;
+    use super::{run_parallel, scope};
     use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
+
+    use super::ThreadCountGuard;
 
     #[test]
     fn par_chunks_mut_processes_every_chunk() {
@@ -214,9 +548,9 @@ mod tests {
 
     #[test]
     fn work_actually_crosses_threads() {
-        // Force 4 workers regardless of the host's core count; scoped threads are real
-        // OS threads, so with >= 2 chunks at least 2 distinct thread ids must appear
-        // (every worker pops at least its first item before the queue can drain).
+        // Force 4 threads regardless of the host's core count; pool workers are real
+        // OS threads, so with sleeping items at least 2 distinct thread ids appear.
+        let _guard = ThreadCountGuard::set(4);
         let seen = Mutex::new(HashSet::new());
         let items: Vec<usize> = (0..64).collect();
         run_parallel(items, 4, |_| {
@@ -236,5 +570,108 @@ mod tests {
         let seen = seen.into_inner().unwrap();
         assert_eq!(seen.len(), 1);
         assert!(seen.contains(&caller));
+    }
+
+    #[test]
+    fn pool_workers_persist_across_regions() {
+        let _guard = ThreadCountGuard::set(3);
+        let round = |seen: &Mutex<HashSet<std::thread::ThreadId>>| {
+            run_parallel((0..32).collect::<Vec<usize>>(), 3, |_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        };
+        let first = Mutex::new(HashSet::new());
+        round(&first);
+        let second = Mutex::new(HashSet::new());
+        round(&second);
+        let first = first.into_inner().unwrap();
+        let second = second.into_inner().unwrap();
+        // The pool keeps its workers: the second region re-uses thread ids from the
+        // first instead of spawning a fresh set (the caller id is shared by design;
+        // require at least one *worker* id to repeat).
+        let caller = std::thread::current().id();
+        let repeated = first.intersection(&second).filter(|&&id| id != caller).count();
+        assert!(repeated >= 1, "expected persistent worker threads across regions");
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_and_blocks_until_done() {
+        let _guard = ThreadCountGuard::set(4);
+        let counter = AtomicUsize::new(0);
+        let data: Vec<usize> = (0..100).collect();
+        scope(|s| {
+            for &x in &data {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(x, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn scope_spawn_inline_when_single_threaded() {
+        let _guard = ThreadCountGuard::set(1);
+        let caller = std::thread::current().id();
+        let mut order = Vec::new();
+        {
+            let order = Mutex::new(&mut order);
+            scope(|s| {
+                for i in 0..4 {
+                    let order = &order;
+                    s.spawn(move || {
+                        assert_eq!(std::thread::current().id(), caller);
+                        order.lock().unwrap().push(i);
+                    });
+                }
+            });
+        }
+        // Inline execution preserves spawn order exactly.
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_propagates_task_panics() {
+        let _guard = ThreadCountGuard::set(4);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(|s| {
+                for i in 0..8 {
+                    let completed = &completed;
+                    s.spawn(move || {
+                        if i == 3 {
+                            panic!("task panic");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the scope boundary");
+        // Every non-panicking task still ran to completion before the panic surfaced.
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn nested_scopes_make_progress() {
+        let _guard = ThreadCountGuard::set(3);
+        let total = AtomicUsize::new(0);
+        scope(|outer| {
+            for _ in 0..4 {
+                let total = &total;
+                outer.spawn(move || {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
     }
 }
