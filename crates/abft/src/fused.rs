@@ -29,19 +29,48 @@
 use crate::checksum::{
     encode_block_slices, verify_and_correct_slices, BlockChecksums, ChecksumScheme, VerifyOutcome,
 };
+use crate::inject::{inject_fault_slices, InjectedFault};
 use bsr_linalg::matrix::Block;
 use bsr_linalg::task::TrailingHook;
+use hetero_sim::sdc::ErrorPattern;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// One fault scheduled for injection into a specific trailing tile, struck *between*
+/// that tile's checksum encoding and its verification — the window where a silent
+/// data corruption of the update lands in the paper's model, and exactly what the
+/// active scheme must detect and repair.
+///
+/// `row` / `col` name the tile by its global top-left coordinates (the `b × b` grid
+/// the hook tiles each column group into). `seed` is the private RNG stream driving
+/// the in-tile randomness (position, magnitude), pre-drawn by the planner so the
+/// injected bits are identical no matter which pool thread runs the tile's task.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedFault {
+    /// Global top row of the target tile.
+    pub row: usize,
+    /// Global left column of the target tile.
+    pub col: usize,
+    /// Error propagation pattern to inject.
+    pub pattern: ErrorPattern,
+    /// Seed of the fault's private injection RNG.
+    pub seed: u64,
+}
+
 /// A [`TrailingHook`] that re-encodes and verifies (correcting where the scheme
 /// allows) every `tile_rows`-tall tile of each updated tile column group, inside the
-/// task that produced it.
+/// task that produced it. Optionally injects [`PlannedFault`]s into their target
+/// tiles between encode and verify, exercising the full detect/correct pipeline on
+/// the parallel schedule.
 pub struct FusedTileChecksums {
     scheme: ChecksumScheme,
     tile_rows: usize,
+    faults: Vec<PlannedFault>,
     tally: Mutex<VerifyOutcome>,
+    injected: Mutex<Vec<InjectedFault>>,
     /// Checksum nanoseconds summed across tasks (CPU time, not wall time: concurrent
     /// tasks overlap).
     checksum_nanos: AtomicU64,
@@ -51,11 +80,21 @@ impl FusedTileChecksums {
     /// Protect with `scheme`, tiling each column group into `tile_rows`-tall tiles
     /// (normally the factorization's block size).
     pub fn new(scheme: ChecksumScheme, tile_rows: usize) -> Self {
+        Self::with_faults(scheme, tile_rows, Vec::new())
+    }
+
+    /// [`FusedTileChecksums::new`] plus a fault-injection plan: each fault strikes
+    /// its target tile after the tile's checksums are encoded and before they are
+    /// verified. With `scheme == ChecksumScheme::None` the faults are still
+    /// injected — they just go uncorrected (the unprotected baseline).
+    pub fn with_faults(scheme: ChecksumScheme, tile_rows: usize, faults: Vec<PlannedFault>) -> Self {
         assert!(tile_rows > 0, "tile height must be positive");
         Self {
             scheme,
             tile_rows,
+            faults,
             tally: Mutex::new(VerifyOutcome::default()),
+            injected: Mutex::new(Vec::new()),
             checksum_nanos: AtomicU64::new(0),
         }
     }
@@ -63,6 +102,17 @@ impl FusedTileChecksums {
     /// Merged verification outcome across all tasks so far.
     pub fn outcome(&self) -> VerifyOutcome {
         self.tally.lock().unwrap().clone()
+    }
+
+    /// Number of planned faults injected so far.
+    pub fn faults_injected(&self) -> usize {
+        self.injected.lock().unwrap().len()
+    }
+
+    /// Descriptions of the faults injected so far (order follows task completion, so
+    /// it varies with the schedule; the contents do not).
+    pub fn injected(&self) -> Vec<InjectedFault> {
+        self.injected.lock().unwrap().clone()
     }
 
     /// Checksum seconds summed across all tasks (CPU-summed: on one thread this equals
@@ -77,24 +127,49 @@ impl TrailingHook for FusedTileChecksums {
         if cols.is_empty() || cols[0].is_empty() {
             return;
         }
-        let t0 = Instant::now();
+        if self.scheme == ChecksumScheme::None && self.faults.is_empty() {
+            return;
+        }
         let height = cols[0].len();
         let width = cols.len();
         let mut out = VerifyOutcome::default();
+        let mut struck = Vec::new();
+        // Only the encode and verify segments are charged as checksum time: fault
+        // injection is simulated corruption, not ABFT work, so an unprotected
+        // (`None`) run with planned faults reports exactly zero checksum cost.
+        let mut nanos = 0u64;
         let mut r = 0;
         while r < height {
             let rows = self.tile_rows.min(height - r);
-            let cs: BlockChecksums = {
+            let tile_row = row0 + r;
+            let cs: Option<BlockChecksums> = if self.scheme == ChecksumScheme::None {
+                None
+            } else {
+                let t0 = Instant::now();
                 let views: Vec<&[f64]> = cols.iter().map(|c| &c[r..r + rows]).collect();
-                encode_block_slices(&views, Block::new(row0 + r, col0, rows, width), self.scheme)
+                let cs =
+                    encode_block_slices(&views, Block::new(tile_row, col0, rows, width), self.scheme);
+                nanos += t0.elapsed().as_nanos() as u64;
+                Some(cs)
             };
             let mut tile: Vec<&mut [f64]> = cols.iter_mut().map(|c| &mut c[r..r + rows]).collect();
-            out.merge(&verify_and_correct_slices(&mut tile, &cs));
+            // Planned faults strike this tile now — after encode, before verify.
+            for fault in self.faults.iter().filter(|f| f.row == tile_row && f.col == col0) {
+                let mut rng = ChaCha8Rng::seed_from_u64(fault.seed);
+                struck.push(inject_fault_slices(&mut tile, tile_row, col0, fault.pattern, &mut rng));
+            }
+            if let Some(cs) = cs {
+                let t0 = Instant::now();
+                out.merge(&verify_and_correct_slices(&mut tile, &cs));
+                nanos += t0.elapsed().as_nanos() as u64;
+            }
             r += rows;
         }
         self.tally.lock().unwrap().merge(&out);
-        self.checksum_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if !struck.is_empty() {
+            self.injected.lock().unwrap().extend(struck);
+        }
+        self.checksum_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 }
 

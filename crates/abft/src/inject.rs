@@ -25,12 +25,12 @@ pub struct InjectedFault {
     pub elements: usize,
 }
 
-fn corrupt<R: Rng + ?Sized>(m: &mut Matrix, i: usize, j: usize, rng: &mut R) {
-    let v = m.get(i, j);
+fn corrupt<R: Rng + ?Sized>(cols: &mut [&mut [f64]], i: usize, j: usize, rng: &mut R) {
+    let v = cols[j][i];
     // Significant corruption: scale change plus offset, mimicking a high-order bit flip.
     let factor: f64 = rng.gen_range(2.0..16.0);
     let offset: f64 = rng.gen_range(0.5..2.0);
-    m.set(i, j, v * factor + offset);
+    cols[j][i] = v * factor + offset;
 }
 
 /// Inject one fault of `pattern` into `block` of `m`. Returns its description.
@@ -40,51 +40,79 @@ pub fn inject_fault<R: Rng + ?Sized>(
     pattern: ErrorPattern,
     rng: &mut R,
 ) -> InjectedFault {
-    assert!(!block.is_empty(), "cannot inject into an empty block");
-    let i = block.row + rng.gen_range(0..block.rows);
-    let j = block.col + rng.gen_range(0..block.cols);
+    let mut cols: Vec<&mut [f64]> = m.cols_range_mut(block).map(|(_, s)| s).collect();
+    inject_fault_slices(&mut cols, block.row, block.col, pattern, rng)
+}
+
+/// [`inject_fault`] over a tile given as per-column mutable slices (`cols[j][i]` is
+/// tile element `(i, j)`), the form the fused checksum hook owns from inside a
+/// trailing-update task. `origin_row` / `origin_col` are the global coordinates of
+/// `cols[0][0]`, used only to report the fault's position. Consumes the RNG in the
+/// exact same sequence as [`inject_fault`] on the equivalent [`Block`].
+pub fn inject_fault_slices<R: Rng + ?Sized>(
+    cols: &mut [&mut [f64]],
+    origin_row: usize,
+    origin_col: usize,
+    pattern: ErrorPattern,
+    rng: &mut R,
+) -> InjectedFault {
+    let ncols = cols.len();
+    let nrows = cols.first().map_or(0, |c| c.len());
+    assert!(nrows > 0 && ncols > 0, "cannot inject into an empty tile");
+    let i = rng.gen_range(0..nrows);
+    let j = rng.gen_range(0..ncols);
     match pattern {
         ErrorPattern::ZeroD => {
-            corrupt(m, i, j, rng);
-            InjectedFault { pattern, row: i, col: j, elements: 1 }
+            corrupt(cols, i, j, rng);
+            InjectedFault { pattern, row: origin_row + i, col: origin_col + j, elements: 1 }
         }
         ErrorPattern::OneD => {
-            // Corrupt (part of) a row or a column, chosen at random.
-            let along_row = rng.gen_bool(0.5);
+            // Corrupt (part of) a row or a column, chosen at random; degenerate tiles
+            // (a single row or column) fall back to whichever direction has room.
+            let mut along_row = rng.gen_bool(0.5);
+            if ncols < 2 {
+                along_row = false;
+            }
+            if nrows < 2 {
+                along_row = true;
+            }
             let mut count = 0;
-            if along_row {
-                let len = rng.gen_range(2..=block.cols);
+            if along_row && ncols >= 2 {
+                let len = rng.gen_range(2..=ncols);
                 for jj in 0..len {
-                    corrupt(m, i, block.col + jj, rng);
+                    corrupt(cols, i, jj, rng);
+                    count += 1;
+                }
+            } else if !along_row && nrows >= 2 {
+                let len = rng.gen_range(2..=nrows);
+                for ii in 0..len {
+                    corrupt(cols, ii, j, rng);
                     count += 1;
                 }
             } else {
-                let len = rng.gen_range(2..=block.rows);
-                for ii in 0..len {
-                    corrupt(m, block.row + ii, j, rng);
-                    count += 1;
-                }
+                // 1 × 1 tile: the pattern degenerates to a single element.
+                corrupt(cols, i, j, rng);
+                count = 1;
             }
-            InjectedFault { pattern, row: i, col: j, elements: count }
+            InjectedFault { pattern, row: origin_row + i, col: origin_col + j, elements: count }
         }
         ErrorPattern::TwoD => {
             // Corrupt a small scattered set spanning at least two rows and two columns.
             let mut count = 0;
-            let rows = [
-                block.row + rng.gen_range(0..block.rows),
-                block.row + rng.gen_range(0..block.rows),
-            ];
-            let cols = [
-                block.col + rng.gen_range(0..block.cols),
-                block.col + rng.gen_range(0..block.cols),
-            ];
+            let rows = [rng.gen_range(0..nrows), rng.gen_range(0..nrows)];
+            let jcols = [rng.gen_range(0..ncols), rng.gen_range(0..ncols)];
             for &ri in &rows {
-                for &cj in &cols {
-                    corrupt(m, ri, cj, rng);
+                for &cj in &jcols {
+                    corrupt(cols, ri, cj, rng);
                     count += 1;
                 }
             }
-            InjectedFault { pattern, row: rows[0], col: cols[0], elements: count }
+            InjectedFault {
+                pattern,
+                row: origin_row + rows[0],
+                col: origin_col + jcols[0],
+                elements: count,
+            }
         }
     }
 }

@@ -35,5 +35,5 @@ pub mod overhead;
 
 pub use adaptive::{abft_oc, AbftDecision, AbftRequest};
 pub use checksum::{ChecksumScheme, VerifyOutcome};
-pub use fused::FusedTileChecksums;
+pub use fused::{FusedTileChecksums, PlannedFault};
 pub use coverage::{fc_full, fc_single, FULL_COVERAGE_THRESHOLD};

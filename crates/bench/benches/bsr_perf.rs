@@ -1,0 +1,292 @@
+//! `bsr_perf` — measured end-to-end baseline of the plan-driven numeric BSR engine.
+//!
+//! Where `facto_perf` measures the raw factorization kernels, this harness measures the
+//! *whole protocol stack*: `run_numeric` plans every iteration from the `bsr-sched`
+//! predictor (fed with **measured** durations — the paper's feedback loop), executes the
+//! trailing updates as the tiled task graph with `FusedTileChecksums` riding the tasks,
+//! and charges the measured per-device times to the `hetero-sim` timeline.
+//!
+//! Two sweeps, each at `RAYON_NUM_THREADS ∈ {1, 2, 4, host}`:
+//!
+//! * **strategies** — Original / R2H / SR / BSR(r=0.25) × Cholesky / LU / QR with
+//!   adaptive ABFT: measured makespan (median over repetitions) vs the analytic-model
+//!   makespan under the same plans, plus the predictor's relative error against the
+//!   measured update durations and the analytic model's error on the same iterations
+//!   (the gap is what the measured feedback buys);
+//! * **abft** — BSR(r=0.25) × the three forced checksum schemes: the measured fused
+//!   checksum fraction of the update stream (the real cost of per-iteration
+//!   encode + verify, the counterpart of the paper's Table 2 ratios).
+//!
+//! Results go to stdout and to `BENCH_bsr.json` at the workspace root. Environment:
+//! * `BSR_PERF_SMOKE=1` — tiny size + single repetition for CI smoke runs; writes to
+//!   `target/BENCH_bsr.smoke.json` so the recorded trajectory is not clobbered;
+//! * `BSR_PERF_OUT=<path>` — override the output path.
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_core::config::{AbftMode, RunConfig};
+use bsr_core::numeric::{run_numeric, NumericRunReport};
+use bsr_linalg::blas3::simd_backend;
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+use rayon::ThreadCountGuard;
+
+fn strategies() -> [Strategy; 4] {
+    [
+        Strategy::Original,
+        Strategy::RaceToHalt,
+        Strategy::SlackReclamation,
+        Strategy::Bsr(BsrConfig::with_ratio(0.25)),
+    ]
+}
+
+/// One measured (strategy, decomposition, threads) cell.
+struct StrategyRow {
+    strategy: String,
+    facto: &'static str,
+    threads: usize,
+    measured_makespan_s: f64,
+    analytic_makespan_s: f64,
+    predictor_rel_err: f64,
+    analytic_rel_err: f64,
+    checksum_fraction: f64,
+    faults_injected: usize,
+    correct: bool,
+    samples: usize,
+}
+
+/// One measured (scheme, decomposition, threads) ABFT-cost cell.
+struct AbftRow {
+    scheme: &'static str,
+    facto: &'static str,
+    threads: usize,
+    measured_makespan_s: f64,
+    checksum_cpu_s: f64,
+    checksum_fraction: f64,
+    samples: usize,
+}
+
+fn facto_label(dec: Decomposition) -> &'static str {
+    match dec {
+        Decomposition::Cholesky => "cholesky",
+        Decomposition::Lu => "lu",
+        Decomposition::Qr => "qr",
+    }
+}
+
+/// Run `cfg` `reps` times and return the run with the median measured makespan.
+fn median_run(cfg: &RunConfig, reps: usize) -> NumericRunReport {
+    let mut runs: Vec<NumericRunReport> =
+        (0..reps).map(|_| run_numeric(cfg.clone()).expect("numeric run must not abort")).collect();
+    runs.sort_by(|a, b| a.measured_makespan_s().total_cmp(&b.measured_makespan_s()));
+    runs.swap_remove(runs.len() / 2)
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BSR_PERF_SMOKE").is_ok();
+    let (n, block, reps) = if smoke { (96, 16, 1) } else { (256, 32, 5) };
+    let host_cores = rayon::current_num_threads();
+    let mut sweep_threads: Vec<usize> = vec![1, 2, 4];
+    if !sweep_threads.contains(&host_cores) {
+        sweep_threads.push(host_cores);
+    }
+
+    // ---- strategy sweep (adaptive ABFT, measured feedback on) -------------------------
+    let mut rows: Vec<StrategyRow> = Vec::new();
+    for dec in Decomposition::ALL {
+        for strategy in strategies() {
+            for &threads in &sweep_threads {
+                let _guard = ThreadCountGuard::set(threads);
+                let cfg = RunConfig::small(dec, n, block, strategy);
+                let out = median_run(&cfg, reps);
+                assert!(out.numerically_correct || out.faults_injected > 0);
+                rows.push(StrategyRow {
+                    strategy: strategy.label(),
+                    facto: facto_label(dec),
+                    threads,
+                    measured_makespan_s: out.measured_makespan_s(),
+                    analytic_makespan_s: out.report.total_time_s,
+                    predictor_rel_err: out.mean_predictor_error().unwrap_or(f64::NAN),
+                    analytic_rel_err: out.mean_analytic_error().unwrap_or(f64::NAN),
+                    checksum_fraction: out.measured_checksum_fraction(),
+                    faults_injected: out.faults_injected,
+                    correct: out.numerically_correct,
+                    samples: reps,
+                });
+            }
+        }
+    }
+
+    // ---- forced-scheme ABFT cost sweep (the measured Table 2 counterpart) -------------
+    let schemes = [
+        ("none", ChecksumScheme::None),
+        ("single_side", ChecksumScheme::SingleSide),
+        ("full", ChecksumScheme::Full),
+    ];
+    let mut abft_rows: Vec<AbftRow> = Vec::new();
+    for dec in Decomposition::ALL {
+        for (label, scheme) in schemes {
+            for &threads in &sweep_threads {
+                let _guard = ThreadCountGuard::set(threads);
+                let cfg = RunConfig::small(dec, n, block, Strategy::Bsr(BsrConfig::with_ratio(0.25)))
+                    .with_abft_mode(AbftMode::Forced(scheme))
+                    .with_fault_injection(false);
+                let out = median_run(&cfg, reps);
+                abft_rows.push(AbftRow {
+                    scheme: label,
+                    facto: facto_label(dec),
+                    threads,
+                    measured_makespan_s: out.measured_makespan_s(),
+                    checksum_cpu_s: out.checksum_cpu_s,
+                    checksum_fraction: out.measured_checksum_fraction(),
+                    samples: reps,
+                });
+            }
+        }
+    }
+
+    // ---- summary ----------------------------------------------------------------------
+    println!("\nbsr_perf summary (n = {n}, block = {block}, {} iterations):", n.div_ceil(block));
+    println!("  simd backend: {}", simd_backend());
+    println!("  host cores:   {host_cores}");
+    println!("  strategy sweep (measured makespan, predictor vs analytic rel. error):");
+    for dec in Decomposition::ALL {
+        let facto = facto_label(dec);
+        for strategy in strategies() {
+            let label = strategy.label();
+            let mut parts = Vec::new();
+            for &t in &sweep_threads {
+                if let Some(r) = rows
+                    .iter()
+                    .find(|r| r.facto == facto && r.strategy == label && r.threads == t)
+                {
+                    parts.push(format!("t{t} {:.1}ms", r.measured_makespan_s * 1e3));
+                }
+            }
+            if let Some(r) = rows.iter().find(|r| r.facto == facto && r.strategy == label) {
+                println!(
+                    "  {facto:>8} {label:<12} {} | pred err {:.2} vs analytic {:.2}",
+                    parts.join(" | "),
+                    r.predictor_rel_err,
+                    r.analytic_rel_err
+                );
+            }
+        }
+    }
+    println!("  abft cost sweep (fused checksum fraction of the update stream, t1):");
+    for dec in Decomposition::ALL {
+        let facto = facto_label(dec);
+        let mut parts = Vec::new();
+        for (label, _) in schemes {
+            if let Some(r) = abft_rows
+                .iter()
+                .find(|r| r.facto == facto && r.scheme == label && r.threads == 1)
+            {
+                parts.push(format!("{label} {:.1}%", 100.0 * r.checksum_fraction));
+            }
+        }
+        println!("  {facto:>8} {}", parts.join(" | "));
+    }
+
+    // ---- JSON emission ----------------------------------------------------------------
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let default_out = if smoke {
+        root.join("target/BENCH_bsr.smoke.json")
+    } else {
+        root.join("BENCH_bsr.json")
+    };
+    let out_path = std::env::var("BSR_PERF_OUT")
+        .unwrap_or_else(|_| default_out.to_string_lossy().into_owned());
+
+    // All interpolated strings are code-controlled identifiers, so no escaping is needed.
+    let strategy_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"strategy\":\"{}\",\"facto\":\"{}\",\"threads\":{},\"measured_makespan_s\":{:.6e},\"analytic_makespan_s\":{:.6e},\"predictor_rel_err\":{},\"analytic_rel_err\":{},\"checksum_fraction\":{:.4},\"faults_injected\":{},\"correct\":{},\"samples\":{}}}",
+                r.strategy,
+                r.facto,
+                r.threads,
+                r.measured_makespan_s,
+                r.analytic_makespan_s,
+                json_num(r.predictor_rel_err),
+                json_num(r.analytic_rel_err),
+                r.checksum_fraction,
+                r.faults_injected,
+                r.correct,
+                r.samples
+            )
+        })
+        .collect();
+    let abft_json: Vec<String> = abft_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scheme\":\"{}\",\"facto\":\"{}\",\"threads\":{},\"measured_makespan_s\":{:.6e},\"checksum_cpu_s\":{:.6e},\"checksum_fraction\":{:.4},\"samples\":{}}}",
+                r.scheme, r.facto, r.threads, r.measured_makespan_s, r.checksum_cpu_s,
+                r.checksum_fraction, r.samples
+            )
+        })
+        .collect();
+    // Derived: per-strategy mean predictor error (threads = 1 cells) and the measured
+    // vs analytic makespan ratio per (strategy, facto) at one thread — the headline
+    // "the model is not the hardware" numbers.
+    let mut derived: Vec<String> = Vec::new();
+    for strategy in strategies() {
+        let label = strategy.label();
+        let cells: Vec<&StrategyRow> = rows
+            .iter()
+            .filter(|r| r.strategy == label && r.threads == 1 && r.predictor_rel_err.is_finite())
+            .collect();
+        // NaN (→ null in the JSON) when no cell produced a prediction, not a fake 0.
+        let mean = if cells.is_empty() {
+            f64::NAN
+        } else {
+            cells.iter().map(|r| r.predictor_rel_err).sum::<f64>() / cells.len() as f64
+        };
+        derived.push(format!(
+            "    \"{}_mean_predictor_rel_err_t1\": {}",
+            label.replace(['(', ')', '=', '.'], "_"),
+            json_num(mean)
+        ));
+    }
+    for dec in Decomposition::ALL {
+        let facto = facto_label(dec);
+        if let Some(r) = rows
+            .iter()
+            .find(|r| r.facto == facto && r.strategy == "Original" && r.threads == 1)
+        {
+            derived.push(format!(
+                "    \"{facto}_measured_vs_analytic_makespan_t1\": {}",
+                json_num(r.measured_makespan_s / r.analytic_makespan_s)
+            ));
+        }
+    }
+    let sweep_list = sweep_threads
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"bsr_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"thread_sweep\": [{sweep_list}],\n  \"simd_backend\": \"{}\",\n  \"n\": {n},\n  \"block\": {block},\n  \"strategies\": [\n{}\n  ],\n  \"abft\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        simd_backend(),
+        strategy_json.join(",\n"),
+        abft_json.join(",\n"),
+        derived.join(",\n")
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("bsr_perf: failed to write {out_path}: {e}"),
+    }
+}

@@ -29,6 +29,43 @@ use hetero_sim::throughput::{KernelClass, Precision};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Measured wall-clock durations of one numeric-mode iteration, fed back into the
+/// slack predictor in place of the analytic estimates (the measured-time feedback
+/// loop of the paper — see [`AnalyticDriver::finish_step`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedDurations {
+    /// Measured duration of the lookahead panel factorization (panel `k + 1`).
+    pub pd_s: f64,
+    /// Measured wall-clock duration of the trailing-update task region (panel update
+    /// + trailing update + fused checksum work).
+    pub update_s: f64,
+}
+
+/// An iteration that has been planned and simulated by [`AnalyticDriver::begin_step`]
+/// but not yet committed to the predictor and the trace log by
+/// [`AnalyticDriver::finish_step`]. The numeric engine executes the real tiled
+/// iteration in between, reading the plan and the sampled SDC events from here.
+pub struct PendingStep {
+    trace: IterationTrace,
+    preds: Option<TaskPredictions>,
+    cpu_norm: f64,
+    gpu_norm: f64,
+}
+
+impl PendingStep {
+    /// The fully simulated trace of the pending iteration (plan frequencies, ABFT
+    /// scheme, analytic timing/energy, sampled SDC events).
+    pub fn trace(&self) -> &IterationTrace {
+        &self.trace
+    }
+
+    /// The task predictions the iteration's plan was derived from (`None` for the
+    /// profiling iteration).
+    pub fn predictions(&self) -> Option<TaskPredictions> {
+        self.preds
+    }
+}
+
 /// Analytic-mode hybrid factorization driver.
 pub struct AnalyticDriver {
     cfg: RunConfig,
@@ -72,8 +109,10 @@ impl AnalyticDriver {
         }
     }
 
-    /// Plan the upcoming iteration from the predictor state (base-frequency predictions).
-    fn plan(&self, k: usize) -> IterationPlan {
+    /// Plan the upcoming iteration from the predictor state (base-frequency
+    /// predictions). Returns the plan together with the [`TaskPredictions`] it was
+    /// derived from (`None` for the profiling iteration, which runs at base clocks).
+    fn plan(&self, k: usize) -> (IterationPlan, Option<TaskPredictions>) {
         let preds = TaskPredictions::from_predictor(self.predictor.as_ref(), k);
         let protected =
             num_protected_blocks(self.cfg.workload.n, self.cfg.workload.block);
@@ -82,13 +121,16 @@ impl AnalyticDriver {
             AbftMode::Forced(scheme) => Some(scheme),
         };
         match preds {
-            Some(p) if k > 0 => plan_iteration_with_override(
-                self.cfg.strategy,
-                p,
-                &self.platform.cpu,
-                &self.platform.gpu,
-                protected,
-                override_scheme,
+            Some(p) if k > 0 => (
+                plan_iteration_with_override(
+                    self.cfg.strategy,
+                    p,
+                    &self.platform.cpu,
+                    &self.platform.gpu,
+                    protected,
+                    override_scheme,
+                ),
+                Some(p),
             ),
             _ => {
                 // Profiling iteration (or missing data): run at base clocks. BSR already
@@ -98,18 +140,21 @@ impl AnalyticDriver {
                 } else {
                     Guardband::Default
                 };
-                IterationPlan {
-                    cpu_freq: self.platform.cpu.base_freq,
-                    gpu_freq: self.platform.gpu.base_freq,
-                    adjust_cpu: true,
-                    adjust_gpu: true,
-                    cpu_guardband: gb,
-                    gpu_guardband: gb,
-                    abft: override_scheme.unwrap_or(ChecksumScheme::None),
-                    halt_during_slack: matches!(self.cfg.strategy, Strategy::RaceToHalt),
-                    predicted_slack_s: 0.0,
-                    coverage: 1.0,
-                }
+                (
+                    IterationPlan {
+                        cpu_freq: self.platform.cpu.base_freq,
+                        gpu_freq: self.platform.gpu.base_freq,
+                        adjust_cpu: true,
+                        adjust_gpu: true,
+                        cpu_guardband: gb,
+                        gpu_guardband: gb,
+                        abft: override_scheme.unwrap_or(ChecksumScheme::None),
+                        halt_during_slack: matches!(self.cfg.strategy, Strategy::RaceToHalt),
+                        predicted_slack_s: 0.0,
+                        coverage: 1.0,
+                    },
+                    None,
+                )
             }
         }
     }
@@ -117,7 +162,19 @@ impl AnalyticDriver {
     /// Execute one iteration: apply the plan, synthesize task times, account energy,
     /// sample SDC events, update the predictor, and return the trace.
     pub fn step(&mut self, k: usize) -> IterationTrace {
-        let plan = self.plan(k);
+        let pending = self.begin_step(k);
+        self.finish_step(pending, None)
+    }
+
+    /// First phase of [`Self::step`]: plan the iteration, apply the plan to the
+    /// platform, synthesize the analytic task times, account energy and sample SDC
+    /// events — everything *except* committing the iteration to the predictor and the
+    /// trace log. The numeric engine runs the real tiled iteration between
+    /// `begin_step` and [`Self::finish_step`], using the pending trace's plan (ABFT
+    /// scheme, frequencies) and sampled SDC events to drive fused checksums and fault
+    /// injection.
+    pub fn begin_step(&mut self, k: usize) -> PendingStep {
+        let (plan, preds) = self.plan(k);
         let w = self.cfg.workload;
         let precision = self.precision();
 
@@ -214,14 +271,6 @@ impl AnalyticDriver {
             }
         }
 
-        // Feed the predictor with measurements normalized back to base frequency.
-        let cpu_norm = self.platform.cpu.current_freq().0 / self.platform.cpu.base_freq.0;
-        let gpu_norm = self.platform.gpu.current_freq().0 / self.platform.gpu.base_freq.0;
-        self.predictor.record(k, Op::PanelDecomposition, pd_s * cpu_norm);
-        self.predictor.record(k, Op::PanelUpdate, pu_s * gpu_norm);
-        self.predictor.record(k, Op::TrailingUpdate, tmu_s * gpu_norm);
-        self.predictor.record(k, Op::Transfer, transfer_s);
-
         let timing = IterationTiming {
             pd_s,
             pu_s,
@@ -245,6 +294,43 @@ impl AnalyticDriver {
             actual_slack_s: actual_slack,
             sdc_events,
         };
+        let cpu_norm = self.platform.cpu.current_freq().0 / self.platform.cpu.base_freq.0;
+        let gpu_norm = self.platform.gpu.current_freq().0 / self.platform.gpu.base_freq.0;
+        PendingStep { trace, preds, cpu_norm, gpu_norm }
+    }
+
+    /// Second phase of [`Self::step`]: feed the predictor and commit the trace.
+    ///
+    /// With `observed == None` the predictor receives the *analytic* task times
+    /// normalized back to base frequency (the pure simulation path — this is exactly
+    /// what [`Self::step`] does). With `observed == Some(..)` it receives the measured
+    /// wall-clock durations of the real iteration instead — the paper's feedback loop:
+    /// subsequent plans react to how the hardware actually performed, not to the
+    /// model. Measured times are recorded unnormalized (the host does not change
+    /// clocks when the *simulated* devices do), with the whole measured update charged
+    /// to the trailing update and the panel-update share left at zero.
+    pub fn finish_step(
+        &mut self,
+        pending: PendingStep,
+        observed: Option<&ObservedDurations>,
+    ) -> IterationTrace {
+        let PendingStep { trace, preds: _, cpu_norm, gpu_norm } = pending;
+        let k = trace.k;
+        match observed {
+            None => {
+                let t = &trace.timing;
+                self.predictor.record(k, Op::PanelDecomposition, t.pd_s * cpu_norm);
+                self.predictor.record(k, Op::PanelUpdate, t.pu_s * gpu_norm);
+                self.predictor.record(k, Op::TrailingUpdate, t.tmu_s * gpu_norm);
+                self.predictor.record(k, Op::Transfer, t.transfer_s);
+            }
+            Some(obs) => {
+                self.predictor.record(k, Op::PanelDecomposition, obs.pd_s);
+                self.predictor.record(k, Op::PanelUpdate, 0.0);
+                self.predictor.record(k, Op::TrailingUpdate, obs.update_s);
+                self.predictor.record(k, Op::Transfer, trace.timing.transfer_s);
+            }
+        }
         self.traces.push(trace.clone());
         trace
     }

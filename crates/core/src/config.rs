@@ -44,6 +44,12 @@ pub struct RunConfig {
     pub inject_faults: bool,
     /// How the per-iteration ABFT scheme is chosen.
     pub abft_mode: AbftMode,
+    /// Whether numeric-mode runs feed *measured* task durations back into the slack
+    /// predictor (the paper's feedback loop: plans react to real execution). When
+    /// disabled, the predictor sees the analytic estimates instead, making numeric
+    /// plans — and therefore SDC sampling — bit-reproducible across hosts and thread
+    /// counts. Ignored by purely analytic runs. Defaults to `true`.
+    pub measured_feedback: bool,
 }
 
 impl RunConfig {
@@ -58,6 +64,7 @@ impl RunConfig {
             seed: 0x5eed,
             inject_faults: true,
             abft_mode: AbftMode::Adaptive,
+            measured_feedback: true,
         }
     }
 
@@ -71,7 +78,14 @@ impl RunConfig {
             seed: 0x5eed,
             inject_faults: true,
             abft_mode: AbftMode::Adaptive,
+            measured_feedback: true,
         }
+    }
+
+    /// Builder-style: enable/disable measured-time predictor feedback in numeric runs.
+    pub fn with_measured_feedback(mut self, feedback: bool) -> Self {
+        self.measured_feedback = feedback;
+        self
     }
 
     /// Builder-style: force or un-force the ABFT scheme.

@@ -41,16 +41,22 @@ pub mod reliability;
 pub mod report;
 pub mod trace;
 
-pub use analytic::AnalyticDriver;
+pub use analytic::{AnalyticDriver, ObservedDurations, PendingStep};
 pub use config::{AbftMode, PredictorKind, RunConfig};
-pub use numeric::{run_numeric, run_numeric_on, NumericRunReport};
+pub use numeric::{
+    run_numeric, run_numeric_on, MeasuredIteration, NumericError, NumericFactors,
+    NumericRunReport,
+};
 pub use report::{compare, Comparison, RunReport};
 
 /// Convenient re-exports for applications using the framework.
 pub mod prelude {
     pub use crate::analytic::run;
     pub use crate::config::{AbftMode, PredictorKind, RunConfig};
-    pub use crate::numeric::{run_numeric, NumericRunReport};
+    pub use crate::numeric::{
+        run_numeric, run_numeric_on, MeasuredIteration, NumericError, NumericFactors,
+        NumericRunReport,
+    };
     pub use crate::pareto::{pareto_front, sweep_reclamation_ratio};
     pub use crate::reliability::{estimate_reliability, monte_carlo_reliability};
     pub use crate::report::{compare, format_comparison_table, Comparison, RunReport};

@@ -1,26 +1,47 @@
-//! Numeric-mode driver: real factorizations with fault injection and ABFT correction.
+//! Numeric-mode driver: real tiled factorizations with measured-time feedback, fused
+//! ABFT and fault injection.
 //!
 //! At paper scale the timing/energy questions are answered analytically, but the
 //! *reliability* claims of ABFT-OC (errors are detected and corrected, the factorization
 //! result stays numerically correct) deserve an end-to-end demonstration on real data.
-//! The numeric driver runs the actual blocked Cholesky / LU / QR kernels from
-//! `bsr-linalg`, reuses the [`AnalyticDriver`] for planning/timing/energy, and for every
-//! SDC event the timing simulation samples it injects a matching corruption into the
-//! trailing matrix, then lets the active checksum scheme detect and repair it.
+//! The numeric driver is a **plan-driven tiled execution engine** connecting all five
+//! layers of the workspace, one blocked iteration at a time:
+//!
+//! 1. the iteration's [`IterationPlan`](bsr_sched::strategy::IterationPlan) comes from
+//!    `bsr-sched` via [`AnalyticDriver::begin_step`] (frequencies, guardbands, ABFT
+//!    scheme, sampled SDC events);
+//! 2. the trailing update runs as the per-tile-column task graph of `bsr-linalg`'s
+//!    tiled steppers ([`lu::LuTiledStepper`], [`cholesky::CholeskyTiledStepper`],
+//!    [`qr::QrTiledStepper`]) with one-step panel lookahead on the persistent pool;
+//! 3. checksum maintenance rides those tasks through `bsr-abft`'s
+//!    [`FusedTileChecksums`] — every iteration the active scheme protects pays the
+//!    full encode + verify cost, and each sampled SDC event is injected into its
+//!    target tile *between* encode and verify, the window a real silent corruption of
+//!    the update occupies;
+//! 4. the **measured** wall-clock durations of the panel and update streams are
+//!    charged to a [`Timeline`] (`hetero-sim`) alongside the analytic estimates;
+//! 5. the measured durations are fed back into the slack predictor
+//!    ([`AnalyticDriver::finish_step`]), so SR/R2H/BSR plans react to real execution —
+//!    the paper's feedback loop (disable with
+//!    [`RunConfig::with_measured_feedback`]`(false)` for bit-reproducible plans).
 //!
 //! Intended for moderate sizes (n up to a few thousand); the test-suite and examples use
 //! n in the hundreds.
 
-use crate::analytic::AnalyticDriver;
+use crate::analytic::{AnalyticDriver, ObservedDurations};
 use crate::config::RunConfig;
 use crate::report::RunReport;
-use bsr_abft::checksum::{encode_block, verify_and_correct, ChecksumScheme, VerifyOutcome};
-use bsr_abft::inject::inject_fault;
+use crate::trace::SdcEvent;
+use bsr_abft::checksum::{ChecksumScheme, VerifyOutcome};
+use bsr_abft::fused::{FusedTileChecksums, PlannedFault};
 use bsr_linalg::generate::{random_matrix, random_spd_matrix};
 use bsr_linalg::matrix::{Block, Matrix};
+use bsr_linalg::task::{StepTiming, TrailingHook};
 use bsr_linalg::verify::{cholesky_residual, lu_residual, qr_residual, CORRECTNESS_THRESHOLD};
 use bsr_linalg::{cholesky, lu, qr};
 use bsr_sched::workload::Decomposition;
+use hetero_sim::device::DeviceKind;
+use hetero_sim::timeline::Timeline;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -32,6 +53,16 @@ pub enum NumericError {
     Cholesky(cholesky::CholeskyError),
     /// The LU panel hit an exactly singular column.
     Lu(lu::LuError),
+    /// The input matrix does not match the configured workload (wrong order, or not
+    /// square).
+    ShapeMismatch {
+        /// Rows of the offending input.
+        rows: usize,
+        /// Columns of the offending input.
+        cols: usize,
+        /// The square order the workload expects.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for NumericError {
@@ -39,17 +70,60 @@ impl std::fmt::Display for NumericError {
         match self {
             NumericError::Cholesky(e) => write!(f, "cholesky failed: {e}"),
             NumericError::Lu(e) => write!(f, "lu failed: {e}"),
+            NumericError::ShapeMismatch { rows, cols, expected } => write!(
+                f,
+                "input is {rows}x{cols} but the workload expects a square {expected}x{expected} matrix"
+            ),
         }
     }
 }
 
 impl std::error::Error for NumericError {}
 
-/// Result of a numeric-mode run: the analytic-style report plus numerical evidence.
+/// The factors a numeric-mode run produced.
+#[derive(Debug, Clone)]
+pub enum NumericFactors {
+    /// Cholesky factor storage: the lower triangle holds `L`, the strictly upper
+    /// triangle is the untouched input.
+    Cholesky(Matrix),
+    /// LU factors with pivots.
+    Lu(lu::LuFactors),
+    /// Compact QR factors with Householder scalars.
+    Qr(qr::QrFactors),
+}
+
+/// Measured-vs-modelled record of one numeric iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredIteration {
+    /// Iteration index (0-based).
+    pub k: usize,
+    /// Measured duration of the lookahead panel factorization (panel `k + 1`).
+    pub pd_s: f64,
+    /// Measured wall-clock duration of the trailing-update task region (includes the
+    /// lookahead panel and the fused checksum work).
+    pub update_s: f64,
+    /// Fused checksum seconds of this iteration (CPU-summed across tasks).
+    pub checksum_s: f64,
+    /// The predictor's pre-iteration prediction of the panel duration (`None` for the
+    /// profiling iteration).
+    pub predicted_pd_s: Option<f64>,
+    /// The predictor's pre-iteration prediction of the GPU-stream (update) duration.
+    pub predicted_update_s: Option<f64>,
+    /// The analytic model's estimate of the panel duration on the simulated CPU.
+    pub analytic_pd_s: f64,
+    /// The analytic model's estimate of the GPU-stream duration (PU + TMU + ABFT).
+    pub analytic_update_s: f64,
+}
+
+/// Result of a numeric-mode run: the analytic-style report plus numerical evidence and
+/// the measured execution record.
 #[derive(Debug, Clone)]
 pub struct NumericRunReport {
-    /// Timing/energy/SDC report (same shape as an analytic run).
+    /// Timing/energy/SDC report (same shape as an analytic run; timing/energy are the
+    /// *analytic* estimates under the plans that actually drove the run).
     pub report: RunReport,
+    /// The factors the run produced.
+    pub factors: NumericFactors,
     /// Relative factorization residual against the original input.
     pub residual: f64,
     /// Aggregated checksum verification outcome over all iterations.
@@ -59,12 +133,120 @@ pub struct NumericRunReport {
     /// Whether the final factorization is numerically correct
     /// (residual below [`CORRECTNESS_THRESHOLD`]).
     pub numerically_correct: bool,
+    /// Measured per-device timeline: panel factorizations on the CPU stream concurrent
+    /// with trailing-update regions on the GPU stream, one barrier per iteration.
+    pub timeline: Timeline,
+    /// Per-iteration measured durations with the matching predictions and analytic
+    /// estimates.
+    pub measured: Vec<MeasuredIteration>,
+    /// Total fused checksum seconds (CPU-summed across tasks; equals the wall-clock
+    /// checksum share on one thread, an upper bound on it when tasks overlap).
+    pub checksum_cpu_s: f64,
 }
 
-enum FactorState {
-    Cholesky,
-    Lu { pivots: Vec<usize> },
-    Qr { taus: Vec<f64> },
+impl NumericRunReport {
+    /// Measured makespan of the run (the two-stream timeline's completion time).
+    pub fn measured_makespan_s(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// Fused checksum share of the measured update stream.
+    pub fn measured_checksum_fraction(&self) -> f64 {
+        let update: f64 = self.measured.iter().map(|m| m.update_s).sum();
+        if update > 0.0 { self.checksum_cpu_s / update } else { 0.0 }
+    }
+
+    /// Mean relative error of the slack predictor's update-stream predictions against
+    /// the *measured* durations, over iterations with both a prediction and real
+    /// trailing work. With measured feedback enabled this is the paper's
+    /// predicted-vs-observed error; `None` when no iteration qualifies.
+    pub fn mean_predictor_error(&self) -> Option<f64> {
+        mean_relative_error(self.qualifying().map(|m| (m.predicted_update_s.unwrap(), m.update_s)))
+    }
+
+    /// Mean relative error of the *analytic model's* update-stream estimates against
+    /// the measured durations, over the same iterations as
+    /// [`Self::mean_predictor_error`] — the baseline a predictor that never observes
+    /// real execution cannot beat.
+    pub fn mean_analytic_error(&self) -> Option<f64> {
+        mean_relative_error(self.qualifying().map(|m| (m.analytic_update_s, m.update_s)))
+    }
+
+    /// Iterations that had a prediction and real trailing work.
+    fn qualifying(&self) -> impl Iterator<Item = &MeasuredIteration> {
+        self.measured.iter().filter(|m| {
+            m.predicted_update_s.is_some() && m.update_s > 0.0 && m.analytic_update_s > 0.0
+        })
+    }
+}
+
+fn mean_relative_error(pairs: impl Iterator<Item = (f64, f64)>) -> Option<f64> {
+    let errors: Vec<f64> = pairs
+        .map(|(predicted, actual)| (predicted - actual).abs() / actual)
+        .collect();
+    if errors.is_empty() {
+        None
+    } else {
+        Some(errors.iter().sum::<f64>() / errors.len() as f64)
+    }
+}
+
+/// The tiled stepper of whichever decomposition the workload runs.
+enum Engine {
+    Cholesky(cholesky::CholeskyTiledStepper),
+    Lu(lu::LuTiledStepper),
+    Qr(qr::QrTiledStepper),
+}
+
+impl Engine {
+    fn new(dec: Decomposition, input: &Matrix, block: usize) -> Result<Self, NumericError> {
+        match dec {
+            Decomposition::Cholesky => cholesky::CholeskyTiledStepper::new(input.clone(), block)
+                .map(Engine::Cholesky)
+                .map_err(NumericError::Cholesky),
+            Decomposition::Lu => lu::LuTiledStepper::new(input, block)
+                .map(Engine::Lu)
+                .map_err(NumericError::Lu),
+            Decomposition::Qr => Ok(Engine::Qr(qr::QrTiledStepper::new(input, block))),
+        }
+    }
+
+    fn prologue_panel_s(&self) -> f64 {
+        match self {
+            Engine::Cholesky(s) => s.prologue_panel_s(),
+            Engine::Lu(s) => s.prologue_panel_s(),
+            Engine::Qr(s) => s.prologue_panel_s(),
+        }
+    }
+
+    fn step(&mut self, k: usize, hook: &dyn TrailingHook) -> Result<StepTiming, NumericError> {
+        match self {
+            Engine::Cholesky(s) => s.step(k, hook).map_err(NumericError::Cholesky),
+            Engine::Lu(s) => s.step(k, hook).map_err(NumericError::Lu),
+            Engine::Qr(s) => Ok(s.step(k, hook)),
+        }
+    }
+
+    /// Package the factors and compute the residual against the original input.
+    fn finish(self, input: &Matrix) -> (NumericFactors, f64) {
+        match self {
+            Engine::Cholesky(s) => {
+                let m = s.into_matrix();
+                let residual = cholesky_residual(input, &m.lower_triangular());
+                (NumericFactors::Cholesky(m), residual)
+            }
+            Engine::Lu(s) => {
+                let f = s.into_factors();
+                let residual = lu_residual(input, &f);
+                (NumericFactors::Lu(f), residual)
+            }
+            Engine::Qr(s) => {
+                let f = s.into_factors();
+                let residual = qr_residual(input, &f);
+                (NumericFactors::Qr(f), residual)
+            }
+        }
+    }
 }
 
 /// Run a numeric-mode factorization for `cfg`, generating a reproducible random input.
@@ -84,6 +266,7 @@ enum FactorState {
 /// let report = run_numeric(cfg).unwrap();
 /// assert!(report.numerically_correct);
 /// assert!(report.residual < 1e-12);
+/// assert!(report.measured_makespan_s() > 0.0);
 /// ```
 pub fn run_numeric(cfg: RunConfig) -> Result<NumericRunReport, NumericError> {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
@@ -96,129 +279,153 @@ pub fn run_numeric(cfg: RunConfig) -> Result<NumericRunReport, NumericError> {
 }
 
 /// Run a numeric-mode factorization of a caller-provided matrix.
+///
+/// Returns [`NumericError::ShapeMismatch`] when `input` is not the square
+/// `n × n` matrix the workload describes.
 pub fn run_numeric_on(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, NumericError> {
-    assert_eq!(input.rows(), cfg.workload.n, "matrix size must match the workload");
-    assert!(input.is_square(), "one-sided decompositions expect a square input");
     let n = cfg.workload.n;
+    if !input.is_square() || input.rows() != n {
+        return Err(NumericError::ShapeMismatch {
+            rows: input.rows(),
+            cols: input.cols(),
+            expected: n,
+        });
+    }
     let b = cfg.workload.block;
-    let decomposition = cfg.workload.decomposition;
+    let dec = cfg.workload.decomposition;
+    let feedback = cfg.measured_feedback;
     let mut inject_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0bad_5eed);
 
     let mut driver = AnalyticDriver::new(cfg.clone());
-    let mut a = input.clone();
-    let mut state = match decomposition {
-        Decomposition::Cholesky => FactorState::Cholesky,
-        Decomposition::Lu => FactorState::Lu { pivots: Vec::with_capacity(n) },
-        Decomposition::Qr => FactorState::Qr { taus: Vec::with_capacity(n) },
-    };
+    let mut engine = Engine::new(dec, input, b)?;
+    let mut timeline = Timeline::new();
+    // Panel 0 is the sequential prologue every hybrid run pays before its first
+    // overlapped iteration: charge it to the CPU stream at the base clock.
+    let cpu_base = driver.platform().cpu.base_freq;
+    timeline.push_task(DeviceKind::Cpu, "PD0", 0, engine.prologue_panel_s(), cpu_base);
+    timeline.sync();
 
     let mut verification = VerifyOutcome::default();
     let mut faults_injected = 0usize;
+    let mut measured = Vec::with_capacity(cfg.workload.iterations());
+    let mut checksum_cpu_s = 0.0;
 
-    let iterations = cfg.workload.iterations();
-    for k in 0..iterations {
-        let trace = driver.step(k);
-        let j0 = k * b;
-        let nb = b.min(n - j0);
-
-        // --- real factorization work of this iteration -------------------------------
-        match &mut state {
-            FactorState::Cholesky => {
-                cholesky::potf2(&mut a, j0, nb).map_err(NumericError::Cholesky)?;
-                cholesky::panel_update(&mut a, j0, nb);
-                cholesky::trailing_update(&mut a, j0, nb);
-            }
-            FactorState::Lu { pivots } => {
-                lu::panel_factor(&mut a, j0, nb, pivots).map_err(NumericError::Lu)?;
-                lu::panel_update(&mut a, j0, nb);
-                lu::trailing_update(&mut a, j0, nb);
-            }
-            FactorState::Qr { taus } => {
-                qr::panel_factor(&mut a, j0, nb, taus);
-                if j0 + nb < n {
-                    let t = qr::form_t(&a, j0, nb, taus);
-                    qr::apply_block_reflector(&mut a, j0, nb, &t, j0 + nb, n);
-                }
-            }
-        }
-
-        // --- fault injection + ABFT detection/correction -----------------------------
-        let region = trailing_region(decomposition, n, j0, nb);
-        if region.is_empty() || trace.sdc_events.is_empty() {
-            continue;
-        }
-        let scheme = trace.abft;
-        let tiles = tile_region(region, b);
-        // Encode checksums of the (clean) updated trailing matrix under the active scheme.
-        let checksums: Vec<_> = if scheme == ChecksumScheme::None {
+    for k in 0..cfg.workload.iterations() {
+        // --- plan the iteration and sample its SDC events -----------------------------
+        let pending = driver.begin_step(k);
+        let scheme = pending.trace().abft;
+        let tiles = protected_tiles(dec, n, b, k);
+        let faults = if tiles.is_empty() {
             Vec::new()
         } else {
-            tiles.iter().map(|&t| encode_block(&a, t, scheme)).collect()
+            plan_faults(&pending.trace().sdc_events, &tiles, &mut inject_rng)
         };
-        // Inject one physical corruption per sampled SDC event, into a random tile.
-        for event in &trace.sdc_events {
-            let tile = tiles[inject_rng.gen_range(0..tiles.len())];
-            inject_fault(&mut a, tile, event.pattern, &mut inject_rng);
-            faults_injected += 1;
-        }
-        // Verify and correct every tile.
-        for cs in &checksums {
-            let out = verify_and_correct(&mut a, cs);
-            verification.merge(&out);
-        }
+
+        // --- execute the real tiled iteration with fused checksums --------------------
+        // The early-out is reserved for unprotected, fault-free iterations: whenever
+        // the active scheme protects the iteration, encode + verify run on every
+        // trailing tile (the per-iteration ABFT cost is paid whether or not a fault
+        // happens to be sampled — faults are rare, the cost is not).
+        let (timing, outcome, iter_checksum_s, injected) =
+            if scheme == ChecksumScheme::None && faults.is_empty() {
+                (engine.step(k, &())?, VerifyOutcome::default(), 0.0, 0)
+            } else {
+                let hook = FusedTileChecksums::with_faults(scheme, b, faults);
+                let timing = engine.step(k, &hook)?;
+                let injected = hook.faults_injected();
+                (timing, hook.outcome(), hook.checksum_seconds(), injected)
+            };
+        verification.merge(&outcome);
+        faults_injected += injected;
+        checksum_cpu_s += iter_checksum_s;
+
+        // --- charge the measured durations to the two-stream timeline -----------------
+        let (cpu_freq, gpu_freq) = (pending.trace().cpu_freq, pending.trace().gpu_freq);
+        timeline.push_task(DeviceKind::Cpu, "PD", k, timing.panel_s, cpu_freq);
+        timeline.push_task(DeviceKind::Gpu, "UPDATE", k, timing.update_s, gpu_freq);
+        timeline.sync();
+
+        // --- commit: feed measured durations back into the predictor ------------------
+        let preds = pending.predictions();
+        let analytic = pending.trace().timing;
+        let observed = ObservedDurations { pd_s: timing.panel_s, update_s: timing.update_s };
+        driver.finish_step(pending, feedback.then_some(&observed));
+        measured.push(MeasuredIteration {
+            k,
+            pd_s: timing.panel_s,
+            update_s: timing.update_s,
+            checksum_s: iter_checksum_s,
+            predicted_pd_s: preds.map(|p| p.cpu_s),
+            predicted_update_s: preds.map(|p| p.gpu_s),
+            analytic_pd_s: analytic.pd_s,
+            analytic_update_s: analytic.pu_s + analytic.tmu_s + analytic.abft_s,
+        });
     }
 
     // --- final numerical verification against the original input ----------------------
-    // The factored matrix and pivot/tau metadata are moved into the factor structs, not
-    // cloned: nothing reads `a` after this point, so packaging costs O(1).
-    let residual = match state {
-        FactorState::Cholesky => cholesky_residual(input, &a.lower_triangular()),
-        FactorState::Lu { pivots } => lu_residual(input, &lu::LuFactors { lu: a, pivots }),
-        FactorState::Qr { taus } => qr_residual(input, &qr::QrFactors { qr: a, taus }),
-    };
-
+    let (factors, residual) = engine.finish(input);
     let report = driver.into_report();
     Ok(NumericRunReport {
         numerically_correct: residual < CORRECTNESS_THRESHOLD,
         report,
+        factors,
         residual,
         verification,
         faults_injected,
+        timeline,
+        measured,
+        checksum_cpu_s,
     })
 }
 
-/// The matrix region updated by the GPU in iteration `k` (where SDCs can land).
-fn trailing_region(dec: Decomposition, n: usize, j0: usize, nb: usize) -> Block {
-    let start = j0 + nb;
+/// The `block × block` tile grid the fused checksum hook protects in iteration `k`:
+/// everything the iteration's *update tasks* write (the GPU-side work the paper's
+/// ABFT-OC must cover). For LU and QR that is rows `[k·block, n)` of the trailing
+/// columns — including the `U12` / `R` band `[k·block, (k+1)·block)`, which becomes
+/// final factor entries this iteration and is never revisited (skipping it would
+/// leave those values permanently unchecked); for Cholesky only the
+/// lower-triangular staircase below the panel (the strictly upper tiles are never
+/// touched by the factorization, and the panel's TRSM is CPU-side panel work).
+pub fn protected_tiles(dec: Decomposition, n: usize, block: usize, k: usize) -> Vec<Block> {
+    let start = (k + 1) * block;
     if start >= n {
-        return Block::new(0, 0, 0, 0);
+        return Vec::new();
     }
-    match dec {
-        // Cholesky / LU update the square trailing matrix.
-        Decomposition::Cholesky | Decomposition::Lu => {
-            Block::new(start, start, n - start, n - start)
-        }
-        // QR's block reflector touches all rows below the panel top, trailing columns.
-        Decomposition::Qr => Block::new(j0, start, n - j0, n - start),
-    }
-}
-
-/// Split a region into `b × b` tiles (partial tiles at the edges), matching the per-block
-/// protection granularity of the checksum schemes.
-fn tile_region(region: Block, b: usize) -> Vec<Block> {
     let mut tiles = Vec::new();
-    let mut r = 0;
-    while r < region.rows {
-        let rows = b.min(region.rows - r);
-        let mut c = 0;
-        while c < region.cols {
-            let cols = b.min(region.cols - c);
-            tiles.push(Block::new(region.row + r, region.col + c, rows, cols));
-            c += cols;
+    let mut c = start;
+    while c < n {
+        let cols = block.min(n - c);
+        let rfrom = match dec {
+            Decomposition::Cholesky => c,
+            Decomposition::Lu | Decomposition::Qr => k * block,
+        };
+        let mut r = rfrom;
+        while r < n {
+            let rows = block.min(n - r);
+            tiles.push(Block::new(r, c, rows, cols));
+            r += rows;
         }
-        r += rows;
+        c += cols;
     }
     tiles
+}
+
+/// Draw the fault-injection plan of one iteration: one [`PlannedFault`] per sampled
+/// SDC event, each targeting a random protected tile, with a pre-drawn private RNG
+/// seed so the injected bits are identical no matter which pool thread executes the
+/// tile's task (or at which thread count the run executes).
+pub fn plan_faults<R: Rng + ?Sized>(
+    events: &[SdcEvent],
+    tiles: &[Block],
+    rng: &mut R,
+) -> Vec<PlannedFault> {
+    events
+        .iter()
+        .map(|event| {
+            let tile = tiles[rng.gen_range(0..tiles.len())];
+            PlannedFault { row: tile.row, col: tile.col, pattern: event.pattern, seed: rng.gen() }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -239,6 +446,8 @@ mod tests {
             assert!(out.numerically_correct, "{dec:?} residual {res}", res = out.residual);
             assert_eq!(out.faults_injected, 0);
             assert_eq!(out.report.iterations.len(), 6);
+            assert_eq!(out.measured.len(), 6);
+            assert!(out.measured_makespan_s() > 0.0);
         }
     }
 
@@ -247,6 +456,7 @@ mod tests {
         // Force the full checksum scheme and a high SDC rate by overclocking aggressively.
         let mut cfg = small_cfg(Decomposition::Lu, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
             .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+            .with_measured_feedback(false)
             .with_seed(11);
         // Make SDCs possible at the base clock and raise the rate so that the
         // micro-second iterations of this tiny problem still see a handful of events
@@ -270,6 +480,7 @@ mod tests {
     fn injected_faults_without_abft_corrupt_the_result() {
         let mut cfg = small_cfg(Decomposition::Lu, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
             .with_abft_mode(AbftMode::Forced(ChecksumScheme::None))
+            .with_measured_feedback(false)
             .with_seed(17);
         cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
         cfg.platform.gpu.sdc.base_rate_per_s = 4.0e5;
@@ -280,26 +491,111 @@ mod tests {
             "uncorrected corruption should break the factorization (residual {res})",
             res = out.residual
         );
+        // Injection is simulated corruption, not ABFT work: an unprotected run must
+        // report exactly zero checksum cost even though faults were injected.
+        assert_eq!(out.checksum_cpu_s, 0.0);
     }
 
     #[test]
-    fn tiles_cover_the_region_exactly_once() {
-        let region = Block::new(10, 20, 70, 50);
-        let tiles = tile_region(region, 32);
+    fn protected_iterations_pay_checksum_cost_without_any_fault() {
+        // Forced Full scheme, fault injection off: the ABFT cost must still be charged
+        // on every iteration that has a trailing matrix — cost is per protected
+        // iteration, not per sampled fault.
+        let cfg = small_cfg(Decomposition::Lu, Strategy::Original)
+            .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+            .with_fault_injection(false);
+        let out = run_numeric(cfg).unwrap();
+        assert_eq!(out.faults_injected, 0);
+        assert!(out.checksum_cpu_s > 0.0);
+        for m in &out.measured {
+            let has_trailing =
+                !protected_tiles(Decomposition::Lu, 192, 32, m.k).is_empty();
+            assert_eq!(
+                m.checksum_s > 0.0,
+                has_trailing,
+                "iteration {} checksum accounting does not match its trailing region",
+                m.k
+            );
+        }
+        // The None scheme keeps its zero-cost early out.
+        let cfg = small_cfg(Decomposition::Lu, Strategy::Original)
+            .with_abft_mode(AbftMode::Forced(ChecksumScheme::None))
+            .with_fault_injection(false);
+        let out = run_numeric(cfg).unwrap();
+        assert_eq!(out.checksum_cpu_s, 0.0);
+    }
+
+    #[test]
+    fn non_square_and_mismatched_inputs_yield_errors_not_panics() {
+        let cfg = RunConfig::small(Decomposition::Lu, 3, 2, Strategy::Original);
+        let rect = Matrix::zeros(3, 4);
+        assert!(matches!(
+            run_numeric_on(cfg.clone(), &rect),
+            Err(NumericError::ShapeMismatch { rows: 3, cols: 4, expected: 3 })
+        ));
+        let wrong_order = Matrix::identity(5);
+        let err = run_numeric_on(cfg, &wrong_order).unwrap_err();
+        assert!(matches!(err, NumericError::ShapeMismatch { expected: 3, .. }));
+        assert!(err.to_string().contains("5x5"));
+    }
+
+    #[test]
+    fn measured_feedback_shrinks_prediction_error() {
+        // With measured feedback the sliding-window predictor observes the host's real
+        // durations, so its predictions must track them far better than the analytic
+        // model of the simulated GPU does (the analytic-vs-analytic fiction the old
+        // driver reported).
+        let cfg = RunConfig::small(Decomposition::Lu, 256, 32, Strategy::Original)
+            .with_fault_injection(false);
+        let out = run_numeric(cfg).unwrap();
+        let predictor_err = out.mean_predictor_error().expect("predictions must exist");
+        let analytic_err = out.mean_analytic_error().unwrap();
+        assert!(
+            predictor_err < analytic_err,
+            "observed feedback must shrink the prediction error: predictor {predictor_err:.3} \
+             vs analytic {analytic_err:.3}"
+        );
+        // Every iteration after the profiling one carries a prediction.
+        for m in &out.measured[1..] {
+            assert!(m.predicted_update_s.is_some(), "iteration {} lacks a prediction", m.k);
+        }
+    }
+
+    #[test]
+    fn disabling_feedback_restores_analytic_predictor_records() {
+        // With feedback off the numeric run's analytic report must be identical to a
+        // pure analytic run of the same configuration (plans see the same predictor).
+        let cfg = RunConfig::small(Decomposition::Lu, 192, 32, Strategy::SlackReclamation)
+            .with_fault_injection(false)
+            .with_measured_feedback(false);
+        let analytic = crate::analytic::run(cfg.clone());
+        let numeric = run_numeric(cfg).unwrap();
+        assert!((analytic.total_time_s - numeric.report.total_time_s).abs() < 1e-12);
+        assert!((analytic.total_energy_j() - numeric.report.total_energy_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiles_cover_the_trailing_region_exactly_once() {
+        // LU iteration 0 protects rows [0, 100) of the trailing columns: the U12 band
+        // (rows [0, 32), TRSM output) plus the GEMM rows below it.
+        let tiles = protected_tiles(Decomposition::Lu, 100, 32, 0);
+        let region = Block::new(0, 32, 100, 68);
         let area: usize = tiles.iter().map(|t| t.len()).sum();
         assert_eq!(area, region.len());
-        assert!(tiles.iter().all(|t| t.row >= 10 && t.col >= 20));
-        assert!(tiles.iter().all(|t| t.row + t.rows <= 80 && t.col + t.cols <= 70));
-    }
-
-    #[test]
-    fn trailing_region_shapes() {
-        let r = trailing_region(Decomposition::Lu, 100, 20, 10);
-        assert_eq!((r.row, r.col, r.rows, r.cols), (30, 30, 70, 70));
-        let q = trailing_region(Decomposition::Qr, 100, 20, 10);
-        assert_eq!((q.row, q.col, q.rows, q.cols), (20, 30, 80, 70));
-        let last = trailing_region(Decomposition::Lu, 100, 90, 10);
-        assert!(last.is_empty());
+        assert!(tiles.iter().any(|t| t.row == 0 && t.col == 32), "U12 band must be covered");
+        assert!(tiles.iter().all(|t| t.col >= 32));
+        assert!(tiles.iter().all(|t| t.row + t.rows <= 100 && t.col + t.cols <= 100));
+        // Cholesky protects only the staircase the factorization writes.
+        let chol = protected_tiles(Decomposition::Cholesky, 96, 32, 0);
+        assert!(chol.iter().all(|t| t.row >= t.col));
+        assert_eq!(chol.len(), 3, "two diagonal tiles + one below");
+        // QR protects from the panel-top row: rows [k·b, (k+1)·b) of the trailing
+        // columns become final R entries in iteration k and must stay covered.
+        let qr_tiles = protected_tiles(Decomposition::Qr, 96, 32, 1);
+        assert!(qr_tiles.iter().any(|t| t.row == 32 && t.col == 64));
+        assert!(qr_tiles.iter().all(|t| t.row >= 32 && t.col >= 64));
+        // Past the last panel there is nothing to protect.
+        assert!(protected_tiles(Decomposition::Lu, 100, 32, 3).is_empty());
     }
 
     #[test]
@@ -312,5 +608,6 @@ mod tests {
         let out = run_numeric_on(cfg, &input).unwrap();
         assert!(out.numerically_correct);
         assert!(input.approx_eq(&before, 0.0));
+        assert!(matches!(out.factors, NumericFactors::Cholesky(_)));
     }
 }

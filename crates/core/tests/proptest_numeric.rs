@@ -1,0 +1,197 @@
+//! Property suite for the plan-driven tiled numeric engine.
+//!
+//! `run_numeric_on` executes every trailing update as the PR-4 per-tile-column task
+//! graph with `FusedTileChecksums` riding the tasks. This suite pins the refactor to
+//! the **pre-refactor serial path**: a frozen reference that steps the same analytic
+//! driver, runs the synchronous panel/panel-update/trailing-update kernels, and applies
+//! the identical per-tile encode → inject → verify protection as a *serial epilogue*
+//! after each iteration. Over random orders, block sizes and seeds — with fault
+//! injection active — the tiled engine must produce
+//!
+//! * bit-identical factors (LU storage + pivots, QR storage + taus, Cholesky factor),
+//! * identical fault-injection and verification tallies,
+//!
+//! at `RAYON_NUM_THREADS ∈ {1, 2, 4}`. Determinism across thread counts holds because
+//! the fault plan is drawn *before* the task graph runs (each fault carries its own
+//! pre-seeded RNG stream) and every tile's encode/inject/verify touches only that
+//! tile's slices.
+//!
+//! Measured-time feedback is disabled: it feeds host wall-clock noise into the
+//! planner, which would (by design) make plans — and the sampled SDC stream — differ
+//! between runs. The feedback path has its own tests in `bsr-core::numeric`.
+
+use bsr_abft::checksum::{encode_block, verify_and_correct, ChecksumScheme, VerifyOutcome};
+use bsr_abft::inject::inject_fault_slices;
+use bsr_core::analytic::AnalyticDriver;
+use bsr_core::config::{AbftMode, RunConfig};
+use bsr_core::numeric::{plan_faults, protected_tiles, run_numeric_on, NumericFactors};
+use bsr_linalg::generate::{random_matrix, random_spd_matrix};
+use bsr_linalg::matrix::Matrix;
+use bsr_linalg::{cholesky, lu, qr};
+use bsr_sched::strategy::Strategy as EnergyStrategy;
+use bsr_sched::workload::Decomposition;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::ThreadCountGuard;
+
+/// Thread counts every property sweeps (1 = inline, 2/4 = the persistent pool).
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// A deterministic numeric configuration with SDC events at the base clock: Original
+/// strategy (plans independent of the predictor), forced Full checksums, no measured
+/// feedback.
+fn numeric_cfg(dec: Decomposition, n: usize, block: usize, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::small(dec, n, block, EnergyStrategy::Original)
+        .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+        .with_measured_feedback(false)
+        .with_seed(seed);
+    cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
+    cfg.platform.gpu.sdc.one_d_onset = hetero_sim::freq::MHz(1100.0);
+    cfg.platform.gpu.sdc.base_rate_per_s = 3.0e4;
+    cfg.platform.gpu.sdc.one_d_base_rate_per_s = 3.0e3;
+    cfg
+}
+
+/// Everything the reference produces that the tiled engine must reproduce bit-for-bit.
+struct Reference {
+    factored: Matrix,
+    pivots: Vec<usize>,
+    taus: Vec<f64>,
+    verification: VerifyOutcome,
+    faults_injected: usize,
+}
+
+/// The pre-refactor serial numeric path: synchronous kernels per iteration, then the
+/// per-tile encode → inject → verify protection as a serial epilogue. Frozen here as
+/// the correctness oracle for the task-graph engine (deliberately NOT sharing the
+/// engine's execution code — only the tile grid and fault-plan helpers, which define
+/// the protocol both sides must agree on).
+fn reference_numeric(cfg: &RunConfig, input: &Matrix) -> Result<Reference, String> {
+    let n = cfg.workload.n;
+    let b = cfg.workload.block;
+    let dec = cfg.workload.decomposition;
+    let mut inject_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0bad_5eed);
+    let mut driver = AnalyticDriver::new(cfg.clone());
+    let mut a = input.clone();
+    let mut pivots = Vec::new();
+    let mut taus = Vec::new();
+    let mut verification = VerifyOutcome::default();
+    let mut faults_injected = 0usize;
+
+    for k in 0..cfg.workload.iterations() {
+        let trace = driver.step(k);
+        let j0 = k * b;
+        let nb = b.min(n - j0);
+
+        match dec {
+            Decomposition::Cholesky => {
+                cholesky::potf2(&mut a, j0, nb).map_err(|e| e.to_string())?;
+                cholesky::panel_update(&mut a, j0, nb);
+                cholesky::trailing_update(&mut a, j0, nb);
+            }
+            Decomposition::Lu => {
+                lu::panel_factor(&mut a, j0, nb, &mut pivots).map_err(|e| e.to_string())?;
+                lu::panel_update(&mut a, j0, nb);
+                lu::trailing_update(&mut a, j0, nb);
+            }
+            Decomposition::Qr => {
+                qr::panel_factor(&mut a, j0, nb, &mut taus);
+                if j0 + nb < n {
+                    let t = qr::form_t(&a, j0, nb, &taus);
+                    qr::apply_block_reflector(&mut a, j0, nb, &t, j0 + nb, n);
+                }
+            }
+        }
+
+        let scheme = trace.abft;
+        let tiles = protected_tiles(dec, n, b, k);
+        let faults = if tiles.is_empty() {
+            Vec::new()
+        } else {
+            plan_faults(&trace.sdc_events, &tiles, &mut inject_rng)
+        };
+        if scheme == ChecksumScheme::None && faults.is_empty() {
+            continue;
+        }
+        for tile in &tiles {
+            let cs = encode_block(&a, *tile, scheme);
+            for fault in faults.iter().filter(|f| f.row == tile.row && f.col == tile.col) {
+                let mut rng = ChaCha8Rng::seed_from_u64(fault.seed);
+                let mut cols: Vec<&mut [f64]> =
+                    a.cols_range_mut(*tile).map(|(_, s)| s).collect();
+                inject_fault_slices(&mut cols, tile.row, tile.col, fault.pattern, &mut rng);
+                faults_injected += 1;
+            }
+            verification.merge(&verify_and_correct(&mut a, &cs));
+        }
+    }
+    Ok(Reference { factored: a, pivots, taus, verification, faults_injected })
+}
+
+/// `(n, block, seed)` domains sized so runs stay fast while hitting tail panels,
+/// single-tile iterations and multi-tile task graphs.
+fn dims() -> impl Strategy<Value = (usize, usize, u64)> {
+    (40usize..120, 0usize..3, any::<u64>())
+        .prop_map(|(n, bi, seed)| (n, [16usize, 24, 32][bi], seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn tiled_numeric_matches_serial_reference_at_all_thread_counts(
+        (n, block, seed) in dims(),
+        dec_idx in 0usize..3,
+    ) {
+        let dec = Decomposition::ALL[dec_idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let input = match dec {
+            Decomposition::Cholesky => random_spd_matrix(&mut rng, n),
+            _ => random_matrix(&mut rng, n, n),
+        };
+        let cfg = numeric_cfg(dec, n, block, seed);
+        let Ok(reference) = reference_numeric(&cfg, &input) else {
+            // Corruption made a panel unfactorable: the engine must fail too.
+            for t in THREADS {
+                let _guard = ThreadCountGuard::set(t);
+                prop_assert!(run_numeric_on(cfg.clone(), &input).is_err());
+            }
+            return;
+        };
+        for t in THREADS {
+            let _guard = ThreadCountGuard::set(t);
+            let out = run_numeric_on(cfg.clone(), &input).unwrap();
+            prop_assert_eq!(
+                out.faults_injected, reference.faults_injected,
+                "fault tallies differ ({:?} n={} b={} threads={})", dec, n, block, t
+            );
+            prop_assert_eq!(
+                &out.verification, &reference.verification,
+                "verification tallies differ ({:?} n={} b={} threads={})", dec, n, block, t
+            );
+            match &out.factors {
+                NumericFactors::Cholesky(m) => prop_assert!(
+                    m == &reference.factored,
+                    "Cholesky factors not bit-identical (n={} b={} threads={})", n, block, t
+                ),
+                NumericFactors::Lu(f) => {
+                    prop_assert_eq!(&f.pivots, &reference.pivots,
+                        "pivots differ (n={} b={} threads={})", n, block, t);
+                    prop_assert!(
+                        f.lu == reference.factored,
+                        "LU factors not bit-identical (n={} b={} threads={})", n, block, t
+                    );
+                }
+                NumericFactors::Qr(f) => {
+                    prop_assert_eq!(&f.taus, &reference.taus,
+                        "taus differ (n={} b={} threads={})", n, block, t);
+                    prop_assert!(
+                        f.qr == reference.factored,
+                        "QR factors not bit-identical (n={} b={} threads={})", n, block, t
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,8 +12,9 @@ use crate::blas3::{
     trsm_right_lower_trans_cols, Diag, PackedA, Side, Trans, UpLo,
 };
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, TileCols, TrailingHook};
+use crate::task::{split_tiles, StepTiming, TileCols, TrailingHook};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Error returned when a matrix is not positive definite (or not square).
 #[derive(Debug, Clone, PartialEq)]
@@ -217,49 +218,129 @@ pub fn cholesky_tiled_with(
     if n == 0 {
         return Ok(());
     }
-    // Panel 0 synchronously; every panel k + 1 by iteration k's lookahead task.
-    {
-        let (_, mut tiles) = split_tiles(a, 0, 0, block);
-        factor_panel_tile(&mut tiles[0], 0)?;
-    }
+    chol_prologue(a, block)?;
     let mut a21p = PackedA::default();
     for k in 0..num_iterations(n, block) {
-        let j0 = k * block;
-        let nb = block.min(n - j0);
-        if j0 + nb >= n {
-            break;
-        }
-        let a21 = a.copy_block(Block::new(j0 + nb, j0, n - j0 - nb, nb));
-        repack_a_op(&mut a21p, &a21, Trans::No, 0, 0, n - j0 - nb, nb);
-        let (_, tiles) = split_tiles(a, 0, j0 + nb, block);
-        let panel_result: Mutex<Option<Result<(), CholeskyError>>> = Mutex::new(None);
-        rayon::scope(|s| {
-            let mut tiles = tiles.into_iter();
-            let look = tiles.next().expect("trailing tiles exist");
-            {
-                let (a21, a21p, panel_result) = (&a21, &a21p, &panel_result);
-                s.spawn(move || {
-                    let mut tile = look;
-                    chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
-                    let row0 = tile.col0;
-                    *panel_result.lock().unwrap() = Some(factor_panel_tile(&mut tile, row0));
-                });
-            }
-            for tile in tiles {
-                let (a21, a21p) = (&a21, &a21p);
-                s.spawn(move || {
-                    let mut tile = tile;
-                    chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
-                });
-            }
-        });
-        match panel_result.into_inner().unwrap() {
-            Some(Ok(())) => {}
-            Some(Err(e)) => return Err(e),
-            None => unreachable!("lookahead task always records a panel result"),
-        }
+        chol_step(a, block, &mut a21p, k, hook)?;
     }
     Ok(())
+}
+
+/// Panel-0 prologue: factor the first panel synchronously (every panel `k + 1` is
+/// factored by iteration `k`'s lookahead task).
+fn chol_prologue(a: &mut Matrix, block: usize) -> Result<(), CholeskyError> {
+    let (_, mut tiles) = split_tiles(a, 0, 0, block);
+    factor_panel_tile(&mut tiles[0], 0)
+}
+
+/// One tiled Cholesky iteration: the per-tile-column SYRK task graph of trailing
+/// update `k` with the lookahead factorization of panel `k + 1` riding its tile's task.
+fn chol_step(
+    a: &mut Matrix,
+    block: usize,
+    a21p: &mut PackedA,
+    k: usize,
+    hook: &dyn TrailingHook,
+) -> Result<StepTiming, CholeskyError> {
+    let n = a.rows();
+    let j0 = k * block;
+    let nb = block.min(n - j0);
+    if j0 + nb >= n {
+        return Ok(StepTiming::default());
+    }
+    let region_t0 = Instant::now();
+    let a21 = a.copy_block(Block::new(j0 + nb, j0, n - j0 - nb, nb));
+    repack_a_op(a21p, &a21, Trans::No, 0, 0, n - j0 - nb, nb);
+    let (_, tiles) = split_tiles(a, 0, j0 + nb, block);
+    let panel_result: Mutex<Option<(Result<(), CholeskyError>, f64)>> = Mutex::new(None);
+    rayon::scope(|s| {
+        let mut tiles = tiles.into_iter();
+        let look = tiles.next().expect("trailing tiles exist");
+        {
+            let (a21, a21p, panel_result) = (&a21, &*a21p, &panel_result);
+            s.spawn(move || {
+                let mut tile = look;
+                chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
+                let row0 = tile.col0;
+                let panel_t0 = Instant::now();
+                let result = factor_panel_tile(&mut tile, row0);
+                let panel_s = panel_t0.elapsed().as_secs_f64();
+                *panel_result.lock().unwrap() = Some((result, panel_s));
+            });
+        }
+        for tile in tiles {
+            let (a21, a21p) = (&a21, &*a21p);
+            s.spawn(move || {
+                let mut tile = tile;
+                chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
+            });
+        }
+    });
+    let update_s = region_t0.elapsed().as_secs_f64();
+    match panel_result.into_inner().unwrap() {
+        Some((Ok(()), panel_s)) => Ok(StepTiming { panel_s, update_s }),
+        Some((Err(e), _)) => Err(e),
+        None => unreachable!("lookahead task always records a panel result"),
+    }
+}
+
+/// Iteration-at-a-time driver of the tiled task-parallel Cholesky: the per-iteration
+/// twin of [`cholesky_tiled_with`] for callers (the numeric-mode engine in `bsr-core`)
+/// that interleave every blocked iteration with planning, fault injection and
+/// measured-time accounting. Stepping through all iterations in order produces
+/// **bit-identical** factors to [`cholesky_tiled`] / [`cholesky_blocked`], and each
+/// step reports its measured [`StepTiming`].
+pub struct CholeskyTiledStepper {
+    a: Matrix,
+    block: usize,
+    a21p: PackedA,
+    prologue_s: f64,
+}
+
+impl CholeskyTiledStepper {
+    /// Take ownership of the matrix and factor panel 0 synchronously. On error the
+    /// matrix is dropped (numeric-mode callers keep their own pristine input).
+    pub fn new(a: Matrix, block: usize) -> Result<Self, CholeskyError> {
+        if !a.is_square() {
+            return Err(CholeskyError::NotSquare);
+        }
+        assert!(block > 0, "block size must be positive");
+        let mut a = a;
+        let t0 = Instant::now();
+        if a.rows() > 0 {
+            chol_prologue(&mut a, block)?;
+        }
+        let prologue_s = t0.elapsed().as_secs_f64();
+        Ok(Self { a, block, a21p: PackedA::default(), prologue_s })
+    }
+
+    /// Number of blocked iterations; [`Self::step`] must be called exactly once for
+    /// each `k` in `0..iterations()`, in order.
+    pub fn iterations(&self) -> usize {
+        let n = self.a.rows();
+        if n == 0 { 0 } else { num_iterations(n, self.block) }
+    }
+
+    /// Measured duration of the panel-0 prologue factored by [`Self::new`].
+    pub fn prologue_panel_s(&self) -> f64 {
+        self.prologue_s
+    }
+
+    /// Run iteration `k`'s task graph (trailing tile updates + lookahead panel
+    /// `k + 1`) with `hook` fused into every trailing tile task.
+    pub fn step(&mut self, k: usize, hook: &dyn TrailingHook) -> Result<StepTiming, CholeskyError> {
+        chol_step(&mut self.a, self.block, &mut self.a21p, k, hook)
+    }
+
+    /// The matrix in its current (partially factored) state.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Recover the factored matrix after the final step (lower triangle holds `L`).
+    pub fn into_matrix(self) -> Matrix {
+        self.a
+    }
 }
 
 #[cfg(test)]

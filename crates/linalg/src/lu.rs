@@ -13,8 +13,9 @@ use crate::blas3::{
     trsm_unit_lower_cols, Diag, PackedA, Side, Trans, UpLo,
 };
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, TileCols, TrailingHook};
+use crate::task::{split_tiles, StepTiming, TileCols, TrailingHook};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Error returned by the LU factorization.
 #[derive(Debug, Clone, PartialEq)]
@@ -359,7 +360,10 @@ fn panel_factor_slices(
 
 /// One LU trailing tile task of iteration `k`: deferred row swaps of panel `k`, TRSM
 /// of the `U` tile against `L11`, GEMM of the trailing rows against `L21`, then the
-/// trailing hook over the updated rows.
+/// trailing hook over rows `[j0, n)` — the full row span the task writes. The `U12`
+/// band (rows `[j0, j0 + nb)`, the TRSM output) becomes final `U` entries this
+/// iteration and is never revisited, so a hook that skipped it would leave those
+/// values permanently unchecked.
 #[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
 fn lu_update_tile(
     tile: &mut TileCols<'_>,
@@ -380,9 +384,12 @@ fn lu_update_tile(
     // driver's u12 copy) and L21 comes pre-packed, shared by all tile tasks.
     let u = tile.extract(j0, j0 + nb);
     let col0 = tile.col0;
-    let mut sub = tile.rows_from(j0 + nb);
-    gemm_acc_cols_prepacked(-1.0, l21p, 0, &u, Trans::No, 0, &mut sub, false);
-    hook.after_tile_update(iter, col0, j0 + nb, &mut sub);
+    {
+        let mut sub = tile.rows_from(j0 + nb);
+        gemm_acc_cols_prepacked(-1.0, l21p, 0, &u, Trans::No, 0, &mut sub, false);
+    }
+    let mut hook_rows = tile.rows_from(j0);
+    hook.after_tile_update(iter, col0, j0, &mut hook_rows);
 }
 
 /// Tiled task-parallel LU with partial pivoting and one-step panel lookahead.
@@ -404,75 +411,155 @@ pub fn lu_tiled_with(
     block: usize,
     hook: &dyn TrailingHook,
 ) -> Result<LuFactors, LuError> {
-    if !a.is_square() {
-        return Err(LuError::NotSquare);
+    let mut stepper = LuTiledStepper::new(a, block)?;
+    for k in 0..stepper.iterations() {
+        stepper.step(k, hook)?;
     }
-    assert!(block > 0, "block size must be positive");
-    let n = a.rows();
-    let mut lu = a.clone();
-    let mut pivots = Vec::with_capacity(n);
-    if n == 0 {
-        return Ok(LuFactors { lu, pivots });
+    Ok(stepper.into_factors())
+}
+
+/// Panel-0 prologue of the tiled drivers: factor the first panel synchronously (every
+/// panel `k + 1` is factored by iteration `k`'s lookahead task).
+fn lu_prologue(lu: &mut Matrix, block: usize, pivots: &mut Vec<usize>) -> Result<(), LuError> {
+    let (_, mut tiles) = split_tiles(lu, 0, 0, block);
+    pivots.extend(factor_panel_tile(&mut tiles[0], 0)?);
+    Ok(())
+}
+
+/// What the lookahead task reports back: the panel factorization result and its
+/// measured duration.
+type PanelOutcome = (Result<Vec<usize>, LuError>, f64);
+
+/// One tiled LU iteration: the per-tile-column task graph of trailing update `k`
+/// with the lookahead factorization of panel `k + 1` riding its tile's task.
+fn lu_step(
+    lu: &mut Matrix,
+    block: usize,
+    pivots: &mut Vec<usize>,
+    l21p: &mut PackedA,
+    k: usize,
+    hook: &dyn TrailingHook,
+) -> Result<StepTiming, LuError> {
+    let n = lu.rows();
+    let j0 = k * block;
+    let nb = block.min(n - j0);
+    let swaps: Vec<usize> = pivots[j0..j0 + nb].to_vec();
+    let region_t0 = Instant::now();
+    if j0 + nb >= n {
+        // Last panel: only its deferred swaps on the left columns remain.
+        lu.apply_row_swaps(j0, &swaps, 0, j0);
+        return Ok(StepTiming { panel_s: 0.0, update_s: region_t0.elapsed().as_secs_f64() });
     }
-    // Panel 0 is factored synchronously; every panel k + 1 is factored by iteration
-    // k's lookahead task.
-    {
-        let (_, mut tiles) = split_tiles(&mut lu, 0, 0, block);
-        pivots.extend(factor_panel_tile(&mut tiles[0], 0)?);
-    }
-    let mut l21p = PackedA::default();
-    for k in 0..num_iterations(n, block) {
-        let j0 = k * block;
-        let nb = block.min(n - j0);
-        let swaps: Vec<usize> = pivots[j0..j0 + nb].to_vec();
-        if j0 + nb >= n {
-            // Last panel: only its deferred swaps on the left columns remain.
-            lu.apply_row_swaps(j0, &swaps, 0, j0);
-            break;
+    // Operands shared (read-only) by all of this iteration's tasks; L21 is packed
+    // once here instead of once per tile task inside the GEMMs.
+    let l11 = lu.copy_block(Block::new(j0, j0, nb, nb)).unit_lower_triangular();
+    repack_a_op(l21p, lu, Trans::No, j0 + nb, j0, n - j0 - nb, nb);
+    let (left, tiles) = split_tiles(lu, j0, j0 + nb, block);
+    let panel_result: Mutex<Option<PanelOutcome>> = Mutex::new(None);
+    rayon::scope(|s| {
+        let mut tiles = tiles.into_iter();
+        // Lookahead: the tile feeding panel k + 1 is updated first and the panel
+        // factorizes in the same task, overlapping the remaining tile updates.
+        let look = tiles.next().expect("trailing tiles exist");
+        {
+            let (l11, l21p, swaps, panel_result) = (&l11, &*l21p, &swaps[..], &panel_result);
+            s.spawn(move || {
+                let mut tile = look;
+                lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
+                let panel_t0 = Instant::now();
+                let result = factor_panel_tile(&mut tile, j0 + nb);
+                let panel_s = panel_t0.elapsed().as_secs_f64();
+                *panel_result.lock().unwrap() = Some((result, panel_s));
+            });
         }
-        // Operands shared (read-only) by all of this iteration's tasks; L21 is packed
-        // once here instead of once per tile task inside the GEMMs.
-        let l11 = lu.copy_block(Block::new(j0, j0, nb, nb)).unit_lower_triangular();
-        repack_a_op(&mut l21p, &lu, Trans::No, j0 + nb, j0, n - j0 - nb, nb);
-        let (left, tiles) = split_tiles(&mut lu, j0, j0 + nb, block);
-        let panel_result: Mutex<Option<Result<Vec<usize>, LuError>>> = Mutex::new(None);
-        rayon::scope(|s| {
-            let mut tiles = tiles.into_iter();
-            // Lookahead: the tile feeding panel k + 1 is updated first and the panel
-            // factorizes in the same task, overlapping the remaining tile updates.
-            let look = tiles.next().expect("trailing tiles exist");
-            {
-                let (l11, l21p, swaps, panel_result) = (&l11, &l21p, &swaps[..], &panel_result);
-                s.spawn(move || {
-                    let mut tile = look;
-                    lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
-                    *panel_result.lock().unwrap() = Some(factor_panel_tile(&mut tile, j0 + nb));
-                });
-            }
-            for tile in tiles {
-                let (l11, l21p, swaps) = (&l11, &l21p, &swaps[..]);
-                s.spawn(move || {
-                    let mut tile = tile;
-                    lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
-                });
-            }
-            // Panel k's deferred swaps on the already-final columns left of the panel
-            // ride the same schedule instead of serializing the iteration.
-            if !left.is_empty() {
-                let swaps = &swaps[..];
-                s.spawn(move || {
-                    let mut left = left;
-                    crate::task::apply_row_swaps_cols(&mut left, j0, swaps);
-                });
-            }
-        });
-        match panel_result.into_inner().unwrap() {
-            Some(Ok(pv)) => pivots.extend(pv),
-            Some(Err(e)) => return Err(e),
-            None => unreachable!("lookahead task always records a panel result"),
+        for tile in tiles {
+            let (l11, l21p, swaps) = (&l11, &*l21p, &swaps[..]);
+            s.spawn(move || {
+                let mut tile = tile;
+                lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
+            });
         }
+        // Panel k's deferred swaps on the already-final columns left of the panel
+        // ride the same schedule instead of serializing the iteration.
+        if !left.is_empty() {
+            let swaps = &swaps[..];
+            s.spawn(move || {
+                let mut left = left;
+                crate::task::apply_row_swaps_cols(&mut left, j0, swaps);
+            });
+        }
+    });
+    let update_s = region_t0.elapsed().as_secs_f64();
+    match panel_result.into_inner().unwrap() {
+        Some((Ok(pv), panel_s)) => {
+            pivots.extend(pv);
+            Ok(StepTiming { panel_s, update_s })
+        }
+        Some((Err(e), _)) => Err(e),
+        None => unreachable!("lookahead task always records a panel result"),
     }
-    Ok(LuFactors { lu, pivots })
+}
+
+/// Iteration-at-a-time driver of the tiled task-parallel LU: the per-iteration twin of
+/// [`lu_tiled_with`], built for callers (the numeric-mode engine in `bsr-core`) that
+/// interleave every blocked iteration with planning, fault injection and measured-time
+/// accounting. Stepping through all iterations in order produces **bit-identical**
+/// factors to [`lu_tiled`] / [`lu_blocked`], and each step reports its measured
+/// [`StepTiming`].
+pub struct LuTiledStepper {
+    lu: Matrix,
+    pivots: Vec<usize>,
+    block: usize,
+    l21p: PackedA,
+    prologue_s: f64,
+}
+
+impl LuTiledStepper {
+    /// Clone `a` and factor panel 0 synchronously (the prologue every tiled run pays
+    /// before its first trailing update).
+    pub fn new(a: &Matrix, block: usize) -> Result<Self, LuError> {
+        if !a.is_square() {
+            return Err(LuError::NotSquare);
+        }
+        assert!(block > 0, "block size must be positive");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut pivots = Vec::with_capacity(n);
+        let t0 = Instant::now();
+        if n > 0 {
+            lu_prologue(&mut lu, block, &mut pivots)?;
+        }
+        let prologue_s = t0.elapsed().as_secs_f64();
+        Ok(Self { lu, pivots, block, l21p: PackedA::default(), prologue_s })
+    }
+
+    /// Number of blocked iterations; [`Self::step`] must be called exactly once for
+    /// each `k` in `0..iterations()`, in order.
+    pub fn iterations(&self) -> usize {
+        let n = self.lu.rows();
+        if n == 0 { 0 } else { num_iterations(n, self.block) }
+    }
+
+    /// Measured duration of the panel-0 prologue factored by [`Self::new`].
+    pub fn prologue_panel_s(&self) -> f64 {
+        self.prologue_s
+    }
+
+    /// Run iteration `k`'s task graph (trailing tile updates + lookahead panel
+    /// `k + 1`) with `hook` fused into every trailing tile task.
+    pub fn step(&mut self, k: usize, hook: &dyn TrailingHook) -> Result<StepTiming, LuError> {
+        lu_step(&mut self.lu, self.block, &mut self.pivots, &mut self.l21p, k, hook)
+    }
+
+    /// The matrix in its current (partially factored) state.
+    pub fn matrix(&self) -> &Matrix {
+        &self.lu
+    }
+
+    /// Package the factors after the final step.
+    pub fn into_factors(self) -> LuFactors {
+        LuFactors { lu: self.lu, pivots: self.pivots }
+    }
 }
 
 #[cfg(test)]

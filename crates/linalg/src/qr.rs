@@ -11,8 +11,9 @@
 use crate::blas1::{axpy, dot, nrm2, scal};
 use crate::blas3::{gemm, gemm_acc_cols_prepacked, gemm_into_block, repack_a_op, PackedA, Trans};
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, TileCols, TrailingHook};
+use crate::task::{split_tiles, StepTiming, TileCols, TrailingHook};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Panel width used when applying `Q`/`Qᵀ` from stored reflectors. Independent of the
 /// block size the factorization used: reflectors compose column by column, so any
@@ -258,7 +259,11 @@ fn factor_panel_tile(tile: &mut TileCols<'_>, row0: usize, pw: usize) -> (Vec<f6
 
 /// One QR trailing tile task of iteration `k`: the tile's slice of the compact-WY
 /// block-reflector application `C ← (I − V Tᵀ Vᵀ) C` over rows `[j0, m)`, then the
-/// trailing hook over rows `[trail_row0, m)` (below the panel). `V` arrives pre-packed
+/// trailing hook over rows `[trail_row0, m)` — the drivers pass `trail_row0 = j0`,
+/// the full row span the reflector writes, because rows `[j0, j0 + nb)` of the
+/// trailing columns become final `R` entries this iteration and are never revisited
+/// (a hook that skipped them would leave them permanently unchecked). `V` arrives
+/// pre-packed
 /// in both orientations (`vt_p` for `Vᵀ C`, `v_p` for `C − V W`), shared by every tile
 /// task of the iteration.
 #[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
@@ -306,68 +311,168 @@ pub fn qr_tiled(a: &Matrix, block: usize) -> QrFactors {
 
 /// [`qr_tiled`] with a [`TrailingHook`] fused into every trailing tile task.
 pub fn qr_tiled_with(a: &Matrix, block: usize, hook: &dyn TrailingHook) -> QrFactors {
-    assert!(block > 0, "block size must be positive");
-    let m = a.rows();
-    let n = a.cols();
-    let kmax = n.min(m);
-    let mut qr = a.clone();
-    let mut taus = Vec::with_capacity(kmax);
-    if kmax == 0 {
-        return QrFactors { qr, taus };
+    let mut stepper = QrTiledStepper::new(a, block);
+    for k in 0..stepper.iterations() {
+        stepper.step(k, hook);
     }
-    // Panel 0 synchronously; every panel k + 1 by iteration k's lookahead task.
-    let mut tmat = {
-        let (_, mut tiles) = split_tiles(&mut qr, 0, 0, block);
-        let pw = block.min(kmax);
-        let (t0, tm) = factor_panel_tile(&mut tiles[0], 0, pw);
-        taus.extend(t0);
-        tm
-    };
-    let mut vt_p = PackedA::default();
-    let mut v_p = PackedA::default();
-    for k in 0..kmax.div_ceil(block) {
-        let j0 = k * block;
-        let nb = block.min(kmax - j0);
-        if j0 + nb >= n {
-            break;
+    stepper.into_factors()
+}
+
+/// What the lookahead task reports back: the next panel's `(taus, T)` and the
+/// measured duration of its factorization.
+type PanelOutcome = ((Vec<f64>, Matrix), f64);
+
+/// One tiled QR iteration: the per-tile-column block-reflector task graph of trailing
+/// update `k` with the lookahead factorization of panel `k + 1` riding its tile's task.
+#[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
+fn qr_step(
+    qr: &mut Matrix,
+    block: usize,
+    kmax: usize,
+    taus: &mut Vec<f64>,
+    tmat: &mut Matrix,
+    vt_p: &mut PackedA,
+    v_p: &mut PackedA,
+    k: usize,
+    hook: &dyn TrailingHook,
+) -> StepTiming {
+    let m = qr.rows();
+    let n = qr.cols();
+    let j0 = k * block;
+    let nb = block.min(kmax - j0);
+    if j0 + nb >= n {
+        return StepTiming::default();
+    }
+    let region_t0 = Instant::now();
+    let v = extract_reflectors(qr, j0, nb);
+    repack_a_op(vt_p, &v, Trans::Yes, 0, 0, nb, m - j0);
+    repack_a_op(v_p, &v, Trans::No, 0, 0, m - j0, nb);
+    let (_, tiles) = split_tiles(qr, 0, j0 + nb, block);
+    let next_panel: Mutex<Option<PanelOutcome>> = Mutex::new(None);
+    rayon::scope(|s| {
+        let mut tiles = tiles.into_iter();
+        let look = tiles.next().expect("trailing tiles exist");
+        {
+            let (vt_p, v_p, tmat, next_panel) = (&*vt_p, &*v_p, &*tmat, &next_panel);
+            s.spawn(move || {
+                let mut tile = look;
+                qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0, hook);
+                // Factor panel k + 1 when this tile contains one (on wide inputs
+                // the trailing columns outlive the panels).
+                if tile.col0 < kmax {
+                    let pw = tile.width().min(kmax - tile.col0);
+                    let row0 = tile.col0;
+                    let panel_t0 = Instant::now();
+                    let result = factor_panel_tile(&mut tile, row0, pw);
+                    let panel_s = panel_t0.elapsed().as_secs_f64();
+                    *next_panel.lock().unwrap() = Some((result, panel_s));
+                }
+            });
         }
-        let v = extract_reflectors(&qr, j0, nb);
-        repack_a_op(&mut vt_p, &v, Trans::Yes, 0, 0, nb, m - j0);
-        repack_a_op(&mut v_p, &v, Trans::No, 0, 0, m - j0, nb);
-        let (_, tiles) = split_tiles(&mut qr, 0, j0 + nb, block);
-        let next_panel: Mutex<Option<(Vec<f64>, Matrix)>> = Mutex::new(None);
-        rayon::scope(|s| {
-            let mut tiles = tiles.into_iter();
-            let look = tiles.next().expect("trailing tiles exist");
-            {
-                let (vt_p, v_p, tmat, next_panel) = (&vt_p, &v_p, &tmat, &next_panel);
-                s.spawn(move || {
-                    let mut tile = look;
-                    qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0 + nb, hook);
-                    // Factor panel k + 1 when this tile contains one (on wide inputs
-                    // the trailing columns outlive the panels).
-                    if tile.col0 < kmax {
-                        let pw = tile.width().min(kmax - tile.col0);
-                        let row0 = tile.col0;
-                        *next_panel.lock().unwrap() =
-                            Some(factor_panel_tile(&mut tile, row0, pw));
-                    }
-                });
-            }
-            for tile in tiles {
-                let (vt_p, v_p, tmat) = (&vt_p, &v_p, &tmat);
-                s.spawn(move || {
-                    let mut tile = tile;
-                    qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0 + nb, hook);
-                });
-            }
-        });
-        if let Some((new_taus, new_t)) = next_panel.into_inner().unwrap() {
-            taus.extend(new_taus);
-            tmat = new_t;
+        for tile in tiles {
+            let (vt_p, v_p, tmat) = (&*vt_p, &*v_p, &*tmat);
+            s.spawn(move || {
+                let mut tile = tile;
+                qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0, hook);
+            });
+        }
+    });
+    let update_s = region_t0.elapsed().as_secs_f64();
+    let mut panel_s = 0.0;
+    if let Some(((new_taus, new_t), measured)) = next_panel.into_inner().unwrap() {
+        taus.extend(new_taus);
+        *tmat = new_t;
+        panel_s = measured;
+    }
+    StepTiming { panel_s, update_s }
+}
+
+/// Iteration-at-a-time driver of the tiled task-parallel QR: the per-iteration twin of
+/// [`qr_tiled_with`] for callers (the numeric-mode engine in `bsr-core`) that
+/// interleave every blocked iteration with planning, fault injection and measured-time
+/// accounting. Stepping through all iterations in order produces **bit-identical**
+/// factors to [`qr_tiled`] / [`qr_blocked`], and each step reports its measured
+/// [`StepTiming`].
+pub struct QrTiledStepper {
+    qr: Matrix,
+    taus: Vec<f64>,
+    tmat: Matrix,
+    block: usize,
+    kmax: usize,
+    vt_p: PackedA,
+    v_p: PackedA,
+    prologue_s: f64,
+}
+
+impl QrTiledStepper {
+    /// Clone `a` and factor panel 0 synchronously (the prologue every tiled run pays
+    /// before its first trailing update).
+    pub fn new(a: &Matrix, block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        let m = a.rows();
+        let n = a.cols();
+        let kmax = n.min(m);
+        let mut qr = a.clone();
+        let mut taus = Vec::with_capacity(kmax);
+        let t0 = Instant::now();
+        let tmat = if kmax == 0 {
+            Matrix::zeros(0, 0)
+        } else {
+            let (_, mut tiles) = split_tiles(&mut qr, 0, 0, block);
+            let pw = block.min(kmax);
+            let (t0s, tm) = factor_panel_tile(&mut tiles[0], 0, pw);
+            taus.extend(t0s);
+            tm
+        };
+        let prologue_s = t0.elapsed().as_secs_f64();
+        Self {
+            qr,
+            taus,
+            tmat,
+            block,
+            kmax,
+            vt_p: PackedA::default(),
+            v_p: PackedA::default(),
+            prologue_s,
         }
     }
-    QrFactors { qr, taus }
+
+    /// Number of blocked iterations; [`Self::step`] must be called exactly once for
+    /// each `k` in `0..iterations()`, in order.
+    pub fn iterations(&self) -> usize {
+        self.kmax.div_ceil(self.block)
+    }
+
+    /// Measured duration of the panel-0 prologue factored by [`Self::new`].
+    pub fn prologue_panel_s(&self) -> f64 {
+        self.prologue_s
+    }
+
+    /// Run iteration `k`'s task graph (trailing tile updates + lookahead panel
+    /// `k + 1`) with `hook` fused into every trailing tile task.
+    pub fn step(&mut self, k: usize, hook: &dyn TrailingHook) -> StepTiming {
+        qr_step(
+            &mut self.qr,
+            self.block,
+            self.kmax,
+            &mut self.taus,
+            &mut self.tmat,
+            &mut self.vt_p,
+            &mut self.v_p,
+            k,
+            hook,
+        )
+    }
+
+    /// The matrix in its current (partially factored) state.
+    pub fn matrix(&self) -> &Matrix {
+        &self.qr
+    }
+
+    /// Package the factors after the final step.
+    pub fn into_factors(self) -> QrFactors {
+        QrFactors { qr: self.qr, taus: self.taus }
+    }
 }
 
 #[cfg(test)]

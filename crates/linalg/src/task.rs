@@ -21,6 +21,24 @@
 
 use crate::matrix::Matrix;
 
+/// Measured wall-clock durations of one stepped tiled iteration (see the
+/// `*TiledStepper` types in [`crate::lu`], [`crate::cholesky`] and [`crate::qr`]).
+///
+/// `panel_s` is measured *inside* the lookahead task, so it overlaps `update_s`
+/// (the panel factorization rides the update region, it does not extend it): a
+/// two-stream timeline should place `panel_s` on the CPU stream concurrently with
+/// `update_s` on the accelerator stream, exactly the hybrid model of the paper's
+/// Figure 1b.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepTiming {
+    /// Duration of the lookahead panel factorization (panel `k + 1`), measured on
+    /// whichever pool thread ran it. Zero when the iteration has no next panel.
+    pub panel_s: f64,
+    /// Wall-clock duration of the whole trailing-update task region of the
+    /// iteration, including the lookahead panel and any fused [`TrailingHook`] work.
+    pub update_s: f64,
+}
+
 /// Observer fused into every trailing-update tile task of the tiled drivers.
 ///
 /// `after_tile_update` is called exactly once per (iteration, tile column) pair, from

@@ -8,8 +8,12 @@ use bsr_repro::framework::config::AbftMode;
 use bsr_repro::prelude::*;
 
 fn run_with(scheme_label: &str, mode: AbftMode, rate: f64) {
+    // Measured-time feedback is disabled: this demo needs a reproducible fault
+    // schedule, and feedback (the default) would let BSR's plans — and therefore the
+    // SDC sample — follow the host's wall-clock noise.
     let mut cfg = RunConfig::small(Decomposition::Lu, 256, 32, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
         .with_abft_mode(mode)
+        .with_measured_feedback(false)
         .with_seed(17);
     // The tiny demo problem runs for microseconds of simulated GPU time, so the SDC
     // model is made aggressive enough to see corruption events: SDCs become possible at

@@ -1,5 +1,11 @@
 //! Cross-crate integration: numeric-mode factorizations with fault injection stay correct
 //! under ABFT protection, for all three decompositions.
+//!
+//! The reliability assertions run with measured-time predictor feedback *disabled*:
+//! feedback makes BSR plans — and therefore the sampled SDC event stream — depend on
+//! host wall-clock noise, while these tests need a reproducible fault schedule. The
+//! feedback loop itself is exercised by `measured_feedback_reacts_to_real_execution`
+//! below and by the unit tests in `bsr-core::numeric`.
 
 use bsr_repro::framework::config::AbftMode;
 use bsr_repro::prelude::*;
@@ -7,6 +13,7 @@ use bsr_repro::prelude::*;
 fn noisy_cfg(dec: Decomposition, mode: AbftMode, seed: u64) -> RunConfig {
     let mut cfg = RunConfig::small(dec, 192, 32, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
         .with_abft_mode(mode)
+        .with_measured_feedback(false)
         .with_seed(seed);
     // Lower the fault-free threshold below the base clock and raise the rates so the
     // micro-second iterations of this small problem still observe SDC events.
@@ -33,6 +40,8 @@ fn full_abft_repairs_all_three_decompositions() {
             out.residual, out.faults_injected
         );
         assert_eq!(out.verification.uncorrectable, 0, "{dec:?}");
+        // The fused checksums paid their cost on the real schedule.
+        assert!(out.checksum_cpu_s > 0.0, "{dec:?}: fused checksum time must be charged");
     }
 }
 
@@ -61,13 +70,54 @@ fn fault_free_adaptive_runs_match_reference_factorization() {
 }
 
 #[test]
-fn numeric_and_analytic_reports_agree_on_timing() {
-    // The numeric driver reuses the analytic engine, so energy/time must be identical for
-    // the same configuration.
+fn numeric_and_analytic_reports_agree_on_timing_without_feedback() {
+    // With measured feedback disabled, the numeric driver's predictor sees the same
+    // analytic estimates as a pure analytic run, so plans — and therefore the analytic
+    // time/energy totals — must be identical.
     let cfg = RunConfig::small(Decomposition::Lu, 256, 64, Strategy::SlackReclamation)
-        .with_fault_injection(false);
+        .with_fault_injection(false)
+        .with_measured_feedback(false);
     let analytic = run(cfg.clone());
     let numeric = run_numeric(cfg).unwrap();
     assert!((analytic.total_time_s - numeric.report.total_time_s).abs() < 1e-12);
     assert!((analytic.total_energy_j() - numeric.report.total_energy_j()).abs() < 1e-9);
+}
+
+#[test]
+fn measured_feedback_reacts_to_real_execution() {
+    // With feedback on (the default), the slack predictor observes the host's real
+    // wall-clock durations, so its predictions must track the measured execution far
+    // better than the analytic model of the simulated platform does — the scale-free
+    // signature of a live feedback loop (absolute magnitudes depend on the host, so
+    // they are not asserted).
+    let cfg = RunConfig::small(Decomposition::Lu, 256, 64, Strategy::SlackReclamation)
+        .with_fault_injection(false);
+    let fed = run_numeric(cfg.clone()).unwrap();
+    let predictor_err = fed.mean_predictor_error().expect("predictions must exist");
+    let analytic_err = fed.mean_analytic_error().unwrap();
+    assert!(
+        predictor_err < analytic_err,
+        "measured-fed predictions must track real execution better than the analytic \
+         model (predictor {predictor_err:.3} vs analytic {analytic_err:.3})"
+    );
+    // The plans themselves are built from wall-clock-scale predictions: the summed
+    // predicted slack must exceed the analytic-fed run's (host kernels are slower
+    // than the simulated GPU at every size this suite runs).
+    let unfed = run_numeric(cfg.with_measured_feedback(false)).unwrap();
+    let fed_slack: f64 = fed.report.iterations[1..]
+        .iter()
+        .map(|t| t.predicted_slack_s.abs())
+        .sum();
+    let unfed_slack: f64 = unfed.report.iterations[1..]
+        .iter()
+        .map(|t| t.predicted_slack_s.abs())
+        .sum();
+    // Plain `>` rather than a fixed multiple: the gap between host wall-clock and the
+    // simulated platform varies with the machine, and this assertion only needs to
+    // witness that the plans were built from a different (measured) time base.
+    assert!(
+        fed_slack > unfed_slack,
+        "measured-fed plans must see host-scale slack (fed {fed_slack:.3e} vs \
+         analytic-fed {unfed_slack:.3e})"
+    );
 }
