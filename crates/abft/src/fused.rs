@@ -173,9 +173,61 @@ impl TrailingHook for FusedTileChecksums {
     }
 }
 
+/// Per-iteration hook multiplexer for the whole-factorization DAG drivers
+/// (`lu_dag_with` / `cholesky_dag_with` / `qr_dag_with`).
+///
+/// The barrier steppers run one [`FusedTileChecksums`] per iteration, created between
+/// iterations. A DAG run executes *all* iterations inside one task graph, so every
+/// per-iteration hook must exist up front; this type holds them all and dispatches
+/// each `after_tile_update` call to the hook of the task's iteration. Hooks fire
+/// per-task exactly as in the barrier drivers — same (iteration, tile) visit set,
+/// same commutative tallies — so fault/verification counts are schedule-independent.
+pub struct PerIterationChecksums {
+    hooks: Vec<FusedTileChecksums>,
+}
+
+impl PerIterationChecksums {
+    /// Multiplex over `hooks[k]` for iteration `k`. The vector must have one entry
+    /// per blocked iteration of the factorization it is fused into.
+    pub fn new(hooks: Vec<FusedTileChecksums>) -> Self {
+        Self { hooks }
+    }
+
+    /// Number of per-iteration hooks.
+    pub fn iterations(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// The hook serving iteration `k`.
+    pub fn hook(&self, k: usize) -> &FusedTileChecksums {
+        &self.hooks[k]
+    }
+
+    /// Verification outcome merged across all iterations.
+    pub fn outcome(&self) -> VerifyOutcome {
+        let mut out = VerifyOutcome::default();
+        for h in &self.hooks {
+            out.merge(&h.outcome());
+        }
+        out
+    }
+
+    /// Total planned faults injected across all iterations.
+    pub fn faults_injected(&self) -> usize {
+        self.hooks.iter().map(|h| h.faults_injected()).sum()
+    }
+}
+
+impl TrailingHook for PerIterationChecksums {
+    fn after_tile_update(&self, iter: usize, col0: usize, row0: usize, cols: &mut [&mut [f64]]) {
+        self.hooks[iter].after_tile_update(iter, col0, row0, cols);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bsr_linalg::dag::DagExecution;
     use bsr_linalg::generate::{random_matrix, random_spd_matrix};
     use bsr_linalg::{cholesky, lu, qr};
     use rand::SeedableRng;
@@ -214,6 +266,40 @@ mod tests {
         assert_eq!(fused.qr, plain.qr, "fused QR changed the factors");
         assert_eq!(fused.taus, plain.taus);
         assert!(hook.outcome().is_clean_or_corrected());
+    }
+
+    #[test]
+    fn dag_run_with_per_iteration_hooks_matches_stepped_hooks() {
+        // The DAG driver runs all iterations inside one task graph, so its hooks are
+        // multiplexed per iteration; the barrier driver keeps one hook across all
+        // iterations. Same (iteration, tile) visit set ⇒ same factors and, after
+        // merging, the same commutative tallies.
+        let mut rng = ChaCha8Rng::seed_from_u64(79);
+        let n = 40;
+        let b = 8;
+        let iters = lu::num_iterations(n, b);
+        let a = random_matrix(&mut rng, n, n);
+
+        let barrier_hook = FusedTileChecksums::new(ChecksumScheme::Full, b);
+        let barrier = lu::lu_tiled_with(&a, b, &barrier_hook).unwrap();
+
+        let dag_hook = PerIterationChecksums::new(
+            (0..iters).map(|_| FusedTileChecksums::new(ChecksumScheme::Full, b)).collect(),
+        );
+        let (dag, _timing) =
+            lu::lu_dag_with(&a, b, &dag_hook, DagExecution::Replay { seed: 11 }).unwrap();
+
+        assert_eq!(barrier.lu, dag.lu, "hooked DAG run changed the factors");
+        assert_eq!(barrier.pivots, dag.pivots);
+        let merged = dag_hook.outcome();
+        let stepped = barrier_hook.outcome();
+        assert_eq!(
+            (merged.corrected_0d, merged.corrected_1d, merged.uncorrectable),
+            (stepped.corrected_0d, stepped.corrected_1d, stepped.uncorrectable),
+            "per-iteration tallies diverge"
+        );
+        assert!(merged.is_clean_or_corrected());
+        assert!(dag_hook.faults_injected() == 0);
     }
 
     #[test]

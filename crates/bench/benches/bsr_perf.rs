@@ -13,9 +13,11 @@
 //!   makespan under the same plans, plus the predictor's relative error against the
 //!   measured update durations and the analytic model's error on the same iterations
 //!   (the gap is what the measured feedback buys);
-//! * **abft** — BSR(r=0.25) × the three forced checksum schemes: the measured fused
-//!   checksum fraction of the update stream (the real cost of per-iteration
-//!   encode + verify, the counterpart of the paper's Table 2 ratios).
+//! * **abft** — BSR(r=0.25) × the three forced checksum schemes × both execution
+//!   runtimes (`stepped`: measured-feedback barrier stepper; `dag`: dependency-driven
+//!   task DAG with depth-unbounded lookahead): the measured fused checksum fraction of
+//!   the update stream (the real cost of per-iteration encode + verify, the
+//!   counterpart of the paper's Table 2 ratios).
 //!
 //! Results go to stdout and to `BENCH_bsr.json` at the workspace root. Environment:
 //! * `BSR_PERF_SMOKE=1` — tiny size + single repetition for CI smoke runs; writes to
@@ -54,10 +56,11 @@ struct StrategyRow {
     samples: usize,
 }
 
-/// One measured (scheme, decomposition, threads) ABFT-cost cell.
+/// One measured (scheme, decomposition, runtime, threads) ABFT-cost cell.
 struct AbftRow {
     scheme: &'static str,
     facto: &'static str,
+    runtime: &'static str,
     threads: usize,
     measured_makespan_s: f64,
     checksum_cpu_s: f64,
@@ -130,24 +133,33 @@ fn main() {
         ("single_side", ChecksumScheme::SingleSide),
         ("full", ChecksumScheme::Full),
     ];
+    // `stepped` keeps measured feedback on (per-iteration barrier, durations feed the
+    // next plan); `dag` turns it off, which routes the run through the dependency-driven
+    // task DAG where trailing tasks of later iterations overlap in-flight slow tiles.
+    let runtimes = [("stepped", true), ("dag", false)];
     let mut abft_rows: Vec<AbftRow> = Vec::new();
     for dec in Decomposition::ALL {
         for (label, scheme) in schemes {
-            for &threads in &sweep_threads {
-                let _guard = ThreadCountGuard::set(threads);
-                let cfg = RunConfig::small(dec, n, block, Strategy::Bsr(BsrConfig::with_ratio(0.25)))
-                    .with_abft_mode(AbftMode::Forced(scheme))
-                    .with_fault_injection(false);
-                let out = median_run(&cfg, reps);
-                abft_rows.push(AbftRow {
-                    scheme: label,
-                    facto: facto_label(dec),
-                    threads,
-                    measured_makespan_s: out.measured_makespan_s(),
-                    checksum_cpu_s: out.checksum_cpu_s,
-                    checksum_fraction: out.measured_checksum_fraction(),
-                    samples: reps,
-                });
+            for (runtime, feedback) in runtimes {
+                for &threads in &sweep_threads {
+                    let _guard = ThreadCountGuard::set(threads);
+                    let cfg =
+                        RunConfig::small(dec, n, block, Strategy::Bsr(BsrConfig::with_ratio(0.25)))
+                            .with_abft_mode(AbftMode::Forced(scheme))
+                            .with_fault_injection(false)
+                            .with_measured_feedback(feedback);
+                    let out = median_run(&cfg, reps);
+                    abft_rows.push(AbftRow {
+                        scheme: label,
+                        facto: facto_label(dec),
+                        runtime,
+                        threads,
+                        measured_makespan_s: out.measured_makespan_s(),
+                        checksum_cpu_s: out.checksum_cpu_s,
+                        checksum_fraction: out.measured_checksum_fraction(),
+                        samples: reps,
+                    });
+                }
             }
         }
     }
@@ -183,16 +195,17 @@ fn main() {
     println!("  abft cost sweep (fused checksum fraction of the update stream, t1):");
     for dec in Decomposition::ALL {
         let facto = facto_label(dec);
-        let mut parts = Vec::new();
-        for (label, _) in schemes {
-            if let Some(r) = abft_rows
-                .iter()
-                .find(|r| r.facto == facto && r.scheme == label && r.threads == 1)
-            {
-                parts.push(format!("{label} {:.1}%", 100.0 * r.checksum_fraction));
+        for (runtime, _) in runtimes {
+            let mut parts = Vec::new();
+            for (label, _) in schemes {
+                if let Some(r) = abft_rows.iter().find(|r| {
+                    r.facto == facto && r.scheme == label && r.runtime == runtime && r.threads == 1
+                }) {
+                    parts.push(format!("{label} {:.1}%", 100.0 * r.checksum_fraction));
+                }
             }
+            println!("  {facto:>8} [{runtime:>7}] {}", parts.join(" | "));
         }
-        println!("  {facto:>8} {}", parts.join(" | "));
     }
 
     // ---- JSON emission ----------------------------------------------------------------
@@ -229,9 +242,9 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"scheme\":\"{}\",\"facto\":\"{}\",\"threads\":{},\"measured_makespan_s\":{:.6e},\"checksum_cpu_s\":{:.6e},\"checksum_fraction\":{:.4},\"samples\":{}}}",
-                r.scheme, r.facto, r.threads, r.measured_makespan_s, r.checksum_cpu_s,
-                r.checksum_fraction, r.samples
+                "    {{\"scheme\":\"{}\",\"facto\":\"{}\",\"runtime\":\"{}\",\"threads\":{},\"measured_makespan_s\":{:.6e},\"checksum_cpu_s\":{:.6e},\"checksum_fraction\":{:.4},\"samples\":{}}}",
+                r.scheme, r.facto, r.runtime, r.threads, r.measured_makespan_s,
+                r.checksum_cpu_s, r.checksum_fraction, r.samples
             )
         })
         .collect();

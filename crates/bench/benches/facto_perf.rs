@@ -14,20 +14,24 @@
 //! pattern) and reports the checksum share of total time — the measured counterpart of
 //! the paper's Table 2 checksum-cost ratios.
 //!
-//! A fourth section sweeps `RAYON_NUM_THREADS ∈ {1, 2, 4, host}` over the two
+//! A fourth section sweeps `RAYON_NUM_THREADS ∈ {1, 2, 4, host}` over the three
 //! execution models of the full factorizations:
 //!
 //! * **forkjoin** — the synchronous drivers (panel → barrier → trailing update, the
 //!   PR 3 paths), whose BLAS-3 regions fan out on the persistent pool;
 //! * **tiled** — the task-parallel drivers (`lu_tiled` / `cholesky_tiled` /
 //!   `qr_tiled`): per-tile-column trailing-update tasks with one-step panel
-//!   lookahead, bit-identical results to forkjoin at every thread count.
+//!   lookahead, bit-identical results to forkjoin at every thread count;
+//! * **dag** — the dependency-driven drivers (`lu_dag` / `cholesky_dag` / `qr_dag`):
+//!   per-tile dependency counters instead of per-iteration barriers, so lookahead
+//!   depth is unbounded and iteration `k + 2`'s updates start while iteration `k`'s
+//!   slow tiles are still in flight; results stay bit-identical to both other models.
 //!
-//! Each (facto, n, threads) cell is measured with the same paired interleaved A/B
-//! design, plus an ABFT-**fused** tiled run (`FusedTileChecksums` hook: every trailing
-//! task encodes + verifies its own tiles on the parallel schedule) reporting the
-//! CPU-summed checksum seconds. The sweep also measures the persistent pool's region
-//! dispatch cost (`pool_dispatch_us`), the number behind `parallel_degree`'s
+//! Each (facto, n, threads) cell is measured with the same paired interleaved A/B/C
+//! design, plus ABFT-**fused** tiled and DAG runs (`FusedTileChecksums` hooks: every
+//! trailing task encodes + verifies its own tiles on the parallel schedule) reporting
+//! the CPU-summed checksum seconds. The sweep also measures the persistent pool's
+//! region dispatch cost (`pool_dispatch_us`), the number behind `parallel_degree`'s
 //! threshold in `bsr-linalg::blas3`.
 //!
 //! Measurement is a *paired interleaved* A/B design: in every timing round the two
@@ -46,7 +50,9 @@
 //! LU `2n³/3`, QR `4n³/3`.
 
 use bsr_abft::checksum::{encode_block, verify_and_correct, ChecksumScheme};
+use bsr_abft::fused::PerIterationChecksums;
 use bsr_abft::FusedTileChecksums;
+use bsr_linalg::dag::DagExecution;
 use bsr_linalg::blas3::{
     gemm, gemm_into_block, simd_backend, syrk_lower_into_block, trsm_into_block, Diag, Side,
     Trans, UpLo,
@@ -457,8 +463,12 @@ fn run_with_abft(facto: &str, input: &Matrix, block: usize) -> (f64, f64) {
 
 use rayon::ThreadCountGuard;
 
+/// The execution models the lookahead sweep compares, slowest-coupling first.
+const LOOKAHEAD_VARIANTS: [&str; 3] = ["forkjoin", "tiled", "dag"];
+
 /// One execution-model run: `forkjoin` is the synchronous PR 3 driver, `tiled` the
-/// task-parallel lookahead driver. Both include the input copy, so the comparison is
+/// barrier-stepped task-parallel lookahead driver, `dag` the dependency-driven driver
+/// with depth-unbounded lookahead. All include the input copy, so the comparison is
 /// end-to-end.
 fn run_lookahead(facto: &str, variant: &str, input: &Matrix, work: &mut Matrix, block: usize) {
     match (facto, variant) {
@@ -471,6 +481,16 @@ fn run_lookahead(facto: &str, variant: &str, input: &Matrix, work: &mut Matrix, 
         }
         ("qr", "tiled") => {
             std::hint::black_box(qr::qr_tiled(input, block));
+        }
+        ("cholesky", "dag") => {
+            work.clone_from(input);
+            cholesky::cholesky_dag(work, block).unwrap();
+        }
+        ("lu", "dag") => {
+            std::hint::black_box(lu::lu_dag(input, block).unwrap());
+        }
+        ("qr", "dag") => {
+            std::hint::black_box(qr::qr_dag(input, block));
         }
         (_, "forkjoin") => run_variant(facto, "slice", input, work, block),
         other => unreachable!("unknown configuration {other:?}"),
@@ -489,12 +509,14 @@ struct SweepRow {
     gflops: f64,
 }
 
-/// One ABFT-fused tiled run: wall time plus CPU-summed checksum seconds (equal to the
-/// wall-clock checksum share on one thread; an upper bound on it when tasks overlap).
+/// One ABFT-fused run (tiled stepper or DAG runtime): wall time plus CPU-summed
+/// checksum seconds (equal to the wall-clock checksum share on one thread; an upper
+/// bound on it when tasks overlap).
 struct FusedRow {
     facto: &'static str,
     n: usize,
     threads: usize,
+    runtime: &'static str,
     total_s: f64,
     checksum_cpu_s: f64,
     checksum_fraction: f64,
@@ -521,6 +543,37 @@ fn run_fused(facto: &str, input: &Matrix, block: usize) -> (f64, f64) {
     let total = start.elapsed().as_secs_f64();
     assert!(hook.outcome().is_clean_or_corrected());
     (total, hook.checksum_seconds())
+}
+
+/// DAG factorization with one `FusedTileChecksums` per iteration riding the
+/// dependency-driven schedule through the [`PerIterationChecksums`] multiplexer.
+fn run_fused_dag(facto: &str, input: &Matrix, block: usize) -> (f64, f64) {
+    let iterations = input.rows().div_ceil(block);
+    let hooks = (0..iterations)
+        .map(|_| FusedTileChecksums::new(ChecksumScheme::Full, block))
+        .collect();
+    let hook = PerIterationChecksums::new(hooks);
+    let start = Instant::now();
+    match facto {
+        "cholesky" => {
+            let mut a = input.clone();
+            cholesky::cholesky_dag_with(&mut a, block, &hook, DagExecution::Pool).unwrap();
+        }
+        "lu" => {
+            std::hint::black_box(
+                lu::lu_dag_with(input, block, &hook, DagExecution::Pool).unwrap(),
+            );
+        }
+        "qr" => {
+            std::hint::black_box(qr::qr_dag_with(input, block, &hook, DagExecution::Pool));
+        }
+        other => unreachable!("unknown facto {other}"),
+    }
+    let total = start.elapsed().as_secs_f64();
+    assert!(hook.outcome().is_clean_or_corrected());
+    let checksum_cpu_s: f64 =
+        (0..iterations).map(|k| hook.hook(k).checksum_seconds()).sum();
+    (total, checksum_cpu_s)
 }
 
 /// Median time (µs) of entering + leaving a 4-task parallel region on the persistent
@@ -662,32 +715,32 @@ fn main() {
             let mut work = Matrix::zeros(n, n);
             for &threads in &sweep_threads {
                 let _guard = ThreadCountGuard::set(threads);
-                // Warm-up pair + round calibration, as in the slice/naive section.
+                // Warm-up triple + round calibration, as in the slice/naive section.
                 let wu = Instant::now();
-                run_lookahead(facto, "forkjoin", &input, &mut work, block);
-                run_lookahead(facto, "tiled", &input, &mut work, block);
-                let pair_s = wu.elapsed().as_secs_f64();
+                for variant in LOOKAHEAD_VARIANTS {
+                    run_lookahead(facto, variant, &input, &mut work, block);
+                }
+                let triple_s = wu.elapsed().as_secs_f64();
                 let rounds = if smoke {
                     3
                 } else {
                     // ~2.4 s per sweep cell with at least 15 rounds, odd for a clean
-                    // median — enough that the tiled-vs-forkjoin ratios settle well
-                    // inside the host's noise band even at the largest sizes.
-                    ((2.4 / pair_s) as usize).clamp(15, 41) | 1
+                    // median — enough that the paired execution-model ratios settle
+                    // well inside the host's noise band even at the largest sizes.
+                    ((2.4 / triple_s) as usize).clamp(15, 41) | 1
                 };
-                let mut fj_samples = Vec::with_capacity(rounds);
-                let mut tiled_samples = Vec::with_capacity(rounds);
+                let mut samples: [Vec<f64>; 3] =
+                    std::array::from_fn(|_| Vec::with_capacity(rounds));
                 for _ in 0..rounds {
-                    let t = Instant::now();
-                    run_lookahead(facto, "forkjoin", &input, &mut work, block);
-                    fj_samples.push(t.elapsed().as_secs_f64());
-                    let t = Instant::now();
-                    run_lookahead(facto, "tiled", &input, &mut work, block);
-                    tiled_samples.push(t.elapsed().as_secs_f64());
+                    // Paired interleaved: all three models run back-to-back every
+                    // round so host drift cancels out of their ratios.
+                    for (variant, out) in LOOKAHEAD_VARIANTS.iter().copied().zip(samples.iter_mut()) {
+                        let t = Instant::now();
+                        run_lookahead(facto, variant, &input, &mut work, block);
+                        out.push(t.elapsed().as_secs_f64());
+                    }
                 }
-                for (variant, samples) in
-                    [("forkjoin", &mut fj_samples), ("tiled", &mut tiled_samples)]
-                {
+                for (variant, samples) in LOOKAHEAD_VARIANTS.iter().copied().zip(samples.iter_mut()) {
                     let med = median(samples);
                     let min_s = samples.iter().copied().fold(f64::INFINITY, f64::min);
                     sweep_rows.push(SweepRow {
@@ -712,19 +765,25 @@ fn main() {
             let input = make_input(facto, n);
             for &threads in &sweep_threads {
                 let _guard = ThreadCountGuard::set(threads);
-                let mut samples: Vec<(f64, f64)> =
-                    (0..reps).map(|_| run_fused(facto, &input, block)).collect();
-                samples.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let (total_s, checksum_cpu_s) = samples[samples.len() / 2];
-                fused_rows.push(FusedRow {
-                    facto,
-                    n,
-                    threads,
-                    total_s,
-                    checksum_cpu_s,
-                    checksum_fraction: checksum_cpu_s / total_s,
-                    gflops: flops(facto, n) / total_s / 1e9,
-                });
+                for (runtime, run) in [
+                    ("tiled", run_fused as fn(&str, &Matrix, usize) -> (f64, f64)),
+                    ("dag", run_fused_dag),
+                ] {
+                    let mut samples: Vec<(f64, f64)> =
+                        (0..reps).map(|_| run(facto, &input, block)).collect();
+                    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    let (total_s, checksum_cpu_s) = samples[samples.len() / 2];
+                    fused_rows.push(FusedRow {
+                        facto,
+                        n,
+                        threads,
+                        runtime,
+                        total_s,
+                        checksum_cpu_s,
+                        checksum_fraction: checksum_cpu_s / total_s,
+                        gflops: flops(facto, n) / total_s / 1e9,
+                    });
+                }
             }
         }
     }
@@ -754,7 +813,7 @@ fn main() {
         }
     }
 
-    println!("  lookahead sweep (tiled vs forkjoin GFLOP/s ratio):");
+    println!("  lookahead sweep (tiled and dag vs forkjoin GFLOP/s ratio):");
     for &n in sizes {
         for facto in FACTOS {
             let mut parts = Vec::new();
@@ -764,16 +823,63 @@ fn main() {
                         r.facto == facto && r.n == n && r.threads == t && r.variant == variant
                     })
                 };
-                if let (Some(fj), Some(td)) = (find("forkjoin"), find("tiled")) {
-                    parts.push(format!("t{t} {:.2}x", td.gflops / fj.gflops));
+                if let (Some(fj), Some(td), Some(dg)) =
+                    (find("forkjoin"), find("tiled"), find("dag"))
+                {
+                    parts.push(format!(
+                        "t{t} tiled {:.2}x dag {:.2}x",
+                        td.gflops / fj.gflops,
+                        dg.gflops / fj.gflops
+                    ));
                 }
             }
             let fused = fused_rows
                 .iter()
-                .find(|r| r.facto == facto && r.n == n && r.threads == 1)
+                .find(|r| r.facto == facto && r.n == n && r.threads == 1 && r.runtime == "tiled")
                 .map(|r| format!(" | fused abft {:.1}%", 100.0 * r.checksum_fraction))
                 .unwrap_or_default();
             println!("  {facto:>8} n={n:<5} {}{fused}", parts.join(" | "));
+        }
+    }
+
+    // ---- paired-ratio sanity assertions ------------------------------------------------
+    // Only meaningful when the pool actually has parallelism: single-core CI smoke
+    // hosts run every model sequentially, so their A/B ratios are pure noise and the
+    // run only checks completion.
+    if host_cores > 1 {
+        let ratio = |facto: &str, n: usize, t: usize, a: &str, b: &str| -> Option<f64> {
+            let find = |variant: &str| {
+                sweep_rows.iter().find(|r| {
+                    r.facto == facto && r.n == n && r.threads == t && r.variant == variant
+                })
+            };
+            Some(find(a)?.gflops / find(b)?.gflops)
+        };
+        let max_n = *sizes.last().unwrap();
+        for facto in FACTOS {
+            // Single-thread parity: with no parallelism to exploit, neither task
+            // runtime may cost more than a generous noise band over forkjoin.
+            for variant in ["tiled", "dag"] {
+                if let Some(r) = ratio(facto, max_n, 1, variant, "forkjoin") {
+                    assert!(
+                        r > 0.75,
+                        "{facto} n={max_n}: {variant} single-thread ratio {r:.2}x \
+                         is below parity band"
+                    );
+                }
+            }
+        }
+        if !smoke && sweep_threads.contains(&4) {
+            // Depth-unbounded lookahead must beat the barrier-stepped models for at
+            // least one factorization at the largest size with 4 workers.
+            let best = FACTOS
+                .iter()
+                .filter_map(|f| ratio(f, max_n, 4, "dag", "forkjoin"))
+                .fold(f64::NAN, f64::max);
+            assert!(
+                best > 1.18,
+                "DAG t4 best speedup over forkjoin at n={max_n} is {best:.2}x (need > 1.18x)"
+            );
         }
     }
 
@@ -819,8 +925,9 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"facto\":\"{}\",\"n\":{},\"threads\":{},\"scheme\":\"full\",\"total_s\":{:.6e},\"checksum_cpu_s\":{:.6e},\"checksum_fraction\":{:.4},\"gflops\":{:.3}}}",
-                r.facto, r.n, r.threads, r.total_s, r.checksum_cpu_s, r.checksum_fraction, r.gflops
+                "    {{\"facto\":\"{}\",\"n\":{},\"threads\":{},\"runtime\":\"{}\",\"scheme\":\"full\",\"total_s\":{:.6e},\"checksum_cpu_s\":{:.6e},\"checksum_fraction\":{:.4},\"gflops\":{:.3}}}",
+                r.facto, r.n, r.threads, r.runtime, r.total_s, r.checksum_cpu_s,
+                r.checksum_fraction, r.gflops
             )
         })
         .collect();
@@ -850,13 +957,21 @@ fn main() {
                         r.facto == facto && r.n == n && r.threads == t && r.variant == variant
                     })
                 };
-                let ratio = match (find("tiled"), find("forkjoin")) {
-                    (Some(td), Some(fj)) => td.gflops / fj.gflops,
+                let pair = |a: &str, b: &str| match (find(a), find(b)) {
+                    (Some(x), Some(y)) => x.gflops / y.gflops,
                     _ => f64::NAN,
                 };
                 speedups.push(format!(
                     "    \"{facto}_n{n}_t{t}_tiled_vs_forkjoin\": {}",
-                    json_num(ratio)
+                    json_num(pair("tiled", "forkjoin"))
+                ));
+                speedups.push(format!(
+                    "    \"{facto}_n{n}_t{t}_dag_vs_forkjoin\": {}",
+                    json_num(pair("dag", "forkjoin"))
+                ));
+                speedups.push(format!(
+                    "    \"{facto}_n{n}_t{t}_dag_vs_tiled\": {}",
+                    json_num(pair("dag", "tiled"))
                 ));
             }
         }

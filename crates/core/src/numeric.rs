@@ -10,9 +10,16 @@
 //! 1. the iteration's [`IterationPlan`](bsr_sched::strategy::IterationPlan) comes from
 //!    `bsr-sched` via [`AnalyticDriver::begin_step`] (frequencies, guardbands, ABFT
 //!    scheme, sampled SDC events);
-//! 2. the trailing update runs as the per-tile-column task graph of `bsr-linalg`'s
-//!    tiled steppers ([`lu::LuTiledStepper`], [`cholesky::CholeskyTiledStepper`],
-//!    [`qr::QrTiledStepper`]) with one-step panel lookahead on the persistent pool;
+//! 2. the trailing update runs on `bsr-linalg`'s task runtime. With measured feedback
+//!    **on** that is the per-tile-column tiled steppers ([`lu::LuTiledStepper`],
+//!    [`cholesky::CholeskyTiledStepper`], [`qr::QrTiledStepper`]) with one-step panel
+//!    lookahead — feedback needs each iteration's measured durations before planning
+//!    the next, which inherently caps lookahead at one panel. With feedback **off**
+//!    every iteration is planned up front and the whole factorization runs as one
+//!    dependency-driven task DAG ([`lu::lu_dag_with`], [`cholesky::cholesky_dag_with`],
+//!    [`qr::qr_dag_with`]) with depth-unbounded lookahead: a trailing tile of
+//!    iteration `k + 2` starts the moment its inputs are final, while slow tiles of
+//!    iteration `k` are still in flight;
 //! 3. checksum maintenance rides those tasks through `bsr-abft`'s
 //!    [`FusedTileChecksums`] — every iteration the active scheme protects pays the
 //!    full encode + verify cost, and each sampled SDC event is injected into its
@@ -33,7 +40,8 @@ use crate::config::RunConfig;
 use crate::report::RunReport;
 use crate::trace::SdcEvent;
 use bsr_abft::checksum::{ChecksumScheme, VerifyOutcome};
-use bsr_abft::fused::{FusedTileChecksums, PlannedFault};
+use bsr_abft::fused::{FusedTileChecksums, PerIterationChecksums, PlannedFault};
+use bsr_linalg::dag::DagExecution;
 use bsr_linalg::generate::{random_matrix, random_spd_matrix};
 use bsr_linalg::matrix::{Block, Matrix};
 use bsr_linalg::task::{StepTiming, TrailingHook};
@@ -99,8 +107,11 @@ pub struct MeasuredIteration {
     pub k: usize,
     /// Measured duration of the lookahead panel factorization (panel `k + 1`).
     pub pd_s: f64,
-    /// Measured wall-clock duration of the trailing-update task region (includes the
-    /// lookahead panel and the fused checksum work).
+    /// Measured duration of the iteration's trailing update. Under the stepped
+    /// runtime this is the wall-clock duration of the barrier-delimited task region
+    /// (includes the lookahead panel and the fused checksum work); under the DAG
+    /// runtime it is the CPU-summed duration of the iteration's trailing-update
+    /// tasks, which overlap other iterations and belong to no wall-clock phase.
     pub update_s: f64,
     /// Fused checksum seconds of this iteration (CPU-summed across tasks).
     pub checksum_s: f64,
@@ -291,6 +302,20 @@ pub fn run_numeric_on(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport
             expected: n,
         });
     }
+    if cfg.measured_feedback {
+        run_numeric_stepped(cfg, input)
+    } else {
+        run_numeric_dag(cfg, input)
+    }
+}
+
+/// Measured-feedback path: one barrier-stepped iteration at a time, so each
+/// iteration's measured durations can reach the predictor before the next plan.
+fn run_numeric_stepped(
+    cfg: RunConfig,
+    input: &Matrix,
+) -> Result<NumericRunReport, NumericError> {
+    let n = cfg.workload.n;
     let b = cfg.workload.block;
     let dec = cfg.workload.decomposition;
     let feedback = cfg.measured_feedback;
@@ -364,6 +389,121 @@ pub fn run_numeric_on(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport
 
     // --- final numerical verification against the original input ----------------------
     let (factors, residual) = engine.finish(input);
+    let report = driver.into_report();
+    Ok(NumericRunReport {
+        numerically_correct: residual < CORRECTNESS_THRESHOLD,
+        report,
+        factors,
+        residual,
+        verification,
+        faults_injected,
+        timeline,
+        measured,
+        checksum_cpu_s,
+    })
+}
+
+/// Feedback-off path: plan every iteration up front (deterministic — the plans see
+/// only the analytic predictor and the seeded SDC sampler), then run the whole
+/// factorization as one dependency-driven task DAG with depth-unbounded lookahead.
+///
+/// The per-iteration accounting attributes measured durations to *DAG tasks* instead
+/// of barrier phases: `pd_s` is the wall-clock duration of the iteration's lookahead
+/// panel task, `update_s` is the CPU-summed duration of the iteration's trailing
+/// update tasks (they overlap other iterations' tasks, so no single wall-clock phase
+/// contains them), and `checksum_s` is the iteration's fused-hook encode + verify
+/// share of that total.
+fn run_numeric_dag(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, NumericError> {
+    let n = cfg.workload.n;
+    let b = cfg.workload.block;
+    let dec = cfg.workload.decomposition;
+    let mut inject_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0bad_5eed);
+
+    let mut driver = AnalyticDriver::new(cfg.clone());
+    let iterations = cfg.workload.iterations();
+
+    // --- plan every iteration and sample its SDC events up front -----------------------
+    // Identical driver interaction to the stepped path with feedback off: begin_step,
+    // record the plan, finish_step with no observation. The injection RNG is drawn in
+    // iteration order, so the planned faults are bit-identical to a stepped run.
+    let mut hooks = Vec::with_capacity(iterations);
+    let mut plans = Vec::with_capacity(iterations);
+    for k in 0..iterations {
+        let pending = driver.begin_step(k);
+        let scheme = pending.trace().abft;
+        let tiles = protected_tiles(dec, n, b, k);
+        let faults = if tiles.is_empty() {
+            Vec::new()
+        } else {
+            plan_faults(&pending.trace().sdc_events, &tiles, &mut inject_rng)
+        };
+        hooks.push(FusedTileChecksums::with_faults(scheme, b, faults));
+        plans.push((
+            pending.predictions(),
+            pending.trace().timing,
+            pending.trace().cpu_freq,
+            pending.trace().gpu_freq,
+        ));
+        driver.finish_step(pending, None);
+    }
+    let hook = PerIterationChecksums::new(hooks);
+
+    // --- one DAG run over the whole factorization, checksums fused per task ------------
+    let (factors, residual, timing) = match dec {
+        Decomposition::Cholesky => {
+            let mut m = input.clone();
+            let timing = cholesky::cholesky_dag_with(&mut m, b, &hook, DagExecution::Pool)
+                .map_err(NumericError::Cholesky)?;
+            let residual = cholesky_residual(input, &m.lower_triangular());
+            (NumericFactors::Cholesky(m), residual, timing)
+        }
+        Decomposition::Lu => {
+            let (f, timing) = lu::lu_dag_with(input, b, &hook, DagExecution::Pool)
+                .map_err(NumericError::Lu)?;
+            let residual = lu_residual(input, &f);
+            (NumericFactors::Lu(f), residual, timing)
+        }
+        Decomposition::Qr => {
+            let (f, timing) = qr::qr_dag_with(input, b, &hook, DagExecution::Pool);
+            let residual = qr_residual(input, &f);
+            (NumericFactors::Qr(f), residual, timing)
+        }
+    };
+
+    // --- attribute the measured DAG-task durations to the two-stream timeline ----------
+    // The timeline keeps the stepped shape (PD0 prologue, then one PD/UPDATE pair per
+    // iteration) so makespans stay comparable across runtimes; each entry now carries
+    // the duration of the matching DAG tasks.
+    let cpu_base = driver.platform().cpu.base_freq;
+    let mut timeline = Timeline::new();
+    let pd0 = timing.panel_s.first().copied().unwrap_or(0.0);
+    timeline.push_task(DeviceKind::Cpu, "PD0", 0, pd0, cpu_base);
+    timeline.sync();
+
+    let mut measured = Vec::with_capacity(iterations);
+    let mut checksum_cpu_s = 0.0;
+    for (k, (preds, analytic, cpu_freq, gpu_freq)) in plans.into_iter().enumerate() {
+        let pd_s = timing.panel_s.get(k + 1).copied().unwrap_or(0.0);
+        let update_s = timing.update_s.get(k).copied().unwrap_or(0.0);
+        let iter_checksum_s = hook.hook(k).checksum_seconds();
+        timeline.push_task(DeviceKind::Cpu, "PD", k, pd_s, cpu_freq);
+        timeline.push_task(DeviceKind::Gpu, "UPDATE", k, update_s, gpu_freq);
+        timeline.sync();
+        checksum_cpu_s += iter_checksum_s;
+        measured.push(MeasuredIteration {
+            k,
+            pd_s,
+            update_s,
+            checksum_s: iter_checksum_s,
+            predicted_pd_s: preds.map(|p| p.cpu_s),
+            predicted_update_s: preds.map(|p| p.gpu_s),
+            analytic_pd_s: analytic.pd_s,
+            analytic_update_s: analytic.pu_s + analytic.tmu_s + analytic.abft_s,
+        });
+    }
+
+    let verification = hook.outcome();
+    let faults_injected = hook.faults_injected();
     let report = driver.into_report();
     Ok(NumericRunReport {
         numerically_correct: residual < CORRECTNESS_THRESHOLD,
@@ -596,6 +736,29 @@ mod tests {
         assert!(qr_tiles.iter().all(|t| t.row >= 32 && t.col >= 64));
         // Past the last panel there is nothing to protect.
         assert!(protected_tiles(Decomposition::Lu, 100, 32, 3).is_empty());
+    }
+
+    #[test]
+    fn dag_runtime_factors_are_bit_identical_to_serial_blocked() {
+        // Feedback-off runs execute on the dependency-driven DAG runtime; the factors
+        // must still be bit-exact against the serial blocked reference, and the
+        // per-iteration record must attribute durations to DAG tasks (the final
+        // iteration has no lookahead panel task, so its pd_s is exactly zero).
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let input = bsr_linalg::generate::random_matrix(&mut rng, 96, 96);
+        let cfg = RunConfig::small(Decomposition::Lu, 96, 32, Strategy::Original)
+            .with_fault_injection(false)
+            .with_measured_feedback(false);
+        let out = run_numeric_on(cfg, &input).unwrap();
+        let reference = lu::lu_blocked(&input, 32).unwrap();
+        let NumericFactors::Lu(f) = &out.factors else { panic!("expected LU factors") };
+        assert!(f.lu.approx_eq(&reference.lu, 0.0), "DAG factors must match serial bit-exactly");
+        assert_eq!(f.pivots, reference.pivots);
+        assert_eq!(out.measured.len(), 3);
+        assert_eq!(out.measured[2].pd_s, 0.0, "last iteration has no lookahead panel task");
+        assert!(out.measured[0].pd_s > 0.0);
+        assert!(out.measured[0].update_s > 0.0);
+        assert!(out.measured_makespan_s() > 0.0);
     }
 
     #[test]

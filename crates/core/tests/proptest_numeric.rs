@@ -1,7 +1,9 @@
 //! Property suite for the plan-driven tiled numeric engine.
 //!
-//! `run_numeric_on` executes every trailing update as the PR-4 per-tile-column task
-//! graph with `FusedTileChecksums` riding the tasks. This suite pins the refactor to
+//! With measured feedback disabled (as every property here configures), `run_numeric_on`
+//! executes the whole factorization as the dependency-driven task DAG with
+//! depth-unbounded lookahead, `FusedTileChecksums` riding each iteration's trailing
+//! tasks through a per-iteration multiplexer. This suite pins the runtime to
 //! the **pre-refactor serial path**: a frozen reference that steps the same analytic
 //! driver, runs the synchronous panel/panel-update/trailing-update kernels, and applies
 //! the identical per-tile encode → inject → verify protection as a *serial epilogue*
@@ -11,7 +13,7 @@
 //! * bit-identical factors (LU storage + pivots, QR storage + taus, Cholesky factor),
 //! * identical fault-injection and verification tallies,
 //!
-//! at `RAYON_NUM_THREADS ∈ {1, 2, 4}`. Determinism across thread counts holds because
+//! at `RAYON_NUM_THREADS ∈ {1, 2, 3, 4, 8}`. Determinism across thread counts holds because
 //! the fault plan is drawn *before* the task graph runs (each fault carries its own
 //! pre-seeded RNG stream) and every tile's encode/inject/verify touches only that
 //! tile's slices.
@@ -35,8 +37,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::ThreadCountGuard;
 
-/// Thread counts every property sweeps (1 = inline, 2/4 = the persistent pool).
-const THREADS: [usize; 3] = [1, 2, 4];
+/// Thread counts every property sweeps (1 = inline, the rest = the persistent pool;
+/// 3 exercises an odd worker count, 8 oversubscribes most CI hosts).
+const THREADS: [usize; 5] = [1, 2, 3, 4, 8];
 
 /// A deterministic numeric configuration with SDC events at the base clock: Original
 /// strategy (plans independent of the predictor), forced Full checksums, no measured
@@ -134,6 +137,47 @@ fn reference_numeric(cfg: &RunConfig, input: &Matrix) -> Result<Reference, Strin
 fn dims() -> impl Strategy<Value = (usize, usize, u64)> {
     (40usize..120, 0usize..3, any::<u64>())
         .prop_map(|(n, bi, seed)| (n, [16usize, 24, 32][bi], seed))
+}
+
+/// Edge shapes the blocked size math must survive without panicking: a block larger
+/// than the matrix (degenerates to one unblocked iteration), order one, and orders
+/// that are not a multiple of the block (tail panel). Each runs to completion on both
+/// runtimes (feedback on = stepped, feedback off = DAG) and produces a numerically
+/// correct factorization; mismatched inputs report `ShapeMismatch` instead of
+/// panicking for the same edge workloads.
+#[test]
+fn edge_shapes_factor_correctly_and_mismatched_inputs_error() {
+    let shapes = [(1usize, 1usize), (1, 4), (5, 8), (7, 3), (33, 32), (40, 64)];
+    for dec in Decomposition::ALL {
+        for (n, b) in shapes {
+            let mut rng = ChaCha8Rng::seed_from_u64(n as u64 * 31 + b as u64);
+            let input = match dec {
+                Decomposition::Cholesky => random_spd_matrix(&mut rng, n),
+                _ => random_matrix(&mut rng, n, n),
+            };
+            for feedback in [false, true] {
+                let cfg = RunConfig::small(dec, n, b, EnergyStrategy::Original)
+                    .with_fault_injection(false)
+                    .with_measured_feedback(feedback);
+                let out = run_numeric_on(cfg.clone(), &input)
+                    .unwrap_or_else(|e| panic!("{dec:?} n={n} b={b} feedback={feedback}: {e}"));
+                assert!(
+                    out.numerically_correct,
+                    "{dec:?} n={n} b={b} feedback={feedback} residual {}",
+                    out.residual
+                );
+                assert_eq!(out.measured.len(), n.div_ceil(b));
+
+                // The same edge workload must reject a wrong-order input with an
+                // error, not a panic.
+                let wrong = Matrix::zeros(n + 1, n + 1);
+                let err = run_numeric_on(cfg.clone(), &wrong).unwrap_err();
+                assert!(err.to_string().contains("expects a square"), "{err}");
+                let rect = Matrix::zeros(n, n + 2);
+                assert!(run_numeric_on(cfg, &rect).is_err());
+            }
+        }
+    }
 }
 
 proptest! {

@@ -11,9 +11,11 @@ use crate::blas3::{
     gemm_acc_cols, gemm_acc_cols_prepacked, repack_a_op, syrk_lower_into_block, trsm_into_block,
     trsm_right_lower_trans_cols, Diag, PackedA, Side, Trans, UpLo,
 };
+use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming};
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, StepTiming, TileCols, TrailingHook};
-use std::sync::Mutex;
+use crate::task::{split_tiles, split_tiles_at, StepTiming, TileCols, TrailingHook};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Error returned when a matrix is not positive definite (or not square).
@@ -343,6 +345,126 @@ impl CholeskyTiledStepper {
     }
 }
 
+// =======================================================================================
+// Dependency-driven DAG driver (depth-unbounded lookahead; see `crate::dag`).
+// =======================================================================================
+
+/// Operands panel `k` publishes for its trailing-update consumers: the `A21` copy and
+/// its packed form, shared read-only by every `Update(k, ·)` task. Bit-identical to
+/// the barrier stepper's per-iteration copies.
+struct CholPanelOps {
+    a21: Matrix,
+    a21p: PackedA,
+}
+
+/// Dependency-driven DAG Cholesky with depth-unbounded panel lookahead.
+///
+/// Same math, same bits as [`cholesky_blocked`] / [`cholesky_tiled`] with the same
+/// block size, at any thread count and under any task schedule; the per-iteration
+/// barrier is replaced by per-tile dependency counters (see [`crate::dag`]), so a
+/// tile's iteration-`k + 1` SYRK slice starts the moment panel `k + 1` and its own
+/// iteration-`k` slice are done — regardless of other tiles' progress.
+pub fn cholesky_dag(a: &mut Matrix, block: usize) -> Result<(), CholeskyError> {
+    cholesky_dag_with(a, block, &(), DagExecution::Pool).map(|_| ())
+}
+
+/// [`cholesky_dag`] with a [`TrailingHook`] fused into every trailing tile task and an
+/// explicit [`DagExecution`] mode; returns the per-task measured [`DagTiming`].
+pub fn cholesky_dag_with(
+    a: &mut Matrix,
+    block: usize,
+    hook: &dyn TrailingHook,
+    exec: DagExecution,
+) -> Result<DagTiming, CholeskyError> {
+    if !a.is_square() {
+        return Err(CholeskyError::NotSquare);
+    }
+    assert!(block > 0, "block size must be positive");
+    let n = a.rows();
+    if n == 0 {
+        return Ok(DagTiming::default());
+    }
+    let t0 = Instant::now();
+    let bounds = group_bounds(n, n, block);
+    let g = bounds.len();
+    let width_of = |p: usize| bounds.get(p + 1).copied().unwrap_or(n) - bounds[p];
+    // Group `grp`'s chain: Update(p, grp) for p < grp, then Panel(grp) — a
+    // triangular id layout, id(grp, p) = grp (grp + 1) / 2 + p. Each task depends on
+    // its chain predecessor plus, for updates, on Panel(p)'s publication.
+    let id_of = |grp: usize, p: usize| grp * (grp + 1) / 2 + p;
+    let mut builder = DagBuilder::new();
+    for _ in 0..g * (g + 1) / 2 {
+        builder.add_task();
+    }
+    for grp in 0..g {
+        for p in 0..=grp {
+            let id = id_of(grp, p);
+            if p > 0 {
+                builder.add_edge(id - 1, id);
+            }
+            if p != grp {
+                builder.add_edge(id_of(p, p), id);
+            }
+        }
+    }
+    // Invert the triangular id layout once (avoids per-task integer sqrt).
+    let mut task_of = Vec::with_capacity(builder.len());
+    for grp in 0..g {
+        for p in 0..=grp {
+            task_of.push((grp, p));
+        }
+    }
+    let ops: Vec<OnceLock<CholPanelOps>> = (0..g).map(|_| OnceLock::new()).collect();
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<CholeskyError>> = Mutex::new(None);
+    let panel_nanos: Vec<AtomicU64> = (0..g).map(|_| AtomicU64::new(0)).collect();
+    let update_nanos: Vec<AtomicU64> = (0..g).map(|_| AtomicU64::new(0)).collect();
+    let tiles: Vec<Mutex<TileCols<'_>>> =
+        split_tiles_at(a, &bounds).into_iter().map(Mutex::new).collect();
+    crate::dag::execute(builder, exec, &format!("cholesky n={n} b={block}"), |id| {
+        let (grp, p) = task_of[id];
+        let mut tile = tiles[grp].lock().unwrap();
+        // Drain without numeric work after a failed panel; panels are totally
+        // ordered through the chains, so the first error is deterministic.
+        if failed.load(Ordering::Acquire) {
+            return;
+        }
+        let j0 = bounds[p];
+        let task_t0 = Instant::now();
+        if p == grp {
+            match factor_panel_tile(&mut tile, j0) {
+                Ok(()) => {
+                    if grp + 1 < g {
+                        let nb = tile.width();
+                        let a21 = tile.extract(j0 + nb, n);
+                        let mut a21p = PackedA::default();
+                        repack_a_op(&mut a21p, &a21, Trans::No, 0, 0, n - j0 - nb, nb);
+                        assert!(ops[grp].set(CholPanelOps { a21, a21p }).is_ok());
+                    }
+                }
+                Err(e) => {
+                    *error.lock().unwrap() = Some(e);
+                    failed.store(true, Ordering::Release);
+                }
+            }
+            panel_nanos[grp].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        } else {
+            let op = ops[p].get().expect("Panel(p) publishes before its consumers");
+            chol_update_tile(&mut tile, p, j0, width_of(p), &op.a21, &op.a21p, hook);
+            update_nanos[p].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    });
+    drop(tiles);
+    if let Some(e) = error.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(DagTiming {
+        panel_s: panel_nanos.iter().map(|x| x.load(Ordering::Relaxed) as f64 * 1e-9).collect(),
+        update_s: update_nanos.iter().map(|x| x.load(Ordering::Relaxed) as f64 * 1e-9).collect(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +544,37 @@ mod tests {
         ));
         let mut a = Matrix::zeros(3, 4);
         assert_eq!(cholesky_tiled(&mut a, 2), Err(CholeskyError::NotSquare));
+    }
+
+    #[test]
+    fn dag_is_bit_identical_to_blocked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for (n, b) in [(1, 1), (5, 2), (16, 8), (33, 8), (64, 16), (40, 64)] {
+            let a0 = random_spd_matrix(&mut rng, n);
+            let mut sync = a0.clone();
+            cholesky_blocked(&mut sync, b).unwrap();
+            let mut dag = a0.clone();
+            cholesky_dag(&mut dag, b).unwrap();
+            assert_eq!(sync, dag, "factors differ n={n} b={b}");
+            for seed in [0u64, 1, 2] {
+                let mut replayed = a0.clone();
+                let timing =
+                    cholesky_dag_with(&mut replayed, b, &(), DagExecution::Replay { seed })
+                        .unwrap();
+                assert_eq!(sync, replayed, "replay differs n={n} b={b} seed={seed}");
+                assert_eq!(timing.panel_s.len(), num_iterations(n, b));
+            }
+        }
+    }
+
+    #[test]
+    fn dag_rejects_indefinite_and_non_square() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            cholesky_dag(&mut a, 1),
+            Err(CholeskyError::NotPositiveDefinite(_))
+        ));
+        let mut a = Matrix::zeros(3, 4);
+        assert_eq!(cholesky_dag(&mut a, 2), Err(CholeskyError::NotSquare));
     }
 }

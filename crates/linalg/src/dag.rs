@@ -1,0 +1,489 @@
+//! Dependency-driven DAG runtime for the tiled factorizations.
+//!
+//! The barrier steppers ([`crate::lu::LuTiledStepper`] and friends) end every
+//! iteration in a `rayon::scope` barrier: one slow trailing tile stalls the whole
+//! pipeline and lookahead is capped at one panel. This module replaces the barrier
+//! with PLASMA/StarPU-style **per-tile dependency counters** on the same
+//! work-stealing pool: each task carries an atomic counter of unmet dependencies,
+//! and the task that decrements a counter to zero submits the successor right there
+//! (`rayon::TaskScope::submit`), so iteration `k + 2`'s GEMMs start while iteration
+//! `k`'s slow tiles are still in flight — lookahead bounded only by the dependency
+//! structure (depth-unbounded).
+//!
+//! # Graph shape
+//!
+//! The matrix columns are partitioned **once** into block-wide groups
+//! (`task::split_tiles_at`); the same group serves as panel tile and
+//! trailing tile across all iterations. Each group `g` owns one *sequential chain*
+//! of tasks — `Update(0, g), …, Update(g − 1, g), Panel(g)[, LeftSwap(g + 1, g), …]`
+//! — so a group's columns are only ever touched by one task at a time, and each task
+//! has at most **two** dependencies: its chain predecessor (its own tile after
+//! iteration `k − 1`) and the publication of panel `k`'s operands. The borrow
+//! checker proves group disjointness exactly as in the barrier drivers.
+//!
+//! # Determinism argument
+//!
+//! Results are **bit-identical to the serial blocked drivers at any thread count and
+//! under any schedule**: the partition is fixed by the block size (never the thread
+//! count), every task writes only its own group, each task's operands (`L11`/`L21`/
+//! `A21`/`V`/`T`, packed per panel) are published through write-once slots *before*
+//! any consumer is unlocked, and per-element accumulation order inside a task
+//! depends only on the `k` dimension. The schedule chooses *when* a task runs, never
+//! *what* it computes — which is what the replay executor below exists to prove.
+//!
+//! # Replay executor
+//!
+//! [`DagExecution::Replay`] runs the identical task graph single-threaded, but picks
+//! the next task to complete from the ready set with a seeded ChaCha8 RNG: an
+//! adversarial completion order independent of real thread scheduling. The
+//! schedule-fuzzing suite (`tests/proptest_dag.rs`) replays ≥ 64 seeded orders per
+//! shape and asserts bit-exact factors plus exactly-once execution (no dependency
+//! counter underflow, no leaked task).
+//!
+//! Every run registers itself in a process-global table so a test watchdog can dump
+//! ready-queue/counter snapshots ([`snapshot_active`]) instead of hanging CI.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// How a DAG run executes its task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagExecution {
+    /// Run on the persistent work-stealing pool (thread budget from
+    /// `RAYON_NUM_THREADS` / host parallelism, re-read at entry). Under a
+    /// single-thread budget tasks run on the caller in deterministic
+    /// lowest-task-id-first order — the sequential baseline pays no pool traffic.
+    Pool,
+    /// Single-threaded deterministic **replay**: among the ready tasks, a ChaCha8
+    /// RNG seeded with `seed` picks which completes next. Same seed ⇒ same
+    /// completion order, independent of real thread scheduling — the
+    /// schedule-fuzzing mode of the determinism suite.
+    Replay {
+        /// Schedule seed (selects the adversarial completion order).
+        seed: u64,
+    },
+}
+
+/// Statistics of the most recent DAG run completed on the current thread, for tests
+/// asserting the exactly-once execution invariant from outside the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagRunStats {
+    /// Total tasks in the graph.
+    pub tasks: usize,
+    /// Tasks that actually ran (the runtime itself asserts `executed == tasks`).
+    pub executed: usize,
+}
+
+thread_local! {
+    static LAST_RUN: Cell<Option<DagRunStats>> = const { Cell::new(None) };
+}
+
+/// Statistics of the last DAG run driven from this thread, if any.
+pub fn last_run_stats() -> Option<DagRunStats> {
+    LAST_RUN.with(|c| c.get())
+}
+
+/// Measured durations of one DAG factorization run, attributed to tasks (not
+/// barrier phases): the accounting contract the `bsr-core` numeric engine consumes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DagTiming {
+    /// `panel_s[k]`: wall duration of the `Panel(k)` task, measured on whichever
+    /// thread ran it. `panel_s[0]` is the prologue-equivalent (panel 0 has no
+    /// dependencies and is the graph's root task).
+    pub panel_s: Vec<f64>,
+    /// `update_s[k]`: CPU seconds of iteration `k`'s trailing tasks (updates and,
+    /// for LU, deferred left swaps), summed across threads. Under the DAG there is
+    /// no per-iteration wall time — iterations overlap — so the engine charges the
+    /// summed task durations instead of a barrier-to-barrier wall interval.
+    pub update_s: Vec<f64>,
+    /// Wall-clock duration of the whole DAG region (graph build to drain).
+    pub wall_s: f64,
+}
+
+/// Incrementally built task graph: per-task dependency counts and successor lists.
+#[derive(Debug, Default)]
+pub(crate) struct DagBuilder {
+    deps: Vec<u32>,
+    succs: Vec<Vec<u32>>,
+}
+
+impl DagBuilder {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task with no dependencies yet; returns its id (consecutive from 0).
+    pub fn add_task(&mut self) -> usize {
+        self.deps.push(0);
+        self.succs.push(Vec::new());
+        self.deps.len() - 1
+    }
+
+    /// Record that `to` cannot start before `from` has completed.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.deps[to] += 1;
+        self.succs[from].push(to as u32);
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+}
+
+/// Task lifecycle states (watchdog snapshots read these).
+const WAITING: u8 = 0;
+const READY: u8 = 1;
+const DONE: u8 = 2;
+
+/// Shared run state: the dependency counters the executors decrement, plus the
+/// bookkeeping the watchdog snapshot reads.
+struct RunState {
+    label: String,
+    /// Remaining unmet dependencies per task; decremented with `AcqRel` so a task
+    /// observes everything its completed dependencies published.
+    counters: Vec<AtomicI64>,
+    state: Vec<AtomicU8>,
+    executed: AtomicUsize,
+}
+
+/// Process-global table of in-flight DAG runs, for watchdog snapshots.
+static ACTIVE: Mutex<Vec<Weak<RunState>>> = Mutex::new(Vec::new());
+
+/// Removes this run from [`ACTIVE`] on drop (including unwinds).
+struct Registration(Weak<RunState>);
+
+impl Registration {
+    fn new(state: &Arc<RunState>) -> Self {
+        let weak = Arc::downgrade(state);
+        ACTIVE.lock().unwrap().push(weak.clone());
+        Registration(weak)
+    }
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        ACTIVE
+            .lock()
+            .unwrap()
+            .retain(|w| w.strong_count() > 0 && !w.ptr_eq(&self.0));
+    }
+}
+
+/// Human-readable snapshot of every in-flight DAG run: executed/total counts, the
+/// ready queue and the waiting tasks with their remaining dependency counts. A
+/// deadlock watchdog prints this instead of letting CI hang silently.
+pub fn snapshot_active() -> String {
+    let runs: Vec<Arc<RunState>> = ACTIVE
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(Weak::upgrade)
+        .collect();
+    if runs.is_empty() {
+        return "no DAG runs in flight".to_string();
+    }
+    let mut out = String::new();
+    for run in runs {
+        let _ = writeln!(
+            out,
+            "DAG run '{}': {}/{} tasks executed",
+            run.label,
+            run.executed.load(Ordering::Relaxed),
+            run.counters.len()
+        );
+        let mut ready = Vec::new();
+        let mut waiting = Vec::new();
+        for id in 0..run.counters.len() {
+            match run.state[id].load(Ordering::Relaxed) {
+                READY => ready.push(id.to_string()),
+                WAITING => waiting.push(format!(
+                    "{id} (deps={})",
+                    run.counters[id].load(Ordering::Relaxed)
+                )),
+                _ => {}
+            }
+        }
+        ready.truncate(32);
+        waiting.truncate(32);
+        let _ = writeln!(out, "  ready ({}): [{}]", ready.len(), ready.join(", "));
+        let _ = writeln!(out, "  waiting (first {}): [{}]", waiting.len(), waiting.join(", "));
+    }
+    out
+}
+
+fn snapshot_of(state: &RunState) -> String {
+    let hold = Arc::new(RunState {
+        label: state.label.clone(),
+        counters: state
+            .counters
+            .iter()
+            .map(|c| AtomicI64::new(c.load(Ordering::Relaxed)))
+            .collect(),
+        state: state
+            .state
+            .iter()
+            .map(|s| AtomicU8::new(s.load(Ordering::Relaxed)))
+            .collect(),
+        executed: AtomicUsize::new(state.executed.load(Ordering::Relaxed)),
+    });
+    let _registration = Registration::new(&hold);
+    snapshot_active()
+}
+
+/// Run every task of `builder`'s graph exactly once, respecting dependencies, under
+/// the chosen [`DagExecution`]. `run(id)` performs task `id`'s work; it must be safe
+/// to call concurrently for distinct ids (the graph encodes all ordering).
+///
+/// Counter protocol: a completing task decrements each successor's counter with
+/// `AcqRel`; the decrement that observes 1 → 0 owns the submission, so every task is
+/// submitted exactly once. A decrement observing a non-positive counter is an
+/// underflow bug and panics immediately; a leaked task (graph drained with
+/// `executed < tasks`) panics after the drain with a state snapshot. Both
+/// invariants are re-asserted externally by the schedule-fuzzing suite.
+pub(crate) fn execute<F>(builder: DagBuilder, exec: DagExecution, label: &str, run: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let total = builder.len();
+    let state = Arc::new(RunState {
+        label: label.to_string(),
+        counters: builder.deps.iter().map(|&d| AtomicI64::new(d as i64)).collect(),
+        state: builder
+            .deps
+            .iter()
+            .map(|&d| AtomicU8::new(if d == 0 { READY } else { WAITING }))
+            .collect(),
+        executed: AtomicUsize::new(0),
+    });
+    let _registration = Registration::new(&state);
+    let succs = &builder.succs;
+    match exec {
+        DagExecution::Pool if rayon::current_num_threads() > 1 => {
+            rayon::task_scope(|ts| {
+                for (id, &d) in builder.deps.iter().enumerate() {
+                    if d == 0 {
+                        submit_pool(ts, &state, succs, &run, id);
+                    }
+                }
+            });
+        }
+        DagExecution::Pool => run_sequential(&state, succs, &run, None),
+        DagExecution::Replay { seed } => run_sequential(&state, succs, &run, Some(seed)),
+    }
+    let executed = state.executed.load(Ordering::Relaxed);
+    assert!(
+        executed == total,
+        "DAG run '{label}' leaked tasks: executed {executed} of {total}\n{}",
+        snapshot_of(&state)
+    );
+    LAST_RUN.with(|c| c.set(Some(DagRunStats { tasks: total, executed })));
+}
+
+/// Pool-mode task submission: wraps `run(id)` with the counter-decrement protocol
+/// and submits it to the task scope. Called once per task — at graph entry for root
+/// tasks, from the last completing dependency otherwise.
+fn submit_pool<'s, F: Fn(usize) + Sync>(
+    ts: &rayon::TaskScope<'s>,
+    state: &'s RunState,
+    succs: &'s [Vec<u32>],
+    run: &'s F,
+    id: usize,
+) {
+    ts.submit(move |ts| {
+        run(id);
+        state.state[id].store(DONE, Ordering::Relaxed);
+        state.executed.fetch_add(1, Ordering::Relaxed);
+        for &s in &succs[id] {
+            let s = s as usize;
+            let prev = state.counters[s].fetch_sub(1, Ordering::AcqRel);
+            assert!(
+                prev >= 1,
+                "dependency counter underflow on task {s} of DAG run '{}'",
+                state.label
+            );
+            if prev == 1 {
+                state.state[s].store(READY, Ordering::Relaxed);
+                submit_pool(ts, state, succs, run, s);
+            }
+        }
+    });
+}
+
+/// Single-threaded executor with an explicit ready set. With `seed`, the next task
+/// to complete is RNG-picked from the ready set (adversarial replay); without, the
+/// lowest task id runs first (the deterministic `Pool`-at-one-thread order).
+fn run_sequential<F: Fn(usize)>(
+    state: &RunState,
+    succs: &[Vec<u32>],
+    run: &F,
+    seed: Option<u64>,
+) {
+    let mut rng = seed.map(ChaCha8Rng::seed_from_u64);
+    let mut ready: Vec<usize> = (0..state.counters.len())
+        .filter(|&id| state.state[id].load(Ordering::Relaxed) == READY)
+        .collect();
+    while !ready.is_empty() {
+        let idx = match &mut rng {
+            Some(rng) => rng.gen_range(0..ready.len()),
+            None => {
+                let (idx, _) = ready.iter().enumerate().min_by_key(|&(_, &id)| id).unwrap();
+                idx
+            }
+        };
+        let id = ready.swap_remove(idx);
+        run(id);
+        state.state[id].store(DONE, Ordering::Relaxed);
+        state.executed.fetch_add(1, Ordering::Relaxed);
+        for &s in &succs[id] {
+            let s = s as usize;
+            let prev = state.counters[s].fetch_sub(1, Ordering::AcqRel);
+            assert!(
+                prev >= 1,
+                "dependency counter underflow on task {s} of DAG run '{}'",
+                state.label
+            );
+            if prev == 1 {
+                state.state[s].store(READY, Ordering::Relaxed);
+                ready.push(s);
+            }
+        }
+    }
+}
+
+/// Column-group boundaries of the fixed whole-matrix partition: block-aligned
+/// starts below `kmax` (the panel groups, the last one clipped at `kmax`), then
+/// block-wide groups from `kmax` to `n` (trailing-only groups of wide matrices —
+/// QR's `n > min(m, n)` case; for square factorizations `kmax == n` and every
+/// group is a panel group).
+pub(crate) fn group_bounds(n: usize, kmax: usize, block: usize) -> Vec<usize> {
+    debug_assert!(block > 0 && kmax <= n);
+    let mut bounds: Vec<usize> = (0..kmax).step_by(block).collect();
+    let mut c = kmax;
+    while c < n {
+        bounds.push(c);
+        c += block;
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Diamond graph: 0 → {1, 2} → 3. Checks ordering, exactly-once and stats under
+    /// every execution mode.
+    fn diamond() -> DagBuilder {
+        let mut b = DagBuilder::new();
+        for _ in 0..4 {
+            b.add_task();
+        }
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b
+    }
+
+    #[test]
+    fn executes_each_task_once_respecting_order() {
+        for exec in [
+            DagExecution::Pool,
+            DagExecution::Replay { seed: 1 },
+            DagExecution::Replay { seed: 99 },
+        ] {
+            let order = Mutex::new(Vec::new());
+            execute(diamond(), exec, "diamond", |id| {
+                order.lock().unwrap().push(id);
+            });
+            let order = order.into_inner().unwrap();
+            assert_eq!(order.len(), 4, "{exec:?}");
+            assert_eq!(order[0], 0, "{exec:?}");
+            assert_eq!(order[3], 3, "{exec:?}");
+            let stats = last_run_stats().unwrap();
+            assert_eq!((stats.tasks, stats.executed), (4, 4));
+        }
+    }
+
+    #[test]
+    fn replay_seeds_produce_different_orders_same_coverage() {
+        // A wide fan-out: 1 root, 32 independent children. Distinct seeds should
+        // disagree on the completion order (this is what makes replay adversarial).
+        let build = || {
+            let mut b = DagBuilder::new();
+            let root = b.add_task();
+            for _ in 0..32 {
+                let c = b.add_task();
+                b.add_edge(root, c);
+            }
+            b
+        };
+        let order_for = |seed| {
+            let order = Mutex::new(Vec::new());
+            execute(build(), DagExecution::Replay { seed }, "fanout", |id| {
+                order.lock().unwrap().push(id);
+            });
+            order.into_inner().unwrap()
+        };
+        let a = order_for(7);
+        let b = order_for(8);
+        assert_eq!(a.len(), 33);
+        assert_eq!(b.len(), 33);
+        assert_ne!(a, b, "seeds 7 and 8 replayed the same schedule");
+        assert_eq!(order_for(7), a, "same seed must replay the same schedule");
+    }
+
+    #[test]
+    fn pool_mode_runs_long_chains_at_multiple_thread_counts() {
+        for t in [1, 2, 4] {
+            let _guard = rayon::ThreadCountGuard::set(t);
+            let mut b = DagBuilder::new();
+            let n = 500;
+            for _ in 0..n {
+                b.add_task();
+            }
+            for i in 0..n - 1 {
+                b.add_edge(i, i + 1);
+            }
+            let ran = AtomicUsize::new(0);
+            execute(b, DagExecution::Pool, "chain", |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), n, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn group_bounds_cover_square_and_wide_shapes() {
+        assert_eq!(group_bounds(10, 10, 4), vec![0, 4, 8]);
+        assert_eq!(group_bounds(10, 6, 4), vec![0, 4, 6]);
+        assert_eq!(group_bounds(6, 6, 8), vec![0]);
+        assert_eq!(group_bounds(0, 0, 4), Vec::<usize>::new());
+        // kmax a multiple of the block: no degenerate boundary is emitted.
+        assert_eq!(group_bounds(12, 8, 4), vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn snapshot_reports_in_flight_state() {
+        // Drive the graph manually mid-run via a run closure that inspects the
+        // snapshot while task 0 is "executing".
+        let seen = Mutex::new(String::new());
+        execute(diamond(), DagExecution::Replay { seed: 3 }, "snap", |id| {
+            if id == 0 {
+                *seen.lock().unwrap() = snapshot_active();
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(seen.contains("DAG run 'snap'"), "snapshot: {seen}");
+        assert!(seen.contains("waiting"), "snapshot: {seen}");
+        // Deregistered after the run (other tests' runs may be in flight, so only
+        // this label's absence can be asserted).
+        assert!(!snapshot_active().contains("'snap'"));
+    }
+}

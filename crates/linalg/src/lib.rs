@@ -16,9 +16,15 @@
 //!   the simulated CPU/GPU, inject faults and maintain ABFT checksums between steps —
 //!   plus tiled task-parallel drivers (`lu_tiled` / `cholesky_tiled` / `qr_tiled`) that
 //!   run the same math as per-tile-column tasks with one-step panel lookahead on the
-//!   persistent rayon pool, bit-identically to the synchronous paths,
+//!   persistent rayon pool, bit-identically to the synchronous paths, and
+//!   dependency-driven DAG drivers (`lu_dag` / `cholesky_dag` / `qr_dag`) that replace
+//!   the per-iteration barrier with per-tile dependency counters for depth-unbounded
+//!   lookahead — still bit-identical at any thread count,
 //! * [`task`] — the tile-column task machinery beneath the tiled drivers and the
 //!   [`task::TrailingHook`] fusion point ABFT checksum maintenance rides on,
+//! * [`dag`] — the dependency-counter runtime beneath the DAG drivers, including the
+//!   seeded adversarial replay executor the schedule-fuzzing suite pins determinism
+//!   with,
 //! * [`generate`] — reproducible random inputs,
 //! * [`verify`] — residual checks used both in tests and in the reliability experiments.
 //!
@@ -32,6 +38,7 @@ pub mod blas1;
 pub mod blas3;
 mod kernel;
 pub mod cholesky;
+pub mod dag;
 pub mod generate;
 pub mod lu;
 pub mod matrix;

@@ -12,9 +12,11 @@ use crate::blas3::{
     gemm_acc_cols, gemm_acc_cols_prepacked, gemm_into_block, repack_a_op, trsm_into_block,
     trsm_unit_lower_cols, Diag, PackedA, Side, Trans, UpLo,
 };
+use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming};
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, StepTiming, TileCols, TrailingHook};
-use std::sync::Mutex;
+use crate::task::{split_tiles, split_tiles_at, StepTiming, TileCols, TrailingHook};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Error returned by the LU factorization.
@@ -562,6 +564,138 @@ impl LuTiledStepper {
     }
 }
 
+// =======================================================================================
+// Dependency-driven DAG driver (depth-unbounded lookahead; see `crate::dag`).
+// =======================================================================================
+
+/// Operands panel `k` publishes for its trailing-update consumers: `L11` (unit lower)
+/// and `L21` pre-packed for the tile GEMMs. Written once by the `Panel(k)` task before
+/// any consumer is unlocked; bit-identical to the barrier stepper's per-iteration
+/// copies (the pack reads the same submatrix values).
+struct LuPanelOps {
+    l11: Matrix,
+    l21p: PackedA,
+}
+
+/// Dependency-driven DAG LU with partial pivoting and depth-unbounded panel lookahead.
+///
+/// Same math, same bits as [`lu_blocked`] / [`lu_tiled`] with the same block size, at
+/// any thread count and under any task schedule — but instead of a per-iteration
+/// barrier, every tile task becomes runnable the moment its own tile (from iteration
+/// `k − 1`) and panel `k`'s operands are final, so iteration `k + 2`'s GEMMs can start
+/// while iteration `k`'s slow tiles are still in flight. See [`crate::dag`] for the
+/// graph shape and the determinism argument.
+pub fn lu_dag(a: &Matrix, block: usize) -> Result<LuFactors, LuError> {
+    lu_dag_with(a, block, &(), DagExecution::Pool).map(|(f, _)| f)
+}
+
+/// [`lu_dag`] with a [`TrailingHook`] fused into every trailing tile task and an
+/// explicit [`DagExecution`] mode; also returns the per-task measured [`DagTiming`].
+pub fn lu_dag_with(
+    a: &Matrix,
+    block: usize,
+    hook: &dyn TrailingHook,
+    exec: DagExecution,
+) -> Result<(LuFactors, DagTiming), LuError> {
+    if !a.is_square() {
+        return Err(LuError::NotSquare);
+    }
+    assert!(block > 0, "block size must be positive");
+    let n = a.rows();
+    let mut lu = a.clone();
+    if n == 0 {
+        return Ok((LuFactors { lu, pivots: Vec::new() }, DagTiming::default()));
+    }
+    let t0 = Instant::now();
+    let bounds = group_bounds(n, n, block);
+    let g = bounds.len();
+    let width_of = |p: usize| bounds.get(p + 1).copied().unwrap_or(n) - bounds[p];
+    let ops: Vec<OnceLock<LuPanelOps>> = (0..g).map(|_| OnceLock::new()).collect();
+    let swaps: Vec<OnceLock<Vec<usize>>> = (0..g).map(|_| OnceLock::new()).collect();
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<LuError>> = Mutex::new(None);
+    let panel_nanos: Vec<AtomicU64> = (0..g).map(|_| AtomicU64::new(0)).collect();
+    let update_nanos: Vec<AtomicU64> = (0..g).map(|_| AtomicU64::new(0)).collect();
+    let tiles: Vec<Mutex<TileCols<'_>>> =
+        split_tiles_at(&mut lu, &bounds).into_iter().map(Mutex::new).collect();
+    // Group `grp` owns one sequential chain with a task per iteration `p`
+    // (id = grp · G + p): Update(p, grp) for p < grp, Panel(grp) at p = grp,
+    // LeftSwap(p, grp) — panel p's deferred swaps on this already-final group — for
+    // p > grp. Each task depends on its chain predecessor plus, when p ≠ grp, on
+    // Panel(p)'s publication (id p · G + p).
+    let mut builder = DagBuilder::new();
+    for _ in 0..g * g {
+        builder.add_task();
+    }
+    for grp in 0..g {
+        for p in 0..g {
+            let id = grp * g + p;
+            if p > 0 {
+                builder.add_edge(id - 1, id);
+            }
+            if p != grp {
+                builder.add_edge(p * g + p, id);
+            }
+        }
+    }
+    crate::dag::execute(builder, exec, &format!("lu n={n} b={block}"), |id| {
+        let grp = id / g;
+        let p = id % g;
+        let mut tile = tiles[grp].lock().unwrap();
+        // After a panel failure the rest of the graph drains without numeric work
+        // (counters still decrement, so nothing leaks); panels are totally ordered
+        // through the chains, so exactly the first error is recorded.
+        if failed.load(Ordering::Acquire) {
+            return;
+        }
+        let j0 = bounds[p];
+        let task_t0 = Instant::now();
+        if p == grp {
+            match factor_panel_tile(&mut tile, j0) {
+                Ok(pv) => {
+                    if grp + 1 < g {
+                        let nb = tile.width();
+                        let l11 = tile.extract(j0, j0 + nb).unit_lower_triangular();
+                        let l21 = tile.extract(j0 + nb, n);
+                        let mut l21p = PackedA::default();
+                        repack_a_op(&mut l21p, &l21, Trans::No, 0, 0, n - j0 - nb, nb);
+                        assert!(ops[grp].set(LuPanelOps { l11, l21p }).is_ok());
+                    }
+                    assert!(swaps[grp].set(pv).is_ok());
+                }
+                Err(e) => {
+                    *error.lock().unwrap() = Some(e);
+                    failed.store(true, Ordering::Release);
+                }
+            }
+            panel_nanos[grp].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        } else {
+            let sw = swaps[p].get().expect("Panel(p) publishes before its consumers");
+            if p < grp {
+                let op = ops[p].get().expect("Panel(p) publishes before its consumers");
+                lu_update_tile(&mut tile, p, j0, width_of(p), sw, &op.l11, &op.l21p, hook);
+            } else {
+                tile.apply_row_swaps(j0, sw);
+            }
+            update_nanos[p].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    });
+    drop(tiles);
+    if let Some(e) = error.into_inner().unwrap() {
+        return Err(e);
+    }
+    let mut pivots = Vec::with_capacity(n);
+    for slot in swaps {
+        pivots.extend(slot.into_inner().expect("every panel factored"));
+    }
+    let timing = DagTiming {
+        panel_s: panel_nanos.iter().map(|x| x.load(Ordering::Relaxed) as f64 * 1e-9).collect(),
+        update_s: update_nanos.iter().map(|x| x.load(Ordering::Relaxed) as f64 * 1e-9).collect(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    Ok((LuFactors { lu, pivots }, timing))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,5 +805,43 @@ mod tests {
         assert!(matches!(lu_tiled(&a, 2), Err(LuError::Singular(0))));
         let a = Matrix::zeros(3, 4);
         assert!(matches!(lu_tiled(&a, 2), Err(LuError::NotSquare)));
+    }
+
+    #[test]
+    fn dag_is_bit_identical_to_blocked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(25);
+        for (n, b) in [(1, 1), (5, 2), (16, 8), (33, 8), (64, 16), (40, 64)] {
+            let a = random_matrix(&mut rng, n, n);
+            let sync = lu_blocked(&a, b).unwrap();
+            let dag = lu_dag(&a, b).unwrap();
+            assert_eq!(sync.pivots, dag.pivots, "pivots differ n={n} b={b}");
+            assert_eq!(sync.lu, dag.lu, "factors differ n={n} b={b}");
+            // Adversarial replay schedules must not change a bit either.
+            for seed in [0u64, 1, 2] {
+                let (replayed, timing) =
+                    lu_dag_with(&a, b, &(), DagExecution::Replay { seed }).unwrap();
+                assert_eq!(sync.lu, replayed.lu, "replay differs n={n} b={b} seed={seed}");
+                assert_eq!(sync.pivots, replayed.pivots);
+                assert_eq!(timing.panel_s.len(), num_iterations(n, b));
+            }
+        }
+    }
+
+    #[test]
+    fn dag_detects_singularity_and_shape_errors() {
+        let a = Matrix::zeros(6, 6);
+        assert!(matches!(lu_dag(&a, 2), Err(LuError::Singular(0))));
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(lu_dag(&a, 2), Err(LuError::NotSquare)));
+        // A singularity in a *later* panel must surface even though earlier groups'
+        // chains keep draining.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut a = random_matrix(&mut rng, 12, 12);
+        for i in 0..12 {
+            a.set(i, 9, 0.0);
+        }
+        let sync = lu_blocked(&a, 4);
+        let dag = lu_dag(&a, 4);
+        assert_eq!(sync.unwrap_err(), dag.unwrap_err());
     }
 }

@@ -10,9 +10,11 @@
 
 use crate::blas1::{axpy, dot, nrm2, scal};
 use crate::blas3::{gemm, gemm_acc_cols_prepacked, gemm_into_block, repack_a_op, PackedA, Trans};
+use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming};
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, StepTiming, TileCols, TrailingHook};
-use std::sync::Mutex;
+use crate::task::{split_tiles, split_tiles_at, StepTiming, TileCols, TrailingHook};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Panel width used when applying `Q`/`Qᵀ` from stored reflectors. Independent of the
@@ -475,6 +477,131 @@ impl QrTiledStepper {
     }
 }
 
+// =======================================================================================
+// Dependency-driven DAG driver (depth-unbounded lookahead; see `crate::dag`).
+// =======================================================================================
+
+/// Operands panel `k` publishes for its trailing-update consumers: the reflectors `V`
+/// pre-packed in both GEMM orientations and the compact-WY `T` factor. Bit-identical
+/// to the barrier stepper's per-iteration copies (the pack reads the same reflector
+/// values the full-matrix `extract_reflectors` would).
+struct QrPanelOps {
+    vt_p: PackedA,
+    v_p: PackedA,
+    t: Matrix,
+}
+
+/// Dependency-driven DAG Householder QR with depth-unbounded panel lookahead.
+///
+/// Same math, same bits as [`qr_blocked`] / [`qr_tiled`] with the same block size, at
+/// any thread count and under any task schedule; the per-iteration barrier is replaced
+/// by per-tile dependency counters (see [`crate::dag`]). On wide matrices
+/// (`n > min(m, n)`) the fixed column partition places a group boundary at
+/// `min(m, n)`, so panel groups are exactly panel-wide — numerically identical to the
+/// barrier path (trailing columns are independent through the compact-WY GEMMs).
+pub fn qr_dag(a: &Matrix, block: usize) -> QrFactors {
+    qr_dag_with(a, block, &(), DagExecution::Pool).0
+}
+
+/// [`qr_dag`] with a [`TrailingHook`] fused into every trailing tile task and an
+/// explicit [`DagExecution`] mode; also returns the per-task measured [`DagTiming`].
+pub fn qr_dag_with(
+    a: &Matrix,
+    block: usize,
+    hook: &dyn TrailingHook,
+    exec: DagExecution,
+) -> (QrFactors, DagTiming) {
+    assert!(block > 0, "block size must be positive");
+    let m = a.rows();
+    let n = a.cols();
+    let kmax = n.min(m);
+    let mut qr = a.clone();
+    let kpanels = kmax.div_ceil(block);
+    if n == 0 {
+        return (QrFactors { qr, taus: Vec::new() }, DagTiming::default());
+    }
+    let t0 = Instant::now();
+    let bounds = group_bounds(n, kmax, block);
+    let g = bounds.len();
+    let width_of = |p: usize| bounds.get(p + 1).copied().unwrap_or(n) - bounds[p];
+    // Group `grp`'s chain: Update(p, grp) for p < min(grp, K), then Panel(grp) when
+    // grp < K (K = number of panels; trailing-only groups of wide matrices have no
+    // panel task). Chain lengths vary, so ids are assigned in one pass and cross
+    // edges point at the already-assigned Panel(p) ids.
+    let mut builder = DagBuilder::new();
+    let mut task_of: Vec<(usize, usize)> = Vec::new();
+    let mut panel_ids = vec![0usize; kpanels];
+    for grp in 0..g {
+        let updates = grp.min(kpanels);
+        for (p, &panel_id) in panel_ids.iter().enumerate().take(updates) {
+            let id = builder.add_task();
+            task_of.push((grp, p));
+            if p > 0 {
+                builder.add_edge(id - 1, id);
+            }
+            builder.add_edge(panel_id, id);
+        }
+        if grp < kpanels {
+            let id = builder.add_task();
+            task_of.push((grp, grp));
+            if updates > 0 {
+                builder.add_edge(id - 1, id);
+            }
+            panel_ids[grp] = id;
+        }
+    }
+    let ops: Vec<OnceLock<QrPanelOps>> = (0..kpanels).map(|_| OnceLock::new()).collect();
+    let taus_slots: Vec<OnceLock<Vec<f64>>> = (0..kpanels).map(|_| OnceLock::new()).collect();
+    let panel_nanos: Vec<AtomicU64> = (0..kpanels).map(|_| AtomicU64::new(0)).collect();
+    let update_nanos: Vec<AtomicU64> = (0..kpanels).map(|_| AtomicU64::new(0)).collect();
+    let tiles: Vec<Mutex<TileCols<'_>>> =
+        split_tiles_at(&mut qr, &bounds).into_iter().map(Mutex::new).collect();
+    crate::dag::execute(builder, exec, &format!("qr m={m} n={n} b={block}"), |id| {
+        let (grp, p) = task_of[id];
+        let mut tile = tiles[grp].lock().unwrap();
+        let j0 = bounds[p];
+        let task_t0 = Instant::now();
+        if p == grp {
+            // Panel task; the partition clips panel groups at kmax, so the group
+            // width is exactly the panel width.
+            let pw = tile.width();
+            let (new_taus, t) = factor_panel_tile(&mut tile, j0, pw);
+            if grp + 1 < g {
+                // Publish V (unit lower-trapezoid, straight from the tile's own
+                // columns) in both packed orientations, plus T.
+                let mut v = Matrix::zeros(m - j0, pw);
+                for k in 0..pw {
+                    let vcol = v.col_mut(k);
+                    vcol[k] = 1.0;
+                    vcol[k + 1..].copy_from_slice(&tile.cols[k][j0 + k + 1..m]);
+                }
+                let mut vt_p = PackedA::default();
+                let mut v_p = PackedA::default();
+                repack_a_op(&mut vt_p, &v, Trans::Yes, 0, 0, pw, m - j0);
+                repack_a_op(&mut v_p, &v, Trans::No, 0, 0, m - j0, pw);
+                assert!(ops[grp].set(QrPanelOps { vt_p, v_p, t }).is_ok());
+            }
+            assert!(taus_slots[grp].set(new_taus).is_ok());
+            panel_nanos[grp].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        } else {
+            let op = ops[p].get().expect("Panel(p) publishes before its consumers");
+            qr_update_tile(&mut tile, p, j0, width_of(p), &op.vt_p, &op.v_p, &op.t, j0, hook);
+            update_nanos[p].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    });
+    drop(tiles);
+    let mut taus = Vec::with_capacity(kmax);
+    for slot in taus_slots {
+        taus.extend(slot.into_inner().expect("every panel factored"));
+    }
+    let timing = DagTiming {
+        panel_s: panel_nanos.iter().map(|x| x.load(Ordering::Relaxed) as f64 * 1e-9).collect(),
+        update_s: update_nanos.iter().map(|x| x.load(Ordering::Relaxed) as f64 * 1e-9).collect(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    (QrFactors { qr, taus }, timing)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,6 +705,27 @@ mod tests {
             let tiled = qr_tiled(&a, b);
             assert_eq!(sync.taus, tiled.taus, "taus differ m={m} n={n} b={b}");
             assert_eq!(sync.qr, tiled.qr, "factors differ m={m} n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn dag_is_bit_identical_to_blocked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(36);
+        // Square, tall, and wide shapes, with tail panels and oversized blocks. The
+        // wide shapes exercise trailing-only groups past the kmax boundary.
+        for (m, n, b) in [(1, 1, 1), (16, 16, 8), (33, 33, 8), (40, 12, 5), (12, 30, 5), (24, 24, 64)] {
+            let a = random_matrix(&mut rng, m, n);
+            let sync = qr_blocked(&a, b);
+            let dag = qr_dag(&a, b);
+            assert_eq!(sync.taus, dag.taus, "taus differ m={m} n={n} b={b}");
+            assert_eq!(sync.qr, dag.qr, "factors differ m={m} n={n} b={b}");
+            for seed in [0u64, 1, 2] {
+                let (replayed, timing) =
+                    qr_dag_with(&a, b, &(), DagExecution::Replay { seed });
+                assert_eq!(sync.taus, replayed.taus, "replay taus m={m} n={n} b={b} seed={seed}");
+                assert_eq!(sync.qr, replayed.qr, "replay differs m={m} n={n} b={b} seed={seed}");
+                assert_eq!(timing.panel_s.len(), n.min(m).div_ceil(b));
+            }
         }
     }
 }

@@ -165,9 +165,39 @@ pub(crate) fn split_tiles<'a>(
     (left, tiles)
 }
 
+/// Partition **all** columns of `a` into [`TileCols`] groups at a fixed, sorted
+/// boundary list: group `g` spans columns `[bounds[g], bounds[g + 1])` (the last
+/// group ends at `a.cols()`). The DAG drivers ([`crate::dag`]) use one whole-matrix
+/// partition for the entire factorization — the same groups serve as panel tiles and
+/// trailing tiles across every iteration, which is what lets a group carry a single
+/// dependency chain instead of being re-split per iteration.
+pub(crate) fn split_tiles_at<'a>(a: &'a mut Matrix, bounds: &[usize]) -> Vec<TileCols<'a>> {
+    let n = a.cols();
+    debug_assert!(bounds.first().copied().unwrap_or(0) == 0 || n == 0);
+    debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(bounds.last().copied().unwrap_or(0) <= n);
+    let mut rest = a.columns_mut();
+    let mut tiles = Vec::with_capacity(bounds.len());
+    for (g, &col0) in bounds.iter().enumerate() {
+        let end = bounds.get(g + 1).copied().unwrap_or(n);
+        let tail = rest.split_off(end - col0);
+        tiles.push(TileCols { col0, cols: rest });
+        rest = tail;
+    }
+    tiles
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_tiles_at_partitions_at_explicit_boundaries() {
+        let mut m = Matrix::from_fn(3, 10, |i, j| (i + 10 * j) as f64);
+        let tiles = split_tiles_at(&mut m, &[0, 4, 6, 9]);
+        let spans: Vec<(usize, usize)> = tiles.iter().map(|t| (t.col0, t.width())).collect();
+        assert_eq!(spans, vec![(0, 4), (4, 2), (6, 3), (9, 1)]);
+    }
 
     #[test]
     fn split_tiles_partitions_and_mutates_through() {

@@ -1,0 +1,287 @@
+//! Schedule-fuzzing determinism suite for the dependency-driven DAG runtime.
+//!
+//! The DAG drivers (`lu_dag` / `cholesky_dag` / `qr_dag`) replace the per-iteration
+//! barrier of the tiled steppers with per-tile dependency counters and
+//! depth-unbounded lookahead, so the *completion order* of tasks is entirely up to
+//! the scheduler. This suite pins two invariants over random shapes, block sizes and
+//! tail panels:
+//!
+//! 1. **Bit-exactness under adversarial schedules.** Every run — pool execution at
+//!    `RAYON_NUM_THREADS ∈ {1, 2, 3, 4, 8}` *and* the deterministic replay executor
+//!    driving ≥ 64 seeded adversarial completion orders per factorization — must
+//!    produce factors, pivots and taus bit-identical to the serial blocked drivers.
+//! 2. **Exactly-once execution.** After every run the runtime's own accounting must
+//!    show `executed == tasks`: no dependency-counter underflow (the runtime panics
+//!    on a negative counter) and no leaked task that never became ready.
+//!
+//! A 60-second deadlock watchdog wraps every DAG run: a scheduling bug that strands
+//! a task with a positive counter would otherwise hang the suite silently. On
+//! timeout the watchdog dumps the runtime's ready-queue/counter snapshot
+//! ([`bsr_linalg::dag::snapshot_active`]) and fails.
+//!
+//! The fused-checksum property additionally rides `bsr-abft`'s fault injection
+//! through the DAG: planned faults strike mid-schedule, Full checksums correct them,
+//! and the corrected factors plus the injection/verification tallies must be
+//! identical across every schedule and thread count.
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_abft::fused::{FusedTileChecksums, PerIterationChecksums, PlannedFault};
+use bsr_linalg::dag::{last_run_stats, snapshot_active, DagExecution, DagRunStats};
+use bsr_linalg::generate::{random_matrix, random_spd_matrix};
+use bsr_linalg::matrix::Matrix;
+use bsr_linalg::{cholesky, lu, qr};
+use hetero_sim::sdc::ErrorPattern;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::ThreadCountGuard;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Thread counts the pool sweeps: 1 = inline, 3 = odd worker count, 8 =
+/// oversubscribed on small CI hosts.
+const THREADS: [usize; 5] = [1, 2, 3, 4, 8];
+
+/// Adversarial completion orders per proptest case; with 16 cases per property this
+/// replays 64 seeded schedules per factorization kind.
+const REPLAY_SEEDS_PER_CASE: u64 = 4;
+
+/// Run `f` on a helper thread and fail loudly if it does not finish within 60 s —
+/// a stranded dependency counter deadlocks a DAG run instead of crashing it. On
+/// timeout the in-flight runtime state (ready ids, waiting counters) is dumped for
+/// the post-mortem.
+fn with_watchdog<T: Send + 'static>(
+    label: String,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(v) => {
+            handle.join().expect("watchdog worker panicked after reporting its result");
+            v
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(panic) => std::panic::resume_unwind(panic),
+            Ok(()) => unreachable!("worker exited without sending a result or panicking"),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!(
+                "deadlock watchdog fired for '{label}'; in-flight DAG state:\n{}",
+                snapshot_active()
+            );
+            panic!("DAG run '{label}' did not complete within 60 s (see state dump above)");
+        }
+    }
+}
+
+/// Assert the exactly-once invariant the runtime records after every drain.
+fn assert_exactly_once(stats: DagRunStats, label: &str) {
+    assert!(stats.tasks > 0, "{label}: empty task graph");
+    assert_eq!(
+        stats.executed, stats.tasks,
+        "{label}: task leak — {} of {} tasks ran",
+        stats.executed, stats.tasks
+    );
+}
+
+/// The executions every case sweeps: seeded replay schedules plus the pool at every
+/// thread count (`None` = replay, no thread guard needed).
+fn schedules(case_seed: u64) -> Vec<(DagExecution, Option<usize>, String)> {
+    let mut execs = Vec::new();
+    for i in 0..REPLAY_SEEDS_PER_CASE {
+        let seed = case_seed.wrapping_mul(0x9e37_79b9).wrapping_add(i);
+        execs.push((DagExecution::Replay { seed }, None, format!("replay seed={seed}")));
+    }
+    for t in THREADS {
+        execs.push((DagExecution::Pool, Some(t), format!("pool t={t}")));
+    }
+    execs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dag_lu_is_bit_identical_under_adversarial_schedules(
+        (n, block, extra, seed) in (1usize..44, 1usize..20, 0usize..3, any::<u64>())
+    ) {
+        // `extra` occasionally pushes the block past n to hit the single-panel path.
+        let block = block + extra * n;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n, n);
+        let sync = lu::lu_blocked(&a, block).unwrap();
+        for (exec, threads, desc) in schedules(seed) {
+            let label = format!("lu n={n} b={block} {desc}");
+            let input = a.clone();
+            let (dag, stats) = with_watchdog(label.clone(), move || {
+                let _guard = threads.map(ThreadCountGuard::set);
+                let f = lu::lu_dag_with(&input, block, &(), exec).map(|(f, _)| f);
+                (f, last_run_stats().expect("run must record stats"))
+            });
+            let dag = dag.unwrap();
+            assert_exactly_once(stats, &label);
+            prop_assert_eq!(&sync.pivots, &dag.pivots, "pivots differ ({})", &label);
+            prop_assert!(sync.lu == dag.lu, "LU factors not bit-identical ({})", &label);
+        }
+    }
+
+    #[test]
+    fn dag_cholesky_is_bit_identical_under_adversarial_schedules(
+        (n, block, extra, seed) in (1usize..44, 1usize..20, 0usize..3, any::<u64>())
+    ) {
+        let block = block + extra * n;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a0 = random_spd_matrix(&mut rng, n);
+        let mut sync = a0.clone();
+        cholesky::cholesky_blocked(&mut sync, block).unwrap();
+        for (exec, threads, desc) in schedules(seed) {
+            let label = format!("cholesky n={n} b={block} {desc}");
+            let mut input = a0.clone();
+            let (dag, stats) = with_watchdog(label.clone(), move || {
+                let _guard = threads.map(ThreadCountGuard::set);
+                let r = cholesky::cholesky_dag_with(&mut input, block, &(), exec).map(|_| input);
+                (r, last_run_stats().expect("run must record stats"))
+            });
+            let dag = dag.unwrap();
+            assert_exactly_once(stats, &label);
+            prop_assert!(sync == dag, "Cholesky factors not bit-identical ({})", &label);
+        }
+    }
+
+    #[test]
+    fn dag_qr_is_bit_identical_under_adversarial_schedules(
+        (m, n, block, seed) in (1usize..40, 1usize..40, 1usize..20, any::<u64>())
+    ) {
+        // Independent m and n cover square, tall and wide shapes (wide leaves
+        // trailing column groups that outlive every panel).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, n);
+        let sync = qr::qr_blocked(&a, block);
+        for (exec, threads, desc) in schedules(seed) {
+            let label = format!("qr m={m} n={n} b={block} {desc}");
+            let input = a.clone();
+            let (dag, stats) = with_watchdog(label.clone(), move || {
+                let _guard = threads.map(ThreadCountGuard::set);
+                let (f, _) = qr::qr_dag_with(&input, block, &(), exec);
+                (f, last_run_stats().expect("run must record stats"))
+            });
+            assert_exactly_once(stats, &label);
+            prop_assert_eq!(&sync.taus, &dag.taus, "taus differ ({})", &label);
+            prop_assert!(sync.qr == dag.qr, "QR factors not bit-identical ({})", &label);
+        }
+    }
+}
+
+/// One ABFT-fused DAG run: fresh per-iteration hooks (hooks are stateful), the
+/// factorization, and everything that must be schedule-independent about it.
+fn fused_lu_run(
+    a: &Matrix,
+    block: usize,
+    faults: &[(usize, PlannedFault)],
+    exec: DagExecution,
+    threads: Option<usize>,
+    label: String,
+) -> (Result<lu::LuFactors, String>, usize, (usize, usize, usize), DagRunStats) {
+    let iterations = a.rows().div_ceil(block);
+    let mut per_iter: Vec<Vec<PlannedFault>> = vec![Vec::new(); iterations];
+    for (k, f) in faults {
+        per_iter[*k].push(*f);
+    }
+    let hooks = per_iter
+        .into_iter()
+        .map(|f| FusedTileChecksums::with_faults(ChecksumScheme::Full, block, f))
+        .collect();
+    let hook = PerIterationChecksums::new(hooks);
+    let input = a.clone();
+    with_watchdog(label, move || {
+        let _guard = threads.map(ThreadCountGuard::set);
+        let result = lu::lu_dag_with(&input, block, &hook, exec)
+            .map(|(f, _)| f)
+            .map_err(|e| e.to_string());
+        let outcome = hook.outcome();
+        let tally = (outcome.corrected_0d, outcome.corrected_1d, outcome.uncorrectable);
+        (
+            result,
+            hook.faults_injected(),
+            tally,
+            last_run_stats().expect("run must record stats"),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fault injection riding the DAG: planned faults strike their target tiles on
+    /// whatever thread happens to run them, mid-schedule, and Full checksums correct
+    /// them inside the task. Corrected factors and injection/verification tallies
+    /// must not depend on the schedule.
+    #[test]
+    fn fused_injection_tallies_and_factors_are_schedule_independent(
+        (b, tiles, tail, seed) in (4usize..9, 3usize..6, 0usize..2, any::<u64>())
+    ) {
+        let n = b * tiles + tail * (b / 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n, n);
+
+        // One fault is always live (iteration 0's first trailing tile); extras land
+        // on random aligned tiles of random iterations.
+        let mut faults = vec![(
+            0usize,
+            PlannedFault { row: 0, col: b, pattern: ErrorPattern::ZeroD, seed },
+        )];
+        let extras = (seed % 3) as usize;
+        for i in 0..extras {
+            let c = 1 + (seed as usize >> (4 * i)) % (tiles - 1); // 1..tiles
+            let r = (seed as usize >> (4 * i + 2)) % tiles;
+            let k = r.min(c - 1);
+            // Two faults striking the same tile of the same iteration combine into a
+            // 2-D corruption no scheme corrects — legal, but it would void the
+            // "something was corrected" assertion below, so keep targets distinct.
+            if faults.iter().any(|(fk, f)| *fk == k && f.row == r * b && f.col == c * b) {
+                continue;
+            }
+            let pattern = if i % 2 == 0 { ErrorPattern::OneD } else { ErrorPattern::ZeroD };
+            faults.push((
+                k,
+                PlannedFault {
+                    row: r * b,
+                    col: c * b,
+                    pattern,
+                    seed: seed.wrapping_add(i as u64 + 1),
+                },
+            ));
+        }
+
+        let baseline_label = format!("fused-lu n={n} b={b} baseline");
+        let baseline = fused_lu_run(
+            &a, b, &faults,
+            DagExecution::Replay { seed: seed.wrapping_mul(31) },
+            None,
+            baseline_label.clone(),
+        );
+        assert_exactly_once(baseline.3, &baseline_label);
+        prop_assert!(baseline.1 >= 1, "at least one planned fault must fire");
+        // Full checksums must have corrected something (the always-live 0-d fault).
+        prop_assert!(baseline.2.0 + baseline.2.1 >= 1, "no correction recorded");
+
+        for (exec, threads, desc) in schedules(seed.wrapping_add(97)) {
+            let label = format!("fused-lu n={n} b={b} {desc}");
+            let run = fused_lu_run(&a, b, &faults, exec, threads, label.clone());
+            assert_exactly_once(run.3, &label);
+            prop_assert_eq!(run.1, baseline.1, "injected-fault tallies differ ({})", &label);
+            prop_assert_eq!(run.2, baseline.2, "verification tallies differ ({})", &label);
+            match (&run.0, &baseline.0) {
+                (Ok(f), Ok(bf)) => {
+                    prop_assert_eq!(&f.pivots, &bf.pivots, "pivots differ ({})", &label);
+                    prop_assert!(f.lu == bf.lu, "corrected factors differ ({})", &label);
+                }
+                (Err(e), Err(be)) => prop_assert_eq!(e, be, "errors differ ({})", &label),
+                other => prop_assert!(false, "outcome differs from baseline: {:?}", other),
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //!    defer LU's out-of-panel row swaps, but per-element floating-point summation
 //!    order depends only on the `k` dimension, so no tolerance is needed.
 //! 2. **Thread-count invariance.** The same results must come out under
-//!    `RAYON_NUM_THREADS ∈ {1, 2, 4}`: the tile decomposition is fixed by the block
+//!    `RAYON_NUM_THREADS ∈ {1, 2, 3, 4, 8}`: the tile decomposition is fixed by the block
 //!    size (never by the thread count), and tasks write disjoint column groups, so
 //!    the schedule cannot influence a single bit.
 //!
@@ -24,15 +24,15 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// Thread counts every property sweeps. 1 exercises the inline path, 2 and 4 the
-/// persistent pool (oversubscribed on small CI hosts, which is exactly when task
-/// interleavings get adversarial).
-const THREADS: [usize; 3] = [1, 2, 4];
+/// Thread counts every property sweeps. 1 exercises the inline path, the rest the
+/// persistent pool — including an odd worker count (3) and oversubscription (8) on
+/// small CI hosts, which is exactly when task interleavings get adversarial.
+const THREADS: [usize; 5] = [1, 2, 3, 4, 8];
 
 // The shared guard serializes the thread-count-sensitive sections across the
 // concurrently running properties (the thread budget is a process global) and
 // restores the previous value even if a property body panics — without it the
-// advertised `{1, 2, 4}` sweep would not be guaranteed to execute at those counts.
+// advertised `{1, 2, 3, 4, 8}` sweep would not be guaranteed to execute at those counts.
 use rayon::ThreadCountGuard;
 
 /// `(n, block, seed)`: order, block size (including > n, = n, and tail-producing

@@ -95,15 +95,17 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Create a double-precision workload.
+    /// Create a double-precision workload. A block larger than `n` is legal and
+    /// degenerates to a single unblocked iteration (the size/flop model saturates).
     pub fn new_f64(decomposition: Decomposition, n: usize, block: usize) -> Self {
-        assert!(block > 0 && block <= n, "block size must be in 1..=n");
+        assert!(block > 0, "block size must be positive");
         Self { n, block, decomposition, element_bytes: 8 }
     }
 
-    /// Create a single-precision workload.
+    /// Create a single-precision workload. A block larger than `n` is legal and
+    /// degenerates to a single unblocked iteration (the size/flop model saturates).
     pub fn new_f32(decomposition: Decomposition, n: usize, block: usize) -> Self {
-        assert!(block > 0 && block <= n, "block size must be in 1..=n");
+        assert!(block > 0, "block size must be positive");
         Self { n, block, decomposition, element_bytes: 4 }
     }
 

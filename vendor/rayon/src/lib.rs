@@ -366,6 +366,123 @@ impl<'scope> Scope<'scope> {
     }
 }
 
+/// A dependency-driven task region: like [`Scope`], but every submitted closure
+/// receives a `&TaskScope` handle so a *running task can submit its successors* —
+/// the primitive a DAG runtime with dependency counters needs ([`scope`]'s `spawn`
+/// can only fan out from the scope body, which forces a barrier per wave).
+///
+/// Lifetime soundness is inherited from [`scope`]: a successor submitted from inside
+/// a running task increments the region's pending count *before* the submitting task
+/// decrements its own, so the count can never transiently reach zero while work is
+/// outstanding, and [`task_scope`] does not return until it does.
+///
+/// Under a single-thread budget submissions are queued and drained in FIFO order on
+/// the caller *after* the current task returns (not recursively at the submit site),
+/// so a dependency chain of any depth runs in constant stack space.
+pub struct TaskScope<'scope> {
+    region: Arc<Region>,
+    /// Thread budget of this region (`current_num_threads()` at entry).
+    threads: usize,
+    /// FIFO queue of inline submissions (single-thread budget only).
+    #[allow(clippy::type_complexity)]
+    inline: Mutex<VecDeque<Box<dyn FnOnce(&TaskScope<'scope>) + Send + 'scope>>>,
+    /// Invariant over `'scope`, mirroring `std::thread::Scope`.
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> TaskScope<'scope> {
+    /// Submit `f` to the region. With a multi-thread budget the task is pushed onto
+    /// the pool immediately; under a single-thread budget it is queued and runs on
+    /// the caller in FIFO submission order. `f` may submit further tasks through the
+    /// handle it receives.
+    pub fn submit<F: FnOnce(&TaskScope<'scope>) + Send + 'scope>(&self, f: F) {
+        if self.threads <= 1 {
+            self.inline.lock().unwrap().push_back(Box::new(f));
+            return;
+        }
+        self.region.pending.fetch_add(1, Ordering::AcqRel);
+        let region = Arc::clone(&self.region);
+        let threads = self.threads;
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Rebuild a handle on the executing thread so the task can submit its
+            // successors into the same region (the successor's pending increment
+            // happens inside `f`, i.e. before this task's `complete_one`).
+            let handle = TaskScope {
+                region: Arc::clone(&region),
+                threads,
+                inline: Mutex::new(VecDeque::new()),
+                _marker: std::marker::PhantomData,
+            };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&handle))) {
+                region.panic.lock().unwrap().get_or_insert(payload);
+            }
+            region.complete_one();
+        });
+        // SAFETY: same argument as `Scope::spawn` — `task_scope` blocks until
+        // `pending` reaches zero, which cannot happen before this closure (and every
+        // successor it transitively submits) has finished running.
+        let erased: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(wrapped) };
+        pool().push(Job { run: erased });
+    }
+
+    /// Help drain the pool until every task of this region has completed (identical
+    /// to [`Scope::wait_all`]).
+    fn wait_all(&self) {
+        let pool = pool();
+        while self.region.pending.load(Ordering::Acquire) > 0 {
+            if let Some(job) = pool.steal_one() {
+                run_job(job);
+                continue;
+            }
+            let guard = self.region.lock.lock().unwrap();
+            if self.region.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let _ = self.region.cv.wait_timeout(guard, WAIT_TIMEOUT).unwrap();
+        }
+    }
+}
+
+/// Run `op` with a [`TaskScope`] handle; returns `op`'s value once every submitted
+/// task — including tasks submitted *by* tasks — has completed. Panics from the body
+/// or from any task are propagated (body panic wins), after all tasks have finished.
+pub fn task_scope<'scope, R>(op: impl FnOnce(&TaskScope<'scope>) -> R) -> R {
+    let threads = current_num_threads();
+    let ts = TaskScope {
+        region: Region::new(),
+        threads,
+        inline: Mutex::new(VecDeque::new()),
+        _marker: std::marker::PhantomData,
+    };
+    if threads > 1 {
+        pool().activate(threads - 1);
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let value = op(&ts);
+        // Single-thread budget: drain the FIFO queue here, on the caller. Tasks that
+        // submit successors re-enqueue, so arbitrarily deep chains never recurse.
+        loop {
+            let next = ts.inline.lock().unwrap().pop_front();
+            match next {
+                Some(f) => f(&ts),
+                None => break,
+            }
+        }
+        value
+    }));
+    ts.wait_all();
+    let job_panic = ts.region.panic.lock().unwrap().take();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = job_panic {
+                panic::resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
+
 /// Run `op` with a [`Scope`] handle for spawning borrowing tasks; returns `op`'s value
 /// once every spawned task has completed. Panics from the scope body or from any task
 /// are propagated (body panic wins), after all tasks have finished.
@@ -511,7 +628,7 @@ pub mod slice {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::{run_parallel, scope};
+    use super::{run_parallel, scope, task_scope, TaskScope};
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -673,5 +790,86 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_scope_runs_chained_submissions_at_every_thread_count() {
+        // A task that submits its own successor: the shape a dependency-counter
+        // runtime produces. 10_000 links would overflow the stack if the inline
+        // path recursed at the submit site.
+        for t in [1, 2, 4] {
+            let _guard = ThreadCountGuard::set(t);
+            let hops = AtomicUsize::new(0);
+            fn link<'s>(ts: &TaskScope<'s>, hops: &'s AtomicUsize, remaining: usize) {
+                hops.fetch_add(1, Ordering::Relaxed);
+                if remaining > 0 {
+                    ts.submit(move |ts| link(ts, hops, remaining - 1));
+                }
+            }
+            task_scope(|ts| {
+                let hops = &hops;
+                ts.submit(move |ts| link(ts, hops, 9_999));
+            });
+            assert_eq!(hops.load(Ordering::Relaxed), 10_000, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn task_scope_inline_submissions_run_in_fifo_order() {
+        let _guard = ThreadCountGuard::set(1);
+        let order = Mutex::new(Vec::new());
+        task_scope(|ts| {
+            for i in 0..4 {
+                let order = &order;
+                ts.submit(move |ts| {
+                    order.lock().unwrap().push(i);
+                    let order = &*order;
+                    ts.submit(move |_| order.lock().unwrap().push(10 + i));
+                });
+            }
+        });
+        // Body submissions first (0..4), then their successors in submission order.
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn task_scope_fan_out_fan_in_counts_every_task_once() {
+        let _guard = ThreadCountGuard::set(4);
+        let ran = AtomicUsize::new(0);
+        task_scope(|ts| {
+            for _ in 0..64 {
+                let ran = &ran;
+                ts.submit(move |ts| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..4 {
+                        ts.submit(move |_| {
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 64 * 5);
+    }
+
+    #[test]
+    fn task_scope_task_panic_is_propagated_after_drain() {
+        let _guard = ThreadCountGuard::set(2);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            task_scope(|ts| {
+                for i in 0..8 {
+                    let completed = &completed;
+                    ts.submit(move |_| {
+                        if i == 5 {
+                            panic!("task panic");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the task_scope boundary");
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
     }
 }
