@@ -75,6 +75,39 @@ pub struct BlockChecksums {
     pub rows: Option<RowChecksums>,
 }
 
+/// What one verification discrepancy turned out to be.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum VerifyEventKind {
+    /// Single element corrected from its column (or row/column intersection).
+    Corrected0d,
+    /// A corrupted row rebuilt from the column discrepancies (full scheme).
+    Corrected1dRow,
+    /// A corrupted column rebuilt from the row discrepancies (full scheme).
+    Corrected1dCol,
+    /// Detected but beyond the scheme's correction capability.
+    Uncorrectable,
+    /// The checksum vectors themselves failed the checksum-of-checksums guard;
+    /// element verification was skipped for the tile (its checksums are untrusted).
+    ChecksumGuard,
+}
+
+/// One located verification discrepancy: global coordinates of (the first element
+/// of) the affected region plus its classification. 1D events carry the corrected
+/// line's first affected element; uncorrectable events carry best-effort anchors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VerifyEvent {
+    /// Global row of the (first) affected element.
+    pub row: usize,
+    /// Global column of the (first) affected element.
+    pub col: usize,
+    /// Classification.
+    pub kind: VerifyEventKind,
+}
+
 /// Outcome of verifying (and correcting) one block against its checksums.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VerifyOutcome {
@@ -84,6 +117,10 @@ pub struct VerifyOutcome {
     pub corrected_1d: usize,
     /// Number of discrepancies that could not be attributed/corrected.
     pub uncorrectable: usize,
+    /// Located discrepancies with global coordinates, kept in canonical (sorted)
+    /// order by [`VerifyOutcome::merge`] so merged outcomes are identical under any
+    /// task schedule.
+    pub events: Vec<VerifyEvent>,
 }
 
 impl VerifyOutcome {
@@ -92,11 +129,15 @@ impl VerifyOutcome {
         self.uncorrectable == 0
     }
 
-    /// Merge another outcome into this one.
+    /// Merge another outcome into this one. The combined event log is re-sorted
+    /// into canonical `(row, col, kind)` order, so any merge tree over the same
+    /// per-tile outcomes produces the same final log.
     pub fn merge(&mut self, other: &VerifyOutcome) {
         self.corrected_0d += other.corrected_0d;
         self.corrected_1d += other.corrected_1d;
         self.uncorrectable += other.uncorrectable;
+        self.events.extend_from_slice(&other.events);
+        self.events.sort_unstable();
     }
 }
 
@@ -226,6 +267,29 @@ fn mismatch(expected: f64, actual: f64, scale: f64) -> bool {
     (expected - actual).abs() > REL_TOL * scale.max(1.0)
 }
 
+/// Checksum-of-checksums: an exact (bit-level) hash over every checksum vector of a
+/// block. Computed right after encoding and compared right before verification, it
+/// detects faults that strike the checksum *vectors* themselves — which element
+/// verification cannot, since it trusts the stored checksums. A mismatch means the
+/// checksums are unreliable and the tile must be treated as uncorrectable-corrupt.
+pub fn checksum_guard(cs: &BlockChecksums) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |vs: &[f64]| {
+        for v in vs {
+            h = h.wrapping_mul(31).wrapping_add(v.to_bits());
+        }
+    };
+    if let Some(c) = cs.columns.as_ref() {
+        mix(&c.sum);
+        mix(&c.weighted);
+    }
+    if let Some(r) = cs.rows.as_ref() {
+        mix(&r.sum);
+        mix(&r.weighted);
+    }
+    h
+}
+
 /// Verify the block of `m` against `cs` and correct what the scheme allows.
 ///
 /// * 0D errors: located from the weighted/unweighted discrepancy ratio of the affected
@@ -284,12 +348,23 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
             for &j in &bad_cols {
                 let d_sum = stored_cols.sum[j] - actual_cols.sum[j];
                 let d_weighted = stored_cols.weighted[j] - actual_cols.weighted[j];
-                if try_correct_single_element(cols[j], d_sum, d_weighted) {
+                if let Some(i) = try_correct_single_element(cols[j], d_sum, d_weighted) {
                     out.corrected_0d += 1;
+                    out.events.push(VerifyEvent {
+                        row: block.row + i,
+                        col: block.col + j,
+                        kind: VerifyEventKind::Corrected0d,
+                    });
                 } else {
                     out.uncorrectable += 1;
+                    out.events.push(VerifyEvent {
+                        row: block.row,
+                        col: block.col + j,
+                        kind: VerifyEventKind::Uncorrectable,
+                    });
                 }
             }
+            out.events.sort_unstable();
             out
         }
         ChecksumScheme::Full => {
@@ -312,6 +387,11 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
                 let d = stored_cols.sum[j] - actual_cols.sum[j];
                 cols[j][i] += d;
                 out.corrected_0d += 1;
+                out.events.push(VerifyEvent {
+                    row: block.row + i,
+                    col: block.col + j,
+                    kind: VerifyEventKind::Corrected0d,
+                });
             } else if bad_rows.len() == 1 {
                 // One corrupted row spanning several columns: rebuild each affected
                 // element from its column discrepancy.
@@ -321,6 +401,11 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
                     cols[j][i] += d;
                 }
                 out.corrected_1d += 1;
+                out.events.push(VerifyEvent {
+                    row: block.row + i,
+                    col: block.col + bad_cols[0],
+                    kind: VerifyEventKind::Corrected1dRow,
+                });
             } else if bad_cols.len() == 1 {
                 // One corrupted column spanning several rows.
                 let j = bad_cols[0];
@@ -329,28 +414,56 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
                     cols[j][i] += d;
                 }
                 out.corrected_1d += 1;
+                out.events.push(VerifyEvent {
+                    row: block.row + bad_rows[0],
+                    col: block.col + j,
+                    kind: VerifyEventKind::Corrected1dCol,
+                });
             } else {
                 // 2D pattern (or multiple independent strikes): beyond full-checksum ABFT.
+                // One event per counted unit, anchored along the larger dimension so
+                // the log localizes every affected line.
                 out.uncorrectable += bad_cols.len().max(bad_rows.len());
+                if bad_cols.len() >= bad_rows.len() {
+                    let anchor_row = bad_rows.first().copied().unwrap_or(0);
+                    for &j in &bad_cols {
+                        out.events.push(VerifyEvent {
+                            row: block.row + anchor_row,
+                            col: block.col + j,
+                            kind: VerifyEventKind::Uncorrectable,
+                        });
+                    }
+                } else {
+                    let anchor_col = bad_cols.first().copied().unwrap_or(0);
+                    for &i in &bad_rows {
+                        out.events.push(VerifyEvent {
+                            row: block.row + i,
+                            col: block.col + anchor_col,
+                            kind: VerifyEventKind::Uncorrectable,
+                        });
+                    }
+                }
             }
+            out.events.sort_unstable();
             out
         }
     }
 }
 
-/// Attempt a 0D correction in one tile column from the checksum discrepancies.
-fn try_correct_single_element(col: &mut [f64], d_sum: f64, d_weighted: f64) -> bool {
+/// Attempt a 0D correction in one tile column from the checksum discrepancies;
+/// returns the corrected in-tile row index on success.
+fn try_correct_single_element(col: &mut [f64], d_sum: f64, d_weighted: f64) -> Option<usize> {
     if d_sum.abs() < f64::EPSILON {
         // Weighted checksum disagrees but the plain sum does not: cannot locate.
-        return false;
+        return None;
     }
     let row_loc = d_weighted / d_sum; // == (i + 1) for a single corrupted element
     let i = row_loc.round() as i64 - 1;
     if i < 0 || i as usize >= col.len() || (row_loc - row_loc.round()).abs() > 1e-3 {
-        return false;
+        return None;
     }
     col[i as usize] += d_sum;
-    true
+    Some(i as usize)
 }
 
 #[cfg(test)]

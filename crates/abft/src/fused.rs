@@ -27,17 +27,37 @@
 //! merge order does not matter.
 
 use crate::checksum::{
-    encode_block_slices, verify_and_correct_slices, BlockChecksums, ChecksumScheme, VerifyOutcome,
+    checksum_guard, encode_block_slices, encode_column_checksums_slices,
+    verify_and_correct_slices, BlockChecksums, ChecksumScheme, VerifyEvent, VerifyEventKind,
+    VerifyOutcome,
 };
-use crate::inject::{inject_fault_slices, InjectedFault};
+use crate::inject::{corrupt_checksums, inject_burst_slices, inject_fault_slices, InjectedFault};
+use crate::recover::{FaultSite, RecoveryTracker};
 use bsr_linalg::matrix::Block;
-use bsr_linalg::task::TrailingHook;
+use bsr_linalg::task::{TileVerdict, TrailingHook};
 use hetero_sim::sdc::ErrorPattern;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Where a planned fault lands — the hardened fault model of the recovery pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// The tile's data elements, per the fault's [`ErrorPattern`] — the base model.
+    TileData,
+    /// The tile's checksum vectors themselves: element verification cannot see this
+    /// (it trusts the stored checksums); only the checksum-of-checksums guard can.
+    Checksum,
+    /// The iteration's lookahead panel factorization (detected by the panel
+    /// verification in `after_panel_factor`, never corrected in place).
+    Panel,
+    /// A deterministic four-corner multi-fault burst that exceeds every scheme's
+    /// correction capability (always ≥ 2 bad rows and ≥ 2 bad columns on real tiles).
+    Burst,
+}
 
 /// One fault scheduled for injection into a specific trailing tile, struck *between*
 /// that tile's checksum encoding and its verification — the window where a silent
@@ -48,6 +68,9 @@ use std::time::Instant;
 /// the hook tiles each column group into). `seed` is the private RNG stream driving
 /// the in-tile randomness (position, magnitude), pre-drawn by the planner so the
 /// injected bits are identical no matter which pool thread runs the tile's task.
+/// `target` selects where the strike lands and `strikes` how many attempts it fires
+/// on (recovery recomputes a struck tile; a transient fault stops firing once its
+/// budget is spent, a persistent one — `u32::MAX` — never does).
 #[derive(Debug, Clone, Copy)]
 pub struct PlannedFault {
     /// Global top row of the target tile.
@@ -58,6 +81,17 @@ pub struct PlannedFault {
     pub pattern: ErrorPattern,
     /// Seed of the fault's private injection RNG.
     pub seed: u64,
+    /// Where the strike lands.
+    pub target: FaultTarget,
+    /// How many (recomputation) attempts the fault fires on before clearing.
+    pub strikes: u32,
+}
+
+impl PlannedFault {
+    /// The base-model fault: a single-strike corruption of tile data.
+    pub fn tile(row: usize, col: usize, pattern: ErrorPattern, seed: u64) -> Self {
+        Self { row, col, pattern, seed, target: FaultTarget::TileData, strikes: 1 }
+    }
 }
 
 /// A [`TrailingHook`] that re-encodes and verifies (correcting where the scheme
@@ -74,6 +108,9 @@ pub struct FusedTileChecksums {
     /// Checksum nanoseconds summed across tasks (CPU time, not wall time: concurrent
     /// tasks overlap).
     checksum_nanos: AtomicU64,
+    /// Recovery bookkeeping shared with the engine; `None` (or a disabled policy)
+    /// keeps the pre-recovery detect-and-tally behavior.
+    recovery: Option<Arc<RecoveryTracker>>,
 }
 
 impl FusedTileChecksums {
@@ -96,7 +133,63 @@ impl FusedTileChecksums {
             tally: Mutex::new(VerifyOutcome::default()),
             injected: Mutex::new(Vec::new()),
             checksum_nanos: AtomicU64::new(0),
+            recovery: None,
         }
+    }
+
+    /// Attach shared recovery bookkeeping: detection failures consult `tracker` for
+    /// a verdict ([`TileVerdict::Recompute`] while budgets last) instead of only
+    /// tallying, and fault strike budgets are accounted through it. The engine
+    /// holds the same `Arc` to decide on iteration replays and structured failure.
+    pub fn with_recovery(mut self, tracker: Arc<RecoveryTracker>) -> Self {
+        self.recovery = Some(tracker);
+        self
+    }
+
+    /// Whether a planned fault fires on this attempt: with recovery attached the
+    /// tracker's per-seed strike counter enforces the budget (persisting across
+    /// recomputations and replays); without recovery every tile is visited exactly
+    /// once, so the fault simply fires.
+    fn strike_fires(&self, f: &PlannedFault) -> bool {
+        match &self.recovery {
+            Some(tr) => tr.strike_allowed(f.seed, f.strikes),
+            None => true,
+        }
+    }
+
+    /// Turn one attempt's verification outcome into the driver verdict, updating
+    /// recovery bookkeeping. On [`TileVerdict::Accept`] the attempt's tallies are
+    /// merged into the shared state; a rolled-back attempt leaves no trace there
+    /// (its tile never becomes part of the factorization), keeping merged outcomes
+    /// identical to a clean run's whenever recovery succeeds.
+    fn settle_attempt(
+        &self,
+        iter: usize,
+        col0: usize,
+        site: FaultSite,
+        out: VerifyOutcome,
+        struck: Vec<InjectedFault>,
+        nanos: u64,
+    ) -> TileVerdict {
+        let verdict = match &self.recovery {
+            Some(tr) if tr.policy().enabled => {
+                if out.uncorrectable > 0 {
+                    tr.on_failure(iter, col0, site)
+                } else {
+                    tr.on_success(iter, col0, site, out.corrected_0d + out.corrected_1d > 0);
+                    TileVerdict::Accept
+                }
+            }
+            _ => TileVerdict::Accept,
+        };
+        self.checksum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if verdict == TileVerdict::Accept {
+            self.tally.lock().unwrap().merge(&out);
+            if !struck.is_empty() {
+                self.injected.lock().unwrap().extend(struck);
+            }
+        }
+        verdict
     }
 
     /// Merged verification outcome across all tasks so far.
@@ -123,12 +216,18 @@ impl FusedTileChecksums {
 }
 
 impl TrailingHook for FusedTileChecksums {
-    fn after_tile_update(&self, _iter: usize, col0: usize, row0: usize, cols: &mut [&mut [f64]]) {
+    fn after_tile_update(
+        &self,
+        iter: usize,
+        col0: usize,
+        row0: usize,
+        cols: &mut [&mut [f64]],
+    ) -> TileVerdict {
         if cols.is_empty() || cols[0].is_empty() {
-            return;
+            return TileVerdict::Accept;
         }
         if self.scheme == ChecksumScheme::None && self.faults.is_empty() {
-            return;
+            return TileVerdict::Accept;
         }
         let height = cols[0].len();
         let width = cols.len();
@@ -142,7 +241,7 @@ impl TrailingHook for FusedTileChecksums {
         while r < height {
             let rows = self.tile_rows.min(height - r);
             let tile_row = row0 + r;
-            let cs: Option<BlockChecksums> = if self.scheme == ChecksumScheme::None {
+            let mut cs: Option<BlockChecksums> = if self.scheme == ChecksumScheme::None {
                 None
             } else {
                 let t0 = Instant::now();
@@ -152,24 +251,129 @@ impl TrailingHook for FusedTileChecksums {
                 nanos += t0.elapsed().as_nanos() as u64;
                 Some(cs)
             };
+            // Checksum-of-checksums, taken while the encoding is trusted.
+            let guard = cs.as_ref().map(checksum_guard);
             let mut tile: Vec<&mut [f64]> = cols.iter_mut().map(|c| &mut c[r..r + rows]).collect();
             // Planned faults strike this tile now — after encode, before verify.
-            for fault in self.faults.iter().filter(|f| f.row == tile_row && f.col == col0) {
+            // Panel-targeted faults belong to `after_panel_factor`, not here.
+            for fault in self
+                .faults
+                .iter()
+                .filter(|f| f.row == tile_row && f.col == col0 && f.target != FaultTarget::Panel)
+            {
+                if !self.strike_fires(fault) {
+                    continue;
+                }
                 let mut rng = ChaCha8Rng::seed_from_u64(fault.seed);
-                struck.push(inject_fault_slices(&mut tile, tile_row, col0, fault.pattern, &mut rng));
+                match fault.target {
+                    FaultTarget::TileData => struck.push(inject_fault_slices(
+                        &mut tile,
+                        tile_row,
+                        col0,
+                        fault.pattern,
+                        &mut rng,
+                    )),
+                    FaultTarget::Burst => {
+                        struck.push(inject_burst_slices(&mut tile, tile_row, col0, &mut rng));
+                    }
+                    FaultTarget::Checksum => {
+                        if let Some(cs) = cs.as_mut() {
+                            let n = corrupt_checksums(cs, &mut rng);
+                            struck.push(InjectedFault {
+                                pattern: fault.pattern,
+                                row: tile_row,
+                                col: col0,
+                                elements: n,
+                            });
+                        }
+                    }
+                    FaultTarget::Panel => unreachable!("filtered above"),
+                }
             }
             if let Some(cs) = cs {
                 let t0 = Instant::now();
-                out.merge(&verify_and_correct_slices(&mut tile, &cs));
+                if guard != Some(checksum_guard(&cs)) {
+                    // The checksum vectors themselves are corrupt: element
+                    // verification would "correct" healthy data against garbage,
+                    // so it is skipped and the tile is uncorrectable-by-detection.
+                    out.uncorrectable += 1;
+                    out.events.push(VerifyEvent {
+                        row: tile_row,
+                        col: col0,
+                        kind: VerifyEventKind::ChecksumGuard,
+                    });
+                    out.events.sort_unstable();
+                } else {
+                    out.merge(&verify_and_correct_slices(&mut tile, &cs));
+                }
                 nanos += t0.elapsed().as_nanos() as u64;
             }
             r += rows;
         }
-        self.tally.lock().unwrap().merge(&out);
-        if !struck.is_empty() {
-            self.injected.lock().unwrap().extend(struck);
+        self.settle_attempt(iter, col0, FaultSite::Update, out, struck, nanos)
+    }
+
+    fn after_panel_factor(
+        &self,
+        iter: usize,
+        col0: usize,
+        row0: usize,
+        cols: &mut [&mut [f64]],
+    ) -> TileVerdict {
+        // Panel verification is detection-only, and only runs when a panel strike
+        // is actually planned for this panel: a clean run pays zero panel-check
+        // overhead, and recovery restores + refactors rather than correcting in
+        // place (the refactored panel is bit-identical to a clean one; an ABFT
+        // "correction" of reflectors/pivot columns would not be).
+        let pfaults: Vec<&PlannedFault> = self
+            .faults
+            .iter()
+            .filter(|f| f.target == FaultTarget::Panel && f.col == col0)
+            .collect();
+        if pfaults.is_empty() || cols.is_empty() || cols[0].is_empty() {
+            return TileVerdict::Accept;
         }
-        self.checksum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let mut nanos = 0u64;
+        let t0 = Instant::now();
+        let before = {
+            let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
+            encode_column_checksums_slices(&views)
+        };
+        nanos += t0.elapsed().as_nanos() as u64;
+        let mut struck = Vec::new();
+        for fault in pfaults {
+            if !self.strike_fires(fault) {
+                continue;
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(fault.seed);
+            struck.push(inject_fault_slices(cols, row0, col0, fault.pattern, &mut rng));
+        }
+        let t0 = Instant::now();
+        let after = {
+            let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
+            encode_column_checksums_slices(&views)
+        };
+        let scale = before.sum.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        let mut out = VerifyOutcome::default();
+        for j in 0..cols.len() {
+            let bad = (before.sum[j] - after.sum[j]).abs() > 1e-6 * scale.max(1.0)
+                || (before.weighted[j] - after.weighted[j]).abs() > 1e-6 * scale.max(1.0);
+            if bad {
+                out.uncorrectable += 1;
+                out.events.push(VerifyEvent {
+                    row: row0,
+                    col: col0 + j,
+                    kind: VerifyEventKind::Uncorrectable,
+                });
+            }
+        }
+        out.events.sort_unstable();
+        nanos += t0.elapsed().as_nanos() as u64;
+        self.settle_attempt(iter, col0, FaultSite::Panel, out, struck, nanos)
+    }
+
+    fn wants_snapshots(&self) -> bool {
+        self.recovery.as_ref().is_some_and(|tr| tr.policy().enabled)
     }
 }
 
@@ -219,8 +423,28 @@ impl PerIterationChecksums {
 }
 
 impl TrailingHook for PerIterationChecksums {
-    fn after_tile_update(&self, iter: usize, col0: usize, row0: usize, cols: &mut [&mut [f64]]) {
-        self.hooks[iter].after_tile_update(iter, col0, row0, cols);
+    fn after_tile_update(
+        &self,
+        iter: usize,
+        col0: usize,
+        row0: usize,
+        cols: &mut [&mut [f64]],
+    ) -> TileVerdict {
+        self.hooks[iter].after_tile_update(iter, col0, row0, cols)
+    }
+
+    fn after_panel_factor(
+        &self,
+        iter: usize,
+        col0: usize,
+        row0: usize,
+        cols: &mut [&mut [f64]],
+    ) -> TileVerdict {
+        self.hooks[iter].after_panel_factor(iter, col0, row0, cols)
+    }
+
+    fn wants_snapshots(&self) -> bool {
+        self.hooks.iter().any(FusedTileChecksums::wants_snapshots)
     }
 }
 

@@ -7,6 +7,7 @@
 //! the corrupted value so that the corruption is numerically significant (a flipped
 //! exponent bit rather than a last-place wiggle).
 
+use crate::checksum::BlockChecksums;
 use bsr_linalg::matrix::{Block, Matrix};
 use hetero_sim::sdc::ErrorPattern;
 use rand::Rng;
@@ -115,6 +116,68 @@ pub fn inject_fault_slices<R: Rng + ?Sized>(
             }
         }
     }
+}
+
+/// Inject a multi-fault burst: the four corners of the tile are corrupted in one
+/// strike, guaranteeing (for tiles of at least 2 × 2) two bad rows *and* two bad
+/// columns — a pattern that **exceeds** the correction capability of every checksum
+/// scheme, deterministically, unlike a random [`ErrorPattern::TwoD`] draw which can
+/// degenerate into a correctable line. This is the uncorrectable workload of the
+/// recovery pipeline's chaos campaigns.
+pub fn inject_burst_slices<R: Rng + ?Sized>(
+    cols: &mut [&mut [f64]],
+    origin_row: usize,
+    origin_col: usize,
+    rng: &mut R,
+) -> InjectedFault {
+    let ncols = cols.len();
+    let nrows = cols.first().map_or(0, |c| c.len());
+    assert!(nrows > 0 && ncols > 0, "cannot inject into an empty tile");
+    let (li, lj) = (nrows - 1, ncols - 1);
+    let mut seen: Vec<(usize, usize)> = Vec::with_capacity(4);
+    for (i, j) in [(0, 0), (0, lj), (li, 0), (li, lj)] {
+        // Degenerate (single-row/column) tiles collapse corners; corrupt each
+        // position once so the element count stays honest.
+        if !seen.contains(&(i, j)) {
+            corrupt(cols, i, j, rng);
+            seen.push((i, j));
+        }
+    }
+    InjectedFault {
+        pattern: ErrorPattern::TwoD,
+        row: origin_row,
+        col: origin_col,
+        elements: seen.len(),
+    }
+}
+
+/// Corrupt one element of each checksum vector the block carries — a fault landing
+/// in the ABFT metadata itself rather than the data it protects. Element
+/// verification cannot see this (it trusts the stored checksums; left alone it
+/// would "correct" healthy data against garbage); the checksum-of-checksums guard
+/// ([`crate::checksum::checksum_guard`]) exists to catch exactly this. Returns the
+/// number of checksum elements corrupted (0 when the scheme carries none).
+pub fn corrupt_checksums<R: Rng + ?Sized>(cs: &mut BlockChecksums, rng: &mut R) -> usize {
+    let hit = |vs: &mut [f64], rng: &mut R| {
+        if vs.is_empty() {
+            return 0;
+        }
+        let j = rng.gen_range(0..vs.len());
+        let factor: f64 = rng.gen_range(2.0..16.0);
+        let offset: f64 = rng.gen_range(0.5..2.0);
+        vs[j] = vs[j] * factor + offset;
+        1
+    };
+    let mut n = 0;
+    if let Some(c) = cs.columns.as_mut() {
+        n += hit(&mut c.sum, rng);
+        n += hit(&mut c.weighted, rng);
+    }
+    if let Some(r) = cs.rows.as_mut() {
+        n += hit(&mut r.sum, rng);
+        n += hit(&mut r.weighted, rng);
+    }
+    n
 }
 
 #[cfg(test)]

@@ -18,6 +18,11 @@
 //!   not protect against);
 //! * [`inject`] — fault injection with 0D/1D/2D patterns for the reliability experiments
 //!   (paper Figure 9);
+//! * [`recover`] — the escalation ladder for faults *beyond* in-place correction
+//!   (bursts, checksum-vector and panel strikes): [`RecoveryTracker`] arbitrates
+//!   tile/panel recomputation from write-once snapshots, iteration or run replay,
+//!   and persistent-fault escalation under the bounded budgets of a
+//!   [`RecoveryPolicy`], recording every decision as a [`RecoveryEvent`];
 //! * [`coverage`] — Poisson fault-coverage estimation `FC_single` / `FC_full`
 //!   (paper Table 1);
 //! * [`adaptive`] — the adaptive ABFT-OC strategy (paper Algorithm 1) choosing the
@@ -32,8 +37,10 @@ pub mod coverage;
 pub mod fused;
 pub mod inject;
 pub mod overhead;
+pub mod recover;
 
 pub use adaptive::{abft_oc, AbftDecision, AbftRequest};
-pub use checksum::{ChecksumScheme, VerifyOutcome};
-pub use fused::{FusedTileChecksums, PlannedFault};
+pub use checksum::{ChecksumScheme, VerifyEvent, VerifyEventKind, VerifyOutcome};
+pub use fused::{FaultTarget, FusedTileChecksums, PlannedFault};
 pub use coverage::{fc_full, fc_single, FULL_COVERAGE_THRESHOLD};
+pub use recover::{FaultSite, RecoveryAction, RecoveryEvent, RecoveryPolicy, RecoveryTracker};

@@ -1,0 +1,355 @@
+//! Escalating recovery from uncorrectable silent data corruptions.
+//!
+//! The checksum schemes in [`crate::checksum`] correct what their algebra allows —
+//! a 0D strike, a 1D row or column under the full scheme. Everything beyond that
+//! (multi-fault bursts, strikes landing in the checksum vectors themselves, faults
+//! inside a panel factorization) is *detectable* but not correctable in place, and a
+//! detection-only outcome used to mean silently wrong factors. This module adds the
+//! escalation ladder the numeric engine climbs when in-place correction fails:
+//!
+//! 1. **correct in place** — the existing checksum correction (no recovery state);
+//! 2. **recompute the tile** — the driver rolls the tile back to its pre-attempt
+//!    snapshot and re-runs the identical trailing update (or panel factorization)
+//!    from the write-once panel operands, up to
+//!    [`RecoveryPolicy::max_site_attempts`] attempts per visit;
+//! 3. **replay the iteration / run** — the engine restores a checkpoint and replays
+//!    the whole iteration (stepped path) or the whole factorization (DAG path), up
+//!    to [`RecoveryPolicy::max_replays`] times;
+//! 4. **fail structurally** — a `NumericError::UnrecoverableFault` carrying the
+//!    [`RecoveryEvent`] history instead of corrupted factors.
+//!
+//! Persistent-fault detection short-circuits the ladder: a site that keeps failing
+//! [`RecoveryPolicy::suspect_after`] consecutive attempts (counted *across* replays)
+//! is marked suspect and escalates immediately — recomputing a tile whose fault
+//! re-strikes every time would loop forever.
+//!
+//! All bookkeeping lives in a [`RecoveryTracker`] shared (via `Arc`) between the
+//! fused checksum hooks and the engine. Decisions depend only on per-site counters
+//! keyed by `(iteration, tile column, site)` and per-fault strike counters keyed by
+//! the fault's private seed, so they are deterministic at any thread count and under
+//! any task schedule.
+
+use bsr_linalg::task::TileVerdict;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Bounded-retry policy of the recovery ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Master switch; when `false` the hooks never request a recomputation and the
+    /// engine behaves exactly as before recovery existed (detection tallies only).
+    pub enabled: bool,
+    /// Local recompute attempts per site and visit (ladder step 2) before
+    /// escalating to a replay. Counts the attempts themselves: `2` means one
+    /// original attempt plus one recomputation.
+    pub max_site_attempts: u32,
+    /// Iteration replays (stepped path) or whole-run replays (DAG path) before the
+    /// job fails with `UnrecoverableFault` (ladder step 3).
+    pub max_replays: u32,
+    /// Consecutive failures of one site — counted across replays — after which the
+    /// site is marked suspect (persistent fault) and escalation is immediate.
+    pub suspect_after: u32,
+}
+
+impl Default for RecoveryPolicy {
+    /// Recovery disabled; budget fields hold the recommended defaults so enabling
+    /// is a one-field change.
+    fn default() -> Self {
+        Self { enabled: false, max_site_attempts: 2, max_replays: 2, suspect_after: 4 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The recommended enabled policy: 2 attempts per site visit, 2 replays,
+    /// suspect after 4 consecutive failures.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
+/// Which kind of task a recovery decision concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A trailing-update tile task.
+    Update,
+    /// A lookahead panel factorization.
+    Panel,
+}
+
+/// What the recovery pipeline did at one point of its history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// The checksum scheme corrected the corruption in place (ladder step 1).
+    CorrectedInPlace,
+    /// A trailing-update tile was rolled back and recomputed (ladder step 2).
+    TileRecomputed,
+    /// A lookahead panel was rolled back and refactored (ladder step 2).
+    PanelRecomputed,
+    /// The engine replayed a whole iteration from its checkpoint (ladder step 3,
+    /// stepped runtime).
+    IterationReplayed,
+    /// The engine replayed the whole factorization (ladder step 3, DAG runtime).
+    RunReplayed,
+    /// The site was marked suspect (persistent fault) and recovery gave up on it.
+    Escalated,
+}
+
+/// One entry of the recovery history, suitable for the run report and for the
+/// `UnrecoverableFault` error payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Blocked iteration the site belongs to.
+    pub iter: usize,
+    /// Global first column of the tile/panel column group.
+    pub col0: usize,
+    /// Task kind.
+    pub site: FaultSite,
+    /// What happened.
+    pub action: RecoveryAction,
+    /// The site's attempt number within its visit when the action was taken
+    /// (0 for replay/escalation records made by the engine).
+    pub attempt: u32,
+}
+
+/// Per-site retry counters.
+#[derive(Default)]
+struct SiteState {
+    /// Failures in a row, surviving replays; reset only by a successful attempt.
+    consecutive_failures: u32,
+    /// Attempts consumed in the current visit; reset by success and by replays.
+    visit_attempts: u32,
+}
+
+/// Mutex-guarded recovery bookkeeping (see the module docs).
+#[derive(Default)]
+struct TrackerInner {
+    sites: HashMap<(usize, usize, FaultSite), SiteState>,
+    /// Times each planned fault has struck, keyed by its private seed. Persists
+    /// across replays so a transient fault's strike budget genuinely exhausts.
+    strikes: HashMap<u64, u32>,
+    /// Some site gave up its local attempts since the last replay.
+    unresolved: bool,
+    /// Some site crossed `suspect_after` consecutive failures.
+    suspect: bool,
+    history: Vec<RecoveryEvent>,
+    replays: u32,
+}
+
+/// Shared recovery state: the fused checksum hooks consult it on every detection
+/// failure, the engine consults it between iterations/runs. Clone the `Arc`, not
+/// the tracker.
+pub struct RecoveryTracker {
+    policy: RecoveryPolicy,
+    inner: Mutex<TrackerInner>,
+}
+
+impl RecoveryTracker {
+    /// Fresh tracker under `policy`.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        Self { policy, inner: Mutex::new(TrackerInner::default()) }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Account one potential strike of the fault with private seed `seed` and
+    /// strike budget `budget`; returns whether the fault actually fires this time.
+    /// The counter survives replays: a transient fault (small budget) stops firing
+    /// once exhausted, a persistent fault (`u32::MAX`) fires forever.
+    pub fn strike_allowed(&self, seed: u64, budget: u32) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let count = inner.strikes.entry(seed).or_insert(0);
+        *count = count.saturating_add(1);
+        *count <= budget
+    }
+
+    /// A site's attempt succeeded (verified clean, or every discrepancy was
+    /// corrected in place). Resets its counters; records a
+    /// [`RecoveryAction::CorrectedInPlace`] event when `corrected`.
+    pub fn on_success(&self, iter: usize, col0: usize, site: FaultSite, corrected: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        let s = inner.sites.entry((iter, col0, site)).or_default();
+        let attempt = s.visit_attempts;
+        s.consecutive_failures = 0;
+        s.visit_attempts = 0;
+        if corrected {
+            inner.history.push(RecoveryEvent {
+                iter,
+                col0,
+                site,
+                action: RecoveryAction::CorrectedInPlace,
+                attempt,
+            });
+        }
+    }
+
+    /// A site's attempt detected corruption it could not correct. Returns the
+    /// verdict the hook must hand to the driver: [`TileVerdict::Recompute`] while
+    /// the local attempt budget lasts, [`TileVerdict::Accept`] when the site gives
+    /// up (escalating to a replay) or is suspect (escalating to failure).
+    pub fn on_failure(&self, iter: usize, col0: usize, site: FaultSite) -> TileVerdict {
+        let mut inner = self.inner.lock().unwrap();
+        let s = inner.sites.entry((iter, col0, site)).or_default();
+        s.visit_attempts += 1;
+        s.consecutive_failures += 1;
+        let (fails, attempt) = (s.consecutive_failures, s.visit_attempts);
+        if fails >= self.policy.suspect_after {
+            inner.suspect = true;
+            inner.unresolved = true;
+            inner.history.push(RecoveryEvent {
+                iter,
+                col0,
+                site,
+                action: RecoveryAction::Escalated,
+                attempt,
+            });
+            TileVerdict::Accept
+        } else if attempt < self.policy.max_site_attempts {
+            inner.history.push(RecoveryEvent {
+                iter,
+                col0,
+                site,
+                action: match site {
+                    FaultSite::Update => RecoveryAction::TileRecomputed,
+                    FaultSite::Panel => RecoveryAction::PanelRecomputed,
+                },
+                attempt,
+            });
+            TileVerdict::Recompute
+        } else {
+            inner.unresolved = true;
+            TileVerdict::Accept
+        }
+    }
+
+    /// Some site gave up its local attempts since the last replay (the engine must
+    /// climb to ladder step 3 or fail).
+    pub fn has_unresolved(&self) -> bool {
+        self.inner.lock().unwrap().unresolved
+    }
+
+    /// Some site crossed the persistent-fault threshold (the engine must fail
+    /// without burning replays).
+    pub fn is_suspect(&self) -> bool {
+        self.inner.lock().unwrap().suspect
+    }
+
+    /// Replays consumed so far.
+    pub fn replays(&self) -> u32 {
+        self.inner.lock().unwrap().replays
+    }
+
+    /// Start a replay (ladder step 3): clears the unresolved flag and every site's
+    /// per-visit attempt budget (consecutive-failure and strike counters survive),
+    /// records `action`, and returns `false` when the replay budget is already
+    /// spent — the caller must fail instead of replaying.
+    pub fn begin_replay(&self, action: RecoveryAction) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.replays >= self.policy.max_replays {
+            return false;
+        }
+        inner.replays += 1;
+        inner.unresolved = false;
+        for s in inner.sites.values_mut() {
+            s.visit_attempts = 0;
+        }
+        let attempt = inner.replays;
+        // Engine-level record: iter = usize::MAX sorts replay entries after every
+        // per-site entry in the canonical history order.
+        inner.history.push(RecoveryEvent {
+            iter: usize::MAX,
+            col0: 0,
+            site: FaultSite::Update,
+            action,
+            attempt,
+        });
+        true
+    }
+
+    /// The recovery history so far, sorted canonically (schedule-independent): by
+    /// iteration, column, site, action, attempt. Engine-level replay records sort
+    /// last (`iter == usize::MAX`).
+    pub fn history(&self) -> Vec<RecoveryEvent> {
+        let mut h = self.inner.lock().unwrap().history.clone();
+        h.sort_unstable_by_key(|e| (e.iter, e.col0, e.site, e.action, e.attempt));
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_recomputes_then_gives_up_then_replays() {
+        let t = RecoveryTracker::new(RecoveryPolicy::enabled());
+        // First failure: one recomputation left in the visit budget.
+        assert_eq!(t.on_failure(0, 8, FaultSite::Update), TileVerdict::Recompute);
+        // Second failure: visit budget spent, escalate to the engine.
+        assert_eq!(t.on_failure(0, 8, FaultSite::Update), TileVerdict::Accept);
+        assert!(t.has_unresolved());
+        assert!(!t.is_suspect());
+        // Replay resets the visit budget but not the consecutive count.
+        assert!(t.begin_replay(RecoveryAction::IterationReplayed));
+        assert!(!t.has_unresolved());
+        assert_eq!(t.on_failure(0, 8, FaultSite::Update), TileVerdict::Recompute);
+        // Fourth consecutive failure: suspect, immediate escalation.
+        assert_eq!(t.on_failure(0, 8, FaultSite::Update), TileVerdict::Accept);
+        assert!(t.is_suspect());
+        // Replay budget: one more, then refused.
+        assert!(t.begin_replay(RecoveryAction::IterationReplayed));
+        assert!(!t.begin_replay(RecoveryAction::IterationReplayed));
+        assert_eq!(t.replays(), 2);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let t = RecoveryTracker::new(RecoveryPolicy::enabled());
+        for _ in 0..3 {
+            assert_eq!(t.on_failure(1, 0, FaultSite::Panel), TileVerdict::Recompute);
+            t.on_success(1, 0, FaultSite::Panel, false);
+        }
+        // Never reaches suspect_after = 4 because each success resets the count.
+        assert!(!t.is_suspect());
+        assert!(!t.has_unresolved());
+    }
+
+    #[test]
+    fn strike_budget_survives_and_exhausts() {
+        let t = RecoveryTracker::new(RecoveryPolicy::enabled());
+        assert!(t.strike_allowed(42, 2));
+        assert!(t.strike_allowed(42, 2));
+        assert!(!t.strike_allowed(42, 2));
+        t.begin_replay(RecoveryAction::RunReplayed);
+        // Replays do not refill strike budgets.
+        assert!(!t.strike_allowed(42, 2));
+        // Independent fault stream.
+        assert!(t.strike_allowed(43, 1));
+    }
+
+    #[test]
+    fn history_is_sorted_canonically() {
+        let t = RecoveryTracker::new(RecoveryPolicy::enabled());
+        t.on_failure(2, 16, FaultSite::Update);
+        t.on_failure(0, 8, FaultSite::Panel);
+        t.on_success(0, 8, FaultSite::Panel, true);
+        let h = t.history();
+        assert_eq!(h.len(), 3);
+        assert!(h.windows(2).all(|w| {
+            (w[0].iter, w[0].col0, w[0].site) <= (w[1].iter, w[1].col0, w[1].site)
+        }));
+        assert_eq!(h[0].action, RecoveryAction::CorrectedInPlace);
+    }
+
+    #[test]
+    fn visit_budget_counts_attempts_not_recomputes() {
+        let p = RecoveryPolicy { enabled: true, max_site_attempts: 3, ..RecoveryPolicy::enabled() };
+        let t = RecoveryTracker::new(p);
+        assert_eq!(t.on_failure(0, 0, FaultSite::Update), TileVerdict::Recompute);
+        assert_eq!(t.on_failure(0, 0, FaultSite::Update), TileVerdict::Recompute);
+        assert_eq!(t.on_failure(0, 0, FaultSite::Update), TileVerdict::Accept);
+    }
+}

@@ -1,0 +1,127 @@
+//! RNG-stream parity between [`inject_fault`] and [`inject_fault_slices`].
+//!
+//! The whole-matrix entry point documents that it consumes the RNG in the exact
+//! same sequence as the slice form on the equivalent block — the property the
+//! fused hooks rely on when they replay a planner-drawn fault seed inside a task
+//! that owns only slices. This suite pins that contract over every pattern, a
+//! sweep of tile shapes (including degenerate single-row/column tiles), and many
+//! seeds: identical corrupted bits, identical fault descriptions, and an
+//! identically-positioned RNG stream afterwards.
+
+use bsr_abft::inject::{inject_burst_slices, inject_fault, inject_fault_slices};
+use bsr_linalg::generate::random_matrix;
+use bsr_linalg::matrix::{Block, Matrix};
+use hetero_sim::sdc::ErrorPattern;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const PATTERNS: [ErrorPattern; 3] =
+    [ErrorPattern::ZeroD, ErrorPattern::OneD, ErrorPattern::TwoD];
+
+/// Tile shapes the sweep covers: square, tall, wide, single-row, single-column,
+/// and the 1 × 1 degenerate.
+const SHAPES: [(usize, usize); 6] = [(8, 8), (7, 3), (2, 9), (1, 6), (5, 1), (1, 1)];
+
+fn block_at(m: &Matrix, row: usize, col: usize, rows: usize, cols: usize) -> Block {
+    assert!(row + rows <= m.rows() && col + cols <= m.cols());
+    Block::new(row, col, rows, cols)
+}
+
+#[test]
+fn matrix_and_slice_injection_corrupt_identical_bits_from_one_stream() {
+    for (shape_i, &(rows, cols)) in SHAPES.iter().enumerate() {
+        for pattern in PATTERNS {
+            for seed in 0..32u64 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed * 131 + shape_i as u64);
+                let base = random_matrix(&mut rng, rows + 2, cols + 3);
+                let block = block_at(&base, 1, 2, rows, cols);
+
+                let mut via_matrix = base.clone();
+                let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+                let fa = inject_fault(&mut via_matrix, block, pattern, &mut rng_a);
+
+                let mut via_slices = base.clone();
+                let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+                let fb = {
+                    let mut tile: Vec<&mut [f64]> =
+                        via_slices.cols_range_mut(block).map(|(_, s)| s).collect();
+                    inject_fault_slices(&mut tile, block.row, block.col, pattern, &mut rng_b)
+                };
+
+                // Identical corrupted bits...
+                assert!(
+                    via_matrix.approx_eq(&via_slices, 0.0),
+                    "bits differ: {pattern:?} {rows}x{cols} seed {seed}"
+                );
+                // ... identical descriptions ...
+                assert_eq!(fa.pattern, fb.pattern);
+                assert_eq!((fa.row, fa.col, fa.elements), (fb.row, fb.col, fb.elements));
+                // ... and the two RNG streams sit at the same position afterwards,
+                // so downstream draws stay in lockstep no matter which form ran.
+                assert_eq!(
+                    rng_a.gen::<u64>(),
+                    rng_b.gen::<u64>(),
+                    "RNG streams diverged: {pattern:?} {rows}x{cols} seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn injection_reports_match_the_corruption() {
+    // The reported element count bounds the number of cells that changed (TwoD may
+    // draw coincident positions and corrupt one cell twice), something always
+    // changes, and the reported position is inside the block.
+    for &(rows, cols) in &SHAPES {
+        for pattern in PATTERNS {
+            let mut rng = ChaCha8Rng::seed_from_u64(rows as u64 * 17 + cols as u64);
+            let base = random_matrix(&mut rng, rows, cols);
+            let mut m = base.clone();
+            let f = inject_fault(&mut m, Block::full(rows, cols), pattern, &mut rng);
+            let mut diffs = 0;
+            for j in 0..cols {
+                for i in 0..rows {
+                    if m.get(i, j) != base.get(i, j) {
+                        diffs += 1;
+                    }
+                }
+            }
+            assert!(
+                (1..=f.elements).contains(&diffs),
+                "{pattern:?} {rows}x{cols}: {diffs} cells changed, {} reported",
+                f.elements
+            );
+            assert!(f.row < rows && f.col < cols);
+        }
+    }
+}
+
+#[test]
+fn bursts_are_uncorrectable_by_construction_on_real_tiles() {
+    // On any tile of at least 2 × 2 the four-corner burst corrupts two distinct
+    // rows AND two distinct columns — beyond every scheme's correction capability.
+    for &(rows, cols) in &SHAPES {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let base = random_matrix(&mut rng, rows, cols);
+        let mut m = base.clone();
+        let f = {
+            let mut tile: Vec<&mut [f64]> =
+                m.cols_range_mut(Block::full(rows, cols)).map(|(_, s)| s).collect();
+            inject_burst_slices(&mut tile, 0, 0, &mut rng)
+        };
+        let mut bad_rows = std::collections::BTreeSet::new();
+        let mut bad_cols = std::collections::BTreeSet::new();
+        for j in 0..cols {
+            for i in 0..rows {
+                if m.get(i, j) != base.get(i, j) {
+                    bad_rows.insert(i);
+                    bad_cols.insert(j);
+                }
+            }
+        }
+        assert_eq!(bad_rows.len() * bad_cols.len() >= 4, rows >= 2 && cols >= 2);
+        assert_eq!(f.elements, bad_rows.len().max(1) * bad_cols.len().max(1));
+        assert_eq!(f.pattern, ErrorPattern::TwoD);
+    }
+}

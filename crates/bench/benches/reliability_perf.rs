@@ -1,0 +1,359 @@
+//! `reliability_perf` — chaos campaign for the uncorrectable-SDC recovery pipeline.
+//!
+//! Where `bsr_perf` measures the cost of the protection protocol on healthy runs, this
+//! harness measures what happens when protection is *defeated*: every planned fault is
+//! drawn from a mix of classes beyond in-place ABFT correction (four-corner bursts,
+//! checksum-vector strikes, panel strikes, optionally persistent re-strikers), and the
+//! recovery ladder — in-place correction, tile recomputation, iteration/run replay,
+//! structured escalation — has to clean up. Sweep axes:
+//!
+//! * checksum scheme (`none` / `single_side` / `full`) — `none` cannot detect, so it
+//!   shows the silent-corruption baseline the pipeline exists to close;
+//! * SDC rate (events/s at the overclocked operating point, low and high);
+//! * fault mix (`burst`: transient 4-corner bursts; `harsh`: bursts + checksum +
+//!   panel strikes with occasional persistents; `persistent`: every strike recurs
+//!   until the tracker escalates);
+//! * runtime (`stepped`: measured-feedback barrier stepper with iteration replay;
+//!   `dag`: dependency-driven task DAG with run replay);
+//! * recovery policy on/off.
+//!
+//! Reported per cell: recovery success rate (clean, bit-verified completions),
+//! silent-corruption and structured-failure counts, post-recovery residual,
+//! recomputed-tile fraction (recomputations per protected tile), and the recovery
+//! wall-clock overhead against a fault-free run of the same configuration.
+//!
+//! Results go to stdout and `BENCH_reliability.json` at the workspace root.
+//! Environment:
+//! * `RELIABILITY_SMOKE=1` — tiny size + fewer trials for CI smoke runs; writes to
+//!   `target/BENCH_reliability.smoke.json` so the recorded trajectory is not clobbered;
+//! * `RELIABILITY_OUT=<path>` — override the output path.
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_abft::recover::{RecoveryAction, RecoveryPolicy};
+use bsr_core::config::{AbftMode, RunConfig};
+use bsr_core::numeric::{protected_tiles, run_numeric, NumericError};
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+use hetero_sim::sdc::FaultMix;
+
+fn facto_label(dec: Decomposition) -> &'static str {
+    match dec {
+        Decomposition::Cholesky => "cholesky",
+        Decomposition::Lu => "lu",
+        Decomposition::Qr => "qr",
+    }
+}
+
+/// The fault mixes the campaign sweeps. Every class in each mix defeats in-place
+/// correction; `persistent` re-strikes on every recomputation until the tracker
+/// marks the site suspect and escalates.
+fn mixes() -> [(&'static str, FaultMix); 3] {
+    [
+        ("burst", FaultMix { burst: 1.0, ..FaultMix::default() }),
+        ("harsh", FaultMix::harsh()),
+        ("persistent", FaultMix { burst: 1.0, persistent: 1.0, ..FaultMix::default() }),
+    ]
+}
+
+/// One (facto, scheme, mix, rate, runtime, policy) campaign cell, aggregated over
+/// `trials` seeds.
+struct Cell {
+    facto: &'static str,
+    scheme: &'static str,
+    mix: &'static str,
+    rate_per_s: f64,
+    runtime: &'static str,
+    recovery: &'static str,
+    trials: usize,
+    /// Completed with a numerically correct, cleanly verified factorization.
+    clean: usize,
+    /// Completed but wrong or with uncorrectable tallies left: silent corruption.
+    silent: usize,
+    /// Structured `UnrecoverableFault` escalation.
+    structured: usize,
+    /// Aborted with a numeric error (e.g. corruption made a panel singular).
+    aborted: usize,
+    faults_injected: usize,
+    tile_recomputes: usize,
+    replays: usize,
+    mean_clean_residual: f64,
+    median_makespan_s: f64,
+    /// Median makespan relative to the fault-free baseline of the same
+    /// (facto, scheme, runtime) configuration, minus one.
+    overhead_vs_fault_free: f64,
+}
+
+/// The overclocked chaos configuration: BSR applies the optimized guardband (SDC
+/// rates are identically zero under the default guardband), and the fault-free
+/// threshold sits below the base clock so the micro-second iterations of bench-sized
+/// problems still observe events at `rate_per_s`.
+fn chaos_cfg(
+    dec: Decomposition,
+    n: usize,
+    b: usize,
+    scheme: ChecksumScheme,
+    rate_per_s: f64,
+    feedback: bool,
+    seed: u64,
+) -> RunConfig {
+    let mut cfg = RunConfig::small(dec, n, b, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
+        .with_abft_mode(AbftMode::Forced(scheme))
+        .with_measured_feedback(feedback)
+        .with_seed(seed);
+    cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
+    cfg.platform.gpu.sdc.one_d_onset = hetero_sim::freq::MHz(1100.0);
+    cfg.platform.gpu.sdc.base_rate_per_s = rate_per_s;
+    cfg.platform.gpu.sdc.one_d_base_rate_per_s = rate_per_s / 10.0;
+    cfg
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("RELIABILITY_SMOKE").is_ok();
+    let (n, b, trials): (usize, usize, usize) =
+        if smoke { (96, 16, 2) } else { (192, 32, 6) };
+    let total_tiles: usize = (0..n.div_ceil(b))
+        .map(|k| protected_tiles(Decomposition::Lu, n, b, k).len())
+        .sum();
+
+    let schemes = [
+        ("none", ChecksumScheme::None),
+        ("single_side", ChecksumScheme::SingleSide),
+        ("full", ChecksumScheme::Full),
+    ];
+    let rates: &[f64] = if smoke { &[1.0e5] } else { &[2.0e4, 1.0e5] };
+    let runtimes = [("stepped", true), ("dag", false)];
+    let decs: &[Decomposition] = if smoke { &[Decomposition::Lu] } else { &Decomposition::ALL };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &dec in decs {
+        let facto = facto_label(dec);
+        for (scheme_label, scheme) in schemes {
+            for (runtime, feedback) in runtimes {
+                // Fault-free baseline: what this configuration costs with no strikes
+                // and no recovery work. The overhead column is relative to this.
+                let baseline = median(
+                    (0..trials)
+                        .map(|t| {
+                            let cfg = chaos_cfg(dec, n, b, scheme, 0.0, feedback, 1000 + t as u64)
+                                .with_fault_injection(false);
+                            run_numeric(cfg)
+                                .expect("fault-free runs must complete")
+                                .measured_makespan_s()
+                        })
+                        .collect(),
+                );
+                for &rate in rates {
+                    for (mix_label, mix) in mixes() {
+                        for (policy_label, policy) in
+                            [("off", RecoveryPolicy::default()), ("on", RecoveryPolicy::enabled())]
+                        {
+                            let mut cell = Cell {
+                                facto,
+                                scheme: scheme_label,
+                                mix: mix_label,
+                                rate_per_s: rate,
+                                runtime,
+                                recovery: policy_label,
+                                trials,
+                                clean: 0,
+                                silent: 0,
+                                structured: 0,
+                                aborted: 0,
+                                faults_injected: 0,
+                                tile_recomputes: 0,
+                                replays: 0,
+                                mean_clean_residual: 0.0,
+                                median_makespan_s: 0.0,
+                                overhead_vs_fault_free: 0.0,
+                            };
+                            let mut residuals = Vec::new();
+                            let mut makespans = Vec::new();
+                            for t in 0..trials {
+                                let cfg =
+                                    chaos_cfg(dec, n, b, scheme, rate, feedback, 1000 + t as u64)
+                                        .with_fault_mix(mix)
+                                        .with_recovery(policy);
+                                match run_numeric(cfg) {
+                                    Ok(out) => {
+                                        makespans.push(out.measured_makespan_s());
+                                        cell.faults_injected += out.faults_injected;
+                                        cell.tile_recomputes += out
+                                            .recovery
+                                            .iter()
+                                            .filter(|e| {
+                                                e.action == RecoveryAction::TileRecomputed
+                                                    || e.action == RecoveryAction::PanelRecomputed
+                                            })
+                                            .count();
+                                        cell.replays += out
+                                            .recovery
+                                            .iter()
+                                            .filter(|e| {
+                                                e.action == RecoveryAction::IterationReplayed
+                                                    || e.action == RecoveryAction::RunReplayed
+                                            })
+                                            .count();
+                                        if out.numerically_correct
+                                            && out.verification.uncorrectable == 0
+                                        {
+                                            cell.clean += 1;
+                                            residuals.push(out.residual);
+                                        } else {
+                                            cell.silent += 1;
+                                        }
+                                    }
+                                    Err(NumericError::UnrecoverableFault { history }) => {
+                                        cell.structured += 1;
+                                        cell.replays += history
+                                            .iter()
+                                            .filter(|e| {
+                                                e.action == RecoveryAction::IterationReplayed
+                                                    || e.action == RecoveryAction::RunReplayed
+                                            })
+                                            .count();
+                                    }
+                                    Err(_) => cell.aborted += 1,
+                                }
+                            }
+                            cell.mean_clean_residual = if residuals.is_empty() {
+                                f64::NAN
+                            } else {
+                                residuals.iter().sum::<f64>() / residuals.len() as f64
+                            };
+                            cell.median_makespan_s = median(makespans);
+                            cell.overhead_vs_fault_free =
+                                cell.median_makespan_s / baseline - 1.0;
+                            cells.push(cell);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- summary ----------------------------------------------------------------------
+    println!("\nreliability_perf summary (n = {n}, b = {b}, {trials} trials/cell):");
+    println!(
+        "  {:<8} {:<11} {:<10} {:>8} {:<7} {:>3} | {:>7} {:>6} {:>6} {:>6} | {:>6} {:>7}",
+        "facto", "scheme", "mix", "rate", "runtime", "rec",
+        "success", "silent", "struct", "abort", "recomp", "ovhd"
+    );
+    for c in &cells {
+        println!(
+            "  {:<8} {:<11} {:<10} {:>8.0e} {:<7} {:>3} | {:>6.0}% {:>6} {:>6} {:>6} | {:>6} {:>6.0}%",
+            c.facto,
+            c.scheme,
+            c.mix,
+            c.rate_per_s,
+            c.runtime,
+            c.recovery,
+            100.0 * c.clean as f64 / c.trials as f64,
+            c.silent,
+            c.structured,
+            c.aborted,
+            c.tile_recomputes,
+            100.0 * c.overhead_vs_fault_free,
+        );
+    }
+
+    // The headline guarantee, asserted so a regression fails the bench run itself:
+    // with Full checksums and recovery on, no trial may end silently corrupted.
+    let full_on_silent: usize = cells
+        .iter()
+        .filter(|c| c.scheme == "full" && c.recovery == "on")
+        .map(|c| c.silent)
+        .sum();
+    assert_eq!(
+        full_on_silent, 0,
+        "full-scheme recovery-on cells must never complete silently corrupted"
+    );
+
+    // ---- JSON emission ----------------------------------------------------------------
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let default_out = if smoke {
+        root.join("target/BENCH_reliability.smoke.json")
+    } else {
+        root.join("BENCH_reliability.json")
+    };
+    let out_path = std::env::var("RELIABILITY_OUT")
+        .unwrap_or_else(|_| default_out.to_string_lossy().into_owned());
+
+    // All interpolated strings are code-controlled identifiers, so no escaping is needed.
+    let cell_json: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"facto\":\"{}\",\"scheme\":\"{}\",\"mix\":\"{}\",\"rate_per_s\":{:.1e},\"runtime\":\"{}\",\"recovery\":\"{}\",\"trials\":{},\"clean\":{},\"silent_corruption\":{},\"structured_failure\":{},\"aborted\":{},\"success_rate\":{:.4},\"faults_injected\":{},\"tile_recomputes\":{},\"recomputed_tile_fraction\":{:.4},\"replays\":{},\"mean_clean_residual\":{},\"median_makespan_s\":{},\"overhead_vs_fault_free\":{}}}",
+                c.facto,
+                c.scheme,
+                c.mix,
+                c.rate_per_s,
+                c.runtime,
+                c.recovery,
+                c.trials,
+                c.clean,
+                c.silent,
+                c.structured,
+                c.aborted,
+                c.clean as f64 / c.trials as f64,
+                c.faults_injected,
+                c.tile_recomputes,
+                c.tile_recomputes as f64 / (c.trials * total_tiles) as f64,
+                c.replays,
+                json_num(c.mean_clean_residual),
+                json_num(c.median_makespan_s),
+                json_num(c.overhead_vs_fault_free),
+            )
+        })
+        .collect();
+
+    // Derived headline numbers: aggregate success under full protection with recovery
+    // on/off, and how often unprotected runs went silently wrong.
+    let agg = |scheme: &str, recovery: &str| -> (usize, usize, usize, usize) {
+        cells
+            .iter()
+            .filter(|c| c.scheme == scheme && c.recovery == recovery)
+            .fold((0, 0, 0, 0), |(cl, si, st, tr), c| {
+                (cl + c.clean, si + c.silent, st + c.structured, tr + c.trials)
+            })
+    };
+    let (full_on_clean, _, full_on_struct, full_on_trials) = agg("full", "on");
+    let (full_off_clean, full_off_silent, _, full_off_trials) = agg("full", "off");
+    let (none_off_clean, none_off_silent, _, none_off_trials) = agg("none", "off");
+    let derived = format!(
+        "    \"full_recovery_on_success_rate\": {:.4},\n    \"full_recovery_on_structured_failures\": {full_on_struct},\n    \"full_recovery_on_silent_corruptions\": {full_on_silent},\n    \"full_recovery_off_success_rate\": {:.4},\n    \"full_recovery_off_silent_corruptions\": {full_off_silent},\n    \"none_recovery_off_success_rate\": {:.4},\n    \"none_recovery_off_silent_corruptions\": {none_off_silent}",
+        full_on_clean as f64 / full_on_trials as f64,
+        full_off_clean as f64 / full_off_trials as f64,
+        none_off_clean as f64 / none_off_trials as f64,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"reliability_perf\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"block\": {b},\n  \"trials_per_cell\": {trials},\n  \"protected_tiles_per_run\": {total_tiles},\n  \"cells\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        cell_json.join(",\n"),
+        derived
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("reliability_perf: failed to write {out_path}: {e}"),
+    }
+}

@@ -20,6 +20,7 @@
 //! | `abl_block_size` | ablation — sensitivity to the panel/block size |
 //! | `kernels` | criterion microbenchmarks of the numeric kernels |
 //! | `kernel_perf` | GFLOP/s sweep of the packed level-3 kernels → `BENCH_kernels.json` |
+//! | `reliability_perf` | chaos campaign for the SDC recovery pipeline → `BENCH_reliability.json` |
 
 #![deny(missing_docs)]
 

@@ -1,9 +1,11 @@
 //! Run configuration for the energy-aware factorization framework.
 
 use bsr_abft::checksum::ChecksumScheme;
+use bsr_abft::recover::RecoveryPolicy;
 use bsr_sched::strategy::Strategy;
 use bsr_sched::workload::{Decomposition, Workload};
 use hetero_sim::platform::PlatformConfig;
+use hetero_sim::sdc::FaultMix;
 use serde::{Deserialize, Serialize};
 
 /// Which slack predictor drives the per-iteration planning.
@@ -50,6 +52,16 @@ pub struct RunConfig {
     /// plans — and therefore SDC sampling — bit-reproducible across hosts and thread
     /// counts. Ignored by purely analytic runs. Defaults to `true`.
     pub measured_feedback: bool,
+    /// Recovery ladder for uncorrectable SDCs in numeric runs (tile recomputation,
+    /// iteration/run replay, structured failure). Defaults to disabled, which keeps
+    /// the pre-recovery detect-and-tally behavior bit-identical.
+    pub recovery: RecoveryPolicy,
+    /// How sampled SDC events map onto fault classes in numeric runs (checksum-vector
+    /// strikes, panel strikes, uncorrectable bursts, persistent faults). Defaults to
+    /// the inert mix: every event is a single-strike tile-data fault and the fault
+    /// planner draws no extra randomness, so pre-recovery RNG streams reproduce
+    /// bit-identically.
+    pub fault_mix: FaultMix,
 }
 
 impl RunConfig {
@@ -65,6 +77,8 @@ impl RunConfig {
             inject_faults: true,
             abft_mode: AbftMode::Adaptive,
             measured_feedback: true,
+            recovery: RecoveryPolicy::default(),
+            fault_mix: FaultMix::default(),
         }
     }
 
@@ -79,6 +93,8 @@ impl RunConfig {
             inject_faults: true,
             abft_mode: AbftMode::Adaptive,
             measured_feedback: true,
+            recovery: RecoveryPolicy::default(),
+            fault_mix: FaultMix::default(),
         }
     }
 
@@ -117,6 +133,18 @@ impl RunConfig {
         self.inject_faults = inject;
         self
     }
+
+    /// Builder-style: set the uncorrectable-SDC recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Builder-style: set the fault-class mix of the injection planner.
+    pub fn with_fault_mix(mut self, mix: FaultMix) -> Self {
+        self.fault_mix = mix;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,11 +167,24 @@ mod tests {
             .with_strategy(Strategy::RaceToHalt)
             .with_seed(7)
             .with_predictor(PredictorKind::FirstIteration)
-            .with_fault_injection(false);
+            .with_fault_injection(false)
+            .with_recovery(RecoveryPolicy::enabled())
+            .with_fault_mix(FaultMix::harsh());
         assert_eq!(cfg.strategy, Strategy::RaceToHalt);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.predictor, PredictorKind::FirstIteration);
         assert!(!cfg.inject_faults);
+        assert!(cfg.recovery.enabled);
+        assert!(!cfg.fault_mix.is_inert());
+    }
+
+    #[test]
+    fn recovery_defaults_are_inert() {
+        // The default configuration must behave exactly as before recovery existed:
+        // disabled policy, inert mix (the planner draws no extra randomness).
+        let cfg = RunConfig::small(Decomposition::Lu, 128, 32, Strategy::Original);
+        assert!(!cfg.recovery.enabled);
+        assert!(cfg.fault_mix.is_inert());
     }
 
     #[test]

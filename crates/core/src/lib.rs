@@ -61,7 +61,11 @@ pub mod prelude {
     pub use crate::reliability::{estimate_reliability, monte_carlo_reliability};
     pub use crate::report::{compare, format_comparison_table, Comparison, RunReport};
     pub use bsr_abft::checksum::ChecksumScheme;
+    pub use bsr_abft::recover::{
+        FaultSite, RecoveryAction, RecoveryEvent, RecoveryPolicy,
+    };
     pub use bsr_sched::strategy::{BsrConfig, Strategy};
     pub use bsr_sched::workload::{Decomposition, Workload};
     pub use hetero_sim::platform::{Platform, PlatformConfig};
+    pub use hetero_sim::sdc::FaultMix;
 }

@@ -40,7 +40,8 @@ use crate::config::RunConfig;
 use crate::report::RunReport;
 use crate::trace::SdcEvent;
 use bsr_abft::checksum::{ChecksumScheme, VerifyOutcome};
-use bsr_abft::fused::{FusedTileChecksums, PerIterationChecksums, PlannedFault};
+use bsr_abft::fused::{FaultTarget, FusedTileChecksums, PerIterationChecksums, PlannedFault};
+use bsr_abft::recover::{RecoveryAction, RecoveryEvent, RecoveryTracker};
 use bsr_linalg::dag::DagExecution;
 use bsr_linalg::generate::{random_matrix, random_spd_matrix};
 use bsr_linalg::matrix::{Block, Matrix};
@@ -49,9 +50,11 @@ use bsr_linalg::verify::{cholesky_residual, lu_residual, qr_residual, CORRECTNES
 use bsr_linalg::{cholesky, lu, qr};
 use bsr_sched::workload::Decomposition;
 use hetero_sim::device::DeviceKind;
+use hetero_sim::sdc::FaultMix;
 use hetero_sim::timeline::Timeline;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Error produced by a numeric-mode run.
 #[derive(Debug)]
@@ -71,6 +74,18 @@ pub enum NumericError {
         /// The square order the workload expects.
         expected: usize,
     },
+    /// The recovery ladder was exhausted: an uncorrectable fault survived every
+    /// tile recomputation and iteration/run replay the [`RecoveryPolicy`] allows
+    /// (or a persistent fault was detected and escalation was immediate). The run
+    /// fails *structurally* — with the full recovery history — instead of
+    /// returning silently corrupted factors.
+    ///
+    /// [`RecoveryPolicy`]: bsr_abft::recover::RecoveryPolicy
+    UnrecoverableFault {
+        /// Everything the recovery pipeline did before giving up, in canonical
+        /// (schedule-independent) order.
+        history: Vec<RecoveryEvent>,
+    },
 }
 
 impl std::fmt::Display for NumericError {
@@ -82,6 +97,16 @@ impl std::fmt::Display for NumericError {
                 f,
                 "input is {rows}x{cols} but the workload expects a square {expected}x{expected} matrix"
             ),
+            NumericError::UnrecoverableFault { history } => {
+                let escalations =
+                    history.iter().filter(|e| e.action == RecoveryAction::Escalated).count();
+                write!(
+                    f,
+                    "unrecoverable fault: recovery exhausted after {n} events \
+                     ({escalations} persistent-fault escalations)",
+                    n = history.len()
+                )
+            }
         }
     }
 }
@@ -153,6 +178,10 @@ pub struct NumericRunReport {
     /// Total fused checksum seconds (CPU-summed across tasks; equals the wall-clock
     /// checksum share on one thread, an upper bound on it when tasks overlap).
     pub checksum_cpu_s: f64,
+    /// Everything the recovery pipeline did during the run (in-place corrections,
+    /// tile recomputations, iteration/run replays), in canonical order. Empty when
+    /// recovery is disabled.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 impl NumericRunReport {
@@ -209,6 +238,13 @@ enum Engine {
     Qr(qr::QrTiledStepper),
 }
 
+/// A pre-iteration deep copy of the stepper state (ladder step 3's replay source).
+enum EngineCheckpoint {
+    Cholesky(Matrix),
+    Lu((Matrix, Vec<usize>)),
+    Qr((Matrix, Vec<f64>, Matrix)),
+}
+
 impl Engine {
     fn new(dec: Decomposition, input: &Matrix, block: usize) -> Result<Self, NumericError> {
         match dec {
@@ -235,6 +271,25 @@ impl Engine {
             Engine::Cholesky(s) => s.step(k, hook).map_err(NumericError::Cholesky),
             Engine::Lu(s) => s.step(k, hook).map_err(NumericError::Lu),
             Engine::Qr(s) => Ok(s.step(k, hook)),
+        }
+    }
+
+    /// Deep-copy the stepper state before an iteration, so a failed recovery
+    /// attempt can replay the iteration from identical bits.
+    fn checkpoint(&self) -> EngineCheckpoint {
+        match self {
+            Engine::Cholesky(s) => EngineCheckpoint::Cholesky(s.checkpoint()),
+            Engine::Lu(s) => EngineCheckpoint::Lu(s.checkpoint()),
+            Engine::Qr(s) => EngineCheckpoint::Qr(s.checkpoint()),
+        }
+    }
+
+    fn restore(&mut self, snap: &EngineCheckpoint) {
+        match (self, snap) {
+            (Engine::Cholesky(s), EngineCheckpoint::Cholesky(c)) => s.restore(c),
+            (Engine::Lu(s), EngineCheckpoint::Lu(c)) => s.restore(c),
+            (Engine::Qr(s), EngineCheckpoint::Qr(c)) => s.restore(c),
+            _ => unreachable!("checkpoint/engine decomposition mismatch"),
         }
     }
 
@@ -330,6 +385,8 @@ fn run_numeric_stepped(
     timeline.push_task(DeviceKind::Cpu, "PD0", 0, engine.prologue_panel_s(), cpu_base);
     timeline.sync();
 
+    let tracker =
+        cfg.recovery.enabled.then(|| Arc::new(RecoveryTracker::new(cfg.recovery)));
     let mut verification = VerifyOutcome::default();
     let mut faults_injected = 0usize;
     let mut measured = Vec::with_capacity(cfg.workload.iterations());
@@ -340,10 +397,17 @@ fn run_numeric_stepped(
         let pending = driver.begin_step(k);
         let scheme = pending.trace().abft;
         let tiles = protected_tiles(dec, n, b, k);
+        let panel_col = ((k + 1) * b < n).then(|| (k + 1) * b);
         let faults = if tiles.is_empty() {
             Vec::new()
         } else {
-            plan_faults(&pending.trace().sdc_events, &tiles, &mut inject_rng)
+            plan_faults_with_mix(
+                &pending.trace().sdc_events,
+                &tiles,
+                &mut inject_rng,
+                &cfg.fault_mix,
+                panel_col,
+            )
         };
 
         // --- execute the real tiled iteration with fused checksums --------------------
@@ -354,6 +418,37 @@ fn run_numeric_stepped(
         let (timing, outcome, iter_checksum_s, injected) =
             if scheme == ChecksumScheme::None && faults.is_empty() {
                 (engine.step(k, &())?, VerifyOutcome::default(), 0.0, 0)
+            } else if let Some(tracker) = &tracker {
+                // Recovery ladder, stepped flavor: steps 1–2 (in-place correction,
+                // tile/panel recomputation) happen *inside* the step via the hook's
+                // verdicts; step 3 replays the whole iteration from its checkpoint
+                // when some site gave up locally. A fresh hook per attempt keeps
+                // the final tallies identical to a clean run's whenever recovery
+                // succeeds — rolled-back attempts leave no trace.
+                let checkpoint = engine.checkpoint();
+                let mut attempt_checksum_s = 0.0;
+                loop {
+                    let hook = FusedTileChecksums::with_faults(scheme, b, faults.clone())
+                        .with_recovery(Arc::clone(tracker));
+                    let timing = engine.step(k, &hook)?;
+                    attempt_checksum_s += hook.checksum_seconds();
+                    if tracker.is_suspect() {
+                        // Persistent fault: recomputing or replaying would loop.
+                        return Err(NumericError::UnrecoverableFault {
+                            history: tracker.history(),
+                        });
+                    }
+                    if !tracker.has_unresolved() {
+                        let injected = hook.faults_injected();
+                        break (timing, hook.outcome(), attempt_checksum_s, injected);
+                    }
+                    if !tracker.begin_replay(RecoveryAction::IterationReplayed) {
+                        return Err(NumericError::UnrecoverableFault {
+                            history: tracker.history(),
+                        });
+                    }
+                    engine.restore(&checkpoint);
+                }
             } else {
                 let hook = FusedTileChecksums::with_faults(scheme, b, faults);
                 let timing = engine.step(k, &hook)?;
@@ -400,6 +495,7 @@ fn run_numeric_stepped(
         timeline,
         measured,
         checksum_cpu_s,
+        recovery: tracker.map(|t| t.history()).unwrap_or_default(),
     })
 }
 
@@ -426,18 +522,26 @@ fn run_numeric_dag(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, N
     // Identical driver interaction to the stepped path with feedback off: begin_step,
     // record the plan, finish_step with no observation. The injection RNG is drawn in
     // iteration order, so the planned faults are bit-identical to a stepped run.
-    let mut hooks = Vec::with_capacity(iterations);
+    let mut fault_plans: Vec<(ChecksumScheme, Vec<PlannedFault>)> =
+        Vec::with_capacity(iterations);
     let mut plans = Vec::with_capacity(iterations);
     for k in 0..iterations {
         let pending = driver.begin_step(k);
         let scheme = pending.trace().abft;
         let tiles = protected_tiles(dec, n, b, k);
+        let panel_col = ((k + 1) * b < n).then(|| (k + 1) * b);
         let faults = if tiles.is_empty() {
             Vec::new()
         } else {
-            plan_faults(&pending.trace().sdc_events, &tiles, &mut inject_rng)
+            plan_faults_with_mix(
+                &pending.trace().sdc_events,
+                &tiles,
+                &mut inject_rng,
+                &cfg.fault_mix,
+                panel_col,
+            )
         };
-        hooks.push(FusedTileChecksums::with_faults(scheme, b, faults));
+        fault_plans.push((scheme, faults));
         plans.push((
             pending.predictions(),
             pending.trace().timing,
@@ -446,28 +550,62 @@ fn run_numeric_dag(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, N
         ));
         driver.finish_step(pending, None);
     }
-    let hook = PerIterationChecksums::new(hooks);
 
-    // --- one DAG run over the whole factorization, checksums fused per task ------------
-    let (factors, residual, timing) = match dec {
-        Decomposition::Cholesky => {
-            let mut m = input.clone();
-            let timing = cholesky::cholesky_dag_with(&mut m, b, &hook, DagExecution::Pool)
-                .map_err(NumericError::Cholesky)?;
-            let residual = cholesky_residual(input, &m.lower_triangular());
-            (NumericFactors::Cholesky(m), residual, timing)
+    let tracker =
+        cfg.recovery.enabled.then(|| Arc::new(RecoveryTracker::new(cfg.recovery)));
+
+    // --- DAG runs over the whole factorization, checksums fused per task ---------------
+    // Recovery ladder, DAG flavor: steps 1–2 run inside the graph (an uncorrectable
+    // tile's task is resubmitted through the DAG's retry path — same task id,
+    // exactly-once accounting preserved); step 3 replays the *whole run* from the
+    // saved per-iteration plans with fresh hooks and the shared tracker, because a
+    // depth-unbounded schedule has no iteration boundary to checkpoint at. Without
+    // recovery the loop runs exactly once.
+    let (factors, residual, timing, hook) = loop {
+        let hook = PerIterationChecksums::new(
+            fault_plans
+                .iter()
+                .map(|(scheme, faults)| {
+                    let h = FusedTileChecksums::with_faults(*scheme, b, faults.clone());
+                    match &tracker {
+                        Some(t) => h.with_recovery(Arc::clone(t)),
+                        None => h,
+                    }
+                })
+                .collect(),
+        );
+        let run = match dec {
+            Decomposition::Cholesky => {
+                let mut m = input.clone();
+                let timing = cholesky::cholesky_dag_with(&mut m, b, &hook, DagExecution::Pool)
+                    .map_err(NumericError::Cholesky)?;
+                let residual = cholesky_residual(input, &m.lower_triangular());
+                (NumericFactors::Cholesky(m), residual, timing)
+            }
+            Decomposition::Lu => {
+                let (f, timing) = lu::lu_dag_with(input, b, &hook, DagExecution::Pool)
+                    .map_err(NumericError::Lu)?;
+                let residual = lu_residual(input, &f);
+                (NumericFactors::Lu(f), residual, timing)
+            }
+            Decomposition::Qr => {
+                let (f, timing) = qr::qr_dag_with(input, b, &hook, DagExecution::Pool);
+                let residual = qr_residual(input, &f);
+                (NumericFactors::Qr(f), residual, timing)
+            }
+        };
+        if let Some(t) = &tracker {
+            if t.is_suspect() {
+                return Err(NumericError::UnrecoverableFault { history: t.history() });
+            }
+            if t.has_unresolved() {
+                if !t.begin_replay(RecoveryAction::RunReplayed) {
+                    return Err(NumericError::UnrecoverableFault { history: t.history() });
+                }
+                continue;
+            }
         }
-        Decomposition::Lu => {
-            let (f, timing) = lu::lu_dag_with(input, b, &hook, DagExecution::Pool)
-                .map_err(NumericError::Lu)?;
-            let residual = lu_residual(input, &f);
-            (NumericFactors::Lu(f), residual, timing)
-        }
-        Decomposition::Qr => {
-            let (f, timing) = qr::qr_dag_with(input, b, &hook, DagExecution::Pool);
-            let residual = qr_residual(input, &f);
-            (NumericFactors::Qr(f), residual, timing)
-        }
+        break (run.0, run.1, run.2, hook);
     };
 
     // --- attribute the measured DAG-task durations to the two-stream timeline ----------
@@ -515,6 +653,7 @@ fn run_numeric_dag(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, N
         timeline,
         measured,
         checksum_cpu_s,
+        recovery: tracker.map(|t| t.history()).unwrap_or_default(),
     })
 }
 
@@ -554,16 +693,62 @@ pub fn protected_tiles(dec: Decomposition, n: usize, block: usize, k: usize) -> 
 /// SDC event, each targeting a random protected tile, with a pre-drawn private RNG
 /// seed so the injected bits are identical no matter which pool thread executes the
 /// tile's task (or at which thread count the run executes).
+///
+/// Equivalent to [`plan_faults_with_mix`] under the inert [`FaultMix`]: every event
+/// is a single-strike tile-data fault.
 pub fn plan_faults<R: Rng + ?Sized>(
     events: &[SdcEvent],
     tiles: &[Block],
     rng: &mut R,
 ) -> Vec<PlannedFault> {
+    plan_faults_with_mix(events, tiles, rng, &FaultMix::default(), None)
+}
+
+/// [`plan_faults`] under the hardened fault model: each sampled event is classified
+/// by `mix` into a tile-data strike, a checksum-vector strike, a lookahead-panel
+/// strike (when the iteration has a panel, `panel_col`), or an
+/// uncorrectable-by-construction burst, and may be persistent (re-striking on every
+/// recomputation attempt).
+///
+/// Determinism contract: the tile choice and the private seed are drawn for every
+/// event exactly as [`plan_faults`] draws them, and the classification draws happen
+/// **only when `mix` is not inert** — so an inert mix consumes the RNG stream
+/// bit-identically to the pre-recovery planner, keeping seed-pinned baseline runs
+/// reproducible.
+pub fn plan_faults_with_mix<R: Rng + ?Sized>(
+    events: &[SdcEvent],
+    tiles: &[Block],
+    rng: &mut R,
+    mix: &FaultMix,
+    panel_col: Option<usize>,
+) -> Vec<PlannedFault> {
     events
         .iter()
         .map(|event| {
             let tile = tiles[rng.gen_range(0..tiles.len())];
-            PlannedFault { row: tile.row, col: tile.col, pattern: event.pattern, seed: rng.gen() }
+            let mut fault = PlannedFault::tile(tile.row, tile.col, event.pattern, rng.gen());
+            if !mix.is_inert() {
+                let class: f64 = rng.gen();
+                if class < mix.checksum {
+                    fault.target = FaultTarget::Checksum;
+                } else if class < mix.checksum + mix.panel {
+                    if let Some(col0) = panel_col {
+                        // Panel faults are keyed by the panel's column group; the
+                        // hook matches them in `after_panel_factor` only.
+                        fault.target = FaultTarget::Panel;
+                        fault.row = col0;
+                        fault.col = col0;
+                    }
+                } else if class < mix.checksum + mix.panel + mix.burst {
+                    fault.target = FaultTarget::Burst;
+                }
+                fault.strikes = if rng.gen_bool(mix.persistent.clamp(0.0, 1.0)) {
+                    u32::MAX
+                } else {
+                    mix.max_strikes
+                };
+            }
+            fault
         })
         .collect()
 }

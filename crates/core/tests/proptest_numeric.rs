@@ -26,34 +26,56 @@ use bsr_abft::checksum::{encode_block, verify_and_correct, ChecksumScheme, Verif
 use bsr_abft::inject::inject_fault_slices;
 use bsr_core::analytic::AnalyticDriver;
 use bsr_core::config::{AbftMode, RunConfig};
-use bsr_core::numeric::{plan_faults, protected_tiles, run_numeric_on, NumericFactors};
+use bsr_core::numeric::{
+    plan_faults, protected_tiles, run_numeric_on, NumericError, NumericFactors,
+    NumericRunReport,
+};
 use bsr_linalg::generate::{random_matrix, random_spd_matrix};
 use bsr_linalg::matrix::Matrix;
 use bsr_linalg::{cholesky, lu, qr};
-use bsr_sched::strategy::Strategy as EnergyStrategy;
+use bsr_sched::strategy::{BsrConfig, Strategy as EnergyStrategy};
 use bsr_sched::workload::Decomposition;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::ThreadCountGuard;
+use std::time::Duration;
 
 /// Thread counts every property sweeps (1 = inline, the rest = the persistent pool;
 /// 3 exercises an odd worker count, 8 oversubscribes most CI hosts).
 const THREADS: [usize; 5] = [1, 2, 3, 4, 8];
 
-/// A deterministic numeric configuration with SDC events at the base clock: Original
-/// strategy (plans independent of the predictor), forced Full checksums, no measured
-/// feedback.
+/// A deterministic numeric configuration with live SDC events: BSR overclocking
+/// (SDC rates are identically zero under the default guardband, so only the
+/// optimized-guardband BSR strategy can sample events), forced Full checksums, no
+/// measured feedback (analytic-fed plans keep the sampled fault schedule — which
+/// both the engine and the serial reference draw — bit-reproducible). Rates are
+/// raised so the micro-second iterations of these small problems still see faults.
 fn numeric_cfg(dec: Decomposition, n: usize, block: usize, seed: u64) -> RunConfig {
-    let mut cfg = RunConfig::small(dec, n, block, EnergyStrategy::Original)
-        .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
-        .with_measured_feedback(false)
-        .with_seed(seed);
+    let mut cfg =
+        RunConfig::small(dec, n, block, EnergyStrategy::Bsr(BsrConfig::with_ratio(0.4)))
+            .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+            .with_measured_feedback(false)
+            .with_seed(seed);
     cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
     cfg.platform.gpu.sdc.one_d_onset = hetero_sim::freq::MHz(1100.0);
-    cfg.platform.gpu.sdc.base_rate_per_s = 3.0e4;
-    cfg.platform.gpu.sdc.one_d_base_rate_per_s = 3.0e3;
+    cfg.platform.gpu.sdc.base_rate_per_s = 3.0e5;
+    cfg.platform.gpu.sdc.one_d_base_rate_per_s = 3.0e4;
     cfg
+}
+
+/// Feedback-off numeric runs execute on the DAG runtime; the shared deadlock
+/// watchdog ([`bsr_linalg::dag::with_watchdog`]) turns a stranded dependency
+/// counter into a loud failure with a runtime-state dump instead of a silent hang.
+fn run_numeric_watched(
+    cfg: RunConfig,
+    input: &Matrix,
+    label: String,
+) -> Result<NumericRunReport, NumericError> {
+    let input = input.clone();
+    bsr_linalg::dag::with_watchdog(label, Duration::from_secs(120), move || {
+        run_numeric_on(cfg, &input)
+    })
 }
 
 /// Everything the reference produces that the tiled engine must reproduce bit-for-bit.
@@ -139,6 +161,31 @@ fn dims() -> impl Strategy<Value = (usize, usize, u64)> {
         .prop_map(|(n, bi, seed)| (n, [16usize, 24, 32][bi], seed))
 }
 
+/// Vacuity guard for the property above: the suite's value rests on the fault
+/// machinery actually firing, and a configuration slip (for example a strategy
+/// that never leaves the fault-free default guardband) would zero the SDC stream
+/// and let every property pass trivially. Deterministic: feedback is off, so the
+/// analytic-fed plans — and the sampled events — are bit-reproducible.
+#[test]
+fn the_numeric_chaos_config_actually_injects() {
+    let mut injected = 0usize;
+    for seed in [41u64, 42, 43, 44, 45] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let input = random_matrix(&mut rng, 96, 96);
+        let cfg = numeric_cfg(Decomposition::Lu, 96, 24, seed);
+        let label = format!("injection probe seed={seed}");
+        let out = run_numeric_watched(cfg, &input, label).unwrap();
+        if out.faults_injected > 0 {
+            injected += 1;
+        }
+    }
+    assert!(
+        injected >= 3,
+        "chaos config injected faults in only {injected}/5 probes — the \
+         bit-exactness properties are (close to) vacuous"
+    );
+}
+
 /// Edge shapes the blocked size math must survive without panicking: a block larger
 /// than the matrix (degenerates to one unblocked iteration), order one, and orders
 /// that are not a multiple of the block (tail panel). Each runs to completion on both
@@ -159,7 +206,8 @@ fn edge_shapes_factor_correctly_and_mismatched_inputs_error() {
                 let cfg = RunConfig::small(dec, n, b, EnergyStrategy::Original)
                     .with_fault_injection(false)
                     .with_measured_feedback(feedback);
-                let out = run_numeric_on(cfg.clone(), &input)
+                let label = format!("numeric edge {dec:?} n={n} b={b} feedback={feedback}");
+                let out = run_numeric_watched(cfg.clone(), &input, label)
                     .unwrap_or_else(|e| panic!("{dec:?} n={n} b={b} feedback={feedback}: {e}"));
                 assert!(
                     out.numerically_correct,
@@ -199,13 +247,15 @@ proptest! {
             // Corruption made a panel unfactorable: the engine must fail too.
             for t in THREADS {
                 let _guard = ThreadCountGuard::set(t);
-                prop_assert!(run_numeric_on(cfg.clone(), &input).is_err());
+                let label = format!("numeric {dec:?} n={n} b={block} t={t} (err path)");
+                prop_assert!(run_numeric_watched(cfg.clone(), &input, label).is_err());
             }
             return;
         };
         for t in THREADS {
             let _guard = ThreadCountGuard::set(t);
-            let out = run_numeric_on(cfg.clone(), &input).unwrap();
+            let label = format!("numeric {dec:?} n={n} b={block} t={t}");
+            let out = run_numeric_watched(cfg.clone(), &input, label).unwrap();
             prop_assert_eq!(
                 out.faults_injected, reference.faults_injected,
                 "fault tallies differ ({:?} n={} b={} threads={})", dec, n, block, t

@@ -34,6 +34,52 @@ impl ErrorPattern {
     pub const ALL: [ErrorPattern; 3] = [ErrorPattern::ZeroD, ErrorPattern::OneD, ErrorPattern::TwoD];
 }
 
+/// Hardened-fault-model mix: what fraction of sampled SDC events strike somewhere
+/// other than plain trailing-tile data. The paper's base model injects every event
+/// into a trailing tile's elements; the recovery pipeline additionally exercises
+/// faults in the checksum vectors themselves, in lookahead panel factorizations,
+/// and deterministic multi-fault bursts that exceed every scheme's correction
+/// capability — plus persistent faults that re-strike on every recomputation.
+///
+/// The default mix is **inert** (all probabilities zero, single-strike): planners
+/// must draw no extra randomness for an inert mix, so the frozen RNG streams of
+/// pre-recovery runs reproduce bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultMix {
+    /// Probability an event strikes the tile's checksum vectors instead of its data.
+    pub checksum: f64,
+    /// Probability an event strikes the iteration's lookahead panel factorization.
+    pub panel: f64,
+    /// Probability an event is a four-corner burst (uncorrectable by construction).
+    pub burst: f64,
+    /// Probability an event is persistent: it re-strikes on every recomputation
+    /// attempt instead of honoring `max_strikes`.
+    pub persistent: f64,
+    /// Strike budget of non-persistent events: how many attempts the fault fires
+    /// on before the (simulated) transient condition clears.
+    pub max_strikes: u32,
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        Self { checksum: 0.0, panel: 0.0, burst: 0.0, persistent: 0.0, max_strikes: 1 }
+    }
+}
+
+impl FaultMix {
+    /// True when the mix is the inert default: every event is a single-strike
+    /// tile-data fault and the planner must draw no extra randomness.
+    pub fn is_inert(&self) -> bool {
+        self.checksum == 0.0 && self.panel == 0.0 && self.burst == 0.0 && self.persistent == 0.0
+    }
+
+    /// A harsh chaos-campaign mix: 20% checksum strikes, 20% panel strikes, 30%
+    /// bursts, 10% persistent, two strikes per transient fault.
+    pub fn harsh() -> Self {
+        Self { checksum: 0.2, panel: 0.2, burst: 0.3, persistent: 0.1, max_strikes: 2 }
+    }
+}
+
 /// Poisson SDC arrival-rate model for one device.
 ///
 /// Each error pattern has its own onset frequency (the more severe the propagation, the

@@ -11,9 +11,12 @@ use crate::blas3::{
     gemm_acc_cols, gemm_acc_cols_prepacked, repack_a_op, syrk_lower_into_block, trsm_into_block,
     trsm_right_lower_trans_cols, Diag, PackedA, Side, Trans, UpLo,
 };
-use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming};
+use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming, TaskOutcome};
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, split_tiles_at, StepTiming, TileCols, TrailingHook};
+use crate::task::{
+    restore_rows, snapshot_rows, split_tiles, split_tiles_at, StepTiming, TileCols, TileVerdict,
+    TrailingHook,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -166,6 +169,11 @@ fn factor_panel_tile(tile: &mut TileCols<'_>, row0: usize) -> Result<(), Cholesk
 /// One Cholesky trailing tile task of iteration `k`: the tile's slice of the SYRK
 /// trailing update, `A[cb0.., cb0..cb0+w] ← A − A21[cb0..,] · A21[cb0..cb0+w,]ᵀ`
 /// (lower triangle only on the diagonal tile), then the trailing hook.
+///
+/// Each call is one **self-contained attempt**: if the hook opted into snapshots and
+/// returns [`TileVerdict::Recompute`], the tile is rolled back to its pre-attempt
+/// contents before the verdict is passed to the caller, so simply calling again
+/// re-runs the identical update from clean inputs.
 #[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
 fn chol_update_tile(
     tile: &mut TileCols<'_>,
@@ -175,8 +183,9 @@ fn chol_update_tile(
     a21: &Matrix,
     a21p: &PackedA,
     hook: &dyn TrailingHook,
-) {
+) -> TileVerdict {
     let cb0 = tile.col0;
+    let snap = hook.wants_snapshots().then(|| snapshot_rows(&tile.cols, cb0, tile.width()));
     // Both operands are sub-blocks of the shared A21 copy, addressed by op-space
     // origins instead of per-task copies: rows `off..` of A21 on the left, rows
     // `off..off+w` (as columns of A21ᵀ) on the right. When the row origin lands on a
@@ -184,13 +193,52 @@ fn chol_update_tile(
     // pre-packed A21 panels are consumed directly; otherwise the task packs its own
     // sub-block — both produce bit-identical results.
     let off = cb0 - (j0 + nb);
-    let mut sub = tile.rows_from(cb0);
-    if off.is_multiple_of(crate::kernel::MR) {
-        gemm_acc_cols_prepacked(-1.0, a21p, off, a21, Trans::Yes, off, &mut sub, true);
-    } else {
-        gemm_acc_cols(-1.0, a21, Trans::No, off, a21, Trans::Yes, off, &mut sub, true);
+    let verdict = {
+        let mut sub = tile.rows_from(cb0);
+        if off.is_multiple_of(crate::kernel::MR) {
+            gemm_acc_cols_prepacked(-1.0, a21p, off, a21, Trans::Yes, off, &mut sub, true);
+        } else {
+            gemm_acc_cols(-1.0, a21, Trans::No, off, a21, Trans::Yes, off, &mut sub, true);
+        }
+        hook.after_tile_update(iter, cb0, cb0, &mut sub)
+    };
+    if verdict == TileVerdict::Recompute {
+        if let Some(snap) = &snap {
+            restore_rows(&mut tile.cols, cb0, snap);
+            return TileVerdict::Recompute;
+        }
     }
-    hook.after_tile_update(iter, cb0, cb0, &mut sub);
+    TileVerdict::Accept
+}
+
+/// One lookahead-panel attempt: snapshot (when the hook may demand a rollback),
+/// factor the panel in place (`potf2` + TRSM), then offer the fresh panel to the
+/// hook. On [`TileVerdict::Recompute`] the panel rows are restored and `None` is
+/// returned — the caller refactors from the identical pre-attempt state.
+fn chol_panel_attempt(
+    tile: &mut TileCols<'_>,
+    iter: usize,
+    row0: usize,
+    hook: &dyn TrailingHook,
+) -> Option<Result<(), CholeskyError>> {
+    let snap = hook.wants_snapshots().then(|| snapshot_rows(&tile.cols, row0, tile.width()));
+    let col0 = tile.col0;
+    match factor_panel_tile(tile, row0) {
+        Ok(()) => {
+            let verdict = {
+                let mut panel_rows = tile.rows_from(row0);
+                hook.after_panel_factor(iter, col0, row0, &mut panel_rows)
+            };
+            if verdict == TileVerdict::Recompute {
+                if let Some(snap) = &snap {
+                    restore_rows(&mut tile.cols, row0, snap);
+                    return None;
+                }
+            }
+            Some(Ok(()))
+        }
+        Err(e) => Some(Err(e)),
+    }
 }
 
 /// Tiled task-parallel Cholesky with one-step panel lookahead.
@@ -262,10 +310,16 @@ fn chol_step(
             let (a21, a21p, panel_result) = (&a21, &*a21p, &panel_result);
             s.spawn(move || {
                 let mut tile = look;
-                chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
+                while chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook)
+                    == TileVerdict::Recompute
+                {}
                 let row0 = tile.col0;
                 let panel_t0 = Instant::now();
-                let result = factor_panel_tile(&mut tile, row0);
+                let result = loop {
+                    if let Some(r) = chol_panel_attempt(&mut tile, k, row0, hook) {
+                        break r;
+                    }
+                };
                 let panel_s = panel_t0.elapsed().as_secs_f64();
                 *panel_result.lock().unwrap() = Some((result, panel_s));
             });
@@ -274,7 +328,9 @@ fn chol_step(
             let (a21, a21p) = (&a21, &*a21p);
             s.spawn(move || {
                 let mut tile = tile;
-                chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook);
+                while chol_update_tile(&mut tile, k, j0, nb, a21, a21p, hook)
+                    == TileVerdict::Recompute
+                {}
             });
         }
     });
@@ -337,6 +393,19 @@ impl CholeskyTiledStepper {
     /// The matrix in its current (partially factored) state.
     pub fn matrix(&self) -> &Matrix {
         &self.a
+    }
+
+    /// Snapshot the factorization state before an iteration, for [`Self::restore`].
+    /// Stepping from a restored checkpoint replays the identical bits: the packed
+    /// `A21` operand is rebuilt from the matrix every step.
+    pub fn checkpoint(&self) -> Matrix {
+        self.a.clone()
+    }
+
+    /// Roll the factorization state back to a [`Self::checkpoint`] taken earlier,
+    /// so the iteration that followed it can be replayed.
+    pub fn restore(&mut self, snap: &Matrix) {
+        self.a = snap.clone();
     }
 
     /// Recover the factored matrix after the final step (lower triangle holds `L`).
@@ -427,13 +496,21 @@ pub fn cholesky_dag_with(
         // Drain without numeric work after a failed panel; panels are totally
         // ordered through the chains, so the first error is deterministic.
         if failed.load(Ordering::Acquire) {
-            return;
+            return TaskOutcome::Done;
         }
         let j0 = bounds[p];
         let task_t0 = Instant::now();
         if p == grp {
-            match factor_panel_tile(&mut tile, j0) {
-                Ok(()) => {
+            // Panel(grp) is iteration grp − 1's lookahead panel; the prologue
+            // panel (grp = 0) predates every iteration and is never offered to
+            // the hook — matching the stepped drivers.
+            let attempt = if grp > 0 {
+                chol_panel_attempt(&mut tile, grp - 1, j0, hook)
+            } else {
+                Some(factor_panel_tile(&mut tile, j0))
+            };
+            let outcome = match attempt {
+                Some(Ok(())) => {
                     if grp + 1 < g {
                         let nb = tile.width();
                         let a21 = tile.extract(j0 + nb, n);
@@ -441,17 +518,28 @@ pub fn cholesky_dag_with(
                         repack_a_op(&mut a21p, &a21, Trans::No, 0, 0, n - j0 - nb, nb);
                         assert!(ops[grp].set(CholPanelOps { a21, a21p }).is_ok());
                     }
+                    TaskOutcome::Done
                 }
-                Err(e) => {
+                Some(Err(e)) => {
                     *error.lock().unwrap() = Some(e);
                     failed.store(true, Ordering::Release);
+                    TaskOutcome::Done
                 }
-            }
+                // Rolled back by the hook: resubmit the repair attempt without
+                // publishing operands.
+                None => TaskOutcome::Retry,
+            };
             panel_nanos[grp].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            outcome
         } else {
             let op = ops[p].get().expect("Panel(p) publishes before its consumers");
-            chol_update_tile(&mut tile, p, j0, width_of(p), &op.a21, &op.a21p, hook);
+            let outcome = match chol_update_tile(&mut tile, p, j0, width_of(p), &op.a21, &op.a21p, hook)
+            {
+                TileVerdict::Recompute => TaskOutcome::Retry,
+                TileVerdict::Accept => TaskOutcome::Done,
+            };
             update_nanos[p].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            outcome
         }
     });
     drop(tiles);

@@ -74,8 +74,31 @@ pub enum DagExecution {
 pub struct DagRunStats {
     /// Total tasks in the graph.
     pub tasks: usize,
-    /// Tasks that actually ran (the runtime itself asserts `executed == tasks`).
+    /// Tasks that actually completed (the runtime itself asserts
+    /// `executed == tasks`). Repair re-runs are *not* double-counted here — a task
+    /// completes exactly once no matter how many times it retried.
     pub executed: usize,
+    /// Repair re-submissions: how many times a task returned the crate-internal
+    /// `TaskOutcome::Retry` and was resubmitted instead of completing. Zero on
+    /// fault-free runs.
+    pub retries: usize,
+}
+
+/// What a task body tells the runtime after running.
+///
+/// `Done` completes the task: its successors' dependency counters are decremented
+/// and exactly-once accounting advances. `Retry` asks the runtime to run the same
+/// task again (a fused recovery hook found the tile uncorrectable and rolled it
+/// back): the task is resubmitted through the identical submission path — on the
+/// pool via `rayon::TaskScope::submit`, in sequential/replay mode via the ready
+/// set — without touching its successors, so the exactly-once invariant
+/// (`executed == tasks`) extends over repairs unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskOutcome {
+    /// The task's work is final; release its successors.
+    Done,
+    /// Roll-back happened inside the task; run it again before releasing anyone.
+    Retry,
 }
 
 thread_local! {
@@ -150,6 +173,7 @@ struct RunState {
     counters: Vec<AtomicI64>,
     state: Vec<AtomicU8>,
     executed: AtomicUsize,
+    retries: AtomicUsize,
 }
 
 /// Process-global table of in-flight DAG runs, for watchdog snapshots.
@@ -231,24 +255,63 @@ fn snapshot_of(state: &RunState) -> String {
             .map(|s| AtomicU8::new(s.load(Ordering::Relaxed)))
             .collect(),
         executed: AtomicUsize::new(state.executed.load(Ordering::Relaxed)),
+        retries: AtomicUsize::new(state.retries.load(Ordering::Relaxed)),
     });
     let _registration = Registration::new(&hold);
     snapshot_active()
 }
 
+/// Run `f` on a helper thread and fail loudly if it does not finish within
+/// `timeout` — a stranded dependency counter deadlocks a DAG run instead of
+/// crashing it, and a silent CI hang is the worst possible failure mode. On
+/// timeout the in-flight runtime state ([`snapshot_active`]: ready ids, waiting
+/// tasks with their remaining dependency counts) is dumped before panicking, so
+/// the post-mortem starts with the stuck graph in hand. Shared by every test
+/// suite that drives the DAG runtime (directly or through the numeric engine).
+pub fn with_watchdog<T: Send + 'static>(
+    label: String,
+    timeout: std::time::Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(v) => {
+            handle.join().expect("watchdog worker panicked after reporting its result");
+            v
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(panic) => std::panic::resume_unwind(panic),
+            Ok(_) => unreachable!("worker exited without sending a result or panicking"),
+        },
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!(
+                "deadlock watchdog fired for '{label}' after {timeout:?}; in-flight DAG state:\n{}",
+                snapshot_active()
+            );
+            panic!("DAG run '{label}' did not complete within {timeout:?} (see state dump above)");
+        }
+    }
+}
+
 /// Run every task of `builder`'s graph exactly once, respecting dependencies, under
 /// the chosen [`DagExecution`]. `run(id)` performs task `id`'s work; it must be safe
-/// to call concurrently for distinct ids (the graph encodes all ordering).
+/// to call concurrently for distinct ids (the graph encodes all ordering). A task
+/// returning [`TaskOutcome::Retry`] is resubmitted (repair re-run) without touching
+/// its successors; only a [`TaskOutcome::Done`] completes it.
 ///
 /// Counter protocol: a completing task decrements each successor's counter with
 /// `AcqRel`; the decrement that observes 1 → 0 owns the submission, so every task is
-/// submitted exactly once. A decrement observing a non-positive counter is an
-/// underflow bug and panics immediately; a leaked task (graph drained with
-/// `executed < tasks`) panics after the drain with a state snapshot. Both
-/// invariants are re-asserted externally by the schedule-fuzzing suite.
+/// submitted exactly once (plus one resubmission per recorded retry). A decrement
+/// observing a non-positive counter is an underflow bug and panics immediately; a
+/// leaked task (graph drained with `executed < tasks`) panics after the drain with
+/// a state snapshot. Both invariants are re-asserted externally by the
+/// schedule-fuzzing suite.
 pub(crate) fn execute<F>(builder: DagBuilder, exec: DagExecution, label: &str, run: F)
 where
-    F: Fn(usize) + Sync,
+    F: Fn(usize) -> TaskOutcome + Sync,
 {
     let total = builder.len();
     let state = Arc::new(RunState {
@@ -260,6 +323,7 @@ where
             .map(|&d| AtomicU8::new(if d == 0 { READY } else { WAITING }))
             .collect(),
         executed: AtomicUsize::new(0),
+        retries: AtomicUsize::new(0),
     });
     let _registration = Registration::new(&state);
     let succs = &builder.succs;
@@ -282,13 +346,20 @@ where
         "DAG run '{label}' leaked tasks: executed {executed} of {total}\n{}",
         snapshot_of(&state)
     );
-    LAST_RUN.with(|c| c.set(Some(DagRunStats { tasks: total, executed })));
+    LAST_RUN.with(|c| {
+        c.set(Some(DagRunStats {
+            tasks: total,
+            executed,
+            retries: state.retries.load(Ordering::Relaxed),
+        }))
+    });
 }
 
 /// Pool-mode task submission: wraps `run(id)` with the counter-decrement protocol
 /// and submits it to the task scope. Called once per task — at graph entry for root
-/// tasks, from the last completing dependency otherwise.
-fn submit_pool<'s, F: Fn(usize) + Sync>(
+/// tasks, from the last completing dependency otherwise — plus once per repair
+/// retry (a [`TaskOutcome::Retry`] resubmits the same id through this same path).
+fn submit_pool<'s, F: Fn(usize) -> TaskOutcome + Sync>(
     ts: &rayon::TaskScope<'s>,
     state: &'s RunState,
     succs: &'s [Vec<u32>],
@@ -296,7 +367,13 @@ fn submit_pool<'s, F: Fn(usize) + Sync>(
     id: usize,
 ) {
     ts.submit(move |ts| {
-        run(id);
+        if run(id) == TaskOutcome::Retry {
+            // The task rolled itself back; schedule the repair re-run without
+            // completing (successors stay locked, `executed` does not advance).
+            state.retries.fetch_add(1, Ordering::Relaxed);
+            submit_pool(ts, state, succs, run, id);
+            return;
+        }
         state.state[id].store(DONE, Ordering::Relaxed);
         state.executed.fetch_add(1, Ordering::Relaxed);
         for &s in &succs[id] {
@@ -318,7 +395,7 @@ fn submit_pool<'s, F: Fn(usize) + Sync>(
 /// Single-threaded executor with an explicit ready set. With `seed`, the next task
 /// to complete is RNG-picked from the ready set (adversarial replay); without, the
 /// lowest task id runs first (the deterministic `Pool`-at-one-thread order).
-fn run_sequential<F: Fn(usize)>(
+fn run_sequential<F: Fn(usize) -> TaskOutcome>(
     state: &RunState,
     succs: &[Vec<u32>],
     run: &F,
@@ -337,7 +414,13 @@ fn run_sequential<F: Fn(usize)>(
             }
         };
         let id = ready.swap_remove(idx);
-        run(id);
+        if run(id) == TaskOutcome::Retry {
+            // Back into the ready set: replay mode may interleave other ready
+            // tasks before the repair re-run, exactly like a pool schedule could.
+            state.retries.fetch_add(1, Ordering::Relaxed);
+            ready.push(id);
+            continue;
+        }
         state.state[id].store(DONE, Ordering::Relaxed);
         state.executed.fetch_add(1, Ordering::Relaxed);
         for &s in &succs[id] {
@@ -401,13 +484,14 @@ mod tests {
             let order = Mutex::new(Vec::new());
             execute(diamond(), exec, "diamond", |id| {
                 order.lock().unwrap().push(id);
+                TaskOutcome::Done
             });
             let order = order.into_inner().unwrap();
             assert_eq!(order.len(), 4, "{exec:?}");
             assert_eq!(order[0], 0, "{exec:?}");
             assert_eq!(order[3], 3, "{exec:?}");
             let stats = last_run_stats().unwrap();
-            assert_eq!((stats.tasks, stats.executed), (4, 4));
+            assert_eq!((stats.tasks, stats.executed, stats.retries), (4, 4, 0));
         }
     }
 
@@ -428,6 +512,7 @@ mod tests {
             let order = Mutex::new(Vec::new());
             execute(build(), DagExecution::Replay { seed }, "fanout", |id| {
                 order.lock().unwrap().push(id);
+                TaskOutcome::Done
             });
             order.into_inner().unwrap()
         };
@@ -454,8 +539,38 @@ mod tests {
             let ran = AtomicUsize::new(0);
             execute(b, DagExecution::Pool, "chain", |_| {
                 ran.fetch_add(1, Ordering::Relaxed);
+                TaskOutcome::Done
             });
             assert_eq!(ran.load(Ordering::Relaxed), n, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn retries_resubmit_without_breaking_exactly_once() {
+        // Task 1 of the diamond demands two repair re-runs before completing; the
+        // runtime must resubmit it (counting each retry) while holding back task 3,
+        // and still finish with executed == tasks at every execution mode and
+        // thread count.
+        for (exec, threads) in [
+            (DagExecution::Replay { seed: 11 }, None),
+            (DagExecution::Pool, Some(1)),
+            (DagExecution::Pool, Some(2)),
+            (DagExecution::Pool, Some(4)),
+        ] {
+            let _guard = threads.map(rayon::ThreadCountGuard::set);
+            let attempts = AtomicUsize::new(0);
+            let runs = AtomicUsize::new(0);
+            execute(diamond(), exec, "retry-diamond", |id| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                if id == 1 && attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                    TaskOutcome::Retry
+                } else {
+                    TaskOutcome::Done
+                }
+            });
+            let stats = last_run_stats().unwrap();
+            assert_eq!((stats.tasks, stats.executed, stats.retries), (4, 4, 2), "{exec:?}");
+            assert_eq!(runs.load(Ordering::Relaxed), 6, "{exec:?}: 4 tasks + 2 repair re-runs");
         }
     }
 
@@ -478,6 +593,7 @@ mod tests {
             if id == 0 {
                 *seen.lock().unwrap() = snapshot_active();
             }
+            TaskOutcome::Done
         });
         let seen = seen.into_inner().unwrap();
         assert!(seen.contains("DAG run 'snap'"), "snapshot: {seen}");

@@ -14,7 +14,11 @@ use crate::blas3::{
 };
 use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming};
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, split_tiles_at, StepTiming, TileCols, TrailingHook};
+use crate::dag::TaskOutcome;
+use crate::task::{
+    restore_rows, snapshot_rows, split_tiles, split_tiles_at, StepTiming, TileCols, TileVerdict,
+    TrailingHook,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -366,6 +370,11 @@ fn panel_factor_slices(
 /// band (rows `[j0, j0 + nb)`, the TRSM output) becomes final `U` entries this
 /// iteration and is never revisited, so a hook that skipped it would leave those
 /// values permanently unchecked.
+///
+/// Each call is one **self-contained attempt**: if the hook opted into snapshots and
+/// returns [`TileVerdict::Recompute`], the tile is rolled back to its pre-attempt
+/// contents (including the deferred swaps) before the verdict is passed to the
+/// caller, so simply calling again re-runs the identical update from clean inputs.
 #[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
 fn lu_update_tile(
     tile: &mut TileCols<'_>,
@@ -376,7 +385,8 @@ fn lu_update_tile(
     l11: &Matrix,
     l21p: &PackedA,
     hook: &dyn TrailingHook,
-) {
+) -> TileVerdict {
+    let snap = hook.wants_snapshots().then(|| snapshot_rows(&tile.cols, j0, tile.width()));
     tile.apply_row_swaps(j0, swaps);
     // U tile ← L11⁻¹ · A tile (the per-tile slice of the panel update, PU), solved
     // in place in the tile's own columns.
@@ -390,8 +400,48 @@ fn lu_update_tile(
         let mut sub = tile.rows_from(j0 + nb);
         gemm_acc_cols_prepacked(-1.0, l21p, 0, &u, Trans::No, 0, &mut sub, false);
     }
-    let mut hook_rows = tile.rows_from(j0);
-    hook.after_tile_update(iter, col0, j0, &mut hook_rows);
+    let verdict = {
+        let mut hook_rows = tile.rows_from(j0);
+        hook.after_tile_update(iter, col0, j0, &mut hook_rows)
+    };
+    if verdict == TileVerdict::Recompute {
+        if let Some(snap) = &snap {
+            restore_rows(&mut tile.cols, j0, snap);
+            return TileVerdict::Recompute;
+        }
+    }
+    TileVerdict::Accept
+}
+
+/// One lookahead-panel attempt: snapshot (when the hook may demand a rollback),
+/// factor panel `k + 1` in place, then offer the fresh panel to the hook. On
+/// [`TileVerdict::Recompute`] the panel rows are restored and `None` is returned —
+/// the caller refactors from the identical pre-attempt state (same pivots, same
+/// bits). `row0` is the panel's diagonal row (`== tile.col0` for LU).
+fn lu_panel_attempt(
+    tile: &mut TileCols<'_>,
+    iter: usize,
+    row0: usize,
+    hook: &dyn TrailingHook,
+) -> Option<Result<Vec<usize>, LuError>> {
+    let snap = hook.wants_snapshots().then(|| snapshot_rows(&tile.cols, row0, tile.width()));
+    let col0 = tile.col0;
+    match factor_panel_tile(tile, row0) {
+        Ok(pv) => {
+            let verdict = {
+                let mut panel_rows = tile.rows_from(row0);
+                hook.after_panel_factor(iter, col0, row0, &mut panel_rows)
+            };
+            if verdict == TileVerdict::Recompute {
+                if let Some(snap) = &snap {
+                    restore_rows(&mut tile.cols, row0, snap);
+                    return None;
+                }
+            }
+            Some(Ok(pv))
+        }
+        Err(e) => Some(Err(e)),
+    }
 }
 
 /// Tiled task-parallel LU with partial pivoting and one-step panel lookahead.
@@ -467,9 +517,15 @@ fn lu_step(
             let (l11, l21p, swaps, panel_result) = (&l11, &*l21p, &swaps[..], &panel_result);
             s.spawn(move || {
                 let mut tile = look;
-                lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
+                while lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook)
+                    == TileVerdict::Recompute
+                {}
                 let panel_t0 = Instant::now();
-                let result = factor_panel_tile(&mut tile, j0 + nb);
+                let result = loop {
+                    if let Some(r) = lu_panel_attempt(&mut tile, k, j0 + nb, hook) {
+                        break r;
+                    }
+                };
                 let panel_s = panel_t0.elapsed().as_secs_f64();
                 *panel_result.lock().unwrap() = Some((result, panel_s));
             });
@@ -478,7 +534,9 @@ fn lu_step(
             let (l11, l21p, swaps) = (&l11, &*l21p, &swaps[..]);
             s.spawn(move || {
                 let mut tile = tile;
-                lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook);
+                while lu_update_tile(&mut tile, k, j0, nb, swaps, l11, l21p, hook)
+                    == TileVerdict::Recompute
+                {}
             });
         }
         // Panel k's deferred swaps on the already-final columns left of the panel
@@ -556,6 +614,20 @@ impl LuTiledStepper {
     /// The matrix in its current (partially factored) state.
     pub fn matrix(&self) -> &Matrix {
         &self.lu
+    }
+
+    /// Snapshot the stepper's numeric state (matrix + pivots) so a recovery policy
+    /// can replay an iteration: [`Self::restore`] followed by `step(k, ..)` re-runs
+    /// iteration `k` bit-identically (the packed-operand scratch is rebuilt per
+    /// step and needs no saving).
+    pub fn checkpoint(&self) -> (Matrix, Vec<usize>) {
+        (self.lu.clone(), self.pivots.clone())
+    }
+
+    /// Restore a [`Self::checkpoint`] taken before the current iteration.
+    pub fn restore(&mut self, snap: &(Matrix, Vec<usize>)) {
+        self.lu = snap.0.clone();
+        self.pivots = snap.1.clone();
     }
 
     /// Package the factors after the final step.
@@ -646,13 +718,21 @@ pub fn lu_dag_with(
         // (counters still decrement, so nothing leaks); panels are totally ordered
         // through the chains, so exactly the first error is recorded.
         if failed.load(Ordering::Acquire) {
-            return;
+            return TaskOutcome::Done;
         }
         let j0 = bounds[p];
         let task_t0 = Instant::now();
         if p == grp {
-            match factor_panel_tile(&mut tile, j0) {
-                Ok(pv) => {
+            // Panel(grp) is iteration grp − 1's lookahead panel; the prologue
+            // panel (grp = 0) predates every iteration and is never offered to
+            // the hook — matching the stepped drivers.
+            let attempt = if grp > 0 {
+                lu_panel_attempt(&mut tile, grp - 1, j0, hook)
+            } else {
+                Some(factor_panel_tile(&mut tile, j0))
+            };
+            let outcome = match attempt {
+                Some(Ok(pv)) => {
                     if grp + 1 < g {
                         let nb = tile.width();
                         let l11 = tile.extract(j0, j0 + nb).unit_lower_triangular();
@@ -662,22 +742,33 @@ pub fn lu_dag_with(
                         assert!(ops[grp].set(LuPanelOps { l11, l21p }).is_ok());
                     }
                     assert!(swaps[grp].set(pv).is_ok());
+                    TaskOutcome::Done
                 }
-                Err(e) => {
+                Some(Err(e)) => {
                     *error.lock().unwrap() = Some(e);
                     failed.store(true, Ordering::Release);
+                    TaskOutcome::Done
                 }
-            }
+                // Rolled back by the hook: resubmit the repair attempt without
+                // publishing operands or pivots.
+                None => TaskOutcome::Retry,
+            };
             panel_nanos[grp].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            outcome
         } else {
             let sw = swaps[p].get().expect("Panel(p) publishes before its consumers");
-            if p < grp {
+            let outcome = if p < grp {
                 let op = ops[p].get().expect("Panel(p) publishes before its consumers");
-                lu_update_tile(&mut tile, p, j0, width_of(p), sw, &op.l11, &op.l21p, hook);
+                match lu_update_tile(&mut tile, p, j0, width_of(p), sw, &op.l11, &op.l21p, hook) {
+                    TileVerdict::Recompute => TaskOutcome::Retry,
+                    TileVerdict::Accept => TaskOutcome::Done,
+                }
             } else {
                 tile.apply_row_swaps(j0, sw);
-            }
+                TaskOutcome::Done
+            };
             update_nanos[p].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            outcome
         }
     });
     drop(tiles);

@@ -10,9 +10,12 @@
 
 use crate::blas1::{axpy, dot, nrm2, scal};
 use crate::blas3::{gemm, gemm_acc_cols_prepacked, gemm_into_block, repack_a_op, PackedA, Trans};
-use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming};
+use crate::dag::{group_bounds, DagBuilder, DagExecution, DagTiming, TaskOutcome};
 use crate::matrix::{Block, Matrix};
-use crate::task::{split_tiles, split_tiles_at, StepTiming, TileCols, TrailingHook};
+use crate::task::{
+    restore_rows, snapshot_rows, split_tiles, split_tiles_at, StepTiming, TileCols, TileVerdict,
+    TrailingHook,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -268,6 +271,11 @@ fn factor_panel_tile(tile: &mut TileCols<'_>, row0: usize, pw: usize) -> (Vec<f6
 /// pre-packed
 /// in both orientations (`vt_p` for `Vᵀ C`, `v_p` for `C − V W`), shared by every tile
 /// task of the iteration.
+///
+/// Each call is one **self-contained attempt**: if the hook opted into snapshots and
+/// returns [`TileVerdict::Recompute`], the tile is rolled back to its pre-attempt
+/// contents before the verdict is passed to the caller, so simply calling again
+/// re-runs the identical update from clean inputs.
 #[allow(clippy::too_many_arguments)] // mirrors the per-iteration operand set
 fn qr_update_tile(
     tile: &mut TileCols<'_>,
@@ -279,7 +287,8 @@ fn qr_update_tile(
     t: &Matrix,
     trail_row0: usize,
     hook: &dyn TrailingHook,
-) {
+) -> TileVerdict {
+    let snap = hook.wants_snapshots().then(|| snapshot_rows(&tile.cols, trail_row0, tile.width()));
     let m = tile.rows();
     let width = tile.width();
     let c = tile.extract(j0, m);
@@ -293,11 +302,49 @@ fn qr_update_tile(
     let w = Matrix::from_column_major(nb, width, wdata);
     // W ← Tᵀ W (applying Qᵀ of the panel), then C ← C − V W.
     let w = gemm(t, Trans::Yes, &w, Trans::No);
-    let mut sub = tile.rows_from(j0);
-    gemm_acc_cols_prepacked(-1.0, v_p, 0, &w, Trans::No, 0, &mut sub, false);
     let col0 = tile.col0;
-    let mut hook_rows = tile.rows_from(trail_row0);
-    hook.after_tile_update(iter, col0, trail_row0, &mut hook_rows);
+    let verdict = {
+        let mut sub = tile.rows_from(j0);
+        gemm_acc_cols_prepacked(-1.0, v_p, 0, &w, Trans::No, 0, &mut sub, false);
+        let mut hook_rows = tile.rows_from(trail_row0);
+        hook.after_tile_update(iter, col0, trail_row0, &mut hook_rows)
+    };
+    if verdict == TileVerdict::Recompute {
+        if let Some(snap) = &snap {
+            restore_rows(&mut tile.cols, trail_row0, snap);
+            return TileVerdict::Recompute;
+        }
+    }
+    TileVerdict::Accept
+}
+
+/// One lookahead-panel attempt: snapshot (when the hook may demand a rollback),
+/// factor the `pw`-wide panel, then offer the freshly written panel columns to the
+/// hook. On [`TileVerdict::Recompute`] the panel rows are restored and `None` is
+/// returned — the caller refactors from the identical pre-attempt state (same
+/// reflectors, same bits). Only the first `pw` columns are written, snapshotted and
+/// shown to the hook (on wide matrices the tile may be wider than the panel).
+fn qr_panel_attempt(
+    tile: &mut TileCols<'_>,
+    iter: usize,
+    row0: usize,
+    pw: usize,
+    hook: &dyn TrailingHook,
+) -> Option<(Vec<f64>, Matrix)> {
+    let snap = hook.wants_snapshots().then(|| snapshot_rows(&tile.cols, row0, pw));
+    let col0 = tile.col0;
+    let result = factor_panel_tile(tile, row0, pw);
+    let verdict = {
+        let mut panel_rows = tile.rows_from(row0);
+        hook.after_panel_factor(iter, col0, row0, &mut panel_rows[..pw])
+    };
+    if verdict == TileVerdict::Recompute {
+        if let Some(snap) = &snap {
+            restore_rows(&mut tile.cols, row0, snap);
+            return None;
+        }
+    }
+    Some(result)
 }
 
 /// Tiled task-parallel Householder QR with one-step panel lookahead.
@@ -358,14 +405,20 @@ fn qr_step(
             let (vt_p, v_p, tmat, next_panel) = (&*vt_p, &*v_p, &*tmat, &next_panel);
             s.spawn(move || {
                 let mut tile = look;
-                qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0, hook);
+                while qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0, hook)
+                    == TileVerdict::Recompute
+                {}
                 // Factor panel k + 1 when this tile contains one (on wide inputs
                 // the trailing columns outlive the panels).
                 if tile.col0 < kmax {
                     let pw = tile.width().min(kmax - tile.col0);
                     let row0 = tile.col0;
                     let panel_t0 = Instant::now();
-                    let result = factor_panel_tile(&mut tile, row0, pw);
+                    let result = loop {
+                        if let Some(r) = qr_panel_attempt(&mut tile, k, row0, pw, hook) {
+                            break r;
+                        }
+                    };
                     let panel_s = panel_t0.elapsed().as_secs_f64();
                     *next_panel.lock().unwrap() = Some((result, panel_s));
                 }
@@ -375,7 +428,9 @@ fn qr_step(
             let (vt_p, v_p, tmat) = (&*vt_p, &*v_p, &*tmat);
             s.spawn(move || {
                 let mut tile = tile;
-                qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0, hook);
+                while qr_update_tile(&mut tile, k, j0, nb, vt_p, v_p, tmat, j0, hook)
+                    == TileVerdict::Recompute
+                {}
             });
         }
     });
@@ -471,6 +526,22 @@ impl QrTiledStepper {
         &self.qr
     }
 
+    /// Snapshot the factorization state before an iteration, for [`Self::restore`]:
+    /// the compact storage, the `tau`s accumulated so far and the pending panel's
+    /// `T` factor. The packed `V` operands are rebuilt from the matrix every step,
+    /// so stepping from a restored checkpoint replays the identical bits.
+    pub fn checkpoint(&self) -> (Matrix, Vec<f64>, Matrix) {
+        (self.qr.clone(), self.taus.clone(), self.tmat.clone())
+    }
+
+    /// Roll the factorization state back to a [`Self::checkpoint`] taken earlier,
+    /// so the iteration that followed it can be replayed.
+    pub fn restore(&mut self, snap: &(Matrix, Vec<f64>, Matrix)) {
+        self.qr = snap.0.clone();
+        self.taus = snap.1.clone();
+        self.tmat = snap.2.clone();
+    }
+
     /// Package the factors after the final step.
     pub fn into_factors(self) -> QrFactors {
         QrFactors { qr: self.qr, taus: self.taus }
@@ -563,9 +634,22 @@ pub fn qr_dag_with(
         let task_t0 = Instant::now();
         if p == grp {
             // Panel task; the partition clips panel groups at kmax, so the group
-            // width is exactly the panel width.
+            // width is exactly the panel width. Panel(grp) is iteration grp − 1's
+            // lookahead panel; the prologue panel (grp = 0) predates every
+            // iteration and is never offered to the hook — matching the stepped
+            // drivers.
             let pw = tile.width();
-            let (new_taus, t) = factor_panel_tile(&mut tile, j0, pw);
+            let attempt = if grp > 0 {
+                qr_panel_attempt(&mut tile, grp - 1, j0, pw, hook)
+            } else {
+                Some(factor_panel_tile(&mut tile, j0, pw))
+            };
+            let Some((new_taus, t)) = attempt else {
+                // Rolled back by the hook: resubmit the repair attempt without
+                // publishing operands or taus.
+                panel_nanos[grp].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return TaskOutcome::Retry;
+            };
             if grp + 1 < g {
                 // Publish V (unit lower-trapezoid, straight from the tile's own
                 // columns) in both packed orientations, plus T.
@@ -583,10 +667,25 @@ pub fn qr_dag_with(
             }
             assert!(taus_slots[grp].set(new_taus).is_ok());
             panel_nanos[grp].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            TaskOutcome::Done
         } else {
             let op = ops[p].get().expect("Panel(p) publishes before its consumers");
-            qr_update_tile(&mut tile, p, j0, width_of(p), &op.vt_p, &op.v_p, &op.t, j0, hook);
+            let outcome = match qr_update_tile(
+                &mut tile,
+                p,
+                j0,
+                width_of(p),
+                &op.vt_p,
+                &op.v_p,
+                &op.t,
+                j0,
+                hook,
+            ) {
+                TileVerdict::Recompute => TaskOutcome::Retry,
+                TileVerdict::Accept => TaskOutcome::Done,
+            };
             update_nanos[p].fetch_add(task_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            outcome
         }
     });
     drop(tiles);

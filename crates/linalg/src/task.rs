@@ -39,24 +39,73 @@ pub struct StepTiming {
     pub update_s: f64,
 }
 
+/// What a [`TrailingHook`] asks the driver to do with the tile it just inspected.
+///
+/// `Accept` keeps the tile (possibly corrected in place) and lets the schedule
+/// advance; `Recompute` tells the driver the tile's contents are untrustworthy and
+/// must be rolled back to their pre-task state and the task re-run. A driver only
+/// honors `Recompute` when the hook opted into snapshots via
+/// [`TrailingHook::wants_snapshots`]; otherwise the verdict degrades to `Accept`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileVerdict {
+    /// Keep the tile as-is and release its successors.
+    Accept,
+    /// Roll the tile back to its pre-task contents and run the task again.
+    Recompute,
+}
+
 /// Observer fused into every trailing-update tile task of the tiled drivers.
 ///
-/// `after_tile_update` is called exactly once per (iteration, tile column) pair, from
-/// whichever pool thread ran the task, **after** the tile's numeric update and (for
-/// the lookahead tile) **before** the next panel is factored from it — a checksum
-/// hook runs over the exact data the panel factorization is about to consume.
+/// `after_tile_update` is called once per (iteration, tile column, attempt) triple,
+/// from whichever pool thread ran the task, **after** the tile's numeric update and
+/// (for the lookahead tile) **before** the next panel is factored from it — a
+/// checksum hook runs over the exact data the panel factorization is about to
+/// consume. When the hook returns [`TileVerdict::Recompute`] (and opted into
+/// snapshots), the driver restores the tile and re-runs the task, so the hook sees
+/// the same site again as a fresh attempt.
 ///
 /// `cols[jj]` is the mutable row range `[row0, rows)` of global column `col0 + jj`;
 /// implementations may correct elements in place but must confine themselves to the
 /// given slices (other regions of the matrix are concurrently owned by other tasks).
 pub trait TrailingHook: Sync {
     /// Inspect (and possibly correct) one updated tile column group.
-    fn after_tile_update(&self, iter: usize, col0: usize, row0: usize, cols: &mut [&mut [f64]]);
+    fn after_tile_update(
+        &self,
+        iter: usize,
+        col0: usize,
+        row0: usize,
+        cols: &mut [&mut [f64]],
+    ) -> TileVerdict;
+
+    /// Inspect a freshly factored lookahead panel (panel `iter + 1`, whose first
+    /// column is `col0`). `cols[jj]` is the row range `[row0, rows)` of panel column
+    /// `col0 + jj`. Returning [`TileVerdict::Recompute`] makes the driver restore
+    /// the panel's pre-factorization contents and factor it again. The prologue
+    /// panel (panel 0) is factored before any iteration runs and is never offered
+    /// to the hook.
+    fn after_panel_factor(
+        &self,
+        _iter: usize,
+        _col0: usize,
+        _row0: usize,
+        _cols: &mut [&mut [f64]],
+    ) -> TileVerdict {
+        TileVerdict::Accept
+    }
+
+    /// Whether the driver must snapshot each tile/panel before running its task so
+    /// a [`TileVerdict::Recompute`] can be honored. Defaults to `false`: plain runs
+    /// pay zero rollback overhead.
+    fn wants_snapshots(&self) -> bool {
+        false
+    }
 }
 
 /// The no-op hook: the plain tiled drivers run with `&()`.
 impl TrailingHook for () {
-    fn after_tile_update(&self, _: usize, _: usize, _: usize, _: &mut [&mut [f64]]) {}
+    fn after_tile_update(&self, _: usize, _: usize, _: usize, _: &mut [&mut [f64]]) -> TileVerdict {
+        TileVerdict::Accept
+    }
 }
 
 /// One tile-column group: `cols[jj]` is the full backing slice (all rows) of global
@@ -96,6 +145,21 @@ impl TileCols<'_> {
     /// GEMM accumulation ([`crate::blas3::gemm_acc_cols`]) and [`TrailingHook`] take.
     pub fn rows_from(&mut self, row0: usize) -> Vec<&mut [f64]> {
         self.cols.iter_mut().map(|c| &mut c[row0..]).collect()
+    }
+}
+
+/// Copy of rows `[row0, rows)` of the first `width` columns of a column-slice set —
+/// the rollback state a driver records before running a task whose
+/// [`TrailingHook`] may return [`TileVerdict::Recompute`].
+pub(crate) fn snapshot_rows(cols: &[&mut [f64]], row0: usize, width: usize) -> Vec<Vec<f64>> {
+    cols[..width].iter().map(|c| c[row0..].to_vec()).collect()
+}
+
+/// Restore a [`snapshot_rows`] copy, reverting every element the task (and any
+/// injected fault) touched.
+pub(crate) fn restore_rows(cols: &mut [&mut [f64]], row0: usize, snap: &[Vec<f64>]) {
+    for (col, saved) in cols.iter_mut().zip(snap) {
+        col[row0..].copy_from_slice(saved);
     }
 }
 

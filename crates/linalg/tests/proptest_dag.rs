@@ -26,7 +26,7 @@
 
 use bsr_abft::checksum::ChecksumScheme;
 use bsr_abft::fused::{FusedTileChecksums, PerIterationChecksums, PlannedFault};
-use bsr_linalg::dag::{last_run_stats, snapshot_active, DagExecution, DagRunStats};
+use bsr_linalg::dag::{last_run_stats, DagExecution, DagRunStats};
 use bsr_linalg::generate::{random_matrix, random_spd_matrix};
 use bsr_linalg::matrix::Matrix;
 use bsr_linalg::{cholesky, lu, qr};
@@ -35,7 +35,6 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::ThreadCountGuard;
-use std::sync::mpsc;
 use std::time::Duration;
 
 /// Thread counts the pool sweeps: 1 = inline, 3 = odd worker count, 8 =
@@ -46,35 +45,15 @@ const THREADS: [usize; 5] = [1, 2, 3, 4, 8];
 /// replays 64 seeded schedules per factorization kind.
 const REPLAY_SEEDS_PER_CASE: u64 = 4;
 
-/// Run `f` on a helper thread and fail loudly if it does not finish within 60 s —
-/// a stranded dependency counter deadlocks a DAG run instead of crashing it. On
-/// timeout the in-flight runtime state (ready ids, waiting counters) is dumped for
-/// the post-mortem.
+/// The shared runtime watchdog ([`bsr_linalg::dag::with_watchdog`]) at this suite's
+/// 60-second deadline: a stranded dependency counter deadlocks a DAG run instead of
+/// crashing it, and on timeout the in-flight runtime state is dumped for the
+/// post-mortem.
 fn with_watchdog<T: Send + 'static>(
     label: String,
     f: impl FnOnce() -> T + Send + 'static,
 ) -> T {
-    let (tx, rx) = mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(v) => {
-            handle.join().expect("watchdog worker panicked after reporting its result");
-            v
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
-            Err(panic) => std::panic::resume_unwind(panic),
-            Ok(()) => unreachable!("worker exited without sending a result or panicking"),
-        },
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            eprintln!(
-                "deadlock watchdog fired for '{label}'; in-flight DAG state:\n{}",
-                snapshot_active()
-            );
-            panic!("DAG run '{label}' did not complete within 60 s (see state dump above)");
-        }
-    }
+    bsr_linalg::dag::with_watchdog(label, Duration::from_secs(60), f)
 }
 
 /// Assert the exactly-once invariant the runtime records after every drain.
@@ -231,7 +210,7 @@ proptest! {
         // on random aligned tiles of random iterations.
         let mut faults = vec![(
             0usize,
-            PlannedFault { row: 0, col: b, pattern: ErrorPattern::ZeroD, seed },
+            PlannedFault::tile(0, b, ErrorPattern::ZeroD, seed),
         )];
         let extras = (seed % 3) as usize;
         for i in 0..extras {
@@ -247,12 +226,7 @@ proptest! {
             let pattern = if i % 2 == 0 { ErrorPattern::OneD } else { ErrorPattern::ZeroD };
             faults.push((
                 k,
-                PlannedFault {
-                    row: r * b,
-                    col: c * b,
-                    pattern,
-                    seed: seed.wrapping_add(i as u64 + 1),
-                },
+                PlannedFault::tile(r * b, c * b, pattern, seed.wrapping_add(i as u64 + 1)),
             ));
         }
 

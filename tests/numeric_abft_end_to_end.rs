@@ -58,6 +58,67 @@ fn unprotected_runs_are_corrupted() {
     assert!(corrupted >= 2, "unprotected runs should usually produce wrong results");
 }
 
+/// A burst mix: every sampled SDC event becomes a single-strike four-corner burst,
+/// which exceeds the correction capability of every checksum scheme by construction.
+fn burst_mix() -> FaultMix {
+    FaultMix { burst: 1.0, ..FaultMix::default() }
+}
+
+#[test]
+fn uncorrectable_bursts_break_without_recovery() {
+    // The recovery-off guard: under Full ABFT, multi-fault bursts are *detected*
+    // (uncorrectable tallies) but not correctable in place, and without the recovery
+    // ladder the run completes with silently corrupted factors. This is the failure
+    // mode the recovery pipeline exists to close.
+    let mut broken = 0;
+    for seed in [202u64, 303, 505] {
+        let cfg = noisy_cfg(Decomposition::Lu, AbftMode::Forced(ChecksumScheme::Full), seed)
+            .with_fault_mix(burst_mix());
+        let out = run_numeric(cfg).expect("factorization must not abort");
+        if out.verification.uncorrectable > 0 && !out.numerically_correct {
+            broken += 1;
+        }
+        assert!(out.recovery.is_empty(), "recovery disabled: no events expected");
+    }
+    assert!(broken >= 2, "bursts should usually defeat in-place correction");
+}
+
+#[test]
+fn recovery_heals_uncorrectable_bursts_under_the_same_injection_schedule() {
+    // The recovery-on counterpart of `uncorrectable_bursts_break_without_recovery`:
+    // identical configuration and seeds — the fault planner draws the same RNG
+    // stream, so the same bursts strike the same tiles — but the recovery ladder is
+    // enabled. Every burst is transient (one strike), so rolling the tile back and
+    // recomputing it yields clean bits; the run must finish numerically correct,
+    // with a clean final verification and the recomputations on record.
+    for (dec, seed) in [
+        (Decomposition::Lu, 202u64),
+        (Decomposition::Lu, 303),
+        (Decomposition::Lu, 505),
+        (Decomposition::Cholesky, 303),
+        (Decomposition::Qr, 303),
+    ] {
+        let cfg = noisy_cfg(dec, AbftMode::Forced(ChecksumScheme::Full), seed)
+            .with_fault_mix(burst_mix())
+            .with_recovery(RecoveryPolicy::enabled());
+        let out = run_numeric(cfg).expect("recovery must heal transient bursts");
+        assert!(
+            out.numerically_correct,
+            "{dec:?} seed {seed}: residual {:.3e} after recovery",
+            out.residual
+        );
+        assert_eq!(
+            out.verification.uncorrectable, 0,
+            "{dec:?} seed {seed}: recovered runs must verify clean"
+        );
+        assert!(
+            out.recovery.iter().any(|e| e.action == RecoveryAction::TileRecomputed
+                || e.action == RecoveryAction::PanelRecomputed),
+            "{dec:?} seed {seed}: expected recomputation events in the recovery log"
+        );
+    }
+}
+
 #[test]
 fn fault_free_adaptive_runs_match_reference_factorization() {
     for dec in Decomposition::ALL {
