@@ -9,9 +9,15 @@
 //! is disabled entirely while the operating point is fault free — this is what lets the
 //! paper's Figure 9 run the first ~2/3 of the factorization with zero fault-tolerance
 //! overhead.
+//!
+//! Beyond the paper's two rungs, the ladder continues through the order-`t` Vandermonde
+//! codes (`Multi(2)`, `Multi(3)`, … up to [`AbftRequest::max_code_order`]): each added
+//! order buys multi-strike-per-block coverage ([`crate::coverage::fc_k`]) at a linear
+//! overhead increment, so the planner only backs the frequency off once even the
+//! strongest affordable code cannot reach the desired coverage.
 
 use crate::checksum::ChecksumScheme;
-use crate::coverage::{fc_full, fc_single};
+use crate::coverage::{fc_full, fc_k, fc_single};
 use hetero_sim::freq::MHz;
 use hetero_sim::guardband::Guardband;
 use hetero_sim::sdc::SdcModel;
@@ -45,6 +51,9 @@ pub struct AbftRequest {
     pub min_freq: MHz,
     /// Number of independently protected blocks (`(n/b)²`).
     pub protected_blocks: usize,
+    /// Strongest Vandermonde code order the ladder may escalate to before backing
+    /// the frequency off (`< 2` stops the ladder at `Full`, the paper's behavior).
+    pub max_code_order: u8,
 }
 
 /// Paper Algorithm 1: pick the cheapest ABFT scheme (or lower the frequency) so that the
@@ -74,10 +83,22 @@ pub fn abft_oc(sdc: &SdcModel, gb: Guardband, req: &AbftRequest) -> AbftDecision
         if full >= req.desired_coverage {
             return AbftDecision { frequency: freq, scheme: ChecksumScheme::Full, coverage: full };
         }
-        // Not enough coverage even with the full checksum: back the frequency off.
+        // Escalate through the multi-check Vandermonde codes (Multi(1) has Full's
+        // coverage, so the ladder starts at order 2) before giving up on the clock.
+        let mut best = (ChecksumScheme::Full, full);
+        for t in 2..=req.max_code_order {
+            let ck = fc_k(sdc, freq, gb, projected_time, req.protected_blocks, usize::from(t));
+            if ck > best.1 {
+                best = (ChecksumScheme::Multi(t), ck);
+            }
+            if ck >= req.desired_coverage {
+                return AbftDecision { frequency: freq, scheme: ChecksumScheme::Multi(t), coverage: ck };
+            }
+        }
+        // Not enough coverage even with the strongest code: back the frequency off.
         if freq.0 - req.freq_step.0 < req.min_freq.0 {
             // Cannot go lower; settle for the strongest protection available.
-            return AbftDecision { frequency: freq, scheme: ChecksumScheme::Full, coverage: full };
+            return AbftDecision { frequency: freq, scheme: best.0, coverage: best.1 };
         }
         freq = MHz(freq.0 - req.freq_step.0);
     }
@@ -97,6 +118,7 @@ mod tests {
             freq_step: MHz(100.0),
             min_freq: MHz(300.0),
             protected_blocks: num_protected_blocks(30720, 512),
+            max_code_order: 3,
         }
     }
 
@@ -150,6 +172,38 @@ mod tests {
     }
 
     #[test]
+    fn overwhelmed_full_escalates_to_multi_codes() {
+        let mut sdc = SdcModel::paper_gpu();
+        // Rare scattered (2D) errors above 1850 MHz: the legacy Full scheme can
+        // never reach the threshold there (its coverage is capped by e^{-λ_2D}),
+        // while an order-2 code absorbs the odd scattered pattern per block in
+        // place — the ladder must escalate instead of backing the clock off.
+        sdc.two_d_onset = MHz(1850.0);
+        sdc.two_d_base_rate_per_s = 0.01;
+        let d = abft_oc(&sdc, Guardband::Optimized, &request(1900.0, 0.05));
+        assert_eq!(d.frequency.0, 1900.0, "no backoff should be needed: {d:?}");
+        assert!(matches!(d.scheme, ChecksumScheme::Multi(_)), "{d:?}");
+        assert!(d.coverage >= FULL_COVERAGE_THRESHOLD);
+    }
+
+    #[test]
+    fn code_order_cap_stops_the_ladder_at_full() {
+        let mut sdc = SdcModel::paper_gpu();
+        sdc.two_d_onset = MHz(1850.0);
+        sdc.two_d_base_rate_per_s = 0.01;
+        let mut req = request(1900.0, 0.05);
+        req.max_code_order = 1; // the paper's two-rung ladder
+        let d = abft_oc(&sdc, Guardband::Optimized, &req);
+        // Without multi-check codes the same scenario must degrade: either back
+        // off below the 2D onset or settle for Full's capped coverage.
+        assert!(
+            d.frequency.0 < 1900.0 || d.scheme == ChecksumScheme::Full,
+            "{d:?}"
+        );
+        assert!(!matches!(d.scheme, ChecksumScheme::Multi(_)));
+    }
+
+    #[test]
     fn impossible_coverage_backs_off_frequency() {
         let mut sdc = SdcModel::paper_gpu();
         sdc.base_rate_per_s = 50.0; // extremely unreliable silicon
@@ -166,7 +220,11 @@ mod tests {
         let d_short = abft_oc(&sdc, Guardband::Optimized, &request(1900.0, 0.05));
         let d_long = abft_oc(&sdc, Guardband::Optimized, &request(2000.0, 0.1));
         assert_eq!(d_short.scheme, ChecksumScheme::SingleSide);
-        // The longer, faster-clocked task needs at least as strong a scheme.
-        assert!(matches!(d_long.scheme, ChecksumScheme::SingleSide | ChecksumScheme::Full));
+        // The longer, faster-clocked task needs at least as strong a scheme (possibly
+        // a multi-check code where the legacy ladder would have backed the clock off).
+        assert!(matches!(
+            d_long.scheme,
+            ChecksumScheme::SingleSide | ChecksumScheme::Full | ChecksumScheme::Multi(_)
+        ));
     }
 }

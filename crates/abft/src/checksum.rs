@@ -7,29 +7,50 @@
 //! * **full checksum** — both dimensions are encoded, which additionally covers 1D
 //!   (row/column) error patterns at higher overhead.
 //!
-//! Each encoding direction carries *two* checksum vectors, the classic Huang–Abraham
-//! construction: an unweighted sum `Σ_i a_ij` and a weighted sum `Σ_i w_i a_ij` with
-//! `w_i = i + 1`. The ratio of the two discrepancies locates the corrupted index, and the
-//! unweighted discrepancy is the correction value.
+//! Both legacy schemes carry *two* checksum vectors per encoded direction, the classic
+//! Huang–Abraham construction: an unweighted sum `Σ_i a_ij` and a weighted sum
+//! `Σ_i w_i a_ij` with `w_i = i + 1`. The ratio of the two discrepancies locates the
+//! corrupted index, and the unweighted discrepancy is the correction value.
+//!
+//! [`ChecksumScheme::Multi`] generalizes the construction into a **Vandermonde code
+//! family**: an order-`t` code carries `2t` check vectors per direction, where vector
+//! `p` uses the power weights `w_p(i) = (i + 1)^p` (`p = 0` is the unweighted sum,
+//! `p = 1` the classic weighted sum). The discrepancies of one line are then the power
+//! moments `S_p = Σ_j m_j x_j^p` of the error magnitudes `m_j` at nodes `x_j = i_j + 1`,
+//! and `2t` moments locate and correct up to `t` simultaneous errors per line (Prony's
+//! method: the error locator polynomial satisfies a linear recurrence over the
+//! syndromes, and its roots must be the integer nodes). Because every syndrome must be
+//! explained by the decoded hypothesis, the code also recognizes strikes landing in the
+//! stored check vectors *themselves* — a data error lights every syndrome
+//! (`m·x^p ≠ 0` for all `p`), so sparse nonzero syndromes with no consistent data
+//! interpretation identify corrupted check values, which are simply not trusted while
+//! the data is accepted as clean. That retires the checksum-of-checksums guard as the
+//! only defense against metadata strikes.
 
 use bsr_linalg::blas1::{axpy, dot};
 use bsr_linalg::matrix::{Block, Matrix};
 use serde::{Deserialize, Serialize};
 
-/// Fused unweighted + index-weighted sum of a slice in one pass:
-/// returns `(Σ v_i, Σ (i+1)·v_i)`.
+/// Fused accumulation of every power-weighted sum of a slice in one pass:
+/// `acc[p] += Σ_i (i+1)^p · v_i` for all `p < acc.len()`.
+///
+/// For `acc.len() == 2` this performs the exact additions (same order, same values)
+/// of the classic fused unweighted + index-weighted pass, so legacy two-vector
+/// checksums are bit-identical to what they were before the generalization.
 #[inline]
-fn fused_weighted_sum(x: &[f64]) -> (f64, f64) {
-    let mut s = 0.0;
-    let mut w = 0.0;
+fn accumulate_power_sums(x: &[f64], acc: &mut [f64]) {
     for (i, &v) in x.iter().enumerate() {
-        s += v;
-        w += (i + 1) as f64 * v;
+        let node = (i + 1) as f64;
+        let mut w = 1.0;
+        for a in acc.iter_mut() {
+            *a += w * v;
+            w *= node;
+        }
     }
-    (s, w)
 }
 
-/// Which checksum encoding is applied to a block (paper Figure 6).
+/// Which checksum encoding is applied to a block (paper Figure 6, extended with the
+/// Vandermonde multi-error family).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ChecksumScheme {
     /// No fault tolerance.
@@ -38,28 +59,125 @@ pub enum ChecksumScheme {
     SingleSide,
     /// Column + row checksums: detects/corrects 0D and 1D errors.
     Full,
+    /// Order-`t` Vandermonde code on both directions: `2t` check vectors per side
+    /// (power weights `(i+1)^p`, `p = 0..2t`), locating and correcting up to `t`
+    /// simultaneous errors per column and per row — including multi-strike patterns
+    /// that defeat [`ChecksumScheme::Full`] — and absorbing strikes in the check
+    /// vectors themselves in place. `Multi(1)` matches `Full`'s per-line correction
+    /// capability while adding the metadata self-defense.
+    Multi(u8),
 }
 
-/// Tolerance used when comparing recomputed and stored checksums. Scaled by the magnitude
-/// of the checksum itself to stay robust across matrix scales.
+impl ChecksumScheme {
+    /// Per-line correction capability `t`: how many simultaneous errors in one
+    /// column (or row, for both-direction schemes) the code locates and corrects.
+    pub fn correctable_per_line(&self) -> usize {
+        match self {
+            ChecksumScheme::None => 0,
+            ChecksumScheme::SingleSide | ChecksumScheme::Full => 1,
+            ChecksumScheme::Multi(t) => usize::from((*t).max(1)),
+        }
+    }
+
+    /// Number of column-direction check vectors the scheme carries.
+    pub fn column_vectors(&self) -> usize {
+        match self {
+            ChecksumScheme::None => 0,
+            ChecksumScheme::SingleSide | ChecksumScheme::Full => 2,
+            ChecksumScheme::Multi(t) => 2 * usize::from((*t).max(1)),
+        }
+    }
+
+    /// Number of row-direction check vectors the scheme carries.
+    pub fn row_vectors(&self) -> usize {
+        match self {
+            ChecksumScheme::None | ChecksumScheme::SingleSide => 0,
+            ChecksumScheme::Full => 2,
+            ChecksumScheme::Multi(t) => 2 * usize::from((*t).max(1)),
+        }
+    }
+}
+
+/// Base relative tolerance used when comparing recomputed and stored checksums.
+/// Every comparison scales this by the magnitude of the check vector being compared
+/// (see [`vector_scale`]) and by the vector's weight order (see [`rel_tol`]), so
+/// verification stays robust across matrix scales *and* code orders: an order-`p`
+/// vector accumulates `(i+1)^p`-weighted terms whose floating-point drift grows with
+/// both the block magnitude and `p`, which a fixed absolute threshold misclassifies.
 const REL_TOL: f64 = 1e-6;
 
-/// Column-direction checksums of a block: one pair of values per column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ColumnChecksums {
-    /// Unweighted column sums.
-    pub sum: Vec<f64>,
-    /// Row-index-weighted column sums (weight of row `i` within the block is `i + 1`).
-    pub weighted: Vec<f64>,
+/// Relative tolerance for the check vector of weight order `p` (weights `(i+1)^p`):
+/// higher-order vectors take proportionally more roundoff per element.
+fn rel_tol(order: usize) -> f64 {
+    REL_TOL * (order as f64 + 1.0)
 }
 
-/// Row-direction checksums of a block: one pair of values per row.
+/// Magnitude scale of one stored/recomputed check-vector pair of weight order
+/// `order`, for a line of `line_len` elements with data magnitude `amax`
+/// (`max |a_ij|` over the verified tile). The scale is the larger of
+///
+/// * the check values themselves (`max |stored|, |actual|`), and
+/// * `amax · line_len^order` — the magnitude of the *terms* the order-`order`
+///   vector accumulates. When a line's entries cancel (sum ≈ 0), the roundoff of
+///   the accumulation is still proportional to the term magnitudes, so a tolerance
+///   scaled only by the near-zero checksum value misclassifies healthy blocks.
+///
+/// Floored at 1 so near-zero blocks keep an absolute tolerance.
+fn vector_scale(stored: &[f64], actual: &[f64], amax: f64, line_len: usize, order: usize) -> f64 {
+    let m = |v: &[f64]| v.iter().fold(0.0_f64, |a, &x| a.max(x.abs()));
+    m(stored)
+        .max(m(actual))
+        .max(amax * (line_len.max(1) as f64).powi(order as i32))
+        .max(1.0)
+}
+
+/// `max |a_ij|` over a tile given as per-column slices.
+fn tile_max_abs(cols: &[&mut [f64]]) -> f64 {
+    cols.iter()
+        .flat_map(|c| c.iter())
+        .fold(0.0_f64, |a, &v| a.max(v.abs()))
+}
+
+/// Column-direction checksums of a block: `checks[p][j] = Σ_i (i+1)^p a_ij`, one
+/// value per column `j` and weight order `p`. Legacy schemes carry two vectors
+/// (`p = 0` unweighted, `p = 1` index-weighted); an order-`t` [`ChecksumScheme::Multi`]
+/// code carries `2t`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnChecksums {
+    /// The check vectors, outer index = weight order `p`.
+    pub checks: Vec<Vec<f64>>,
+}
+
+impl ColumnChecksums {
+    /// The unweighted column sums (weight order 0).
+    pub fn sum(&self) -> &[f64] {
+        &self.checks[0]
+    }
+
+    /// The row-index-weighted column sums (weight order 1).
+    pub fn weighted(&self) -> &[f64] {
+        &self.checks[1]
+    }
+}
+
+/// Row-direction checksums of a block: `checks[p][i] = Σ_j (j+1)^p a_ij`, one value
+/// per row `i` and weight order `p`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RowChecksums {
-    /// Unweighted row sums.
-    pub sum: Vec<f64>,
-    /// Column-index-weighted row sums.
-    pub weighted: Vec<f64>,
+    /// The check vectors, outer index = weight order `p`.
+    pub checks: Vec<Vec<f64>>,
+}
+
+impl RowChecksums {
+    /// The unweighted row sums (weight order 0).
+    pub fn sum(&self) -> &[f64] {
+        &self.checks[0]
+    }
+
+    /// The column-index-weighted row sums (weight order 1).
+    pub fn weighted(&self) -> &[f64] {
+        &self.checks[1]
+    }
 }
 
 /// Checksums of one matrix block under a given scheme.
@@ -71,7 +189,7 @@ pub struct BlockChecksums {
     pub scheme: ChecksumScheme,
     /// Column checksums (present unless the scheme is `None`).
     pub columns: Option<ColumnChecksums>,
-    /// Row checksums (present only for `Full`).
+    /// Row checksums (present for `Full` and `Multi`).
     pub rows: Option<RowChecksums>,
 }
 
@@ -86,10 +204,20 @@ pub enum VerifyEventKind {
     Corrected1dRow,
     /// A corrupted column rebuilt from the row discrepancies (full scheme).
     Corrected1dCol,
+    /// Multiple elements of one column corrected by the order-`t` Vandermonde code.
+    CorrectedKCol,
+    /// Elements of one row corrected by the order-`t` code (the cross-direction
+    /// rescue for columns holding more than `t` strikes).
+    CorrectedKRow,
+    /// Strikes in the stored check vectors themselves, recognized by the code
+    /// (sparse syndromes with no consistent data interpretation) — the data is
+    /// clean and accepted; the corrupted metadata is simply not trusted.
+    CorrectedCheck,
     /// Detected but beyond the scheme's correction capability.
     Uncorrectable,
     /// The checksum vectors themselves failed the checksum-of-checksums guard;
     /// element verification was skipped for the tile (its checksums are untrusted).
+    /// Legacy schemes only — `Multi` handles metadata strikes through the code.
     ChecksumGuard,
 }
 
@@ -113,8 +241,13 @@ pub struct VerifyEvent {
 pub struct VerifyOutcome {
     /// Number of single elements corrected.
     pub corrected_0d: usize,
-    /// Number of full/partial rows or columns corrected.
+    /// Number of full/partial rows or columns corrected (legacy full scheme).
     pub corrected_1d: usize,
+    /// Number of multi-element line corrections by the order-`t` code.
+    pub corrected_k: usize,
+    /// Number of lines whose stored check values were recognized as struck while
+    /// the data verified clean (metadata self-defense of the `Multi` codes).
+    pub corrected_check: usize,
     /// Number of discrepancies that could not be attributed/corrected.
     pub uncorrectable: usize,
     /// Located discrepancies with global coordinates, kept in canonical (sorted)
@@ -129,12 +262,19 @@ impl VerifyOutcome {
         self.uncorrectable == 0
     }
 
+    /// Total in-place corrections of any kind (data or recognized check strikes).
+    pub fn total_corrected(&self) -> usize {
+        self.corrected_0d + self.corrected_1d + self.corrected_k + self.corrected_check
+    }
+
     /// Merge another outcome into this one. The combined event log is re-sorted
     /// into canonical `(row, col, kind)` order, so any merge tree over the same
     /// per-tile outcomes produces the same final log.
     pub fn merge(&mut self, other: &VerifyOutcome) {
         self.corrected_0d += other.corrected_0d;
         self.corrected_1d += other.corrected_1d;
+        self.corrected_k += other.corrected_k;
+        self.corrected_check += other.corrected_check;
         self.uncorrectable += other.uncorrectable;
         self.events.extend_from_slice(&other.events);
         self.events.sort_unstable();
@@ -150,29 +290,38 @@ fn col_views(m: &Matrix, block: Block) -> Vec<&[f64]> {
 }
 
 /// Column checksums of a tile given as per-column slices (`cols[j][i]` is tile element
-/// `(i, j)`; all slices must share one length).
-pub fn encode_column_checksums_slices(cols: &[&[f64]]) -> ColumnChecksums {
-    let mut sum = vec![0.0; cols.len()];
-    let mut weighted = vec![0.0; cols.len()];
+/// `(i, j)`; all slices must share one length), carrying `vectors` power-weight
+/// vectors (`vectors = 2` is the legacy unweighted + weighted pair).
+pub fn encode_column_checksums_slices(cols: &[&[f64]], vectors: usize) -> ColumnChecksums {
+    let mut checks = vec![vec![0.0; cols.len()]; vectors];
+    let mut acc = vec![0.0; vectors];
     for (j, col) in cols.iter().enumerate() {
+        acc.fill(0.0);
         // One fused pass over the contiguous column slice of the tile.
-        (sum[j], weighted[j]) = fused_weighted_sum(col);
+        accumulate_power_sums(col, &mut acc);
+        for (p, &a) in acc.iter().enumerate() {
+            checks[p][j] = a;
+        }
     }
-    ColumnChecksums { sum, weighted }
+    ColumnChecksums { checks }
 }
 
-/// Row checksums of a tile given as per-column slices.
-pub fn encode_row_checksums_slices(cols: &[&[f64]]) -> RowChecksums {
+/// Row checksums of a tile given as per-column slices, carrying `vectors`
+/// power-weight vectors.
+pub fn encode_row_checksums_slices(cols: &[&[f64]], vectors: usize) -> RowChecksums {
     let rows = cols.first().map_or(0, |c| c.len());
-    let mut sum = vec![0.0; rows];
-    let mut weighted = vec![0.0; rows];
+    let mut checks = vec![vec![0.0; rows]; vectors];
     // Row sums accumulate column by column so every sweep is a unit-stride axpy over a
     // contiguous column slice (rather than a strided row walk).
     for (j, col) in cols.iter().enumerate() {
-        axpy(1.0, col, &mut sum);
-        axpy((j + 1) as f64, col, &mut weighted);
+        let node = (j + 1) as f64;
+        let mut w = 1.0;
+        for vec in checks.iter_mut() {
+            axpy(w, col, vec);
+            w *= node;
+        }
     }
-    RowChecksums { sum, weighted }
+    RowChecksums { checks }
 }
 
 /// Encode a tile given as per-column slices under `scheme`; `block` records the tile's
@@ -180,25 +329,25 @@ pub fn encode_row_checksums_slices(cols: &[&[f64]]) -> RowChecksums {
 pub fn encode_block_slices(cols: &[&[f64]], block: Block, scheme: ChecksumScheme) -> BlockChecksums {
     debug_assert_eq!(block.cols, cols.len());
     debug_assert!(cols.iter().all(|c| c.len() == block.rows));
-    let columns = match scheme {
-        ChecksumScheme::None => None,
-        _ => Some(encode_column_checksums_slices(cols)),
+    let columns = match scheme.column_vectors() {
+        0 => None,
+        nv => Some(encode_column_checksums_slices(cols, nv)),
     };
-    let rows = match scheme {
-        ChecksumScheme::Full => Some(encode_row_checksums_slices(cols)),
-        _ => None,
+    let rows = match scheme.row_vectors() {
+        0 => None,
+        nv => Some(encode_row_checksums_slices(cols, nv)),
     };
     BlockChecksums { block, scheme, columns, rows }
 }
 
-/// Encode the column checksums of `block` of `m`.
-pub fn encode_column_checksums(m: &Matrix, block: Block) -> ColumnChecksums {
-    encode_column_checksums_slices(&col_views(m, block))
+/// Encode `vectors` column check vectors of `block` of `m`.
+pub fn encode_column_checksums(m: &Matrix, block: Block, vectors: usize) -> ColumnChecksums {
+    encode_column_checksums_slices(&col_views(m, block), vectors)
 }
 
-/// Encode the row checksums of `block` of `m`.
-pub fn encode_row_checksums(m: &Matrix, block: Block) -> RowChecksums {
-    encode_row_checksums_slices(&col_views(m, block))
+/// Encode `vectors` row check vectors of `block` of `m`.
+pub fn encode_row_checksums(m: &Matrix, block: Block, vectors: usize) -> RowChecksums {
+    encode_row_checksums_slices(&col_views(m, block), vectors)
 }
 
 /// Encode a block under `scheme`.
@@ -210,46 +359,58 @@ pub fn encode_block(m: &Matrix, block: Block, scheme: ChecksumScheme) -> BlockCh
 /// checksummed block is `C` (`block.rows × block.cols`), `l` is `block.rows × k` and `u`
 /// is `k × block.cols`.
 ///
-/// The column checksum of `L·U` is `(eᵀL)·U` (and `(wᵀL)·U` for the weighted vector), so
-/// the checksums can be maintained with two vector-matrix products — this is the
-/// "checksum update" cost the paper accounts for in Table 2.
+/// The order-`p` column checksum of `L·U` is `(w_pᵀ L)·U`, so every check vector can be
+/// maintained with one vector-matrix product — `O(vectors · (mk + kn))` total, the
+/// "checksum update" cost the paper accounts for in Table 2, staying `O(k·n²)`-free of
+/// the `O(n³)` GEMM it protects for every code order.
 pub fn update_column_checksums_gemm(cs: &mut ColumnChecksums, l: &Matrix, u: &Matrix) {
     let k = l.cols();
+    let nv = cs.checks.len();
     debug_assert_eq!(u.rows(), k);
-    debug_assert_eq!(cs.sum.len(), u.cols());
-    // eᵀ L and wᵀ L, one fused pass per column of L.
-    let mut el = vec![0.0; k];
-    let mut wl = vec![0.0; k];
+    debug_assert_eq!(cs.checks[0].len(), u.cols());
+    // w_pᵀ L for every order p, one fused pass per column of L.
+    let mut wl = vec![vec![0.0; k]; nv];
+    let mut acc = vec![0.0; nv];
     for c in 0..k {
-        (el[c], wl[c]) = fused_weighted_sum(l.col(c));
+        acc.fill(0.0);
+        accumulate_power_sums(l.col(c), &mut acc);
+        for (wlp, &a) in wl.iter_mut().zip(&acc) {
+            wlp[c] = a;
+        }
     }
-    // (eᵀL)·U and (wᵀL)·U: one dot per column of U against the length-k vectors.
+    // (w_pᵀL)·U: one dot per column of U against each length-k vector.
     for j in 0..u.cols() {
         let ucol = u.col(j);
-        cs.sum[j] -= dot(&el, ucol);
-        cs.weighted[j] -= dot(&wl, ucol);
+        for (p, wlp) in wl.iter().enumerate() {
+            cs.checks[p][j] -= dot(wlp, ucol);
+        }
     }
 }
 
 /// Update row checksums through the same GEMM trailing update `C ← C − L·U`.
-/// The row checksum of `L·U` is `L·(U e)` (and `L·(U w)` weighted).
+/// The order-`p` row checksum of `L·U` is `L·(U w_p)`.
 pub fn update_row_checksums_gemm(cs: &mut RowChecksums, l: &Matrix, u: &Matrix) {
     let k = l.cols();
+    let nv = cs.checks.len();
     debug_assert_eq!(u.rows(), k);
-    debug_assert_eq!(cs.sum.len(), l.rows());
-    // U·e and U·w accumulated as unit-stride axpys over U's columns.
-    let mut ue = vec![0.0; k];
-    let mut uw = vec![0.0; k];
+    debug_assert_eq!(cs.checks[0].len(), l.rows());
+    // U·w_p for every order p, accumulated as unit-stride axpys over U's columns.
+    let mut uw = vec![vec![0.0; k]; nv];
     for j in 0..u.cols() {
         let ucol = u.col(j);
-        axpy(1.0, ucol, &mut ue);
-        axpy((j + 1) as f64, ucol, &mut uw);
+        let node = (j + 1) as f64;
+        let mut w = 1.0;
+        for uwp in uw.iter_mut() {
+            axpy(w, ucol, uwp);
+            w *= node;
+        }
     }
-    // L·(Ue) and L·(Uw): one axpy per column of L into the row-checksum vectors.
+    // L·(U w_p): one axpy per column of L into each row-checksum vector.
     for c in 0..k {
         let lcol = l.col(c);
-        axpy(-ue[c], lcol, &mut cs.sum);
-        axpy(-uw[c], lcol, &mut cs.weighted);
+        for (p, uwp) in uw.iter().enumerate() {
+            axpy(-uwp[c], lcol, &mut cs.checks[p]);
+        }
     }
 }
 
@@ -263,15 +424,19 @@ pub fn update_block_checksums_gemm(cs: &mut BlockChecksums, l: &Matrix, u: &Matr
     }
 }
 
-fn mismatch(expected: f64, actual: f64, scale: f64) -> bool {
-    (expected - actual).abs() > REL_TOL * scale.max(1.0)
+/// Mismatch test of one stored/recomputed check value of weight order `order`,
+/// against the magnitude scale of its own vector.
+fn mismatch(expected: f64, actual: f64, order: usize, scale: f64) -> bool {
+    (expected - actual).abs() > rel_tol(order) * scale
 }
 
 /// Checksum-of-checksums: an exact (bit-level) hash over every checksum vector of a
 /// block. Computed right after encoding and compared right before verification, it
-/// detects faults that strike the checksum *vectors* themselves — which element
-/// verification cannot, since it trusts the stored checksums. A mismatch means the
-/// checksums are unreliable and the tile must be treated as uncorrectable-corrupt.
+/// detects faults that strike the checksum *vectors* themselves — which legacy
+/// element verification cannot, since it trusts the stored checksums. A mismatch
+/// means the checksums are unreliable and the tile must be treated as
+/// uncorrectable-corrupt. The `Multi` codes do not need this guard: their decoder
+/// recognizes (and survives) metadata strikes through the code itself.
 pub fn checksum_guard(cs: &BlockChecksums) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |vs: &[f64]| {
@@ -280,12 +445,14 @@ pub fn checksum_guard(cs: &BlockChecksums) -> u64 {
         }
     };
     if let Some(c) = cs.columns.as_ref() {
-        mix(&c.sum);
-        mix(&c.weighted);
+        for v in &c.checks {
+            mix(v);
+        }
     }
     if let Some(r) = cs.rows.as_ref() {
-        mix(&r.sum);
-        mix(&r.weighted);
+        for v in &r.checks {
+            mix(v);
+        }
     }
     h
 }
@@ -297,6 +464,10 @@ pub fn checksum_guard(cs: &BlockChecksums) -> u64 {
 /// * 1D errors (full scheme only): a corrupted row (many columns disagree, one row
 ///   checksum disagrees) is rebuilt column-by-column from the column discrepancies;
 ///   corrupted columns are handled symmetrically from row discrepancies.
+/// * `Multi(t)`: up to `t` simultaneous errors per column and per row decoded by
+///   Prony's method over the `2t` power-moment syndromes, a cross-direction row pass
+///   rescuing columns beyond `t`, and strikes in the stored check vectors themselves
+///   recognized and absorbed without touching the data.
 ///
 /// Returns what was corrected; discrepancies that cannot be attributed (e.g. 2D patterns,
 /// or 1D patterns under the single-side scheme) are reported as `uncorrectable` and the
@@ -311,28 +482,39 @@ pub fn verify_and_correct(m: &mut Matrix, cs: &BlockChecksums) -> VerifyOutcome 
 /// calls from inside a trailing-update task, where the task owns exactly its own
 /// column slices and nothing else of the matrix.
 pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -> VerifyOutcome {
-    let mut out = VerifyOutcome::default();
     let block = cs.block;
     debug_assert_eq!(block.cols, cols.len());
     debug_assert!(cols.iter().all(|c| c.len() == block.rows));
+    match cs.scheme {
+        ChecksumScheme::None => VerifyOutcome::default(),
+        ChecksumScheme::Multi(t) => verify_multi(cols, cs, usize::from(t.max(1))),
+        ChecksumScheme::SingleSide | ChecksumScheme::Full => verify_legacy(cols, cs),
+    }
+}
+
+/// The legacy two-vector verification: 0D location by discrepancy ratio, 1D rebuilds
+/// under the full scheme.
+fn verify_legacy(cols: &mut [&mut [f64]], cs: &BlockChecksums) -> VerifyOutcome {
+    let mut out = VerifyOutcome::default();
+    let block = cs.block;
     let Some(stored_cols) = cs.columns.as_ref() else {
         return out; // no fault tolerance
     };
 
+    let amax = tile_max_abs(cols);
     let actual_cols = {
         let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
-        encode_column_checksums_slices(&views)
+        encode_column_checksums_slices(&views, stored_cols.checks.len())
     };
-    let scale = stored_cols
-        .sum
-        .iter()
-        .fold(0.0_f64, |a, &v| a.max(v.abs()));
+    let scale_sum = vector_scale(stored_cols.sum(), actual_cols.sum(), amax, block.rows, 0);
+    let scale_weighted =
+        vector_scale(stored_cols.weighted(), actual_cols.weighted(), amax, block.rows, 1);
 
     // Columns whose checksum disagrees.
     let bad_cols: Vec<usize> = (0..block.cols)
         .filter(|&j| {
-            mismatch(stored_cols.sum[j], actual_cols.sum[j], scale)
-                || mismatch(stored_cols.weighted[j], actual_cols.weighted[j], scale)
+            mismatch(stored_cols.sum()[j], actual_cols.sum()[j], 0, scale_sum)
+                || mismatch(stored_cols.weighted()[j], actual_cols.weighted()[j], 1, scale_weighted)
         })
         .collect();
     if bad_cols.is_empty() {
@@ -340,14 +522,13 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
     }
 
     match cs.scheme {
-        ChecksumScheme::None => out,
         ChecksumScheme::SingleSide => {
             // Each bad column is assumed to hold a single corrupted element (0D). If the
             // located row index is not integral, the column has a more complex pattern and
             // is uncorrectable with a single-side checksum.
             for &j in &bad_cols {
-                let d_sum = stored_cols.sum[j] - actual_cols.sum[j];
-                let d_weighted = stored_cols.weighted[j] - actual_cols.weighted[j];
+                let d_sum = stored_cols.sum()[j] - actual_cols.sum()[j];
+                let d_weighted = stored_cols.weighted()[j] - actual_cols.weighted()[j];
                 if let Some(i) = try_correct_single_element(cols[j], d_sum, d_weighted) {
                     out.corrected_0d += 1;
                     out.events.push(VerifyEvent {
@@ -367,16 +548,24 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
             out.events.sort_unstable();
             out
         }
-        ChecksumScheme::Full => {
+        _ => {
             let stored_rows = cs.rows.as_ref().expect("full scheme carries row checksums");
             let actual_rows = {
                 let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
-                encode_row_checksums_slices(&views)
+                encode_row_checksums_slices(&views, stored_rows.checks.len())
             };
+            let rscale_sum = vector_scale(stored_rows.sum(), actual_rows.sum(), amax, block.cols, 0);
+            let rscale_weighted =
+                vector_scale(stored_rows.weighted(), actual_rows.weighted(), amax, block.cols, 1);
             let bad_rows: Vec<usize> = (0..block.rows)
                 .filter(|&i| {
-                    mismatch(stored_rows.sum[i], actual_rows.sum[i], scale)
-                        || mismatch(stored_rows.weighted[i], actual_rows.weighted[i], scale)
+                    mismatch(stored_rows.sum()[i], actual_rows.sum()[i], 0, rscale_sum)
+                        || mismatch(
+                            stored_rows.weighted()[i],
+                            actual_rows.weighted()[i],
+                            1,
+                            rscale_weighted,
+                        )
                 })
                 .collect();
 
@@ -384,7 +573,7 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
                 // A single element at the intersection.
                 let j = bad_cols[0];
                 let i = bad_rows[0];
-                let d = stored_cols.sum[j] - actual_cols.sum[j];
+                let d = stored_cols.sum()[j] - actual_cols.sum()[j];
                 cols[j][i] += d;
                 out.corrected_0d += 1;
                 out.events.push(VerifyEvent {
@@ -397,7 +586,7 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
                 // element from its column discrepancy.
                 let i = bad_rows[0];
                 for &j in &bad_cols {
-                    let d = stored_cols.sum[j] - actual_cols.sum[j];
+                    let d = stored_cols.sum()[j] - actual_cols.sum()[j];
                     cols[j][i] += d;
                 }
                 out.corrected_1d += 1;
@@ -410,7 +599,7 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
                 // One corrupted column spanning several rows.
                 let j = bad_cols[0];
                 for &i in &bad_rows {
-                    let d = stored_rows.sum[i] - actual_rows.sum[i];
+                    let d = stored_rows.sum()[i] - actual_rows.sum()[i];
                     cols[j][i] += d;
                 }
                 out.corrected_1d += 1;
@@ -448,6 +637,276 @@ pub fn verify_and_correct_slices(cols: &mut [&mut [f64]], cs: &BlockChecksums) -
             out
         }
     }
+}
+
+/// One decoded line hypothesis: in-line indices and the additive corrections.
+struct LineFix {
+    /// In-line element indices (sorted ascending).
+    positions: Vec<usize>,
+    /// Correction to *add* at each position (the negated error magnitude).
+    magnitudes: Vec<f64>,
+}
+
+/// Solve a small dense linear system `A x = b` in place by Gaussian elimination with
+/// partial pivoting; `b` receives the solution. Returns false on (numerical)
+/// singularity — for the decoder that simply means "fewer errors than hypothesized",
+/// and the caller moves on.
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> bool {
+    let n = b.len();
+    for k in 0..n {
+        let mut piv = k;
+        let mut best = a[k][k].abs();
+        for (r, row) in a.iter().enumerate().take(n).skip(k + 1) {
+            if row[k].abs() > best {
+                piv = r;
+                best = row[k].abs();
+            }
+        }
+        // NaN pivots count as singular, like an exact zero.
+        if best.is_nan() || best <= 0.0 {
+            return false;
+        }
+        a.swap(k, piv);
+        b.swap(k, piv);
+        let (pivot_rows, elim_rows) = a.split_at_mut(k + 1);
+        let pivot = &pivot_rows[k];
+        let (b_piv, b_elim) = b.split_at_mut(k + 1);
+        let bk = b_piv[k];
+        for (row, br) in elim_rows.iter_mut().zip(b_elim.iter_mut()).take(n - k - 1) {
+            let f = row[k] / pivot[k];
+            for (x, &p) in row[k..n].iter_mut().zip(&pivot[k..n]) {
+                *x -= f * p;
+            }
+            *br -= f * bk;
+        }
+    }
+    for k in (0..n).rev() {
+        let mut s = b[k];
+        for c in k + 1..n {
+            s -= a[k][c] * b[c];
+        }
+        b[k] = s / a[k][k];
+    }
+    true
+}
+
+/// Decode one line's syndromes `d[p] = Σ_j m_j x_j^p` (`x_j = index + 1`) for up to
+/// `t` simultaneous errors: Prony's method over the `2t` power moments. For each
+/// hypothesized error count `e = 1..=t`, the error-locator polynomial's coefficients
+/// come from the Hankel recurrence the syndromes must satisfy, its roots are matched
+/// against the integer nodes `1..=len`, and the magnitudes from the leading `e`
+/// moments. A hypothesis is accepted only when it explains **every** syndrome within
+/// tolerance — which rejects aliased locations, error counts beyond `t`, and
+/// corrupted check values masquerading as data errors.
+fn decode_line(d: &[f64], len: usize, t: usize, tols: &[f64]) -> Option<LineFix> {
+    let nv = d.len();
+    for e in 1..=t.min(len) {
+        // Locator coefficients c: Σ_{q<e} c_q S_{p+q} = −S_{p+e} for p = 0..e.
+        let mut a: Vec<Vec<f64>> = (0..e).map(|p| (0..e).map(|q| d[p + q]).collect()).collect();
+        let mut c: Vec<f64> = (0..e).map(|p| -d[p + e]).collect();
+        if !solve_dense(&mut a, &mut c) {
+            continue;
+        }
+        // Λ(z) = z^e + c_{e−1} z^{e−1} + … + c_0, evaluated by Horner's rule; the
+        // e candidate nodes with the smallest |Λ| are the hypothesized locations
+        // (true roots are integers, so no root polishing is needed — the final
+        // consistency check rejects wrong picks).
+        let eval = |x: f64| {
+            let mut acc = 1.0;
+            for q in (0..e).rev() {
+                acc = acc * x + c[q];
+            }
+            acc
+        };
+        let mut cand: Vec<(f64, usize)> =
+            (1..=len).map(|x| (eval(x as f64).abs(), x - 1)).collect();
+        cand.sort_by(|l, r| l.0.partial_cmp(&r.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut positions: Vec<usize> = cand[..e].iter().map(|&(_, i)| i).collect();
+        positions.sort_unstable();
+        // Magnitudes from the Vandermonde system over the first e moments.
+        let mut v: Vec<Vec<f64>> = (0..e)
+            .map(|p| positions.iter().map(|&i| ((i + 1) as f64).powi(p as i32)).collect())
+            .collect();
+        let mut mags: Vec<f64> = d[..e].to_vec();
+        if !solve_dense(&mut v, &mut mags) {
+            continue;
+        }
+        let consistent = (0..nv).all(|p| {
+            let mut recon = 0.0;
+            let mut mag_scale = 0.0;
+            for (&i, &m) in positions.iter().zip(&mags) {
+                let term = m * ((i + 1) as f64).powi(p as i32);
+                recon += term;
+                mag_scale += term.abs();
+            }
+            // Allow the reconstruction's own cancellation roundoff on top of the
+            // per-vector tolerance (written so a NaN solution always fails).
+            (recon - d[p]).abs() <= tols[p] + 1e-9 * mag_scale
+        });
+        if consistent {
+            return Some(LineFix { positions, magnitudes: mags });
+        }
+    }
+    None
+}
+
+/// Verification and correction under an order-`t` [`ChecksumScheme::Multi`] code:
+///
+/// 1. every column is decoded independently (up to `t` errors each — any scatter of
+///    `≤ t` strikes per column is absorbed regardless of how many columns are hit);
+/// 2. columns holding more than `t` strikes are left to a row pass, where each
+///    crossing row sees at most `t` of them (e.g. up to `t` wiped lines);
+/// 3. a final column re-check accounts residual damage as uncorrectable — unless
+///    the row pass resolved every mismatching row, which attests the data clean
+///    and reclassifies the residual as a dense strike on the stored checks;
+/// 4. at every stage, lines whose syndromes are sparse (≤ `t` nonzero) with no
+///    consistent data interpretation are recognized as strikes in the stored check
+///    vectors themselves: the data is accepted as clean and only the metadata is
+///    distrusted.
+fn verify_multi(cols: &mut [&mut [f64]], cs: &BlockChecksums, t: usize) -> VerifyOutcome {
+    let block = cs.block;
+    let nv = 2 * t;
+    let height = block.rows;
+    let width = block.cols;
+    let mut out = VerifyOutcome::default();
+    let stored_c = cs.columns.as_ref().expect("multi scheme carries column checksums");
+    let stored_r = cs.rows.as_ref().expect("multi scheme carries row checksums");
+
+    let amax = tile_max_abs(cols);
+    let actual_c = {
+        let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
+        encode_column_checksums_slices(&views, nv)
+    };
+    let ctol: Vec<f64> = (0..nv)
+        .map(|p| rel_tol(p) * vector_scale(&stored_c.checks[p], &actual_c.checks[p], amax, height, p))
+        .collect();
+
+    let mut pending: Vec<usize> = Vec::new();
+    for (j, col) in cols.iter_mut().enumerate().take(width) {
+        let d: Vec<f64> = (0..nv).map(|p| stored_c.checks[p][j] - actual_c.checks[p][j]).collect();
+        if d.iter().zip(&ctol).all(|(v, tol)| v.abs() <= *tol) {
+            continue;
+        }
+        if let Some(fix) = decode_line(&d, height, t, &ctol) {
+            for (&i, &m) in fix.positions.iter().zip(&fix.magnitudes) {
+                col[i] += m;
+            }
+            if fix.positions.len() == 1 {
+                out.corrected_0d += 1;
+                out.events.push(VerifyEvent {
+                    row: block.row + fix.positions[0],
+                    col: block.col + j,
+                    kind: VerifyEventKind::Corrected0d,
+                });
+            } else {
+                out.corrected_k += 1;
+                out.events.push(VerifyEvent {
+                    row: block.row + fix.positions[0],
+                    col: block.col + j,
+                    kind: VerifyEventKind::CorrectedKCol,
+                });
+            }
+        } else if d.iter().zip(&ctol).filter(|(v, tol)| v.abs() > **tol).count() <= t {
+            // A data error lights every syndrome (m·x^p ≠ 0 for all p ≥ 0), so a
+            // sparse syndrome pattern with no consistent data decode means the
+            // strike landed in the stored check values: trust the data.
+            out.corrected_check += 1;
+            out.events.push(VerifyEvent {
+                row: block.row,
+                col: block.col + j,
+                kind: VerifyEventKind::CorrectedCheck,
+            });
+        } else {
+            pending.push(j);
+        }
+    }
+
+    // Row pass — always taken, both to rescue pending columns (a column holding
+    // more than t strikes exposes at most t per crossing row) and to recognize
+    // strikes in the stored *row* check vectors.
+    let actual_r = {
+        let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
+        encode_row_checksums_slices(&views, nv)
+    };
+    let rtol: Vec<f64> = (0..nv)
+        .map(|p| rel_tol(p) * vector_scale(&stored_r.checks[p], &actual_r.checks[p], amax, width, p))
+        .collect();
+    let mut rows_unresolved = 0usize;
+    // Row-major walk over the column-major tile: `i` must index into every column.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..height {
+        let d: Vec<f64> = (0..nv).map(|p| stored_r.checks[p][i] - actual_r.checks[p][i]).collect();
+        if d.iter().zip(&rtol).all(|(v, tol)| v.abs() <= *tol) {
+            continue;
+        }
+        if let Some(fix) = decode_line(&d, width, t, &rtol) {
+            for (&j, &m) in fix.positions.iter().zip(&fix.magnitudes) {
+                cols[j][i] += m;
+            }
+            out.corrected_k += 1;
+            out.events.push(VerifyEvent {
+                row: block.row + i,
+                col: block.col + fix.positions[0],
+                kind: VerifyEventKind::CorrectedKRow,
+            });
+        } else if d.iter().zip(&rtol).filter(|(v, tol)| v.abs() > **tol).count() <= t {
+            out.corrected_check += 1;
+            out.events.push(VerifyEvent {
+                row: block.row + i,
+                col: block.col,
+                kind: VerifyEventKind::CorrectedCheck,
+            });
+        } else {
+            // Rows that fail both hypotheses belong to residual column damage;
+            // the column re-check below is the single accounting site (no double
+            // count) — but their existence is evidence that data damage remains.
+            rows_unresolved += 1;
+        }
+    }
+
+    // Final column re-check of what pass 1 could not decode.
+    let mut acc = vec![0.0; nv];
+    for &j in &pending {
+        acc.fill(0.0);
+        accumulate_power_sums(cols[j], &mut acc);
+        let d: Vec<f64> = (0..nv).map(|p| stored_c.checks[p][j] - acc[p]).collect();
+        if d.iter().zip(&ctol).all(|(v, tol)| v.abs() <= *tol) {
+            continue; // fully rescued by the row pass
+        }
+        if let Some(fix) = decode_line(&d, height, t, &ctol) {
+            // The row pass brought the column back within capacity.
+            for (&i, &m) in fix.positions.iter().zip(&fix.magnitudes) {
+                cols[j][i] += m;
+            }
+            out.corrected_k += 1;
+            out.events.push(VerifyEvent {
+                row: block.row + fix.positions[0],
+                col: block.col + j,
+                kind: VerifyEventKind::CorrectedKCol,
+            });
+        } else if rows_unresolved == 0 {
+            // Every data error lights its crossing row's syndromes, and every
+            // mismatching row was decoded or recognized as a row-check strike —
+            // so the data is attested clean by the row code, and this column's
+            // residual mismatch can only be strikes in its stored check values
+            // (more than `t` of them, which is why the sparse test missed it).
+            out.corrected_check += 1;
+            out.events.push(VerifyEvent {
+                row: block.row,
+                col: block.col + j,
+                kind: VerifyEventKind::CorrectedCheck,
+            });
+        } else {
+            out.uncorrectable += 1;
+            out.events.push(VerifyEvent {
+                row: block.row,
+                col: block.col + j,
+                kind: VerifyEventKind::Uncorrectable,
+            });
+        }
+    }
+    out.events.sort_unstable();
+    out
 }
 
 /// Attempt a 0D correction in one tile column from the checksum discrepancies;
@@ -565,6 +1024,262 @@ mod tests {
     }
 
     #[test]
+    fn multi_matches_legacy_vectors_for_low_orders() {
+        // The first two vectors of any Multi code are bit-identical to the legacy
+        // unweighted/weighted pair — the family extends the construction, it does
+        // not change it.
+        let (m, block) = setup(12);
+        let legacy = encode_block(&m, block, ChecksumScheme::Full);
+        let multi = encode_block(&m, block, ChecksumScheme::Multi(2));
+        let lc = legacy.columns.as_ref().unwrap();
+        let mc = multi.columns.as_ref().unwrap();
+        assert_eq!(mc.checks.len(), 4);
+        assert_eq!(lc.sum(), mc.sum());
+        assert_eq!(lc.weighted(), mc.weighted());
+        let lr = legacy.rows.as_ref().unwrap();
+        let mr = multi.rows.as_ref().unwrap();
+        assert_eq!(lr.sum(), mr.sum());
+        assert_eq!(lr.weighted(), mr.weighted());
+    }
+
+    #[test]
+    fn multi_corrects_scattered_strikes_within_capacity() {
+        // Three strikes in three different columns of one block: defeats Full's
+        // global row/column pattern match, trivially absorbed by per-column decode.
+        let (mut m, block) = setup(12);
+        let original = m.clone();
+        let cs = encode_block(&m, block, ChecksumScheme::Multi(1));
+        m.set(2, 1, m.get(2, 1) + 7.0);
+        m.set(9, 5, m.get(9, 5) - 11.0);
+        m.set(4, 10, m.get(4, 10) + 3.0);
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.corrected_0d, 3, "events: {:?}", out.events);
+        assert_eq!(out.uncorrectable, 0);
+        assert!(m.approx_eq(&original, 1e-7 * (1.0 + original.max_abs())));
+    }
+
+    #[test]
+    fn multi2_corrects_two_errors_in_one_column() {
+        let (mut m, block) = setup(12);
+        let original = m.clone();
+        let cs = encode_block(&m, block, ChecksumScheme::Multi(2));
+        m.set(3, 6, m.get(3, 6) + 5.0);
+        m.set(8, 6, m.get(8, 6) - 2.5);
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.corrected_k, 1, "events: {:?}", out.events);
+        assert_eq!(out.uncorrectable, 0);
+        assert!(m.approx_eq(&original, 1e-7 * (1.0 + original.max_abs())));
+    }
+
+    #[test]
+    fn multi2_corrects_the_four_corner_burst_full_cannot() {
+        // The 2×2 grid that is uncorrectable-by-construction for Full: each of the
+        // two affected columns holds two strikes, within Multi(2)'s per-line budget.
+        let (mut m, block) = setup(10);
+        let original = m.clone();
+        let cs = encode_block(&m, block, ChecksumScheme::Multi(2));
+        for (i, j) in [(0, 0), (0, 9), (9, 0), (9, 9)] {
+            m.set(i, j, m.get(i, j) * 3.0 + 1.0);
+        }
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.uncorrectable, 0, "events: {:?}", out.events);
+        assert_eq!(out.corrected_k, 2);
+        assert!(m.approx_eq(&original, 1e-7 * (1.0 + original.max_abs())));
+    }
+
+    #[test]
+    fn multi_rescues_a_wiped_column_through_the_row_pass() {
+        // A fully wiped column exceeds any per-column budget, but every crossing
+        // row sees exactly one strike: the row pass restores it element by element.
+        let (mut m, block) = setup(10);
+        let original = m.clone();
+        let cs = encode_block(&m, block, ChecksumScheme::Multi(2));
+        for i in 0..10 {
+            m.set(i, 4, m.get(i, 4) + 2.0 + i as f64);
+        }
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out.uncorrectable, 0, "events: {:?}", out.events);
+        assert!(out.corrected_k >= 1);
+        assert!(m.approx_eq(&original, 1e-7 * (1.0 + original.max_abs())));
+    }
+
+    #[test]
+    fn multi_capacity_edge_grid_just_beyond_t_is_uncorrectable() {
+        // A (t+1)×(t+1) grid defeats order t (every affected line holds t+1
+        // strikes) but is absorbed by order t+1 — the calibration the multi-strike
+        // chaos mixes are built on.
+        let (mut m, block) = setup(12);
+        let original = m.clone();
+        let positions = [0usize, 5, 11];
+        let mut corrupted = m.clone();
+        for &i in &positions {
+            for &j in &positions {
+                corrupted.set(i, j, corrupted.get(i, j) * 2.0 + 3.0);
+            }
+        }
+        let cs2 = encode_block(&m, block, ChecksumScheme::Multi(2));
+        let mut m2 = corrupted.clone();
+        let out2 = verify_and_correct(&mut m2, &cs2);
+        assert!(out2.uncorrectable > 0, "3×3 grid must defeat Multi(2)");
+
+        let cs3 = encode_block(&m, block, ChecksumScheme::Multi(3));
+        m = corrupted;
+        let out3 = verify_and_correct(&mut m, &cs3);
+        assert_eq!(out3.uncorrectable, 0, "events: {:?}", out3.events);
+        assert_eq!(out3.corrected_k, 3);
+        assert!(m.approx_eq(&original, 1e-7 * (1.0 + original.max_abs())));
+    }
+
+    #[test]
+    fn multi_absorbs_strikes_in_the_check_vectors_themselves() {
+        // Corrupt stored check values (not data): the decoder recognizes the
+        // sparse-syndrome signature, reports CorrectedCheck, and leaves the data
+        // bit-identical — no checksum-of-checksums guard involved.
+        let (m, block) = setup(10);
+        let mut cs = encode_block(&m, block, ChecksumScheme::Multi(2));
+        {
+            let c = cs.columns.as_mut().unwrap();
+            c.checks[1][3] *= 2.0;
+            c.checks[2][7] += 123.0;
+        }
+        {
+            let r = cs.rows.as_mut().unwrap();
+            r.checks[0][5] -= 77.0;
+        }
+        let mut verified = m.clone();
+        let out = verify_and_correct(&mut verified, &cs);
+        assert_eq!(out.uncorrectable, 0, "events: {:?}", out.events);
+        assert_eq!(out.corrected_check, 3);
+        assert!(verified == m, "data must be untouched (bit-identical)");
+    }
+
+    #[test]
+    fn multi_reclassifies_dense_check_strikes_via_row_attestation() {
+        // More than t strikes piling onto ONE column's stored checks defeats the
+        // sparse-syndrome test (pass 1 sees > t nonzero syndromes and no decode),
+        // but the row pass resolves every mismatching row, attesting the data
+        // clean — so the final re-check must report CorrectedCheck, not
+        // Uncorrectable, and leave the data bit-identical.
+        let (m, block) = setup(10);
+        let mut cs = encode_block(&m, block, ChecksumScheme::Multi(2));
+        {
+            let c = cs.columns.as_mut().unwrap();
+            c.checks[0][4] += 31.0;
+            c.checks[1][4] *= -3.0;
+            c.checks[2][4] += 500.0;
+        }
+        let mut verified = m.clone();
+        let out = verify_and_correct(&mut verified, &cs);
+        assert_eq!(out.uncorrectable, 0, "events: {:?}", out.events);
+        assert!(out.corrected_check >= 1, "events: {:?}", out.events);
+        assert!(verified == m, "data must be untouched (bit-identical)");
+    }
+
+    #[test]
+    fn multi_checksum_update_through_gemm_matches_reencoding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let m0 = random_matrix(&mut rng, 12, 12);
+        let l = random_matrix(&mut rng, 12, 4);
+        let u = random_matrix(&mut rng, 4, 12);
+        let block = Block::full(12, 12);
+        let mut cs = encode_block(&m0, block, ChecksumScheme::Multi(3));
+        let mut m = m0.clone();
+        bsr_linalg::blas3::gemm_into_block(
+            -1.0,
+            &l,
+            bsr_linalg::Trans::No,
+            &u,
+            bsr_linalg::Trans::No,
+            1.0,
+            &mut m,
+            block,
+        );
+        update_block_checksums_gemm(&mut cs, &l, &u);
+        let fresh = encode_block(&m, block, ChecksumScheme::Multi(3));
+        for p in 0..6 {
+            for j in 0..12 {
+                let a = cs.columns.as_ref().unwrap().checks[p][j];
+                let b = fresh.columns.as_ref().unwrap().checks[p][j];
+                assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "col p={p} j={j}: {a} vs {b}");
+                let a = cs.rows.as_ref().unwrap().checks[p][j];
+                let b = fresh.rows.as_ref().unwrap().checks[p][j];
+                assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "row p={p} i={j}: {a} vs {b}");
+            }
+        }
+        let out = verify_and_correct(&mut m, &cs);
+        assert_eq!(out, VerifyOutcome::default());
+    }
+
+    #[test]
+    fn scaled_tolerance_keeps_large_norm_blocks_clean_after_updates() {
+        // Regression for the fixed-REL_TOL misclassification: a block whose plain
+        // column sums cancel to ~0 while its entries (and therefore its weighted
+        // checksums) are huge. The old rule scaled *every* comparison by the
+        // magnitude of the unweighted sums, so the weighted vectors' GEMM-update
+        // drift (~|a|·n·ε, far above 1e-6 · max|sum|) flagged a healthy block as
+        // corrupt. Per-vector, order-aware scaling keeps it clean.
+        let n = 32;
+        let block = Block::full(n, n);
+        let mut m0 = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                // Exactly alternating ±huge entries: the plain column sums cancel to
+                // zero while the accumulation's roundoff stays proportional to 1e12.
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                m0.set(i, j, sign * 1.0e12);
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let l = random_matrix(&mut rng, n, 8);
+        let u = random_matrix(&mut rng, 8, n);
+        for scheme in [ChecksumScheme::Full, ChecksumScheme::Multi(2), ChecksumScheme::Multi(3)] {
+            let mut cs = encode_block(&m0, block, scheme);
+            let mut m = m0.clone();
+            bsr_linalg::blas3::gemm_into_block(
+                -1.0,
+                &l,
+                bsr_linalg::Trans::No,
+                &u,
+                bsr_linalg::Trans::No,
+                1.0,
+                &mut m,
+                block,
+            );
+            update_block_checksums_gemm(&mut cs, &l, &u);
+
+            // The drift that misled the old rule is real: the old threshold scaled
+            // every comparison by the max *unweighted sum* magnitude — here ~n·|LU|
+            // because the huge entries cancel — so the block-magnitude-driven
+            // roundoff of the updated checksums exceeded it.
+            let fresh = encode_block(&m, block, scheme);
+            let stored = cs.columns.as_ref().unwrap();
+            let freshc = fresh.columns.as_ref().unwrap();
+            let old_scale = stored.sum().iter().fold(0.0_f64, |a, &v| a.max(v.abs())).max(1.0);
+            let max_drift = stored
+                .checks
+                .iter()
+                .zip(&freshc.checks)
+                .flat_map(|(s, f)| s.iter().zip(f).map(|(&a, &b)| (a - b).abs()))
+                .fold(0.0_f64, f64::max);
+            assert!(
+                max_drift > 1e-6 * old_scale,
+                "{scheme:?}: drift {max_drift:.3e} vs old tol {:.3e} — the \
+                 regression scenario no longer exercises the old misclassification",
+                1e-6 * old_scale
+            );
+
+            // And the new block-magnitude/order-aware scaling classifies the healthy
+            // block as clean.
+            let out = verify_and_correct(&mut m, &cs);
+            assert_eq!(
+                out,
+                VerifyOutcome::default(),
+                "{scheme:?}: healthy large-norm block misclassified"
+            );
+        }
+    }
+
+    #[test]
     fn checksum_update_through_gemm_matches_reencoding() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let m0 = random_matrix(&mut rng, 12, 12);
@@ -590,16 +1305,23 @@ mod tests {
         // They must match a fresh encoding of the updated matrix.
         let fresh = encode_block(&m, block, ChecksumScheme::Full);
         for j in 0..12 {
-            assert!((cs.columns.as_ref().unwrap().sum[j] - fresh.columns.as_ref().unwrap().sum[j]).abs() < 1e-9);
             assert!(
-                (cs.columns.as_ref().unwrap().weighted[j]
-                    - fresh.columns.as_ref().unwrap().weighted[j])
+                (cs.columns.as_ref().unwrap().sum()[j] - fresh.columns.as_ref().unwrap().sum()[j])
+                    .abs()
+                    < 1e-9
+            );
+            assert!(
+                (cs.columns.as_ref().unwrap().weighted()[j]
+                    - fresh.columns.as_ref().unwrap().weighted()[j])
                     .abs()
                     < 1e-9
             );
         }
         for i in 0..12 {
-            assert!((cs.rows.as_ref().unwrap().sum[i] - fresh.rows.as_ref().unwrap().sum[i]).abs() < 1e-9);
+            assert!(
+                (cs.rows.as_ref().unwrap().sum()[i] - fresh.rows.as_ref().unwrap().sum()[i]).abs()
+                    < 1e-9
+            );
         }
         // And the updated matrix verifies clean against the updated checksums.
         let out = verify_and_correct(&mut m, &cs);

@@ -11,6 +11,15 @@
 //! ```
 //!
 //! The paper calls `FC > 99.9999%` *Full Coverage*.
+//!
+//! The generalized order-`t` Vandermonde codes ([`crate::checksum::ChecksumScheme::Multi`])
+//! lift the one-strike-per-block limit: a block survives every interval in which its
+//! per-line error budget is respected, which [`fc_k`] prices with an exact
+//! Poisson-thinning model (errors land as independent `Poisson(λ/S)` counts per block;
+//! a block survives while `n_{0D} + n_{1D} + 2·n_{2D} ≤ t`, the 2D weight 2 accounting
+//! for a scattered pattern consuming capacity in two lines of each direction at once).
+//! `fc_k(1)` coincides with `fc_full` — same survival event — and `fc_k(t ≥ 2)`
+//! dominates it pointwise by event containment.
 
 use hetero_sim::freq::MHz;
 use hetero_sim::guardband::Guardband;
@@ -69,6 +78,36 @@ pub fn fc_full(sdc: &SdcModel, f: MHz, gb: Guardband, seconds: f64, s: usize) ->
         }
     }
     sum * (-l2).exp()
+}
+
+/// Fault coverage of an order-`t` Vandermonde multi-check code
+/// ([`crate::checksum::ChecksumScheme::Multi`]) with `s` protected blocks.
+///
+/// Exact Poisson-thinning model: a Poisson stream of rate `λ` landing uniformly on `s`
+/// blocks gives every block an independent `Poisson(λ/s)` count. A block survives the
+/// interval while `n_{0D} + n_{1D} + 2·n_{2D} ≤ t` — 0D and 1D patterns each consume
+/// one unit of a block's per-line budget (a 1D line is one strike per crossing line of
+/// the other direction), while a scattered 2D pattern consumes two. `fc_k(·, 1)`
+/// equals [`fc_full`] (identical survival event: at most one 0D/1D strike per block
+/// and no 2D anywhere), and `fc_k(·, t ≥ 2)` dominates it by event containment.
+pub fn fc_k(sdc: &SdcModel, f: MHz, gb: Guardband, seconds: f64, s: usize, t: usize) -> f64 {
+    let t = t.max(1);
+    let l01 = sdc.expected_errors(f, gb, ErrorPattern::ZeroD, seconds)
+        + sdc.expected_errors(f, gb, ErrorPattern::OneD, seconds);
+    let l2 = sdc.expected_errors(f, gb, ErrorPattern::TwoD, seconds);
+    if l01 + l2 <= 0.0 {
+        return 1.0;
+    }
+    let sf = s.max(1) as f64;
+    let mu01 = l01 / sf;
+    let mu2 = l2 / sf;
+    let mut p_block = 0.0;
+    for n2 in 0..=(t / 2) {
+        let rem = (t - 2 * n2) as u32;
+        let cdf: f64 = (0..=rem).map(|k| poisson_pmf(mu01, k)).sum();
+        p_block += poisson_pmf(mu2, n2 as u32) * cdf;
+    }
+    p_block.clamp(0.0, 1.0).powf(sf)
 }
 
 /// Convenience: is the estimated coverage "Full Coverage" in the paper's sense?
@@ -145,6 +184,42 @@ mod tests {
         assert_eq!(distinct_block_probability(1, 100), 1.0);
         assert!((distinct_block_probability(2, 100) - 0.99).abs() < 1e-12);
         assert_eq!(distinct_block_probability(101, 100), 0.0);
+    }
+
+    #[test]
+    fn fc_k_order_one_matches_fc_full() {
+        let s = num_protected_blocks(30720, 512);
+        let m = gpu();
+        for f in [1900.0, 2000.0, 2100.0, 2200.0] {
+            for t in [0.1, 1.0, 5.0] {
+                let ff = fc_full(&m, MHz(f), Guardband::Optimized, t, s);
+                let f1 = fc_k(&m, MHz(f), Guardband::Optimized, t, s, 1);
+                assert!((ff - f1).abs() < 1e-6, "f={f} t={t}: {ff} vs {f1}");
+            }
+        }
+    }
+
+    #[test]
+    fn fc_k_dominates_fc_full_and_grows_with_order() {
+        let s = num_protected_blocks(30720, 512);
+        let m = gpu();
+        for f in [2000.0, 2100.0, 2200.0] {
+            for t in [0.5, 2.0, 5.0] {
+                let ff = fc_full(&m, MHz(f), Guardband::Optimized, t, s);
+                let f2 = fc_k(&m, MHz(f), Guardband::Optimized, t, s, 2);
+                let f3 = fc_k(&m, MHz(f), Guardband::Optimized, t, s, 3);
+                assert!(f2 >= ff - 1e-12, "order 2 must dominate full at f={f} t={t}");
+                assert!(f3 >= f2 - 1e-12, "order 3 must dominate order 2 at f={f} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn fc_k_perfect_at_fault_free_point() {
+        let s = num_protected_blocks(30720, 512);
+        for t in 1..=4 {
+            assert_eq!(fc_k(&gpu(), MHz(1700.0), Guardband::Optimized, 2.0, s, t), 1.0);
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::checksum::{
     verify_and_correct_slices, BlockChecksums, ChecksumScheme, VerifyEvent, VerifyEventKind,
     VerifyOutcome,
 };
-use crate::inject::{corrupt_checksums, inject_burst_slices, inject_fault_slices, InjectedFault};
+use crate::inject::{
+    corrupt_checksums, inject_burst_slices, inject_fault_slices, inject_grid_slices, InjectedFault,
+};
 use crate::recover::{FaultSite, RecoveryTracker};
 use bsr_linalg::matrix::Block;
 use bsr_linalg::task::{TileVerdict, TrailingHook};
@@ -54,9 +56,15 @@ pub enum FaultTarget {
     /// The iteration's lookahead panel factorization (detected by the panel
     /// verification in `after_panel_factor`, never corrected in place).
     Panel,
-    /// A deterministic four-corner multi-fault burst that exceeds every scheme's
-    /// correction capability (always ≥ 2 bad rows and ≥ 2 bad columns on real tiles).
+    /// A deterministic four-corner multi-fault burst that exceeds the correction
+    /// capability of every *legacy* scheme (always ≥ 2 bad rows and ≥ 2 bad columns
+    /// on real tiles); an order-2+ [`ChecksumScheme::Multi`] code absorbs it in place.
     Burst,
+    /// A deterministic `g × g` spread-out corruption grid
+    /// ([`crate::inject::inject_grid_slices`]): defeats any checksum code of order
+    /// `t < g`, absorbed in place by order `t ≥ g` — the calibration ladder of the
+    /// multi-strike chaos mixes.
+    Grid(u8),
 }
 
 /// One fault scheduled for injection into a specific trailing tile, struck *between*
@@ -176,7 +184,7 @@ impl FusedTileChecksums {
                 if out.uncorrectable > 0 {
                     tr.on_failure(iter, col0, site)
                 } else {
-                    tr.on_success(iter, col0, site, out.corrected_0d + out.corrected_1d > 0);
+                    tr.on_success(iter, col0, site, out.total_corrected() > 0);
                     TileVerdict::Accept
                 }
             }
@@ -251,8 +259,14 @@ impl TrailingHook for FusedTileChecksums {
                 nanos += t0.elapsed().as_nanos() as u64;
                 Some(cs)
             };
-            // Checksum-of-checksums, taken while the encoding is trusted.
-            let guard = cs.as_ref().map(checksum_guard);
+            // Checksum-of-checksums, taken while the encoding is trusted. The Multi
+            // codes recognize metadata strikes through the code itself (their
+            // verifier decodes them as `CorrectedCheck`), so the guard — which can
+            // only declare the whole tile uncorrectable — is legacy-scheme-only.
+            let guard = match self.scheme {
+                ChecksumScheme::Multi(_) => None,
+                _ => cs.as_ref().map(checksum_guard),
+            };
             let mut tile: Vec<&mut [f64]> = cols.iter_mut().map(|c| &mut c[r..r + rows]).collect();
             // Planned faults strike this tile now — after encode, before verify.
             // Panel-targeted faults belong to `after_panel_factor`, not here.
@@ -276,6 +290,9 @@ impl TrailingHook for FusedTileChecksums {
                     FaultTarget::Burst => {
                         struck.push(inject_burst_slices(&mut tile, tile_row, col0, &mut rng));
                     }
+                    FaultTarget::Grid(g) => {
+                        struck.push(inject_grid_slices(&mut tile, tile_row, col0, g, &mut rng));
+                    }
                     FaultTarget::Checksum => {
                         if let Some(cs) = cs.as_mut() {
                             let n = corrupt_checksums(cs, &mut rng);
@@ -292,10 +309,12 @@ impl TrailingHook for FusedTileChecksums {
             }
             if let Some(cs) = cs {
                 let t0 = Instant::now();
-                if guard != Some(checksum_guard(&cs)) {
+                if guard.is_some_and(|g| g != checksum_guard(&cs)) {
                     // The checksum vectors themselves are corrupt: element
                     // verification would "correct" healthy data against garbage,
                     // so it is skipped and the tile is uncorrectable-by-detection.
+                    // (Multi schemes carry no guard — their verifier decodes
+                    // check strikes through the code itself.)
                     out.uncorrectable += 1;
                     out.events.push(VerifyEvent {
                         row: tile_row,
@@ -337,7 +356,7 @@ impl TrailingHook for FusedTileChecksums {
         let t0 = Instant::now();
         let before = {
             let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
-            encode_column_checksums_slices(&views)
+            encode_column_checksums_slices(&views, 2)
         };
         nanos += t0.elapsed().as_nanos() as u64;
         let mut struck = Vec::new();
@@ -351,13 +370,13 @@ impl TrailingHook for FusedTileChecksums {
         let t0 = Instant::now();
         let after = {
             let views: Vec<&[f64]> = cols.iter().map(|c| &**c).collect();
-            encode_column_checksums_slices(&views)
+            encode_column_checksums_slices(&views, 2)
         };
-        let scale = before.sum.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        let scale = before.sum().iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
         let mut out = VerifyOutcome::default();
         for j in 0..cols.len() {
-            let bad = (before.sum[j] - after.sum[j]).abs() > 1e-6 * scale.max(1.0)
-                || (before.weighted[j] - after.weighted[j]).abs() > 1e-6 * scale.max(1.0);
+            let bad = (before.sum()[j] - after.sum()[j]).abs() > 1e-6 * scale.max(1.0)
+                || (before.weighted()[j] - after.weighted()[j]).abs() > 1e-6 * scale.max(1.0);
             if bad {
                 out.uncorrectable += 1;
                 out.events.push(VerifyEvent {

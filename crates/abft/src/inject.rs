@@ -151,12 +151,63 @@ pub fn inject_burst_slices<R: Rng + ?Sized>(
     }
 }
 
+/// `k` evenly spread distinct indices in `0..n` (all of `0..n` when `n < k`): the
+/// deterministic strike geometry of [`inject_grid_slices`], chosen so the affected
+/// lines are far apart (no accidental degeneration into a correctable cluster).
+fn spread(k: usize, n: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    if k == 1 {
+        return vec![0];
+    }
+    (0..k).map(|i| i * (n - 1) / (k - 1)).collect()
+}
+
+/// Inject a deterministic `size × size` corruption grid: `size` spread-out rows ×
+/// `size` spread-out columns, every intersection struck. Each affected row and column
+/// holds exactly `size` errors, so the pattern **defeats** any checksum code of order
+/// `t < size` (per-line capacity exceeded in both directions at once, so not even the
+/// cross-direction rescue applies) while an order `t ≥ size` code absorbs it in
+/// place — the calibration ladder of the multi-strike chaos mixes. `size = 2` is the
+/// four-corner [`inject_burst_slices`] geometry, spread instead of cornered.
+pub fn inject_grid_slices<R: Rng + ?Sized>(
+    cols: &mut [&mut [f64]],
+    origin_row: usize,
+    origin_col: usize,
+    size: u8,
+    rng: &mut R,
+) -> InjectedFault {
+    let ncols = cols.len();
+    let nrows = cols.first().map_or(0, |c| c.len());
+    assert!(nrows > 0 && ncols > 0, "cannot inject into an empty tile");
+    let g = usize::from(size.max(1));
+    let rows = spread(g, nrows);
+    let jcols = spread(g, ncols);
+    let mut count = 0;
+    for &i in &rows {
+        for &j in &jcols {
+            corrupt(cols, i, j, rng);
+            count += 1;
+        }
+    }
+    InjectedFault {
+        pattern: ErrorPattern::TwoD,
+        row: origin_row + rows[0],
+        col: origin_col + jcols[0],
+        elements: count,
+    }
+}
+
 /// Corrupt one element of each checksum vector the block carries — a fault landing
-/// in the ABFT metadata itself rather than the data it protects. Element
+/// in the ABFT metadata itself rather than the data it protects. Legacy element
 /// verification cannot see this (it trusts the stored checksums; left alone it
 /// would "correct" healthy data against garbage); the checksum-of-checksums guard
-/// ([`crate::checksum::checksum_guard`]) exists to catch exactly this. Returns the
-/// number of checksum elements corrupted (0 when the scheme carries none).
+/// ([`crate::checksum::checksum_guard`]) exists to catch exactly this for the
+/// legacy schemes, while the `Multi` codes recognize and absorb the strikes through
+/// the code itself. Returns the number of checksum elements corrupted (0 when the
+/// scheme carries none). For legacy two-vector schemes the RNG draw sequence is
+/// unchanged from before the generalized-code layer.
 pub fn corrupt_checksums<R: Rng + ?Sized>(cs: &mut BlockChecksums, rng: &mut R) -> usize {
     let hit = |vs: &mut [f64], rng: &mut R| {
         if vs.is_empty() {
@@ -170,12 +221,14 @@ pub fn corrupt_checksums<R: Rng + ?Sized>(cs: &mut BlockChecksums, rng: &mut R) 
     };
     let mut n = 0;
     if let Some(c) = cs.columns.as_mut() {
-        n += hit(&mut c.sum, rng);
-        n += hit(&mut c.weighted, rng);
+        for v in &mut c.checks {
+            n += hit(v, rng);
+        }
     }
     if let Some(r) = cs.rows.as_mut() {
-        n += hit(&mut r.sum, rng);
-        n += hit(&mut r.weighted, rng);
+        for v in &mut r.checks {
+            n += hit(v, rng);
+        }
     }
     n
 }

@@ -10,7 +10,12 @@
 //!   unweighted and a weighted vector per direction), checksum *updates* through GEMM
 //!   trailing updates, and verification/correction of 0D and 1D error patterns
 //!   (paper Figure 6); every entry point also exists in a `_slices` form operating on
-//!   per-column slices, so checksums can ride regions of a matrix a parallel task owns;
+//!   per-column slices, so checksums can ride regions of a matrix a parallel task owns.
+//!   Beyond the paper's two rungs, [`ChecksumScheme::Multi`] generalizes the pair into
+//!   an order-`t` Vandermonde code (`2t` power-weighted vectors per direction) that
+//!   locates and corrects up to `t` simultaneous errors per row/column — including
+//!   strikes landing in the check vectors themselves — via Prony decoding of the
+//!   syndrome moments;
 //! * [`fused`] — [`FusedTileChecksums`], a `bsr-linalg` `TrailingHook` that fuses the
 //!   per-tile checksum encode/verify workload into the tiled factorizations'
 //!   trailing-update tasks, so checksum maintenance runs on the parallel schedule
@@ -24,7 +29,8 @@
 //!   and persistent-fault escalation under the bounded budgets of a
 //!   [`RecoveryPolicy`], recording every decision as a [`RecoveryEvent`];
 //! * [`coverage`] — Poisson fault-coverage estimation `FC_single` / `FC_full`
-//!   (paper Table 1);
+//!   (paper Table 1), plus the exact Poisson-thinning `fc_k` model pricing the
+//!   order-`t` multi-check codes;
 //! * [`adaptive`] — the adaptive ABFT-OC strategy (paper Algorithm 1) choosing the
 //!   cheapest sufficient protection, or backing off the clock when none suffices;
 //! * [`overhead`] — flop-count models of the checksum work, used by the analytic driver.
@@ -42,5 +48,5 @@ pub mod recover;
 pub use adaptive::{abft_oc, AbftDecision, AbftRequest};
 pub use checksum::{ChecksumScheme, VerifyEvent, VerifyEventKind, VerifyOutcome};
 pub use fused::{FaultTarget, FusedTileChecksums, PlannedFault};
-pub use coverage::{fc_full, fc_single, FULL_COVERAGE_THRESHOLD};
+pub use coverage::{fc_full, fc_k, fc_single, FULL_COVERAGE_THRESHOLD};
 pub use recover::{FaultSite, RecoveryAction, RecoveryEvent, RecoveryPolicy, RecoveryTracker};

@@ -3,32 +3,28 @@
 //! The analytic (paper-scale) driver needs to charge the GPU for checksum encoding,
 //! checksum update and checksum verification work without actually performing it. These
 //! models count the floating point operations of the schemes implemented in
-//! [`crate::checksum`]: two checksum vectors per encoded direction (unweighted + weighted).
+//! [`crate::checksum`], parameterized by how many check vectors each scheme carries per
+//! direction (two for the legacy schemes, `2t` per side for an order-`t`
+//! [`ChecksumScheme::Multi`] code) — every cost below is linear in the vector count, so
+//! the per-added-check-vector overhead the reliability bench reports falls straight out.
 
 use crate::checksum::ChecksumScheme;
 use serde::{Deserialize, Serialize};
 
 /// Flops to encode the checksums of an `rows × cols` region under `scheme`.
 pub fn encode_flops(rows: usize, cols: usize, scheme: ChecksumScheme) -> f64 {
-    let per_direction = 4.0 * rows as f64 * cols as f64; // two vectors, ~2 flops/element
-    match scheme {
-        ChecksumScheme::None => 0.0,
-        ChecksumScheme::SingleSide => per_direction,
-        ChecksumScheme::Full => 2.0 * per_direction,
-    }
+    let per_vector = 2.0 * rows as f64 * cols as f64; // ~2 flops/element/vector
+    (scheme.column_vectors() + scheme.row_vectors()) as f64 * per_vector
 }
 
 /// Flops to update the checksums of a `m × n` block through a GEMM update with inner
 /// dimension `k` (`C ← C − L·U`, `L: m×k`, `U: k×n`).
 pub fn update_gemm_flops(m: usize, k: usize, n: usize, scheme: ChecksumScheme) -> f64 {
     let (m, k, n) = (m as f64, k as f64, n as f64);
-    let column_side = 4.0 * m * k + 4.0 * k * n; // (eᵀL, wᵀL) then (·)U
-    let row_side = 4.0 * k * n + 4.0 * m * k; // (Ue, Uw) then L(·)
-    match scheme {
-        ChecksumScheme::None => 0.0,
-        ChecksumScheme::SingleSide => column_side,
-        ChecksumScheme::Full => column_side + row_side,
-    }
+    let column_per_vector = 2.0 * m * k + 2.0 * k * n; // w_pᵀL then (·)U
+    let row_per_vector = 2.0 * k * n + 2.0 * m * k; // U·w_p then L(·)
+    scheme.column_vectors() as f64 * column_per_vector
+        + scheme.row_vectors() as f64 * row_per_vector
 }
 
 /// Flops to verify (recompute + compare) the checksums of an `rows × cols` region.
@@ -84,6 +80,21 @@ mod tests {
         let us = update_gemm_flops(1000, 512, 1000, ChecksumScheme::SingleSide);
         let uf = update_gemm_flops(1000, 512, 1000, ChecksumScheme::Full);
         assert!(uf > us && uf <= 2.0 * us + 1.0);
+    }
+
+    #[test]
+    fn multi_cost_is_linear_in_code_order() {
+        // Multi(1) carries the same four vectors as Full; each added order adds a
+        // fixed increment — the per-check-vector overhead is constant.
+        let f = encode_flops(512, 512, ChecksumScheme::Full);
+        let m1 = encode_flops(512, 512, ChecksumScheme::Multi(1));
+        let m2 = encode_flops(512, 512, ChecksumScheme::Multi(2));
+        let m3 = encode_flops(512, 512, ChecksumScheme::Multi(3));
+        assert_eq!(m1, f);
+        assert!((m2 - 2.0 * f).abs() < 1e-9 && (m3 - 3.0 * f).abs() < 1e-9);
+        let uf = update_gemm_flops(1000, 512, 1000, ChecksumScheme::Full);
+        let u2 = update_gemm_flops(1000, 512, 1000, ChecksumScheme::Multi(2));
+        assert!((u2 - 2.0 * uf).abs() < 1e-9);
     }
 
     #[test]

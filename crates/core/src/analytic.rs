@@ -265,6 +265,11 @@ impl AnalyticDriver {
                         (pattern, plan.abft),
                         (ErrorPattern::ZeroD, ChecksumScheme::SingleSide | ChecksumScheme::Full)
                             | (ErrorPattern::OneD, ChecksumScheme::Full)
+                            | (ErrorPattern::ZeroD | ErrorPattern::OneD, ChecksumScheme::Multi(_))
+                    ) || matches!(
+                        // An order-≥2 code absorbs scattered (2D) patterns in place.
+                        (pattern, plan.abft),
+                        (ErrorPattern::TwoD, ChecksumScheme::Multi(t)) if t >= 2
                     );
                     sdc_events.push(SdcEvent { pattern, corrected });
                 }

@@ -706,9 +706,10 @@ pub fn plan_faults<R: Rng + ?Sized>(
 
 /// [`plan_faults`] under the hardened fault model: each sampled event is classified
 /// by `mix` into a tile-data strike, a checksum-vector strike, a lookahead-panel
-/// strike (when the iteration has a panel, `panel_col`), or an
-/// uncorrectable-by-construction burst, and may be persistent (re-striking on every
-/// recomputation attempt).
+/// strike (when the iteration has a panel, `panel_col`), a four-corner burst, or a
+/// deterministic `grid_size × grid_size` multi-strike grid (defeating codes of
+/// order `t < grid_size`, absorbed in place by `t ≥ grid_size`), and may be
+/// persistent (re-striking on every recomputation attempt).
 ///
 /// Determinism contract: the tile choice and the private seed are drawn for every
 /// event exactly as [`plan_faults`] draws them, and the classification draws happen
@@ -741,6 +742,10 @@ pub fn plan_faults_with_mix<R: Rng + ?Sized>(
                     }
                 } else if class < mix.checksum + mix.panel + mix.burst {
                     fault.target = FaultTarget::Burst;
+                } else if class < mix.checksum + mix.panel + mix.burst + mix.grid {
+                    // Appended after the existing classes so mixes that predate the
+                    // grid pattern consume the RNG stream bit-identically.
+                    fault.target = FaultTarget::Grid(mix.grid_size.clamp(1, u32::from(u8::MAX)) as u8);
                 }
                 fault.strikes = if rng.gen_bool(mix.persistent.clamp(0.0, 1.0)) {
                     u32::MAX

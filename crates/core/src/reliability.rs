@@ -14,7 +14,7 @@
 use crate::analytic::AnalyticDriver;
 use crate::config::{AbftMode, RunConfig};
 use bsr_abft::checksum::ChecksumScheme;
-use bsr_abft::coverage::{fc_full, fc_single, num_protected_blocks};
+use bsr_abft::coverage::{fc_full, fc_k, fc_single, num_protected_blocks};
 use hetero_sim::sdc::ErrorPattern;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +63,9 @@ pub fn estimate_reliability(cfg: RunConfig, label: &str) -> ReliabilityReport {
             }
             ChecksumScheme::SingleSide => fc_single(&sdc, trace.gpu_freq, gb, busy, blocks),
             ChecksumScheme::Full => fc_full(&sdc, trace.gpu_freq, gb, busy, blocks),
+            ChecksumScheme::Multi(t) => {
+                fc_k(&sdc, trace.gpu_freq, gb, busy, blocks, usize::from(t.max(1)))
+            }
         };
         p_correct *= p_iter;
     }

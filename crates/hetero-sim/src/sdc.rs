@@ -50,8 +50,16 @@ pub struct FaultMix {
     pub checksum: f64,
     /// Probability an event strikes the iteration's lookahead panel factorization.
     pub panel: f64,
-    /// Probability an event is a four-corner burst (uncorrectable by construction).
+    /// Probability an event is a four-corner burst (uncorrectable by every legacy
+    /// scheme by construction; absorbed in place by order ≥ 2 multi-check codes).
     pub burst: f64,
+    /// Probability an event is a deterministic `grid_size × grid_size` spread-out
+    /// corruption grid — the multi-strike-per-tile pattern calibrated to sit just
+    /// beyond a chosen code order: it defeats any checksum code of order
+    /// `t < grid_size` and is absorbed in place by order `t ≥ grid_size`.
+    pub grid: f64,
+    /// Side length of the corruption grid the `grid` fraction injects.
+    pub grid_size: u32,
     /// Probability an event is persistent: it re-strikes on every recomputation
     /// attempt instead of honoring `max_strikes`.
     pub persistent: f64,
@@ -62,7 +70,15 @@ pub struct FaultMix {
 
 impl Default for FaultMix {
     fn default() -> Self {
-        Self { checksum: 0.0, panel: 0.0, burst: 0.0, persistent: 0.0, max_strikes: 1 }
+        Self {
+            checksum: 0.0,
+            panel: 0.0,
+            burst: 0.0,
+            grid: 0.0,
+            grid_size: 2,
+            persistent: 0.0,
+            max_strikes: 1,
+        }
     }
 }
 
@@ -70,13 +86,30 @@ impl FaultMix {
     /// True when the mix is the inert default: every event is a single-strike
     /// tile-data fault and the planner must draw no extra randomness.
     pub fn is_inert(&self) -> bool {
-        self.checksum == 0.0 && self.panel == 0.0 && self.burst == 0.0 && self.persistent == 0.0
+        self.checksum == 0.0
+            && self.panel == 0.0
+            && self.burst == 0.0
+            && self.grid == 0.0
+            && self.persistent == 0.0
     }
 
     /// A harsh chaos-campaign mix: 20% checksum strikes, 20% panel strikes, 30%
     /// bursts, 10% persistent, two strikes per transient fault.
     pub fn harsh() -> Self {
-        Self { checksum: 0.2, panel: 0.2, burst: 0.3, persistent: 0.1, max_strikes: 2 }
+        Self { checksum: 0.2, panel: 0.2, burst: 0.3, persistent: 0.1, ..Self::default() }
+            .with_max_strikes(2)
+    }
+
+    /// A pure multi-strike storm: every event is a `size × size` corruption grid,
+    /// the calibration mix for exercising one code order's capacity edge.
+    pub fn grid_storm(size: u32) -> Self {
+        Self { grid: 1.0, grid_size: size.max(1), ..Self::default() }
+    }
+
+    /// Builder: set the transient strike budget.
+    pub fn with_max_strikes(mut self, max_strikes: u32) -> Self {
+        self.max_strikes = max_strikes;
+        self
     }
 }
 

@@ -17,7 +17,7 @@ use crate::predict::SlackPredictor;
 use crate::workload::Op;
 use bsr_abft::adaptive::{abft_oc, AbftRequest};
 use bsr_abft::checksum::ChecksumScheme;
-use bsr_abft::coverage::{fc_full, fc_single, FULL_COVERAGE_THRESHOLD};
+use bsr_abft::coverage::{fc_full, fc_k, fc_single, FULL_COVERAGE_THRESHOLD};
 use hetero_sim::device::Device;
 use hetero_sim::freq::MHz;
 use hetero_sim::guardband::Guardband;
@@ -32,11 +32,18 @@ pub struct BsrConfig {
     pub reclamation_ratio: f64,
     /// Desired ABFT fault coverage (the paper requires "Full Coverage", > 0.999999).
     pub desired_coverage: f64,
+    /// Strongest multi-check Vandermonde code order ABFT-OC may escalate to before
+    /// backing off the clock (`< 2` reproduces the paper's two-rung ladder).
+    pub max_code_order: u8,
 }
 
 impl Default for BsrConfig {
     fn default() -> Self {
-        Self { reclamation_ratio: 0.0, desired_coverage: FULL_COVERAGE_THRESHOLD }
+        Self {
+            reclamation_ratio: 0.0,
+            desired_coverage: FULL_COVERAGE_THRESHOLD,
+            max_code_order: 3,
+        }
     }
 }
 
@@ -338,6 +345,14 @@ fn plan_bsr(
                     projected,
                     protected_blocks,
                 ),
+                ChecksumScheme::Multi(t) => fc_k(
+                    &gpu.sdc,
+                    effective_gpu_freq,
+                    Guardband::Optimized,
+                    projected,
+                    protected_blocks,
+                    usize::from(t.max(1)),
+                ),
             };
             (effective_gpu_freq, scheme, cov)
         }
@@ -353,6 +368,7 @@ fn plan_bsr(
                     freq_step: gpu_range.step,
                     min_freq: gpu_range.min,
                     protected_blocks,
+                    max_code_order: cfg.max_code_order,
                 },
             );
             (decision.frequency, decision.scheme, decision.coverage)
