@@ -19,13 +19,29 @@
 //!   the update stream (the real cost of per-iteration encode + verify, the
 //!   counterpart of the paper's Table 2 ratios).
 //!
+//! A third sweep measures the **mixed_f32** engine path (Cholesky and LU only — QR is
+//! structurally rejected): tiles are factored with the f32 packed kernels while
+//! checksums and the final iterative-refinement sweep run in f64. Each
+//! (facto, threads) cell is measured at two forced protection levels, with the f64
+//! baseline always forced to the *same* scheme so the pair does equivalent
+//! protection work: `scheme: "none"` isolates the pure f32-vs-f64 arithmetic win,
+//! while `scheme: "full"` additionally charges the mixed checksum pipeline
+//! (per-tile promote → f64 encode/verify → demote), the honest price of f64-grade
+//! protection on the f32 path today. Every cell records the measured end-to-end
+//! speedup over its matched f64 run, the refined backward error against its f64
+//! tolerance (the bench aborts if refinement does not converge), the refinement
+//! sweep count, and the checksum fraction. The mixed sweep runs at a larger n than
+//! the strategy sweep (recorded per row): its fixed f64 refinement epilogue
+//! amortizes over the O(n³) factor work, so at tiny n the epilogue — not the
+//! method — would dominate the ratio.
+//!
 //! Results go to stdout and to `BENCH_bsr.json` at the workspace root. Environment:
 //! * `BSR_PERF_SMOKE=1` — tiny size + single repetition for CI smoke runs; writes to
 //!   `target/BENCH_bsr.smoke.json` so the recorded trajectory is not clobbered;
 //! * `BSR_PERF_OUT=<path>` — override the output path.
 
 use bsr_abft::checksum::ChecksumScheme;
-use bsr_core::config::{AbftMode, RunConfig};
+use bsr_core::config::{AbftMode, Precision, RunConfig};
 use bsr_core::numeric::{run_numeric, NumericRunReport};
 use bsr_linalg::blas3::simd_backend;
 use bsr_sched::strategy::{BsrConfig, Strategy};
@@ -53,6 +69,26 @@ struct StrategyRow {
     checksum_fraction: f64,
     faults_injected: usize,
     correct: bool,
+    samples: usize,
+}
+
+/// One measured mixed-precision (decomposition, scheme, threads) cell: the
+/// `mixed_f32` engine path (f32 packed tiles, f64 checksums, f64 refinement sweep)
+/// against an f64 run of the same configuration — same forced checksum scheme,
+/// same thread count — so each pair does equivalent protection work.
+struct MixedRow {
+    facto: &'static str,
+    scheme: &'static str,
+    n: usize,
+    threads: usize,
+    measured_makespan_s: f64,
+    f64_makespan_s: f64,
+    speedup: f64,
+    backward_error: f64,
+    tol: f64,
+    refine_iters: usize,
+    checksum_fraction: f64,
+    faults_injected: usize,
     samples: usize,
 }
 
@@ -164,6 +200,67 @@ fn main() {
         }
     }
 
+    // ---- mixed-precision sweep (f32 tiles, f64 checksums + refinement) ----------------
+    // QR has no mixed path (structurally rejected by the engine), so the sweep covers
+    // Cholesky and LU. Each (facto, threads) cell is measured at two forced protection
+    // levels, mixed and f64 baseline always matched so the pair does the same
+    // protection work: `none` isolates the pure f32-vs-f64 arithmetic win, `full`
+    // additionally charges the mixed checksum pipeline (per-tile promote → f64
+    // encode/verify → demote, which unlike the f64 path does not ride the task
+    // schedule — its measured cost is the honest price of f64-grade protection on the
+    // f32 path today). Each cell must *converge* — the refined solution meets the f64
+    // backward-error tolerance — or the bench aborts: a mixed cell that trades
+    // accuracy for speed is not a valid data point.
+    //
+    // The sweep runs at a larger n than the strategy sweep: mixed precision pays a
+    // fixed f64 refinement/solve epilogue that amortizes over the O(n³) factor work,
+    // so at the strategy sweep's n = 256 (sub-millisecond factor time) the epilogue
+    // dominates and every speedup would measure the epilogue, not the method.
+    let mixed_n = if smoke { n } else { 512 };
+    let mut mixed_rows: Vec<MixedRow> = Vec::new();
+    for dec in [Decomposition::Cholesky, Decomposition::Lu] {
+        for (scheme_label, scheme) in [("none", ChecksumScheme::None), ("full", ChecksumScheme::Full)] {
+            for &threads in &sweep_threads {
+                let _guard = ThreadCountGuard::set(threads);
+                let base = RunConfig::small(
+                    dec,
+                    mixed_n,
+                    block,
+                    Strategy::Bsr(BsrConfig::with_ratio(0.25)),
+                )
+                .with_abft_mode(AbftMode::Forced(scheme))
+                .with_fault_injection(false);
+                let out = median_run(&base.clone().with_precision(Precision::MixedF32), reps);
+                let mixed = out.mixed.expect("mixed runs carry a refinement record");
+                assert!(
+                    mixed.converged,
+                    "{} [{scheme_label}] t{threads}: mixed refinement must reach the f64 \
+                     backward-error tolerance (η {:.3e} vs tol {:.3e}, {} faults)",
+                    facto_label(dec),
+                    mixed.backward_error,
+                    mixed.tol,
+                    out.faults_injected
+                );
+                let f64_out = median_run(&base.with_measured_feedback(false), reps);
+                mixed_rows.push(MixedRow {
+                    facto: facto_label(dec),
+                    scheme: scheme_label,
+                    n: mixed_n,
+                    threads,
+                    measured_makespan_s: out.measured_makespan_s(),
+                    f64_makespan_s: f64_out.measured_makespan_s(),
+                    speedup: f64_out.measured_makespan_s() / out.measured_makespan_s(),
+                    backward_error: mixed.backward_error,
+                    tol: mixed.tol,
+                    refine_iters: mixed.refine_iters,
+                    checksum_fraction: out.measured_checksum_fraction(),
+                    faults_injected: out.faults_injected,
+                    samples: reps,
+                });
+            }
+        }
+    }
+
     // ---- summary ----------------------------------------------------------------------
     println!("\nbsr_perf summary (n = {n}, block = {block}, {} iterations):", n.div_ceil(block));
     println!("  simd backend: {}", simd_backend());
@@ -207,6 +304,26 @@ fn main() {
             println!("  {facto:>8} [{runtime:>7}] {}", parts.join(" | "));
         }
     }
+    println!(
+        "  mixed_f32 sweep (n = {mixed_n}, f32 tiles, f64 checksums, refinement to f64 \
+         accuracy):"
+    );
+    for r in &mixed_rows {
+        println!(
+            "  {:>8} [{:>4}] t{} {:.1}ms vs f64 {:.1}ms ({:.2}x) | eta {:.1e} <= tol {:.1e} \
+             in {} sweep(s) | checksums {:.1}%",
+            r.facto,
+            r.scheme,
+            r.threads,
+            r.measured_makespan_s * 1e3,
+            r.f64_makespan_s * 1e3,
+            r.speedup,
+            r.backward_error,
+            r.tol,
+            r.refine_iters,
+            100.0 * r.checksum_fraction
+        );
+    }
 
     // ---- JSON emission ----------------------------------------------------------------
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -248,6 +365,17 @@ fn main() {
             )
         })
         .collect();
+    let mixed_json: Vec<String> = mixed_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"strategy\":\"mixed_f32\",\"facto\":\"{}\",\"scheme\":\"{}\",\"n\":{},\"threads\":{},\"measured_makespan_s\":{:.6e},\"f64_makespan_s\":{:.6e},\"speedup_vs_f64\":{},\"backward_error\":{:.6e},\"tol\":{:.6e},\"converged\":true,\"refine_iters\":{},\"checksum_fraction\":{:.4},\"faults_injected\":{},\"samples\":{}}}",
+                r.facto, r.scheme, r.n, r.threads, r.measured_makespan_s, r.f64_makespan_s,
+                json_num(r.speedup), r.backward_error, r.tol, r.refine_iters,
+                r.checksum_fraction, r.faults_injected, r.samples
+            )
+        })
+        .collect();
     // Derived: per-strategy mean predictor error (threads = 1 cells) and the measured
     // vs analytic makespan ratio per (strategy, facto) at one thread — the headline
     // "the model is not the hardware" numbers.
@@ -282,17 +410,27 @@ fn main() {
             ));
         }
     }
+    for r in mixed_rows.iter().filter(|r| r.threads == 1) {
+        derived.push(format!(
+            "    \"{}_mixed_f32_{}_speedup_t1\": {}",
+            r.facto,
+            r.scheme,
+            json_num(r.speedup)
+        ));
+    }
     let sweep_list = sweep_threads
         .iter()
         .map(|t| t.to_string())
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"bsr_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"thread_sweep\": [{sweep_list}],\n  \"simd_backend\": \"{}\",\n  \"n\": {n},\n  \"block\": {block},\n  \"strategies\": [\n{}\n  ],\n  \"abft\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"bsr_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"thread_sweep\": [{sweep_list}],\n  \"simd_backend\": \"{}\",\n{},\n  \"n\": {n},\n  \"block\": {block},\n  \"strategies\": [\n{}\n  ],\n  \"abft\": [\n{}\n  ],\n  \"mixed\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         simd_backend(),
+        bsr_bench::autotune_json(),
         strategy_json.join(",\n"),
         abft_json.join(",\n"),
+        mixed_json.join(",\n"),
         derived.join(",\n")
     );
     if let Some(parent) = std::path::Path::new(&out_path).parent() {

@@ -1,8 +1,15 @@
 //! Figure 11: Pareto-efficient performance/energy trade-off enabled by the reclamation
 //! ratio, for Cholesky, LU and QR (n = 30720, fp64).
+//!
+//! Besides the adaptive-ABFT front of the paper, the harness plots one front per
+//! forced `Multi(t)` checksum order (t = 2..4): each rung of the scheme ladder pays a
+//! larger encode/verify share for a larger per-line correction budget, so the plotted
+//! family shows how much performance/energy headroom each extra order of protection
+//! costs across the whole reclamation-ratio grid.
 
+use bsr_abft::checksum::ChecksumScheme;
 use bsr_bench::{header, run_all_strategies};
-use bsr_core::config::RunConfig;
+use bsr_core::config::{AbftMode, RunConfig};
 use bsr_core::pareto::{paper_ratio_grid, pareto_front, sweep_reclamation_ratio};
 use bsr_sched::strategy::Strategy;
 use bsr_sched::workload::Decomposition;
@@ -37,5 +44,32 @@ fn main() {
             max_saving * 100.0,
             best_perf_no_extra_energy / original.gflops
         );
+
+        // Scheme-ladder fronts: repeat the ratio sweep under each forced Multi(t)
+        // order. The adaptive front above is the t→scheme-per-iteration envelope;
+        // these are the constant-protection rungs it interpolates between.
+        println!("\nMulti(t) scheme-ladder fronts (forced checksum order, same ratio grid):");
+        for t in 2u8..=4 {
+            let ladder_base = RunConfig::paper_default(dec, Strategy::Original)
+                .with_fault_injection(false)
+                .with_abft_mode(AbftMode::Forced(ChecksumScheme::Multi(t)));
+            let sweep = sweep_reclamation_ratio(&ladder_base, &paper_ratio_grid());
+            let pts: Vec<_> = sweep.iter().map(|(p, _)| p.clone()).collect();
+            for p in &pts {
+                println!(
+                    "{:<14} {:>12.1} {:>14.0}",
+                    format!("M{t} r={:.2}", p.reclamation_ratio),
+                    p.gflops,
+                    p.energy_j
+                );
+            }
+            let rung_front = pareto_front(&pts);
+            let best_rung_energy = pts.iter().map(|p| p.energy_j).fold(f64::INFINITY, f64::min);
+            println!(
+                "Multi({t}) Pareto-efficient ratios: {:?}   energy vs adaptive best: {:+.1}%",
+                rung_front.iter().map(|&i| pts[i].reclamation_ratio).collect::<Vec<_>>(),
+                (best_rung_energy / best_energy - 1.0) * 100.0
+            );
+        }
     }
 }

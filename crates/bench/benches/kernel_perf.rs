@@ -23,6 +23,7 @@ use bsr_linalg::blas3::{
 };
 use bsr_linalg::generate::random_matrix;
 use bsr_linalg::matrix::{Block, Matrix};
+use bsr_linalg::tune;
 use criterion::Criterion;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -64,7 +65,7 @@ struct Result {
 fn flops(kernel: &str, n: usize) -> f64 {
     let n = n as f64;
     match kernel {
-        "gemm_packed" | "gemm_naive_seed" => 2.0 * n * n * n,
+        "gemm_packed" | "gemm_packed_f32" | "gemm_naive_seed" => 2.0 * n * n * n,
         "trsm_right_lower_t" | "syrk_lower" => n * n * n,
         other => unreachable!("unknown kernel {other}"),
     }
@@ -92,6 +93,18 @@ fn bench_size(c: &mut Criterion, n: usize, threads: usize, smoke: bool) {
     group.bench_function(&format!("gemm_packed/{n}/t{threads}"), |bench| {
         bench.iter(|| {
             gemm_into_block(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut cmat, Block::full(n, n));
+        })
+    });
+
+    // The f32 packed GEMM: same shapes, wider micro-tile (MR = 16), twice the lanes
+    // per vector. The f32/f64 throughput ratio at the largest size is the mixed
+    // precision path's kernel-level payoff and is asserted in `main`.
+    let a32 = a.demote();
+    let b32 = b.demote();
+    let mut c32 = Matrix::<f32>::zeros(n, n);
+    group.bench_function(&format!("gemm_packed_f32/{n}/t{threads}"), |bench| {
+        bench.iter(|| {
+            gemm_into_block(1.0, &a32, Trans::No, &b32, Trans::No, 0.0, &mut c32, Block::full(n, n));
         })
     });
 
@@ -158,6 +171,7 @@ fn main() {
         let mut parts = record.name.split('/');
         let kernel = match parts.next() {
             Some("gemm_packed") => "gemm_packed",
+            Some("gemm_packed_f32") => "gemm_packed_f32",
             Some("gemm_naive_seed") => "gemm_naive_seed",
             Some("trsm_right_lower_t") => "trsm_right_lower_t",
             Some("syrk_lower") => "syrk_lower",
@@ -181,6 +195,7 @@ fn main() {
             .find(|r| r.kernel == kernel && r.n == n && r.threads == threads)
     };
     let packed_st = find("gemm_packed", max_n, 1);
+    let packed_f32_st = find("gemm_packed_f32", max_n, 1);
     let naive_st = find("gemm_naive_seed", max_n, 1);
     let packed_mt = if hw_threads > 1 { find("gemm_packed", max_n, hw_threads) } else { None };
     let packed_vs_naive = match (packed_st, naive_st) {
@@ -191,6 +206,10 @@ fn main() {
         (Some(st), Some(mt)) => mt.gflops / st.gflops,
         _ => f64::NAN, // single-core host: no multithreaded run to compare
     };
+    let f32_vs_f64 = match (packed_st, packed_f32_st) {
+        (Some(f64r), Some(f32r)) => f32r.gflops / f64r.gflops,
+        _ => f64::NAN,
+    };
 
     println!("\nkernel_perf summary (n = {max_n}):");
     println!("  simd backend:            {}", simd_backend());
@@ -200,10 +219,32 @@ fn main() {
         println!("  seed naive GEMM:         {:.2} GFLOP/s", s.gflops);
         println!("  packed / naive speedup:  {packed_vs_naive:.2}x");
     }
+    if let (Some(p64), Some(p32)) = (packed_st, packed_f32_st) {
+        println!("  packed GEMM f32:         {:.2} GFLOP/s  ({f32_vs_f64:.2}x vs f64)", p32.gflops);
+        let _ = p64;
+    }
     if let Some(mt) = packed_mt {
         println!("  packed GEMM ({} thr):    {:.2} GFLOP/s  ({mt_vs_st:.2}x vs 1 thread)", mt.threads, mt.gflops);
     } else {
         println!("  multithreaded run:       skipped (1 hardware thread)");
+    }
+    for (name, p) in tune::report_names().iter().zip(tune::report()) {
+        println!(
+            "  tuned {name}:  NC={nc} KC={kc} MC={mc} par_madds={pm} ({src})",
+            nc = p.nc, kc = p.kc, mc = p.mc, pm = p.par_madds, src = p.source
+        );
+    }
+
+    // Acceptance gate: with real SIMD the f32 micro-kernel runs twice the lanes per
+    // vector, so at the largest single-threaded size it must clear 1.6× the f64
+    // throughput. Smoke runs (tiny n, sub-ms measurement) and the scalar fallback
+    // (identical lane count) are excluded — gating there would test noise.
+    if !smoke && simd_backend() != "scalar" && f32_vs_f64.is_finite() {
+        assert!(
+            f32_vs_f64 >= 1.6,
+            "f32 packed GEMM is only {f32_vs_f64:.2}x the f64 throughput at n={max_n} \
+             single-threaded (acceptance floor: 1.6x)"
+        );
     }
 
     // Emit the machine-readable trajectory file.
@@ -225,14 +266,16 @@ fn main() {
         ));
     }
     let derived = format!(
-        "  \"derived\": {{\n    \"max_n\": {max_n},\n    \"gemm_packed_vs_seed_naive_speedup_st\": {},\n    \"gemm_packed_mt_vs_st_speedup\": {}\n  }}",
+        "  \"derived\": {{\n    \"max_n\": {max_n},\n    \"gemm_packed_vs_seed_naive_speedup_st\": {},\n    \"gemm_packed_mt_vs_st_speedup\": {},\n    \"gemm_f32_vs_f64_speedup_st\": {}\n  }}",
         json_num(packed_vs_naive),
-        json_num(mt_vs_st)
+        json_num(mt_vs_st),
+        json_num(f32_vs_f64)
     );
     let json = format!(
-        "{{\n  \"bench\": \"kernel_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {hw_threads},\n  \"threads_available\": {hw_threads},\n  \"simd_backend\": \"{}\",\n  \"results\": [\n{}\n  ],\n{derived}\n}}\n",
+        "{{\n  \"bench\": \"kernel_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {hw_threads},\n  \"threads_available\": {hw_threads},\n  \"simd_backend\": \"{}\",\n{},\n  \"results\": [\n{}\n  ],\n{derived}\n}}\n",
         if smoke { "smoke" } else { "full" },
         simd_backend(),
+        bsr_bench::autotune_json(),
         rows.join(",\n")
     );
     if let Some(parent) = std::path::Path::new(&out).parent() {

@@ -579,8 +579,9 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"reliability_perf\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"block\": {b},\n  \"trials_per_cell\": {trials},\n  \"protected_tiles_per_run\": {total_tiles},\n  \"cells\": [\n{}\n  ],\n  \"fault_free_baselines\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"reliability_perf\",\n  \"mode\": \"{}\",\n  \"n\": {n},\n  \"block\": {b},\n  \"trials_per_cell\": {trials},\n  \"protected_tiles_per_run\": {total_tiles},\n{},\n  \"cells\": [\n{}\n  ],\n  \"fault_free_baselines\": [\n{}\n  ],\n  \"derived\": {{\n{}\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
+        bsr_bench::autotune_json(),
         cell_json.join(",\n"),
         baseline_json.join(",\n"),
         derived

@@ -52,6 +52,32 @@ pub fn run_all_strategies(dec: Decomposition) -> Vec<(&'static str, RunReport)> 
         .collect()
 }
 
+/// The autotuned kernel parameters of both element types as a JSON object member
+/// (no trailing comma/newline): `"autotune": [{...f64...}, {...f32...}]`. Every
+/// `BENCH_*.json` writer embeds this so each recorded trajectory carries the
+/// (NC, KC, MC, parallel-dispatch) operating point it was measured under — numbers
+/// from a probed host and numbers from a `BSR_AUTOTUNE=0` CI run are then
+/// distinguishable after the fact. Forces resolution (probe or cache read) of both
+/// element types.
+pub fn autotune_json() -> String {
+    let rows: Vec<String> = bsr_linalg::tune::report_names()
+        .iter()
+        .zip(bsr_linalg::tune::report())
+        .map(|(name, p)| {
+            format!(
+                "    {{\"elem\":\"{name}\",\"nc\":{nc},\"kc\":{kc},\"mc\":{mc},\
+                 \"par_madds\":{pm},\"source\":\"{src}\"}}",
+                nc = p.nc,
+                kc = p.kc,
+                mc = p.mc,
+                pm = p.par_madds,
+                src = p.source
+            )
+        })
+        .collect();
+    format!("  \"autotune\": [\n{}\n  ]", rows.join(",\n"))
+}
+
 /// Print a section header so the combined `cargo bench` output stays navigable.
 pub fn header(title: &str) {
     println!();

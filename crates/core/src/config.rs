@@ -28,6 +28,18 @@ pub enum AbftMode {
     Forced(ChecksumScheme),
 }
 
+/// Numeric precision of the real (numeric-mode) factorization engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Factor and solve entirely in f64 — the default, and the only mode the
+    /// analytic driver models.
+    F64,
+    /// Factor in f32 (twice the SIMD lanes per vector register), protect with f64
+    /// checksums, and recover f64 accuracy with an f64 iterative-refinement sweep.
+    /// Numeric LU and Cholesky only; QR has no f32 path and reports an error.
+    MixedF32,
+}
+
 /// Complete configuration of one simulated factorization run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -62,6 +74,9 @@ pub struct RunConfig {
     /// planner draws no extra randomness, so pre-recovery RNG streams reproduce
     /// bit-identically.
     pub fault_mix: FaultMix,
+    /// Numeric-engine precision: f64 throughout (default), or the mixed f32-factor /
+    /// f64-refinement path. Analytic runs ignore this knob.
+    pub precision: Precision,
 }
 
 impl RunConfig {
@@ -79,6 +94,7 @@ impl RunConfig {
             measured_feedback: true,
             recovery: RecoveryPolicy::default(),
             fault_mix: FaultMix::default(),
+            precision: Precision::F64,
         }
     }
 
@@ -95,7 +111,14 @@ impl RunConfig {
             measured_feedback: true,
             recovery: RecoveryPolicy::default(),
             fault_mix: FaultMix::default(),
+            precision: Precision::F64,
         }
+    }
+
+    /// Builder-style: set the numeric-engine precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Builder-style: enable/disable measured-time predictor feedback in numeric runs.

@@ -42,20 +42,20 @@ pub mod report;
 pub mod trace;
 
 pub use analytic::{AnalyticDriver, ObservedDurations, PendingStep};
-pub use config::{AbftMode, PredictorKind, RunConfig};
+pub use config::{AbftMode, Precision, PredictorKind, RunConfig};
 pub use numeric::{
-    run_numeric, run_numeric_on, MeasuredIteration, NumericError, NumericFactors,
-    NumericRunReport,
+    run_numeric, run_numeric_on, MeasuredIteration, MixedRefinement, NumericError,
+    NumericFactors, NumericRunReport,
 };
 pub use report::{compare, Comparison, RunReport};
 
 /// Convenient re-exports for applications using the framework.
 pub mod prelude {
     pub use crate::analytic::run;
-    pub use crate::config::{AbftMode, PredictorKind, RunConfig};
+    pub use crate::config::{AbftMode, Precision, PredictorKind, RunConfig};
     pub use crate::numeric::{
-        run_numeric, run_numeric_on, MeasuredIteration, NumericError, NumericFactors,
-        NumericRunReport,
+        run_numeric, run_numeric_on, MeasuredIteration, MixedRefinement, NumericError,
+        NumericFactors, NumericRunReport,
     };
     pub use crate::pareto::{pareto_front, sweep_reclamation_ratio};
     pub use crate::reliability::{estimate_reliability, monte_carlo_reliability};

@@ -36,18 +36,21 @@
 //! n in the hundreds.
 
 use crate::analytic::{AnalyticDriver, ObservedDurations};
-use crate::config::RunConfig;
+use crate::config::{Precision, RunConfig};
 use crate::report::RunReport;
 use crate::trace::SdcEvent;
 use bsr_abft::checksum::{ChecksumScheme, VerifyOutcome};
 use bsr_abft::fused::{FaultTarget, FusedTileChecksums, PerIterationChecksums, PlannedFault};
+use bsr_abft::mixed::{MixedChecksums, MixedPerIterationChecksums};
 use bsr_abft::recover::{RecoveryAction, RecoveryEvent, RecoveryTracker};
 use bsr_linalg::dag::DagExecution;
 use bsr_linalg::generate::{random_matrix, random_spd_matrix};
+use bsr_linalg::lowprec::{self, LowPrecError};
 use bsr_linalg::matrix::{Block, Matrix};
+use bsr_linalg::solve::{cholesky_solve, lu_solve};
 use bsr_linalg::task::{StepTiming, TrailingHook};
 use bsr_linalg::verify::{cholesky_residual, lu_residual, qr_residual, CORRECTNESS_THRESHOLD};
-use bsr_linalg::{cholesky, lu, qr};
+use bsr_linalg::{blas3, cholesky, lu, qr, Trans};
 use bsr_sched::workload::Decomposition;
 use hetero_sim::device::DeviceKind;
 use hetero_sim::sdc::FaultMix;
@@ -55,6 +58,7 @@ use hetero_sim::timeline::Timeline;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Error produced by a numeric-mode run.
 #[derive(Debug)]
@@ -86,6 +90,16 @@ pub enum NumericError {
         /// (schedule-independent) order.
         history: Vec<RecoveryEvent>,
     },
+    /// The mixed-precision path was requested for a decomposition that has no f32
+    /// driver (QR: Householder reflectors lose too much orthogonality in f32 for
+    /// normwise refinement to recover, so the path is not offered).
+    MixedUnsupported {
+        /// The offending decomposition.
+        dec: Decomposition,
+    },
+    /// The f32 factorization itself failed (singular / not SPD to f32 precision, or
+    /// corrupted beyond the f32 pivot tolerance by an uncorrected fault).
+    LowPrecision(LowPrecError),
 }
 
 impl std::fmt::Display for NumericError {
@@ -107,6 +121,10 @@ impl std::fmt::Display for NumericError {
                     n = history.len()
                 )
             }
+            NumericError::MixedUnsupported { dec } => {
+                write!(f, "mixed precision is not supported for {dec:?} (LU and Cholesky only)")
+            }
+            NumericError::LowPrecision(e) => write!(f, "f32 factorization failed: {e}"),
         }
     }
 }
@@ -123,6 +141,11 @@ pub enum NumericFactors {
     Lu(lu::LuFactors),
     /// Compact QR factors with Householder scalars.
     Qr(qr::QrFactors),
+    /// Mixed-precision LU: the factors are f32 (the refined f64 solution lives in
+    /// the run's [`MixedRefinement`] record, not in the factors).
+    MixedLu(lowprec::LuFactorsF32),
+    /// Mixed-precision Cholesky factor storage, f32.
+    MixedCholesky(Matrix<f32>),
 }
 
 /// Measured-vs-modelled record of one numeric iteration.
@@ -151,6 +174,27 @@ pub struct MeasuredIteration {
     pub analytic_update_s: f64,
 }
 
+/// The f64 iterative-refinement record of a mixed-precision
+/// ([`Precision::MixedF32`]) run.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedRefinement {
+    /// Correction sweeps applied beyond the initial f32 solve.
+    pub refine_iters: usize,
+    /// Final normwise relative backward error
+    /// `η = ‖b − Ax‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)` of the refined solution.
+    pub backward_error: f64,
+    /// Convergence threshold the sweep targeted (`4·n·ε_f64`, the backward error a
+    /// *direct* f64 solve of a well-conditioned system delivers).
+    pub tol: f64,
+    /// Whether refinement reached `tol` within the sweep budget. Uncorrected SDC
+    /// strikes and f32 accumulation blowups surface here as `false` — the mixed
+    /// path's structured-failure signal.
+    pub converged: bool,
+    /// Wall-clock seconds of the whole f64 recovery phase (initial solve, residual
+    /// evaluations and correction sweeps).
+    pub solve_seconds: f64,
+}
+
 /// Result of a numeric-mode run: the analytic-style report plus numerical evidence and
 /// the measured execution record.
 #[derive(Debug, Clone)]
@@ -166,8 +210,10 @@ pub struct NumericRunReport {
     pub verification: VerifyOutcome,
     /// Number of faults physically injected into matrix data.
     pub faults_injected: usize,
-    /// Whether the final factorization is numerically correct
-    /// (residual below [`CORRECTNESS_THRESHOLD`]).
+    /// Whether the final result is numerically correct: residual below
+    /// [`CORRECTNESS_THRESHOLD`] for f64 runs, refinement convergence to f64
+    /// backward error for mixed-precision runs (whose f32 *factors* are only
+    /// f32-accurate by construction — see [`NumericRunReport::mixed`]).
     pub numerically_correct: bool,
     /// Measured per-device timeline: panel factorizations on the CPU stream concurrent
     /// with trailing-update regions on the GPU stream, one barrier per iteration.
@@ -182,6 +228,8 @@ pub struct NumericRunReport {
     /// tile recomputations, iteration/run replays), in canonical order. Empty when
     /// recovery is disabled.
     pub recovery: Vec<RecoveryEvent>,
+    /// Iterative-refinement record of a mixed-precision run; `None` for f64 runs.
+    pub mixed: Option<MixedRefinement>,
 }
 
 impl NumericRunReport {
@@ -357,7 +405,9 @@ pub fn run_numeric_on(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport
             expected: n,
         });
     }
-    if cfg.measured_feedback {
+    if cfg.precision == Precision::MixedF32 {
+        run_numeric_mixed(cfg, input)
+    } else if cfg.measured_feedback {
         run_numeric_stepped(cfg, input)
     } else {
         run_numeric_dag(cfg, input)
@@ -496,6 +546,7 @@ fn run_numeric_stepped(
         measured,
         checksum_cpu_s,
         recovery: tracker.map(|t| t.history()).unwrap_or_default(),
+        mixed: None,
     })
 }
 
@@ -654,7 +705,227 @@ fn run_numeric_dag(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, N
         measured,
         checksum_cpu_s,
         recovery: tracker.map(|t| t.history()).unwrap_or_default(),
+        mixed: None,
     })
+}
+
+/// Maximum correction sweeps of the mixed path's f64 iterative refinement. Clean
+/// well-conditioned systems converge in 1–3 sweeps; a budget this size only runs out
+/// when the f32 factors are corrupted or the system is too ill-conditioned for f32
+/// factors to precondition (`κ(A)·ε_f32 ≳ 1`).
+const MAX_REFINE_SWEEPS: usize = 10;
+
+/// Mixed-precision path ([`Precision::MixedF32`]): factor in **f32** on the f32
+/// packed kernels (twice the SIMD lanes per vector register), protect every trailing
+/// tile with **f64** checksums ([`MixedChecksums`]: promote → encode → inject →
+/// verify/correct → demote), then recover f64 accuracy with an f64 iterative
+/// refinement sweep against the original input.
+///
+/// Differences from the f64 paths, all visible in the report:
+///
+/// * every iteration is planned up front (the `lowprec` drivers run the whole
+///   factorization in one call, so there is no per-iteration feedback opportunity);
+///   `measured_feedback` is ignored;
+/// * the recovery ladder is not wired in: in-place correction is the only rung, and
+///   anything beyond it (bursts, blowups) surfaces as a non-converging refinement
+///   ([`MixedRefinement::converged`] = `false`) rather than a replay;
+/// * `numerically_correct` means *refinement converged to f64 backward error*; the
+///   `residual` field still reports the factorization residual of the (promoted)
+///   f32 factors, which is f32-accurate by construction;
+/// * QR has no f32 driver and returns [`NumericError::MixedUnsupported`].
+fn run_numeric_mixed(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, NumericError> {
+    let n = cfg.workload.n;
+    let b = cfg.workload.block;
+    let dec = cfg.workload.decomposition;
+    if dec == Decomposition::Qr {
+        return Err(NumericError::MixedUnsupported { dec });
+    }
+    let mut inject_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0bad_5eed);
+    let mut driver = AnalyticDriver::new(cfg.clone());
+    let iterations = cfg.workload.iterations();
+
+    // --- plan every iteration and sample its SDC events up front -----------------------
+    // Same driver interaction as the DAG path. The f32 drivers offer only the trailing
+    // *square* `[(k+1)·b, n)²` to the hook (the panel — and for LU the U12 band — are
+    // CPU-side panel work there), so the fault plan is drawn over that subset of the
+    // protected tiles.
+    let mut hooks = Vec::with_capacity(iterations);
+    let mut plans = Vec::with_capacity(iterations);
+    for k in 0..iterations {
+        let pending = driver.begin_step(k);
+        let scheme = pending.trace().abft;
+        let tiles: Vec<Block> = protected_tiles(dec, n, b, k)
+            .into_iter()
+            .filter(|t| t.row >= (k + 1) * b)
+            .collect();
+        let panel_col = ((k + 1) * b < n).then(|| (k + 1) * b);
+        let faults = if tiles.is_empty() {
+            Vec::new()
+        } else {
+            plan_faults_with_mix(
+                &pending.trace().sdc_events,
+                &tiles,
+                &mut inject_rng,
+                &cfg.fault_mix,
+                panel_col,
+            )
+        };
+        hooks.push(MixedChecksums::with_faults(scheme, b, faults));
+        plans.push((pending.trace().timing, pending.trace().gpu_freq));
+        driver.finish_step(pending, None);
+    }
+    let hook = MixedPerIterationChecksums::new(hooks);
+
+    // --- f32 factorization with fused f64 protection -----------------------------------
+    let input_f32 = input.demote();
+    let (factors, iter_seconds) = match dec {
+        Decomposition::Lu => {
+            let f = lowprec::lu_blocked_f32(&input_f32, b, &hook)
+                .map_err(NumericError::LowPrecision)?;
+            let iter_seconds = f.iter_seconds.clone();
+            (NumericFactors::MixedLu(f), iter_seconds)
+        }
+        Decomposition::Cholesky => {
+            let mut m = input_f32;
+            let iter_seconds = lowprec::cholesky_blocked_f32(&mut m, b, &hook)
+                .map_err(NumericError::LowPrecision)?;
+            (NumericFactors::MixedCholesky(m), iter_seconds)
+        }
+        Decomposition::Qr => unreachable!("rejected above"),
+    };
+
+    // The factorization residual of the promoted f32 factors: f32-accurate, reported
+    // for comparison against the f64 paths (correctness is judged by refinement).
+    let residual = match &factors {
+        NumericFactors::MixedLu(f) => lu_residual(
+            input,
+            &lu::LuFactors { lu: f.lu.promote(), pivots: f.pivots.clone() },
+        ),
+        NumericFactors::MixedCholesky(m) => {
+            cholesky_residual(input, &m.promote().lower_triangular())
+        }
+        _ => unreachable!("mixed path produced non-mixed factors"),
+    };
+
+    // --- f64 iterative refinement against the original input ---------------------------
+    // Deterministic right-hand side from the run seed; each sweep solves the f64
+    // residual system through the f32 factors and adds the correction in f64. The
+    // backward error is evaluated *before* each correction, so `converged` certifies
+    // the returned solution, not a predecessor.
+    let t_refine = Instant::now();
+    let mut rhs_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x00f3_2d0c);
+    let rhs = random_matrix(&mut rhs_rng, n, 1);
+    let a_norm = inf_norm(input);
+    let b_norm = inf_norm(&rhs);
+    let tol = 4.0 * n as f64 * f64::EPSILON;
+    let mut x = mixed_solve(&factors, &rhs);
+    let mut refine_iters = 0usize;
+    let mut backward_error;
+    let mut converged = false;
+    loop {
+        let ax = blas3::gemv(input, Trans::No, &x);
+        let mut r = rhs.clone();
+        for (ri, &axi) in r.data_mut().iter_mut().zip(ax.data()) {
+            *ri -= axi;
+        }
+        backward_error = inf_norm(&r) / (a_norm * inf_norm(&x) + b_norm);
+        if backward_error <= tol {
+            converged = true;
+            break;
+        }
+        // Non-finite η means the factors carry a blowup or uncorrected burst:
+        // further sweeps would only propagate NaNs.
+        if !backward_error.is_finite() || refine_iters >= MAX_REFINE_SWEEPS {
+            break;
+        }
+        let d = mixed_solve(&factors, &r);
+        for (xi, &di) in x.data_mut().iter_mut().zip(d.data()) {
+            *xi += di;
+        }
+        refine_iters += 1;
+    }
+    let mixed = MixedRefinement {
+        refine_iters,
+        backward_error,
+        tol,
+        converged,
+        solve_seconds: t_refine.elapsed().as_secs_f64(),
+    };
+
+    // --- timeline and per-iteration record ---------------------------------------------
+    // The lowprec drivers do not separate panel from update work, so each iteration's
+    // whole wall-clock duration is charged to the update stream (`pd_s` = 0, no
+    // predictions — mixed runs plan up front). The refinement sweep is a final
+    // CPU-stream task, making the makespan end-to-end: factor + protect + refine.
+    let cpu_base = driver.platform().cpu.base_freq;
+    let mut timeline = Timeline::new();
+    let mut measured = Vec::with_capacity(iterations);
+    let mut checksum_cpu_s = 0.0;
+    for (k, (analytic, gpu_freq)) in plans.into_iter().enumerate() {
+        let update_s = iter_seconds.get(k).copied().unwrap_or(0.0);
+        let iter_checksum_s = hook.hook(k).checksum_seconds();
+        timeline.push_task(DeviceKind::Gpu, "UPDATE", k, update_s, gpu_freq);
+        timeline.sync();
+        checksum_cpu_s += iter_checksum_s;
+        measured.push(MeasuredIteration {
+            k,
+            pd_s: 0.0,
+            update_s,
+            checksum_s: iter_checksum_s,
+            predicted_pd_s: None,
+            predicted_update_s: None,
+            analytic_pd_s: analytic.pd_s,
+            analytic_update_s: analytic.pu_s + analytic.tmu_s + analytic.abft_s,
+        });
+    }
+    timeline.push_task(DeviceKind::Cpu, "REFINE", iterations, mixed.solve_seconds, cpu_base);
+    timeline.sync();
+
+    let verification = hook.outcome();
+    let faults_injected = hook.faults_injected();
+    let report = driver.into_report();
+    Ok(NumericRunReport {
+        numerically_correct: mixed.converged,
+        report,
+        factors,
+        residual,
+        verification,
+        faults_injected,
+        timeline,
+        measured,
+        checksum_cpu_s,
+        recovery: Vec::new(),
+        mixed: Some(mixed),
+    })
+}
+
+/// ∞-norm: maximum absolute row sum (for an `n × 1` column this is the vector
+/// ∞-norm, so one helper serves both uses in the refinement loop).
+fn inf_norm(m: &Matrix) -> f64 {
+    if m.rows() == 0 {
+        return 0.0;
+    }
+    // Row sums in one contiguous pass over the column-major backing (a row-indexed
+    // double loop strides by `rows` on every access — a cache miss per element on
+    // the refinement loop's n × n operand).
+    let mut sums = vec![0.0f64; m.rows()];
+    for col in m.data().chunks_exact(m.rows()) {
+        for (s, &v) in sums.iter_mut().zip(col) {
+            *s += v.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// One solve through the mixed-precision f32 factors: demote the f64 right-hand
+/// side, solve in f32, promote the result (the refinement loop's preconditioner).
+fn mixed_solve(factors: &NumericFactors, rhs: &Matrix) -> Matrix {
+    let r32 = rhs.demote();
+    match factors {
+        NumericFactors::MixedLu(f) => lu_solve(&f.lu, &f.pivots, &r32).promote(),
+        NumericFactors::MixedCholesky(l) => cholesky_solve(l, &r32).promote(),
+        _ => unreachable!("mixed_solve called with non-mixed factors"),
+    }
 }
 
 /// The `block × block` tile grid the fused checksum hook protects in iteration `k`:
@@ -949,6 +1220,91 @@ mod tests {
         assert!(out.measured[0].pd_s > 0.0);
         assert!(out.measured[0].update_s > 0.0);
         assert!(out.measured_makespan_s() > 0.0);
+    }
+
+    #[test]
+    fn mixed_precision_lu_refines_to_f64_accuracy() {
+        let cfg = small_cfg(Decomposition::Lu, Strategy::Original)
+            .with_fault_injection(false)
+            .with_precision(Precision::MixedF32);
+        let out = run_numeric(cfg).unwrap();
+        let mixed = out.mixed.expect("mixed runs must carry a refinement record");
+        assert!(
+            mixed.converged,
+            "refinement must reach f64 backward error (η {e:.3e} vs tol {t:.3e})",
+            e = mixed.backward_error,
+            t = mixed.tol
+        );
+        assert!(mixed.backward_error <= mixed.tol);
+        assert!(
+            mixed.refine_iters >= 1,
+            "f32 factors cannot hit f64 backward error without at least one sweep"
+        );
+        assert!(out.numerically_correct);
+        assert!(matches!(out.factors, NumericFactors::MixedLu(_)));
+        // The f32 factors themselves are only f32-accurate: the factorization
+        // residual must sit far above the f64 threshold, proving the refinement —
+        // not the factorization — is what earns correctness.
+        assert!(
+            out.residual > CORRECTNESS_THRESHOLD,
+            "f32 factor residual {res:.3e} is implausibly small",
+            res = out.residual
+        );
+        assert_eq!(out.measured.len(), 6);
+        assert!(out.measured.iter().all(|m| m.update_s > 0.0));
+        assert!(out.measured_makespan_s() > mixed.solve_seconds);
+    }
+
+    #[test]
+    fn mixed_precision_cholesky_pays_and_records_checksum_cost() {
+        let cfg = small_cfg(Decomposition::Cholesky, Strategy::Original)
+            .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+            .with_fault_injection(false)
+            .with_precision(Precision::MixedF32);
+        let out = run_numeric(cfg).unwrap();
+        assert!(out.mixed.unwrap().converged);
+        assert!(matches!(out.factors, NumericFactors::MixedCholesky(_)));
+        // Full protection over every trailing tile must show up as measured
+        // checksum cost, exactly as on the f64 paths.
+        assert!(out.checksum_cpu_s > 0.0);
+        assert!(out.measured_checksum_fraction() > 0.0);
+        assert_eq!(out.faults_injected, 0);
+        assert!(out.verification.is_clean_or_corrected());
+    }
+
+    #[test]
+    fn mixed_precision_qr_is_rejected_structurally() {
+        let cfg = small_cfg(Decomposition::Qr, Strategy::Original)
+            .with_precision(Precision::MixedF32);
+        let err = run_numeric(cfg).unwrap_err();
+        assert!(matches!(err, NumericError::MixedUnsupported { dec: Decomposition::Qr }));
+        assert!(err.to_string().contains("mixed precision"));
+    }
+
+    #[test]
+    fn mixed_precision_corrects_injected_faults_and_still_converges() {
+        // Same overclocked operating point as the f64 injection test: faults strike
+        // the promoted tiles between encode and verify, the f64 checksums correct
+        // them (rounded through f32), and refinement must still converge to f64
+        // accuracy — the ISSUE's end-to-end mixed-path reliability claim.
+        let mut cfg = small_cfg(Decomposition::Lu, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
+            .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+            .with_precision(Precision::MixedF32)
+            .with_seed(11);
+        cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
+        cfg.platform.gpu.sdc.one_d_onset = hetero_sim::freq::MHz(1100.0);
+        cfg.platform.gpu.sdc.base_rate_per_s = 4.0e4;
+        cfg.platform.gpu.sdc.one_d_base_rate_per_s = 4.0e3;
+        let out = run_numeric(cfg).unwrap();
+        assert!(out.faults_injected > 0, "test needs at least one injected fault");
+        assert!(out.verification.corrected_0d + out.verification.corrected_1d > 0);
+        let mixed = out.mixed.unwrap();
+        assert!(
+            mixed.converged,
+            "corrected mixed run must refine to f64 accuracy (η {e:.3e}, {n} faults)",
+            e = mixed.backward_error,
+            n = out.faults_injected
+        );
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Refinement-convergence property of the mixed-precision engine path.
+//!
+//! Over randomized orders, block sizes, seeds and decompositions — **with fault
+//! injection active** at an overclocked operating point under forced Full ABFT — a
+//! `Precision::MixedF32` run must converge to f64 backward error, and that backward
+//! error must track the f64 direct path: `η_mixed ≤ max(2·η_f64, 4·n·ε_f64)` (the
+//! floor guards against a direct-path η so small that a 2× ratio would demand
+//! sub-ε accuracy of the refinement).
+//!
+//! Inputs are diagonally dominant (LU) or SPD (Cholesky), so the convergence
+//! condition `κ(A)·ε_f32 ≪ 1` holds by construction and a failure means the mixed
+//! pipeline — f32 packed kernels, f64 checksum correction, refinement sweep — broke,
+//! not that the sampled matrix was pathological.
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_core::config::{AbftMode, Precision, RunConfig};
+use bsr_core::numeric::run_numeric_on;
+use bsr_linalg::generate::{random_diag_dominant_matrix, random_matrix, random_spd_matrix};
+use bsr_linalg::solve::{cholesky_solve, lu_solve};
+use bsr_linalg::{blas3, cholesky, lu, Matrix, Trans};
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// ∞-norm (max absolute row sum; vector ∞-norm for a column).
+fn inf_norm(m: &Matrix) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..m.rows() {
+        let mut s = 0.0;
+        for j in 0..m.cols() {
+            s += m.get(i, j).abs();
+        }
+        best = best.max(s);
+    }
+    best
+}
+
+/// Normwise relative backward error `‖b − Ax‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)`.
+fn backward_error(a: &Matrix, x: &Matrix, b: &Matrix) -> f64 {
+    let ax = blas3::gemm(a, Trans::No, x, Trans::No);
+    let mut rmax = 0.0f64;
+    for i in 0..b.rows() {
+        rmax = rmax.max((b.get(i, 0) - ax.get(i, 0)).abs());
+    }
+    rmax / (inf_norm(a) * inf_norm(x) + inf_norm(b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mixed_backward_error_tracks_the_f64_direct_path(
+        blocks in 3usize..7,
+        block_sel in 0u8..2,
+        seed in any::<u64>(),
+        chol in any::<bool>(),
+    ) {
+        let block = [16usize, 32][block_sel as usize];
+        let n = blocks * block;
+        let dec = if chol { Decomposition::Cholesky } else { Decomposition::Lu };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let input = match dec {
+            Decomposition::Cholesky => random_spd_matrix(&mut rng, n),
+            _ => random_diag_dominant_matrix(&mut rng, n),
+        };
+
+        // Overclocked operating point under forced Full ABFT: SDCs are sampled at a
+        // rate high enough that these micro-second runs still inject faults, and the
+        // f64 checksums must correct them for refinement to converge.
+        let mut cfg = RunConfig::small(dec, n, block, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
+            .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+            .with_precision(Precision::MixedF32)
+            .with_seed(seed);
+        cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
+        cfg.platform.gpu.sdc.one_d_onset = hetero_sim::freq::MHz(1100.0);
+        cfg.platform.gpu.sdc.base_rate_per_s = 4.0e4;
+        cfg.platform.gpu.sdc.one_d_base_rate_per_s = 4.0e3;
+
+        let out = run_numeric_on(cfg, &input).unwrap();
+        let mixed = out.mixed.expect("mixed runs carry a refinement record");
+        prop_assert!(
+            mixed.converged,
+            "refinement must converge (η {e:.3e} vs tol {t:.3e}, {f} faults, dec {dec:?})",
+            e = mixed.backward_error, t = mixed.tol, f = out.faults_injected
+        );
+
+        // The f64 direct path on the same system: factor once in f64, solve one
+        // deterministic RHS, measure the same normwise backward error.
+        let rhs = random_matrix(&mut rng, n, 1);
+        let eta_f64 = match dec {
+            Decomposition::Cholesky => {
+                let mut m = input.clone();
+                cholesky::cholesky_blocked(&mut m, block).unwrap();
+                backward_error(&input, &cholesky_solve(&m, &rhs), &rhs)
+            }
+            _ => {
+                let f = lu::lu_blocked(&input, block).unwrap();
+                backward_error(&input, &lu_solve(&f.lu, &f.pivots, &rhs), &rhs)
+            }
+        };
+        let floor = 4.0 * n as f64 * f64::EPSILON;
+        let bound = (2.0 * eta_f64).max(floor);
+        prop_assert!(
+            mixed.backward_error <= bound,
+            "mixed η {e:.3e} exceeds 2× the f64 direct path ({d:.3e}, floor {fl:.3e})",
+            e = mixed.backward_error, d = eta_f64, fl = floor
+        );
+    }
+}

@@ -285,6 +285,7 @@ proptest! {
                         "QR factors not bit-identical (n={} b={} threads={})", n, block, t
                     );
                 }
+                other => panic!("f64 run produced {other:?} (n={n} b={block} threads={t})"),
             }
         }
     }

@@ -190,6 +190,7 @@ fn classify(
                 NumericFactors::Cholesky(m) => (m, Vec::new(), Vec::new()),
                 NumericFactors::Lu(f) => (f.lu, f.pivots, Vec::new()),
                 NumericFactors::Qr(f) => (f.qr, Vec::new(), f.taus),
+                other => panic!("{label}: f64 recovery run produced {other:?}"),
             };
             assert!(factored == reference.factored, "{label}: factors not bit-identical");
             assert_eq!(pivots, reference.pivots, "{label}: pivots differ");
@@ -484,6 +485,7 @@ proptest! {
                     NumericFactors::Cholesky(m) => m,
                     NumericFactors::Lu(f) => f.lu,
                     NumericFactors::Qr(f) => f.qr,
+                    other => panic!("{}: f64 run produced {:?}", &label, other),
                 };
                 let state = (
                     factored,

@@ -17,7 +17,8 @@
 //! into caller-owned column slices so each tile task's disjointness is a borrow-checker
 //! fact.
 
-use crate::kernel::{self, NR};
+use crate::elem::Element;
+use crate::kernel;
 use crate::matrix::{Block, Matrix};
 use rayon::prelude::*;
 
@@ -72,18 +73,17 @@ const TRSM_NB: usize = 64;
 /// parallel region costs single-digit microseconds (measured ≈ 2–4 µs for a 4-job
 /// region on the persistent pool — recorded as `pool_dispatch_us` in
 /// `BENCH_facto.json` — versus the tens of microseconds the old spawn-per-region shim
-/// paid). A region therefore pays off once it carries a few tens of microseconds of
-/// math: `64 · 64 · 64 ≈ 262 k` madds ≈ 0.5 MFLOP is ~50 µs at 10 GFLOP/s,
-/// an order of magnitude above the dispatch cost, and one quarter of the old
-/// spawn-per-region threshold — small per-tile-column GEMM tasks of the tiled
-/// factorizations now split when the host has idle workers. Below it the caller gets
+/// paid). A region therefore pays off once it carries work an order of magnitude above
+/// the dispatch cost; the crossover madd count is resolved per (host, element type) by
+/// the [`crate::tune`] autotuner (compiled default `64 · 64 · 64 ≈ 262 k` madds ≈
+/// 0.5 MFLOP, ~50 µs at 10 GFLOP/s) — small per-tile-column GEMM tasks of the tiled
+/// factorizations split when the host has idle workers. Below it the caller gets
 /// `1` and stays on the calling thread.
 /// Nested regions stay sequential: inside a pool task (a tile task of the tiled
 /// factorizations) the task graph above already saturates the workers, so an inner
 /// split would only add dispatch traffic and queue churn.
-fn parallel_degree(madds: usize) -> usize {
-    const PAR_THRESHOLD: usize = 64 * 64 * 64;
-    if madds >= PAR_THRESHOLD && !rayon::in_pool_task() {
+fn parallel_degree<E: Element>(madds: usize) -> usize {
+    if madds >= crate::tune::params::<E>().par_madds && !rayon::in_pool_task() {
         rayon::current_num_threads()
     } else {
         1
@@ -91,7 +91,7 @@ fn parallel_degree(madds: usize) -> usize {
 }
 
 #[inline]
-fn op_dims(a: &Matrix, trans: Trans) -> (usize, usize) {
+fn op_dims<E: Element>(a: &Matrix<E>, trans: Trans) -> (usize, usize) {
     match trans {
         Trans::No => (a.rows(), a.cols()),
         Trans::Yes => (a.cols(), a.rows()),
@@ -99,7 +99,7 @@ fn op_dims(a: &Matrix, trans: Trans) -> (usize, usize) {
 }
 
 #[inline]
-fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
+fn op_get<E: Element>(a: &Matrix<E>, trans: Trans, i: usize, j: usize) -> E {
     match trans {
         Trans::No => a.get(i, j),
         Trans::Yes => a.get(j, i),
@@ -107,23 +107,31 @@ fn op_get(a: &Matrix, trans: Trans, i: usize, j: usize) -> f64 {
 }
 
 /// Dense copy of the `rows × cols` sub-block of `op(A)` at op-coordinates `(r0, c0)`.
-fn copy_op_block(a: &Matrix, trans: Trans, r0: usize, rows: usize, c0: usize, cols: usize) -> Matrix {
+fn copy_op_block<E: Element>(
+    a: &Matrix<E>,
+    trans: Trans,
+    r0: usize,
+    rows: usize,
+    c0: usize,
+    cols: usize,
+) -> Matrix<E> {
     Matrix::from_fn(rows, cols, |i, j| op_get(a, trans, r0 + i, c0 + j))
 }
 
 /// Apply BLAS `beta`/`alpha` scaling semantics to an output block: a factor of exactly
 /// `0` **overwrites** the block with zeros (stale or uninitialized contents — including
 /// NaN/Inf — must not propagate), `1` is a no-op, anything else scales in place.
-fn scale_block(c: &mut Matrix, cb: Block, factor: f64) {
+fn scale_block<E: Element>(c: &mut Matrix<E>, cb: Block, factor: f64) {
     if factor == 1.0 {
         return;
     }
+    let fe = E::from_f64(factor);
     for (_, col) in c.cols_range_mut(cb) {
         if factor == 0.0 {
-            col.fill(0.0);
+            col.fill(E::ZERO);
         } else {
             for v in col.iter_mut() {
-                *v *= factor;
+                *v *= fe;
             }
         }
     }
@@ -131,18 +139,19 @@ fn scale_block(c: &mut Matrix, cb: Block, factor: f64) {
 
 /// [`scale_block`] restricted to the lower triangle of a square block (SYRK touches
 /// nothing above the diagonal).
-fn scale_block_lower(c: &mut Matrix, cb: Block, factor: f64) {
+fn scale_block_lower<E: Element>(c: &mut Matrix<E>, cb: Block, factor: f64) {
     if factor == 1.0 {
         return;
     }
+    let fe = E::from_f64(factor);
     let col0 = cb.col;
     for (j, col) in c.cols_range_mut(cb) {
         let lower = &mut col[j - col0..];
         if factor == 0.0 {
-            lower.fill(0.0);
+            lower.fill(E::ZERO);
         } else {
             for v in lower.iter_mut() {
-                *v *= factor;
+                *v *= fe;
             }
         }
     }
@@ -152,8 +161,12 @@ fn scale_block_lower(c: &mut Matrix, cb: Block, factor: f64) {
 /// element `(cb.row + i, cb.col + jj)`) and hand them to `f`. Columns are disjoint
 /// slices of the column-major backing vector, so the strips the callers fan out over
 /// threads are independent borrows.
-fn with_block_cols<R>(c: &mut Matrix, cb: Block, f: impl FnOnce(&mut [&mut [f64]]) -> R) -> R {
-    let mut cols: Vec<&mut [f64]> = c.cols_range_mut(cb).map(|(_, s)| s).collect();
+pub(crate) fn with_block_cols<E: Element, R>(
+    c: &mut Matrix<E>,
+    cb: Block,
+    f: impl FnOnce(&mut [&mut [E]]) -> R,
+) -> R {
+    let mut cols: Vec<&mut [E]> = c.cols_range_mut(cb).map(|(_, s)| s).collect();
     f(&mut cols)
 }
 
@@ -164,14 +177,14 @@ fn with_block_cols<R>(c: &mut Matrix, cb: Block, f: impl FnOnce(&mut [&mut [f64]
 /// `beta == 0` overwrites the block (it is never read), so `c` may hold stale or
 /// non-finite data there.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature, kept for familiarity
-pub fn gemm_into_block(
+pub fn gemm_into_block<E: Element>(
     alpha: f64,
-    a: &Matrix,
+    a: &Matrix<E>,
     transa: Trans,
-    b: &Matrix,
+    b: &Matrix<E>,
     transb: Trans,
     beta: f64,
-    c: &mut Matrix,
+    c: &mut Matrix<E>,
     cb: Block,
 ) {
     let (am, ak) = op_dims(a, transa);
@@ -191,12 +204,13 @@ pub fn gemm_into_block(
     if alpha == 0.0 || k == 0 {
         return;
     }
-    let threads = parallel_degree(cb.rows * cb.cols * k);
-    let strip = cb.cols.div_ceil(threads).next_multiple_of(NR);
+    let alpha_e = E::from_f64(alpha);
+    let threads = parallel_degree::<E>(cb.rows * cb.cols * k);
+    let strip = cb.cols.div_ceil(threads).next_multiple_of(E::NR);
     with_block_cols(c, cb, |cols| {
         cols.par_chunks_mut(strip).enumerate().for_each(|(s, strip_cols)| {
             kernel::gemm_strip(
-                alpha, a, transa, 0, b, transb, 0, cb.rows, k, s * strip, strip_cols, false,
+                alpha_e, a, transa, 0, b, transb, 0, cb.rows, k, s * strip, strip_cols, false,
             );
         });
     });
@@ -220,15 +234,15 @@ pub fn gemm_into_block(
 /// [`gemm_into_block`] with `beta = 1` — per-element summation order depends only on
 /// the `k` dimension, not on how the output columns are partitioned.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature with sub-block origins
-pub fn gemm_acc_cols(
+pub fn gemm_acc_cols<E: Element>(
     alpha: f64,
-    a: &Matrix,
+    a: &Matrix<E>,
     transa: Trans,
     a_row0: usize,
-    b: &Matrix,
+    b: &Matrix<E>,
     transb: Trans,
     b_col0: usize,
-    cols: &mut [&mut [f64]],
+    cols: &mut [&mut [E]],
     mask_lower: bool,
 ) {
     if cols.is_empty() {
@@ -254,7 +268,18 @@ pub fn gemm_acc_cols(
         return;
     }
     kernel::gemm_strip(
-        alpha, a, transa, a_row0, b, transb, b_col0, m, ak, 0, cols, mask_lower,
+        E::from_f64(alpha),
+        a,
+        transa,
+        a_row0,
+        b,
+        transb,
+        b_col0,
+        m,
+        ak,
+        0,
+        cols,
+        mask_lower,
     );
 }
 
@@ -262,9 +287,9 @@ pub fn gemm_acc_cols(
 /// driver-owned [`PackedA`] scratch, for sharing across the tile tasks of one
 /// iteration (the buffer is reused between iterations).
 #[allow(clippy::too_many_arguments)] // BLAS-style plumbing
-pub(crate) fn repack_a_op(
-    pa: &mut PackedA,
-    a: &Matrix,
+pub(crate) fn repack_a_op<E: Element>(
+    pa: &mut PackedA<E>,
+    a: &Matrix<E>,
     transa: Trans,
     oi0: usize,
     ok0: usize,
@@ -281,14 +306,14 @@ pub(crate) fn repack_a_op(
 /// [`pack_a_op`]. `a_row0` must be `MR`-aligned (the drivers fall back to
 /// [`gemm_acc_cols`] otherwise); results are bit-identical to the unpacked path.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn gemm_acc_cols_prepacked(
+pub(crate) fn gemm_acc_cols_prepacked<E: Element>(
     alpha: f64,
-    pa: &PackedA,
+    pa: &PackedA<E>,
     a_row0: usize,
-    b: &Matrix,
+    b: &Matrix<E>,
     transb: Trans,
     b_col0: usize,
-    cols: &mut [&mut [f64]],
+    cols: &mut [&mut [E]],
     mask_lower: bool,
 ) {
     if cols.is_empty() {
@@ -308,7 +333,17 @@ pub(crate) fn gemm_acc_cols_prepacked(
         return;
     }
     kernel::gemm_strip_prepacked(
-        alpha, pa, a_row0, b, transb, b_col0, m, bk, 0, cols, mask_lower,
+        E::from_f64(alpha),
+        pa,
+        a_row0,
+        b,
+        transb,
+        b_col0,
+        m,
+        bk,
+        0,
+        cols,
+        mask_lower,
     );
 }
 
@@ -320,7 +355,7 @@ pub(crate) fn gemm_acc_cols_prepacked(
 /// the same `TRSM_NB` diagonal substitutions and the same rank-`TRSM_NB` GEMM
 /// eliminations — so the result is bit-identical while the tile task solves directly
 /// in its own columns instead of round-tripping through an extracted copy.
-pub(crate) fn trsm_unit_lower_cols(l: &Matrix, row0: usize, cols: &mut [&mut [f64]]) {
+pub(crate) fn trsm_unit_lower_cols<E: Element>(l: &Matrix<E>, row0: usize, cols: &mut [&mut [E]]) {
     assert!(l.is_square(), "trsm_unit_lower_cols: L must be square");
     let n = l.rows();
     if cols.is_empty() || n == 0 {
@@ -346,7 +381,7 @@ pub(crate) fn trsm_unit_lower_cols(l: &Matrix, row0: usize, cols: &mut [&mut [f6
             // exactly as the blocked TRSM does (same operand copies, same summation).
             let aop = l.copy_block(Block::new(d1, d0, n - d1, ndb));
             let xsol = crate::task::extract_cols(cols, row0 + d0, row0 + d1);
-            let mut sub: Vec<&mut [f64]> = cols
+            let mut sub: Vec<&mut [E]> = cols
                 .iter_mut()
                 .map(|c| &mut c[row0 + d1..row0 + n])
                 .collect();
@@ -364,7 +399,11 @@ pub(crate) fn trsm_unit_lower_cols(l: &Matrix, row0: usize, cols: &mut [&mut [f6
 /// forward sweep: per `TRSM_NB` diagonal block a column-coupled substitution, then one
 /// packed GEMM eliminating the solved columns from the later ones — so the result is
 /// bit-identical while the tiled Cholesky panel solves directly in its own columns.
-pub(crate) fn trsm_right_lower_trans_cols(l: &Matrix, row0: usize, cols: &mut [&mut [f64]]) {
+pub(crate) fn trsm_right_lower_trans_cols<E: Element>(
+    l: &Matrix<E>,
+    row0: usize,
+    cols: &mut [&mut [E]],
+) {
     assert!(l.is_square(), "trsm_right_lower_trans_cols: L must be square");
     let n = l.rows();
     assert_eq!(n, cols.len(), "trsm_right_lower_trans_cols: order mismatch");
@@ -384,7 +423,7 @@ pub(crate) fn trsm_right_lower_trans_cols(l: &Matrix, row0: usize, cols: &mut [&
         for j in d0..d1 {
             for lc in d0..j {
                 let scale = l.get(j, lc);
-                if scale != 0.0 {
+                if scale != E::ZERO {
                     let (src, dst) = crate::task::col_pair(cols, lc, j);
                     for (d, &s) in dst[row0..].iter_mut().zip(src[row0..].iter()) {
                         *d -= scale * s;
@@ -401,7 +440,7 @@ pub(crate) fn trsm_right_lower_trans_cols(l: &Matrix, row0: usize, cols: &mut [&
             // GEMM, with the same operand copies as the blocked TRSM.
             let xsol = crate::task::extract_cols(&cols[d0..d1], row0, nrows);
             let aop = Matrix::from_fn(ndb, n - d1, |i, j| l.get(d1 + j, d0 + i));
-            let mut sub: Vec<&mut [f64]> =
+            let mut sub: Vec<&mut [E]> =
                 cols[d1..n].iter_mut().map(|c| &mut c[row0..]).collect();
             gemm_acc_cols(-1.0, &xsol, Trans::No, 0, &aop, Trans::No, 0, &mut sub, false);
         }
@@ -411,12 +450,56 @@ pub(crate) fn trsm_right_lower_trans_cols(l: &Matrix, row0: usize, cols: &mut [&
 
 /// Convenience wrapper multiplying whole matrices into a fresh output:
 /// returns `op(A) * op(B)`.
-pub fn gemm(a: &Matrix, transa: Trans, b: &Matrix, transb: Trans) -> Matrix {
+pub fn gemm<E: Element>(
+    a: &Matrix<E>,
+    transa: Trans,
+    b: &Matrix<E>,
+    transb: Trans,
+) -> Matrix<E> {
     let (m, _) = op_dims(a, transa);
     let (_, n) = op_dims(b, transb);
     let mut c = Matrix::zeros(m, n);
     gemm_into_block(1.0, a, transa, b, transb, 0.0, &mut c, Block::full(m, n));
     c
+}
+
+/// Matrix-vector product `op(A) · x`: the single-column case the packed GEMM core
+/// handles badly — packing `op(A)` costs as much memory traffic as the whole product
+/// and cannot amortize over one output column, so this streams the operand directly.
+/// Column-major storage makes the no-trans case an axpy over contiguous columns and
+/// the trans case one contiguous dot per output element. The mixed-precision
+/// refinement loop computes exactly one of these per sweep.
+pub fn gemv<E: Element>(a: &Matrix<E>, transa: Trans, x: &Matrix<E>) -> Matrix<E> {
+    let (m, k) = op_dims(a, transa);
+    assert_eq!(x.rows(), k, "gemv: dimension mismatch ({k} vs {})", x.rows());
+    assert_eq!(x.cols(), 1, "gemv: x must be a single column");
+    let mut y = Matrix::zeros(m, 1);
+    let xd = x.data();
+    let ad = a.data();
+    let yd = y.data_mut();
+    match transa {
+        Trans::No => {
+            for (l, &xl) in xd.iter().enumerate() {
+                if xl != E::ZERO {
+                    let col = &ad[l * m..][..m];
+                    for (yi, &ail) in yd.iter_mut().zip(col) {
+                        *yi += ail * xl;
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            for (i, yi) in yd.iter_mut().enumerate() {
+                let col = &ad[i * k..][..k];
+                let mut s = E::ZERO;
+                for (&ali, &xl) in col.iter().zip(xd) {
+                    s += ali * xl;
+                }
+                *yi = s;
+            }
+        }
+    }
+    y
 }
 
 /// Triangular solve with multiple right-hand sides, in place on a block of `b`:
@@ -429,14 +512,14 @@ pub fn gemm(a: &Matrix, transa: Trans, b: &Matrix, transb: Trans) -> Matrix {
 /// are solved by substitution, the remaining rank-`TRSM_NB` updates go through the
 /// packed (and, for large problems, multithreaded) GEMM core.
 #[allow(clippy::too_many_arguments)]
-pub fn trsm_into_block(
+pub fn trsm_into_block<E: Element>(
     side: Side,
     uplo: UpLo,
     transa: Trans,
     diag: Diag,
     alpha: f64,
-    a: &Matrix,
-    b: &mut Matrix,
+    a: &Matrix<E>,
+    b: &mut Matrix<E>,
     bb: Block,
 ) {
     assert!(a.is_square(), "trsm: A must be square");
@@ -573,18 +656,18 @@ pub fn trsm_into_block(
 /// rows `[d0, d0 + nb)` of the right-hand-side block. Right-hand-side columns are
 /// independent, so wide blocks are fanned out over the thread pool.
 #[allow(clippy::too_many_arguments)]
-fn solve_left_diag(
-    a: &Matrix,
+fn solve_left_diag<E: Element>(
+    a: &Matrix<E>,
     transa: Trans,
     eff_uplo: UpLo,
     diag: Diag,
     d0: usize,
     nb: usize,
-    b: &mut Matrix,
+    b: &mut Matrix<E>,
     bb: Block,
 ) {
     let bsub = Block::new(bb.row + d0, bb.col, nb, bb.cols);
-    let solve_col = |col: &mut [f64]| match eff_uplo {
+    let solve_col = |col: &mut [E]| match eff_uplo {
         UpLo::Lower => {
             for i in 0..nb {
                 let gi = d0 + i;
@@ -612,7 +695,7 @@ fn solve_left_diag(
             }
         }
     };
-    let threads = parallel_degree(bb.cols * nb * nb);
+    let threads = parallel_degree::<E>(bb.cols * nb * nb);
     let strip = bb.cols.div_ceil(threads);
     with_block_cols(b, bsub, |cols| {
         cols.par_chunks_mut(strip).for_each(|chunk| {
@@ -628,14 +711,14 @@ fn solve_left_diag(
 /// are coupled, so they are produced sequentially (the bulk inter-block work happens in
 /// the caller's GEMM updates).
 #[allow(clippy::too_many_arguments)]
-fn solve_right_diag(
-    a: &Matrix,
+fn solve_right_diag<E: Element>(
+    a: &Matrix<E>,
     transa: Trans,
     eff_uplo: UpLo,
     diag: Diag,
     d0: usize,
     nb: usize,
-    b: &mut Matrix,
+    b: &mut Matrix<E>,
     bb: Block,
 ) {
     match eff_uplo {
@@ -643,7 +726,7 @@ fn solve_right_diag(
             for j in (d0..d0 + nb).rev() {
                 for l in j + 1..d0 + nb {
                     let scale = op_get(a, transa, l, j);
-                    if scale != 0.0 {
+                    if scale != E::ZERO {
                         subtract_scaled_column(b, bb, j, l, scale);
                     }
                 }
@@ -659,7 +742,7 @@ fn solve_right_diag(
             for j in d0..d0 + nb {
                 for l in d0..j {
                     let scale = op_get(a, transa, l, j);
-                    if scale != 0.0 {
+                    if scale != E::ZERO {
                         subtract_scaled_column(b, bb, j, l, scale);
                     }
                 }
@@ -675,7 +758,7 @@ fn solve_right_diag(
 }
 
 /// `B[bb][:, j] -= scale * B[bb][:, l]` for two local column indices of the block.
-fn subtract_scaled_column(b: &mut Matrix, bb: Block, j: usize, l: usize, scale: f64) {
+fn subtract_scaled_column<E: Element>(b: &mut Matrix<E>, bb: Block, j: usize, l: usize, scale: E) {
     let rows = bb.rows;
     let row0 = bb.row;
     let (cj, cl) = (bb.col + j, bb.col + l);
@@ -686,14 +769,14 @@ fn subtract_scaled_column(b: &mut Matrix, bb: Block, j: usize, l: usize, scale: 
     let (head, tail) = data.split_at_mut(hi_idx * b_rows);
     let lo_col = &mut head[lo_idx * b_rows..lo_idx * b_rows + b_rows];
     let hi_col = &mut tail[..b_rows];
-    let (dst, src): (&mut [f64], &[f64]) = if cl < cj { (hi_col, lo_col) } else { (lo_col, hi_col) };
+    let (dst, src): (&mut [E], &[E]) = if cl < cj { (hi_col, lo_col) } else { (lo_col, hi_col) };
     for i in 0..rows {
         dst[row0 + i] -= scale * src[row0 + i];
     }
 }
 
 /// Mutable slice of local column `j` of block `bb`.
-fn column_mut(b: &mut Matrix, bb: Block, j: usize) -> &mut [f64] {
+fn column_mut<E: Element>(b: &mut Matrix<E>, bb: Block, j: usize) -> &mut [E] {
     let rows = b.rows();
     let col = bb.col + j;
     &mut b.data_mut()[col * rows + bb.row..col * rows + bb.row + bb.rows]
@@ -706,7 +789,13 @@ fn column_mut(b: &mut Matrix, bb: Block, j: usize) -> &mut [f64] {
 /// a lower-triangle mask: tiles entirely above the diagonal are skipped and
 /// diagonal-crossing tiles mask their write-back, so the strictly-upper triangle is
 /// never read or written. `beta == 0` overwrites the lower triangle (BLAS semantics).
-pub fn syrk_lower_into_block(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix, cb: Block) {
+pub fn syrk_lower_into_block<E: Element>(
+    alpha: f64,
+    a: &Matrix<E>,
+    beta: f64,
+    c: &mut Matrix<E>,
+    cb: Block,
+) {
     assert_eq!(cb.rows, cb.cols, "syrk: output block must be square");
     assert_eq!(a.rows(), cb.rows, "syrk: A rows must match block order");
     assert!(
@@ -721,15 +810,17 @@ pub fn syrk_lower_into_block(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix, 
     if alpha == 0.0 || k == 0 {
         return;
     }
-    let threads = parallel_degree(cb.rows * cb.cols * k / 2);
+    let threads = parallel_degree::<E>(cb.rows * cb.cols * k / 2);
     // Strips carry triangular (uneven) work; oversplit so the pool's shared queue can
     // balance them dynamically.
     let strips = if threads > 1 { threads * 4 } else { 1 };
-    let strip = cb.cols.div_ceil(strips).next_multiple_of(NR);
+    let strip = cb.cols.div_ceil(strips).next_multiple_of(E::NR);
+    let alpha_e = E::from_f64(alpha);
     with_block_cols(c, cb, |cols| {
         cols.par_chunks_mut(strip).enumerate().for_each(|(s, strip_cols)| {
             kernel::gemm_strip(
-                alpha, a, Trans::No, 0, a, Trans::Yes, 0, cb.rows, k, s * strip, strip_cols, true,
+                alpha_e, a, Trans::No, 0, a, Trans::Yes, 0, cb.rows, k, s * strip, strip_cols,
+                true,
             );
         });
     });
@@ -1086,6 +1177,26 @@ mod tests {
                     (c.get(i, j) - full.get(i, j)).abs() < 1e-12,
                     "stale NaN leaked through beta == 0 at ({i},{j})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_matches_gemm_both_transposes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for (rows, cols) in [(1, 1), (7, 3), (33, 65), (64, 64)] {
+            let a = random_matrix(&mut rng, rows, cols);
+            for (trans, k) in [(Trans::No, cols), (Trans::Yes, rows)] {
+                let x = random_matrix(&mut rng, k, 1);
+                let y = gemv(&a, trans, &x);
+                let reference = gemm(&a, trans, &x, Trans::No);
+                assert_eq!(y.rows(), reference.rows());
+                for i in 0..y.rows() {
+                    assert!(
+                        (y.get(i, 0) - reference.get(i, 0)).abs() <= 1e-12 * (k as f64),
+                        "gemv diverged from gemm at row {i} ({rows}x{cols}, {trans:?})"
+                    );
+                }
             }
         }
     }

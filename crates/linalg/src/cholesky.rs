@@ -195,7 +195,7 @@ fn chol_update_tile(
     let off = cb0 - (j0 + nb);
     let verdict = {
         let mut sub = tile.rows_from(cb0);
-        if off.is_multiple_of(crate::kernel::MR) {
+        if off.is_multiple_of(<f64 as crate::elem::Element>::MR) {
             gemm_acc_cols_prepacked(-1.0, a21p, off, a21, Trans::Yes, off, &mut sub, true);
         } else {
             gemm_acc_cols(-1.0, a21, Trans::No, off, a21, Trans::Yes, off, &mut sub, true);

@@ -1,112 +1,76 @@
 //! Packed, cache-blocked GEMM core shared by the level-3 BLAS kernels.
 //!
-//! This is the classic BLIS/GotoBLAS structure specialized to column-major `f64`:
+//! This is the classic BLIS/GotoBLAS structure specialized to column-major storage and
+//! generic over the element type (see [`crate::elem::Element`]; `f64` and `f32`):
 //!
 //! * `op(A)` and `op(B)` panels are **packed** into contiguous, zero-padded buffers
 //!   before any arithmetic, so the innermost loops never touch `Matrix::get` or the
 //!   transpose indirection — they stream two flat arrays;
-//! * the three blocking loops tile the problem as `NC × KC × MC` so the active `A`
-//!   block (`MC × KC` ≈ 256 KiB) lives in L2 and the active micro-panels
-//!   (`MR × KC` + `KC × NR` ≈ 24 KiB) live in L1;
-//! * an `MR × NR = 8 × 4` register micro-kernel does all flops, selected at runtime:
-//!   on x86-64 with AVX-512F a paired-panel kernel processes a 16×4 virtual tile in 8
-//!   `zmm` accumulators (saturating dual 512-bit FMA units), with AVX2+FMA the 8×4
-//!   tile lives in 8 `ymm` registers, and elsewhere a vectorizer-friendly scalar
-//!   kernel is used. Packed panels start on cache-line boundaries ([`AlignedBuf`]) so
-//!   the wide loads never straddle lines.
+//! * the three blocking loops tile the problem as `NC × KC × MC`; the block sizes are
+//!   resolved per (host, element type) by the [`crate::tune`] autotuner (compiled
+//!   defaults under `BSR_AUTOTUNE=0`) so the active `A` block lives in L2 and the
+//!   active micro-panels live in L1;
+//! * an `MR × NR` register micro-kernel does all flops, selected at runtime per
+//!   element type: 8×4 in `ymm`/`zmm` pairs for `f64`, 16×4 (double the lanes per
+//!   vector) for `f32`; on AVX-512F hosts a paired-panel kernel drives two adjacent
+//!   panels at once to saturate dual 512-bit FMA units. Packed panels start on
+//!   cache-line boundaries ([`crate::elem::AlignedBuf`]) so the wide loads never
+//!   straddle lines.
 //!
 //! Tail tiles are handled by zero-padding the packed panels to full `MR`/`NR` width, so
 //! the micro-kernel is always full-size and only the write-back masks the valid region.
 //! SYRK reuses the same core through the `mask_lower` flag, which skips tiles entirely
 //! above the diagonal and masks the write-back to `i >= j`.
 //!
-//! The only `unsafe` in the crate is the pair of SIMD micro-kernels; each is gated by a
-//! runtime `is_x86_feature_detected!` check and operates on slices whose lengths are
-//! asserted by the caller.
+//! The only `unsafe` in the crate is the set of SIMD micro-kernels in [`crate::elem`];
+//! each is gated by a runtime `is_x86_feature_detected!` check and operates on slices
+//! whose lengths are asserted by the caller.
 
 use crate::blas3::Trans;
+use crate::elem::{AlignedBuf, Element, MAX_TILE};
 use crate::matrix::Matrix;
+use crate::tune::{self, KernelParams};
 
-/// Micro-kernel tile rows (rows of packed `op(A)` panels).
-pub(crate) const MR: usize = 8;
-/// Micro-kernel tile columns (columns of packed `op(B)` panels).
-pub(crate) const NR: usize = 4;
-/// Inner-dimension block: one packed `A` micro-panel is `MR × KC` = 16 KiB (L1).
-pub(crate) const KC: usize = 256;
-/// Row block: the packed `MC × KC` block of `op(A)` is 256 KiB (L2). Multiple of `MR`.
-pub(crate) const MC: usize = 128;
-/// Column block: bounds the packed `op(B)` buffer to `KC × NC` = 4 MiB. Multiple of `NR`.
-pub(crate) const NC: usize = 2048;
-
-const _: () = assert!(MC.is_multiple_of(MR) && NC.is_multiple_of(NR));
-
-/// Name of the micro-kernel backend selected at runtime: `"avx512f"` (paired-panel zmm
-/// kernel) or `"avx2+fma"` on x86-64 CPUs with the features, `"scalar"`
-/// (auto-vectorized) otherwise.
-pub fn simd_backend() -> &'static str {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if avx512_available() {
-            return "avx512f";
-        }
-        if avx2_fma_available() {
-            return "avx2+fma";
-        }
-    }
-    "scalar"
-}
-
-#[cfg(target_arch = "x86_64")]
-fn avx2_fma_available() -> bool {
-    use std::sync::OnceLock;
-    static AVAIL: OnceLock<bool> = OnceLock::new();
-    *AVAIL.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
-}
-
-#[cfg(target_arch = "x86_64")]
-fn avx512_available() -> bool {
-    use std::sync::OnceLock;
-    static AVAIL: OnceLock<bool> = OnceLock::new();
-    *AVAIL.get_or_init(|| is_x86_feature_detected!("avx512f"))
-}
+pub use crate::elem::simd_backend;
 
 /// Pack the `mc × kc` block of `op(A)` with top-left op-coordinate `(oi, ok)` into `buf`
 /// as zero-padded `MR`-row panels: element `(i, k)` of the block lands at
 /// `buf[((i / MR) * kc + k) * MR + i % MR]`.
-pub(crate) fn pack_a(
-    a: &Matrix,
+pub(crate) fn pack_a<E: Element>(
+    a: &Matrix<E>,
     trans: Trans,
     oi: usize,
     ok: usize,
     mc: usize,
     kc: usize,
-    buf: &mut [f64],
+    buf: &mut [E],
 ) {
-    let panels = mc.div_ceil(MR);
+    let mr_w = E::MR;
+    let panels = mc.div_ceil(mr_w);
     for ip in 0..panels {
-        let i0 = ip * MR;
-        let mr = MR.min(mc - i0);
-        let dst = &mut buf[ip * kc * MR..(ip * kc + kc) * MR];
+        let i0 = ip * mr_w;
+        let mr = mr_w.min(mc - i0);
+        let dst = &mut buf[ip * kc * mr_w..(ip * kc + kc) * mr_w];
         match trans {
             // op(A)[i, k] = A[oi + i, ok + k]: rows are contiguous in each stored column.
             Trans::No => {
                 for k in 0..kc {
                     let src = &a.col(ok + k)[oi + i0..oi + i0 + mr];
-                    dst[k * MR..k * MR + mr].copy_from_slice(src);
-                    dst[k * MR + mr..(k + 1) * MR].fill(0.0);
+                    dst[k * mr_w..k * mr_w + mr].copy_from_slice(src);
+                    dst[k * mr_w + mr..(k + 1) * mr_w].fill(E::ZERO);
                 }
             }
             // op(A)[i, k] = A[ok + k, oi + i]: the k-run of row i is stored column oi + i.
             Trans::Yes => {
-                for r in 0..MR {
+                for r in 0..mr_w {
                     if r < mr {
                         let src = &a.col(oi + i0 + r)[ok..ok + kc];
                         for (k, &v) in src.iter().enumerate() {
-                            dst[k * MR + r] = v;
+                            dst[k * mr_w + r] = v;
                         }
                     } else {
                         for k in 0..kc {
-                            dst[k * MR + r] = 0.0;
+                            dst[k * mr_w + r] = E::ZERO;
                         }
                     }
                 }
@@ -118,32 +82,33 @@ pub(crate) fn pack_a(
 /// Pack the `kc × nc` block of `op(B)` with top-left op-coordinate `(ok, oj)` into `buf`
 /// as zero-padded `NR`-column panels: element `(k, j)` of the block lands at
 /// `buf[((j / NR) * kc + k) * NR + j % NR]`.
-pub(crate) fn pack_b(
-    b: &Matrix,
+pub(crate) fn pack_b<E: Element>(
+    b: &Matrix<E>,
     trans: Trans,
     ok: usize,
     oj: usize,
     kc: usize,
     nc: usize,
-    buf: &mut [f64],
+    buf: &mut [E],
 ) {
-    let panels = nc.div_ceil(NR);
+    let nr_w = E::NR;
+    let panels = nc.div_ceil(nr_w);
     for jp in 0..panels {
-        let j0 = jp * NR;
-        let nr = NR.min(nc - j0);
-        let dst = &mut buf[jp * kc * NR..(jp * kc + kc) * NR];
+        let j0 = jp * nr_w;
+        let nr = nr_w.min(nc - j0);
+        let dst = &mut buf[jp * kc * nr_w..(jp * kc + kc) * nr_w];
         match trans {
             // op(B)[k, j] = B[ok + k, oj + j]: the k-run of column j is stored column oj + j.
             Trans::No => {
-                for c in 0..NR {
+                for c in 0..nr_w {
                     if c < nr {
                         let src = &b.col(oj + j0 + c)[ok..ok + kc];
                         for (k, &v) in src.iter().enumerate() {
-                            dst[k * NR + c] = v;
+                            dst[k * nr_w + c] = v;
                         }
                     } else {
                         for k in 0..kc {
-                            dst[k * NR + c] = 0.0;
+                            dst[k * nr_w + c] = E::ZERO;
                         }
                     }
                 }
@@ -152,176 +117,16 @@ pub(crate) fn pack_b(
             Trans::Yes => {
                 for k in 0..kc {
                     let src = &b.col(ok + k)[oj + j0..oj + j0 + nr];
-                    dst[k * NR..k * NR + nr].copy_from_slice(src);
-                    dst[k * NR + nr..(k + 1) * NR].fill(0.0);
+                    dst[k * nr_w..k * nr_w + nr].copy_from_slice(src);
+                    dst[k * nr_w + nr..(k + 1) * nr_w].fill(E::ZERO);
                 }
             }
         }
     }
 }
 
-/// `acc[j * MR + i] = Σ_k ap[k * MR + i] * bp[k * NR + j]` over one packed micro-panel
-/// pair. `acc` is overwritten.
-#[inline]
-fn micro_kernel(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; MR * NR]) {
-    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
-    #[cfg(target_arch = "x86_64")]
-    if avx2_fma_available() {
-        // SAFETY: AVX2 + FMA presence was checked at runtime; panel lengths are
-        // asserted above and the kernel reads exactly kc*MR / kc*NR elements.
-        unsafe { micro_kernel_avx2(kc, ap, bp, acc) };
-        return;
-    }
-    micro_kernel_scalar(kc, ap, bp, acc);
-}
-
-/// Portable micro-kernel written over fixed-size array views so LLVM unrolls and
-/// auto-vectorizes the `MR`-wide inner loop with whatever SIMD the target offers.
-fn micro_kernel_scalar(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; MR * NR]) {
-    acc.fill(0.0);
-    for k in 0..kc {
-        let a: &[f64; MR] = ap[k * MR..(k + 1) * MR].try_into().unwrap();
-        let b: &[f64; NR] = bp[k * NR..(k + 1) * NR].try_into().unwrap();
-        for (j, &bj) in b.iter().enumerate() {
-            let col: &mut [f64; MR] = (&mut acc[j * MR..(j + 1) * MR]).try_into().unwrap();
-            for (cv, &av) in col.iter_mut().zip(a.iter()) {
-                *cv += av * bj;
-            }
-        }
-    }
-}
-
-/// AVX2 + FMA micro-kernel: the full 8×4 accumulator tile lives in 8 `ymm` registers,
-/// with 2 loads + 4 broadcasts + 8 FMAs per k step.
-///
-/// # Safety
-/// Caller must ensure AVX2 and FMA are available and that `ap`/`bp` hold at least
-/// `kc * MR` / `kc * NR` elements.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2", enable = "fma")]
-unsafe fn micro_kernel_avx2(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; MR * NR]) {
-    use std::arch::x86_64::*;
-    const _: () = assert!(MR == 8 && NR == 4);
-    unsafe {
-        let mut c00 = _mm256_setzero_pd();
-        let mut c01 = _mm256_setzero_pd();
-        let mut c10 = _mm256_setzero_pd();
-        let mut c11 = _mm256_setzero_pd();
-        let mut c20 = _mm256_setzero_pd();
-        let mut c21 = _mm256_setzero_pd();
-        let mut c30 = _mm256_setzero_pd();
-        let mut c31 = _mm256_setzero_pd();
-        let mut ap_ptr = ap.as_ptr();
-        let mut bp_ptr = bp.as_ptr();
-        for _ in 0..kc {
-            let a0 = _mm256_loadu_pd(ap_ptr);
-            let a1 = _mm256_loadu_pd(ap_ptr.add(4));
-            let b0 = _mm256_set1_pd(*bp_ptr);
-            c00 = _mm256_fmadd_pd(a0, b0, c00);
-            c01 = _mm256_fmadd_pd(a1, b0, c01);
-            let b1 = _mm256_set1_pd(*bp_ptr.add(1));
-            c10 = _mm256_fmadd_pd(a0, b1, c10);
-            c11 = _mm256_fmadd_pd(a1, b1, c11);
-            let b2 = _mm256_set1_pd(*bp_ptr.add(2));
-            c20 = _mm256_fmadd_pd(a0, b2, c20);
-            c21 = _mm256_fmadd_pd(a1, b2, c21);
-            let b3 = _mm256_set1_pd(*bp_ptr.add(3));
-            c30 = _mm256_fmadd_pd(a0, b3, c30);
-            c31 = _mm256_fmadd_pd(a1, b3, c31);
-            ap_ptr = ap_ptr.add(MR);
-            bp_ptr = bp_ptr.add(NR);
-        }
-        let p = acc.as_mut_ptr();
-        _mm256_storeu_pd(p, c00);
-        _mm256_storeu_pd(p.add(4), c01);
-        _mm256_storeu_pd(p.add(8), c10);
-        _mm256_storeu_pd(p.add(12), c11);
-        _mm256_storeu_pd(p.add(16), c20);
-        _mm256_storeu_pd(p.add(20), c21);
-        _mm256_storeu_pd(p.add(24), c30);
-        _mm256_storeu_pd(p.add(28), c31);
-    }
-}
-
-/// AVX-512 micro-kernel over **two adjacent packed `A` panels** at once: one `MR = 8`
-/// row panel is exactly one `zmm` register, so a 16×4 virtual tile fits in 8 `zmm`
-/// accumulators and each k step is 2 loads + 4 broadcasts + 8 FMAs — enough independent
-/// chains to saturate CPUs with dual 512-bit FMA units, where the 8-row AVX2 kernel
-/// tops out at half the machine's peak.
-///
-/// # Safety
-/// Caller must ensure AVX-512F is available and that `ap0`/`ap1` hold at least
-/// `kc * MR` and `bp` at least `kc * NR` elements.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f")]
-unsafe fn micro_kernel_avx512_x2(
-    kc: usize,
-    ap0: &[f64],
-    ap1: &[f64],
-    bp: &[f64],
-    acc0: &mut [f64; MR * NR],
-    acc1: &mut [f64; MR * NR],
-) {
-    use std::arch::x86_64::*;
-    const _: () = assert!(MR == 8 && NR == 4);
-    unsafe {
-        let mut c00 = _mm512_setzero_pd();
-        let mut c01 = _mm512_setzero_pd();
-        let mut c10 = _mm512_setzero_pd();
-        let mut c11 = _mm512_setzero_pd();
-        let mut c20 = _mm512_setzero_pd();
-        let mut c21 = _mm512_setzero_pd();
-        let mut c30 = _mm512_setzero_pd();
-        let mut c31 = _mm512_setzero_pd();
-        let mut p0 = ap0.as_ptr();
-        let mut p1 = ap1.as_ptr();
-        let mut pb = bp.as_ptr();
-        // One k step: 2 aligned panel loads + 4 broadcasts + 8 independent FMA chains.
-        macro_rules! k_step {
-            ($off:expr) => {
-                let a0 = _mm512_loadu_pd(p0.add($off * MR));
-                let a1 = _mm512_loadu_pd(p1.add($off * MR));
-                let b0 = _mm512_set1_pd(*pb.add($off * NR));
-                c00 = _mm512_fmadd_pd(a0, b0, c00);
-                c01 = _mm512_fmadd_pd(a1, b0, c01);
-                let b1 = _mm512_set1_pd(*pb.add($off * NR + 1));
-                c10 = _mm512_fmadd_pd(a0, b1, c10);
-                c11 = _mm512_fmadd_pd(a1, b1, c11);
-                let b2 = _mm512_set1_pd(*pb.add($off * NR + 2));
-                c20 = _mm512_fmadd_pd(a0, b2, c20);
-                c21 = _mm512_fmadd_pd(a1, b2, c21);
-                let b3 = _mm512_set1_pd(*pb.add($off * NR + 3));
-                c30 = _mm512_fmadd_pd(a0, b3, c30);
-                c31 = _mm512_fmadd_pd(a1, b3, c31);
-            };
-        }
-        let mut k = 0;
-        while k + 2 <= kc {
-            k_step!(0);
-            k_step!(1);
-            p0 = p0.add(2 * MR);
-            p1 = p1.add(2 * MR);
-            pb = pb.add(2 * NR);
-            k += 2;
-        }
-        if k < kc {
-            k_step!(0);
-        }
-        let q0 = acc0.as_mut_ptr();
-        _mm512_storeu_pd(q0, c00);
-        _mm512_storeu_pd(q0.add(8), c10);
-        _mm512_storeu_pd(q0.add(16), c20);
-        _mm512_storeu_pd(q0.add(24), c30);
-        let q1 = acc1.as_mut_ptr();
-        _mm512_storeu_pd(q1, c01);
-        _mm512_storeu_pd(q1.add(8), c11);
-        _mm512_storeu_pd(q1.add(16), c21);
-        _mm512_storeu_pd(q1.add(24), c31);
-    }
-}
-
 /// Accumulate `alpha * op(A)[a_row0.., :] * op(B)[:, b_col0 + j0 ..]` into one column
-/// strip of the output block.
+/// strip of the output block, under the autotuned blocking for `E`.
 ///
 /// The effective `op(A)` is the `m × k` block starting at op-row `a_row0`; the
 /// effective `op(B)` columns start at op-column `b_col0 + j0`. The origins let callers
@@ -333,99 +138,105 @@ unsafe fn micro_kernel_avx512_x2(
 /// computed and written — this is the SYRK path; the mask is anchored at block-local
 /// `(0, 0)` regardless of the operand origins.
 #[allow(clippy::too_many_arguments)] // internal BLAS plumbing; mirrors the packing calls
-pub(crate) fn gemm_strip(
-    alpha: f64,
-    a: &Matrix,
+pub(crate) fn gemm_strip<E: Element>(
+    alpha: E,
+    a: &Matrix<E>,
     ta: Trans,
     a_row0: usize,
-    b: &Matrix,
+    b: &Matrix<E>,
     tb: Trans,
     b_col0: usize,
     m: usize,
     k: usize,
     j0: usize,
-    cols: &mut [&mut [f64]],
+    cols: &mut [&mut [E]],
+    mask_lower: bool,
+) {
+    gemm_strip_with(
+        tune::params::<E>(),
+        alpha,
+        a,
+        ta,
+        a_row0,
+        b,
+        tb,
+        b_col0,
+        m,
+        k,
+        j0,
+        cols,
+        mask_lower,
+    );
+}
+
+/// [`gemm_strip`] under explicit blocking parameters. The autotuner's probe loop calls
+/// this directly (it must not consult [`tune::params`] while initializing it).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_strip_with<E: Element>(
+    p: &KernelParams,
+    alpha: E,
+    a: &Matrix<E>,
+    ta: Trans,
+    a_row0: usize,
+    b: &Matrix<E>,
+    tb: Trans,
+    b_col0: usize,
+    m: usize,
+    k: usize,
+    j0: usize,
+    cols: &mut [&mut [E]],
     mask_lower: bool,
 ) {
     let w = cols.len();
-    if w == 0 || m == 0 || k == 0 || alpha == 0.0 {
+    if w == 0 || m == 0 || k == 0 || alpha == E::ZERO {
         return;
     }
-    let kc_max = KC.min(k);
-    let mc_max = MC.min(m.next_multiple_of(MR));
-    let nc_max = NC.min(w.next_multiple_of(NR));
+    let kc_max = p.kc.min(k);
+    let mc_max = p.mc.min(m.next_multiple_of(E::MR));
+    let nc_max = p.nc.min(w.next_multiple_of(E::NR));
     let a_len = mc_max * kc_max;
     let b_len = kc_max * nc_max;
-    // Packing buffers are reused across calls through a thread-local pair: the tiled
-    // factorizations issue many small per-tile GEMMs per iteration, and a fresh
+    // Packing buffers are reused across calls through a per-type thread-local pair: the
+    // tiled factorizations issue many small per-tile GEMMs per iteration, and a fresh
     // zero-filled allocation per call showed up next to the math at that granularity.
-    // `try_borrow_mut` guards against re-entrancy (a future kernel calling back into
-    // gemm_strip on the same thread) by falling back to fresh buffers.
-    PACK_BUFS.with(|bufs| match bufs.try_borrow_mut() {
-        Ok(mut bufs) => {
-            let (apack, bpack) = bufs.slices(a_len, b_len);
-            gemm_strip_packed(
-                alpha, a, ta, a_row0, b, tb, b_col0, m, k, j0, cols, mask_lower, apack, bpack,
-            );
-        }
-        Err(_) => {
-            let mut fresh = PackBufs::default();
-            let (apack, bpack) = fresh.slices(a_len, b_len);
-            gemm_strip_packed(
-                alpha, a, ta, a_row0, b, tb, b_col0, m, k, j0, cols, mask_lower, apack, bpack,
-            );
-        }
+    E::with_pack_bufs(|bufs| {
+        let (apack, bpack) = bufs.slices(a_len, b_len);
+        gemm_strip_packed(
+            p, alpha, a, ta, a_row0, b, tb, b_col0, m, k, j0, cols, mask_lower, apack, bpack,
+        );
     });
-}
-
-thread_local! {
-    /// Per-thread packing scratch, grown on demand and kept for the thread's lifetime.
-    static PACK_BUFS: std::cell::RefCell<PackBufs> = std::cell::RefCell::new(PackBufs::default());
-}
-
-/// The pair of packing buffers (`op(A)` panels, `op(B)` panels) a GEMM call works from.
-#[derive(Default)]
-struct PackBufs {
-    a: AlignedBuf,
-    b: AlignedBuf,
-}
-
-impl PackBufs {
-    /// Mutable views of the two buffers, each grown to at least the requested length.
-    fn slices(&mut self, a_len: usize, b_len: usize) -> (&mut [f64], &mut [f64]) {
-        (self.a.slice_mut(a_len), self.b.slice_mut(b_len))
-    }
 }
 
 /// The blocking loops of [`gemm_strip`], working from caller-provided packing scratch.
 #[allow(clippy::too_many_arguments)]
-fn gemm_strip_packed(
-    alpha: f64,
-    a: &Matrix,
+fn gemm_strip_packed<E: Element>(
+    p: &KernelParams,
+    alpha: E,
+    a: &Matrix<E>,
     ta: Trans,
     a_row0: usize,
-    b: &Matrix,
+    b: &Matrix<E>,
     tb: Trans,
     b_col0: usize,
     m: usize,
     k: usize,
     j0: usize,
-    cols: &mut [&mut [f64]],
+    cols: &mut [&mut [E]],
     mask_lower: bool,
-    apack: &mut [f64],
-    bpack: &mut [f64],
+    apack: &mut [E],
+    bpack: &mut [E],
 ) {
     let w = cols.len();
-    for jc in (0..w).step_by(NC) {
-        let nc = NC.min(w - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
+    for jc in (0..w).step_by(p.nc) {
+        let nc = p.nc.min(w - jc);
+        for pc in (0..k).step_by(p.kc) {
+            let kc = p.kc.min(k - pc);
             pack_b(b, tb, pc, b_col0 + j0 + jc, kc, nc, bpack);
             // Lower-triangle outputs only need rows at or below the strip's first
             // column; start at the enclosing MR boundary so packing stays aligned.
-            let ic0 = if mask_lower { (j0 + jc) / MR * MR } else { 0 };
-            for ic in (ic0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
+            let ic0 = if mask_lower { (j0 + jc) / E::MR * E::MR } else { 0 };
+            for ic in (ic0..m).step_by(p.mc) {
+                let mc = p.mc.min(m - ic);
                 pack_a(a, ta, a_row0 + ic, pc, mc, kc, apack);
                 macro_kernel(alpha, kc, mc, nc, ic, jc, j0, cols, apack, bpack, mask_lower);
             }
@@ -436,36 +247,33 @@ fn gemm_strip_packed(
 /// Run the micro-kernel over every `MR × NR` tile of the packed `mc × nc` block and
 /// accumulate the (masked) results into the output columns.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
-    alpha: f64,
+fn macro_kernel<E: Element>(
+    alpha: E,
     kc: usize,
     mc: usize,
     nc: usize,
     ic: usize,
     jc: usize,
     j0: usize,
-    cols: &mut [&mut [f64]],
-    apack: &[f64],
-    bpack: &[f64],
+    cols: &mut [&mut [E]],
+    apack: &[E],
+    bpack: &[E],
     mask_lower: bool,
 ) {
-    #[cfg(target_arch = "x86_64")]
-    let pair_panels = avx512_available();
-    #[cfg(not(target_arch = "x86_64"))]
-    let pair_panels = false;
-
-    let mut acc = [0.0; MR * NR];
-    let mut acc2 = [0.0; MR * NR];
-    let mpan = mc.div_ceil(MR);
-    for jr in 0..nc.div_ceil(NR) {
-        let jj0 = jr * NR;
-        let nr = NR.min(nc - jj0);
+    let (mr_w, nr_w) = (E::MR, E::NR);
+    let pair_panels = E::pair_panels();
+    let mut acc = [E::ZERO; MAX_TILE];
+    let mut acc2 = [E::ZERO; MAX_TILE];
+    let mpan = mc.div_ceil(mr_w);
+    for jr in 0..nc.div_ceil(nr_w) {
+        let jj0 = jr * nr_w;
+        let nr = nr_w.min(nc - jj0);
         // Block-local column index of the tile's first column (for the lower mask).
         let gj0 = j0 + jc + jj0;
-        let bp = &bpack[jr * kc * NR..(jr * kc + kc) * NR];
+        let bp = &bpack[jr * kc * nr_w..(jr * kc + kc) * nr_w];
         let skipped = |ir: usize| {
-            let mr = MR.min(mc - ir * MR);
-            mask_lower && ic + ir * MR + mr <= gj0 // entirely in the strictly-upper triangle
+            let mr = mr_w.min(mc - ir * mr_w);
+            mask_lower && ic + ir * mr_w + mr <= gj0 // entirely in the strictly-upper triangle
         };
         let mut ir = 0;
         while ir < mpan {
@@ -473,19 +281,14 @@ fn macro_kernel(
                 ir += 1;
                 continue;
             }
-            let panel = |ir: usize| &apack[ir * kc * MR..(ir * kc + kc) * MR];
+            let panel = |ir: usize| &apack[ir * kc * mr_w..(ir * kc + kc) * mr_w];
             if pair_panels && ir + 1 < mpan && !skipped(ir + 1) {
-                #[cfg(target_arch = "x86_64")]
-                // SAFETY: AVX-512F presence was checked at runtime (`pair_panels`);
-                // both panels and bp hold kc full tiles by construction.
-                unsafe {
-                    micro_kernel_avx512_x2(kc, panel(ir), panel(ir + 1), bp, &mut acc, &mut acc2)
-                };
+                E::micro_kernel_x2(kc, panel(ir), panel(ir + 1), bp, &mut acc, &mut acc2);
                 write_back(alpha, ic, ir, gj0, jc + jj0, nr, mc, cols, &acc, mask_lower);
                 write_back(alpha, ic, ir + 1, gj0, jc + jj0, nr, mc, cols, &acc2, mask_lower);
                 ir += 2;
             } else {
-                micro_kernel(kc, panel(ir), bp, &mut acc);
+                E::micro_kernel(kc, panel(ir), bp, &mut acc);
                 write_back(alpha, ic, ir, gj0, jc + jj0, nr, mc, cols, &acc, mask_lower);
                 ir += 1;
             }
@@ -498,20 +301,21 @@ fn macro_kernel(
 /// range (`i >= j` ⇔ start at `max(i0, gj)`), so the inner loop is a branch-free,
 /// bounds-check-free axpy over two slices.
 #[allow(clippy::too_many_arguments)]
-fn write_back(
-    alpha: f64,
+fn write_back<E: Element>(
+    alpha: E,
     ic: usize,
     ir: usize,
     gj0: usize,
     col0: usize,
     nr: usize,
     mc: usize,
-    cols: &mut [&mut [f64]],
-    acc: &[f64; MR * NR],
+    cols: &mut [&mut [E]],
+    acc: &[E],
     mask_lower: bool,
 ) {
-    let i0 = ic + ir * MR;
-    let mr = MR.min(mc - ir * MR);
+    let mr_w = E::MR;
+    let i0 = ic + ir * mr_w;
+    let mr = mr_w.min(mc - ir * mr_w);
     for c in 0..nr {
         let gj = gj0 + c;
         let lo = if mask_lower { gj.max(i0) } else { i0 };
@@ -520,11 +324,22 @@ fn write_back(
             continue;
         }
         let dst = &mut cols[col0 + c][lo..hi];
-        let src = &acc[c * MR + (lo - i0)..c * MR + (hi - i0)];
+        let src = &acc[c * mr_w + (lo - i0)..c * mr_w + (hi - i0)];
         for (d, &s) in dst.iter_mut().zip(src.iter()) {
             *d += alpha * s;
         }
     }
+}
+
+/// One packed `KC`-chunk of a [`PackedA`]: its inner-dimension extent, its op-row
+/// offset within the packed block, and its offset into the shared buffer. Chunk
+/// extents are decided at `repack` time from the then-current autotuned `kc`, so
+/// consumers must use these recorded offsets rather than re-deriving them.
+#[derive(Clone, Copy)]
+struct PackedChunk {
+    kc: usize,
+    op_k0: usize,
+    buf_off: usize,
 }
 
 /// `op(A)` panels packed once and shared read-only across the tile tasks of one
@@ -538,40 +353,53 @@ fn write_back(
 /// `MR`-aligned row origin. The packed values are identical to what per-call packing
 /// would produce, so results stay bit-identical.
 #[derive(Default)]
-pub(crate) struct PackedA {
+pub(crate) struct PackedA<E: Element = f64> {
     /// Padded row count (multiple of `MR`); `mp / MR` panels per chunk.
     mp: usize,
-    /// `(kc, buffer offset)` per `KC` chunk of the inner dimension, in order.
-    chunks: Vec<(usize, usize)>,
+    /// The inner-dimension chunks, in order.
+    chunks: Vec<PackedChunk>,
     /// Total packed length across all chunks.
     len: usize,
-    buf: AlignedBuf,
+    buf: AlignedBuf<E>,
 }
 
-impl PackedA {
+impl<E: Element> PackedA<E> {
     /// (Re)pack the `m × k` block of `op(A)` with top-left op-coordinate `(oi0, ok0)`,
     /// reusing the existing buffer when it is large enough — a driver-owned `PackedA`
     /// repacked every iteration pays the allocation and its zero-fill only once.
-    pub fn repack(&mut self, a: &Matrix, ta: Trans, oi0: usize, ok0: usize, m: usize, k: usize) {
-        self.mp = m.next_multiple_of(MR);
+    pub fn repack(&mut self, a: &Matrix<E>, ta: Trans, oi0: usize, ok0: usize, m: usize, k: usize) {
+        let kc_step = tune::params::<E>().kc;
+        self.mp = m.next_multiple_of(E::MR);
         self.chunks.clear();
         let mut total = 0;
         let mut pc = 0;
         while pc < k {
-            let kc = KC.min(k - pc);
-            self.chunks.push((kc, total));
+            let kc = kc_step.min(k - pc);
+            self.chunks.push(PackedChunk {
+                kc,
+                op_k0: pc,
+                buf_off: total,
+            });
             total += self.mp * kc;
             pc += kc;
         }
         self.len = total;
         let buf = self.buf.slice_mut(total);
-        for (index, &(kc, choff)) in self.chunks.iter().enumerate() {
-            pack_a(a, ta, oi0, ok0 + index * KC, m, kc, &mut buf[choff..choff + self.mp * kc]);
+        for ch in &self.chunks {
+            pack_a(
+                a,
+                ta,
+                oi0,
+                ok0 + ch.op_k0,
+                m,
+                ch.kc,
+                &mut buf[ch.buf_off..ch.buf_off + self.mp * ch.kc],
+            );
         }
     }
 
     /// The packed panels, all chunks back to back.
-    fn packed(&self) -> &[f64] {
+    fn packed(&self) -> &[E] {
         self.buf.slice(self.len)
     }
 }
@@ -581,82 +409,49 @@ impl PackedA {
 /// `a_row0` (the op-row origin of the effective `op(A)` block) must be a multiple of
 /// `MR` so panel boundaries line up; `k` must equal the packed inner dimension.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn gemm_strip_prepacked(
-    alpha: f64,
-    pa: &PackedA,
+pub(crate) fn gemm_strip_prepacked<E: Element>(
+    alpha: E,
+    pa: &PackedA<E>,
     a_row0: usize,
-    b: &Matrix,
+    b: &Matrix<E>,
     tb: Trans,
     b_col0: usize,
     m: usize,
     k: usize,
     j0: usize,
-    cols: &mut [&mut [f64]],
+    cols: &mut [&mut [E]],
     mask_lower: bool,
 ) {
     let w = cols.len();
-    if w == 0 || m == 0 || k == 0 || alpha == 0.0 {
+    if w == 0 || m == 0 || k == 0 || alpha == E::ZERO {
         return;
     }
-    debug_assert!(a_row0.is_multiple_of(MR), "prepacked origin must be MR-aligned");
+    let p = tune::params::<E>();
+    let (mr_w, nr_w) = (E::MR, E::NR);
+    debug_assert!(a_row0.is_multiple_of(mr_w), "prepacked origin must be MR-aligned");
     debug_assert!(a_row0 + m <= pa.mp, "prepacked row range out of bounds");
-    debug_assert_eq!(pa.chunks.iter().map(|c| c.0).sum::<usize>(), k);
-    let kc_max = KC.min(k);
-    let nc_max = NC.min(w.next_multiple_of(NR));
+    debug_assert_eq!(pa.chunks.iter().map(|c| c.kc).sum::<usize>(), k);
+    let kc_max = pa.chunks.iter().map(|c| c.kc).max().unwrap_or(0);
+    let nc_max = p.nc.min(w.next_multiple_of(nr_w));
     let b_len = kc_max * nc_max;
     let packed = pa.packed();
-    let mut with_bpack = |bpack: &mut [f64]| {
-        for jc in (0..w).step_by(NC) {
-            let nc = NC.min(w - jc);
-            for (index, &(kc, choff)) in pa.chunks.iter().enumerate() {
-                pack_b(b, tb, index * KC, b_col0 + j0 + jc, kc, nc, bpack);
-                let ic0 = if mask_lower { (j0 + jc) / MR * MR } else { 0 };
-                for ic in (ic0..m).step_by(MC) {
-                    let mc = MC.min(m - ic);
-                    let p0 = (a_row0 + ic) / MR;
-                    let panels = &packed[choff + p0 * kc * MR..][..mc.div_ceil(MR) * kc * MR];
-                    macro_kernel(alpha, kc, mc, nc, ic, jc, j0, cols, panels, bpack, mask_lower);
+    E::with_pack_bufs(|bufs| {
+        let bpack = bufs.b.slice_mut(b_len);
+        for jc in (0..w).step_by(p.nc) {
+            let nc = p.nc.min(w - jc);
+            for ch in &pa.chunks {
+                pack_b(b, tb, ch.op_k0, b_col0 + j0 + jc, ch.kc, nc, bpack);
+                let ic0 = if mask_lower { (j0 + jc) / mr_w * mr_w } else { 0 };
+                for ic in (ic0..m).step_by(p.mc) {
+                    let mc = p.mc.min(m - ic);
+                    let p0 = (a_row0 + ic) / mr_w;
+                    let panels =
+                        &packed[ch.buf_off + p0 * ch.kc * mr_w..][..mc.div_ceil(mr_w) * ch.kc * mr_w];
+                    macro_kernel(alpha, ch.kc, mc, nc, ic, jc, j0, cols, panels, bpack, mask_lower);
                 }
             }
         }
-    };
-    PACK_BUFS.with(|bufs| match bufs.try_borrow_mut() {
-        Ok(mut bufs) => with_bpack(bufs.b.slice_mut(b_len)),
-        Err(_) => {
-            let mut fresh = AlignedBuf::default();
-            with_bpack(fresh.slice_mut(b_len));
-        }
     });
-}
-
-/// A 64-byte-aligned `f64` scratch buffer: packed panels start on cache-line boundaries
-/// so the micro-kernel's 512-bit loads never straddle lines. Grows on demand and never
-/// shrinks, so a thread-local instance amortizes its allocation across GEMM calls.
-#[derive(Default)]
-struct AlignedBuf {
-    raw: Vec<f64>,
-    off: usize,
-}
-
-impl AlignedBuf {
-    /// A mutable view of the first `len` aligned elements, reallocating only when the
-    /// current capacity is too small. Contents are unspecified; the packing routines
-    /// overwrite every element they later read.
-    fn slice_mut(&mut self, len: usize) -> &mut [f64] {
-        if self.raw.len() < len + 7 {
-            self.raw = vec![0.0; len + 7];
-            // align_offset is in units of f64 elements; 64-byte alignment needs at
-            // most 7. Recomputed on every reallocation (the buffer may move).
-            self.off = self.raw.as_ptr().align_offset(64);
-        }
-        &mut self.raw[self.off..self.off + len]
-    }
-
-    /// Shared view of the first `len` aligned elements; `len` must not exceed a
-    /// previously granted [`AlignedBuf::slice_mut`] length.
-    fn slice(&self, len: usize) -> &[f64] {
-        &self.raw[self.off..self.off + len]
-    }
 }
 
 #[cfg(test)]
@@ -664,67 +459,76 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scalar_and_dispatched_micro_kernels_agree() {
-        let kc = 19;
-        let ap: Vec<f64> = (0..kc * MR).map(|i| (i % 13) as f64 - 6.0).collect();
-        let bp: Vec<f64> = (0..kc * NR).map(|i| (i % 7) as f64 * 0.5 - 1.5).collect();
-        let mut scalar = [0.0; MR * NR];
-        micro_kernel_scalar(kc, &ap, &bp, &mut scalar);
-        let mut dispatched = [1e30; MR * NR]; // must be overwritten, not accumulated
-        micro_kernel(kc, &ap, &bp, &mut dispatched);
-        for (s, d) in scalar.iter().zip(dispatched.iter()) {
-            assert!((s - d).abs() < 1e-9, "micro-kernel backends disagree: {s} vs {d}");
-        }
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    #[test]
-    fn paired_avx512_kernel_agrees_with_singles() {
-        if !avx512_available() {
-            return; // nothing to compare on this host
-        }
-        let kc = 33;
-        let ap0: Vec<f64> = (0..kc * MR).map(|i| (i % 11) as f64 - 5.0).collect();
-        let ap1: Vec<f64> = (0..kc * MR).map(|i| (i % 9) as f64 * 0.25).collect();
-        let bp: Vec<f64> = (0..kc * NR).map(|i| (i % 5) as f64 - 2.0).collect();
-        let (mut s0, mut s1) = ([0.0; MR * NR], [0.0; MR * NR]);
-        micro_kernel_scalar(kc, &ap0, &bp, &mut s0);
-        micro_kernel_scalar(kc, &ap1, &bp, &mut s1);
-        let (mut p0, mut p1) = ([f64::NAN; MR * NR], [f64::NAN; MR * NR]);
-        // SAFETY: avx512_available() was checked above; slice lengths match kc tiles.
-        unsafe { micro_kernel_avx512_x2(kc, &ap0, &ap1, &bp, &mut p0, &mut p1) };
-        for (s, p) in s0.iter().zip(p0.iter()).chain(s1.iter().zip(p1.iter())) {
-            assert!((s - p).abs() < 1e-9, "paired kernel disagrees: {s} vs {p}");
-        }
-    }
-
-    #[test]
     fn pack_a_layout_and_padding() {
-        // 5×3 matrix, no transpose: one partial MR panel, rows 5..8 zero-padded.
-        let a = Matrix::from_fn(5, 3, |i, j| (10 * i + j) as f64);
-        let (mc, kc): (usize, usize) = (5, 3);
-        let mut buf = vec![-1.0; mc.next_multiple_of(MR) * kc];
-        pack_a(&a, Trans::No, 0, 0, mc, kc, &mut buf);
-        for k in 0..kc {
-            for i in 0..MR {
-                let expect = if i < 5 { (10 * i + k) as f64 } else { 0.0 };
-                assert_eq!(buf[k * MR + i], expect);
+        fn check<E: Element>() {
+            // (MR - 3) × 3 block, no transpose: one partial MR panel, zero-padded tail.
+            let rows = E::MR - 3;
+            let a = Matrix::<E>::from_fn(rows, 3, |i, j| E::from_f64((10 * i + j) as f64));
+            let (mc, kc): (usize, usize) = (rows, 3);
+            let mut buf = vec![E::from_f64(-1.0); mc.next_multiple_of(E::MR) * kc];
+            pack_a(&a, Trans::No, 0, 0, mc, kc, &mut buf);
+            for k in 0..kc {
+                for i in 0..E::MR {
+                    let expect = if i < rows { (10 * i + k) as f64 } else { 0.0 };
+                    assert_eq!(buf[k * E::MR + i].to_f64(), expect, "{}", E::NAME);
+                }
             }
         }
+        check::<f64>();
+        check::<f32>();
     }
 
     #[test]
     fn pack_b_transposed_matches_op() {
-        // op(B) = Bᵀ where B is 4×6 → op(B) is 6×4; pack a 6×3 block at op-origin (0, 1).
-        let b = Matrix::from_fn(4, 6, |i, j| (i + 100 * j) as f64);
-        let (kc, nc): (usize, usize) = (6, 3);
-        let mut buf = vec![-1.0; kc * nc.next_multiple_of(NR)];
-        pack_b(&b, Trans::Yes, 0, 1, kc, nc, &mut buf);
-        for k in 0..kc {
-            for j in 0..NR {
-                let expect = if j < nc { b.get(1 + j, k) } else { 0.0 };
-                assert_eq!(buf[k * NR + j], expect);
+        fn check<E: Element>() {
+            // op(B) = Bᵀ where B is 4×6 → op(B) is 6×4; pack a 6×3 block at op-origin (0, 1).
+            let b = Matrix::<E>::from_fn(4, 6, |i, j| E::from_f64((i + 100 * j) as f64));
+            let (kc, nc): (usize, usize) = (6, 3);
+            let mut buf = vec![E::from_f64(-1.0); kc * nc.next_multiple_of(E::NR)];
+            pack_b(&b, Trans::Yes, 0, 1, kc, nc, &mut buf);
+            for k in 0..kc {
+                for j in 0..E::NR {
+                    let expect = if j < nc { b.get(1 + j, k).to_f64() } else { 0.0 };
+                    assert_eq!(buf[k * E::NR + j].to_f64(), expect, "{}", E::NAME);
+                }
             }
         }
+        check::<f64>();
+        check::<f32>();
+    }
+
+    #[test]
+    fn prepacked_matches_fresh_packing_across_chunks() {
+        fn check<E: Element>(tol: f64) {
+            // k spans multiple packed chunks regardless of the tuned kc (kc is capped
+            // at 2^14 by the sanitizer, but use a k big enough for the *default* kc of
+            // both types at least when running under BSR_AUTOTUNE=0; the correctness
+            // claim holds for any chunking since the offsets come from the chunks).
+            let (m, k, w) = (2 * E::MR + 3, 700, 9);
+            let a = Matrix::<E>::from_fn(m, k, |i, j| E::from_f64(((i * 7 + j * 3) % 17) as f64 - 8.0));
+            let b = Matrix::<E>::from_fn(k, w, |i, j| E::from_f64(((i * 5 + j * 11) % 13) as f64 - 6.0));
+            let mut fresh = Matrix::<E>::zeros(m, w);
+            let mut cols = fresh.columns_mut();
+            gemm_strip(E::ONE, &a, Trans::No, 0, &b, Trans::No, 0, m, k, 0, &mut cols, false);
+            drop(cols);
+            let mut pa = PackedA::<E>::default();
+            pa.repack(&a, Trans::No, 0, 0, m, k);
+            let mut pre = Matrix::<E>::zeros(m, w);
+            let mut cols = pre.columns_mut();
+            gemm_strip_prepacked(E::ONE, &pa, 0, &b, Trans::No, 0, m, k, 0, &mut cols, false);
+            drop(cols);
+            for j in 0..w {
+                for i in 0..m {
+                    let (x, y) = (fresh.get(i, j).to_f64(), pre.get(i, j).to_f64());
+                    assert!(
+                        (x - y).abs() <= tol,
+                        "{}: prepacked differs at ({i},{j}): {x} vs {y}",
+                        E::NAME
+                    );
+                }
+            }
+        }
+        check::<f64>(0.0); // identical packing order ⇒ bit-identical
+        check::<f32>(0.0);
     }
 }

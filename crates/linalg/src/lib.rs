@@ -25,6 +25,15 @@
 //! * [`dag`] — the dependency-counter runtime beneath the DAG drivers, including the
 //!   seeded adversarial replay executor the schedule-fuzzing suite pins determinism
 //!   with,
+//! * [`elem`] — the [`Element`] abstraction the packed kernel core is generic over
+//!   (`f64` and `f32`, each with its own AVX2/AVX-512 micro-kernels; the f32 tile packs
+//!   twice the rows per vector register),
+//! * [`tune`] — the startup autotuner that picks cache-blocking parameters (`NC`, `KC`,
+//!   `MC`) and the pool-dispatch crossover per (host, element type), cached under
+//!   `target/` and disabled with `BSR_AUTOTUNE=0` for bit-reproducible runs,
+//! * [`lowprec`] — f32 blocked LU/Cholesky panels for the mixed-precision path,
+//! * [`solve`] — triangular-solve front-ends (`lu_solve` / `cholesky_solve`) shared by
+//!   the f64 and mixed-precision drivers,
 //! * [`generate`] — reproducible random inputs,
 //! * [`verify`] — residual checks used both in tests and in the reliability experiments.
 //!
@@ -36,16 +45,22 @@
 
 pub mod blas1;
 pub mod blas3;
-mod kernel;
 pub mod cholesky;
 pub mod dag;
+pub mod elem;
 pub mod generate;
+mod kernel;
+pub mod lowprec;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod solve;
 pub mod task;
+pub mod tune;
 pub mod verify;
 
 pub use blas3::{Diag, Side, Trans, UpLo};
+pub use elem::Element;
 pub use matrix::{Block, Matrix};
 pub use task::TrailingHook;
+pub use tune::KernelParams;

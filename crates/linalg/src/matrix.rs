@@ -3,11 +3,14 @@
 //! The factorizations in this crate mirror the blocked, panel-oriented structure of the
 //! MAGMA hybrid algorithms the paper builds on: a matrix is logically divided into
 //! `b × b` blocks forming panels and a trailing matrix (paper Figure 1a). [`Matrix`] is a
-//! plain column-major container; [`Block`] identifies a rectangular sub-region that the
-//! BLAS-3 kernels operate on in place.
+//! plain column-major container, generic over the element type ([`Element`]; `f64` by
+//! default, `f32` for the mixed-precision factorization path); [`Block`] identifies a
+//! rectangular sub-region that the BLAS-3 kernels operate on in place.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt;
+
+use crate::elem::Element;
 
 /// A rectangular region of a matrix: rows `[row, row+rows)` × columns `[col, col+cols)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,24 +47,26 @@ impl Block {
     }
 }
 
-/// Column-major dense matrix of `f64` values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Matrix {
+/// Column-major dense matrix. `E` defaults to `f64`, so `Matrix` in type position keeps
+/// meaning the double-precision matrix everywhere; the mixed-precision path works on
+/// `Matrix<f32>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<E: Element = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl Matrix {
+impl<E: Element> Matrix<E> {
     /// Zero-filled `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: vec![E::ZERO; rows * cols] }
     }
 
     /// Wrap an existing column-major buffer (`data[j * rows + i]` is element `(i, j)`).
     /// Lets hot paths assemble a matrix in one write pass instead of zero-filling
     /// first; panics when the buffer length does not match the shape.
-    pub fn from_column_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<E>) -> Self {
         assert_eq!(data.len(), rows * cols, "from_column_major: length mismatch");
         Self { rows, cols, data }
     }
@@ -70,13 +75,13 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m.set(i, i, 1.0);
+            m.set(i, i, E::ONE);
         }
         m
     }
 
     /// Build a matrix from a function of `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> E) -> Self {
         let mut m = Self::zeros(rows, cols);
         for j in 0..cols {
             for i in 0..rows {
@@ -87,11 +92,21 @@ impl Matrix {
     }
 
     /// Build from a row-major nested slice (convenient in tests).
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[E]]) -> Self {
         let r = rows.len();
         let c = if r == 0 { 0 } else { rows[0].len() };
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
         Self::from_fn(r, c, |i, j| rows[i][j])
+    }
+
+    /// Element-wise conversion to another element type (`f64::from_f64 ∘ to_f64`, so
+    /// `f32 → f64` is exact promotion and `f64 → f32` rounds to nearest).
+    pub fn convert<F: Element>(&self) -> Matrix<F> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| F::from_f64(x.to_f64())).collect(),
+        }
     }
 
     /// Number of rows.
@@ -111,49 +126,49 @@ impl Matrix {
 
     /// Read element `(i, j)`.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> E {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[j * self.rows + i]
     }
 
     /// Write element `(i, j)`.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: E) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[j * self.rows + i] = v;
     }
 
     /// Add `v` to element `(i, j)`.
     #[inline]
-    pub fn add_assign(&mut self, i: usize, j: usize, v: f64) {
+    pub fn add_assign(&mut self, i: usize, j: usize, v: E) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[j * self.rows + i] += v;
     }
 
     /// Borrow column `j` as a slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[E] {
         debug_assert!(j < self.cols);
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Mutably borrow column `j` as a slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [E] {
         debug_assert!(j < self.cols);
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Borrow rows `[row0, row1)` of column `j` as a slice.
     #[inline]
-    pub fn col_range(&self, j: usize, row0: usize, row1: usize) -> &[f64] {
+    pub fn col_range(&self, j: usize, row0: usize, row1: usize) -> &[E] {
         debug_assert!(j < self.cols && row0 <= row1 && row1 <= self.rows);
         &self.data[j * self.rows + row0..j * self.rows + row1]
     }
 
     /// Mutably borrow rows `[row0, row1)` of column `j` as a slice.
     #[inline]
-    pub fn col_range_mut(&mut self, j: usize, row0: usize, row1: usize) -> &mut [f64] {
+    pub fn col_range_mut(&mut self, j: usize, row0: usize, row1: usize) -> &mut [E] {
         debug_assert!(j < self.cols && row0 <= row1 && row1 <= self.rows);
         &mut self.data[j * self.rows + row0..j * self.rows + row1]
     }
@@ -163,7 +178,7 @@ impl Matrix {
     /// factorizations need for vectorized rank-1 / reflector updates (read the pivot or
     /// reflector column while updating a column to its right).
     #[inline]
-    pub fn col_pair_mut(&mut self, jr: usize, jw: usize) -> (&[f64], &mut [f64]) {
+    pub fn col_pair_mut(&mut self, jr: usize, jw: usize) -> (&[E], &mut [E]) {
         assert!(jr < jw && jw < self.cols, "col_pair_mut: need jr < jw < cols");
         let nrows = self.rows;
         let (left, right) = self.data.split_at_mut(jw * nrows);
@@ -171,22 +186,22 @@ impl Matrix {
     }
 
     /// The raw column-major data.
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable access to the raw column-major data.
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [E] {
         &mut self.data
     }
 
-    /// Iterator of `(column_index, &mut [f64])` over the row range `rows` of each column
+    /// Iterator of `(column_index, &mut [E])` over the row range `rows` of each column
     /// in `cols`. Columns are disjoint slices of the underlying storage, so this is the
     /// safe building block the rayon-parallel kernels partition work over.
     pub fn cols_range_mut(
         &mut self,
         block: Block,
-    ) -> impl Iterator<Item = (usize, &mut [f64])> + '_ {
+    ) -> impl Iterator<Item = (usize, &mut [E])> + '_ {
         let nrows = self.rows;
         let row0 = block.row;
         let row1 = block.row + block.rows;
@@ -203,7 +218,7 @@ impl Matrix {
     /// column a disjoint borrow). The task-parallel factorization drivers partition
     /// these into per-tile column groups, so task disjointness is enforced by the
     /// borrow checker instead of runtime assertions.
-    pub fn columns_mut(&mut self) -> Vec<&mut [f64]> {
+    pub fn columns_mut(&mut self) -> Vec<&mut [E]> {
         if self.rows == 0 {
             return Vec::new();
         }
@@ -211,7 +226,7 @@ impl Matrix {
     }
 
     /// Copy a block out into a new dense matrix.
-    pub fn copy_block(&self, block: Block) -> Matrix {
+    pub fn copy_block(&self, block: Block) -> Matrix<E> {
         assert!(block.row + block.rows <= self.rows && block.col + block.cols <= self.cols,
             "copy_block: block out of bounds");
         let mut out = Matrix::zeros(block.rows, block.cols);
@@ -223,7 +238,7 @@ impl Matrix {
     }
 
     /// Write a dense matrix into a block of `self`.
-    pub fn set_block(&mut self, block: Block, src: &Matrix) {
+    pub fn set_block(&mut self, block: Block, src: &Matrix<E>) {
         assert_eq!(block.rows, src.rows(), "set_block: row mismatch");
         assert_eq!(block.cols, src.cols(), "set_block: col mismatch");
         assert!(block.row + block.rows <= self.rows && block.col + block.cols <= self.cols,
@@ -235,7 +250,7 @@ impl Matrix {
     }
 
     /// Transposed copy.
-    pub fn transposed(&self) -> Matrix {
+    pub fn transposed(&self) -> Matrix<E> {
         Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
     }
 
@@ -275,67 +290,125 @@ impl Matrix {
         }
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm, accumulated in `f64` regardless of the element type.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        self.data.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
     }
 
-    /// Maximum absolute element.
+    /// Maximum absolute element, as `f64`.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.to_f64().abs()))
     }
 
     /// Elementwise difference `self - other` (panics on shape mismatch).
-    pub fn sub(&self, other: &Matrix) -> Matrix {
+    pub fn sub(&self, other: &Matrix<E>) -> Matrix<E> {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
         let mut out = self.clone();
         for (o, b) in out.data.iter_mut().zip(other.data.iter()) {
-            *o -= b;
+            *o -= *b;
         }
         out
     }
 
     /// True when all elements differ by less than `tol` from `other`.
-    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+    pub fn approx_eq(&self, other: &Matrix<E>, tol: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
             && self
                 .data
                 .iter()
                 .zip(other.data.iter())
-                .all(|(a, b)| (a - b).abs() <= tol)
+                .all(|(a, b)| (a.to_f64() - b.to_f64()).abs() <= tol)
     }
 
     /// Lower-triangular copy (strictly upper part zeroed, diagonal kept).
-    pub fn lower_triangular(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if i >= j { self.get(i, j) } else { 0.0 })
+    pub fn lower_triangular(&self) -> Matrix<E> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if i >= j { self.get(i, j) } else { E::ZERO })
     }
 
     /// Upper-triangular copy (strictly lower part zeroed, diagonal kept).
-    pub fn upper_triangular(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if i <= j { self.get(i, j) } else { 0.0 })
+    pub fn upper_triangular(&self) -> Matrix<E> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if i <= j { self.get(i, j) } else { E::ZERO })
     }
 
     /// Unit-lower-triangular copy (ones on the diagonal, upper part zeroed).
-    pub fn unit_lower_triangular(&self) -> Matrix {
+    pub fn unit_lower_triangular(&self) -> Matrix<E> {
         Matrix::from_fn(self.rows, self.cols, |i, j| {
             if i == j {
-                1.0
+                E::ONE
             } else if i > j {
                 self.get(i, j)
             } else {
-                0.0
+                E::ZERO
             }
         })
     }
 }
 
-impl fmt::Display for Matrix {
+impl Matrix<f64> {
+    /// Rounding demotion to single precision (the entry into the mixed-precision
+    /// factorization path).
+    pub fn demote(&self) -> Matrix<f32> {
+        self.convert()
+    }
+}
+
+impl Matrix<f32> {
+    /// Exact promotion to double precision (where the f64 ABFT checksum and iterative
+    /// refinement layers operate).
+    pub fn promote(&self) -> Matrix<f64> {
+        self.convert()
+    }
+}
+
+// The vendored serde derive does not support generic types, so Matrix implements the
+// data-model conversion by hand, mirroring exactly what the derive produces for the
+// f64 struct: a map of {rows, cols, data} with the elements as F64 values.
+impl<E: Element> Serialize for Matrix<E> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("rows".to_string(), Value::U64(self.rows as u64)),
+            ("cols".to_string(), Value::U64(self.cols as u64)),
+            (
+                "data".to_string(),
+                Value::Seq(self.data.iter().map(|x| Value::F64(x.to_f64())).collect()),
+            ),
+        ])
+    }
+}
+
+impl<E: Element> Deserialize for Matrix<E> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let rows = usize::from_value(v.field("rows")?)?;
+        let cols = usize::from_value(v.field("cols")?)?;
+        let data = match v.field("data")? {
+            Value::Seq(items) => items
+                .iter()
+                .map(|item| f64::from_value(item).map(E::from_f64))
+                .collect::<Result<Vec<E>, Error>>()?,
+            other => {
+                return Err(Error::custom(format!(
+                    "expected sequence for matrix data, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        if data.len() != rows * cols {
+            return Err(Error::custom(format!(
+                "matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+}
+
+impl<E: Element> fmt::Display for Matrix<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.rows.min(8) {
             for j in 0..self.cols.min(8) {
-                write!(f, "{:>12.4e} ", self.get(i, j))?;
+                write!(f, "{:>12.4e} ", self.get(i, j).to_f64())?;
             }
             if self.cols > 8 {
                 write!(f, "...")?;
@@ -355,11 +428,11 @@ mod tests {
 
     #[test]
     fn zeros_and_identity() {
-        let z = Matrix::zeros(3, 2);
+        let z: Matrix = Matrix::zeros(3, 2);
         assert_eq!(z.rows(), 3);
         assert_eq!(z.cols(), 2);
         assert_eq!(z.frobenius_norm(), 0.0);
-        let i = Matrix::identity(3);
+        let i: Matrix = Matrix::identity(3);
         assert_eq!(i.get(1, 1), 1.0);
         assert_eq!(i.get(0, 1), 0.0);
         assert!(i.is_square());
@@ -367,7 +440,7 @@ mod tests {
 
     #[test]
     fn get_set_column_major_layout() {
-        let mut m = Matrix::zeros(2, 3);
+        let mut m: Matrix = Matrix::zeros(2, 3);
         m.set(1, 2, 7.0);
         assert_eq!(m.get(1, 2), 7.0);
         // column-major: element (1,2) is the last element of the data vector
@@ -419,7 +492,7 @@ mod tests {
         let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
         assert_eq!(a.max_abs(), 4.0);
-        let b = Matrix::identity(2);
+        let b: Matrix = Matrix::identity(2);
         let d = a.sub(&b);
         assert_eq!(d.get(0, 0), 2.0);
         assert!(a.approx_eq(&a, 0.0));
@@ -451,7 +524,23 @@ mod tests {
     #[test]
     #[should_panic]
     fn copy_block_out_of_bounds_panics() {
-        let m = Matrix::zeros(2, 2);
+        let m: Matrix = Matrix::zeros(2, 2);
         let _ = m.copy_block(Block::new(1, 1, 2, 2));
+    }
+
+    #[test]
+    fn promote_demote_roundtrip_and_serde() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i as f64 + 0.25) * (j as f64 + 1.0));
+        let f = m.demote();
+        assert_eq!(f.get(2, 1), 4.5f32);
+        let back = f.promote();
+        assert!(back.approx_eq(&m, 1e-6));
+
+        let f32_mat: Matrix<f32> = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f32);
+        let value = f32_mat.to_value();
+        let round: Matrix<f32> = Matrix::from_value(&value).unwrap();
+        assert_eq!(round, f32_mat);
+        let as_f64: Matrix<f64> = Matrix::from_value(&value).unwrap();
+        assert_eq!(as_f64.get(1, 1), 3.0);
     }
 }

@@ -19,6 +19,7 @@
 //! and verify checksums of each tile right inside the task that produced it, so
 //! checksum maintenance rides the parallel schedule instead of a serial epilogue.
 
+use crate::elem::Element;
 use crate::matrix::Matrix;
 
 /// Measured wall-clock durations of one stepped tiled iteration (see the
@@ -110,14 +111,14 @@ impl TrailingHook for () {
 
 /// One tile-column group: `cols[jj]` is the full backing slice (all rows) of global
 /// column `col0 + jj`. Owned by exactly one task at a time.
-pub(crate) struct TileCols<'a> {
+pub(crate) struct TileCols<'a, E: Element = f64> {
     /// Global index of the first column in the group.
     pub col0: usize,
     /// Full-height column slices, disjoint borrows of the matrix storage.
-    pub cols: Vec<&'a mut [f64]>,
+    pub cols: Vec<&'a mut [E]>,
 }
 
-impl TileCols<'_> {
+impl<E: Element> TileCols<'_, E> {
     /// Number of columns in the group.
     pub fn width(&self) -> usize {
         self.cols.len()
@@ -131,7 +132,7 @@ impl TileCols<'_> {
     /// Dense copy of rows `[row0, row1)` of the group (the small per-task workspace
     /// the Matrix-based panel kernels run on). Assembled in a single write pass — no
     /// zero-fill — since these copies sit on the per-tile hot path.
-    pub fn extract(&self, row0: usize, row1: usize) -> Matrix {
+    pub fn extract(&self, row0: usize, row1: usize) -> Matrix<E> {
         extract_cols(&self.cols, row0, row1)
     }
 
@@ -143,7 +144,7 @@ impl TileCols<'_> {
 
     /// Reborrow the group's columns restricted to rows `[row0, rows)` — the shape the
     /// GEMM accumulation ([`crate::blas3::gemm_acc_cols`]) and [`TrailingHook`] take.
-    pub fn rows_from(&mut self, row0: usize) -> Vec<&mut [f64]> {
+    pub fn rows_from(&mut self, row0: usize) -> Vec<&mut [E]> {
         self.cols.iter_mut().map(|c| &mut c[row0..]).collect()
     }
 }
@@ -151,13 +152,17 @@ impl TileCols<'_> {
 /// Copy of rows `[row0, rows)` of the first `width` columns of a column-slice set —
 /// the rollback state a driver records before running a task whose
 /// [`TrailingHook`] may return [`TileVerdict::Recompute`].
-pub(crate) fn snapshot_rows(cols: &[&mut [f64]], row0: usize, width: usize) -> Vec<Vec<f64>> {
+pub(crate) fn snapshot_rows<E: Element>(
+    cols: &[&mut [E]],
+    row0: usize,
+    width: usize,
+) -> Vec<Vec<E>> {
     cols[..width].iter().map(|c| c[row0..].to_vec()).collect()
 }
 
 /// Restore a [`snapshot_rows`] copy, reverting every element the task (and any
 /// injected fault) touched.
-pub(crate) fn restore_rows(cols: &mut [&mut [f64]], row0: usize, snap: &[Vec<f64>]) {
+pub(crate) fn restore_rows<E: Element>(cols: &mut [&mut [E]], row0: usize, snap: &[Vec<E>]) {
     for (col, saved) in cols.iter_mut().zip(snap) {
         col[row0..].copy_from_slice(saved);
     }
@@ -166,7 +171,7 @@ pub(crate) fn restore_rows(cols: &mut [&mut [f64]], row0: usize, snap: &[Vec<f64
 /// Batch row interchanges (LAPACK `dlaswp`) over a set of column slices: for each
 /// `i`, swap row `row0 + i` with row `swaps[i]` in every column. Shared by the tile
 /// tasks and LU's deferred left-column swap task.
-pub(crate) fn apply_row_swaps_cols(cols: &mut [&mut [f64]], row0: usize, swaps: &[usize]) {
+pub(crate) fn apply_row_swaps_cols<E: Element>(cols: &mut [&mut [E]], row0: usize, swaps: &[usize]) {
     for col in cols.iter_mut() {
         for (i, &piv) in swaps.iter().enumerate() {
             if piv != row0 + i {
@@ -178,7 +183,7 @@ pub(crate) fn apply_row_swaps_cols(cols: &mut [&mut [f64]], row0: usize, swaps: 
 
 /// Dense copy of rows `[row0, row1)` of a set of column slices, assembled in one
 /// write pass (no zero-fill).
-pub(crate) fn extract_cols(cols: &[&mut [f64]], row0: usize, row1: usize) -> Matrix {
+pub(crate) fn extract_cols<E: Element>(cols: &[&mut [E]], row0: usize, row1: usize) -> Matrix<E> {
     let mut data = Vec::with_capacity((row1 - row0) * cols.len());
     for col in cols.iter() {
         data.extend_from_slice(&col[row0..row1]);
@@ -189,11 +194,11 @@ pub(crate) fn extract_cols(cols: &[&mut [f64]], row0: usize, row1: usize) -> Mat
 /// Borrow two distinct columns of a column-slice set at once, the earlier read-only
 /// and the later mutably — the aliasing split the slice-native panel kernels need
 /// (mirrors [`Matrix::col_pair_mut`]).
-pub(crate) fn col_pair<'a>(
-    cols: &'a mut [&mut [f64]],
+pub(crate) fn col_pair<'a, E: Element>(
+    cols: &'a mut [&mut [E]],
     jr: usize,
     jw: usize,
-) -> (&'a [f64], &'a mut [f64]) {
+) -> (&'a [E], &'a mut [E]) {
     assert!(jr < jw && jw < cols.len(), "col_pair: need jr < jw < cols");
     let (left, right) = cols.split_at_mut(jw);
     (&*left[jr], &mut *right[0])
@@ -205,12 +210,12 @@ pub(crate) fn col_pair<'a>(
 /// columns `[start, a.cols())` become `block`-wide [`TileCols`] groups starting at
 /// `start` (so when `start` sits on a block boundary, the first group is exactly the
 /// next panel's tile).
-pub(crate) fn split_tiles<'a>(
-    a: &'a mut Matrix,
+pub(crate) fn split_tiles<'a, E: Element>(
+    a: &'a mut Matrix<E>,
     keep: usize,
     start: usize,
     block: usize,
-) -> (Vec<&'a mut [f64]>, Vec<TileCols<'a>>) {
+) -> (Vec<&'a mut [E]>, Vec<TileCols<'a, E>>) {
     let n = a.cols();
     debug_assert!(keep <= start && start <= n && block > 0);
     let mut cols = a.columns_mut();
@@ -235,7 +240,10 @@ pub(crate) fn split_tiles<'a>(
 /// partition for the entire factorization — the same groups serve as panel tiles and
 /// trailing tiles across every iteration, which is what lets a group carry a single
 /// dependency chain instead of being re-split per iteration.
-pub(crate) fn split_tiles_at<'a>(a: &'a mut Matrix, bounds: &[usize]) -> Vec<TileCols<'a>> {
+pub(crate) fn split_tiles_at<'a, E: Element>(
+    a: &'a mut Matrix<E>,
+    bounds: &[usize],
+) -> Vec<TileCols<'a, E>> {
     let n = a.cols();
     debug_assert!(bounds.first().copied().unwrap_or(0) == 0 || n == 0);
     debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));

@@ -44,7 +44,7 @@ fn prelude_reexports_resolve_and_compose() {
 fn module_aliases_reach_member_crates() {
     let mhz = bsr_repro::platform::freq::MHz(1500.0);
     assert_eq!(mhz.0, 1500.0);
-    let m = bsr_repro::linalg::matrix::Matrix::identity(4);
+    let m: bsr_repro::linalg::matrix::Matrix = bsr_repro::linalg::matrix::Matrix::identity(4);
     assert_eq!(m.get(3, 3), 1.0);
     let fc = bsr_repro::abft::coverage::FULL_COVERAGE_THRESHOLD;
     assert!(fc > 0.999);
