@@ -1,0 +1,336 @@
+//! `service_perf` — the multi-tenant service under traffic.
+//!
+//! Where `bsr_perf` measures one factorization at a time, this harness measures the
+//! *service* built on top of the numeric engine (`bsr_core::service::run_service`):
+//! Poisson job arrivals, admission control with small-job batching, the fleet-level
+//! BSR budget planner, and many concurrent job-scoped runs on the one persistent
+//! pool behind fair per-job scheduling lanes.
+//!
+//! **Traffic campaign** — arrival rate × job mix, paced in real time so latency
+//! percentiles mean what they say. Mixes:
+//!
+//! * `interactive` — mostly small latency-class jobs with some medium throughput
+//!   work behind them (the regime admission batching and the latency boost are
+//!   built for);
+//! * `batch_heavy` — mostly larger throughput-class jobs with a thin interactive
+//!   stream on top (the regime where the fleet planner has real budget to move).
+//!
+//! Per cell: completed jobs/s, p50/p99 job latency, mean queue wait, mean analytic
+//! energy per job, verdict counts, rejects. The zero-silent-corruption invariant is
+//! asserted on *every* episode, fault-free or not.
+//!
+//! **Chaos cell** — one overclocked episode (forced Full scheme, recovery ladder
+//! enabled, physical fault injection, half the jobs drawing uncorrectable-only
+//! fault mixes). The service must retire every job either clean or as a structured
+//! failure; a single silent corruption aborts the bench. This is the cell the CI
+//! `SERVICE_PERF_SMOKE` lanes pin at `RAYON_NUM_THREADS ∈ {1, 4}`.
+//!
+//! Results go to stdout and `BENCH_service.json` at the workspace root.
+//! Environment:
+//! * `SERVICE_SMOKE=1` — fewer jobs, two arrival rates, tiny sizes; writes to
+//!   `target/BENCH_service.smoke.json` so the recorded trajectory is not clobbered;
+//! * `SERVICE_OUT=<path>` — override the output path.
+//!
+//! Host-dependent assertions (queueing-delay growth with offered load) are gated on
+//! multi-core hosts and recorded in the JSON `assertions` array either as checked
+//! or with an explicit `"gated"` marker, so a 1-core trajectory file is
+//! distinguishable from one where the ordering actually held.
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_abft::recover::RecoveryPolicy;
+use bsr_core::config::{AbftMode, RunConfig};
+use bsr_core::queue::{AdmissionConfig, JobClass};
+use bsr_core::service::{run_service, JobSpec, ServiceConfig, ServiceReport};
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+use hetero_sim::sdc::FaultMix;
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() { format!("{x:.6}") } else { "null".to_string() }
+}
+
+/// One traffic mix: a weighted template list the episode cycles through.
+struct Mix {
+    name: &'static str,
+    /// (class, decomposition, n) templates; the episode round-robins them.
+    templates: Vec<(JobClass, Decomposition, usize)>,
+}
+
+fn mixes(smoke: bool) -> Vec<Mix> {
+    // Sizes shrink in smoke mode; the block stays 16 so every size is tile-aligned.
+    let (s, m, l) = if smoke { (32, 48, 64) } else { (64, 96, 160) };
+    vec![
+        Mix {
+            name: "interactive",
+            templates: vec![
+                (JobClass::Latency, Decomposition::Cholesky, s),
+                (JobClass::Latency, Decomposition::Lu, s),
+                (JobClass::Latency, Decomposition::Cholesky, s),
+                (JobClass::Throughput, Decomposition::Lu, m),
+            ],
+        },
+        Mix {
+            name: "batch_heavy",
+            templates: vec![
+                (JobClass::Throughput, Decomposition::Lu, l),
+                (JobClass::Throughput, Decomposition::Cholesky, l),
+                (JobClass::Throughput, Decomposition::Lu, m),
+                (JobClass::Latency, Decomposition::Cholesky, s),
+            ],
+        },
+    ]
+}
+
+/// Fault-free job template on the DAG runtime (feedback off: deterministic,
+/// schedule-independent — the service contract the e2e suite pins).
+fn quiet_cfg(dec: Decomposition, n: usize, seed: u64) -> RunConfig {
+    RunConfig::small(dec, n, 16, Strategy::Bsr(BsrConfig::default()))
+        .with_measured_feedback(false)
+        .with_seed(seed)
+}
+
+/// Overclocked, recovery-enabled chaos template (see `service_e2e.rs`).
+fn chaos_cfg(dec: Decomposition, n: usize, seed: u64, mix: FaultMix) -> RunConfig {
+    let mut cfg = RunConfig::small(dec, n, 8, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
+        .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+        .with_measured_feedback(false)
+        .with_seed(seed)
+        .with_recovery(RecoveryPolicy::enabled())
+        .with_fault_mix(mix);
+    cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
+    cfg.platform.gpu.sdc.one_d_onset = hetero_sim::freq::MHz(1100.0);
+    cfg.platform.gpu.sdc.base_rate_per_s = 1.0e6;
+    cfg.platform.gpu.sdc.one_d_base_rate_per_s = 1.0e5;
+    cfg
+}
+
+fn uncorrectable_mix() -> FaultMix {
+    FaultMix { checksum: 0.3, panel: 0.2, burst: 0.5, ..FaultMix::default() }
+}
+
+struct Cell {
+    mix: &'static str,
+    rate_per_s: f64,
+    jobs: usize,
+    report: ServiceReport,
+    mean_queue_wait_s: f64,
+}
+
+fn episode(
+    mix: &Mix,
+    rate_per_s: f64,
+    jobs: usize,
+    workers: usize,
+    realtime: bool,
+    seed: u64,
+) -> Cell {
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| {
+            let (class, dec, n) = mix.templates[i % mix.templates.len()];
+            JobSpec { cfg: quiet_cfg(dec, n, seed + i as u64), class }
+        })
+        .collect();
+    let service = ServiceConfig {
+        admission: AdmissionConfig { capacity: 256, small_n_max: 64, max_batch: 4 },
+        workers,
+        arrival_rate_per_s: rate_per_s,
+        arrival_seed: seed ^ 0xa11ce,
+        realtime,
+        keep_reports: false,
+        ..ServiceConfig::default()
+    };
+    let report = run_service(&service, specs);
+    assert_eq!(
+        report.silent_corruptions(),
+        0,
+        "service episode {} @ {rate_per_s}/s produced silent corruptions",
+        mix.name
+    );
+    let mean_queue_wait_s = if report.outcomes.is_empty() {
+        0.0
+    } else {
+        report.outcomes.iter().map(|o| o.queue_wait_s).sum::<f64>()
+            / report.outcomes.len() as f64
+    };
+    Cell { mix: mix.name, rate_per_s, jobs, report, mean_queue_wait_s }
+}
+
+fn main() {
+    let smoke = std::env::var("SERVICE_SMOKE").is_ok();
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let default_out = if smoke {
+        root.join("target/BENCH_service.smoke.json")
+    } else {
+        root.join("BENCH_service.json")
+    };
+    let out_path = std::env::var("SERVICE_OUT")
+        .unwrap_or_else(|_| default_out.to_string_lossy().into_owned());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = 3;
+    let (rates, jobs_per_cell): (Vec<f64>, usize) =
+        if smoke { (vec![50.0, 400.0], 8) } else { (vec![10.0, 50.0, 200.0], 24) };
+
+    bsr_bench::header("service_perf: multi-tenant factorization service under traffic");
+    println!("  host cores: {host_cores}  workers: {workers}  mode: {}", if smoke { "smoke" } else { "full" });
+
+    // ---- traffic campaign --------------------------------------------------------------
+    let mut cells: Vec<Cell> = Vec::new();
+    for mix in &mixes(smoke) {
+        for &rate in &rates {
+            let cell = episode(mix, rate, jobs_per_cell, workers, true, 0x5e21);
+            println!(
+                "  {:<12} rate {:>6.1}/s: {:>5.1} jobs/s  p50 {:>8.2} ms  p99 {:>8.2} ms  \
+                 wait {:>7.2} ms  {:.3} J/job  ({} clean, {} rejected)",
+                cell.mix,
+                rate,
+                cell.report.jobs_per_s(),
+                cell.report.latency_percentile(50.0).unwrap_or(f64::NAN) * 1e3,
+                cell.report.latency_percentile(99.0).unwrap_or(f64::NAN) * 1e3,
+                cell.mean_queue_wait_s * 1e3,
+                cell.report.mean_energy_per_job_j(),
+                cell.report.clean(),
+                cell.report.rejected,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // ---- chaos cell --------------------------------------------------------------------
+    // Injected SDCs under service concurrency: every job must retire clean or as a
+    // structured failure. Release arrivals immediately — this cell is a correctness
+    // cell, not a latency cell, and the smoke lanes should not sleep through it.
+    let chaos_jobs = if smoke { 8 } else { 16 };
+    let chaos_specs: Vec<JobSpec> = (0..chaos_jobs)
+        .map(|i| {
+            let dec =
+                if i % 2 == 0 { Decomposition::Cholesky } else { Decomposition::Lu };
+            let mix =
+                if (i / 2) % 2 == 0 { FaultMix::default() } else { uncorrectable_mix() };
+            let class = if i % 3 == 0 { JobClass::Latency } else { JobClass::Throughput };
+            JobSpec { cfg: chaos_cfg(dec, 8 * (4 + i % 3), 0xc4a05 + i as u64, mix), class }
+        })
+        .collect();
+    let chaos_service = ServiceConfig { workers, keep_reports: false, ..ServiceConfig::default() };
+    let chaos = run_service(&chaos_service, chaos_specs);
+    let chaos_injected: usize = chaos.outcomes.iter().map(|o| o.faults_injected).sum();
+    assert_eq!(chaos.outcomes.len(), chaos_jobs, "chaos episode dropped jobs");
+    assert_eq!(
+        chaos.silent_corruptions(),
+        0,
+        "chaos episode produced silent corruptions — the zero-tolerance invariant"
+    );
+    assert!(
+        chaos_injected + chaos.structured_failures() > 0,
+        "chaos episode sampled no faults — overclock regressed, cell is vacuous"
+    );
+    println!(
+        "  chaos        {chaos_jobs} jobs: {} clean, {} structured failures, \
+         {} faults injected, 0 silent corruptions",
+        chaos.clean(),
+        chaos.structured_failures(),
+        chaos_injected,
+    );
+
+    // ---- assertions --------------------------------------------------------------------
+    // Queueing-delay ordering needs real concurrency between the submitter and the
+    // workers; a 1-core host serializes everything and the ordering is noise.
+    let mut assertion_rows: Vec<String> = Vec::new();
+    let core_gate = (host_cores == 1).then_some("host_cores==1");
+    let find = |mix: &str, rate: f64| cells.iter().find(|c| c.mix == mix && c.rate_per_s == rate);
+    for mix in cells.iter().map(|c| c.mix).collect::<std::collections::BTreeSet<_>>() {
+        let lo = rates.first().copied().unwrap();
+        let hi = rates.last().copied().unwrap();
+        let name = format!("{mix}_p50_latency_grows_with_load");
+        if let Some(gate) = core_gate {
+            assertion_rows.push(format!("    {{\"name\":\"{name}\",\"gated\":\"{gate}\"}}"));
+        } else if let (Some(a), Some(b)) = (find(mix, lo), find(mix, hi)) {
+            let (p_lo, p_hi) = (
+                a.report.latency_percentile(50.0).unwrap_or(0.0),
+                b.report.latency_percentile(50.0).unwrap_or(0.0),
+            );
+            // Offered load up 20x: the median must not *improve* beyond noise.
+            assert!(
+                p_hi > 0.5 * p_lo,
+                "{mix}: p50 latency fell from {p_lo:.4}s to {p_hi:.4}s as load rose"
+            );
+            assertion_rows.push(format!(
+                "    {{\"name\":\"{name}\",\"status\":\"passed\",\"p50_low_s\":{},\"p50_high_s\":{}}}",
+                json_num(p_lo),
+                json_num(p_hi)
+            ));
+        }
+        let name = format!("{mix}_throughput_tracks_offered_load");
+        if let Some(gate) = core_gate {
+            assertion_rows.push(format!("    {{\"name\":\"{name}\",\"gated\":\"{gate}\"}}"));
+        } else if let (Some(a), Some(b)) = (find(mix, lo), find(mix, hi)) {
+            let (t_lo, t_hi) = (a.report.jobs_per_s(), b.report.jobs_per_s());
+            assert!(
+                t_hi > t_lo,
+                "{mix}: completed jobs/s did not grow with offered load ({t_lo:.1} -> {t_hi:.1})"
+            );
+            assertion_rows.push(format!(
+                "    {{\"name\":\"{name}\",\"status\":\"passed\",\"jobs_per_s_low\":{},\"jobs_per_s_high\":{}}}",
+                json_num(t_lo),
+                json_num(t_hi)
+            ));
+        }
+    }
+    // The invariant rows are never gated: they were *asserted* above on every
+    // episode, single-core hosts included.
+    assertion_rows.push(format!(
+        "    {{\"name\":\"zero_silent_corruptions_all_episodes\",\"status\":\"passed\",\"episodes\":{}}}",
+        cells.len() + 1
+    ));
+    assertion_rows.push(format!(
+        "    {{\"name\":\"chaos_cell_non_vacuous\",\"status\":\"passed\",\"faults_injected\":{chaos_injected},\"structured_failures\":{}}}",
+        chaos.structured_failures()
+    ));
+
+    // ---- JSON --------------------------------------------------------------------------
+    let cell_rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"mix\": \"{}\", \"rate_per_s\": {}, \"jobs\": {}, \"completed\": {}, \
+                 \"rejected\": {}, \"jobs_per_s\": {}, \"p50_latency_s\": {}, \
+                 \"p99_latency_s\": {}, \"mean_queue_wait_s\": {}, \
+                 \"mean_energy_per_job_j\": {}, \"clean\": {}, \"structured_failures\": {}, \
+                 \"silent_corruptions\": {}}}",
+                c.mix,
+                json_num(c.rate_per_s),
+                c.jobs,
+                c.report.outcomes.len(),
+                c.report.rejected,
+                json_num(c.report.jobs_per_s()),
+                json_num(c.report.latency_percentile(50.0).unwrap_or(f64::NAN)),
+                json_num(c.report.latency_percentile(99.0).unwrap_or(f64::NAN)),
+                json_num(c.mean_queue_wait_s),
+                json_num(c.report.mean_energy_per_job_j()),
+                c.report.clean(),
+                c.report.structured_failures(),
+                c.report.silent_corruptions(),
+            )
+        })
+        .collect();
+    let chaos_row = format!(
+        "    \"jobs\": {chaos_jobs},\n    \"clean\": {},\n    \"structured_failures\": {},\n    \"silent_corruptions\": {},\n    \"faults_injected\": {chaos_injected}",
+        chaos.clean(),
+        chaos.structured_failures(),
+        chaos.silent_corruptions(),
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"service_perf\",\n  \"mode\": \"{}\",\n  \"host_cores\": {host_cores},\n  \"workers\": {workers},\n  \"jobs_per_cell\": {jobs_per_cell},\n{},\n  \"cells\": [\n{}\n  ],\n  \"chaos\": {{\n{}\n  }},\n  \"assertions\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        bsr_bench::autotune_json(),
+        cell_rows.join(",\n"),
+        chaos_row,
+        assertion_rows.join(",\n"),
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("service_perf: failed to write {out_path}: {e}"),
+    }
+}

@@ -1,0 +1,169 @@
+//! Fleet-level BSR budget planner: split the slack-reclamation budget *across*
+//! in-flight jobs instead of within one.
+//!
+//! The paper's BSR loop picks a reclamation ratio `r` for a single factorization:
+//! how much of the predicted slack to reclaim by slowing the GPU stream (energy
+//! saving) versus keeping as margin (deadline safety). A multi-tenant service has a
+//! second allocation axis: with many jobs in flight, *which job's* stream should
+//! spend the shared energy budget? The planner answers with a flop-weighted
+//! water-filling rule:
+//!
+//! * every job starts at the service's global target ratio;
+//! * `Latency`-class jobs are raised by a boost (capped at 1.0) — less reclamation
+//!   headroom spent on them means more margin against their deadline;
+//! * the boost is *paid for* by lowering `Throughput`-class jobs, weighted by their
+//!   flop volume, so the flop-weighted mean ratio across the fleet stays at the
+//!   global target — the fleet as a whole reclaims the energy the single-job BSR
+//!   analysis budgeted, it just reclaims it preferentially from batch work.
+//!
+//! When one class is absent there is nobody to trade with: all jobs get the target
+//! (conservation would otherwise be violated). All outputs are clamped to `[0, 1]`.
+//!
+//! The planner is a pure function of the in-flight set — no clocks, no locks — so
+//! its conservation/ordering properties are unit-tested directly, and the service
+//! can re-consult it at every dispatch without synchronization cost beyond
+//! snapshotting the registry.
+
+use crate::queue::{JobClass, JobId};
+
+/// One in-flight job as the planner sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct InFlightJob {
+    /// The job's id (allocations are reported in input order, but carrying the id
+    /// keeps registry snapshots self-describing).
+    pub id: JobId,
+    /// Deadline class.
+    pub class: JobClass,
+    /// Workload order `n`; the planner weights jobs by `n³` (factorization flop
+    /// volume), so one huge batch job absorbs proportionally more of the budget
+    /// donation than a small one.
+    pub n: usize,
+}
+
+/// The fleet-level allocation policy.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetPlanner {
+    /// Global flop-weighted mean reclamation ratio the fleet must hold.
+    pub target_ratio: f64,
+    /// How much extra ratio a latency job is granted (before conservation capping).
+    pub latency_boost: f64,
+}
+
+impl Default for FleetPlanner {
+    fn default() -> Self {
+        FleetPlanner { target_ratio: 0.5, latency_boost: 0.2 }
+    }
+}
+
+impl FleetPlanner {
+    /// A planner holding the fleet's flop-weighted mean at `target_ratio`.
+    pub fn new(target_ratio: f64, latency_boost: f64) -> Self {
+        assert!((0.0..=1.0).contains(&target_ratio), "target ratio must be in [0, 1]");
+        assert!(latency_boost >= 0.0, "latency boost must be non-negative");
+        FleetPlanner { target_ratio, latency_boost }
+    }
+
+    /// Per-job reclamation ratios for the in-flight set, in input order.
+    ///
+    /// Guarantees (asserted by tests):
+    /// * every ratio is in `[0, 1]`;
+    /// * every `Latency` job's ratio ≥ every `Throughput` job's ratio;
+    /// * when both classes are present and no clamp binds, the flop-weighted mean
+    ///   equals `target_ratio`; clamping (a throughput ratio hitting 0, or a
+    ///   latency ratio hitting 1) only ever *reduces* the spread, never increases
+    ///   the mean above target.
+    pub fn allocate(&self, jobs: &[InFlightJob]) -> Vec<f64> {
+        let weight = |j: &InFlightJob| (j.n as f64).powi(3);
+        let lat_w: f64 =
+            jobs.iter().filter(|j| j.class == JobClass::Latency).map(weight).sum();
+        let thr_w: f64 =
+            jobs.iter().filter(|j| j.class == JobClass::Throughput).map(weight).sum();
+        if lat_w == 0.0 || thr_w == 0.0 {
+            // One-class fleet: nobody to trade budget with.
+            return jobs.iter().map(|_| self.target_ratio).collect();
+        }
+        // Raise latency jobs by the boost, capped at ratio 1.0.
+        let lat_ratio = (self.target_ratio + self.latency_boost).min(1.0);
+        let granted = lat_ratio - self.target_ratio;
+        // Throughput jobs pay for the granted boost in proportion to flop weight;
+        // cap at ratio 0.0 and, if the cap binds, scale the latency grant back so
+        // the weighted mean never exceeds the target.
+        let donation = granted * lat_w / thr_w;
+        let (lat_ratio, thr_ratio) = if donation > self.target_ratio {
+            let affordable = self.target_ratio * thr_w / lat_w;
+            (self.target_ratio + affordable, 0.0)
+        } else {
+            (lat_ratio, self.target_ratio - donation)
+        };
+        jobs.iter()
+            .map(|j| match j.class {
+                JobClass::Latency => lat_ratio.min(1.0),
+                JobClass::Throughput => thr_ratio.max(0.0),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(spec: &[(JobClass, usize)]) -> Vec<InFlightJob> {
+        spec.iter()
+            .map(|&(class, n)| InFlightJob { id: JobId::fresh(), class, n })
+            .collect()
+    }
+
+    fn weighted_mean(jobs: &[InFlightJob], ratios: &[f64]) -> f64 {
+        let w: Vec<f64> = jobs.iter().map(|j| (j.n as f64).powi(3)).collect();
+        let tw: f64 = w.iter().sum();
+        jobs.iter().zip(ratios).zip(&w).map(|((_, &r), &wi)| r * wi).sum::<f64>() / tw
+    }
+
+    #[test]
+    fn single_class_fleets_get_the_target() {
+        let p = FleetPlanner::new(0.4, 0.2);
+        for class in [JobClass::Latency, JobClass::Throughput] {
+            let jobs = fleet(&[(class, 128), (class, 512)]);
+            assert_eq!(p.allocate(&jobs), vec![0.4, 0.4]);
+        }
+        assert!(p.allocate(&[]).is_empty());
+    }
+
+    #[test]
+    fn mixed_fleet_conserves_the_weighted_mean() {
+        let p = FleetPlanner::new(0.5, 0.2);
+        let jobs = fleet(&[
+            (JobClass::Latency, 128),
+            (JobClass::Throughput, 512),
+            (JobClass::Throughput, 256),
+            (JobClass::Latency, 64),
+        ]);
+        let r = p.allocate(&jobs);
+        assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)), "ratios out of range: {r:?}");
+        let mean = weighted_mean(&jobs, &r);
+        assert!((mean - 0.5).abs() < 1e-12, "weighted mean drifted: {mean}");
+        // Latency jobs sit above throughput jobs.
+        for (j, &rj) in jobs.iter().zip(&r) {
+            for (k, &rk) in jobs.iter().zip(&r) {
+                if j.class == JobClass::Latency && k.class == JobClass::Throughput {
+                    assert!(rj > rk, "latency {rj} must exceed throughput {rk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_scales_the_grant_back_instead_of_overdrawing() {
+        // A huge latency job and a tiny throughput job: the donation the boost
+        // demands exceeds what the throughput job can pay; the planner must pin
+        // the throughput job at 0 and shrink the latency grant to what was paid.
+        let p = FleetPlanner::new(0.3, 0.5);
+        let jobs = fleet(&[(JobClass::Latency, 1024), (JobClass::Throughput, 64)]);
+        let r = p.allocate(&jobs);
+        assert_eq!(r[1], 0.0, "throughput job must be pinned at zero");
+        assert!(r[0] > 0.3 && r[0] <= 1.0);
+        let mean = weighted_mean(&jobs, &r);
+        assert!((mean - 0.3).abs() < 1e-12, "clamped mean drifted: {mean}");
+    }
+}

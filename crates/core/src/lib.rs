@@ -18,6 +18,12 @@
 //! * [`numeric::run_numeric`] — real factorizations at moderate sizes with physical fault
 //!   injection and checksum correction; used for the reliability demonstrations.
 //!
+//! On top of the numeric mode, [`service::run_service`] runs the engine as a
+//! **multi-tenant service**: Poisson job arrivals, admission control and small-job
+//! batching ([`queue`]), a fleet-level BSR budget planner ([`fleet`]), and many
+//! concurrent job-scoped factorizations sharing the one persistent pool under a
+//! fair per-job scheduling lane.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -35,29 +41,42 @@
 
 pub mod analytic;
 pub mod config;
+pub mod fleet;
 pub mod numeric;
 pub mod pareto;
+pub mod queue;
 pub mod reliability;
 pub mod report;
+pub mod service;
 pub mod trace;
 
 pub use analytic::{AnalyticDriver, ObservedDurations, PendingStep};
 pub use config::{AbftMode, Precision, PredictorKind, RunConfig};
+pub use fleet::{FleetPlanner, InFlightJob};
 pub use numeric::{
-    run_numeric, run_numeric_on, MeasuredIteration, MixedRefinement, NumericError,
-    NumericFactors, NumericRunReport,
+    generate_input, run_numeric, run_numeric_on, MeasuredIteration, MixedRefinement,
+    NumericError, NumericFactors, NumericRunReport,
 };
+pub use queue::{Admission, AdmissionConfig, AdmissionQueue, JobClass, JobId, QueuedJob};
 pub use report::{compare, Comparison, RunReport};
+pub use service::{
+    run_service, JobHandle, JobOutcome, JobSpec, JobVerdict, ServiceConfig, ServiceReport,
+};
 
 /// Convenient re-exports for applications using the framework.
 pub mod prelude {
     pub use crate::analytic::run;
     pub use crate::config::{AbftMode, Precision, PredictorKind, RunConfig};
     pub use crate::numeric::{
-        run_numeric, run_numeric_on, MeasuredIteration, MixedRefinement, NumericError,
-        NumericFactors, NumericRunReport,
+        generate_input, run_numeric, run_numeric_on, MeasuredIteration, MixedRefinement,
+        NumericError, NumericFactors, NumericRunReport,
     };
+    pub use crate::fleet::{FleetPlanner, InFlightJob};
     pub use crate::pareto::{pareto_front, sweep_reclamation_ratio};
+    pub use crate::queue::{AdmissionConfig, JobClass, JobId};
+    pub use crate::service::{
+        run_service, JobHandle, JobOutcome, JobSpec, JobVerdict, ServiceConfig, ServiceReport,
+    };
     pub use crate::reliability::{estimate_reliability, monte_carlo_reliability};
     pub use crate::report::{compare, format_comparison_table, Comparison, RunReport};
     pub use bsr_abft::checksum::ChecksumScheme;

@@ -148,6 +148,28 @@ pub enum NumericFactors {
     MixedCholesky(Matrix<f32>),
 }
 
+impl NumericFactors {
+    /// Solve `A X = B` against the factors this run produced, so service clients
+    /// get solutions rather than raw factor storage.
+    ///
+    /// LU and Cholesky solve directly through the `bsr-linalg::solve` drivers; the
+    /// mixed-precision variants demote the right-hand side, solve in f32 and
+    /// promote (a single preconditioner sweep — callers wanting f64-accurate
+    /// solutions should request them through the run's refinement record).
+    /// Returns `None` for QR factors: the least-squares solve is not offered yet
+    /// (ROADMAP item 5).
+    pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
+        match self {
+            NumericFactors::Cholesky(l) => Some(cholesky_solve(l, b)),
+            NumericFactors::Lu(f) => Some(f.solve(b)),
+            NumericFactors::MixedLu(_) | NumericFactors::MixedCholesky(_) => {
+                Some(mixed_solve(self, b))
+            }
+            NumericFactors::Qr(_) => None,
+        }
+    }
+}
+
 /// Measured-vs-modelled record of one numeric iteration.
 #[derive(Debug, Clone, Copy)]
 pub struct MeasuredIteration {
@@ -383,28 +405,47 @@ impl Engine {
 /// assert!(report.measured_makespan_s() > 0.0);
 /// ```
 pub fn run_numeric(cfg: RunConfig) -> Result<NumericRunReport, NumericError> {
+    let input = generate_input(&cfg);
+    run_numeric_on(cfg, &input)
+}
+
+/// The deterministic input matrix a [`run_numeric`] call would factor for `cfg`:
+/// SPD for Cholesky workloads, dense random otherwise, from a ChaCha8 stream keyed
+/// by `cfg.seed`. The service layer generates each job's input through this same
+/// function, so a service job and a solo [`run_numeric`] run with the same config
+/// factor bit-identical data.
+pub fn generate_input(cfg: &RunConfig) -> Matrix {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
     let n = cfg.workload.n;
-    let input = match cfg.workload.decomposition {
+    match cfg.workload.decomposition {
         Decomposition::Cholesky => random_spd_matrix(&mut rng, n),
         Decomposition::Lu | Decomposition::Qr => random_matrix(&mut rng, n, n),
-    };
-    run_numeric_on(cfg, &input)
+    }
 }
 
 /// Run a numeric-mode factorization of a caller-provided matrix.
 ///
+/// This is a thin wrapper over the service layer's
+/// [`JobHandle`](crate::service::JobHandle): the run executes as a single
+/// anonymous job (fresh job id, job-scoped DAG stats and fair-lane submission),
+/// which is exactly how the multi-tenant service executes each admitted job.
+///
 /// Returns [`NumericError::ShapeMismatch`] when `input` is not the square
 /// `n × n` matrix the workload describes.
 pub fn run_numeric_on(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, NumericError> {
-    let n = cfg.workload.n;
-    if !input.is_square() || input.rows() != n {
-        return Err(NumericError::ShapeMismatch {
-            rows: input.rows(),
-            cols: input.cols(),
-            expected: n,
-        });
-    }
+    let handle = crate::service::JobHandle::solo(cfg, input.clone())?;
+    let result = handle.run();
+    // A solo run's job-keyed DAG stats have no consumer once the thread-local
+    // `last_run_stats` copy exists; drop the table entry so one-shot runs do not
+    // accumulate process-global state.
+    bsr_linalg::dag::clear_job_stats(handle.id().as_u64());
+    result
+}
+
+/// Engine dispatch shared by every execution surface: mixed-precision, stepped
+/// (measured feedback) or whole-run DAG. The caller has already validated the
+/// input shape.
+pub(crate) fn dispatch(cfg: RunConfig, input: &Matrix) -> Result<NumericRunReport, NumericError> {
     if cfg.precision == Precision::MixedF32 {
         run_numeric_mixed(cfg, input)
     } else if cfg.measured_feedback {

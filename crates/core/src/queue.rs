@@ -1,0 +1,296 @@
+//! Admission control and small-job batching for the multi-tenant service layer.
+//!
+//! The queue is deliberately a *pure* data structure — no threads, no clocks — so
+//! its invariants are property-testable in isolation (`tests/proptest_service.rs`):
+//!
+//! 1. **No admitted job is dropped**: every job [`AdmissionQueue::offer`] admits is
+//!    eventually returned by [`AdmissionQueue::next_batch`], exactly once.
+//! 2. **FIFO within class**: jobs of the same [`JobClass`] dispatch in admission
+//!    order. Batches only ever take a *contiguous prefix* of a class queue, which
+//!    makes this invariant structural rather than incidental.
+//! 3. **Batches never mix incompatible jobs**: all jobs in a batch share a
+//!    [`BatchKey`] — numeric element type ([`Precision`]) and checksum-scheme mode
+//!    ([`AbftMode`]) — so one fused dispatch never runs f32 work under another
+//!    job's f64 checksum regime or vice versa.
+//!
+//! Admission is capacity-based: a queue holding `capacity` jobs rejects further
+//! offers (the service records the rejection; the caller sees it in the
+//! [`ServiceReport`](crate::service::ServiceReport)). Batching only applies to
+//! *small* jobs (`n ≤ small_n_max`), where per-job dispatch overhead — pool wakeup,
+//! planner consultation, checksum context setup — is comparable to the
+//! factorization itself; large jobs always dispatch alone.
+
+use crate::config::{AbftMode, Precision, RunConfig};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique identifier of one factorization job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
+
+impl JobId {
+    /// Allocate a fresh process-unique id.
+    pub fn fresh() -> Self {
+        JobId(NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw id — also the job's fair-scheduling lane key in the pool and its
+    /// stats key in `bsr_linalg::dag`.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Deadline class of a job: the fleet planner treats the two classes asymmetrically
+/// when splitting the BSR energy/slack budget, and the queue dispatches `Latency`
+/// work first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Interactive / deadline-bound: dispatched ahead of `Throughput` work and
+    /// granted extra slack-reclamation headroom by the fleet planner.
+    Latency,
+    /// Batch / energy-bound: absorbs the budget the latency class borrows.
+    Throughput,
+}
+
+/// Compatibility key for batching: jobs may share a fused dispatch only when both
+/// components match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchKey {
+    /// Numeric element type of the factorization (f64 vs mixed f32).
+    pub precision: Precision,
+    /// Checksum-scheme regime (adaptive, or a specific forced scheme).
+    pub abft: AbftMode,
+}
+
+impl BatchKey {
+    /// The key of a job config.
+    pub fn of(cfg: &RunConfig) -> Self {
+        BatchKey { precision: cfg.precision, abft: cfg.abft_mode }
+    }
+}
+
+/// One admitted job waiting for dispatch.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// The job's process-unique id.
+    pub id: JobId,
+    /// Deadline class.
+    pub class: JobClass,
+    /// The run configuration the job will execute (before fleet-planner budget
+    /// adjustment).
+    pub cfg: RunConfig,
+    /// Arrival offset (seconds from service start) of the job's submission.
+    pub arrival_s: f64,
+}
+
+/// Admission-control and batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum queued (admitted, undispatched) jobs; offers beyond this are
+    /// rejected.
+    pub capacity: usize,
+    /// Jobs with workload order `n ≤ small_n_max` are batchable.
+    pub small_n_max: usize,
+    /// Maximum jobs per batch.
+    pub max_batch: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { capacity: 256, small_n_max: 128, max_batch: 4 }
+    }
+}
+
+/// Outcome of an [`AdmissionQueue::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The job is queued and will be dispatched.
+    Admitted,
+    /// The queue is at capacity; the job was not enqueued.
+    Rejected,
+}
+
+/// A dispatch unit: one or more compatible jobs run back-to-back by one worker.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Process-unique batch id (for latency attribution in reports).
+    pub id: u64,
+    /// The jobs, in admission order.
+    pub jobs: Vec<QueuedJob>,
+}
+
+/// The service's admission queue: one FIFO per [`JobClass`], capacity-bounded
+/// admission, prefix-only batching.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    cfg: AdmissionConfig,
+    latency: VecDeque<QueuedJob>,
+    throughput: VecDeque<QueuedJob>,
+    next_batch_id: u64,
+    rejected: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue with the given knobs.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            cfg,
+            latency: VecDeque::new(),
+            throughput: VecDeque::new(),
+            next_batch_id: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Number of admitted jobs waiting for dispatch.
+    pub fn len(&self) -> usize {
+        self.latency.len() + self.throughput.len()
+    }
+
+    /// Whether no admitted job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Offers rejected so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Offer a job for admission. Rejected when the queue is at capacity.
+    pub fn offer(&mut self, job: QueuedJob) -> Admission {
+        if self.len() >= self.cfg.capacity {
+            self.rejected += 1;
+            return Admission::Rejected;
+        }
+        match job.class {
+            JobClass::Latency => self.latency.push_back(job),
+            JobClass::Throughput => self.throughput.push_back(job),
+        }
+        Admission::Admitted
+    }
+
+    /// Dispatch the next batch, or `None` when the queue is empty.
+    ///
+    /// `Latency` work dispatches before `Throughput` work. The batch starts at the
+    /// head of the chosen class queue; if the head job is *batchable*
+    /// (`n ≤ small_n_max`), the batch extends over the longest contiguous prefix of
+    /// equally batchable jobs with the same [`BatchKey`], up to `max_batch` jobs.
+    /// Taking only a prefix is what preserves FIFO-within-class: a compatible job
+    /// deeper in the queue never jumps an incompatible one ahead of it.
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        let cfg = self.cfg;
+        let queue = if !self.latency.is_empty() {
+            &mut self.latency
+        } else if !self.throughput.is_empty() {
+            &mut self.throughput
+        } else {
+            return None;
+        };
+        let head = queue.pop_front().expect("chosen queue is non-empty");
+        let batchable =
+            |j: &QueuedJob| j.cfg.workload.n <= cfg.small_n_max;
+        let key = BatchKey::of(&head.cfg);
+        let head_batchable = batchable(&head);
+        let mut jobs = vec![head];
+        while head_batchable
+            && jobs.len() < cfg.max_batch
+            && queue
+                .front()
+                .is_some_and(|next| batchable(next) && BatchKey::of(&next.cfg) == key)
+        {
+            jobs.push(queue.pop_front().expect("front checked"));
+        }
+        let id = self.next_batch_id;
+        self.next_batch_id += 1;
+        Some(Batch { id, jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsr_sched::strategy::Strategy;
+    use bsr_sched::workload::Decomposition;
+
+    fn job(class: JobClass, n: usize) -> QueuedJob {
+        QueuedJob {
+            id: JobId::fresh(),
+            class,
+            cfg: RunConfig::small(Decomposition::Cholesky, n, 32, Strategy::Original),
+            arrival_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn capacity_rejects_and_counts() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 2,
+            small_n_max: 64,
+            max_batch: 4,
+        });
+        assert_eq!(q.offer(job(JobClass::Latency, 64)), Admission::Admitted);
+        assert_eq!(q.offer(job(JobClass::Throughput, 64)), Admission::Admitted);
+        assert_eq!(q.offer(job(JobClass::Latency, 64)), Admission::Rejected);
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn latency_class_dispatches_first_and_batches_form_prefixes() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 16,
+            small_n_max: 64,
+            max_batch: 3,
+        });
+        // Throughput arrives first, then latency; latency still dispatches first.
+        let t1 = job(JobClass::Throughput, 64);
+        let l1 = job(JobClass::Latency, 64);
+        let l2 = job(JobClass::Latency, 64);
+        let l3 = job(JobClass::Latency, 256); // too large to batch
+        let (t1id, l1id, l2id, l3id) = (t1.id, l1.id, l2.id, l3.id);
+        for j in [t1, l1, l2, l3] {
+            assert_eq!(q.offer(j), Admission::Admitted);
+        }
+        let b0 = q.next_batch().unwrap();
+        assert_eq!(b0.jobs.iter().map(|j| j.id).collect::<Vec<_>>(), vec![l1id, l2id]);
+        let b1 = q.next_batch().unwrap();
+        assert_eq!(b1.jobs.iter().map(|j| j.id).collect::<Vec<_>>(), vec![l3id]);
+        let b2 = q.next_batch().unwrap();
+        assert_eq!(b2.jobs.iter().map(|j| j.id).collect::<Vec<_>>(), vec![t1id]);
+        assert!(q.next_batch().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn incompatible_precision_breaks_a_batch() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            capacity: 16,
+            small_n_max: 64,
+            max_batch: 4,
+        });
+        let a = job(JobClass::Throughput, 64);
+        let mut mixed = job(JobClass::Throughput, 64);
+        mixed.cfg = mixed.cfg.with_precision(crate::config::Precision::MixedF32);
+        let c = job(JobClass::Throughput, 64);
+        let (aid, mid, cid) = (a.id, mixed.id, c.id);
+        for j in [a, mixed, c] {
+            q.offer(j);
+        }
+        // The f64 head cannot absorb the mixed job, and prefix-only batching means
+        // the trailing f64 job cannot jump the queue either.
+        let ids: Vec<Vec<JobId>> = std::iter::from_fn(|| q.next_batch())
+            .map(|b| b.jobs.iter().map(|j| j.id).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![aid], vec![mid], vec![cid]]);
+    }
+}

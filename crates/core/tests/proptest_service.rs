@@ -1,0 +1,177 @@
+//! Property suite for the service layer's pure components: the admission queue
+//! and the fleet planner.
+//!
+//! The queue invariants pinned here are the ones the multi-tenant service's
+//! correctness argument leans on (`crates/core/src/queue.rs` documents them):
+//!
+//! 1. **No admitted job is dropped** — draining the queue returns every admitted
+//!    job exactly once, and only admitted jobs.
+//! 2. **FIFO within class** — the dispatch order of each [`JobClass`] is its
+//!    admission order, for *every* interleaving of offers and randomized knobs.
+//! 3. **Batches never mix incompatible jobs** — each batch is homogeneous in
+//!    [`BatchKey`] (element type × checksum-scheme regime), respects `max_batch`,
+//!    and only groups jobs small enough to be batchable.
+//!
+//! The planner invariant is the budget-conservation law: allocations stay in
+//! `[0, 1]`, latency-class jobs never sit below throughput-class jobs, and the
+//! flop-weighted mean never exceeds the fleet target (it equals the target
+//! whenever a clamp does not bind, and clamping only ever *shrinks* the spread).
+
+use bsr_core::config::{AbftMode, Precision, RunConfig};
+use bsr_core::fleet::{FleetPlanner, InFlightJob};
+use bsr_core::queue::{
+    Admission, AdmissionConfig, AdmissionQueue, BatchKey, JobClass, JobId, QueuedJob,
+};
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_sched::strategy::Strategy;
+use bsr_sched::workload::Decomposition;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Compact generator form of one offered job: (class index, size index,
+/// precision index, abft index). Indices keep the strategy space small and
+/// shrinkable.
+type JobGene = (u8, u8, u8, u8);
+
+const SIZES: [usize; 4] = [32, 64, 96, 256];
+const SCHEMES: [AbftMode; 3] = [
+    AbftMode::Adaptive,
+    AbftMode::Forced(ChecksumScheme::SingleSide),
+    AbftMode::Forced(ChecksumScheme::Full),
+];
+
+fn job_from_gene(gene: JobGene) -> QueuedJob {
+    let (class, size, precision, abft) = gene;
+    let class = if class % 2 == 0 { JobClass::Latency } else { JobClass::Throughput };
+    let n = SIZES[size as usize % SIZES.len()];
+    let precision =
+        if precision % 2 == 0 { Precision::F64 } else { Precision::MixedF32 };
+    let cfg = RunConfig::small(Decomposition::Cholesky, n, 32, Strategy::Original)
+        .with_precision(precision)
+        .with_abft_mode(SCHEMES[abft as usize % SCHEMES.len()]);
+    QueuedJob { id: JobId::fresh(), class, cfg, arrival_s: 0.0 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants 1–3 over random offer sequences and random queue knobs.
+    #[test]
+    fn queue_never_drops_reorders_or_mixes(
+        genes in prop::collection::vec(
+            (0u8..2, 0u8..4, 0u8..2, 0u8..3), 0..40),
+        capacity in 1usize..48,
+        small_n_max in prop::sample::select(vec![0usize, 64, 96, 512]),
+        max_batch in 1usize..6,
+    ) {
+        let mut queue = AdmissionQueue::new(AdmissionConfig {
+            capacity,
+            small_n_max,
+            max_batch,
+        });
+        let mut admitted: Vec<QueuedJob> = Vec::new();
+        let mut rejected = 0usize;
+        for gene in genes {
+            let job = job_from_gene(gene);
+            let copy = job.clone();
+            match queue.offer(job) {
+                Admission::Admitted => admitted.push(copy),
+                Admission::Rejected => rejected += 1,
+            }
+        }
+        // Capacity actually bounds the backlog, and rejections are tallied.
+        prop_assert!(queue.len() <= capacity);
+        prop_assert_eq!(queue.rejected(), rejected);
+
+        let mut dispatched: Vec<QueuedJob> = Vec::new();
+        let mut batch_sizes: Vec<usize> = Vec::new();
+        while let Some(batch) = queue.next_batch() {
+            prop_assert!(!batch.jobs.is_empty(), "empty batch dispatched");
+            prop_assert!(batch.jobs.len() <= max_batch, "batch exceeds max_batch");
+            // Invariant 3: homogeneous key; multi-job batches are all-small.
+            let key = BatchKey::of(&batch.jobs[0].cfg);
+            for job in &batch.jobs {
+                prop_assert!(BatchKey::of(&job.cfg) == key, "batch mixes keys");
+                prop_assert_eq!(job.class, batch.jobs[0].class, "batch mixes classes");
+                if batch.jobs.len() > 1 {
+                    prop_assert!(
+                        job.cfg.workload.n <= small_n_max,
+                        "large job n={} batched with others", job.cfg.workload.n
+                    );
+                }
+            }
+            batch_sizes.push(batch.jobs.len());
+            dispatched.extend(batch.jobs);
+        }
+        prop_assert!(queue.is_empty(), "drained queue reports non-empty");
+
+        // Invariant 1: exactly the admitted multiset, each id exactly once.
+        prop_assert_eq!(dispatched.len(), admitted.len(), "dropped or duplicated jobs");
+        let mut seen: HashMap<JobId, usize> = HashMap::new();
+        for job in &dispatched {
+            *seen.entry(job.id).or_insert(0) += 1;
+        }
+        for job in &admitted {
+            prop_assert_eq!(
+                seen.get(&job.id).copied(),
+                Some(1),
+                "admitted {} dispatched wrong number of times", job.id
+            );
+        }
+
+        // Invariant 2: FIFO within each class.
+        for class in [JobClass::Latency, JobClass::Throughput] {
+            let order_in: Vec<JobId> =
+                admitted.iter().filter(|j| j.class == class).map(|j| j.id).collect();
+            let order_out: Vec<JobId> =
+                dispatched.iter().filter(|j| j.class == class).map(|j| j.id).collect();
+            prop_assert_eq!(order_in, order_out, "class {:?} reordered", class);
+        }
+    }
+
+    /// The fleet planner's conservation law over random fleets and knobs.
+    #[test]
+    fn planner_conserves_the_flop_weighted_budget(
+        fleet in prop::collection::vec((0u8..2, 1usize..64), 1..12),
+        target in 0.0f64..1.0,
+        boost in 0.0f64..1.0,
+    ) {
+        let jobs: Vec<InFlightJob> = fleet
+            .iter()
+            .map(|&(class, nq)| InFlightJob {
+                id: JobId::fresh(),
+                class: if class == 0 { JobClass::Latency } else { JobClass::Throughput },
+                n: nq * 16,
+            })
+            .collect();
+        let planner = FleetPlanner::new(target, boost);
+        let ratios = planner.allocate(&jobs);
+        prop_assert_eq!(ratios.len(), jobs.len());
+        prop_assert!(ratios.iter().all(|r| (0.0..=1.0).contains(r)), "ratio out of range");
+
+        // Latency allocations dominate throughput allocations.
+        for (j, &rj) in jobs.iter().zip(&ratios) {
+            for (k, &rk) in jobs.iter().zip(&ratios) {
+                if j.class == JobClass::Latency && k.class == JobClass::Throughput {
+                    prop_assert!(rj >= rk, "latency {rj} below throughput {rk}");
+                }
+            }
+        }
+
+        // Flop-weighted mean never exceeds the target; with both classes present
+        // and no clamp binding it equals the target exactly (up to rounding).
+        let w: Vec<f64> = jobs.iter().map(|j| (j.n as f64).powi(3)).collect();
+        let tw: f64 = w.iter().sum();
+        let mean = ratios.iter().zip(&w).map(|(&r, &wi)| r * wi).sum::<f64>() / tw;
+        prop_assert!(mean <= target + 1e-9, "mean {mean} overdraws target {target}");
+        let both = jobs.iter().any(|j| j.class == JobClass::Latency)
+            && jobs.iter().any(|j| j.class == JobClass::Throughput);
+        let clamped = ratios.iter().any(|&r| r == 0.0 || r == 1.0);
+        if both && !clamped {
+            prop_assert!(
+                (mean - target).abs() < 1e-9,
+                "unclamped mixed fleet drifted: mean {mean} target {target}"
+            );
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end acceptance for the multi-tenant service (ROADMAP item 1).
+//!
+//! Two contracts are pinned here, both verbatim from the issue that introduced
+//! the service layer:
+//!
+//! 1. **Zero silent corruptions under injected SDCs.** An overclocked episode —
+//!    every job forced into the unstable frequency region with physical fault
+//!    injection, half the jobs carrying *uncorrectable-by-construction* fault
+//!    mixes — must end every in-flight job either `Clean` (in-place ABFT
+//!    correction or recovery-ladder replay healed it) or `StructuredFailure`
+//!    (recovery exhausted, with history). `SilentCorruption` and `Aborted`
+//!    verdicts fail the suite.
+//!
+//! 2. **Per-job bit-identity with solo runs at threads {1, 2, 4}.** Each
+//!    outcome records the *effective* config the fleet planner dispatched
+//!    (budget-rewritten reclamation ratio), and replaying that config solo via
+//!    [`run_numeric_on`] must reproduce the service run exactly — identical
+//!    factor bits for clean jobs, the same structured failure for failed ones —
+//!    at every thread count. This is the strongest form of the isolation claim:
+//!    a job's result never depends on what else was in flight or on pool size,
+//!    even with fault injection and recovery active, because the DAG runtime's
+//!    fault schedule is analytic (feedback off) and all mutable engine state is
+//!    job-keyed.
+//!
+//! A fault-free mixed-precision episode additionally checks the cross-layer
+//! plumbing: batches (visible in the outcomes' batch ids) never group jobs with
+//! different element types, and every clean job's factors answer a solve
+//! request with a healthy backward error — the service's actual client surface.
+
+use bsr_abft::checksum::ChecksumScheme;
+use bsr_abft::recover::RecoveryPolicy;
+use bsr_core::config::{AbftMode, Precision, RunConfig};
+use bsr_core::numeric::{generate_input, run_numeric_on, NumericError, NumericFactors};
+use bsr_core::queue::{AdmissionConfig, JobClass};
+use bsr_core::service::{run_service, JobOutcome, JobSpec, JobVerdict, ServiceConfig};
+use bsr_linalg::blas3::{self, Trans};
+use bsr_linalg::matrix::Matrix;
+use bsr_sched::strategy::{BsrConfig, Strategy};
+use bsr_sched::workload::Decomposition;
+use hetero_sim::sdc::FaultMix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::ThreadCountGuard;
+
+/// The acceptance sweep for solo replays: inline, small pool, typical pool.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Only fault classes beyond in-place correction: checksum-vector strikes, panel
+/// strikes, four-corner bursts (see `proptest_recovery.rs` for the rationale).
+fn uncorrectable_mix() -> FaultMix {
+    FaultMix { checksum: 0.3, panel: 0.2, burst: 0.5, ..FaultMix::default() }
+}
+
+/// A recovery-enabled chaos config on the DAG runtime (feedback off — the fault
+/// schedule comes from the analytic plans, so a solo replay samples the same
+/// strikes regardless of thread count or co-tenants). BSR with a hot reclamation
+/// ratio is what overclocks into the SDC region; the forced Full scheme plus the
+/// recovery ladder is the paper's strongest protection regime.
+fn chaos_cfg(dec: Decomposition, n: usize, b: usize, seed: u64, mix: FaultMix) -> RunConfig {
+    let mut cfg = RunConfig::small(dec, n, b, Strategy::Bsr(BsrConfig::with_ratio(0.4)))
+        .with_abft_mode(AbftMode::Forced(ChecksumScheme::Full))
+        .with_measured_feedback(false)
+        .with_seed(seed)
+        .with_recovery(RecoveryPolicy::enabled())
+        .with_fault_mix(mix);
+    cfg.platform.gpu.sdc.fault_free_max = hetero_sim::freq::MHz(1000.0);
+    cfg.platform.gpu.sdc.one_d_onset = hetero_sim::freq::MHz(1100.0);
+    cfg.platform.gpu.sdc.base_rate_per_s = 1.0e6;
+    cfg.platform.gpu.sdc.one_d_base_rate_per_s = 1.0e5;
+    cfg
+}
+
+/// Assert two f64 factor sets are bit-identical.
+fn assert_same_factors(service: &NumericFactors, solo: &NumericFactors, label: &str) {
+    match (service, solo) {
+        (NumericFactors::Cholesky(a), NumericFactors::Cholesky(b)) => {
+            assert!(a == b, "{label}: Cholesky factors not bit-identical");
+        }
+        (NumericFactors::Lu(a), NumericFactors::Lu(b)) => {
+            assert!(a.lu == b.lu, "{label}: LU factors not bit-identical");
+            assert_eq!(a.pivots, b.pivots, "{label}: pivots differ");
+        }
+        (NumericFactors::Qr(a), NumericFactors::Qr(b)) => {
+            assert!(a.qr == b.qr, "{label}: QR factors not bit-identical");
+            assert_eq!(a.taus, b.taus, "{label}: taus differ");
+        }
+        (a, b) => panic!("{label}: factor kinds diverged: {a:?} vs {b:?}"),
+    }
+}
+
+/// Replay one outcome's effective config solo and hold it to bit-identity.
+fn assert_replay_matches(o: &JobOutcome, t: usize) {
+    let label = format!("{} solo replay t={t}", o.id);
+    let input = generate_input(&o.effective_cfg);
+    let replay = run_numeric_on(o.effective_cfg.clone(), &input);
+    match (o.verdict, replay) {
+        (JobVerdict::Clean, Ok(solo)) => {
+            let service_rep = o.report.as_ref().expect("keep_reports episode");
+            assert_same_factors(&service_rep.factors, &solo.factors, &label);
+            assert_eq!(
+                service_rep.faults_injected, solo.faults_injected,
+                "{label}: fault schedule diverged"
+            );
+            assert!(solo.numerically_correct, "{label}: replay lost correctness");
+            assert_eq!(solo.verification.uncorrectable, 0, "{label}: replay dirty");
+        }
+        (JobVerdict::StructuredFailure, Err(NumericError::UnrecoverableFault { history })) => {
+            assert!(!history.is_empty(), "{label}: empty failure history");
+        }
+        (verdict, replay) => {
+            let shape = match &replay {
+                Ok(_) => "Ok".to_string(),
+                Err(e) => format!("Err({e})"),
+            };
+            panic!("{label}: service verdict {verdict:?} but solo replay gave {shape}");
+        }
+    }
+}
+
+#[test]
+fn injected_sdc_episode_never_silently_corrupts_and_replays_bit_identically() {
+    let b = 8;
+    let specs: Vec<JobSpec> = (0..12)
+        .map(|i| {
+            let dec =
+                if i % 2 == 0 { Decomposition::Cholesky } else { Decomposition::Lu };
+            // Half the jobs draw only uncorrectable fault classes (recovery
+            // ladder or structured failure); half draw the default mix (mostly
+            // in-place-correctable tile strikes).
+            let mix = if (i / 2) % 2 == 0 { FaultMix::default() } else { uncorrectable_mix() };
+            let class = if i % 3 == 0 { JobClass::Latency } else { JobClass::Throughput };
+            let n = b * (4 + i % 3); // 32..48, block-aligned
+            JobSpec { cfg: chaos_cfg(dec, n, b, 0xe2e0 + i as u64, mix), class }
+        })
+        .collect();
+    let service = ServiceConfig {
+        workers: 3,
+        keep_reports: true,
+        ..ServiceConfig::default()
+    };
+    let report = run_service(&service, specs);
+
+    // Every admitted job completed, and the episode is non-vacuous: the
+    // overclock actually struck (physical injections on clean-finishing jobs,
+    // or failures loud enough to abort a run).
+    assert_eq!(report.outcomes.len(), 12, "all jobs must complete");
+    assert_eq!(report.rejected, 0);
+    let injected: usize = report.outcomes.iter().map(|o| o.faults_injected).sum();
+    assert!(
+        injected + report.structured_failures() > 0,
+        "chaos episode sampled no faults at all — overclock regressed"
+    );
+
+    // The headline invariant: zero silent corruptions, no aborts.
+    assert_eq!(report.silent_corruptions(), 0, "silent corruption in service episode");
+    for o in &report.outcomes {
+        assert!(
+            matches!(o.verdict, JobVerdict::Clean | JobVerdict::StructuredFailure),
+            "{}: unacceptable verdict {:?} ({:?})", o.id, o.verdict, o.error
+        );
+        if o.verdict == JobVerdict::Clean {
+            let rep = o.report.as_ref().expect("keep_reports episode");
+            assert!(rep.numerically_correct, "{}: clean but incorrect", o.id);
+            assert_eq!(rep.verification.uncorrectable, 0);
+        }
+    }
+
+    // Bit-identity with solo runs at every acceptance thread count.
+    for t in THREADS {
+        let _guard = ThreadCountGuard::set(t);
+        for o in &report.outcomes {
+            assert_replay_matches(o, t);
+        }
+    }
+}
+
+#[test]
+fn fault_free_episode_keeps_batches_homogeneous_and_factors_solvable() {
+    // No overclock: the stock guardband samples zero SDCs, so every job must be
+    // Clean. Alternate element types so batching has something to segregate.
+    let specs: Vec<JobSpec> = (0..10)
+        .map(|i| {
+            let precision = if i % 2 == 0 { Precision::F64 } else { Precision::MixedF32 };
+            let cfg = RunConfig::small(
+                Decomposition::Cholesky,
+                48,
+                16,
+                Strategy::Bsr(BsrConfig::default()),
+            )
+            .with_measured_feedback(false)
+            .with_precision(precision)
+            .with_seed(0xfaef + i as u64);
+            let class = if i < 5 { JobClass::Latency } else { JobClass::Throughput };
+            JobSpec { cfg, class }
+        })
+        .collect();
+    let service = ServiceConfig {
+        admission: AdmissionConfig { capacity: 64, small_n_max: 64, max_batch: 3 },
+        workers: 2,
+        keep_reports: true,
+        ..ServiceConfig::default()
+    };
+    let report = run_service(&service, specs);
+    assert_eq!(report.outcomes.len(), 10);
+    assert_eq!(report.clean(), 10, "fault-free episode must be all clean");
+    assert_eq!(report.silent_corruptions(), 0);
+
+    // Cross-layer batching check: outcomes that share a batch id must share the
+    // element type and deadline class the queue keys on.
+    for a in &report.outcomes {
+        for b in &report.outcomes {
+            if a.batch == b.batch {
+                assert_eq!(
+                    a.effective_cfg.precision, b.effective_cfg.precision,
+                    "batch {} mixed element types", a.batch
+                );
+                assert_eq!(a.class, b.class, "batch {} mixed classes", a.batch);
+            }
+        }
+    }
+
+    // The client surface: every clean job's factors solve, with a backward
+    // error appropriate to the factor precision (f64 direct vs one f32 sweep).
+    for o in &report.outcomes {
+        let rep = o.report.as_ref().expect("keep_reports episode");
+        let a = generate_input(&o.effective_cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(o.id.as_u64());
+        let x_true = bsr_linalg::generate::random_matrix(&mut rng, a.rows(), 2);
+        let rhs = blas3::gemm(&a, Trans::No, &x_true, Trans::No);
+        let x = rep.factors.solve(&rhs).expect("LU/Cholesky factors must solve");
+        let tol = match o.effective_cfg.precision {
+            Precision::F64 => 1e-8,
+            Precision::MixedF32 => 1e-2,
+        };
+        let err = max_rel_err(&x, &x_true);
+        assert!(err < tol, "{}: solve error {err:.3e} exceeds {tol:.0e}", o.id);
+    }
+}
+
+/// Largest entrywise relative error between two equal-shape matrices.
+fn max_rel_err(x: &Matrix, y: &Matrix) -> f64 {
+    let mut worst = 0.0f64;
+    for j in 0..x.cols() {
+        for i in 0..x.rows() {
+            let denom = y.get(i, j).abs().max(1.0);
+            worst = worst.max((x.get(i, j) - y.get(i, j)).abs() / denom);
+        }
+    }
+    worst
+}
+
+#[test]
+fn inline_pool_episode_drains_clean_at_one_thread() {
+    // The whole service — submitter, condvar workers, fair lanes — must also
+    // work when the compute pool is the inline t=1 path.
+    let _guard = ThreadCountGuard::set(1);
+    let specs: Vec<JobSpec> = (0..4)
+        .map(|i| JobSpec {
+            cfg: RunConfig::small(
+                Decomposition::Lu,
+                32,
+                16,
+                Strategy::Bsr(BsrConfig::default()),
+            )
+            .with_measured_feedback(false)
+            .with_seed(0x1_1ead + i as u64),
+            class: JobClass::Throughput,
+        })
+        .collect();
+    let service = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+    let report = run_service(&service, specs);
+    assert_eq!(report.outcomes.len(), 4);
+    assert_eq!(report.clean(), 4);
+}

@@ -10,6 +10,8 @@
 //! overclocking under an optimized guardband. None of that hardware is available in a
 //! portable reproduction, so this crate models it:
 //!
+//! * [`arrival::PoissonArrivals`] — Poisson job arrivals (exponential inter-arrival
+//!   gaps) feeding the multi-tenant service layer in `bsr-core`.
 //! * [`device::Device`] — a processor with a frequency range, overclocking range,
 //!   DVFS transition latency, throughput model and power model.
 //! * [`guardband::Guardband`] — default vs. optimized guardband configurations and the
@@ -32,6 +34,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arrival;
 pub mod device;
 pub mod energy;
 pub mod freq;
@@ -45,6 +48,7 @@ pub mod throughput;
 pub mod timeline;
 pub mod transfer;
 
+pub use arrival::PoissonArrivals;
 pub use device::{Device, DeviceKind};
 pub use energy::{EnergyMeter, EnergyRecord};
 pub use freq::{FrequencyRange, MHz};

@@ -103,11 +103,67 @@ pub(crate) enum TaskOutcome {
 
 thread_local! {
     static LAST_RUN: Cell<Option<DagRunStats>> = const { Cell::new(None) };
+    /// The service job the current thread is executing on behalf of, if any.
+    /// Set via [`JobScope`]; read by [`execute`] to key stats and snapshot labels.
+    static CURRENT_JOB: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Statistics of the last DAG run driven from this thread, if any.
 pub fn last_run_stats() -> Option<DagRunStats> {
     LAST_RUN.with(|c| c.get())
+}
+
+/// Per-job table of the most recent DAG run stats, keyed by the [`JobScope`] job id
+/// active when the run completed. Concurrent jobs therefore never clobber each
+/// other's post-mortems the way the process-global/thread-local [`last_run_stats`]
+/// would if two jobs shared a driver thread.
+static JOB_STATS: Mutex<Option<std::collections::HashMap<u64, DagRunStats>>> = Mutex::new(None);
+
+/// Statistics of the most recent DAG run executed under [`JobScope::enter`]`(job)`,
+/// from any thread. Returns `None` if no DAG run has completed for that job.
+pub fn last_run_stats_for(job: u64) -> Option<DagRunStats> {
+    JOB_STATS.lock().unwrap().as_ref().and_then(|m| m.get(&job).copied())
+}
+
+/// Drop a job's entry from the per-job stats table once its results have been
+/// consumed; the service layer calls this at job retirement so the table tracks
+/// in-flight jobs, not process history.
+pub fn clear_job_stats(job: u64) {
+    if let Some(map) = JOB_STATS.lock().unwrap().as_mut() {
+        map.remove(&job);
+    }
+}
+
+/// RAII marker that the current thread is driving DAG runs on behalf of service job
+/// `id`: while the scope is alive, every DAG execution driven from this thread
+/// job-prefixes its snapshot label (`"lu#job7"`), records its stats under the job id
+/// ([`last_run_stats_for`]), and — in pool mode — submits its tasks into the job's
+/// fair-scheduling lane (`rayon::task_scope_tagged`) so concurrent jobs share the
+/// pool under the bounded-slice round-robin policy.
+///
+/// Scopes nest (save/restore): a job that internally drives another job's run — the
+/// batching path does not, but nothing forbids it — restores the outer id on drop.
+pub struct JobScope {
+    prev: Option<u64>,
+}
+
+impl JobScope {
+    /// Mark the current thread as driving job `id` until the returned guard drops.
+    pub fn enter(id: u64) -> Self {
+        let prev = CURRENT_JOB.with(|c| c.replace(Some(id)));
+        JobScope { prev }
+    }
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        CURRENT_JOB.with(|c| c.set(self.prev));
+    }
+}
+
+/// The job id the current thread is executing under ([`JobScope::enter`]), if any.
+pub fn current_job() -> Option<u64> {
+    CURRENT_JOB.with(|c| c.get())
 }
 
 /// Measured durations of one DAG factorization run, attributed to tasks (not
@@ -314,6 +370,14 @@ where
     F: Fn(usize) -> TaskOutcome + Sync,
 {
     let total = builder.len();
+    // Under a JobScope the snapshot label carries the job id, so concurrent jobs'
+    // runs are distinguishable in a watchdog dump, and stats are job-keyed.
+    let job = current_job();
+    let label = match job {
+        Some(j) => format!("{label}#job{j}"),
+        None => label.to_string(),
+    };
+    let label = label.as_str();
     let state = Arc::new(RunState {
         label: label.to_string(),
         counters: builder.deps.iter().map(|&d| AtomicI64::new(d as i64)).collect(),
@@ -328,15 +392,24 @@ where
     let _registration = Registration::new(&state);
     let succs = &builder.succs;
     match exec {
-        DagExecution::Pool if rayon::current_num_threads() > 1 => {
-            rayon::task_scope(|ts| {
+        // Job-scoped runs submit into the job's fair lane so concurrent jobs share
+        // the pool in bounded slices instead of FIFO floods.
+        DagExecution::Pool if rayon::current_num_threads() > 1 => match job {
+            Some(j) => rayon::task_scope_tagged(j, |ts| {
                 for (id, &d) in builder.deps.iter().enumerate() {
                     if d == 0 {
                         submit_pool(ts, &state, succs, &run, id);
                     }
                 }
-            });
-        }
+            }),
+            None => rayon::task_scope(|ts| {
+                for (id, &d) in builder.deps.iter().enumerate() {
+                    if d == 0 {
+                        submit_pool(ts, &state, succs, &run, id);
+                    }
+                }
+            }),
+        },
         DagExecution::Pool => run_sequential(&state, succs, &run, None),
         DagExecution::Replay { seed } => run_sequential(&state, succs, &run, Some(seed)),
     }
@@ -346,13 +419,19 @@ where
         "DAG run '{label}' leaked tasks: executed {executed} of {total}\n{}",
         snapshot_of(&state)
     );
-    LAST_RUN.with(|c| {
-        c.set(Some(DagRunStats {
-            tasks: total,
-            executed,
-            retries: state.retries.load(Ordering::Relaxed),
-        }))
-    });
+    let stats = DagRunStats {
+        tasks: total,
+        executed,
+        retries: state.retries.load(Ordering::Relaxed),
+    };
+    LAST_RUN.with(|c| c.set(Some(stats)));
+    if let Some(j) = job {
+        JOB_STATS
+            .lock()
+            .unwrap()
+            .get_or_insert_with(std::collections::HashMap::new)
+            .insert(j, stats);
+    }
 }
 
 /// Pool-mode task submission: wraps `run(id)` with the counter-decrement protocol
@@ -601,5 +680,74 @@ mod tests {
         // Deregistered after the run (other tests' runs may be in flight, so only
         // this label's absence can be asserted).
         assert!(!snapshot_active().contains("'snap'"));
+    }
+
+    #[test]
+    fn job_scope_keys_stats_and_snapshot_labels() {
+        let seen = Mutex::new(String::new());
+        {
+            let _scope = JobScope::enter(7001);
+            assert_eq!(current_job(), Some(7001));
+            execute(diamond(), DagExecution::Replay { seed: 5 }, "jobkey", |id| {
+                if id == 0 {
+                    *seen.lock().unwrap() = snapshot_active();
+                }
+                TaskOutcome::Done
+            });
+        }
+        // Scope exits restore the previous (no-job) state.
+        assert_eq!(current_job(), None);
+        // The snapshot label carried the job id, so concurrent jobs with the same
+        // driver label stay distinguishable in a watchdog dump.
+        let seen = seen.into_inner().unwrap();
+        assert!(seen.contains("'jobkey#job7001'"), "snapshot: {seen}");
+        // Stats are retrievable by job id from any thread, and clearable.
+        let stats = last_run_stats_for(7001).expect("job-keyed stats recorded");
+        assert_eq!((stats.tasks, stats.executed, stats.retries), (4, 4, 0));
+        assert_eq!(
+            std::thread::spawn(|| last_run_stats_for(7001)).join().unwrap(),
+            Some(stats),
+            "job-keyed stats must be visible cross-thread"
+        );
+        clear_job_stats(7001);
+        assert_eq!(last_run_stats_for(7001), None);
+    }
+
+    #[test]
+    fn concurrent_job_scoped_runs_do_not_clobber_stats() {
+        // Two jobs with different graph sizes run concurrently from two threads;
+        // each job's recorded stats must match its own graph, which the old
+        // thread-local-only last_run_stats could not guarantee for a service
+        // dispatching jobs across a worker pool.
+        let _guard = rayon::ThreadCountGuard::set(2);
+        std::thread::scope(|s| {
+            for (job, tasks) in [(8101u64, 5usize), (8102, 9)] {
+                s.spawn(move || {
+                    let _scope = JobScope::enter(job);
+                    let mut b = DagBuilder::new();
+                    for _ in 0..tasks {
+                        b.add_task();
+                    }
+                    for i in 0..tasks - 1 {
+                        b.add_edge(i, i + 1);
+                    }
+                    execute(b, DagExecution::Pool, "svc", |_| TaskOutcome::Done);
+                });
+            }
+        });
+        assert_eq!(last_run_stats_for(8101).unwrap().tasks, 5);
+        assert_eq!(last_run_stats_for(8102).unwrap().tasks, 9);
+        clear_job_stats(8101);
+        clear_job_stats(8102);
+    }
+
+    #[test]
+    fn job_scopes_nest_and_restore() {
+        let _outer = JobScope::enter(1);
+        {
+            let _inner = JobScope::enter(2);
+            assert_eq!(current_job(), Some(2));
+        }
+        assert_eq!(current_job(), Some(1));
     }
 }

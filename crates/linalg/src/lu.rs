@@ -251,6 +251,14 @@ impl LuFactors {
         out.apply_row_swaps(0, &self.pivots, 0, cols);
         out
     }
+
+    /// Solve `A X = B` against these factors (LAPACK `getrs`), delegating to
+    /// [`crate::solve::lu_solve`]. `B` may carry any number of right-hand sides and
+    /// is left untouched; service clients get solutions without re-assembling the
+    /// packed storage themselves.
+    pub fn solve(&self, b: &Matrix) -> Matrix {
+        crate::solve::lu_solve(&self.lu, &self.pivots, b)
+    }
 }
 
 /// Blocked LU factorization with partial pivoting and block size `block`.
@@ -795,6 +803,20 @@ mod tests {
     use crate::verify::lu_residual;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn factors_solve_surface_recovers_known_solution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let n = 29;
+        let a = random_diag_dominant_matrix(&mut rng, n);
+        let x_true = random_matrix(&mut rng, n, 2);
+        let b = gemm(&a, Trans::No, &x_true, Trans::No);
+        let f = lu_blocked(&a, 8).unwrap();
+        let x = f.solve(&b);
+        assert!(x.approx_eq(&x_true, 1e-8), "LuFactors::solve drifted");
+        // The delegate and the method are the same computation, bit for bit.
+        assert_eq!(x.data(), crate::solve::lu_solve(&f.lu, &f.pivots, &b).data());
+    }
 
     #[test]
     fn factorizes_known_matrix_with_pivoting() {

@@ -198,8 +198,57 @@ impl_tuple_strategy!(
     (A: 0, B: 1, C: 2, D: 3, E: 4),
 );
 
+/// Strategies over collections (vendored subset: [`collection::vec`]).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec`s of `element` values with a per-case length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (vendored subset: [`sample::select`]).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// Choose uniformly among a fixed list of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[(rng.next_u64() % self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
 /// Everything a property suite imports.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{any, Any, ProptestConfig, Strategy, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }

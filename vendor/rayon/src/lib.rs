@@ -122,6 +122,88 @@ struct Job {
     run: Box<dyn FnOnce() + Send + 'static>,
 }
 
+/// Maximum number of consecutive tasks drained from one lane before the fair
+/// scheduler rotates to the next lane with queued work. Small enough that a queued
+/// small job starts within a few task grains of a large job's stream; large enough
+/// that lane rotation does not thrash the cache on every pop.
+const FAIR_SLICE: usize = 8;
+
+/// Round-robin fair queues: one FIFO per *lane* (a caller-chosen `u64` tag, one per
+/// service job), drained in bounded slices of at most [`FAIR_SLICE`] tasks so a lane
+/// with a deep queue — one large factorization flooding the pool with tile tasks —
+/// cannot starve lanes that queued after it. Tagged submissions from
+/// [`task_scope_tagged`] land here instead of in the per-worker deques; untagged
+/// work is unaffected.
+struct LaneQueues {
+    /// Lane ids in first-seen order; the rotation order for `cursor`.
+    order: Vec<u64>,
+    /// Pending jobs per lane. Keys always mirror `order`.
+    queues: std::collections::HashMap<u64, VecDeque<Job>>,
+    /// Index into `order` of the lane currently being drained.
+    cursor: usize,
+    /// Pops remaining in the current lane's slice before rotation.
+    slice_left: usize,
+}
+
+impl LaneQueues {
+    fn new() -> Self {
+        LaneQueues {
+            order: Vec::new(),
+            queues: std::collections::HashMap::new(),
+            cursor: 0,
+            slice_left: FAIR_SLICE,
+        }
+    }
+
+    /// Total queued jobs across all lanes.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    fn push(&mut self, lane: u64, job: Job) {
+        use std::collections::hash_map::Entry;
+        match self.queues.entry(lane) {
+            Entry::Occupied(mut entry) => entry.get_mut().push_back(job),
+            Entry::Vacant(entry) => {
+                entry.insert(VecDeque::from([job]));
+                self.order.push(lane);
+            }
+        }
+    }
+
+    /// Pop the next job under the bounded-slice round-robin policy: keep draining the
+    /// cursor lane until its slice is spent (or it empties), then rotate to the next
+    /// lane with queued work. Returns `None` only when every lane is empty, in which
+    /// case the lane bookkeeping is reset so long-dead lane ids do not accumulate.
+    fn pop_fair(&mut self) -> Option<Job> {
+        let lanes = self.order.len();
+        for probe in 0..lanes {
+            let idx = (self.cursor + probe) % lanes;
+            let lane = self.order[idx];
+            let queue = self.queues.get_mut(&lane).expect("order/queues in sync");
+            if let Some(job) = queue.pop_front() {
+                if probe != 0 {
+                    // Rotated past empty lanes: the new lane starts a fresh slice.
+                    self.cursor = idx;
+                    self.slice_left = FAIR_SLICE;
+                }
+                self.slice_left -= 1;
+                if self.slice_left == 0 || queue.is_empty() {
+                    self.cursor = (idx + 1) % lanes;
+                    self.slice_left = FAIR_SLICE;
+                }
+                return Some(job);
+            }
+        }
+        self.order.clear();
+        self.queues.clear();
+        self.cursor = 0;
+        self.slice_left = FAIR_SLICE;
+        None
+    }
+}
+
 /// Completion state shared between one [`scope`] and the jobs it spawned.
 struct Region {
     /// Jobs spawned and not yet finished.
@@ -172,6 +254,8 @@ struct Pool {
     wake: Condvar,
     /// Round-robin cursor for task placement.
     cursor: AtomicUsize,
+    /// Fair per-lane queues for tagged submissions (see [`LaneQueues`]).
+    lanes: Mutex<LaneQueues>,
 }
 
 fn pool() -> &'static Pool {
@@ -182,6 +266,7 @@ fn pool() -> &'static Pool {
         generation: Mutex::new(0),
         wake: Condvar::new(),
         cursor: AtomicUsize::new(0),
+        lanes: Mutex::new(LaneQueues::new()),
     })
 }
 
@@ -216,14 +301,33 @@ impl Pool {
         self.wake.notify_all();
     }
 
+    /// Enqueue a job into its lane's fair FIFO and wake the pool. Lane jobs are
+    /// drained by every worker and waiting scope owner under the bounded-slice
+    /// round-robin policy, so no lane can monopolize the pool.
+    fn push_lane(&self, lane: u64, job: Job) {
+        self.lanes.lock().unwrap().push(lane, job);
+        let mut generation = self.generation.lock().unwrap();
+        *generation += 1;
+        drop(generation);
+        self.wake.notify_all();
+    }
+
+    /// Pop the next lane job under the fair round-robin policy.
+    fn pop_fair(&self) -> Option<Job> {
+        self.lanes.lock().unwrap().pop_fair()
+    }
+
     /// Snapshot of the current worker list (cheap: a handful of `Arc` clones).
     fn snapshot(&self) -> Vec<Arc<Worker>> {
         self.workers.lock().unwrap().clone()
     }
 
-    /// Steal a single job from any worker's queue (oldest first). Used by scope owners
-    /// helping out while they wait.
+    /// Steal a single job from the fair lanes or any worker's queue (oldest first).
+    /// Used by scope owners helping out while they wait.
     fn steal_one(&self) -> Option<Job> {
+        if let Some(job) = self.pop_fair() {
+            return Some(job);
+        }
         for worker in self.snapshot() {
             if let Some(job) = worker.deque.lock().unwrap().pop_front() {
                 return Some(job);
@@ -299,6 +403,10 @@ fn worker_loop(index: usize, me: Arc<Worker>, pool: &'static Pool) {
                 let popped = me.deque.lock().unwrap().pop_back();
                 popped
             } {
+                run_job(job);
+                continue;
+            }
+            if let Some(job) = pool.pop_fair() {
                 run_job(job);
                 continue;
             }
@@ -383,6 +491,9 @@ pub struct TaskScope<'scope> {
     region: Arc<Region>,
     /// Thread budget of this region (`current_num_threads()` at entry).
     threads: usize,
+    /// Fair-scheduling lane for every submission of this region, if tagged (see
+    /// [`task_scope_tagged`]). `None` routes through the plain worker deques.
+    lane: Option<u64>,
     /// FIFO queue of inline submissions (single-thread budget only).
     #[allow(clippy::type_complexity)]
     inline: Mutex<VecDeque<Box<dyn FnOnce(&TaskScope<'scope>) + Send + 'scope>>>,
@@ -403,13 +514,16 @@ impl<'scope> TaskScope<'scope> {
         self.region.pending.fetch_add(1, Ordering::AcqRel);
         let region = Arc::clone(&self.region);
         let threads = self.threads;
+        let lane = self.lane;
         let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             // Rebuild a handle on the executing thread so the task can submit its
             // successors into the same region (the successor's pending increment
-            // happens inside `f`, i.e. before this task's `complete_one`).
+            // happens inside `f`, i.e. before this task's `complete_one`). The
+            // handle inherits the region's lane so successors stay fair-scheduled.
             let handle = TaskScope {
                 region: Arc::clone(&region),
                 threads,
+                lane,
                 inline: Mutex::new(VecDeque::new()),
                 _marker: std::marker::PhantomData,
             };
@@ -422,7 +536,10 @@ impl<'scope> TaskScope<'scope> {
         // `pending` reaches zero, which cannot happen before this closure (and every
         // successor it transitively submits) has finished running.
         let erased: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(wrapped) };
-        pool().push(Job { run: erased });
+        match lane {
+            Some(lane) => pool().push_lane(lane, Job { run: erased }),
+            None => pool().push(Job { run: erased }),
+        }
     }
 
     /// Help drain the pool until every task of this region has completed (identical
@@ -447,10 +564,29 @@ impl<'scope> TaskScope<'scope> {
 /// task — including tasks submitted *by* tasks — has completed. Panics from the body
 /// or from any task are propagated (body panic wins), after all tasks have finished.
 pub fn task_scope<'scope, R>(op: impl FnOnce(&TaskScope<'scope>) -> R) -> R {
+    task_scope_impl(None, op)
+}
+
+/// [`task_scope`] with a fair-scheduling *lane*: every task submitted through the
+/// region (including successors submitted by running tasks) is queued in the lane's
+/// FIFO rather than the worker deques, and the pool drains lanes round-robin in
+/// bounded slices of `FAIR_SLICE` (8) tasks. Concurrent regions tagged with distinct
+/// lanes therefore share the pool fairly — one region with thousands of queued tasks
+/// cannot starve a region that queued after it. The multi-tenant service layer tags
+/// each factorization job's DAG region with its job id.
+///
+/// Under a single-thread budget the lane is irrelevant (submissions run inline on
+/// the caller in FIFO order, exactly as [`task_scope`]).
+pub fn task_scope_tagged<'scope, R>(lane: u64, op: impl FnOnce(&TaskScope<'scope>) -> R) -> R {
+    task_scope_impl(Some(lane), op)
+}
+
+fn task_scope_impl<'scope, R>(lane: Option<u64>, op: impl FnOnce(&TaskScope<'scope>) -> R) -> R {
     let threads = current_num_threads();
     let ts = TaskScope {
         region: Region::new(),
         threads,
+        lane,
         inline: Mutex::new(VecDeque::new()),
         _marker: std::marker::PhantomData,
     };
@@ -628,12 +764,141 @@ pub mod slice {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::{run_parallel, scope, task_scope, TaskScope};
+    use super::{
+        run_parallel, scope, task_scope, task_scope_tagged, Job, LaneQueues, TaskScope,
+        FAIR_SLICE,
+    };
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::{Arc, Mutex};
 
     use super::ThreadCountGuard;
+
+    /// Drain `lanes` to completion, running each popped job, and return the recorded
+    /// pop order (jobs push their tag into `log`).
+    fn drain_lanes(lanes: &mut LaneQueues, log: &Arc<Mutex<Vec<(u64, usize)>>>) -> Vec<(u64, usize)> {
+        while let Some(job) = lanes.pop_fair() {
+            (job.run)();
+        }
+        log.lock().unwrap().clone()
+    }
+
+    fn lane_job(log: &Arc<Mutex<Vec<(u64, usize)>>>, lane: u64, seq: usize) -> Job {
+        let log = Arc::clone(log);
+        Job { run: Box::new(move || log.lock().unwrap().push((lane, seq))) }
+    }
+
+    #[test]
+    fn lane_queues_rotate_after_bounded_slice() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut lanes = LaneQueues::new();
+        // Lane 1 floods the queue before lane 2 submits a handful of tasks.
+        for seq in 0..(FAIR_SLICE * 2 + 4) {
+            lanes.push(1, lane_job(&log, 1, seq));
+        }
+        for seq in 0..3 {
+            lanes.push(2, lane_job(&log, 2, seq));
+        }
+        assert_eq!(lanes.len(), FAIR_SLICE * 2 + 7);
+        let order = drain_lanes(&mut lanes, &log);
+        // Lane 2's first task runs after at most one full slice of lane 1, not after
+        // lane 1's entire backlog.
+        let first_lane2 = order.iter().position(|&(lane, _)| lane == 2).unwrap();
+        assert_eq!(first_lane2, FAIR_SLICE, "lane 2 must start after one bounded slice");
+        // FIFO within each lane.
+        for lane in [1u64, 2u64] {
+            let seqs: Vec<usize> =
+                order.iter().filter(|&&(l, _)| l == lane).map(|&(_, s)| s).collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            assert_eq!(seqs, sorted, "lane {lane} must drain FIFO");
+        }
+        assert_eq!(order.len(), FAIR_SLICE * 2 + 7, "no job dropped");
+    }
+
+    #[test]
+    fn lane_queues_fresh_slice_when_lane_empties() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut lanes = LaneQueues::new();
+        // Lane 1 has fewer tasks than a slice; lane 2 queued behind it must still
+        // get the cursor once lane 1 empties, and new lane-1 pushes re-register.
+        lanes.push(1, lane_job(&log, 1, 0));
+        lanes.push(2, lane_job(&log, 2, 0));
+        lanes.push(2, lane_job(&log, 2, 1));
+        let order = drain_lanes(&mut lanes, &log);
+        assert_eq!(order, vec![(1, 0), (2, 0), (2, 1)]);
+        // After a full drain the bookkeeping resets; a new push starts clean.
+        lanes.push(7, lane_job(&log, 7, 0));
+        assert_eq!(lanes.len(), 1);
+        assert!(lanes.pop_fair().is_some());
+        assert!(lanes.pop_fair().is_none());
+    }
+
+    #[test]
+    fn task_scope_tagged_runs_chained_submissions_at_every_thread_count() {
+        // Tagged successor chains must complete exactly like untagged ones: the
+        // rebuilt handle inside a running task inherits the lane.
+        for t in [1, 2, 4] {
+            let _guard = ThreadCountGuard::set(t);
+            let hops = AtomicUsize::new(0);
+            fn link<'s>(ts: &TaskScope<'s>, hops: &'s AtomicUsize, remaining: usize) {
+                hops.fetch_add(1, Ordering::Relaxed);
+                if remaining > 0 {
+                    ts.submit(move |ts| link(ts, hops, remaining - 1));
+                }
+            }
+            task_scope_tagged(42, |ts| {
+                let hops = &hops;
+                ts.submit(move |ts| link(ts, hops, 999));
+            });
+            assert_eq!(hops.load(Ordering::Relaxed), 1_000, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn concurrent_tagged_regions_all_complete() {
+        // Two OS threads run tagged regions with distinct lanes over the same pool;
+        // every task of both regions must run exactly once (fair draining may
+        // interleave them arbitrarily).
+        let _guard = ThreadCountGuard::set(3);
+        let counts = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        std::thread::scope(|s| {
+            for (lane, count) in counts.iter().enumerate() {
+                s.spawn(move || {
+                    task_scope_tagged(lane as u64, |ts| {
+                        for _ in 0..128 {
+                            ts.submit(move |_| {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counts[0].load(Ordering::Relaxed), 128);
+        assert_eq!(counts[1].load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn tagged_task_panic_is_propagated_after_drain() {
+        let _guard = ThreadCountGuard::set(2);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            task_scope_tagged(9, |ts| {
+                for i in 0..8 {
+                    let completed = &completed;
+                    ts.submit(move |_| {
+                        if i == 5 {
+                            panic!("task panic");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the tagged boundary");
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
+    }
 
     #[test]
     fn par_chunks_mut_processes_every_chunk() {
